@@ -1,0 +1,282 @@
+//! Direct (no-retiming) greedy fusion — the traditional baseline in the
+//! spirit of Warren's legality conditions and Kennedy & McKinley's fusion
+//! passes, and of Al-Mouhamed's "don't fuse if it prevents parallelism"
+//! policy.
+//!
+//! Loops are scanned in textual order; each loop joins the immediately
+//! preceding cluster when the merge is legal under the selected policy,
+//! and otherwise starts a new cluster. No retiming is attempted, so any
+//! fusion-preventing dependence (Theorem 3.1 violation) blocks the merge —
+//! which is precisely the gap the paper's technique closes.
+
+use mdf_graph::legality::textual_order;
+use mdf_graph::mldg::Mldg;
+
+use crate::partition::{merge_is_legal, merge_keeps_doall, Partition};
+
+/// Merge policy for the greedy pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum DirectPolicy {
+    /// Fuse whenever legal, even if the fused loop loses its DOALL
+    /// property (Kennedy–McKinley-style maximal fusion; distribution would
+    /// later re-split for parallelism).
+    MaximalLegal,
+    /// Fuse only when the merged loop stays DOALL (Al-Mouhamed-style).
+    #[default]
+    PreserveParallelism,
+}
+
+/// Runs greedy direct fusion. Returns `None` when the graph has no valid
+/// textual order (not executable as a loop sequence).
+pub fn direct_fusion(g: &Mldg, policy: DirectPolicy) -> Option<Partition> {
+    let order = textual_order(g)?;
+    let mut clusters: Vec<Vec<_>> = Vec::new();
+    for v in order {
+        let can_merge = clusters.last().is_some_and(|last| {
+            let legal = merge_is_legal(g, last, v);
+            match policy {
+                DirectPolicy::MaximalLegal => legal,
+                DirectPolicy::PreserveParallelism => legal && merge_keeps_doall(g, last, v),
+            }
+        });
+        if can_merge {
+            clusters.last_mut().unwrap().push(v);
+        } else {
+            clusters.push(vec![v]);
+        }
+    }
+    // Determine the residual parallelism of each cluster.
+    let cluster_doall = clusters
+        .iter()
+        .map(|c| {
+            c.iter().enumerate().all(|(k, &v)| {
+                let prefix = &c[..k];
+                prefix.is_empty() || merge_keeps_doall(g, prefix, v)
+            })
+        })
+        .collect();
+    Some(Partition {
+        clusters,
+        cluster_doall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::{figure2, figure8};
+
+    #[test]
+    fn figure2_direct_fusion_barely_fuses() {
+        // B->C carries (0,-2) and C->D carries (0,-1): both block merges,
+        // so only A+B fuse. The paper's technique instead fuses all four.
+        let g = figure2();
+        let p = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert!(p.is_valid_for(&g));
+        assert_eq!(p.cluster_count(), 3, "{p:?}");
+        assert!(p.fully_parallel());
+        let labels: Vec<Vec<&str>> = p
+            .clusters
+            .iter()
+            .map(|c| c.iter().map(|&n| g.label(n)).collect())
+            .collect();
+        assert_eq!(labels, vec![vec!["A", "B"], vec!["C"], vec!["D"]]);
+    }
+
+    #[test]
+    fn figure8_direct_fusion_is_also_blocked() {
+        // Figure 8 has fusion-preventing deps (0,-2), (0,-3): the paper
+        // notes "we cannot fuse loops directly".
+        let g = figure8();
+        let p = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert!(p.is_valid_for(&g));
+        assert!(
+            p.cluster_count() > 1,
+            "direct fusion must not fully fuse Figure 8"
+        );
+    }
+
+    #[test]
+    fn maximal_legal_fuses_more_but_loses_parallelism() {
+        // A -> B with (0, 2): legal to fuse (forward), but serializes.
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, 2));
+        let max = direct_fusion(&g, DirectPolicy::MaximalLegal).unwrap();
+        assert_eq!(max.cluster_count(), 1);
+        assert!(!max.fully_parallel());
+        let par = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert_eq!(par.cluster_count(), 2);
+        assert!(par.fully_parallel());
+    }
+
+    #[test]
+    fn independent_loops_fully_fuse() {
+        let mut g = Mldg::new();
+        for lbl in ["A", "B", "C"] {
+            g.add_node(lbl);
+        }
+        let p = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert_eq!(p.cluster_count(), 1);
+        assert!(p.fully_parallel());
+    }
+
+    #[test]
+    fn non_executable_graph_rejected() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, 1));
+        g.add_dep(b, a, (0, 1));
+        assert_eq!(direct_fusion(&g, DirectPolicy::MaximalLegal), None);
+    }
+}
+
+/// Non-adjacent greedy fusion (closer to Kennedy & McKinley's typed
+/// fusion): each loop joins the *earliest* cluster it can legally join,
+/// provided no dependence path forces it after a later cluster. Compared
+/// to [`direct_fusion`]'s adjacent-only merging, loops separated by an
+/// unrelated blocker can still share a cluster.
+///
+/// The ordering constraint: `v` may join cluster `c` only if no node of
+/// any cluster *after* `c` reaches `v` through dependences — otherwise
+/// `v`'s loop would have to execute both before and after that cluster.
+pub fn direct_fusion_nonadjacent(g: &Mldg, policy: DirectPolicy) -> Option<Partition> {
+    let order = textual_order(g)?;
+    let mut clusters: Vec<Vec<mdf_graph::NodeId>> = Vec::new();
+    for v in order {
+        // Earliest cluster index v must come after: any cluster containing
+        // a predecessor of v with a same-iteration (x = 0) dependence must
+        // execute no later than v's cluster; outer-carried-only
+        // predecessors do not constrain the within-iteration order.
+        let mut earliest = 0usize;
+        #[allow(clippy::needless_range_loop)]
+        for (ci, c) in clusters.iter().enumerate() {
+            let constrained = c.iter().any(|&u| {
+                g.edge_between(u, v)
+                    .is_some_and(|e| g.deps(e).iter().any(|d| d.x == 0))
+            });
+            if constrained {
+                earliest = earliest.max(ci);
+            }
+        }
+        let mut placed = false;
+        #[allow(clippy::needless_range_loop)] // indexes clusters mutably below
+        for ci in earliest..clusters.len() {
+            let ok = {
+                let legal = merge_is_legal(g, &clusters[ci], v);
+                match policy {
+                    DirectPolicy::MaximalLegal => legal,
+                    DirectPolicy::PreserveParallelism => {
+                        legal && merge_keeps_doall(g, &clusters[ci], v)
+                    }
+                }
+            };
+            // Also: no same-iteration dependence from v into an earlier or
+            // equal cluster would be violated — v joining cluster ci means
+            // every zero-x consumer of v must sit in cluster >= ci, which
+            // holds automatically because consumers come later in textual
+            // order and are placed afterwards.
+            if ok {
+                clusters[ci].push(v);
+                placed = true;
+                break;
+            }
+        }
+        if !placed {
+            clusters.push(vec![v]);
+        }
+    }
+    let cluster_doall = clusters
+        .iter()
+        .map(|c| {
+            c.iter().enumerate().all(|(k, &v)| {
+                let prefix = &c[..k];
+                prefix.is_empty() || merge_keeps_doall(g, prefix, v)
+            })
+        })
+        .collect();
+    Some(Partition {
+        clusters,
+        cluster_doall,
+    })
+}
+
+#[cfg(test)]
+mod nonadjacent_tests {
+    use super::*;
+    use mdf_graph::v2;
+
+    /// Two independent serializer pairs A -> B and C -> D: adjacent greedy
+    /// produces {A}, {B, C}, {D}; the non-adjacent variant interleaves the
+    /// pairs into {A, C}, {B, D} — two clusters instead of three. (A chain
+    /// A -> B -> C of same-iteration serializers would NOT demonstrate
+    /// this: its ordering constraints genuinely force three clusters.)
+    #[test]
+    fn nonadjacent_fuses_across_a_blocker() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        g.add_dep(a, b, (0, 2)); // serializes: B cannot join A's cluster
+        g.add_dep(c, d, (0, 2)); // serializes: D cannot join C's cluster
+        let adjacent = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert_eq!(adjacent.cluster_count(), 3, "{adjacent:?}");
+        let nonadj = direct_fusion_nonadjacent(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert_eq!(nonadj.cluster_count(), 2, "{nonadj:?}");
+        assert!(nonadj.is_valid_for(&g));
+        assert!(nonadj.fully_parallel());
+        let labels: Vec<Vec<&str>> = nonadj
+            .clusters
+            .iter()
+            .map(|cl| cl.iter().map(|&n| g.label(n)).collect())
+            .collect();
+        assert_eq!(labels, vec![vec!["A", "C"], vec!["B", "D"]]);
+    }
+
+    #[test]
+    fn ordering_constraint_respected() {
+        // A -(0,1)-> B -(0,1)-> C and A -(1,0)-> C: C may NOT re-join A's
+        // cluster because B's cluster must run between A's and C's
+        // (B -> C has a same-iteration dependence).
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_dep(a, b, (0, 1));
+        g.add_dep(b, c, (0, 1));
+        g.add_dep(a, c, (1, 0));
+        let p = direct_fusion_nonadjacent(&g, DirectPolicy::PreserveParallelism).unwrap();
+        assert!(p.is_valid_for(&g));
+        // A, B, C must be in three distinct, ordered clusters.
+        assert_eq!(p.cluster_count(), 3);
+    }
+
+    #[test]
+    fn never_worse_than_adjacent_on_paper_graphs() {
+        for g in [mdf_graph::paper::figure2(), mdf_graph::paper::figure8()] {
+            let adj = direct_fusion(&g, DirectPolicy::PreserveParallelism).unwrap();
+            let non = direct_fusion_nonadjacent(&g, DirectPolicy::PreserveParallelism).unwrap();
+            assert!(non.is_valid_for(&g));
+            assert!(non.cluster_count() <= adj.cluster_count());
+        }
+    }
+
+    #[test]
+    fn independent_loops_all_share_one_cluster() {
+        let mut g = Mldg::new();
+        for l in ["A", "B", "C", "D", "E"] {
+            g.add_node(l);
+        }
+        // Sprinkle a serializer between A and B only.
+        let a = g.node_by_label("A").unwrap();
+        let b = g.node_by_label("B").unwrap();
+        g.add_dep(a, b, (0, 3));
+        let p = direct_fusion_nonadjacent(&g, DirectPolicy::PreserveParallelism).unwrap();
+        // B alone in a second cluster; everyone else joins A's.
+        assert_eq!(p.cluster_count(), 2);
+        let _ = v2(0, 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # `mdf-baselines` — published comparator techniques
+//!
+//! The loop-fusion strategies the paper compares against, re-implemented
+//! for the Section 5 experiments:
+//!
+//! * [`partition::Partition::unfused`] — no fusion (`L * (n+1)` barriers);
+//! * [`direct`] — greedy direct fusion with no retiming (Warren /
+//!   Kennedy–McKinley / Al-Mouhamed-style legality and parallelism
+//!   policies), in adjacent-only and non-adjacent variants: refuses
+//!   exactly where fusion-preventing dependences exist;
+//! * [`shift_peel`] — Manjikian & Abdelrahman's shift-and-peel: 1-D inner
+//!   alignment plus boundary peeling, with its efficiency condition.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod direct;
+pub mod partition;
+pub mod shift_peel;
+
+pub use direct::{direct_fusion, direct_fusion_nonadjacent, DirectPolicy};
+pub use partition::Partition;
+pub use shift_peel::{shift_and_peel, ShiftPeelPlan};

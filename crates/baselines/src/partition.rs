@@ -1,0 +1,138 @@
+//! Loop partitions: the common output shape of the baseline fusion
+//! strategies.
+//!
+//! A partition groups the candidate loops into fused clusters executed in
+//! order; each cluster is one synchronization unit per outer iteration
+//! (one barrier if its fused inner loop is DOALL, a serial sweep
+//! otherwise).
+
+use mdf_graph::mldg::{Mldg, NodeId};
+use mdf_graph::vec2::IVec2;
+
+/// An ordered partition of the loops into fused clusters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// Clusters in execution order; each holds node ids in textual order.
+    pub clusters: Vec<Vec<NodeId>>,
+    /// Whether each cluster's fused inner loop is still DOALL.
+    pub cluster_doall: Vec<bool>,
+}
+
+impl Partition {
+    /// The no-fusion partition: every loop is its own (DOALL) cluster, in
+    /// textual order — the paper's baseline with `L * (n+1)`
+    /// synchronizations.
+    pub fn unfused(g: &Mldg) -> Partition {
+        Partition {
+            clusters: g.node_ids().map(|n| vec![n]).collect(),
+            cluster_doall: vec![true; g.node_count()],
+        }
+    }
+
+    /// Number of clusters (synchronizations per outer iteration).
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Total synchronizations for `n + 1` outer iterations.
+    pub fn sync_count(&self, n: i64) -> i64 {
+        self.cluster_count() as i64 * (n + 1)
+    }
+
+    /// `true` when every cluster remains DOALL.
+    pub fn fully_parallel(&self) -> bool {
+        self.cluster_doall.iter().all(|&d| d)
+    }
+
+    /// Internal consistency: clusters are disjoint and cover all nodes.
+    pub fn is_valid_for(&self, g: &Mldg) -> bool {
+        if self.clusters.len() != self.cluster_doall.len() {
+            return false;
+        }
+        let mut seen = vec![false; g.node_count()];
+        for c in &self.clusters {
+            for &n in c {
+                if n.index() >= seen.len() || seen[n.index()] {
+                    return false;
+                }
+                seen[n.index()] = true;
+            }
+        }
+        seen.iter().all(|&s| s)
+    }
+}
+
+/// `true` when merging the loops of `cluster` and node `v` keeps fusion
+/// legal: every dependence vector between them is lexicographically
+/// non-negative (Theorem 3.1 restricted to the pair set).
+pub fn merge_is_legal(g: &Mldg, cluster: &[NodeId], v: NodeId) -> bool {
+    cluster.iter().all(|&u| {
+        edge_vectors(g, u, v)
+            .chain(edge_vectors(g, v, u))
+            .all(|d| d >= IVec2::ZERO)
+    })
+}
+
+/// `true` when merging keeps the fused loop DOALL: no dependence vector
+/// between cluster members and `v` is `(0, k)` with `k != 0`.
+pub fn merge_keeps_doall(g: &Mldg, cluster: &[NodeId], v: NodeId) -> bool {
+    cluster.iter().all(|&u| {
+        edge_vectors(g, u, v)
+            .chain(edge_vectors(g, v, u))
+            .all(|d| d.is_doall_safe() || d == IVec2::ZERO)
+    })
+}
+
+fn edge_vectors(g: &Mldg, a: NodeId, b: NodeId) -> impl Iterator<Item = IVec2> + '_ {
+    g.edge_between(a, b)
+        .into_iter()
+        .flat_map(|e| g.deps(e).iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::figure2;
+
+    #[test]
+    fn unfused_partition() {
+        let g = figure2();
+        let p = Partition::unfused(&g);
+        assert_eq!(p.cluster_count(), 4);
+        assert!(p.fully_parallel());
+        assert!(p.is_valid_for(&g));
+        assert_eq!(p.sync_count(9), 40);
+    }
+
+    #[test]
+    fn merge_legality_on_figure2() {
+        let g = figure2();
+        let (a, b, c) = (
+            g.node_by_label("A").unwrap(),
+            g.node_by_label("B").unwrap(),
+            g.node_by_label("C").unwrap(),
+        );
+        // A + B: only vectors (1,1),(2,1): legal and DOALL-preserving.
+        assert!(merge_is_legal(&g, &[a], b));
+        assert!(merge_keeps_doall(&g, &[a], b));
+        // {A,B} + C: B->C carries (0,-2): illegal.
+        assert!(!merge_is_legal(&g, &[a, b], c));
+        assert!(!merge_keeps_doall(&g, &[a, b], c));
+    }
+
+    #[test]
+    fn validity_detects_overlap_and_gaps() {
+        let g = figure2();
+        let n0 = NodeId(0);
+        let bad_overlap = Partition {
+            clusters: vec![vec![n0], vec![n0]],
+            cluster_doall: vec![true, true],
+        };
+        assert!(!bad_overlap.is_valid_for(&g));
+        let bad_gap = Partition {
+            clusters: vec![vec![n0]],
+            cluster_doall: vec![true],
+        };
+        assert!(!bad_gap.is_valid_for(&g));
+    }
+}

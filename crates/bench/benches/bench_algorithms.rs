@@ -1,0 +1,95 @@
+//! FX1 (criterion): runtime of Algorithms 2–5 and the planner vs graph
+//! size, on random legal/acyclic 2LDGs. The polynomial-time claim shows up
+//! as near-linear growth in `|V| * |E|`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mdf_core::{fuse_acyclic, fuse_cyclic, fuse_hyperplane, llofra, plan_fusion};
+use mdf_gen::{random_acyclic_mldg, random_legal_mldg, GenConfig};
+
+const SIZES: &[usize] = &[8, 32, 128, 512];
+
+fn cfg(nodes: usize) -> GenConfig {
+    GenConfig {
+        nodes,
+        extra_edges: nodes * 2,
+        ..GenConfig::default()
+    }
+}
+
+fn bench_llofra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg2_llofra");
+    group.sample_size(30);
+    for &n in SIZES {
+        let g = random_legal_mldg(1, &cfg(n));
+        group.throughput(Throughput::Elements((n * g.edge_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| llofra(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_acyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg3_acyclic");
+    group.sample_size(30);
+    for &n in SIZES {
+        let g = random_acyclic_mldg(1, &cfg(n));
+        group.throughput(Throughput::Elements((n * g.edge_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| fuse_acyclic(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cyclic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg4_cyclic");
+    group.sample_size(30);
+    for &n in SIZES {
+        let g = random_legal_mldg(1, &cfg(n));
+        group.throughput(Throughput::Elements((n * g.edge_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| {
+                let _ = fuse_cyclic(black_box(g));
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_hyperplane(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg5_hyperplane");
+    group.sample_size(30);
+    for &n in SIZES {
+        let g = random_legal_mldg(1, &cfg(n));
+        group.throughput(Throughput::Elements((n * g.edge_count()) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| fuse_hyperplane(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_end_to_end");
+    group.sample_size(30);
+    for &n in SIZES {
+        let g = random_legal_mldg(1, &cfg(n));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| plan_fusion(black_box(g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_llofra,
+    bench_acyclic,
+    bench_cyclic,
+    bench_hyperplane,
+    bench_planner
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! FX3 (criterion): the certified-DOALL fused loops on real Rayon threads
+//! vs the sequential fused sweep, for growing grids. Every parallel run is
+//! also checked for bit-identical results once per size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use mdf_core::plan_fusion;
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
+use mdf_ir::samples::image_pipeline_program;
+use mdf_sim::{run_fused, run_fused_rayon, run_original};
+
+fn bench_rayon_rows(c: &mut Criterion) {
+    let program = image_pipeline_program();
+    let plan = plan_fusion(&extract_mldg(&program).unwrap().graph).unwrap();
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+
+    let mut group = c.benchmark_group("rayon_image_pipeline");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for &size in &[64i64, 256, 512] {
+        // Validate once per size, outside the measurement loop.
+        let (seq, _) = run_original(&program, size, size);
+        let (par, _) = run_fused_rayon(&spec, size, size);
+        assert_eq!(seq, par, "rayon result must match");
+
+        group.throughput(Throughput::Elements((size * size) as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", size), &spec, |b, s| {
+            b.iter(|| run_fused(black_box(s), size, size))
+        });
+        group.bench_with_input(BenchmarkId::new("rayon", size), &spec, |b, s| {
+            b.iter(|| run_fused_rayon(black_box(s), size, size))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rayon_rows);
+criterion_main!(benches);

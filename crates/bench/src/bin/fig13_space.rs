@@ -1,0 +1,35 @@
+//! Experiments F7/F13/F16 — the iteration-space pictures: Figure 7's
+//! serial space after LLOFRA-only fusion, Figure 13's DOALL space after
+//! Algorithm 4, and Figure 16's hyperplane sweep for Figure 14's class
+//! (shown on the runnable relaxation kernel).
+
+use mdf_core::{llofra, plan_fusion};
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
+use mdf_ir::samples::{figure2_program, relaxation_program};
+use mdf_sim::{render_row_space, render_wavefront_space};
+
+fn main() {
+    let p = figure2_program();
+    let g = extract_mldg(&p).unwrap().graph;
+
+    println!("== Figure 7: LLOFRA-only fusion leaves rows serial ==");
+    let r = llofra(&g).unwrap();
+    let llofra_spec = FusedSpec::new(p.clone(), r.offsets().to_vec());
+    print!("{}", render_row_space(&llofra_spec, 3, 3));
+
+    println!("\n== Figure 13: Algorithm 4's space is row-DOALL ==");
+    let plan = plan_fusion(&g).unwrap();
+    let alg4_spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+    print!("{}", render_row_space(&alg4_spec, 3, 3));
+
+    println!("\n== Figure 16: the hyperplane sweep (relaxation kernel) ==");
+    let rp = relaxation_program();
+    let rg = extract_mldg(&rp).unwrap().graph;
+    let rplan = plan_fusion(&rg).unwrap();
+    let rspec = FusedSpec::new(rp, rplan.retiming().offsets().to_vec());
+    print!(
+        "{}",
+        render_wavefront_space(&rspec, rplan.wavefront().unwrap(), 8, 16)
+    );
+}

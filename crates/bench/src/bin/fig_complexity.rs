@@ -1,0 +1,59 @@
+//! Experiment FX1 — the polynomial-time claim: wall-clock runtime of the
+//! four algorithms vs graph size on random legal 2LDGs. The growth should
+//! track `O(|V| |E|)` (Bellman–Ford dominates everything).
+//!
+//! (Criterion's `bench_algorithms` measures the same thing with proper
+//! statistics; this binary prints the quick table for EXPERIMENTS.md.)
+
+use std::time::Instant;
+
+use mdf_core::{fuse_acyclic, fuse_cyclic, fuse_hyperplane, llofra};
+use mdf_gen::{random_acyclic_mldg, random_legal_mldg, GenConfig};
+
+fn time_us<F: FnMut()>(reps: u32, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e6 / reps as f64
+}
+
+fn main() {
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "|V|", "|E|", "llofra(us)", "alg3(us)", "alg4(us)", "alg5(us)"
+    );
+    for nodes in [8usize, 16, 32, 64, 128, 256, 512] {
+        let cfg = GenConfig {
+            nodes,
+            extra_edges: nodes * 2,
+            ..GenConfig::default()
+        };
+        let g = random_legal_mldg(42, &cfg);
+        let ga = random_acyclic_mldg(42, &cfg);
+        let reps = if nodes <= 64 { 50 } else { 10 };
+        let t_llofra = time_us(reps, || {
+            llofra(&g).unwrap();
+        });
+        let t_alg3 = time_us(reps, || {
+            fuse_acyclic(&ga).unwrap();
+        });
+        let t_alg4 = time_us(reps, || {
+            let _ = fuse_cyclic(&g);
+        });
+        let t_alg5 = time_us(reps, || {
+            fuse_hyperplane(&g).unwrap();
+        });
+        println!(
+            "{:>6} {:>8} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            nodes,
+            g.edge_count(),
+            t_llofra,
+            t_alg3,
+            t_alg4,
+            t_alg5
+        );
+    }
+    println!("\nexpect roughly O(|V| |E|) growth (doubling |V| with |E| ~ 3|V|");
+    println!("should roughly quadruple the times; absolute values are machine-dependent)");
+}

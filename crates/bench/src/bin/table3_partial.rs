@@ -1,0 +1,82 @@
+//! Experiment T3 (extension) — partial fusion: when Theorem 4.2 fails,
+//! how close to one loop can retiming get while keeping rows DOALL?
+//! Compares cluster counts and barriers of no fusion, direct fusion,
+//! partial fusion and the paper's Algorithm 4/5 across the suite and a
+//! batch of random graphs.
+
+use mdf_baselines::{direct_fusion, direct_fusion_nonadjacent, DirectPolicy};
+use mdf_core::partial::{fuse_partial, verify_partial};
+use mdf_core::{fuse_cyclic, plan_fusion};
+use mdf_gen::{random_legal_mldg, suite, GenConfig};
+
+fn main() {
+    println!("clusters per outer iteration (fewer = fewer barriers)\n");
+    println!(
+        "{:<8} {:>6} {:>8} {:>8} {:>8} {:>8} {:>12}",
+        "graph", "loops", "none", "direct", "nonadj", "partial", "alg4/alg5"
+    );
+    for entry in suite() {
+        let g = &entry.graph;
+        let direct = direct_fusion(g, DirectPolicy::PreserveParallelism)
+            .map(|p| p.cluster_count().to_string())
+            .unwrap_or_else(|| "-".into());
+        let nonadj = direct_fusion_nonadjacent(g, DirectPolicy::PreserveParallelism)
+            .map(|p| p.cluster_count().to_string())
+            .unwrap_or_else(|| "-".into());
+        let partial = match fuse_partial(g) {
+            Some(p) => {
+                assert!(verify_partial(g, &p));
+                p.clusters.len().to_string()
+            }
+            None => "-".into(),
+        };
+        let ours = if fuse_cyclic(g).is_ok() || mdf_graph::cycles::is_acyclic(g) {
+            "1 (DOALL)".to_string()
+        } else if plan_fusion(g).is_ok() {
+            "1 (wavefront)".to_string()
+        } else {
+            "-".into()
+        };
+        println!(
+            "{:<8} {:>6} {:>8} {:>8} {:>8} {:>8} {:>12}",
+            entry.id,
+            g.node_count(),
+            g.node_count(),
+            direct,
+            nonadj,
+            partial,
+            ours
+        );
+    }
+
+    // Random cyclic graphs: how often does partial fusion beat direct
+    // fusion, and by how much?
+    let cfg = GenConfig {
+        nodes: 10,
+        extra_edges: 10,
+        ..GenConfig::default()
+    };
+    let (mut partial_wins, mut total, mut sum_direct, mut sum_partial) = (0usize, 0usize, 0usize, 0usize);
+    for seed in 0..300u64 {
+        let g = random_legal_mldg(seed, &cfg);
+        let (Some(d), Some(p)) = (
+            direct_fusion(&g, DirectPolicy::PreserveParallelism),
+            fuse_partial(&g),
+        ) else {
+            continue;
+        };
+        assert!(verify_partial(&g, &p));
+        total += 1;
+        sum_direct += d.cluster_count();
+        sum_partial += p.clusters.len();
+        if p.clusters.len() < d.cluster_count() {
+            partial_wins += 1;
+        }
+    }
+    println!(
+        "\nrandom 10-node graphs ({total} comparable): partial fusion needs on average \
+         {:.2} clusters vs {:.2} for direct fusion; strictly fewer in {partial_wins} cases",
+        sum_partial as f64 / total as f64,
+        sum_direct as f64 / total as f64,
+    );
+}

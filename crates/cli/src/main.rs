@@ -1,0 +1,295 @@
+//! `mdfuse` — command-line driver for the mdfusion library.
+//!
+//! ```text
+//! mdfuse analyze  <file>          analyze an MLDG or loop program
+//! mdfuse fuse     <file>          compute + print the fusion plan
+//! mdfuse codegen  <file>          print the fused code (programs only)
+//! mdfuse partial  <file>          partial fusion into row-DOALL clusters
+//! mdfuse explain  <file>          step-by-step derivation of the plan
+//! mdfuse simulate <file> [n] [m]  execute original vs fused and compare
+//! mdfuse dot      <file>          emit Graphviz DOT for the MLDG
+//! mdfuse suite                    run the Section 5 experiment suite
+//! ```
+//!
+//! `<file>` may contain either the MLDG text format (`mldg <name> ...`) or
+//! the loop DSL (`program <name> { ... }`); the format is auto-detected.
+
+use std::process::ExitCode;
+
+use mdf_core::{analyze, plan_fusion, verify_plan};
+use mdf_graph::mldg::Mldg;
+use mdf_ir::ast::Program;
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
+use mdf_sim::check_plan;
+
+/// Parsed input: always a graph, sometimes a runnable program too.
+struct Input {
+    name: String,
+    graph: Mldg,
+    program: Option<Program>,
+}
+
+fn load(source: &str) -> Result<Input, String> {
+    let trimmed = source.trim_start();
+    if trimmed.starts_with("program") {
+        let program = mdf_ir::parse_program(source).map_err(|e| e.to_string())?;
+        let x = extract_mldg(&program).map_err(|e| e.to_string())?;
+        Ok(Input {
+            name: program.name.clone(),
+            graph: x.graph,
+            program: Some(program),
+        })
+    } else {
+        let (graph, name) = mdf_graph::textfmt::parse(source).map_err(|e| e.to_string())?;
+        Ok(Input {
+            name,
+            graph,
+            program: None,
+        })
+    }
+}
+
+fn load_file(path: &str) -> Result<Input, String> {
+    let source =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    load(&source)
+}
+
+fn cmd_analyze(input: &Input) -> Result<String, String> {
+    Ok(analyze(&input.graph, &input.name).render(Some(&input.graph)))
+}
+
+fn cmd_fuse(input: &Input) -> Result<String, String> {
+    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
+    verify_plan(&input.graph, &plan).map_err(|e| format!("verification failed: {e}"))?;
+    let mut out = analyze(&input.graph, &input.name).render(Some(&input.graph));
+    if let Some(p) = &input.program {
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        out.push('\n');
+        out.push_str(&spec.render());
+    }
+    Ok(out)
+}
+
+fn cmd_codegen(input: &Input) -> Result<String, String> {
+    let program = input
+        .program
+        .as_ref()
+        .ok_or("codegen requires a loop program (DSL input)")?;
+    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+    Ok(spec.render())
+}
+
+fn cmd_simulate(input: &Input, n: i64, m: i64) -> Result<String, String> {
+    let program = input
+        .program
+        .as_ref()
+        .ok_or("simulate requires a loop program (DSL input)")?;
+    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
+    let report = check_plan(program, &plan, n, m).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "results identical over i=0..={n}, j=0..={m}\n\
+         synchronizations: {} (original) -> {} (fused)\n\
+         statement instances: {}\n",
+        report.original_barriers, report.fused_barriers, report.stmt_instances
+    ))
+}
+
+fn cmd_partial(input: &Input) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let plan = mdf_core::fuse_partial(&input.graph)
+        .ok_or("no row-parallel clustering exists (negative cycle or zero-x cycle with inner weight)")?;
+    if !mdf_core::verify_partial(&input.graph, &plan) {
+        return Err("internal error: partial plan failed verification".into());
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "partial fusion: {} cluster(s), each row-DOALL; retiming: {}",
+        plan.clusters.len(),
+        plan.retiming.display(&input.graph)
+    )
+    .unwrap();
+    for (i, c) in plan.clusters.iter().enumerate() {
+        let labels: Vec<&str> = c.iter().map(|&n| input.graph.label(n)).collect();
+        writeln!(out, "  cluster {}: {}", i + 1, labels.join(", ")).unwrap();
+    }
+    Ok(out)
+}
+
+fn cmd_explain(input: &Input) -> Result<String, String> {
+    Ok(mdf_core::explain_fusion(&input.graph).render())
+}
+
+fn cmd_dot(input: &Input) -> Result<String, String> {
+    Ok(mdf_graph::dot::to_dot(&input.graph, &input.name))
+}
+
+fn cmd_suite() -> Result<String, String> {
+    let mut out = String::new();
+    for entry in mdf_gen::suite() {
+        let report = analyze(&entry.graph, entry.id);
+        out.push_str(&format!("[{}] {}\n", entry.id, entry.description));
+        out.push_str(&report.render(Some(&entry.graph)));
+        if let Some(p) = &entry.program {
+            let plan = plan_fusion(&entry.graph).map_err(|e| e.to_string())?;
+            let sim = check_plan(p, &plan, 32, 32).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "simulated (33x33): {} -> {} synchronizations, results identical\n",
+                sim.original_barriers, sim.fused_barriers
+            ));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+const USAGE: &str = "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]\n       mdfuse suite";
+
+fn run(args: &[String]) -> Result<String, String> {
+    match args {
+        [cmd] if cmd == "suite" => cmd_suite(),
+        [cmd, path, rest @ ..] => {
+            let input = load_file(path)?;
+            match cmd.as_str() {
+                "analyze" => cmd_analyze(&input),
+                "fuse" => cmd_fuse(&input),
+                "codegen" => cmd_codegen(&input),
+                "partial" => cmd_partial(&input),
+                "explain" => cmd_explain(&input),
+                "dot" => cmd_dot(&input),
+                "simulate" => {
+                    let n = rest
+                        .first()
+                        .map(|s| s.parse::<i64>().map_err(|e| e.to_string()))
+                        .transpose()?
+                        .unwrap_or(32);
+                    let m = rest
+                        .get(1)
+                        .map(|s| s.parse::<i64>().map_err(|e| e.to_string()))
+                        .transpose()?
+                        .unwrap_or(32);
+                    cmd_simulate(&input, n, m)
+                }
+                other => Err(format!("unknown command {other:?}\n{USAGE}")),
+            }
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("mdfuse: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2_DSL: &str = r#"
+        program figure2 {
+            arrays a, b, c, d, e;
+            do i {
+                doall A: j { a[i][j] = e[i-2][j-1]; }
+                doall B: j { b[i][j] = a[i-1][j-1] + a[i-2][j-1]; }
+                doall C: j {
+                    c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1];
+                    d[i][j] = c[i-1][j];
+                }
+                doall D: j { e[i][j] = c[i][j+1]; }
+            }
+        }
+    "#;
+
+    const FIG2_MLDG: &str = "mldg fig2\nnode A\nnode B\nnode C\nnode D\n\
+        edge A -> B : (1,1) (2,1)\nedge B -> C : (0,-2) (0,1)\n\
+        edge C -> D : (0,-1)\nedge A -> C : (0,1)\n\
+        edge D -> A : (2,1)\nedge C -> C : (1,0)\n";
+
+    #[test]
+    fn load_autodetects_both_formats() {
+        let dsl = load(FIG2_DSL).unwrap();
+        assert!(dsl.program.is_some());
+        assert_eq!(dsl.graph.edge_count(), 6);
+        let text = load(FIG2_MLDG).unwrap();
+        assert!(text.program.is_none());
+        assert_eq!(text.graph.edge_count(), 6);
+    }
+
+    #[test]
+    fn analyze_and_fuse_render() {
+        let input = load(FIG2_DSL).unwrap();
+        let a = cmd_analyze(&input).unwrap();
+        assert!(a.contains("full parallel (Alg 4, cyclic)"));
+        let f = cmd_fuse(&input).unwrap();
+        assert!(f.contains("DOALL J"));
+        assert!(f.contains("r(C)=(-1,0)"));
+    }
+
+    #[test]
+    fn codegen_requires_program() {
+        let input = load(FIG2_MLDG).unwrap();
+        assert!(cmd_codegen(&input).is_err());
+        let input = load(FIG2_DSL).unwrap();
+        assert!(cmd_codegen(&input).unwrap().contains("c[I-1][J]"));
+    }
+
+    #[test]
+    fn simulate_reports_sync_reduction() {
+        let input = load(FIG2_DSL).unwrap();
+        let s = cmd_simulate(&input, 10, 10).unwrap();
+        assert!(s.contains("44 (original) -> 12 (fused)"), "{s}");
+    }
+
+    #[test]
+    fn partial_command_reports_clusters() {
+        let input = load(FIG2_DSL).unwrap();
+        let out = cmd_partial(&input).unwrap();
+        assert!(out.contains("1 cluster(s)"), "{out}");
+        assert!(out.contains("A, B, C, D"), "{out}");
+    }
+
+    #[test]
+    fn explain_command_walks_the_derivation() {
+        let input = load(FIG2_DSL).unwrap();
+        let out = cmd_explain(&input).unwrap();
+        assert!(out.contains("Algorithm 4"), "{out}");
+        assert!(out.contains("independent verification"), "{out}");
+    }
+
+    #[test]
+    fn dot_works_for_both() {
+        for src in [FIG2_DSL, FIG2_MLDG] {
+            let input = load(src).unwrap();
+            assert!(cmd_dot(&input).unwrap().starts_with("digraph"));
+        }
+    }
+
+    #[test]
+    fn suite_runs() {
+        let out = cmd_suite().unwrap();
+        for id in ["E1", "E2", "E3", "E4", "E5"] {
+            assert!(out.contains(id), "{out}");
+        }
+        assert!(out.contains("hyperplane"));
+    }
+
+    #[test]
+    fn bad_input_is_reported() {
+        assert!(load("garbage").is_err());
+        assert!(run(&["bogus".into(), "x".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

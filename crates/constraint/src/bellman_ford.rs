@@ -1,0 +1,324 @@
+//! Bellman–Ford over an arbitrary [`Weight`] algebra.
+//!
+//! Instantiated at `W = IVec2` this is exactly the paper's Algorithm 1
+//! ("the two-dimensional Bellman–Ford algorithm"); at `W = i64` it is the
+//! classic algorithm used by phases one and two of Algorithm 4.
+//!
+//! Two entry points:
+//! * [`solve_difference_constraints`] — shortest paths from an *implicit*
+//!   virtual source `v0` connected to every vertex with zero weight
+//!   (Theorem 2.2/2.3). The returned distances are a feasible solution of
+//!   the difference-constraint system, or a [`NegativeCycle`] certificate
+//!   is produced.
+//! * [`shortest_paths_from`] — single-source variant with unreachable
+//!   vertices reported as `None`.
+
+use crate::graph::{ConstraintGraph, NegativeCycle};
+use crate::weight::Weight;
+
+/// Outcome of a difference-constraint solve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Solution<W> {
+    /// The system is feasible; `dist[v]` is the canonical (shortest-path)
+    /// solution, which is the lexicographically largest component-wise
+    /// non-positive solution.
+    Feasible {
+        /// One value per vertex.
+        dist: Vec<W>,
+    },
+    /// The system is infeasible; the cycle certifies it.
+    Infeasible {
+        /// A cycle of negative total weight.
+        cycle: NegativeCycle<W>,
+    },
+}
+
+impl<W: Weight> Solution<W> {
+    /// Unwraps the feasible distances, panicking with the cycle otherwise.
+    pub fn expect_feasible(self, msg: &str) -> Vec<W> {
+        match self {
+            Solution::Feasible { dist } => dist,
+            Solution::Infeasible { cycle } => panic!("{msg}: negative cycle {cycle:?}"),
+        }
+    }
+
+    /// `true` when feasible.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, Solution::Feasible { .. })
+    }
+}
+
+/// Relaxation statistics (exposed for the complexity benchmarks; the
+/// `O(|V||E|)` bound of Section 2.4 shows up directly in `relaxation_rounds`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of full passes over the edge list actually executed.
+    pub rounds: usize,
+    /// Number of successful relaxations.
+    pub relaxations: usize,
+}
+
+/// Solves `x_dst - x_src <= w` for all edges, with every vertex implicitly
+/// reachable from a zero-weight virtual source.
+pub fn solve_difference_constraints<W: Weight>(g: &ConstraintGraph<W>) -> Solution<W> {
+    solve_difference_constraints_with_stats(g).0
+}
+
+/// As [`solve_difference_constraints`], also returning relaxation counters.
+pub fn solve_difference_constraints_with_stats<W: Weight>(
+    g: &ConstraintGraph<W>,
+) -> (Solution<W>, SolveStats) {
+    let n = g.vertex_count();
+    // Virtual source: dist starts at ZERO everywhere, exactly as if v0 had a
+    // zero-weight edge to every vertex (LLOFRA's construction).
+    let mut dist: Vec<W> = vec![W::ZERO; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut stats = SolveStats::default();
+
+    for _round in 0..n {
+        stats.rounds += 1;
+        let mut changed = false;
+        for (eid, e) in g.edges().iter().enumerate() {
+            let candidate = dist[e.src] + e.weight;
+            if candidate < dist[e.dst] {
+                dist[e.dst] = candidate;
+                pred[e.dst] = Some(eid);
+                stats.relaxations += 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            return (Solution::Feasible { dist }, stats);
+        }
+    }
+    // A relaxation occurred in the n-th pass: a negative cycle exists. Run
+    // one more full pass, *applying* the relaxations, and walk back from a
+    // vertex updated in it: such a vertex's predecessor chain is current
+    // all the way (a vertex can only be re-improved via predecessors that
+    // were themselves improved after round one), so following it n steps
+    // provably lands on the cycle.
+    let mut witness = None;
+    for (eid, e) in g.edges().iter().enumerate() {
+        let candidate = dist[e.src] + e.weight;
+        if candidate < dist[e.dst] {
+            dist[e.dst] = candidate;
+            pred[e.dst] = Some(eid);
+            witness = Some(e.dst);
+        }
+    }
+    let start = witness.expect("relaxation in pass n but no improvable edge found");
+    let cycle = extract_cycle(g, &pred, start);
+    (Solution::Infeasible { cycle }, stats)
+}
+
+/// Single-source shortest paths; `None` marks unreachable vertices.
+pub fn shortest_paths_from<W: Weight>(
+    g: &ConstraintGraph<W>,
+    source: usize,
+) -> Result<Vec<Option<W>>, NegativeCycle<W>> {
+    let n = g.vertex_count();
+    let mut dist: Vec<Option<W>> = vec![None; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    dist[source] = Some(W::ZERO);
+
+    for _ in 0..n {
+        let mut changed = false;
+        for (eid, e) in g.edges().iter().enumerate() {
+            let Some(ds) = dist[e.src] else { continue };
+            let candidate = ds + e.weight;
+            if dist[e.dst].is_none_or(|d| candidate < d) {
+                dist[e.dst] = Some(candidate);
+                pred[e.dst] = Some(eid);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(dist);
+        }
+    }
+    // Same witness strategy as the virtual-source solver: apply one more
+    // full pass and extract from a vertex updated in it.
+    let mut witness = None;
+    for (eid, e) in g.edges().iter().enumerate() {
+        let Some(ds) = dist[e.src] else { continue };
+        let candidate = ds + e.weight;
+        if dist[e.dst].is_none_or(|d| candidate < d) {
+            dist[e.dst] = Some(candidate);
+            pred[e.dst] = Some(eid);
+            witness = Some(e.dst);
+        }
+    }
+    let start = witness.expect("relaxation in pass n but no improvable edge found");
+    Err(extract_cycle(g, &pred, start))
+}
+
+/// Walks predecessor links back from `start` (known to be reachable from a
+/// negative cycle) until a vertex repeats, then returns the cycle's edges in
+/// forward order.
+fn extract_cycle<W: Weight>(
+    g: &ConstraintGraph<W>,
+    pred: &[Option<usize>],
+    start: usize,
+) -> NegativeCycle<W> {
+    let n = g.vertex_count();
+    // Step back n times to guarantee we are *on* the cycle, not merely
+    // downstream of it.
+    let mut v = start;
+    for _ in 0..n {
+        let e = pred[v].expect("vertex behind a negative cycle must have a predecessor");
+        v = g.edge(e).src;
+    }
+    // Collect edges around the cycle.
+    let anchor = v;
+    let mut edges_rev = Vec::new();
+    loop {
+        let e = pred[v].expect("cycle vertex must have a predecessor");
+        edges_rev.push(e);
+        v = g.edge(e).src;
+        if v == anchor {
+            break;
+        }
+    }
+    edges_rev.reverse();
+    let total = g.weight_sum(&edges_rev);
+    debug_assert!(total < W::ZERO, "extracted cycle is not negative: {total:?}");
+    NegativeCycle {
+        edges: edges_rev,
+        total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+    use mdf_graph::vec2::IVec2;
+
+    #[test]
+    fn feasible_scalar_system() {
+        // x1 - x0 <= 2, x2 - x1 <= -3, x2 - x0 <= -2
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, -3);
+        g.add_edge(0, 2, -2);
+        let dist = solve_difference_constraints(&g).expect_feasible("test");
+        for e in g.edges() {
+            assert!(dist[e.dst] - dist[e.src] <= e.weight);
+        }
+    }
+
+    #[test]
+    fn infeasible_scalar_system_yields_verified_cycle() {
+        // x1 - x0 <= -1 and x0 - x1 <= 0 implies 0 <= -1: infeasible.
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(2);
+        g.add_edge(0, 1, -1);
+        g.add_edge(1, 0, 0);
+        match solve_difference_constraints(&g) {
+            Solution::Infeasible { cycle } => {
+                assert!(cycle.verify(&g));
+                assert_eq!(cycle.total, -1);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn figure5_constraint_graph_reproduces_paper_retiming() {
+        // The constraint graph of Figure 5 (LLOFRA on Figure 2):
+        // vertices A=0, B=1, C=2, D=3; weights are the δ_L of Figure 2.
+        let mut g: ConstraintGraph<IVec2> = ConstraintGraph::new(4);
+        g.add_edge(0, 1, v2(1, 1)); // A -> B
+        g.add_edge(1, 2, v2(0, -2)); // B -> C
+        g.add_edge(2, 3, v2(0, -1)); // C -> D
+        g.add_edge(0, 2, v2(0, 1)); // A -> C
+        g.add_edge(3, 0, v2(2, 1)); // D -> A
+        g.add_edge(2, 2, v2(1, 0)); // C -> C
+        let dist = solve_difference_constraints(&g).expect_feasible("fig5");
+        // Section 3.3: r(A)=(0,0), r(B)=(0,0), r(C)=(0,-2), r(D)=(0,-3).
+        assert_eq!(dist, vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+    }
+
+    #[test]
+    fn lexicographic_negative_cycle_detected() {
+        let mut g: ConstraintGraph<IVec2> = ConstraintGraph::new(3);
+        g.add_edge(0, 1, v2(0, 5));
+        g.add_edge(1, 2, v2(0, -3));
+        g.add_edge(2, 0, v2(0, -3));
+        match solve_difference_constraints(&g) {
+            Solution::Infeasible { cycle } => {
+                assert!(cycle.verify(&g));
+                assert_eq!(cycle.total, v2(0, -1));
+                assert_eq!(cycle.edges.len(), 3);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_cycle_is_feasible() {
+        // Equality constraints x1 - x0 = 3 encoded as a 0-weight cycle.
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(2);
+        g.add_edge(0, 1, 3);
+        g.add_edge(1, 0, -3);
+        let dist = solve_difference_constraints(&g).expect_feasible("eq");
+        assert_eq!(dist[1] - dist[0], 3);
+    }
+
+    #[test]
+    fn single_source_unreachable_is_none() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(3);
+        g.add_edge(0, 1, 7);
+        let d = shortest_paths_from(&g, 0).unwrap();
+        assert_eq!(d, vec![Some(0), Some(7), None]);
+    }
+
+    #[test]
+    fn single_source_negative_cycle() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(3);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 2, -2);
+        g.add_edge(2, 1, 1);
+        let err = shortest_paths_from(&g, 0).unwrap_err();
+        assert!(err.verify(&g));
+        assert_eq!(err.total, -1);
+    }
+
+    #[test]
+    fn negative_cycle_not_reachable_from_source_is_ignored() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(4);
+        g.add_edge(0, 1, 5);
+        g.add_edge(2, 3, -1);
+        g.add_edge(3, 2, 0);
+        // From source 0 the negative cycle {2,3} is unreachable.
+        let d = shortest_paths_from(&g, 0).unwrap();
+        assert_eq!(d[1], Some(5));
+        assert_eq!(d[2], None);
+        // But the virtual-source solve must reject it.
+        assert!(!solve_difference_constraints(&g).is_feasible());
+    }
+
+    #[test]
+    fn stats_reflect_early_exit() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(5);
+        for v in 0..4 {
+            g.add_edge(v, v + 1, -1);
+        }
+        let (sol, stats) = solve_difference_constraints_with_stats(&g);
+        assert!(sol.is_feasible());
+        assert!(stats.rounds <= 5);
+        assert!(stats.relaxations >= 4);
+    }
+
+    #[test]
+    fn self_loop_negative_is_infeasible() {
+        let mut g: ConstraintGraph<IVec2> = ConstraintGraph::new(1);
+        g.add_edge(0, 0, v2(0, -1));
+        match solve_difference_constraints(&g) {
+            Solution::Infeasible { cycle } => {
+                assert_eq!(cycle.edges.len(), 1);
+                assert!(cycle.verify(&g));
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+}

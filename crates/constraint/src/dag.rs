@@ -1,0 +1,71 @@
+//! Shortest paths on acyclic constraint graphs by one relaxation sweep in
+//! topological order — `O(|V| + |E|)`.
+//!
+//! Theorem 4.1's constraint graph is acyclic whenever the input 2LDG is
+//! (adding the virtual source cannot create cycles), so Algorithm 3 can use
+//! this instead of full Bellman–Ford. The `bench_ablation` benchmark
+//! measures the difference.
+
+use crate::graph::ConstraintGraph;
+use crate::weight::Weight;
+
+/// Solves the difference-constraint system (implicit zero-weight virtual
+/// source) on an acyclic graph. Returns `None` when the graph has a cycle —
+/// callers should then fall back to Bellman–Ford.
+pub fn solve_difference_constraints_dag<W: Weight>(g: &ConstraintGraph<W>) -> Option<Vec<W>> {
+    let order = g.topological_order()?;
+    let mut dist: Vec<W> = vec![W::ZERO; g.vertex_count()];
+    for &u in &order {
+        for &eid in g.out_edges(u) {
+            let e = g.edge(eid);
+            let candidate = dist[u] + e.weight;
+            if candidate < dist[e.dst] {
+                dist[e.dst] = candidate;
+            }
+        }
+    }
+    Some(dist)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bellman_ford::solve_difference_constraints;
+    use mdf_graph::v2;
+    use mdf_graph::vec2::IVec2;
+
+    #[test]
+    fn matches_bellman_ford_on_figure8_style_dag() {
+        // Weights δ_L - (1,-1) as built by Algorithm 3 for Figure 8.
+        let (a, b, c, d, e, f, gg) = (0, 1, 2, 3, 4, 5, 6);
+        let mut g: ConstraintGraph<IVec2> = ConstraintGraph::new(7);
+        g.add_edge(a, b, v2(0, 1) - v2(1, -1));
+        g.add_edge(b, c, v2(0, -2) - v2(1, -1));
+        g.add_edge(c, d, v2(1, 3) - v2(1, -1));
+        g.add_edge(d, e, v2(2, -2) - v2(1, -1));
+        g.add_edge(b, f, v2(0, -2) - v2(1, -1));
+        g.add_edge(f, gg, v2(1, 2) - v2(1, -1));
+        g.add_edge(b, e, v2(1, 2) - v2(1, -1));
+        g.add_edge(a, d, v2(0, -3) - v2(1, -1));
+        let via_dag = solve_difference_constraints_dag(&g).expect("acyclic");
+        let via_bf = solve_difference_constraints(&g).expect_feasible("bf");
+        assert_eq!(via_dag, via_bf);
+        // First components must match the paper's Figure 10 retiming.
+        let xs: Vec<i64> = via_dag.iter().map(|v| v.x).collect();
+        assert_eq!(xs, vec![0, -1, -2, -2, -1, -2, -2]);
+    }
+
+    #[test]
+    fn returns_none_on_cycles() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(2);
+        g.add_edge(0, 1, 1);
+        g.add_edge(1, 0, 1);
+        assert!(solve_difference_constraints_dag(&g).is_none());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g: ConstraintGraph<i64> = ConstraintGraph::new(3);
+        assert_eq!(solve_difference_constraints_dag(&g), Some(vec![0, 0, 0]));
+    }
+}

@@ -1,0 +1,118 @@
+//! SPFA (queue-based Bellman–Ford).
+//!
+//! Same asymptotic worst case as the classic edge-list scan, but on the
+//! sparse constraint graphs produced by MLDGs it typically touches far
+//! fewer edges. Provided as an alternative engine for LLOFRA; the
+//! `bench_ablation` benchmark compares the two.
+//!
+//! Negative cycles are detected by tracking the edge count of each
+//! tentative shortest path (`len[v] >= n` is impossible without a negative
+//! cycle, since simple paths have at most `n - 1` edges). The infeasibility
+//! *certificate* is then extracted by re-running the classic engine, whose
+//! predecessor structure after `n` full passes is guaranteed to contain the
+//! cycle; SPFA predecessor chains can be stale mid-run and are not safe to
+//! walk.
+
+use std::collections::VecDeque;
+
+use crate::bellman_ford::{solve_difference_constraints, Solution};
+use crate::graph::ConstraintGraph;
+use crate::weight::Weight;
+
+/// Solves the difference-constraint system with an implicit zero-weight
+/// virtual source, using SPFA. Semantically identical to
+/// [`solve_difference_constraints`].
+pub fn solve_difference_constraints_spfa<W: Weight>(g: &ConstraintGraph<W>) -> Solution<W> {
+    let n = g.vertex_count();
+    let mut dist: Vec<W> = vec![W::ZERO; n];
+    let mut len = vec![0usize; n];
+    let mut in_queue = vec![true; n];
+    let mut queue: VecDeque<usize> = (0..n).collect();
+
+    while let Some(u) = queue.pop_front() {
+        in_queue[u] = false;
+        for &eid in g.out_edges(u) {
+            let e = g.edge(eid);
+            let candidate = dist[u] + e.weight;
+            if candidate < dist[e.dst] {
+                dist[e.dst] = candidate;
+                len[e.dst] = len[u] + 1;
+                if len[e.dst] >= n {
+                    // A tentative shortest path with >= n edges exists only
+                    // when a negative cycle does; get the certificate from
+                    // the classic engine.
+                    let sol = solve_difference_constraints(g);
+                    debug_assert!(!sol.is_feasible());
+                    return sol;
+                }
+                if !in_queue[e.dst] {
+                    in_queue[e.dst] = true;
+                    queue.push_back(e.dst);
+                }
+            }
+        }
+    }
+    Solution::Feasible { dist }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+    use mdf_graph::vec2::IVec2;
+
+    #[test]
+    fn agrees_with_bellman_ford_on_feasible_system() {
+        let mut g: ConstraintGraph<IVec2> = ConstraintGraph::new(4);
+        g.add_edge(0, 1, v2(1, 1));
+        g.add_edge(1, 2, v2(0, -2));
+        g.add_edge(2, 3, v2(0, -1));
+        g.add_edge(0, 2, v2(0, 1));
+        g.add_edge(3, 0, v2(2, 1));
+        g.add_edge(2, 2, v2(1, 0));
+        let a = solve_difference_constraints(&g).expect_feasible("bf");
+        let b = solve_difference_constraints_spfa(&g).expect_feasible("spfa");
+        // Both compute shortest paths from the virtual source, which are
+        // unique values (not just any feasible solution).
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detects_negative_cycle() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(3);
+        g.add_edge(0, 1, 2);
+        g.add_edge(1, 2, -4);
+        g.add_edge(2, 1, 3);
+        match solve_difference_constraints_spfa(&g) {
+            Solution::Infeasible { cycle } => {
+                assert!(cycle.verify(&g));
+                assert_eq!(cycle.total, -1);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_negative_self_loop() {
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(2);
+        g.add_edge(1, 1, -1);
+        assert!(!solve_difference_constraints_spfa(&g).is_feasible());
+    }
+
+    #[test]
+    fn long_negative_chain_is_feasible() {
+        // Long chains of negative edges are fine; only cycles are not.
+        let mut g: ConstraintGraph<i64> = ConstraintGraph::new(64);
+        for v in 0..63 {
+            g.add_edge(v, v + 1, -1);
+        }
+        let dist = solve_difference_constraints_spfa(&g).expect_feasible("chain");
+        assert_eq!(dist[63], -63);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: ConstraintGraph<i64> = ConstraintGraph::new(0);
+        assert!(solve_difference_constraints_spfa(&g).is_feasible());
+    }
+}

@@ -1,0 +1,224 @@
+//! High-level difference-constraint systems ("Problem ILP" / "Problem
+//! 2-ILP" of Section 2.4).
+//!
+//! A [`DifferenceSystem`] accumulates constraints of the form
+//! `x_j - x_i <= w` (and equalities, encoded as opposing inequalities),
+//! lowers them onto a [`ConstraintGraph`] and solves with a selectable
+//! engine. Feasibility follows Theorems 2.2/2.3: the system has a solution
+//! iff the constraint graph has no cycle of (lexicographically) negative
+//! weight, and shortest distances from the virtual source are a solution.
+
+use crate::bellman_ford::{solve_difference_constraints, Solution};
+use crate::dag::solve_difference_constraints_dag;
+use crate::graph::{ConstraintGraph, NegativeCycle};
+use crate::scc::solve_difference_constraints_scc;
+use crate::spfa::solve_difference_constraints_spfa;
+use crate::weight::Weight;
+
+/// Which shortest-path engine to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Classic edge-list Bellman–Ford (the paper's Algorithm 1).
+    #[default]
+    BellmanFord,
+    /// Queue-based Bellman–Ford.
+    Spfa,
+    /// Topological-order sweep; falls back to Bellman–Ford when the
+    /// constraint graph turns out to be cyclic.
+    DagOrBellmanFord,
+    /// Strongly-connected-component decomposition: Bellman–Ford per SCC in
+    /// topological order.
+    SccDecomposed,
+}
+
+/// A system of difference constraints over `n` variables.
+///
+/// ```
+/// use mdf_constraint::{DifferenceSystem, Engine};
+/// use mdf_graph::v2;
+///
+/// // The paper's 2-ILP: vector unknowns under the lexicographic order.
+/// let mut sys = DifferenceSystem::new(2);
+/// sys.add_le(1, 0, v2(0, -2)); // r1 - r0 <= (0,-2)
+/// sys.add_le(0, 1, v2(1, 0));  // r0 - r1 <= (1,0)
+/// let r = sys.solve(Engine::BellmanFord).unwrap();
+/// assert!(r[1] - r[0] <= v2(0, -2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DifferenceSystem<W> {
+    graph: ConstraintGraph<W>,
+}
+
+/// Infeasibility witness: the constraint indices (edge ids) of a negative
+/// cycle in the lowered graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Infeasible<W> {
+    /// The offending cycle.
+    pub cycle: NegativeCycle<W>,
+}
+
+impl<W: Weight> DifferenceSystem<W> {
+    /// Creates a system with `variables` unknowns `x_0 .. x_{n-1}`.
+    pub fn new(variables: usize) -> Self {
+        DifferenceSystem {
+            graph: ConstraintGraph::new(variables),
+        }
+    }
+
+    /// Adds `x_j - x_i <= w`; returns the constraint's edge index.
+    pub fn add_le(&mut self, j: usize, i: usize, w: W) -> usize {
+        self.graph.add_edge(i, j, w)
+    }
+
+    /// Adds `x_j - x_i == w` (two opposing inequalities).
+    pub fn add_eq(&mut self, j: usize, i: usize, w: W) {
+        self.graph.add_edge(i, j, w);
+        self.graph.add_edge(j, i, -w);
+    }
+
+    /// Number of variables.
+    pub fn variables(&self) -> usize {
+        self.graph.vertex_count()
+    }
+
+    /// Number of constraints (edges).
+    pub fn constraints(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Read-only access to the lowered constraint graph.
+    pub fn graph(&self) -> &ConstraintGraph<W> {
+        &self.graph
+    }
+
+    /// Solves the system with the requested engine. On success the returned
+    /// assignment satisfies every constraint (asserted in debug builds).
+    pub fn solve(&self, engine: Engine) -> Result<Vec<W>, Infeasible<W>> {
+        let solution = match engine {
+            Engine::BellmanFord => solve_difference_constraints(&self.graph),
+            Engine::Spfa => solve_difference_constraints_spfa(&self.graph),
+            Engine::DagOrBellmanFord => match solve_difference_constraints_dag(&self.graph) {
+                Some(dist) => Solution::Feasible { dist },
+                None => solve_difference_constraints(&self.graph),
+            },
+            Engine::SccDecomposed => solve_difference_constraints_scc(&self.graph),
+        };
+        match solution {
+            Solution::Feasible { dist } => {
+                debug_assert!(self.check(&dist), "engine produced an invalid solution");
+                Ok(dist)
+            }
+            Solution::Infeasible { cycle } => Err(Infeasible { cycle }),
+        }
+    }
+
+    /// Verifies an assignment against every constraint.
+    pub fn check(&self, assignment: &[W]) -> bool {
+        assignment.len() == self.variables()
+            && self
+                .graph
+                .edges()
+                .iter()
+                .all(|e| assignment[e.dst] - assignment[e.src] <= e.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+    use mdf_graph::vec2::IVec2;
+    use proptest::prelude::*;
+
+    #[test]
+    fn equalities_are_honored() {
+        let mut sys: DifferenceSystem<i64> = DifferenceSystem::new(3);
+        sys.add_eq(1, 0, 4);
+        sys.add_le(2, 1, -1);
+        let x = sys.solve(Engine::BellmanFord).unwrap();
+        assert_eq!(x[1] - x[0], 4);
+        assert!(x[2] - x[1] <= -1);
+        assert!(sys.check(&x));
+    }
+
+    #[test]
+    fn contradictory_equalities_rejected() {
+        let mut sys: DifferenceSystem<i64> = DifferenceSystem::new(2);
+        sys.add_eq(1, 0, 4);
+        sys.add_eq(1, 0, 5);
+        let err = sys.solve(Engine::Spfa).unwrap_err();
+        assert!(err.cycle.verify(sys.graph()));
+    }
+
+    #[test]
+    fn all_engines_agree_on_2ilp() {
+        let mut sys: DifferenceSystem<IVec2> = DifferenceSystem::new(4);
+        sys.add_le(1, 0, v2(1, 1));
+        sys.add_le(2, 1, v2(0, -2));
+        sys.add_le(3, 2, v2(0, -1));
+        sys.add_le(2, 0, v2(0, 1));
+        sys.add_le(0, 3, v2(2, 1));
+        let bf = sys.solve(Engine::BellmanFord).unwrap();
+        let spfa = sys.solve(Engine::Spfa).unwrap();
+        let dag = sys.solve(Engine::DagOrBellmanFord).unwrap();
+        assert_eq!(bf, spfa);
+        // The system is cyclic, so DagOrBellmanFord falls back and agrees.
+        assert_eq!(bf, dag);
+    }
+
+    proptest! {
+        /// Random scalar systems: engines agree on feasibility, and any
+        /// feasible solution passes `check`.
+        #[test]
+        fn engines_agree_on_random_systems(
+            n in 1usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, -10i64..10), 0..24)
+        ) {
+            let mut sys: DifferenceSystem<i64> = DifferenceSystem::new(n);
+            for (i, j, w) in edges {
+                sys.add_le(j % n, i % n, w);
+            }
+            let bf = sys.solve(Engine::BellmanFord);
+            let spfa = sys.solve(Engine::Spfa);
+            let dag = sys.solve(Engine::DagOrBellmanFord);
+            let scc = sys.solve(Engine::SccDecomposed);
+            prop_assert_eq!(bf.is_ok(), spfa.is_ok());
+            prop_assert_eq!(bf.is_ok(), dag.is_ok());
+            prop_assert_eq!(bf.is_ok(), scc.is_ok());
+            if let (Ok(a), Ok(b)) = (&bf, &scc) {
+                prop_assert_eq!(a, b);
+            }
+            if let Ok(x) = &bf {
+                prop_assert!(sys.check(x));
+            }
+            if let Ok(x) = &spfa {
+                prop_assert!(sys.check(x));
+            }
+            if let Ok(x) = &dag {
+                prop_assert!(sys.check(x));
+            }
+            if let Err(inf) = &bf {
+                prop_assert!(inf.cycle.verify(sys.graph()));
+            }
+        }
+
+        /// Random 2-D systems agree with the Floyd–Warshall oracle.
+        #[test]
+        fn bellman_ford_matches_floyd_oracle(
+            n in 1usize..7,
+            edges in proptest::collection::vec(
+                (0usize..7, 0usize..7, -4i64..5, -4i64..5), 0..20)
+        ) {
+            let mut sys: DifferenceSystem<IVec2> = DifferenceSystem::new(n);
+            for (i, j, x, y) in edges {
+                sys.add_le(j % n, i % n, v2(x, y));
+            }
+            let bf = sys.solve(Engine::BellmanFord);
+            let fw = crate::floyd::solve_difference_constraints_floyd(sys.graph());
+            prop_assert_eq!(bf.is_ok(), fw.is_ok());
+            if let (Ok(a), Ok(b)) = (bf, fw) {
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+}

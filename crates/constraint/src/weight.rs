@@ -1,0 +1,84 @@
+//! The weight algebra for shortest-path computations.
+//!
+//! The paper solves its retiming problems with two instantiations of the
+//! Bellman–Ford algorithm: classic scalar weights (`i64`, used by the two
+//! per-coordinate phases of Algorithm 4) and lexicographically ordered
+//! vector weights (`IVec2`, used by Algorithm 1 / the 2-ILP model of
+//! Section 2.4). Both are *linearly ordered abelian groups*: a total order
+//! compatible with addition (`a <= b` implies `a + c <= b + c`). That is
+//! exactly the property Bellman–Ford relaxation needs, so the solver is
+//! written once against this trait.
+
+use std::fmt::Debug;
+use std::ops::{Add, Neg, Sub};
+
+use mdf_graph::nvec::IVecN;
+use mdf_graph::vec2::IVec2;
+
+/// A linearly ordered abelian group: the algebra of edge weights.
+///
+/// Laws (checked by property tests in this crate):
+/// * `Ord` is a total order;
+/// * `(+, ZERO, -)` is an abelian group;
+/// * translation invariance: `a <= b` implies `a + c <= b + c`.
+pub trait Weight:
+    Copy + Ord + Eq + Debug + Add<Output = Self> + Sub<Output = Self> + Neg<Output = Self>
+{
+    /// The additive identity.
+    const ZERO: Self;
+}
+
+impl Weight for i64 {
+    const ZERO: i64 = 0;
+}
+
+impl Weight for IVec2 {
+    const ZERO: IVec2 = IVec2::ZERO;
+}
+
+impl<const N: usize> Weight for IVecN<N> {
+    const ZERO: IVecN<N> = IVecN::ZERO;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+
+    fn check_group_laws<W: Weight>(samples: &[W]) {
+        for &a in samples {
+            assert_eq!(a + W::ZERO, a);
+            assert_eq!(a + -a, W::ZERO);
+            for &b in samples {
+                assert_eq!(a + b, b + a);
+                for &c in samples {
+                    assert_eq!((a + b) + c, a + (b + c));
+                    if a <= b {
+                        assert!(a + c <= b + c, "translation invariance");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i64_is_a_weight() {
+        check_group_laws::<i64>(&[-3, 0, 1, 7, -100]);
+    }
+
+    #[test]
+    fn ivec2_is_a_weight() {
+        check_group_laws::<IVec2>(&[v2(0, 0), v2(1, -1), v2(-2, 5), v2(0, -3), v2(3, 3)]);
+    }
+
+    #[test]
+    fn ivecn_is_a_weight() {
+        use mdf_graph::nvec::vn;
+        check_group_laws::<IVecN<3>>(&[
+            vn([0, 0, 0]),
+            vn([1, -1, 2]),
+            vn([-2, 5, 0]),
+            vn([0, 0, -3]),
+        ]);
+    }
+}

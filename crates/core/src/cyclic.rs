@@ -1,0 +1,235 @@
+//! Algorithm 4: legal loop fusion with full parallelism for *cyclic*
+//! 2LDGs (Theorem 4.2).
+//!
+//! The retiming is computed in two scalar phases:
+//!
+//! * **Phase one (x):** solve `r_x(v) - r_x(u) <= δ_L(e).x - 1` for hard
+//!   edges and `<= δ_L(e).x` otherwise (Figure 11(a)). Hard edges then end
+//!   up with retimed first coordinate `>= 1` — they can never be made
+//!   loop-independent, because two of their dependence vectors would need
+//!   different second-coordinate adjustments.
+//! * **Phase two (y):** every non-hard edge whose phase-one retimed first
+//!   coordinate is zero must become exactly `(0,0)`, giving *equality*
+//!   constraints `r_y(v) - r_y(u) = δ_L(e).y`, encoded as opposing
+//!   inequalities (Figure 11(b)).
+//!
+//! Theorem 4.2: a DOALL-after-fusion retiming exists iff both constraint
+//! graphs are free of negative cycles.
+
+use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_graph::mldg::{EdgeId, Mldg};
+use mdf_graph::vec2::IVec2;
+use mdf_retime::Retiming;
+
+/// Why Algorithm 4 failed (Theorem 4.2's two conditions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CyclicFusionError {
+    /// The constraint graph in `x` has a negative cycle: some cycle of the
+    /// 2LDG has too little outer-loop weight to absorb its hard edges.
+    PhaseX {
+        /// MLDG edges of the offending cycle.
+        cycle: Vec<EdgeId>,
+        /// Cycle weight in the x constraint graph (negative).
+        weight: i64,
+    },
+    /// The constraint graph in `y` has a negative cycle: the equality
+    /// alignment of the same-iteration component is contradictory.
+    PhaseY {
+        /// Cycle weight in the y constraint graph (negative).
+        weight: i64,
+    },
+}
+
+impl std::fmt::Display for CyclicFusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CyclicFusionError::PhaseX { cycle, weight } => write!(
+                f,
+                "x-phase infeasible: cycle {cycle:?} weighs {weight} after hard-edge discounts"
+            ),
+            CyclicFusionError::PhaseY { weight } => {
+                write!(f, "y-phase infeasible: alignment cycle weighs {weight}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CyclicFusionError {}
+
+/// Builds the phase-one ("in x") difference system: one scalar variable per
+/// node; constraint indices equal MLDG edge indices.
+pub fn build_x_system(g: &Mldg) -> DifferenceSystem<i64> {
+    let mut sys = DifferenceSystem::new(g.node_count());
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let discount = if g.is_hard(e) { 1 } else { 0 };
+        sys.add_le(ed.dst.index(), ed.src.index(), g.delta(e).x - discount);
+    }
+    sys
+}
+
+/// Builds the phase-two ("in y") difference system given the phase-one
+/// solution: equality constraints for every non-hard edge that is
+/// loop-independent in x after phase one.
+pub fn build_y_system(g: &Mldg, rx: &[i64]) -> DifferenceSystem<i64> {
+    let mut sys = DifferenceSystem::new(g.node_count());
+    for e in g.edge_ids() {
+        if g.is_hard(e) {
+            continue;
+        }
+        let ed = g.edge(e);
+        if g.delta(e).x + rx[ed.src.index()] - rx[ed.dst.index()] == 0 {
+            sys.add_eq(ed.dst.index(), ed.src.index(), g.delta(e).y);
+        }
+    }
+    sys
+}
+
+/// Runs Algorithm 4 with the default Bellman–Ford engine.
+pub fn fuse_cyclic(g: &Mldg) -> Result<Retiming, CyclicFusionError> {
+    fuse_cyclic_with_engine(g, Engine::BellmanFord)
+}
+
+/// Runs Algorithm 4 with a caller-selected engine.
+pub fn fuse_cyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, CyclicFusionError> {
+    // PHASE ONE: first components.
+    let x_sys = build_x_system(g);
+    let rx = x_sys.solve(engine).map_err(|inf| {
+        // Constraint indices equal MLDG edge indices in build_x_system.
+        CyclicFusionError::PhaseX {
+            cycle: inf
+                .cycle
+                .edges
+                .iter()
+                .map(|&i| EdgeId(i as u32))
+                .collect(),
+            weight: inf.cycle.total,
+        }
+    })?;
+
+    // PHASE TWO: second components.
+    let y_sys = build_y_system(g, &rx);
+    let ry = y_sys
+        .solve(engine)
+        .map_err(|inf| CyclicFusionError::PhaseY {
+            weight: inf.cycle.total,
+        })?;
+
+    // PHASE THREE: combine.
+    let offsets = rx
+        .into_iter()
+        .zip(ry)
+        .map(|(x, y)| IVec2::new(x, y))
+        .collect();
+    Ok(Retiming::from_offsets(offsets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::legality::fused_inner_loop_is_doall;
+    use mdf_graph::paper::{figure14, figure2};
+    use mdf_graph::v2;
+    use mdf_retime::{
+        apply_retiming, check_fusion_legal, check_inner_doall, check_retiming_consistency,
+    };
+
+    #[test]
+    fn figure2_reproduces_figure12_retiming() {
+        let g = figure2();
+        let r = fuse_cyclic(&g).unwrap();
+        // Section 4.3: r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1).
+        assert_eq!(
+            r.offsets(),
+            &[v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]
+        );
+        let gr = apply_retiming(&g, &r);
+        assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
+        assert_eq!(check_fusion_legal(&gr), Ok(()));
+        assert_eq!(check_inner_doall(&gr), Ok(()));
+        assert!(fused_inner_loop_is_doall(&gr));
+    }
+
+    #[test]
+    fn figure2_x_constraint_graph_matches_figure11a() {
+        // Figure 11(a): hard edge B->C discounted to -1; all other weights
+        // are the first coordinates of δ_L.
+        let g = figure2();
+        let sys = build_x_system(&g);
+        let weights: Vec<i64> = sys.graph().edges().iter().map(|e| e.weight).collect();
+        // Edge insertion order: A->B, B->C, C->D, A->C, D->A, C->C.
+        assert_eq!(weights, vec![1, -1, 0, 0, 2, 1]);
+    }
+
+    #[test]
+    fn figure2_y_constraint_graph_matches_figure11b() {
+        let g = figure2();
+        let rx = vec![0, 0, -1, -1];
+        let sys = build_y_system(&g, &rx);
+        // Only C->D qualifies (non-hard, x-weight 0 after phase one):
+        // equality encoded as two edges with weights -1 and +1.
+        assert_eq!(sys.constraints(), 2);
+        let ws: Vec<i64> = sys.graph().edges().iter().map(|e| e.weight).collect();
+        assert_eq!(ws, vec![-1, 1]);
+    }
+
+    #[test]
+    fn figure14_fails_phase_x() {
+        // Figure 14 needs the hyperplane method: the cycle B->C->D->E->B has
+        // zero outer weight but contains the hard edges B->C and C->D, so
+        // the x system demands sum <= -2 around a cycle.
+        let g = figure14();
+        match fuse_cyclic(&g) {
+            Err(CyclicFusionError::PhaseX { cycle, weight }) => {
+                assert!(weight < 0);
+                assert!(!cycle.is_empty());
+                // The witness must be a real cycle of the MLDG whose
+                // x-weight minus hard-edge discounts equals `weight`.
+                let mut w = 0;
+                for &e in &cycle {
+                    w += g.delta(e).x - if g.is_hard(e) { 1 } else { 0 };
+                }
+                assert_eq!(w, weight);
+            }
+            other => panic!("expected PhaseX failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn phase_y_failure_case() {
+        // Two same-iteration paths from A to B demanding different
+        // alignments: A->B directly with (0,2) and via C with (0,0)+(0,1).
+        // All edges are non-hard and loop-independent in x, so phase two
+        // requires y(B)-y(A) = 2 and y(B)-y(A) = 1 simultaneously.
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_dep(a, b, (0, 2));
+        g.add_dep(a, c, (0, 0));
+        g.add_dep(c, b, (0, 1));
+        match fuse_cyclic(&g) {
+            Err(CyclicFusionError::PhaseY { weight }) => assert!(weight < 0),
+            other => panic!("expected PhaseY failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_figure2() {
+        let g = figure2();
+        let a = fuse_cyclic_with_engine(&g, Engine::BellmanFord).unwrap();
+        let b = fuse_cyclic_with_engine(&g, Engine::Spfa).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn acyclic_graphs_also_work() {
+        // Algorithm 4 generalizes Algorithm 3's feasibility on DAGs (though
+        // it only forces hard edges across iterations, not every edge).
+        let g = mdf_graph::paper::figure8();
+        let r = fuse_cyclic(&g).unwrap();
+        let gr = apply_retiming(&g, &r);
+        assert_eq!(check_fusion_legal(&gr), Ok(()));
+        assert_eq!(check_inner_doall(&gr), Ok(()));
+    }
+}

@@ -1,0 +1,187 @@
+//! LLOFRA — the Legal LOop Fusion Retiming Algorithm (Algorithm 2,
+//! Theorem 3.2).
+//!
+//! Finds a retiming `r` with `δ_r(e) >= (0,0)` for every edge, making loop
+//! fusion legal (Theorem 3.1). The inequality system
+//! `r(v_j) - r(v_i) <= δ_L(e)` is lowered to a constraint graph with a
+//! virtual source (Figure 5) and solved with the two-dimensional
+//! Bellman–Ford algorithm. Infeasibility — impossible for any 2LDG whose
+//! cycles all weigh at least `(0,0)` — is reported with the offending
+//! cycle.
+
+use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_graph::mldg::{EdgeId, Mldg};
+use mdf_graph::vec2::IVec2;
+use mdf_retime::Retiming;
+
+/// Why a fusion algorithm failed on this input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusionError {
+    /// The constraint system is infeasible; the cycle (as MLDG edges) and
+    /// its weight certify it. For LLOFRA the weight is the actual cycle
+    /// weight `δ_L(c) < (0,0)`; for the full-parallelism algorithms it is
+    /// the weight in the *modified* constraint graph.
+    Infeasible {
+        /// Edges of the negative cycle, in traversal order.
+        cycle: Vec<EdgeId>,
+        /// The cycle's (negative) weight in the constraint graph.
+        weight: IVec2,
+    },
+    /// The algorithm requires an acyclic 2LDG but the input has a cycle.
+    NotAcyclic,
+}
+
+impl std::fmt::Display for FusionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusionError::Infeasible { cycle, weight } => write!(
+                f,
+                "constraint system infeasible: cycle {cycle:?} has weight {weight}"
+            ),
+            FusionError::NotAcyclic => write!(f, "algorithm requires an acyclic 2LDG"),
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
+
+/// Builds LLOFRA's 2-ILP system: one `IVec2` variable per node, one
+/// constraint `r(v) - r(u) <= δ_L(e)` per edge. Constraint indices equal
+/// MLDG edge indices, which lets infeasibility cycles map back directly.
+pub fn build_llofra_system(g: &Mldg) -> DifferenceSystem<IVec2> {
+    let mut sys = DifferenceSystem::new(g.node_count());
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let idx = sys.add_le(ed.dst.index(), ed.src.index(), g.delta(e));
+        debug_assert_eq!(idx, e.index());
+    }
+    sys
+}
+
+/// Runs LLOFRA with the default Bellman–Ford engine.
+///
+/// ```
+/// use mdf_core::llofra;
+/// use mdf_graph::{paper::figure2, v2};
+///
+/// // Figure 2's 2LDG has fusion-preventing dependences; LLOFRA finds the
+/// // retiming of the paper's Section 3.3.
+/// let r = llofra(&figure2()).unwrap();
+/// assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+/// ```
+pub fn llofra(g: &Mldg) -> Result<Retiming, FusionError> {
+    llofra_with_engine(g, Engine::BellmanFord)
+}
+
+/// Runs LLOFRA with a caller-selected constraint engine (used by the
+/// ablation benchmarks; all engines return the same canonical retiming).
+pub fn llofra_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, FusionError> {
+    let sys = build_llofra_system(g);
+    match sys.solve(engine) {
+        Ok(offsets) => Ok(Retiming::from_offsets(offsets)),
+        Err(inf) => Err(FusionError::Infeasible {
+            cycle: inf.cycle.edges.iter().map(|&i| EdgeId(i as u32)).collect(),
+            weight: inf.cycle.total,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::{figure14, figure2};
+    use mdf_graph::v2;
+    use mdf_retime::{apply_retiming, check_fusion_legal, check_retiming_consistency};
+
+    #[test]
+    fn figure2_reproduces_section_3_3_retiming() {
+        let g = figure2();
+        let r = llofra(&g).unwrap();
+        // Section 3.3: r(A)=(0,0), r(B)=(0,0), r(C)=(0,-2), r(D)=(0,-3).
+        assert_eq!(
+            r.offsets(),
+            &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]
+        );
+        let gr = apply_retiming(&g, &r);
+        assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
+        assert_eq!(check_fusion_legal(&gr), Ok(()));
+    }
+
+    #[test]
+    fn figure6_retimed_weights() {
+        // Figure 6(a) shows the retimed 2LDG: A->B (1,1), B->C (0,0),
+        // C->D (0,0), A->C (0,3), D->A (2,-2), C->C (1,0).
+        let g = figure2();
+        let r = llofra(&g).unwrap();
+        let gr = apply_retiming(&g, &r);
+        let id = |s: &str| gr.node_by_label(s).unwrap();
+        let dd = |a: &str, b: &str| gr.delta(gr.edge_between(id(a), id(b)).unwrap());
+        assert_eq!(dd("A", "B"), v2(1, 1));
+        assert_eq!(dd("B", "C"), v2(0, 0));
+        assert_eq!(dd("C", "D"), v2(0, 0));
+        assert_eq!(dd("A", "C"), v2(0, 3));
+        assert_eq!(dd("D", "A"), v2(2, -2));
+        assert_eq!(dd("C", "C"), v2(1, 0));
+    }
+
+    #[test]
+    fn figure14_reproduces_section_4_4_retiming() {
+        let g = figure14();
+        let r = llofra(&g).unwrap();
+        assert_eq!(
+            r.offsets(),
+            &[
+                v2(0, 0),
+                v2(0, -4),
+                v2(0, -6),
+                v2(0, -3),
+                v2(0, -5),
+                v2(0, -6),
+                v2(0, 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn all_engines_agree() {
+        let g = figure14();
+        let bf = llofra_with_engine(&g, Engine::BellmanFord).unwrap();
+        let spfa = llofra_with_engine(&g, Engine::Spfa).unwrap();
+        let dag = llofra_with_engine(&g, Engine::DagOrBellmanFord).unwrap();
+        let scc = llofra_with_engine(&g, Engine::SccDecomposed).unwrap();
+        assert_eq!(bf, spfa);
+        assert_eq!(bf, dag);
+        assert_eq!(bf, scc);
+    }
+
+    #[test]
+    fn negative_cycle_reported_with_witness() {
+        // A graph violating the legality hypothesis: cycle weight (0,-1).
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, -2));
+        g.add_dep(b, a, (0, 1));
+        match llofra(&g) {
+            Err(FusionError::Infeasible { cycle, weight }) => {
+                assert_eq!(weight, v2(0, -1));
+                assert_eq!(cycle.len(), 2);
+                assert_eq!(g.delta_sum(&cycle), v2(0, -1));
+            }
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn already_legal_graph_gets_identity_like_retiming() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, 2));
+        g.add_dep(b, a, (1, 0));
+        let r = llofra(&g).unwrap();
+        // δ_r must be >= (0,0); with nothing negative, shortest paths from
+        // the virtual source are all (0,0).
+        assert!(r.is_identity());
+    }
+}

@@ -1,0 +1,257 @@
+//! `N`-dimensional legal loop fusion — the direct generalization of
+//! LLOFRA (Algorithm 2) to loop nests of arbitrary depth.
+//!
+//! The paper develops its machinery for the two-dimensional case but the
+//! MLDG model and Theorem 3.2's argument are dimension-agnostic: the
+//! inequality system `r(v_j) - r(v_i) <= δ_L(e)` over `Z^N` with the
+//! lexicographic order is feasible iff the constraint graph has no
+//! lexicographically negative cycle, and shortest paths from a virtual
+//! source (the `N`-dimensional Bellman–Ford) solve it. This module
+//! implements that extension.
+
+use mdf_constraint::bellman_ford::{solve_difference_constraints, Solution};
+use mdf_constraint::ConstraintGraph;
+use mdf_graph::mldg::EdgeId;
+use mdf_graph::mldg_n::MldgN;
+use mdf_graph::nvec::IVecN;
+
+/// Why `N`-dimensional fusion failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NdimFusionError<const N: usize> {
+    /// A lexicographically negative cycle (as MLDG edges) makes the
+    /// constraint system infeasible.
+    Infeasible {
+        /// Edges of the cycle.
+        cycle: Vec<EdgeId>,
+        /// Its weight.
+        weight: IVecN<N>,
+    },
+}
+
+/// Computes a retiming making fusion legal for an `N`-dimensional MLDG:
+/// afterwards every edge weight is lexicographically non-negative.
+pub fn llofra_ndim<const N: usize>(
+    g: &MldgN<N>,
+) -> Result<Vec<IVecN<N>>, NdimFusionError<N>> {
+    let mut cg: ConstraintGraph<IVecN<N>> = ConstraintGraph::new(g.node_count());
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        cg.add_edge(ed.src.index(), ed.dst.index(), g.delta(e));
+    }
+    match solve_difference_constraints(&cg) {
+        Solution::Feasible { dist } => Ok(dist),
+        Solution::Infeasible { cycle } => Err(NdimFusionError::Infeasible {
+            cycle: cycle.edges.iter().map(|&i| EdgeId(i as u32)).collect(),
+            weight: cycle.total,
+        }),
+    }
+}
+
+/// Verifies the post-condition: all retimed minimal weights `>= 0`.
+pub fn fusion_legal_after<const N: usize>(g: &MldgN<N>, r: &[IVecN<N>]) -> bool {
+    let gr = g.retimed(r);
+    gr.edge_ids().all(|e| gr.delta(e).is_lex_nonnegative())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::nvec::vn;
+
+    /// A three-deep nest: outer k, middle i, inner j — the 3-D analogue of
+    /// Figure 2's shape.
+    fn sample_3d() -> MldgN<3> {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_dep(a, b, vn([0, 0, -2]));
+        g.add_dep(b, c, vn([0, -1, 3]));
+        g.add_dep(c, a, vn([1, 2, 0]));
+        g.add_dep(c, c, vn([1, 0, 0]));
+        g
+    }
+
+    #[test]
+    fn three_dimensional_fusion_made_legal() {
+        let g = sample_3d();
+        // Direct fusion is illegal: (0,0,-2) and (0,-1,3) are negative.
+        assert!(g.edge_ids().any(|e| !g.delta(e).is_lex_nonnegative()));
+        let r = llofra_ndim(&g).unwrap();
+        assert!(fusion_legal_after(&g, &r));
+    }
+
+    #[test]
+    fn two_dimensional_agrees_with_llofra() {
+        // Figure 2 rebuilt as an MldgN<2> must give the same retiming as
+        // the specialized 2-D pipeline.
+        let mut g: MldgN<2> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        g.add_dep(a, b, vn([1, 1]));
+        g.add_dep(a, b, vn([2, 1]));
+        g.add_dep(b, c, vn([0, -2]));
+        g.add_dep(b, c, vn([0, 1]));
+        g.add_dep(c, d, vn([0, -1]));
+        g.add_dep(a, c, vn([0, 1]));
+        g.add_dep(d, a, vn([2, 1]));
+        g.add_dep(c, c, vn([1, 0]));
+        let r = llofra_ndim(&g).unwrap();
+        let as_2d: Vec<_> = r.iter().map(|v| v.to_ivec2()).collect();
+        let specialized = crate::llofra::llofra(&mdf_graph::paper::figure2()).unwrap();
+        assert_eq!(as_2d, specialized.offsets());
+    }
+
+    #[test]
+    fn negative_cycle_rejected_in_4d() {
+        let mut g: MldgN<4> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0, 0, -1]));
+        g.add_dep(b, a, vn([0, 0, 0, 0]));
+        match llofra_ndim(&g) {
+            Err(NdimFusionError::Infeasible { weight, cycle }) => {
+                assert_eq!(weight, vn([0, 0, 0, -1]));
+                assert_eq!(cycle.len(), 2);
+            }
+            other => panic!("expected infeasible, got {other:?}"),
+        }
+    }
+}
+
+/// `true` iff `s · d > 0` for every non-zero dependence vector of `g` —
+/// the `N`-dimensional strict-schedule condition of Section 2.3.
+pub fn is_strict_schedule_ndim<const N: usize>(g: &MldgN<N>, s: &IVecN<N>) -> bool {
+    g.edge_ids().all(|e| {
+        g.edge(e)
+            .deps
+            .iter()
+            .all(|d| *d == IVecN::ZERO || s.dot(d) > 0)
+    })
+}
+
+/// Generalizes Lemma 4.3 to `N` dimensions: given a graph whose dependence
+/// vectors are all lexicographically non-negative (e.g. any
+/// [`llofra_ndim`]-retimed graph), constructs a strict schedule vector by
+/// back-substitution. With `lead(d)` the first non-zero coordinate of `d`
+/// (positive, by lex non-negativity), the requirement
+/// `s[lead] * d[lead] + Σ_{j>lead} s[j] d[j] > 0` fixes each component
+/// once the later ones are known, so components are chosen from the
+/// innermost dimension outwards.
+pub fn schedule_ndim<const N: usize>(g: &MldgN<N>) -> Result<IVecN<N>, NdimFusionError<N>> {
+    // Validate the hypothesis and collect all vectors.
+    let mut vectors = Vec::new();
+    for e in g.edge_ids() {
+        for d in &g.edge(e).deps {
+            if !d.is_lex_nonnegative() {
+                return Err(NdimFusionError::Infeasible {
+                    cycle: vec![e],
+                    weight: *d,
+                });
+            }
+            if *d != IVecN::ZERO {
+                vectors.push(*d);
+            }
+        }
+    }
+    let mut s = IVecN::<N>::ZERO;
+    if N > 0 {
+        s[N - 1] = 1;
+    }
+    for k in (0..N.saturating_sub(1)).rev() {
+        let mut min_sk = 1i64;
+        for d in &vectors {
+            if d.carrying_level() == Some(k) {
+                let tail: i64 = (k + 1..N).map(|j| s[j] * d[j]).sum();
+                // Need s[k] * d[k] + tail > 0, i.e. s[k] > -tail / d[k].
+                min_sk = min_sk.max((-tail).div_euclid(d[k]) + 1);
+            }
+        }
+        s[k] = min_sk;
+    }
+    debug_assert!(is_strict_schedule_ndim(g, &s));
+    Ok(s)
+}
+
+/// The `N`-dimensional analogue of Algorithm 5: legalize fusion with
+/// [`llofra_ndim`], then construct a strict schedule for the retimed
+/// graph. All iterations on a hyperplane `{ x : s · x = t }` can then run
+/// in parallel.
+pub fn fuse_hyperplane_ndim<const N: usize>(
+    g: &MldgN<N>,
+) -> Result<(Vec<IVecN<N>>, IVecN<N>), NdimFusionError<N>> {
+    let r = llofra_ndim(g)?;
+    let retimed = g.retimed(&r);
+    let s = schedule_ndim(&retimed)?;
+    Ok((r, s))
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use mdf_graph::nvec::vn;
+
+    #[test]
+    fn three_dimensional_schedule() {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0, 2]));
+        g.add_dep(b, a, vn([0, 1, -3]));
+        g.add_dep(a, a, vn([1, -2, -2]));
+        let s = schedule_ndim(&g).unwrap();
+        assert!(is_strict_schedule_ndim(&g, &s));
+        // Back-substitution: s[2]=1; lead-1 vector (0,1,-3) needs
+        // s[1] > 3 -> 4; lead-0 vector (1,-2,-2) needs s[0] > 2*4+2 -> 11.
+        assert_eq!(s, vn([11, 4, 1]));
+    }
+
+    #[test]
+    fn two_dimensional_agrees_with_lemma_4_3() {
+        // The retimed Figure 14 vectors: max constraint from (1,-4).
+        let mut g: MldgN<2> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        for d in [[0, 5], [0, 0], [0, 2], [0, 1], [1, 0], [1, -4], [1, 3]] {
+            g.add_dep(a, b, vn(d));
+        }
+        let s = schedule_ndim(&g).unwrap();
+        assert_eq!(s, vn([5, 1])); // the paper's s = (5,1)
+    }
+
+    #[test]
+    fn full_ndim_pipeline() {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        g.add_dep(a, b, vn([0, 0, -2])); // fusion-preventing in 3-D
+        g.add_dep(b, c, vn([0, -1, 3]));
+        g.add_dep(c, a, vn([1, 2, 0]));
+        let (r, s) = fuse_hyperplane_ndim(&g).unwrap();
+        let retimed = g.retimed(&r);
+        assert!(fusion_legal_after(&g, &r));
+        assert!(is_strict_schedule_ndim(&retimed, &s));
+    }
+
+    #[test]
+    fn negative_vector_rejected_by_schedule() {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0, -1]));
+        assert!(schedule_ndim(&g).is_err());
+    }
+
+    #[test]
+    fn zero_only_dependences_get_trivial_schedule() {
+        let mut g: MldgN<2> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0]));
+        let s = schedule_ndim(&g).unwrap();
+        assert_eq!(s, vn([1, 1]));
+    }
+}

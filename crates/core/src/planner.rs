@@ -1,0 +1,200 @@
+//! The fusion planner: selects and runs the right algorithm for a 2LDG,
+//! then independently verifies the result.
+//!
+//! Selection follows the paper's case analysis:
+//!
+//! 1. acyclic graph → Algorithm 3 (always yields a DOALL fused loop);
+//! 2. cyclic graph satisfying Theorem 4.2 → Algorithm 4 (DOALL fused loop
+//!    in the original row order);
+//! 3. otherwise → Algorithm 5 (legal fusion + DOALL hyperplane wavefront);
+//! 4. if even LLOFRA is infeasible the graph has a lexicographically
+//!    negative cycle and is rejected with the witness.
+
+use mdf_graph::cycles::is_acyclic;
+use mdf_graph::mldg::Mldg;
+use mdf_retime::{
+    apply_retiming, check_fusion_legal, check_inner_doall, check_retiming_consistency,
+    is_strict_schedule, Retiming, VerifyError, Wavefront,
+};
+
+use crate::acyclic::fuse_acyclic;
+use crate::cyclic::fuse_cyclic;
+use crate::hyperplane::fuse_hyperplane;
+use crate::llofra::FusionError;
+
+/// Which algorithm produced a full-parallel plan.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FullParallelMethod {
+    /// Algorithm 3 (acyclic 2LDG).
+    Acyclic,
+    /// Algorithm 4 (cyclic 2LDG, Theorem 4.2 conditions hold).
+    Cyclic,
+}
+
+/// A complete fusion plan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FusionPlan {
+    /// Retiming after which the fused innermost loop is DOALL, executed in
+    /// the original row-by-row order.
+    FullParallel {
+        /// The retiming to apply before fusing.
+        retiming: Retiming,
+        /// Which algorithm found it.
+        method: FullParallelMethod,
+    },
+    /// Retiming after which fusion is legal, plus a wavefront giving full
+    /// parallelism along a hyperplane.
+    Hyperplane {
+        /// The retiming to apply before fusing.
+        retiming: Retiming,
+        /// The schedule vector and hyperplane.
+        wavefront: Wavefront,
+    },
+}
+
+impl FusionPlan {
+    /// The plan's retiming.
+    pub fn retiming(&self) -> &Retiming {
+        match self {
+            FusionPlan::FullParallel { retiming, .. } => retiming,
+            FusionPlan::Hyperplane { retiming, .. } => retiming,
+        }
+    }
+
+    /// `true` when the fused inner loop is DOALL in row order.
+    pub fn is_full_parallel(&self) -> bool {
+        matches!(self, FusionPlan::FullParallel { .. })
+    }
+
+    /// The wavefront, when the plan is a hyperplane plan.
+    pub fn wavefront(&self) -> Option<Wavefront> {
+        match self {
+            FusionPlan::Hyperplane { wavefront, .. } => Some(*wavefront),
+            FusionPlan::FullParallel { .. } => None,
+        }
+    }
+}
+
+/// Plans fusion for `g`. Only fails when the graph has a lexicographically
+/// negative cycle (not a legal nested loop).
+///
+/// ```
+/// use mdf_core::{plan_fusion, verify_plan};
+/// use mdf_graph::paper::{figure2, figure14};
+///
+/// // Figure 2 admits a fully parallel fused loop (Algorithm 4)...
+/// let plan = plan_fusion(&figure2()).unwrap();
+/// assert!(plan.is_full_parallel());
+/// verify_plan(&figure2(), &plan).unwrap();
+///
+/// // ...Figure 14 needs the hyperplane method (Algorithm 5).
+/// let plan = plan_fusion(&figure14()).unwrap();
+/// assert_eq!(plan.wavefront().unwrap().schedule, mdf_graph::v2(5, 1));
+/// ```
+pub fn plan_fusion(g: &Mldg) -> Result<FusionPlan, FusionError> {
+    if is_acyclic(g) {
+        let retiming = fuse_acyclic(g)?;
+        return Ok(FusionPlan::FullParallel {
+            retiming,
+            method: FullParallelMethod::Acyclic,
+        });
+    }
+    if let Ok(retiming) = fuse_cyclic(g) {
+        return Ok(FusionPlan::FullParallel {
+            retiming,
+            method: FullParallelMethod::Cyclic,
+        });
+    }
+    let hp = fuse_hyperplane(g)?;
+    Ok(FusionPlan::Hyperplane {
+        retiming: hp.retiming,
+        wavefront: hp.wavefront,
+    })
+}
+
+/// Independently verifies a plan's claims against the graph:
+/// * the retimed graph is consistent with the retiming;
+/// * fusion is legal on the retimed graph (Theorem 3.1);
+/// * full-parallel plans yield a DOALL inner loop (Property 4.2);
+/// * hyperplane plans yield a strict schedule vector.
+pub fn verify_plan(g: &Mldg, plan: &FusionPlan) -> Result<(), VerifyError> {
+    let retimed = apply_retiming(g, plan.retiming());
+    check_retiming_consistency(g, &retimed, plan.retiming(), 256)?;
+    check_fusion_legal(&retimed)?;
+    match plan {
+        FusionPlan::FullParallel { .. } => check_inner_doall(&retimed),
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            if is_strict_schedule(&retimed, wavefront.schedule) {
+                Ok(())
+            } else {
+                Err(VerifyError::InnerLoopSerialized)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::{figure14, figure2, figure8};
+
+    #[test]
+    fn figure8_planned_as_acyclic() {
+        let g = figure8();
+        let plan = plan_fusion(&g).unwrap();
+        assert!(matches!(
+            plan,
+            FusionPlan::FullParallel {
+                method: FullParallelMethod::Acyclic,
+                ..
+            }
+        ));
+        assert_eq!(verify_plan(&g, &plan), Ok(()));
+    }
+
+    #[test]
+    fn figure2_planned_as_cyclic_full_parallel() {
+        let g = figure2();
+        let plan = plan_fusion(&g).unwrap();
+        assert!(matches!(
+            plan,
+            FusionPlan::FullParallel {
+                method: FullParallelMethod::Cyclic,
+                ..
+            }
+        ));
+        assert_eq!(verify_plan(&g, &plan), Ok(()));
+    }
+
+    #[test]
+    fn figure14_planned_as_hyperplane() {
+        let g = figure14();
+        let plan = plan_fusion(&g).unwrap();
+        assert!(matches!(plan, FusionPlan::Hyperplane { .. }));
+        assert!(!plan.is_full_parallel());
+        assert!(plan.wavefront().is_some());
+        assert_eq!(verify_plan(&g, &plan), Ok(()));
+    }
+
+    #[test]
+    fn negative_cycle_rejected() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, -3));
+        g.add_dep(b, a, (0, 1));
+        assert!(matches!(
+            plan_fusion(&g),
+            Err(FusionError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn plan_accessors() {
+        let g = figure2();
+        let plan = plan_fusion(&g).unwrap();
+        assert!(plan.is_full_parallel());
+        assert!(plan.wavefront().is_none());
+        assert_eq!(plan.retiming().len(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Human-readable analysis reports for a 2LDG and its fusion plan — the
+//! output the `mdfuse analyze` command and the experiment binaries print.
+
+use std::fmt::Write as _;
+
+use mdf_graph::legality::{cycle_weight_report, direct_fusion_legal, fusion_preventing_edges};
+use mdf_graph::mldg::Mldg;
+use mdf_retime::apply_retiming;
+
+use crate::planner::{plan_fusion, verify_plan, FullParallelMethod, FusionPlan};
+
+/// A structured summary of one graph + plan, with a text renderer.
+#[derive(Clone, Debug)]
+pub struct AnalysisReport {
+    /// Graph name for display.
+    pub name: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Total dependence vectors.
+    pub dep_vectors: usize,
+    /// Number of hard edges.
+    pub hard_edges: usize,
+    /// Whether the graph is acyclic.
+    pub acyclic: bool,
+    /// Whether fusion is legal without any retiming (Theorem 3.1).
+    pub direct_fusion_legal: bool,
+    /// Number of fusion-preventing edges before retiming.
+    pub fusion_preventing: usize,
+    /// The computed plan, if any.
+    pub plan: Option<FusionPlan>,
+    /// Result of independent verification of the plan.
+    pub verified: bool,
+    /// Lexicographically minimal cycle weight (bounded enumeration).
+    pub min_cycle_weight: Option<mdf_graph::IVec2>,
+    /// When the plan is a hyperplane plan, the number of row-DOALL clusters
+    /// partial fusion can offer instead (`None` when no row-parallel
+    /// scheme exists at any granularity, as for Figure 14).
+    pub partial_clusters: Option<usize>,
+}
+
+/// Analyzes a graph end to end: structure, legality, plan, verification.
+pub fn analyze(g: &Mldg, name: &str) -> AnalysisReport {
+    let cw = cycle_weight_report(g, 4096);
+    let plan = plan_fusion(g).ok();
+    let verified = plan
+        .as_ref()
+        .is_some_and(|p| verify_plan(g, p).is_ok());
+    let partial_clusters = match &plan {
+        Some(FusionPlan::Hyperplane { .. }) => {
+            crate::partial::fuse_partial(g).map(|pp| pp.clusters.len())
+        }
+        _ => None,
+    };
+    AnalysisReport {
+        name: name.to_string(),
+        nodes: g.node_count(),
+        edges: g.edge_count(),
+        dep_vectors: g.total_dep_vectors(),
+        hard_edges: g.edge_ids().filter(|&e| g.is_hard(e)).count(),
+        acyclic: mdf_graph::cycles::is_acyclic(g),
+        direct_fusion_legal: direct_fusion_legal(g),
+        fusion_preventing: fusion_preventing_edges(g).len(),
+        plan,
+        verified,
+        min_cycle_weight: cw.min_weight,
+        partial_clusters,
+    }
+}
+
+impl AnalysisReport {
+    /// The plan kind as a short display string.
+    pub fn plan_kind(&self) -> &'static str {
+        match &self.plan {
+            None => "INFEASIBLE (negative cycle)",
+            Some(FusionPlan::FullParallel {
+                method: FullParallelMethod::Acyclic,
+                ..
+            }) => "full parallel (Alg 3, acyclic)",
+            Some(FusionPlan::FullParallel {
+                method: FullParallelMethod::Cyclic,
+                ..
+            }) => "full parallel (Alg 4, cyclic)",
+            Some(FusionPlan::Hyperplane { .. }) => "hyperplane wavefront (Alg 5)",
+        }
+    }
+
+    /// Renders the report as indented text, including the retimed edge
+    /// weights when a graph is supplied.
+    pub fn render(&self, g: Option<&Mldg>) -> String {
+        let mut s = String::new();
+        writeln!(s, "=== {} ===", self.name).unwrap();
+        writeln!(
+            s,
+            "nodes: {}  edges: {}  dep-vectors: {}  hard-edges: {}  {}",
+            self.nodes,
+            self.edges,
+            self.dep_vectors,
+            self.hard_edges,
+            if self.acyclic { "acyclic" } else { "cyclic" }
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "direct fusion: {}  fusion-preventing edges: {}  min cycle weight: {}",
+            if self.direct_fusion_legal {
+                "legal"
+            } else {
+                "ILLEGAL"
+            },
+            self.fusion_preventing,
+            self.min_cycle_weight
+                .map_or("n/a (acyclic)".to_string(), |w| w.to_string()),
+        )
+        .unwrap();
+        writeln!(
+            s,
+            "plan: {}  independently verified: {}",
+            self.plan_kind(),
+            if self.verified { "yes" } else { "NO" }
+        )
+        .unwrap();
+        if let (Some(plan), Some(g)) = (&self.plan, g) {
+            writeln!(s, "retiming: {}", plan.retiming().display(g)).unwrap();
+            if let Some(w) = plan.wavefront() {
+                writeln!(
+                    s,
+                    "schedule: s={}  hyperplane: h={}",
+                    w.schedule, w.hyperplane
+                )
+                .unwrap();
+                match self.partial_clusters {
+                    Some(k) => writeln!(
+                        s,
+                        "row-parallel alternative: partial fusion into {k} DOALL cluster(s)"
+                    )
+                    .unwrap(),
+                    None => writeln!(
+                        s,
+                        "row-parallel alternative: none exists (wavefront is necessary)"
+                    )
+                    .unwrap(),
+                }
+            }
+            let gr = apply_retiming(g, plan.retiming());
+            write!(s, "retimed weights:").unwrap();
+            for e in gr.edge_ids() {
+                let ed = gr.edge(e);
+                write!(
+                    s,
+                    " {}->{}:{}",
+                    gr.label(ed.src),
+                    gr.label(ed.dst),
+                    gr.delta(e)
+                )
+                .unwrap();
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::{figure14, figure2, figure8};
+
+    #[test]
+    fn figure2_report() {
+        let g = figure2();
+        let r = analyze(&g, "fig2");
+        assert_eq!(r.nodes, 4);
+        assert_eq!(r.edges, 6);
+        assert_eq!(r.dep_vectors, 8);
+        assert_eq!(r.hard_edges, 1);
+        assert!(!r.acyclic);
+        assert!(!r.direct_fusion_legal);
+        assert_eq!(r.fusion_preventing, 2);
+        assert_eq!(r.plan_kind(), "full parallel (Alg 4, cyclic)");
+        assert!(r.verified);
+        let text = r.render(Some(&g));
+        assert!(text.contains("r(C)=(-1,0)"));
+        assert!(text.contains("independently verified: yes"));
+    }
+
+    #[test]
+    fn figure8_report() {
+        let r = analyze(&figure8(), "fig8");
+        assert!(r.acyclic);
+        assert_eq!(r.plan_kind(), "full parallel (Alg 3, acyclic)");
+        assert!(r.verified);
+    }
+
+    #[test]
+    fn figure14_report() {
+        let g = figure14();
+        let r = analyze(&g, "fig14");
+        assert_eq!(r.plan_kind(), "hyperplane wavefront (Alg 5)");
+        assert!(r.verified);
+        // Figure 14 admits no row-DOALL partition at any granularity.
+        assert_eq!(r.partial_clusters, None);
+        let text = r.render(Some(&g));
+        assert!(text.contains("s=(5,1)"));
+        assert!(text.contains("h=(1,-5)"));
+        assert!(text.contains("wavefront is necessary"));
+    }
+
+    #[test]
+    fn hyperplane_report_offers_partial_alternative_when_possible() {
+        // The relaxation shape: hyperplane plan, but 2 row-DOALL clusters
+        // exist as an alternative.
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_deps(a, b, [mdf_graph::v2(0, -1), mdf_graph::v2(0, 1)]);
+        g.add_deps(b, a, [mdf_graph::v2(1, -1), mdf_graph::v2(1, 1)]);
+        let r = analyze(&g, "relax");
+        assert_eq!(r.plan_kind(), "hyperplane wavefront (Alg 5)");
+        assert_eq!(r.partial_clusters, Some(2));
+        assert!(r.render(Some(&g)).contains("partial fusion into 2 DOALL cluster(s)"));
+    }
+
+    #[test]
+    fn infeasible_report() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, -1));
+        g.add_dep(b, a, (0, 0));
+        let r = analyze(&g, "bad");
+        assert!(r.plan.is_none());
+        assert_eq!(r.plan_kind(), "INFEASIBLE (negative cycle)");
+        assert!(!r.verified);
+    }
+}

@@ -1,0 +1,24 @@
+//! # `mdf-gen` — workload generation
+//!
+//! Deterministic, seeded generators for the test and benchmark workloads:
+//!
+//! * [`mldg_gen`] — random 2LDGs: reverse-retimed legal instances
+//!   (LLOFRA-feasible by construction), acyclic instances, and instances
+//!   with planted negative cycles;
+//! * [`program_gen`] — random executable programs, and the MLDG → program
+//!   realization that turns graph examples into runnable code;
+//! * [`suites`] — the Section 5 experiment suite (E1–E5).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod mldg_gen;
+pub mod program_gen;
+pub mod suites;
+
+pub use mldg_gen::{
+    random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg, random_legal_mldg_n,
+    GenConfig,
+};
+pub use program_gen::{program_from_mldg, random_program, ProgramGenConfig};
+pub use suites::{suite, SuiteEntry};

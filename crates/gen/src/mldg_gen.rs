@@ -1,0 +1,312 @@
+//! Random MLDG generators for property tests and scaling benchmarks.
+//!
+//! The central trick is *reverse retiming*: draw a random retiming `r` and
+//! random **retimed** edge weights `w(e) >= (0,0)`, then emit
+//! `δ(e) = w(e) - r(u) + r(v)`. Every cycle's weight equals the sum of its
+//! `w(e)` — lexicographically non-negative by construction — so LLOFRA is
+//! guaranteed feasible on these instances, while the visible weights look
+//! arbitrary (fusion-preventing dependences appear wherever `r` shears
+//! them in). Infeasible instances are produced separately by planting a
+//! negative cycle.
+
+use mdf_graph::mldg::{Mldg, NodeId};
+use mdf_graph::vec2::IVec2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for generated graphs.
+#[derive(Clone, Copy, Debug)]
+pub struct GenConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Extra random edges beyond the backbone path.
+    pub extra_edges: usize,
+    /// Probability that an edge carries a second dependence vector with
+    /// the same first coordinate (making it hard).
+    pub hard_probability: f64,
+    /// Probability of adding an outer-carried self-dependence to a node.
+    pub self_loop_probability: f64,
+    /// Magnitude bound for retiming offsets and weight components.
+    pub magnitude: i64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            nodes: 8,
+            extra_edges: 8,
+            hard_probability: 0.25,
+            self_loop_probability: 0.25,
+            magnitude: 4,
+        }
+    }
+}
+
+fn random_nonneg_weight(rng: &mut StdRng, mag: i64) -> IVec2 {
+    // A mix of loop-independent, same-row-forward and outer-carried
+    // retimed weights, all lexicographically >= (0,0).
+    match rng.random_range(0..4) {
+        0 => IVec2::ZERO,
+        1 => IVec2::new(0, rng.random_range(0..=mag)),
+        _ => IVec2::new(rng.random_range(1..=mag), rng.random_range(-mag..=mag)),
+    }
+}
+
+/// Generates a random 2LDG on which LLOFRA is feasible by construction
+/// (all cycle weights `>= (0,0)`), with a connected backbone, random extra
+/// edges (including back edges), hard edges and self-loops.
+pub fn random_legal_mldg(seed: u64, cfg: &GenConfig) -> Mldg {
+    assert!(cfg.nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Mldg::new();
+    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let r: Vec<IVec2> = (0..cfg.nodes)
+        .map(|_| {
+            IVec2::new(
+                rng.random_range(-cfg.magnitude..=cfg.magnitude),
+                rng.random_range(-cfg.magnitude..=cfg.magnitude),
+            )
+        })
+        .collect();
+
+    let add_edge = |g: &mut Mldg, rng: &mut StdRng, u: usize, v: usize| {
+        let w = random_nonneg_weight(rng, cfg.magnitude);
+        let delta = w - r[u] + r[v];
+        g.add_dep(ids[u], ids[v], delta);
+        if rng.random_bool(cfg.hard_probability) {
+            // A second vector with the same first coordinate but larger
+            // second coordinate: keeps δ_L unchanged (lexicographically
+            // larger) and makes the edge hard.
+            g.add_dep(
+                ids[u],
+                ids[v],
+                delta + IVec2::new(0, rng.random_range(1..=cfg.magnitude)),
+            );
+        }
+    };
+
+    // Backbone path keeps the graph connected.
+    for u in 0..cfg.nodes.saturating_sub(1) {
+        add_edge(&mut g, &mut rng, u, u + 1);
+    }
+    // Random extras, both forward and backward.
+    for _ in 0..cfg.extra_edges {
+        let u = rng.random_range(0..cfg.nodes);
+        let v = rng.random_range(0..cfg.nodes);
+        if u != v {
+            add_edge(&mut g, &mut rng, u, v);
+        }
+    }
+    // Outer-carried self-dependences (x >= 1 keeps cycles non-negative;
+    // a reverse-retimed self-weight is unchanged by r).
+    for &id in &ids {
+        if rng.random_bool(cfg.self_loop_probability) {
+            let w = IVec2::new(
+                rng.random_range(1..=cfg.magnitude),
+                rng.random_range(-cfg.magnitude..=cfg.magnitude),
+            );
+            g.add_dep(id, id, w);
+        }
+    }
+    g
+}
+
+/// Generates a random *acyclic* 2LDG (forward edges only, arbitrary
+/// weights): the domain of Algorithm 3, where full parallelism is always
+/// achievable.
+pub fn random_acyclic_mldg(seed: u64, cfg: &GenConfig) -> Mldg {
+    assert!(cfg.nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Mldg::new();
+    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let add = |g: &mut Mldg, rng: &mut StdRng, u: usize, v: usize| {
+        let d = IVec2::new(
+            rng.random_range(0..=cfg.magnitude),
+            rng.random_range(-cfg.magnitude..=cfg.magnitude),
+        );
+        g.add_dep(ids[u], ids[v], d);
+        if rng.random_bool(cfg.hard_probability) {
+            g.add_dep(
+                ids[u],
+                ids[v],
+                d + IVec2::new(0, rng.random_range(1..=cfg.magnitude)),
+            );
+        }
+    };
+    for u in 0..cfg.nodes.saturating_sub(1) {
+        add(&mut g, &mut rng, u, u + 1);
+    }
+    for _ in 0..cfg.extra_edges {
+        let u = rng.random_range(0..cfg.nodes);
+        let v = rng.random_range(0..cfg.nodes);
+        if u < v {
+            add(&mut g, &mut rng, u, v);
+        }
+    }
+    g
+}
+
+/// Generates a graph containing a planted lexicographically negative cycle
+/// (LLOFRA must reject it with a certificate).
+pub fn random_infeasible_mldg(seed: u64, cfg: &GenConfig) -> Mldg {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(0x5eed));
+    let mut g = random_legal_mldg(seed, cfg);
+    // Plant a 2-cycle with total weight (0, -1) between two random nodes.
+    let n = g.node_count();
+    let u = NodeId(rng.random_range(0..n) as u32);
+    let v = NodeId(((u.0 as usize + 1 + rng.random_range(0..n.max(2) - 1)) % n) as u32);
+    if u == v {
+        let w = NodeId(((u.0 as usize + 1) % n) as u32);
+        let k = rng.random_range(0..=cfg.magnitude);
+        g.add_dep(u, w, (0, -k - 1));
+        g.add_dep(w, u, (0, k));
+    } else {
+        let k = rng.random_range(0..=cfg.magnitude);
+        g.add_dep(u, v, (0, -k - 1));
+        g.add_dep(v, u, (0, k));
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::cycles::is_acyclic;
+    use mdf_graph::legality::cycle_weight_report;
+
+    #[test]
+    fn legal_graphs_have_nonnegative_cycles() {
+        for seed in 0..30 {
+            let g = random_legal_mldg(seed, &GenConfig::default());
+            let report = cycle_weight_report(&g, 2000);
+            assert!(
+                report.all_lex_nonnegative,
+                "seed {seed}: min cycle {:?}",
+                report.min_weight
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = random_legal_mldg(7, &cfg);
+        let b = random_legal_mldg(7, &cfg);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn acyclic_graphs_are_acyclic() {
+        for seed in 0..20 {
+            let g = random_acyclic_mldg(seed, &GenConfig::default());
+            assert!(is_acyclic(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn infeasible_graphs_have_a_negative_cycle() {
+        for seed in 0..20 {
+            let g = random_infeasible_mldg(seed, &GenConfig::default());
+            let report = cycle_weight_report(&g, 4000);
+            assert!(
+                !report.truncated && !report.all_lex_nonnegative,
+                "seed {seed}: {report:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_respect_config() {
+        let cfg = GenConfig {
+            nodes: 20,
+            extra_edges: 15,
+            ..GenConfig::default()
+        };
+        let g = random_legal_mldg(3, &cfg);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.edge_count() >= 19);
+    }
+
+    #[test]
+    fn hard_edges_appear_with_high_probability_setting() {
+        let cfg = GenConfig {
+            hard_probability: 1.0,
+            ..GenConfig::default()
+        };
+        let g = random_legal_mldg(11, &cfg);
+        assert!(g.edge_ids().any(|e| g.is_hard(e)));
+    }
+}
+
+/// Generates a random `N`-dimensional MLDG on which `llofra_ndim` is
+/// feasible by construction (the same reverse-retiming trick as
+/// [`random_legal_mldg`], lifted to `Z^N`).
+pub fn random_legal_mldg_n<const N: usize>(
+    seed: u64,
+    cfg: &GenConfig,
+) -> mdf_graph::mldg_n::MldgN<N> {
+    #![allow(clippy::needless_range_loop)]
+    use mdf_graph::nvec::IVecN;
+    assert!(cfg.nodes >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g: mdf_graph::mldg_n::MldgN<N> = mdf_graph::mldg_n::MldgN::new();
+    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let r: Vec<IVecN<N>> = (0..cfg.nodes)
+        .map(|_| {
+            let mut v = IVecN::ZERO;
+            for k in 0..N {
+                v[k] = rng.random_range(-cfg.magnitude..=cfg.magnitude);
+            }
+            v
+        })
+        .collect();
+    let random_nonneg = |rng: &mut StdRng| -> IVecN<N> {
+        // Pick a carrying level; components before it are zero, the level
+        // itself positive-or-zero-at-the-last, the rest arbitrary.
+        let lead = rng.random_range(0..N);
+        let mut v = IVecN::ZERO;
+        v[lead] = if lead == N - 1 {
+            rng.random_range(0..=cfg.magnitude)
+        } else {
+            rng.random_range(1..=cfg.magnitude)
+        };
+        for k in lead + 1..N {
+            v[k] = rng.random_range(-cfg.magnitude..=cfg.magnitude);
+        }
+        v
+    };
+    let add_edge = |g: &mut mdf_graph::mldg_n::MldgN<N>, rng: &mut StdRng, u: usize, v: usize| {
+        let w = random_nonneg(rng);
+        g.add_dep(ids[u], ids[v], w - r[u] + r[v]);
+    };
+    for u in 0..cfg.nodes.saturating_sub(1) {
+        add_edge(&mut g, &mut rng, u, u + 1);
+    }
+    for _ in 0..cfg.extra_edges {
+        let u = rng.random_range(0..cfg.nodes);
+        let v = rng.random_range(0..cfg.nodes);
+        if u != v {
+            add_edge(&mut g, &mut rng, u, v);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod ndim_tests {
+    use super::*;
+
+    #[test]
+    fn ndim_generation_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = random_legal_mldg_n::<3>(5, &cfg);
+        let b = random_legal_mldg_n::<3>(5, &cfg);
+        assert_eq!(a.node_count(), cfg.nodes);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(ea).src, b.edge(eb).src);
+            assert_eq!(a.edge(ea).dst, b.edge(eb).dst);
+            assert_eq!(a.edge(ea).deps, b.edge(eb).deps);
+        }
+    }
+}

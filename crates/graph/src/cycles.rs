@@ -1,0 +1,364 @@
+//! Structural graph analyses over an [`Mldg`]: topological order, strongly
+//! connected components (Tarjan), and bounded elementary-cycle enumeration
+//! (Johnson's algorithm).
+//!
+//! Algorithm selection in `mdf-core` branches on acyclicity (Theorem 4.1
+//! applies only to acyclic 2LDGs), and legality diagnostics report concrete
+//! offending cycles, so these analyses are part of the substrate.
+
+use crate::mldg::{EdgeId, Mldg, NodeId};
+
+/// Returns the lexicographically smallest topological order of the nodes
+/// (stable Kahn: among ready nodes, lowest id first), or `None` when the
+/// graph has a cycle. The stability matters downstream: the textual order
+/// of a program's loops is its node-id order, and baselines that scan
+/// loops "in textual order" rely on this function preserving it whenever
+/// the dependences allow. `O((|V| + |E|) log |V|)`.
+pub fn topological_order(g: &Mldg) -> Option<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut indeg = vec![0usize; n];
+    for e in g.edge_ids() {
+        indeg[g.edge(e).dst.index()] += 1;
+    }
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<NodeId>> = g
+        .node_ids()
+        .filter(|v| indeg[v.index()] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(v)) = ready.pop() {
+        order.push(v);
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).dst;
+            indeg[w.index()] -= 1;
+            if indeg[w.index()] == 0 {
+                ready.push(std::cmp::Reverse(w));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// `true` when the MLDG contains no directed cycle (self-loops count as
+/// cycles).
+pub fn is_acyclic(g: &Mldg) -> bool {
+    topological_order(g).is_some()
+}
+
+/// Strongly connected components in reverse topological order of the
+/// component DAG (Tarjan's algorithm, iterative).
+pub fn strongly_connected_components(g: &Mldg) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Explicit DFS stack: (node, next out-edge position).
+    let mut call_stack: Vec<(NodeId, usize)> = Vec::new();
+
+    for root in g.node_ids() {
+        if index[root.index()] != UNVISITED {
+            continue;
+        }
+        call_stack.push((root, 0));
+        index[root.index()] = next_index;
+        lowlink[root.index()] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root.index()] = true;
+
+        while let Some(&mut (v, ref mut ei)) = call_stack.last_mut() {
+            if *ei < g.out_edges(v).len() {
+                let e = g.out_edges(v)[*ei];
+                *ei += 1;
+                let w = g.edge(e).dst;
+                if index[w.index()] == UNVISITED {
+                    index[w.index()] = next_index;
+                    lowlink[w.index()] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w.index()] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w.index()] {
+                    lowlink[v.index()] = lowlink[v.index()].min(index[w.index()]);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent.index()] = lowlink[parent.index()].min(lowlink[v.index()]);
+                }
+                if lowlink[v.index()] == index[v.index()] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w.index()] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    components.push(comp);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// An elementary cycle reported as the list of edge ids traversed, starting
+/// from its smallest node id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cycle {
+    /// Edges of the cycle in traversal order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Cycle {
+    /// Node sequence visited (length = `edges.len()`, first node repeated
+    /// implicitly at the end).
+    pub fn nodes(&self, g: &Mldg) -> Vec<NodeId> {
+        self.edges.iter().map(|&e| g.edge(e).src).collect()
+    }
+}
+
+/// Enumerates elementary cycles (Johnson's algorithm) up to `cap` cycles.
+/// Returns the cycles found and `true` if the enumeration was truncated.
+///
+/// Cycle counts are worst-case exponential; the cap keeps diagnostics
+/// tractable on generated stress graphs.
+pub fn elementary_cycles(g: &Mldg, cap: usize) -> (Vec<Cycle>, bool) {
+    let n = g.node_count();
+    let mut cycles = Vec::new();
+    let mut truncated = false;
+
+    // Johnson's algorithm, restricted to nodes >= s in each round.
+    for s in 0..n {
+        if cycles.len() >= cap {
+            truncated = true;
+            break;
+        }
+        let s_node = NodeId(s as u32);
+        let mut blocked = vec![false; n];
+        let mut b_sets: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut path_edges: Vec<EdgeId> = Vec::new();
+
+        // Recursive circuit() made iterative via an explicit frame stack.
+        struct Frame {
+            v: usize,
+            edge_pos: usize,
+            found: bool,
+        }
+        let mut frames = vec![Frame {
+            v: s,
+            edge_pos: 0,
+            found: false,
+        }];
+        blocked[s] = true;
+
+        fn unblock(u: usize, blocked: &mut [bool], b_sets: &mut [Vec<usize>]) {
+            let mut work = vec![u];
+            while let Some(x) = work.pop() {
+                if blocked[x] {
+                    blocked[x] = false;
+                    work.extend(std::mem::take(&mut b_sets[x]));
+                }
+            }
+        }
+
+        'outer: while let Some(top) = frames.last_mut() {
+            let v = top.v;
+            let out = g.out_edges(NodeId(v as u32));
+            while top.edge_pos < out.len() {
+                let e = out[top.edge_pos];
+                top.edge_pos += 1;
+                let w = g.edge(e).dst.index();
+                if w < s {
+                    continue; // restrict to subgraph induced by nodes >= s
+                }
+                if w == s {
+                    // Found an elementary cycle closing at s.
+                    let mut edges = path_edges.clone();
+                    edges.push(e);
+                    cycles.push(Cycle { edges });
+                    top.found = true;
+                    if cycles.len() >= cap {
+                        truncated = true;
+                        break 'outer;
+                    }
+                } else if !blocked[w] {
+                    path_edges.push(e);
+                    blocked[w] = true;
+                    frames.push(Frame {
+                        v: w,
+                        edge_pos: 0,
+                        found: false,
+                    });
+                    continue 'outer;
+                }
+            }
+            // Post-visit bookkeeping.
+            let found = top.found;
+            if found {
+                unblock(v, &mut blocked, &mut b_sets);
+            } else {
+                for &e in g.out_edges(NodeId(v as u32)) {
+                    let w = g.edge(e).dst.index();
+                    if w >= s && !b_sets[w].contains(&v) {
+                        b_sets[w].push(v);
+                    }
+                }
+            }
+            frames.pop();
+            if let Some(parent) = frames.last_mut() {
+                parent.found |= found;
+                path_edges.pop();
+            }
+        }
+        let _ = s_node;
+    }
+    (cycles, truncated)
+}
+
+/// Nodes reachable from `start` (inclusive), by DFS.
+pub fn reachable_from(g: &Mldg, start: NodeId) -> Vec<NodeId> {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut out = Vec::new();
+    while let Some(v) = stack.pop() {
+        out.push(v);
+        for &e in g.out_edges(v) {
+            let w = g.edge(e).dst;
+            if !seen[w.index()] {
+                seen[w.index()] = true;
+                stack.push(w);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec2::v2;
+
+    fn figure2() -> Mldg {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        g.add_deps(a, b, [v2(1, 1), v2(2, 1)]);
+        g.add_deps(b, c, [v2(0, -2), v2(0, 1)]);
+        g.add_deps(c, d, [v2(0, -1)]);
+        g.add_deps(a, c, [v2(0, 1)]);
+        g.add_deps(d, a, [v2(2, 1)]);
+        g.add_deps(c, c, [v2(1, 0)]);
+        g
+    }
+
+    fn chain(n: usize) -> Mldg {
+        let mut g = Mldg::new();
+        let ids: Vec<_> = (0..n).map(|i| g.add_node(format!("N{i}"))).collect();
+        for w in ids.windows(2) {
+            g.add_dep(w[0], w[1], (0, 1));
+        }
+        g
+    }
+
+    #[test]
+    fn chain_is_acyclic_with_valid_topo_order() {
+        let g = chain(6);
+        assert!(is_acyclic(&g));
+        let order = topological_order(&g).unwrap();
+        assert_eq!(order.len(), 6);
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 6];
+            for (i, v) in order.iter().enumerate() {
+                p[v.index()] = i;
+            }
+            p
+        };
+        for e in g.edge_ids() {
+            let ed = g.edge(e);
+            assert!(pos[ed.src.index()] < pos[ed.dst.index()]);
+        }
+    }
+
+    #[test]
+    fn figure2_is_cyclic() {
+        let g = figure2();
+        assert!(!is_acyclic(&g));
+        assert!(topological_order(&g).is_none());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        g.add_dep(a, a, (1, 0));
+        assert!(!is_acyclic(&g));
+    }
+
+    #[test]
+    fn sccs_of_figure2() {
+        let g = figure2();
+        let sccs = strongly_connected_components(&g);
+        // B is part of the big cycle A->B->C->D->A, so {A,B,C,D} is one SCC.
+        let sizes: Vec<usize> = sccs.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 4);
+        assert!(sizes.contains(&4), "expected one 4-node SCC, got {sizes:?}");
+    }
+
+    #[test]
+    fn sccs_of_dag_are_singletons() {
+        let g = chain(5);
+        let sccs = strongly_connected_components(&g);
+        assert_eq!(sccs.len(), 5);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn elementary_cycles_of_figure2() {
+        let g = figure2();
+        let (cycles, truncated) = elementary_cycles(&g, 100);
+        assert!(!truncated);
+        // Paper names c1 = A->B->C->D->A and c2 = A->C->D->A; plus the C->C
+        // self-loop: 3 elementary cycles total.
+        assert_eq!(cycles.len(), 3, "{cycles:?}");
+        let mut sums: Vec<_> = cycles.iter().map(|c| g.delta_sum(&c.edges)).collect();
+        sums.sort();
+        assert_eq!(sums, vec![v2(1, 0), v2(2, 1), v2(3, -1)]);
+    }
+
+    #[test]
+    fn cycle_enumeration_cap_respected() {
+        // Complete digraph on 6 nodes has many cycles; cap must hold.
+        let mut g = Mldg::new();
+        let ids: Vec<_> = (0..6).map(|i| g.add_node(format!("K{i}"))).collect();
+        for &u in &ids {
+            for &v in &ids {
+                if u != v {
+                    g.add_dep(u, v, (1, 0));
+                }
+            }
+        }
+        let (cycles, truncated) = elementary_cycles(&g, 10);
+        assert_eq!(cycles.len(), 10);
+        assert!(truncated);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain(4);
+        let from0 = reachable_from(&g, NodeId(0));
+        assert_eq!(from0.len(), 4);
+        let from3 = reachable_from(&g, NodeId(3));
+        assert_eq!(from3.len(), 1);
+    }
+}

@@ -1,0 +1,314 @@
+//! Legality (executability) checks for MLDGs.
+//!
+//! The paper calls an MLDG *legal* "if there is no outmost loop-carried
+//! dependence vector reverse to the computational flow, i.e., the nested
+//! loop is executable" (Section 2.2). For a graph extracted from a real
+//! program this holds by construction; for hand-built or generated graphs we
+//! verify it structurally:
+//!
+//! 1. every loop dependence vector has a non-negative first coordinate
+//!    (a value cannot be consumed in an *earlier* outer iteration than the
+//!    one producing it), and
+//! 2. the subgraph of edges whose minimal vector has first coordinate zero
+//!    (dependencies within a single outer iteration) is acyclic — its
+//!    topological order is the textual order in which the candidate loops
+//!    can appear.
+//!
+//! These two conditions imply the paper's Lemma 2.1 consequence that every
+//! cycle weight is lexicographically positive (each cycle then contains at
+//! least one edge with `δ_L[1] >= 1` and no edge with `δ_L[1] < 0`), which
+//! in turn is what Theorem 3.2 needs for LLOFRA to be feasible.
+
+use crate::cycles::{elementary_cycles, topological_order};
+use crate::mldg::{EdgeId, Mldg, NodeId};
+use crate::vec2::IVec2;
+
+/// Why an MLDG is not executable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecutabilityError {
+    /// A dependence vector has a negative outer-loop distance: data would be
+    /// consumed before it is produced no matter how the loops are ordered.
+    NegativeOuterDistance {
+        /// Offending edge.
+        edge: EdgeId,
+        /// Offending vector.
+        vector: IVec2,
+    },
+    /// The zero-outer-distance subgraph contains a cycle: within one outer
+    /// iteration, each loop in the cycle must precede the others.
+    SameIterationCycle {
+        /// Nodes of one strongly connected component of the subgraph.
+        nodes: Vec<NodeId>,
+    },
+}
+
+impl std::fmt::Display for ExecutabilityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecutabilityError::NegativeOuterDistance { edge, vector } => write!(
+                f,
+                "edge {edge:?} carries dependence vector {vector} with negative outer distance"
+            ),
+            ExecutabilityError::SameIterationCycle { nodes } => write!(
+                f,
+                "loops {nodes:?} form a dependence cycle within a single outer iteration"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecutabilityError {}
+
+/// Checks the two executability conditions; `Ok(())` means the MLDG
+/// corresponds to a runnable program and is "legal" in the paper's sense.
+pub fn check_executable(g: &Mldg) -> Result<(), ExecutabilityError> {
+    for e in g.edge_ids() {
+        for v in g.deps(e).iter() {
+            if v.x < 0 {
+                return Err(ExecutabilityError::NegativeOuterDistance { edge: e, vector: v });
+            }
+        }
+    }
+    match textual_order(g) {
+        Some(_) => Ok(()),
+        None => {
+            // Identify one offending same-iteration cycle for the report.
+            let sub = zero_distance_subgraph(g);
+            let comp = crate::cycles::strongly_connected_components(&sub)
+                .into_iter()
+                .find(|c| c.len() > 1 || has_self_loop(&sub, c[0]))
+                .unwrap_or_default();
+            Err(ExecutabilityError::SameIterationCycle { nodes: comp })
+        }
+    }
+}
+
+fn has_self_loop(g: &Mldg, n: NodeId) -> bool {
+    g.edge_between(n, n).is_some()
+}
+
+/// The subgraph containing only edges whose *minimal* dependence vector has
+/// first coordinate zero (same-outer-iteration dependencies). Node ids are
+/// preserved.
+pub fn zero_distance_subgraph(g: &Mldg) -> Mldg {
+    let mut sub = Mldg::new();
+    for n in g.node_ids() {
+        sub.add_node(g.label(n).to_string());
+    }
+    for e in g.edge_ids() {
+        if g.delta(e).x == 0 {
+            let d = g.edge(e);
+            sub.add_dep(d.src, d.dst, g.delta(e));
+        }
+    }
+    sub
+}
+
+/// A textual order for the candidate loops: a topological order of the
+/// zero-distance subgraph, i.e. an order in which the loops can be written
+/// so that every same-iteration dependence flows forward. `None` when no
+/// such order exists (the graph is not executable).
+pub fn textual_order(g: &Mldg) -> Option<Vec<NodeId>> {
+    topological_order(&zero_distance_subgraph(g))
+}
+
+/// Summary of cycle weights, produced by bounded enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CycleWeightReport {
+    /// Number of elementary cycles inspected.
+    pub cycles_inspected: usize,
+    /// Whether the enumeration hit the cap (results then cover a subset).
+    pub truncated: bool,
+    /// Lexicographically minimal cycle weight seen (`None` for acyclic).
+    pub min_weight: Option<IVec2>,
+    /// `δ_L(c) >= (1,-1)` for every inspected cycle (the paper's Lemma 2.1).
+    pub all_at_least_one_neg_one: bool,
+    /// `δ_L(c) >= (0,0)` for every inspected cycle — the Theorem 2.3 / 4.4
+    /// hypothesis under which LLOFRA (and hence hyperplane fusion) is
+    /// feasible. Note Figure 14 contains a cycle of weight exactly `(0,0)`,
+    /// so the hypothesis cannot be strict positivity.
+    pub all_lex_nonnegative: bool,
+    /// `δ_L(c) > (0,0)` for every inspected cycle.
+    pub all_lex_positive: bool,
+}
+
+/// Inspects up to `cap` elementary cycles and summarizes their weights.
+pub fn cycle_weight_report(g: &Mldg, cap: usize) -> CycleWeightReport {
+    let (cycles, truncated) = elementary_cycles(g, cap);
+    let mut min_weight: Option<IVec2> = None;
+    for c in &cycles {
+        let w = g.delta_sum(&c.edges);
+        min_weight = Some(match min_weight {
+            Some(m) => m.min(w),
+            None => w,
+        });
+    }
+    CycleWeightReport {
+        cycles_inspected: cycles.len(),
+        truncated,
+        min_weight,
+        all_at_least_one_neg_one: min_weight.is_none_or(|m| m >= IVec2::ONE_NEG_ONE),
+        all_lex_nonnegative: min_weight.is_none_or(|m| m >= IVec2::ZERO),
+        all_lex_positive: min_weight.is_none_or(|m| m > IVec2::ZERO),
+    }
+}
+
+/// Theorem 3.1: straightforward fusion (no retiming) is legal iff every edge
+/// weight is lexicographically non-negative. Returns the offending edges
+/// (the *fusion-preventing* dependencies); fusion is directly legal when the
+/// result is empty.
+pub fn fusion_preventing_edges(g: &Mldg) -> Vec<EdgeId> {
+    g.edge_ids().filter(|&e| g.delta(e) < IVec2::ZERO).collect()
+}
+
+/// `true` when direct fusion (without retiming) is legal per Theorem 3.1.
+pub fn direct_fusion_legal(g: &Mldg) -> bool {
+    fusion_preventing_edges(g).is_empty()
+}
+
+/// Property 4.2 as a predicate on a (possibly retimed) graph: the fused
+/// innermost loop is DOALL iff every dependence vector `d` of every edge
+/// satisfies `d >= (1,-1)` or `d == (0,0)`.
+pub fn fused_inner_loop_is_doall(g: &Mldg) -> bool {
+    g.edge_ids().all(|e| {
+        g.deps(e)
+            .iter()
+            .all(|d| d.is_doall_safe() || d == IVec2::ZERO)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec2::v2;
+
+    fn figure2() -> Mldg {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let c = g.add_node("C");
+        let d = g.add_node("D");
+        g.add_deps(a, b, [v2(1, 1), v2(2, 1)]);
+        g.add_deps(b, c, [v2(0, -2), v2(0, 1)]);
+        g.add_deps(c, d, [v2(0, -1)]);
+        g.add_deps(a, c, [v2(0, 1)]);
+        g.add_deps(d, a, [v2(2, 1)]);
+        g.add_deps(c, c, [v2(1, 0)]);
+        g
+    }
+
+    #[test]
+    fn figure2_is_executable() {
+        assert_eq!(check_executable(&figure2()), Ok(()));
+    }
+
+    #[test]
+    fn figure2_textual_order_is_a_b_c_d_compatible() {
+        let g = figure2();
+        let order = textual_order(&g).unwrap();
+        let pos: std::collections::HashMap<_, _> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let (a, b, c, d) = (
+            g.node_by_label("A").unwrap(),
+            g.node_by_label("B").unwrap(),
+            g.node_by_label("C").unwrap(),
+            g.node_by_label("D").unwrap(),
+        );
+        // Same-iteration dependencies B->C, C->D, A->C must flow forward.
+        assert!(pos[&b] < pos[&c]);
+        assert!(pos[&c] < pos[&d]);
+        assert!(pos[&a] < pos[&c]);
+    }
+
+    #[test]
+    fn negative_outer_distance_detected() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        let e = g.add_dep(a, b, (-1, 0));
+        assert_eq!(
+            check_executable(&g),
+            Err(ExecutabilityError::NegativeOuterDistance {
+                edge: e,
+                vector: v2(-1, 0)
+            })
+        );
+    }
+
+    #[test]
+    fn same_iteration_cycle_detected() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, 1));
+        g.add_dep(b, a, (0, 1));
+        match check_executable(&g) {
+            Err(ExecutabilityError::SameIterationCycle { nodes }) => {
+                assert_eq!(nodes.len(), 2)
+            }
+            other => panic!("expected SameIterationCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_iteration_self_loop_detected() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        g.add_dep(a, a, (0, 1));
+        assert!(matches!(
+            check_executable(&g),
+            Err(ExecutabilityError::SameIterationCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn outer_carried_self_loop_is_fine() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        g.add_dep(a, a, (1, 0)); // like C->C in Figure 2
+        assert_eq!(check_executable(&g), Ok(()));
+    }
+
+    #[test]
+    fn figure2_cycle_report_matches_lemma_2_1() {
+        let report = cycle_weight_report(&figure2(), 1000);
+        assert!(!report.truncated);
+        assert_eq!(report.cycles_inspected, 3);
+        assert_eq!(report.min_weight, Some(v2(1, 0)));
+        assert!(report.all_at_least_one_neg_one);
+        assert!(report.all_lex_positive);
+    }
+
+    #[test]
+    fn fusion_preventing_edges_of_figure2() {
+        let g = figure2();
+        let fp = fusion_preventing_edges(&g);
+        // (0,-2) on B->C and (0,-1) on C->D are fusion-preventing.
+        assert_eq!(fp.len(), 2);
+        assert!(!direct_fusion_legal(&g));
+    }
+
+    #[test]
+    fn doall_predicate() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_deps(a, b, [v2(1, -1), v2(2, 5)]);
+        g.add_dep(b, b, (1, 0));
+        assert!(fused_inner_loop_is_doall(&g));
+        g.add_dep(a, b, (0, 2)); // serializing inner dependence
+        assert!(!fused_inner_loop_is_doall(&g));
+    }
+
+    #[test]
+    fn acyclic_cycle_report() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, (0, -3));
+        let r = cycle_weight_report(&g, 10);
+        assert_eq!(r.cycles_inspected, 0);
+        assert_eq!(r.min_weight, None);
+        assert!(r.all_lex_positive);
+    }
+}

@@ -1,0 +1,40 @@
+//! # `mdf-graph` — the MLDG substrate
+//!
+//! Data model for *multi-dimensional loop dependence graphs* (MLDGs) from
+//! "Efficient Polynomial-Time Nested Loop Fusion with Full Parallelism"
+//! (Sha, O'Neil, Passos; ICPP 1996):
+//!
+//! * [`vec2::IVec2`] / [`nvec::IVecN`] — integer vectors under the
+//!   lexicographic order used for all dependence-vector comparisons;
+//! * [`mldg::Mldg`] — the two-dimensional MLDG ("2LDG") with full
+//!   dependence-vector sets `D_L`, minimal weights `δ_L` and hard-edge
+//!   detection;
+//! * [`mldg_n::MldgN`] — the `N`-dimensional generalization used by the
+//!   extended legal-fusion algorithm;
+//! * [`legality`] — executability and fusion-legality predicates
+//!   (Theorem 3.1, Lemma 2.1);
+//! * [`cycles`] — topological order, SCCs, bounded elementary-cycle
+//!   enumeration (for diagnostics and algorithm selection);
+//! * [`paper`] — the exact example graphs from the paper's figures;
+//! * [`dot`] / [`textfmt`] — interchange formats.
+//!
+//! The crate is dependency-free and deliberately small: everything that
+//! *computes* retimings lives above it (`mdf-constraint`, `mdf-retime`,
+//! `mdf-core`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cycles;
+pub mod dot;
+pub mod legality;
+pub mod mldg;
+pub mod mldg_n;
+pub mod nvec;
+pub mod paper;
+pub mod textfmt;
+pub mod vec2;
+
+pub use mldg::{DepSet, EdgeData, EdgeId, Mldg, NodeData, NodeId};
+pub use nvec::IVecN;
+pub use vec2::{v2, IVec2};

@@ -1,0 +1,162 @@
+//! `N`-dimensional MLDGs for the generalized legal-fusion algorithm
+//! (`mdf-core::ndim`).
+//!
+//! Definition 2.2 allows arbitrary dimension; only the *legal fusion*
+//! result (Theorem 3.2) generalizes directly — the full-parallelism
+//! algorithms in the paper are developed for `n = 2` — so this model keeps
+//! just what LLOFRA needs: nodes, edges, dependence sets with lexicographic
+//! minima.
+
+use std::collections::HashMap;
+
+use crate::mldg::{EdgeId, NodeId};
+use crate::nvec::IVecN;
+
+/// An edge of an [`MldgN`].
+#[derive(Clone, Debug)]
+pub struct EdgeDataN<const N: usize> {
+    /// Producer loop.
+    pub src: NodeId,
+    /// Consumer loop.
+    pub dst: NodeId,
+    /// All loop dependence vectors, sorted ascending lexicographically.
+    pub deps: Vec<IVecN<N>>,
+}
+
+/// An `N`-dimensional loop dependence graph.
+#[derive(Clone, Debug, Default)]
+pub struct MldgN<const N: usize> {
+    labels: Vec<String>,
+    edges: Vec<EdgeDataN<N>>,
+    out_edges: Vec<Vec<EdgeId>>,
+    by_endpoints: HashMap<(NodeId, NodeId), EdgeId>,
+}
+
+impl<const N: usize> MldgN<N> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        MldgN {
+            labels: Vec::new(),
+            edges: Vec::new(),
+            out_edges: Vec::new(),
+            by_endpoints: HashMap::new(),
+        }
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.labels.len() as u32);
+        self.labels.push(label.into());
+        self.out_edges.push(Vec::new());
+        id
+    }
+
+    /// Records a dependence vector, merging parallel edges.
+    pub fn add_dep(&mut self, src: NodeId, dst: NodeId, d: IVecN<N>) -> EdgeId {
+        match self.by_endpoints.get(&(src, dst)) {
+            Some(&e) => {
+                let deps = &mut self.edges[e.index()].deps;
+                if let Err(pos) = deps.binary_search(&d) {
+                    deps.insert(pos, d);
+                }
+                e
+            }
+            None => {
+                let e = EdgeId(self.edges.len() as u32);
+                self.edges.push(EdgeDataN {
+                    src,
+                    dst,
+                    deps: vec![d],
+                });
+                self.out_edges[src.index()].push(e);
+                self.by_endpoints.insert((src, dst), e);
+                e
+            }
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Node label.
+    pub fn label(&self, n: NodeId) -> &str {
+        &self.labels[n.index()]
+    }
+
+    /// Iterates edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + 'static {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterates node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + 'static {
+        (0..self.labels.len() as u32).map(NodeId)
+    }
+
+    /// Edge payload.
+    pub fn edge(&self, e: EdgeId) -> &EdgeDataN<N> {
+        &self.edges[e.index()]
+    }
+
+    /// `δ_L(e)`: lexicographically minimal dependence vector of the edge.
+    pub fn delta(&self, e: EdgeId) -> IVecN<N> {
+        self.edges[e.index()].deps[0]
+    }
+
+    /// Applies a retiming `r` and returns the retimed graph
+    /// (`d_r = d + r(u) - r(v)` on every vector).
+    pub fn retimed(&self, r: &[IVecN<N>]) -> MldgN<N> {
+        assert_eq!(r.len(), self.node_count());
+        let mut g = self.clone();
+        for e in g.edges.iter_mut() {
+            let shift = r[e.src.index()] - r[e.dst.index()];
+            for d in e.deps.iter_mut() {
+                *d += shift;
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nvec::vn;
+
+    #[test]
+    fn build_and_query_3d() {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0, -2]));
+        g.add_dep(a, b, vn([0, 1, 5]));
+        g.add_dep(a, b, vn([0, 0, -2])); // duplicate ignored
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        let e = g.edge_ids().next().unwrap();
+        assert_eq!(g.edge(e).deps.len(), 2);
+        assert_eq!(g.delta(e), vn([0, 0, -2]));
+    }
+
+    #[test]
+    fn retiming_shifts_all_vectors() {
+        let mut g: MldgN<3> = MldgN::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, vn([0, 0, -2]));
+        g.add_dep(b, a, vn([1, 0, 0]));
+        let r = vec![vn([0, 0, 0]), vn([0, 0, -2])];
+        let gr = g.retimed(&r);
+        let e_ab = gr.edge_ids().find(|&e| gr.edge(e).src == a).unwrap();
+        let e_ba = gr.edge_ids().find(|&e| gr.edge(e).src == b).unwrap();
+        assert_eq!(gr.delta(e_ab), vn([0, 0, 0]));
+        assert_eq!(gr.delta(e_ba), vn([1, 0, -2]));
+    }
+}

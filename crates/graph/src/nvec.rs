@@ -1,0 +1,218 @@
+//! `N`-dimensional integer vectors with lexicographic order.
+//!
+//! The paper develops its algorithms for the two-dimensional case but the
+//! MLDG model (Definition 2.2) is stated for arbitrary dimension `n`. This
+//! module provides the `Z^n` analogue of [`crate::vec2::IVec2`] so that the
+//! generalized (n-dimensional) legal-fusion algorithm in `mdf-core::ndim`
+//! can operate on loop nests of any depth.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Neg, Sub, SubAssign};
+
+use crate::vec2::IVec2;
+
+/// A vector in `Z^N` ordered lexicographically (derived `Ord` on an array
+/// compares element-wise from index 0, which is lexicographic order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IVecN<const N: usize>(pub [i64; N]);
+
+impl<const N: usize> IVecN<N> {
+    /// The additive identity.
+    pub const ZERO: IVecN<N> = IVecN([0; N]);
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(components: [i64; N]) -> Self {
+        IVecN(components)
+    }
+
+    /// The dimension `N`.
+    #[inline]
+    pub const fn dim(&self) -> usize {
+        N
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &IVecN<N>) -> i64 {
+        self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).sum()
+    }
+
+    /// `true` iff the vector is lexicographically `>= 0`.
+    #[inline]
+    pub fn is_lex_nonnegative(&self) -> bool {
+        *self >= IVecN::ZERO
+    }
+
+    /// The first non-zero component's index, or `None` for the zero vector.
+    /// A dependence vector with leading index `k` is said to be *carried* by
+    /// loop level `k`.
+    pub fn carrying_level(&self) -> Option<usize> {
+        self.0.iter().position(|&c| c != 0)
+    }
+
+    /// Lexicographic minimum of an iterator.
+    pub fn lex_min<I: IntoIterator<Item = IVecN<N>>>(iter: I) -> Option<IVecN<N>> {
+        iter.into_iter().min()
+    }
+}
+
+impl IVecN<2> {
+    /// Converts the 2-D specialization into an [`IVec2`].
+    #[inline]
+    pub fn to_ivec2(self) -> IVec2 {
+        IVec2::new(self.0[0], self.0[1])
+    }
+}
+
+impl From<IVec2> for IVecN<2> {
+    #[inline]
+    fn from(v: IVec2) -> Self {
+        IVecN([v.x, v.y])
+    }
+}
+
+impl<const N: usize> Default for IVecN<N> {
+    fn default() -> Self {
+        IVecN::ZERO
+    }
+}
+
+impl<const N: usize> fmt::Debug for IVecN<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const N: usize> fmt::Display for IVecN<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl<const N: usize> Add for IVecN<N> {
+    type Output = IVecN<N>;
+    #[inline]
+    fn add(self, rhs: IVecN<N>) -> IVecN<N> {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o += r;
+        }
+        IVecN(out)
+    }
+}
+
+impl<const N: usize> AddAssign for IVecN<N> {
+    #[inline]
+    fn add_assign(&mut self, rhs: IVecN<N>) {
+        for (o, r) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o += r;
+        }
+    }
+}
+
+impl<const N: usize> Sub for IVecN<N> {
+    type Output = IVecN<N>;
+    #[inline]
+    fn sub(self, rhs: IVecN<N>) -> IVecN<N> {
+        let mut out = self.0;
+        for (o, r) in out.iter_mut().zip(rhs.0.iter()) {
+            *o -= r;
+        }
+        IVecN(out)
+    }
+}
+
+impl<const N: usize> SubAssign for IVecN<N> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: IVecN<N>) {
+        for (o, r) in self.0.iter_mut().zip(rhs.0.iter()) {
+            *o -= r;
+        }
+    }
+}
+
+impl<const N: usize> Neg for IVecN<N> {
+    type Output = IVecN<N>;
+    #[inline]
+    fn neg(self) -> IVecN<N> {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o = -*o;
+        }
+        IVecN(out)
+    }
+}
+
+impl<const N: usize> Index<usize> for IVecN<N> {
+    type Output = i64;
+    #[inline]
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl<const N: usize> IndexMut<usize> for IVecN<N> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+/// Convenience constructor.
+#[inline]
+pub const fn vn<const N: usize>(components: [i64; N]) -> IVecN<N> {
+    IVecN(components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(vn([0, 0, 5]) < vn([0, 1, -99]));
+        assert!(vn([1, -1, -1]) > vn([0, 100, 100]));
+        assert!(vn([2, 3, 4]) == vn([2, 3, 4]));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = vn([1, 2, 3]);
+        let b = vn([4, -5, 6]);
+        assert_eq!(a + b, vn([5, -3, 9]));
+        assert_eq!(a - b, vn([-3, 7, -3]));
+        assert_eq!(-a, vn([-1, -2, -3]));
+        assert_eq!(a.dot(&b), 4 + 2 * -5 + 3 * 6);
+    }
+
+    #[test]
+    fn carrying_level() {
+        assert_eq!(vn([0, 0, 3]).carrying_level(), Some(2));
+        assert_eq!(vn([2, 0, 0]).carrying_level(), Some(0));
+        assert_eq!(IVecN::<3>::ZERO.carrying_level(), None);
+    }
+
+    #[test]
+    fn ivec2_roundtrip() {
+        let v = IVec2::new(3, -4);
+        let n: IVecN<2> = v.into();
+        assert_eq!(n.to_ivec2(), v);
+    }
+
+    #[test]
+    fn order_translation_invariance() {
+        let a = vn([0, 3, -2]);
+        let b = vn([1, -9, 4]);
+        assert!(a < b);
+        let c = vn([5, 5, 5]);
+        assert!(a + c < b + c);
+    }
+}

@@ -1,0 +1,142 @@
+//! The example 2LDGs used throughout the paper, constructed exactly as
+//! specified in the text. These are shared by tests, examples and the
+//! benchmark harness (experiment suite entries E1–E3).
+
+use crate::mldg::Mldg;
+use crate::vec2::v2;
+
+/// Figure 2(a): the running 4-node cyclic 2LDG.
+///
+/// ```text
+/// D_L(A,B) = {(1,1),(2,1)}    D_L(B,C) = {(0,-2),(0,1)}   (hard edge)
+/// D_L(C,D) = {(0,-1)}         D_L(A,C) = {(0,1)}
+/// D_L(D,A) = {(2,1)}          D_L(C,C) = {(1,0)}
+/// ```
+pub fn figure2() -> Mldg {
+    let mut g = Mldg::new();
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+    g.add_deps(a, b, [v2(1, 1), v2(2, 1)]);
+    g.add_deps(b, c, [v2(0, -2), v2(0, 1)]);
+    g.add_deps(c, d, [v2(0, -1)]);
+    g.add_deps(a, c, [v2(0, 1)]);
+    g.add_deps(d, a, [v2(2, 1)]);
+    g.add_deps(c, c, [v2(1, 0)]);
+    g
+}
+
+/// Figure 8: the 7-node acyclic 2LDG of Section 4.2.
+///
+/// ```text
+/// D_L(A,B) = {(0,1)}            D_L(B,C) = {(0,-2),(0,3)}  (hard edge)
+/// D_L(C,D) = {(1,3)}            D_L(D,E) = {(2,-2)}
+/// D_L(B,F) = {(0,-2)}           D_L(F,G) = {(1,2)}
+/// D_L(B,E) = {(1,2)}            D_L(A,D) = {(0,-3),(0,-1)} (hard edge)
+/// ```
+pub fn figure8() -> Mldg {
+    let mut g = Mldg::new();
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+    let e = g.add_node("E");
+    let f = g.add_node("F");
+    let gg = g.add_node("G");
+    g.add_deps(a, b, [v2(0, 1)]);
+    g.add_deps(b, c, [v2(0, -2), v2(0, 3)]);
+    g.add_deps(c, d, [v2(1, 3)]);
+    g.add_deps(d, e, [v2(2, -2)]);
+    g.add_deps(b, f, [v2(0, -2)]);
+    g.add_deps(f, gg, [v2(1, 2)]);
+    g.add_deps(b, e, [v2(1, 2)]);
+    g.add_deps(a, d, [v2(0, -3), v2(0, -1)]);
+    g
+}
+
+/// Figure 14: the cyclic 2LDG of Section 4.4 that only admits hyperplane
+/// (wavefront) parallelism. It is Figure 8 altered by:
+///
+/// * adding edges `D -> C` and `E -> B`;
+/// * `D_L(D,C) = {(0,-2)}` and `D_L(E,B) = {(0,1),(1,1)}`;
+/// * redefining `D_L(C,D) = {(0,3),(0,5)}` (hard), `D_L(D,E) = {(0,-2)}`,
+///   and `D_L(A,D) = {(0,-3),(1,0)}`.
+pub fn figure14() -> Mldg {
+    let mut g = Mldg::new();
+    let a = g.add_node("A");
+    let b = g.add_node("B");
+    let c = g.add_node("C");
+    let d = g.add_node("D");
+    let e = g.add_node("E");
+    let f = g.add_node("F");
+    let gg = g.add_node("G");
+    g.add_deps(a, b, [v2(0, 1)]);
+    g.add_deps(b, c, [v2(0, -2), v2(0, 3)]);
+    g.add_deps(c, d, [v2(0, 3), v2(0, 5)]);
+    g.add_deps(d, e, [v2(0, -2)]);
+    g.add_deps(b, f, [v2(0, -2)]);
+    g.add_deps(f, gg, [v2(1, 2)]);
+    g.add_deps(b, e, [v2(1, 2)]);
+    g.add_deps(a, d, [v2(0, -3), v2(1, 0)]);
+    g.add_deps(d, c, [v2(0, -2)]);
+    g.add_deps(e, b, [v2(0, 1), v2(1, 1)]);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycles::is_acyclic;
+    use crate::legality::check_executable;
+
+    #[test]
+    fn figure2_properties() {
+        let g = figure2();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 6);
+        assert!(!is_acyclic(&g));
+        assert_eq!(check_executable(&g), Ok(()));
+    }
+
+    #[test]
+    fn figure8_properties() {
+        let g = figure8();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 8);
+        assert!(is_acyclic(&g));
+        assert_eq!(check_executable(&g), Ok(()));
+        // Hard edges: B->C and A->D.
+        let hard: Vec<_> = g.edge_ids().filter(|&e| g.is_hard(e)).collect();
+        assert_eq!(hard.len(), 2);
+    }
+
+    #[test]
+    fn figure14_properties() {
+        let g = figure14();
+        assert_eq!(g.node_count(), 7);
+        assert_eq!(g.edge_count(), 10);
+        assert!(!is_acyclic(&g));
+        // Figure 14 contains the same-iteration cycle C -> D -> C
+        // (weights (0,3) and (0,-2)), so it is not realizable as a straight
+        // textual loop sequence; the paper nevertheless processes it with
+        // Algorithm 5, whose feasibility hypothesis (all cycle weights
+        // lexicographically >= (0,0); the cycle B->C->D->E->B sums to
+        // exactly (0,0)) does hold.
+        assert!(matches!(
+            check_executable(&g),
+            Err(crate::legality::ExecutabilityError::SameIterationCycle { .. })
+        ));
+        let report = crate::legality::cycle_weight_report(&g, 1000);
+        assert!(!report.truncated);
+        assert!(report.all_lex_nonnegative);
+        assert!(!report.all_lex_positive);
+        assert!(!report.all_at_least_one_neg_one);
+        // Hard edges: B->C and C->D (per the figure's '*' marks).
+        let b = g.node_by_label("B").unwrap();
+        let c = g.node_by_label("C").unwrap();
+        let d = g.node_by_label("D").unwrap();
+        assert!(g.is_hard(g.edge_between(b, c).unwrap()));
+        assert!(g.is_hard(g.edge_between(c, d).unwrap()));
+    }
+}

@@ -1,0 +1,208 @@
+//! A small line-oriented text format for MLDGs, used by the `mdfuse` CLI
+//! and by the experiment suite files.
+//!
+//! ```text
+//! # comment
+//! mldg fig2
+//! node A
+//! node B
+//! edge A -> B : (1,1) (2,1)
+//! edge B -> B : (1,0)
+//! ```
+//!
+//! Whitespace is insignificant inside vector lists; every edge line carries
+//! the *full* dependence set `D_L` (the minimal vector `δ_L` is derived).
+
+use std::fmt::Write as _;
+
+use crate::mldg::Mldg;
+use crate::vec2::IVec2;
+
+/// A parse failure with 1-based line information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the failure.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the text format; returns the graph and its declared name.
+pub fn parse(input: &str) -> Result<(Mldg, String), ParseError> {
+    let mut g = Mldg::new();
+    let mut name = None;
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (keyword, rest) = match line.split_once(char::is_whitespace) {
+            Some((k, r)) => (k, r.trim()),
+            None => (line, ""),
+        };
+        match keyword {
+            "mldg" => {
+                if name.is_some() {
+                    return Err(err(lineno, "duplicate 'mldg' header"));
+                }
+                if rest.is_empty() {
+                    return Err(err(lineno, "'mldg' requires a name"));
+                }
+                name = Some(rest.to_string());
+            }
+            "node" => {
+                if rest.is_empty() || rest.contains(char::is_whitespace) {
+                    return Err(err(lineno, "'node' requires a single label"));
+                }
+                if g.node_by_label(rest).is_some() {
+                    return Err(err(lineno, format!("duplicate node {rest:?}")));
+                }
+                g.add_node(rest);
+            }
+            "edge" => {
+                let (endpoints, vecs) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err(lineno, "'edge' requires ': <vectors>'"))?;
+                let (src, dst) = endpoints
+                    .split_once("->")
+                    .ok_or_else(|| err(lineno, "'edge' requires 'SRC -> DST'"))?;
+                let src = g
+                    .node_by_label(src.trim())
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", src.trim())))?;
+                let dst = g
+                    .node_by_label(dst.trim())
+                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", dst.trim())))?;
+                let vectors = parse_vectors(vecs, lineno)?;
+                if vectors.is_empty() {
+                    return Err(err(lineno, "edge carries no dependence vectors"));
+                }
+                for v in vectors {
+                    g.add_dep(src, dst, v);
+                }
+            }
+            other => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+        }
+    }
+    let name = name.ok_or_else(|| err(1, "missing 'mldg <name>' header"))?;
+    Ok((g, name))
+}
+
+/// Parses a whitespace-separated list of `(x,y)` vectors.
+fn parse_vectors(s: &str, lineno: usize) -> Result<Vec<IVec2>, ParseError> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('(') {
+            return Err(err(lineno, format!("expected '(' in vector list near {rest:?}")));
+        }
+        let close = rest
+            .find(')')
+            .ok_or_else(|| err(lineno, "unterminated vector"))?;
+        let body = &rest[1..close];
+        let (xs, ys) = body
+            .split_once(',')
+            .ok_or_else(|| err(lineno, format!("vector {body:?} needs two components")))?;
+        let x = xs
+            .trim()
+            .parse::<i64>()
+            .map_err(|_| err(lineno, format!("bad integer {:?}", xs.trim())))?;
+        let y = ys
+            .trim()
+            .parse::<i64>()
+            .map_err(|_| err(lineno, format!("bad integer {:?}", ys.trim())))?;
+        out.push(IVec2::new(x, y));
+        rest = rest[close + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+/// Serializes a graph in the text format (inverse of [`parse`]).
+pub fn to_text(g: &Mldg, name: &str) -> String {
+    let mut out = String::new();
+    writeln!(out, "mldg {name}").unwrap();
+    for n in g.node_ids() {
+        writeln!(out, "node {}", g.label(n)).unwrap();
+    }
+    for e in g.edge_ids() {
+        let d = g.edge(e);
+        write!(out, "edge {} -> {} :", g.label(d.src), g.label(d.dst)).unwrap();
+        for v in g.deps(e).iter() {
+            write!(out, " {v}").unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{figure14, figure2, figure8};
+    use crate::vec2::v2;
+
+    #[test]
+    fn roundtrip_paper_figures() {
+        for (g, name) in [
+            (figure2(), "fig2"),
+            (figure8(), "fig8"),
+            (figure14(), "fig14"),
+        ] {
+            let text = to_text(&g, name);
+            let (g2, name2) = parse(&text).unwrap();
+            assert_eq!(name2, name);
+            assert_eq!(g2.node_count(), g.node_count());
+            assert_eq!(g2.edge_count(), g.edge_count());
+            for e in g.edge_ids() {
+                let d = g.edge(e);
+                let e2 = g2.edge_between(d.src, d.dst).unwrap();
+                assert_eq!(g2.deps(e2).as_slice(), g.deps(e).as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn parse_with_comments_and_blank_lines() {
+        let input = "\n# a graph\nmldg tiny  \nnode A\nnode B # consumer\n\nedge A -> B : (0, 1) (2,-3)\n";
+        let (g, name) = parse(input).unwrap();
+        assert_eq!(name, "tiny");
+        assert_eq!(g.node_count(), 2);
+        let e = g
+            .edge_between(
+                g.node_by_label("A").unwrap(),
+                g.node_by_label("B").unwrap(),
+            )
+            .unwrap();
+        assert_eq!(g.deps(e).as_slice(), &[v2(0, 1), v2(2, -3)]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse("mldg x\nnode A\nedge A -> Z : (0,0)").unwrap_err().line, 3);
+        assert_eq!(parse("mldg x\nbogus A").unwrap_err().line, 2);
+        assert_eq!(parse("node A").unwrap_err().message, "missing 'mldg <name>' header");
+        assert!(parse("mldg x\nnode A\nedge A -> A : (0").unwrap_err().message.contains("unterminated"));
+        assert!(parse("mldg x\nnode A\nedge A -> A :").unwrap_err().message.contains("no dependence"));
+    }
+
+    #[test]
+    fn duplicate_declarations_rejected() {
+        assert!(parse("mldg a\nmldg b").is_err());
+        assert!(parse("mldg a\nnode A\nnode A").is_err());
+    }
+}

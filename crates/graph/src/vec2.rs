@@ -1,0 +1,288 @@
+//! Two-dimensional integer vectors with *lexicographic* order.
+//!
+//! The paper's dependence vectors, retiming vectors, schedule vectors and
+//! hyperplanes all live in `Z^2`. Comparisons between dependence vectors are
+//! always lexicographic (Section 2.1 of the paper): `(a, b) < (x, y)` iff
+//! `a < x`, or `a == x` and `b < y`. Rust's derived `Ord` on a struct compares
+//! fields in declaration order, which is exactly lexicographic order for
+//! `(x, y)`, so `IVec2` derives it.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A point/vector in `Z^2` ordered lexicographically.
+///
+/// `x` is the outermost-loop component and `y` the innermost-loop component,
+/// matching the paper's `(d_L[1], d_L[2])` convention.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct IVec2 {
+    /// Outer-loop (first) component.
+    pub x: i64,
+    /// Inner-loop (second) component.
+    pub y: i64,
+}
+
+impl IVec2 {
+    /// The additive identity `(0, 0)`.
+    pub const ZERO: IVec2 = IVec2 { x: 0, y: 0 };
+    /// The vector `(1, -1)`, the paper's DOALL edge-weight threshold
+    /// (Property 4.2).
+    pub const ONE_NEG_ONE: IVec2 = IVec2 { x: 1, y: -1 };
+
+    /// Creates a vector from its components.
+    #[inline]
+    pub const fn new(x: i64, y: i64) -> Self {
+        IVec2 { x, y }
+    }
+
+    /// The dot product `self · other`, used when testing schedule vectors
+    /// (`s · d > 0` for every non-zero dependence vector `d`).
+    #[inline]
+    pub const fn dot(self, other: IVec2) -> i64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Component-wise minimum (NOT the lexicographic minimum).
+    #[inline]
+    pub fn min_components(self, other: IVec2) -> IVec2 {
+        IVec2::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum (NOT the lexicographic maximum).
+    #[inline]
+    pub fn max_components(self, other: IVec2) -> IVec2 {
+        IVec2::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// `true` iff `self` is lexicographically non-negative, i.e. `>= (0,0)`.
+    ///
+    /// This is the fusion-legality condition of Theorem 3.1: if every edge
+    /// weight satisfies this predicate, straightforward fusion is legal.
+    #[inline]
+    pub fn is_lex_nonnegative(self) -> bool {
+        self >= IVec2::ZERO
+    }
+
+    /// `true` iff `self` is lexicographically positive, i.e. `> (0,0)`.
+    #[inline]
+    pub fn is_lex_positive(self) -> bool {
+        self > IVec2::ZERO
+    }
+
+    /// `true` iff this dependence vector cannot serialize the fused
+    /// innermost loop, i.e. it is carried by the *outer* loop: `x >= 1`.
+    ///
+    /// The paper states this condition as `d >= (1,-1)` (Property 4.2), but
+    /// that phrasing is loose under the lexicographic order: `(1,-999)` is
+    /// lexicographically *smaller* than `(1,-1)` yet still crosses outer
+    /// iterations and therefore never creates a same-row dependence. The
+    /// precise content of the property is `x >= 1`, which is what we test.
+    #[inline]
+    pub fn is_doall_safe(self) -> bool {
+        self.x >= 1
+    }
+
+    /// The vector rotated 90 degrees clockwise: `(x, y) -> (y, -x)`.
+    ///
+    /// Lemma 4.3 picks the DOALL hyperplane `h = (s[2], -s[1])` perpendicular
+    /// to the schedule vector `s`; this helper performs that construction.
+    #[inline]
+    pub const fn perpendicular(self) -> IVec2 {
+        IVec2::new(self.y, -self.x)
+    }
+
+    /// Multiplies each component by a scalar.
+    #[inline]
+    pub const fn scale(self, k: i64) -> IVec2 {
+        IVec2::new(self.x * k, self.y * k)
+    }
+
+    /// Checked addition; `None` on overflow of either component.
+    #[inline]
+    pub fn checked_add(self, other: IVec2) -> Option<IVec2> {
+        Some(IVec2::new(
+            self.x.checked_add(other.x)?,
+            self.y.checked_add(other.y)?,
+        ))
+    }
+
+    /// The L1 norm `|x| + |y|` (useful for bounding prologue sizes).
+    #[inline]
+    pub fn l1_norm(self) -> i64 {
+        self.x.abs() + self.y.abs()
+    }
+
+    /// Returns the lexicographic minimum of a non-empty iterator, or `None`
+    /// when the iterator is empty. This is the paper's
+    /// `δ_L(e) = min { v : v ∈ D_L(a,b) }`.
+    pub fn lex_min<I: IntoIterator<Item = IVec2>>(iter: I) -> Option<IVec2> {
+        iter.into_iter().min()
+    }
+
+    /// Returns the lexicographic maximum of a non-empty iterator, or `None`
+    /// when the iterator is empty (used by Algorithm 5 to find the largest
+    /// retimed dependence vector).
+    pub fn lex_max<I: IntoIterator<Item = IVec2>>(iter: I) -> Option<IVec2> {
+        iter.into_iter().max()
+    }
+}
+
+impl fmt::Debug for IVec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for IVec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.x, self.y)
+    }
+}
+
+impl Add for IVec2 {
+    type Output = IVec2;
+    #[inline]
+    fn add(self, rhs: IVec2) -> IVec2 {
+        IVec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for IVec2 {
+    #[inline]
+    fn add_assign(&mut self, rhs: IVec2) {
+        self.x += rhs.x;
+        self.y += rhs.y;
+    }
+}
+
+impl Sub for IVec2 {
+    type Output = IVec2;
+    #[inline]
+    fn sub(self, rhs: IVec2) -> IVec2 {
+        IVec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for IVec2 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: IVec2) {
+        self.x -= rhs.x;
+        self.y -= rhs.y;
+    }
+}
+
+impl Neg for IVec2 {
+    type Output = IVec2;
+    #[inline]
+    fn neg(self) -> IVec2 {
+        IVec2::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<i64> for IVec2 {
+    type Output = IVec2;
+    #[inline]
+    fn mul(self, k: i64) -> IVec2 {
+        self.scale(k)
+    }
+}
+
+impl From<(i64, i64)> for IVec2 {
+    #[inline]
+    fn from((x, y): (i64, i64)) -> Self {
+        IVec2::new(x, y)
+    }
+}
+
+impl From<IVec2> for (i64, i64) {
+    #[inline]
+    fn from(v: IVec2) -> Self {
+        (v.x, v.y)
+    }
+}
+
+/// Convenience constructor mirroring the paper's `(a, b)` notation.
+#[inline]
+pub const fn v2(x: i64, y: i64) -> IVec2 {
+    IVec2::new(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order_matches_paper_definition() {
+        // (a,b) < (x,y) iff a < x, or a == x and b < y.
+        assert!(v2(0, 5) < v2(1, -100));
+        assert!(v2(1, -1) < v2(1, 0));
+        assert!(v2(2, 1) > v2(1, 9999));
+        assert!(v2(0, -2) < v2(0, 1));
+        assert_eq!(v2(3, 4), v2(3, 4));
+    }
+
+    #[test]
+    fn lex_min_of_dependence_set() {
+        // D_L(A,B) = {(1,1),(2,1)} in Figure 2; the minimal vector is (1,1).
+        assert_eq!(IVec2::lex_min([v2(2, 1), v2(1, 1)]), Some(v2(1, 1)));
+        // D_L(B,C) = {(0,-2),(0,1)}; the minimal vector is (0,-2).
+        assert_eq!(IVec2::lex_min([v2(0, 1), v2(0, -2)]), Some(v2(0, -2)));
+        assert_eq!(IVec2::lex_min(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn arithmetic_laws() {
+        let a = v2(3, -7);
+        let b = v2(-2, 5);
+        assert_eq!(a + b, v2(1, -2));
+        assert_eq!(a - b, v2(5, -12));
+        assert_eq!(-a, v2(-3, 7));
+        assert_eq!(a + IVec2::ZERO, a);
+        assert_eq!(a - a, IVec2::ZERO);
+        assert_eq!(a * 3, v2(9, -21));
+    }
+
+    #[test]
+    fn order_is_translation_invariant() {
+        // Lexicographic order on Z^2 is a linear (group-compatible) order:
+        // a <= b implies a + c <= b + c. Bellman-Ford over IVec2 weights
+        // relies on this.
+        let cases = [
+            (v2(0, 5), v2(1, -100)),
+            (v2(1, -1), v2(1, 0)),
+            (v2(-3, 2), v2(-3, 2)),
+        ];
+        let shifts = [v2(0, 0), v2(5, -9), v2(-2, 100), v2(7, 7)];
+        for (a, b) in cases {
+            assert!(a <= b);
+            for c in shifts {
+                assert!(a + c <= b + c, "{a:?} + {c:?} vs {b:?} + {c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_and_perpendicular() {
+        let s = v2(5, 1);
+        let h = s.perpendicular();
+        assert_eq!(h, v2(1, -5)); // matches the paper's Section 4.4 example
+        assert_eq!(s.dot(h), 0);
+        assert_eq!(s.dot(v2(1, 3)), 8);
+    }
+
+    #[test]
+    fn doall_safe_predicate() {
+        assert!(v2(1, -1).is_doall_safe());
+        assert!(v2(1, -999).is_doall_safe()); // x >= 1 suffices (see doc)
+        assert!(v2(2, 0).is_doall_safe());
+        assert!(!v2(0, 0).is_doall_safe());
+        assert!(!v2(0, 7).is_doall_safe());
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert_eq!(v2(1, 2).checked_add(v2(3, 4)), Some(v2(4, 6)));
+        assert_eq!(v2(i64::MAX, 0).checked_add(v2(1, 0)), None);
+        assert_eq!(v2(0, i64::MIN).checked_add(v2(0, -1)), None);
+    }
+}

@@ -1,0 +1,415 @@
+//! The loop-nest IR matching the paper's program model (Figure 1):
+//! one sequential outer loop `DO i = 0, n` whose body is a sequence of
+//! innermost `DOALL j = 0, m` loops, each a list of assignments over 2-D
+//! arrays with constant-offset subscripts `X[i+a][j+b]`.
+//!
+//! Loop bounds `n` and `m` are runtime parameters (the transformations are
+//! independent of them), so the IR stores only the structure.
+
+use std::fmt;
+
+/// Index of an array in [`Program::arrays`].
+pub type ArrayId = usize;
+
+/// An array access `arrays[array][i + di][j + dj]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArrayRef {
+    /// Which array.
+    pub array: ArrayId,
+    /// Constant offset added to the outer index `i`.
+    pub di: i64,
+    /// Constant offset added to the inner index `j`.
+    pub dj: i64,
+}
+
+impl ArrayRef {
+    /// Creates a reference.
+    pub const fn new(array: ArrayId, di: i64, dj: i64) -> Self {
+        ArrayRef { array, di, dj }
+    }
+
+    /// The offset as a pair (outer, inner).
+    pub const fn offset(&self) -> (i64, i64) {
+        (self.di, self.dj)
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+impl BinOp {
+    /// Applies the operator with wrapping semantics (the interpreter works
+    /// over `i64` and transformation correctness is index-based, so
+    /// wraparound is harmless and keeps execution total).
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+        }
+    }
+
+    /// Display token.
+    pub fn token(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+        }
+    }
+}
+
+/// Right-hand-side expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Array read.
+    Ref(ArrayRef),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor: `a op b`.
+    pub fn bin(op: BinOp, a: Expr, b: Expr) -> Expr {
+        Expr::Bin(op, Box::new(a), Box::new(b))
+    }
+
+    /// Collects every array read in evaluation order.
+    pub fn collect_refs(&self, out: &mut Vec<ArrayRef>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Ref(r) => out.push(*r),
+            Expr::Neg(e) => e.collect_refs(out),
+            Expr::Bin(_, a, b) => {
+                a.collect_refs(out);
+                b.collect_refs(out);
+            }
+        }
+    }
+
+    /// All array reads of the expression.
+    pub fn refs(&self) -> Vec<ArrayRef> {
+        let mut out = Vec::new();
+        self.collect_refs(&mut out);
+        out
+    }
+
+    /// Number of operator nodes (used by cost models).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Ref(_) => 0,
+            Expr::Neg(e) => 1 + e.op_count(),
+            Expr::Bin(_, a, b) => 1 + a.op_count() + b.op_count(),
+        }
+    }
+}
+
+/// One assignment `lhs = rhs;`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stmt {
+    /// The written array cell.
+    pub lhs: ArrayRef,
+    /// The computed value.
+    pub rhs: Expr,
+}
+
+/// One innermost DOALL loop (one MLDG node).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InnerLoop {
+    /// Label (`"A"`, `"B"`, ...), also the MLDG node label.
+    pub label: String,
+    /// Loop body, executed in order for each `j`.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A whole program: `DO i { DOALL j {..} DOALL j {..} ... }`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Program name.
+    pub name: String,
+    /// Array names; [`ArrayId`]s index into this.
+    pub arrays: Vec<String>,
+    /// The innermost loops in textual order.
+    pub loops: Vec<InnerLoop>,
+}
+
+/// Validation failures for a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// An [`ArrayRef`] indexes past [`Program::arrays`].
+    UnknownArray {
+        /// The offending id.
+        array: ArrayId,
+    },
+    /// Two loops share a label.
+    DuplicateLabel {
+        /// The repeated label.
+        label: String,
+    },
+    /// An array is written by more than one statement. The paper's program
+    /// model (and the soundness of flow-only dependence extraction) relies
+    /// on a single producer per array: every cell is then written at most
+    /// once, so no output dependences exist and anti-dependences only arise
+    /// from reads of *future* writes, which extraction models explicitly.
+    MultipleWriters {
+        /// The multiply-written array.
+        array: ArrayId,
+    },
+    /// A program must contain at least one loop, and loops at least one
+    /// statement.
+    Empty,
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::UnknownArray { array } => write!(f, "unknown array id {array}"),
+            ProgramError::DuplicateLabel { label } => write!(f, "duplicate loop label {label:?}"),
+            ProgramError::MultipleWriters { array } => {
+                write!(f, "array {array} has more than one writing statement")
+            }
+            ProgramError::Empty => write!(f, "program has no loops (or a loop has no statements)"),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new(name: impl Into<String>) -> Self {
+        Program {
+            name: name.into(),
+            arrays: Vec::new(),
+            loops: Vec::new(),
+        }
+    }
+
+    /// Declares an array, returning its id.
+    pub fn add_array(&mut self, name: impl Into<String>) -> ArrayId {
+        self.arrays.push(name.into());
+        self.arrays.len() - 1
+    }
+
+    /// Appends an innermost loop.
+    pub fn add_loop(&mut self, label: impl Into<String>, stmts: Vec<Stmt>) -> usize {
+        self.loops.push(InnerLoop {
+            label: label.into(),
+            stmts,
+        });
+        self.loops.len() - 1
+    }
+
+    /// Looks an array up by name.
+    pub fn array_by_name(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.iter().position(|a| a == name)
+    }
+
+    /// Looks a loop up by label.
+    pub fn loop_by_label(&self, label: &str) -> Option<usize> {
+        self.loops.iter().position(|l| l.label == label)
+    }
+
+    /// The unique writing statement of `array`, as `(loop index, stmt
+    /// index)`, if any. Assumes the program validated (single writer).
+    pub fn writer_of(&self, array: ArrayId) -> Option<(usize, usize)> {
+        for (li, l) in self.loops.iter().enumerate() {
+            for (si, s) in l.stmts.iter().enumerate() {
+                if s.lhs.array == array {
+                    return Some((li, si));
+                }
+            }
+        }
+        None
+    }
+
+    /// Every `(loop index, ArrayRef)` read in the program.
+    pub fn all_reads(&self) -> Vec<(usize, ArrayRef)> {
+        let mut out = Vec::new();
+        for (li, l) in self.loops.iter().enumerate() {
+            for s in &l.stmts {
+                for r in s.rhs.refs() {
+                    out.push((li, r));
+                }
+            }
+        }
+        out
+    }
+
+    /// Every `(loop index, ArrayRef)` written in the program.
+    pub fn all_writes(&self) -> Vec<(usize, ArrayRef)> {
+        let mut out = Vec::new();
+        for (li, l) in self.loops.iter().enumerate() {
+            for s in &l.stmts {
+                out.push((li, s.lhs));
+            }
+        }
+        out
+    }
+
+    /// Structural validation; see [`ProgramError`].
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        if self.loops.is_empty() || self.loops.iter().any(|l| l.stmts.is_empty()) {
+            return Err(ProgramError::Empty);
+        }
+        let mut labels = std::collections::HashSet::new();
+        for l in &self.loops {
+            if !labels.insert(l.label.as_str()) {
+                return Err(ProgramError::DuplicateLabel {
+                    label: l.label.clone(),
+                });
+            }
+        }
+        let mut writers = vec![0usize; self.arrays.len()];
+        for l in &self.loops {
+            for s in &l.stmts {
+                if s.lhs.array >= self.arrays.len() {
+                    return Err(ProgramError::UnknownArray { array: s.lhs.array });
+                }
+                writers[s.lhs.array] += 1;
+                for r in s.rhs.refs() {
+                    if r.array >= self.arrays.len() {
+                        return Err(ProgramError::UnknownArray { array: r.array });
+                    }
+                }
+            }
+        }
+        if let Some(a) = writers.iter().position(|&w| w > 1) {
+            return Err(ProgramError::MultipleWriters { array: a });
+        }
+        Ok(())
+    }
+
+    /// The maximum absolute subscript offset across the program, used to
+    /// size array halos in the interpreter.
+    pub fn max_offset(&self) -> i64 {
+        let mut m = 0;
+        for l in &self.loops {
+            for s in &l.stmts {
+                m = m.max(s.lhs.di.abs()).max(s.lhs.dj.abs());
+                for r in s.rhs.refs() {
+                    m = m.max(r.di.abs()).max(r.dj.abs());
+                }
+            }
+        }
+        m
+    }
+
+    /// Total statement count.
+    pub fn stmt_count(&self) -> usize {
+        self.loops.iter().map(|l| l.stmts.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Program {
+        let mut p = Program::new("tiny");
+        let a = p.add_array("a");
+        let b = p.add_array("b");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Const(1),
+            }],
+        );
+        p.add_loop(
+            "B",
+            vec![Stmt {
+                lhs: ArrayRef::new(b, 0, 0),
+                rhs: Expr::bin(
+                    BinOp::Add,
+                    Expr::Ref(ArrayRef::new(a, -1, 0)),
+                    Expr::Const(2),
+                ),
+            }],
+        );
+        p
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let p = tiny();
+        assert_eq!(p.validate(), Ok(()));
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.stmt_count(), 2);
+        assert_eq!(p.array_by_name("b"), Some(1));
+        assert_eq!(p.loop_by_label("B"), Some(1));
+        assert_eq!(p.writer_of(0), Some((0, 0)));
+        assert_eq!(p.writer_of(1), Some((1, 0)));
+        assert_eq!(p.max_offset(), 1);
+    }
+
+    #[test]
+    fn expr_refs_in_order() {
+        let e = Expr::bin(
+            BinOp::Sub,
+            Expr::Ref(ArrayRef::new(0, 1, 2)),
+            Expr::Neg(Box::new(Expr::Ref(ArrayRef::new(1, -3, 0)))),
+        );
+        assert_eq!(
+            e.refs(),
+            vec![ArrayRef::new(0, 1, 2), ArrayRef::new(1, -3, 0)]
+        );
+        assert_eq!(e.op_count(), 2);
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), -1);
+        assert_eq!(BinOp::Mul.apply(i64::MAX, 2), i64::MAX.wrapping_mul(2));
+    }
+
+    #[test]
+    fn multiple_writers_rejected() {
+        let mut p = tiny();
+        let a = 0;
+        p.loops[1].stmts.push(Stmt {
+            lhs: ArrayRef::new(a, 0, 1),
+            rhs: Expr::Const(0),
+        });
+        assert_eq!(p.validate(), Err(ProgramError::MultipleWriters { array: a }));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut p = tiny();
+        p.loops[1].label = "A".into();
+        assert!(matches!(
+            p.validate(),
+            Err(ProgramError::DuplicateLabel { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_array_rejected() {
+        let mut p = tiny();
+        p.loops[0].stmts[0].rhs = Expr::Ref(ArrayRef::new(99, 0, 0));
+        assert_eq!(p.validate(), Err(ProgramError::UnknownArray { array: 99 }));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        let p = Program::new("empty");
+        assert_eq!(p.validate(), Err(ProgramError::Empty));
+        let mut p2 = Program::new("emptyloop");
+        p2.add_loop("A", vec![]);
+        assert_eq!(p2.validate(), Err(ProgramError::Empty));
+    }
+}

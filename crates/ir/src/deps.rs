@@ -1,0 +1,284 @@
+//! Dependence analysis: from a [`Program`] to loop dependence vectors
+//! (Definition 2.1).
+//!
+//! With the single-writer program model, every array cell is written at
+//! most once, so the binding dependences are:
+//!
+//! * **flow** — a read observes a write that executes earlier in the
+//!   original order (earlier outer iteration, or same iteration with the
+//!   producer loop textually first). The vector is
+//!   `d = write_offset - read_offset`: a value produced at iteration
+//!   `(i2, j2)` is consumed at `(i1, j1) = (i2, j2) + d`, matching the
+//!   paper's `D_L` sets (verified against Figure 2 below);
+//! * **anti** — a read observes the cell *before* its (textually later or
+//!   future-iteration) write; the transformed program must keep the read
+//!   first. The edge runs reader → writer with vector `-d`.
+//!
+//! A same-loop pair with `d = (0, k)`, `k != 0`, would make the innermost
+//! loop non-DOALL, violating the paper's program model; analysis rejects
+//! such programs.
+
+use mdf_graph::vec2::IVec2;
+
+use crate::ast::{ArrayId, Program, ProgramError};
+
+/// The kind of a dependence record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// True (read-after-write) dependence.
+    Flow,
+    /// Anti (write-after-read) dependence.
+    Anti,
+}
+
+/// One dependence between two innermost loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Dependence {
+    /// Flow or anti.
+    pub kind: DepKind,
+    /// Source loop index (producer for flow, reader for anti).
+    pub src: usize,
+    /// Destination loop index.
+    pub dst: usize,
+    /// The array involved.
+    pub array: ArrayId,
+    /// The loop dependence vector.
+    pub vector: IVec2,
+}
+
+/// Why dependence analysis rejected the program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// Structural validation failed first.
+    Program(ProgramError),
+    /// A single innermost loop carries a same-outer-iteration dependence
+    /// across distinct `j` values: the loop is not DOALL, contradicting the
+    /// program model.
+    IntraLoopConflict {
+        /// The non-DOALL loop.
+        loop_index: usize,
+        /// The array through which the conflict flows.
+        array: ArrayId,
+        /// The inner-dimension distance (non-zero).
+        distance: i64,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnalysisError::Program(e) => write!(f, "invalid program: {e}"),
+            AnalysisError::IntraLoopConflict {
+                loop_index,
+                array,
+                distance,
+            } => write!(
+                f,
+                "loop {loop_index} is not DOALL: same-iteration dependence of distance {distance} through array {array}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+impl From<ProgramError> for AnalysisError {
+    fn from(e: ProgramError) -> Self {
+        AnalysisError::Program(e)
+    }
+}
+
+/// Runs dependence analysis. The program is validated first.
+pub fn analyze_dependences(p: &Program) -> Result<Vec<Dependence>, AnalysisError> {
+    p.validate()?;
+    let mut out = Vec::new();
+    let writes = p.all_writes();
+    for (read_loop, read) in p.all_reads() {
+        for &(write_loop, write) in &writes {
+            if write.array != read.array {
+                continue;
+            }
+            let d = IVec2::new(write.di - read.di, write.dj - read.dj);
+            if write_loop == read_loop {
+                if d == IVec2::ZERO {
+                    // Same instance touches the same cell: ordered by the
+                    // statement sequence within the body; no edge needed.
+                    continue;
+                }
+                if d.x == 0 {
+                    return Err(AnalysisError::IntraLoopConflict {
+                        loop_index: read_loop,
+                        array: read.array,
+                        distance: d.y,
+                    });
+                }
+            }
+            if d.x > 0 || (d.x == 0 && write_loop < read_loop) {
+                // The write executes before the read: a value flows.
+                out.push(Dependence {
+                    kind: DepKind::Flow,
+                    src: write_loop,
+                    dst: read_loop,
+                    array: read.array,
+                    vector: d,
+                });
+            } else {
+                // The read executes before the write and must stay first.
+                out.push(Dependence {
+                    kind: DepKind::Anti,
+                    src: read_loop,
+                    dst: write_loop,
+                    array: read.array,
+                    vector: -d,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{ArrayRef, BinOp, Expr, Stmt};
+    use mdf_graph::v2;
+
+    #[test]
+    fn figure2_dependence_sets_match_paper() {
+        let p = crate::samples::figure2_program();
+        let deps = analyze_dependences(&p).unwrap();
+        // All Figure 2 dependences are flow dependences.
+        assert!(deps.iter().all(|d| d.kind == DepKind::Flow));
+        let between = |src: &str, dst: &str| -> Vec<IVec2> {
+            let (s, d) = (
+                p.loop_by_label(src).unwrap(),
+                p.loop_by_label(dst).unwrap(),
+            );
+            let mut v: Vec<IVec2> = deps
+                .iter()
+                .filter(|dep| dep.src == s && dep.dst == d)
+                .map(|dep| dep.vector)
+                .collect();
+            v.sort();
+            v
+        };
+        assert_eq!(between("A", "B"), vec![v2(1, 1), v2(2, 1)]);
+        assert_eq!(between("B", "C"), vec![v2(0, -2), v2(0, 1)]);
+        assert_eq!(between("C", "D"), vec![v2(0, -1)]);
+        assert_eq!(between("A", "C"), vec![v2(0, 1)]);
+        assert_eq!(between("D", "A"), vec![v2(2, 1)]);
+        assert_eq!(between("C", "C"), vec![v2(1, 0)]);
+        assert_eq!(deps.len(), 8);
+    }
+
+    #[test]
+    fn anti_dependence_from_future_write() {
+        // Loop A reads b[i+1][j] (written by the later loop B at a future
+        // outer iteration): reader -> writer anti edge with vector (1, 0).
+        let mut p = Program::new("anti");
+        let a = p.add_array("a");
+        let b = p.add_array("b");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(b, 1, 0)),
+            }],
+        );
+        p.add_loop(
+            "B",
+            vec![Stmt {
+                lhs: ArrayRef::new(b, 0, 0),
+                rhs: Expr::Const(7),
+            }],
+        );
+        let deps = analyze_dependences(&p).unwrap();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Anti);
+        assert_eq!((deps[0].src, deps[0].dst), (0, 1));
+        assert_eq!(deps[0].vector, v2(1, 0));
+    }
+
+    #[test]
+    fn anti_dependence_same_iteration_textually_earlier_reader() {
+        // Loop A reads b[i][j-3]; B (later) writes b[i][j]: within one outer
+        // iteration A reads before B writes. Anti edge A -> B, vector
+        // -(0, 0-(-3)) = (0, -3).
+        let mut p = Program::new("anti2");
+        let a = p.add_array("a");
+        let b = p.add_array("b");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(b, 0, -3)),
+            }],
+        );
+        p.add_loop(
+            "B",
+            vec![Stmt {
+                lhs: ArrayRef::new(b, 0, 0),
+                rhs: Expr::Const(7),
+            }],
+        );
+        let deps = analyze_dependences(&p).unwrap();
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].kind, DepKind::Anti);
+        assert_eq!((deps[0].src, deps[0].dst), (0, 1));
+        assert_eq!(deps[0].vector, v2(0, -3));
+    }
+
+    #[test]
+    fn intra_loop_conflict_rejected() {
+        // a[i][j] = a[i][j-1] + 1 inside one DOALL loop: not DOALL.
+        let mut p = Program::new("bad");
+        let a = p.add_array("a");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::bin(
+                    BinOp::Add,
+                    Expr::Ref(ArrayRef::new(a, 0, -1)),
+                    Expr::Const(1),
+                ),
+            }],
+        );
+        assert_eq!(
+            analyze_dependences(&p),
+            Err(AnalysisError::IntraLoopConflict {
+                loop_index: 0,
+                array: a,
+                distance: 1
+            })
+        );
+    }
+
+    #[test]
+    fn same_cell_same_instance_is_no_edge() {
+        // a[i][j] = a[i][j] * 2 : in-place update, ordered by the body.
+        let mut p = Program::new("inplace");
+        let a = p.add_array("a");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::bin(
+                    BinOp::Mul,
+                    Expr::Ref(ArrayRef::new(a, 0, 0)),
+                    Expr::Const(2),
+                ),
+            }],
+        );
+        assert_eq!(analyze_dependences(&p), Ok(vec![]));
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        let p = Program::new("empty");
+        assert!(matches!(
+            analyze_dependences(&p),
+            Err(AnalysisError::Program(_))
+        ));
+    }
+}

@@ -1,0 +1,119 @@
+//! Building the MLDG of a program (Definition 2.2) from its dependence
+//! records: one node per innermost loop, one edge per dependent loop pair,
+//! with the full dependence-vector set `D_L` on each edge.
+
+use mdf_graph::mldg::{Mldg, NodeId};
+
+use crate::ast::Program;
+use crate::deps::{analyze_dependences, AnalysisError, DepKind, Dependence};
+
+/// A program's MLDG together with the dependence records it was built from.
+/// `NodeId(k)` is loop `k` in textual order.
+#[derive(Clone, Debug)]
+pub struct ExtractedMldg {
+    /// The loop dependence graph.
+    pub graph: Mldg,
+    /// The underlying dependence records (flow and anti).
+    pub deps: Vec<Dependence>,
+}
+
+impl ExtractedMldg {
+    /// The node of a loop index.
+    pub fn node_of(&self, loop_index: usize) -> NodeId {
+        NodeId(loop_index as u32)
+    }
+
+    /// Count of anti-dependence records (zero for programs that fit the
+    /// paper's model exactly).
+    pub fn anti_count(&self) -> usize {
+        self.deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Anti)
+            .count()
+    }
+}
+
+/// Analyzes `p` and builds its MLDG.
+pub fn extract_mldg(p: &Program) -> Result<ExtractedMldg, AnalysisError> {
+    let deps = analyze_dependences(p)?;
+    let mut graph = Mldg::new();
+    for l in &p.loops {
+        graph.add_node(l.label.clone());
+    }
+    for d in &deps {
+        graph.add_dep(NodeId(d.src as u32), NodeId(d.dst as u32), d.vector);
+    }
+    Ok(ExtractedMldg { graph, deps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+
+    #[test]
+    fn figure2_program_extracts_figure2_graph() {
+        let p = crate::samples::figure2_program();
+        let x = extract_mldg(&p).unwrap();
+        let reference = mdf_graph::paper::figure2();
+        assert_eq!(x.graph.node_count(), reference.node_count());
+        assert_eq!(x.graph.edge_count(), reference.edge_count());
+        assert_eq!(x.anti_count(), 0);
+        for e in reference.edge_ids() {
+            let ed = reference.edge(e);
+            let mine = x
+                .graph
+                .edge_between(ed.src, ed.dst)
+                .expect("edge missing from extraction");
+            assert_eq!(
+                x.graph.deps(mine).as_slice(),
+                reference.deps(e).as_slice(),
+                "edge {} -> {}",
+                reference.label(ed.src),
+                reference.label(ed.dst)
+            );
+        }
+    }
+
+    #[test]
+    fn extraction_preserves_hard_edges() {
+        let p = crate::samples::figure2_program();
+        let x = extract_mldg(&p).unwrap();
+        let b = x.graph.node_by_label("B").unwrap();
+        let c = x.graph.node_by_label("C").unwrap();
+        assert!(x.graph.is_hard(x.graph.edge_between(b, c).unwrap()));
+    }
+
+    #[test]
+    fn image_pipeline_extracts_expected_shape() {
+        let p = crate::samples::image_pipeline_program();
+        let x = extract_mldg(&p).unwrap();
+        assert_eq!(x.graph.node_count(), 4);
+        let a = x.graph.node_by_label("A").unwrap();
+        let b = x.graph.node_by_label("B").unwrap();
+        let c = x.graph.node_by_label("C").unwrap();
+        let d = x.graph.node_by_label("D").unwrap();
+        // A -> B is hard: blur read at j+1 and j-1.
+        let ab = x.graph.edge_between(a, b).unwrap();
+        assert!(x.graph.is_hard(ab));
+        assert_eq!(x.graph.deps(ab).as_slice(), &[v2(0, -1), v2(0, 1)]);
+        // B -> C is fusion-preventing: (0,-2).
+        assert_eq!(x.graph.delta(x.graph.edge_between(b, c).unwrap()), v2(0, -2));
+        // D has an outer-carried self-dependence (1,0).
+        assert_eq!(x.graph.delta(x.graph.edge_between(d, d).unwrap()), v2(1, 0));
+    }
+
+    #[test]
+    fn relaxation_extracts_two_hard_edges_cycle() {
+        let p = crate::samples::relaxation_program();
+        let x = extract_mldg(&p).unwrap();
+        let a = x.graph.node_by_label("A").unwrap();
+        let b = x.graph.node_by_label("B").unwrap();
+        let ab = x.graph.edge_between(a, b).unwrap();
+        let ba = x.graph.edge_between(b, a).unwrap();
+        assert!(x.graph.is_hard(ab));
+        assert!(x.graph.is_hard(ba));
+        assert_eq!(x.graph.deps(ab).as_slice(), &[v2(0, -1), v2(0, 1)]);
+        assert_eq!(x.graph.deps(ba).as_slice(), &[v2(1, -1), v2(1, 1)]);
+    }
+}

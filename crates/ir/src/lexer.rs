@@ -1,0 +1,271 @@
+//! Hand-written lexer for the loop-nest DSL (see [`crate::parser`] for the
+//! grammar).
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal (unsigned; the parser handles unary minus).
+    Int(i64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Eq => write!(f, "="),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+        }
+    }
+}
+
+/// A token with its 1-based source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Line (1-based).
+    pub line: usize,
+    /// Column (1-based).
+    pub col: usize,
+}
+
+/// A lexing failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// Line of the bad character.
+    pub line: usize,
+    /// Column of the bad character.
+    pub col: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes `src`. `//` comments run to end of line; whitespace is
+/// insignificant.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            '/' => {
+                bump!();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c2) = chars.peek() {
+                        if c2 == '\n' {
+                            break;
+                        }
+                        bump!();
+                    }
+                } else {
+                    return Err(LexError {
+                        line: tline,
+                        col: tcol,
+                        message: "'/' is only valid in '//' comments".into(),
+                    });
+                }
+            }
+            '{' | '}' | '[' | ']' | '(' | ')' | '+' | '-' | '*' | '=' | ';' | ',' | ':' => {
+                bump!();
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '+' => Tok::Plus,
+                    '-' => Tok::Minus,
+                    '*' => Tok::Star,
+                    '=' => Tok::Eq,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    _ => Tok::Colon,
+                };
+                out.push(Spanned {
+                    tok,
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            '0'..='9' => {
+                let mut value: i64 = 0;
+                while let Some(&d) = chars.peek() {
+                    if let Some(digit) = d.to_digit(10) {
+                        value = value
+                            .checked_mul(10)
+                            .and_then(|v| v.checked_add(digit as i64))
+                            .ok_or(LexError {
+                                line: tline,
+                                col: tcol,
+                                message: "integer literal overflows i64".into(),
+                            })?;
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Int(value),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut ident = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        ident.push(d);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            other => {
+                return Err(LexError {
+                    line: tline,
+                    col: tcol,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_statement() {
+        let toks = lex("a[i-2][j+1] = b[i][j] * 3;").unwrap();
+        let kinds: Vec<Tok> = toks.into_iter().map(|s| s.tok).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::LBracket,
+                Tok::Ident("i".into()),
+                Tok::Minus,
+                Tok::Int(2),
+                Tok::RBracket,
+                Tok::LBracket,
+                Tok::Ident("j".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::RBracket,
+                Tok::Eq,
+                Tok::Ident("b".into()),
+                Tok::LBracket,
+                Tok::Ident("i".into()),
+                Tok::RBracket,
+                Tok::LBracket,
+                Tok::Ident("j".into()),
+                Tok::RBracket,
+                Tok::Star,
+                Tok::Int(3),
+                Tok::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_and_comments() {
+        let toks = lex("ab // comment\n  cd").unwrap();
+        assert_eq!(toks.len(), 2);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn bad_character_reported_with_position() {
+        let err = lex("a = @;").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 5));
+    }
+
+    #[test]
+    fn lone_slash_rejected() {
+        assert!(lex("a / b").is_err());
+    }
+
+    #[test]
+    fn overflow_rejected() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

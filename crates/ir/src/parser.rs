@@ -1,0 +1,408 @@
+//! Recursive-descent parser for the loop-nest DSL.
+//!
+//! Grammar (keywords are contextual identifiers):
+//!
+//! ```text
+//! program  ::= "program" IDENT "{" "arrays" IDENT ("," IDENT)* ";" outer "}"
+//! outer    ::= "do" IDENT "{" inner+ "}"
+//! inner    ::= "doall" IDENT ":" IDENT "{" stmt+ "}"
+//! stmt     ::= access "=" expr ";"
+//! access   ::= IDENT "[" sub "]" "[" sub "]"
+//! sub      ::= IDENT (("+" | "-") INT)?       // outer/inner index ± const
+//! expr     ::= term (("+" | "-") term)*
+//! term     ::= factor ("*" factor)*
+//! factor   ::= INT | "-" factor | "(" expr ")" | access
+//! ```
+//!
+//! The first subscript of every access must use the outer index name, the
+//! second the inner index name.
+
+use crate::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
+use crate::lexer::{lex, LexError, Spanned, Tok};
+
+/// A parse failure with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line (1-based; 0 when at end of input).
+    pub line: usize,
+    /// Column (1-based).
+    pub col: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            line: e.line,
+            col: e.col,
+            message: e.message,
+        }
+    }
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    outer_index: String,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .map_or((0, 0), |s| (s.line, s.col))
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.here();
+        ParseError {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {want}, found {t}"))),
+            None => Err(self.err(format!("expected {want}, found end of input"))),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err(format!("expected {what}, found {t}"))),
+            None => Err(self.err(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let got = self.expect_ident(&format!("keyword '{kw}'"))?;
+        if got == kw {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{kw}', found '{got}'")))
+        }
+    }
+
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        self.expect_keyword("program")?;
+        let name = self.expect_ident("program name")?;
+        let mut program = Program::new(name);
+        self.expect(&Tok::LBrace)?;
+        self.expect_keyword("arrays")?;
+        loop {
+            let a = self.expect_ident("array name")?;
+            if program.array_by_name(&a).is_some() {
+                return Err(self.err(format!("array '{a}' declared twice")));
+            }
+            program.add_array(a);
+            match self.peek() {
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                }
+                Some(Tok::Semi) => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => return Err(self.err("expected ',' or ';' in array list")),
+            }
+        }
+        self.expect_keyword("do")?;
+        self.outer_index = self.expect_ident("outer index name")?;
+        self.expect(&Tok::LBrace)?;
+        while self.at_keyword("doall") {
+            self.parse_inner_loop(&mut program)?;
+        }
+        self.expect(&Tok::RBrace)?; // closes do
+        self.expect(&Tok::RBrace)?; // closes program
+        if self.pos != self.toks.len() {
+            return Err(self.err("trailing input after program"));
+        }
+        if program.loops.is_empty() {
+            return Err(self.err("program needs at least one doall loop"));
+        }
+        Ok(program)
+    }
+
+    fn parse_inner_loop(&mut self, program: &mut Program) -> Result<(), ParseError> {
+        self.expect_keyword("doall")?;
+        let label = self.expect_ident("loop label")?;
+        if program.loop_by_label(&label).is_some() {
+            return Err(self.err(format!("loop label '{label}' used twice")));
+        }
+        self.expect(&Tok::Colon)?;
+        let inner_index = self.expect_ident("inner index name")?;
+        self.expect(&Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        while !matches!(self.peek(), Some(Tok::RBrace)) {
+            stmts.push(self.parse_stmt(program, &inner_index)?);
+        }
+        self.expect(&Tok::RBrace)?;
+        if stmts.is_empty() {
+            return Err(self.err(format!("loop '{label}' has no statements")));
+        }
+        program.add_loop(label, stmts);
+        Ok(())
+    }
+
+    fn parse_stmt(&mut self, program: &Program, inner: &str) -> Result<Stmt, ParseError> {
+        let lhs = self.parse_access(program, inner)?;
+        self.expect(&Tok::Eq)?;
+        let rhs = self.parse_expr(program, inner)?;
+        self.expect(&Tok::Semi)?;
+        Ok(Stmt { lhs, rhs })
+    }
+
+    fn parse_access(&mut self, program: &Program, inner: &str) -> Result<ArrayRef, ParseError> {
+        let name = self.expect_ident("array name")?;
+        let array = program
+            .array_by_name(&name)
+            .ok_or_else(|| self.err(format!("undeclared array '{name}'")))?;
+        let outer = self.outer_index.clone();
+        let di = self.parse_subscript(&outer)?;
+        let dj = self.parse_subscript(inner)?;
+        Ok(ArrayRef::new(array, di, dj))
+    }
+
+    fn parse_subscript(&mut self, index_name: &str) -> Result<i64, ParseError> {
+        self.expect(&Tok::LBracket)?;
+        let got = self.expect_ident("index variable")?;
+        if got != index_name {
+            return Err(self.err(format!(
+                "subscript must use index '{index_name}', found '{got}'"
+            )));
+        }
+        let offset = match self.peek() {
+            Some(Tok::Plus) => {
+                self.pos += 1;
+                self.expect_int()?
+            }
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                -self.expect_int()?
+            }
+            _ => 0,
+        };
+        self.expect(&Tok::RBracket)?;
+        Ok(offset)
+    }
+
+    fn expect_int(&mut self) -> Result<i64, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(v)) => {
+                let v = *v;
+                self.pos += 1;
+                Ok(v)
+            }
+            Some(t) => Err(self.err(format!("expected integer, found {t}"))),
+            None => Err(self.err("expected integer, found end of input")),
+        }
+    }
+
+    fn parse_expr(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term(program, inner)?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.parse_term(program, inner)?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_factor(program, inner)?;
+        while matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            let rhs = self.parse_factor(program, inner)?;
+            lhs = Expr::bin(BinOp::Mul, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Int(_)) => Ok(Expr::Const(self.expect_int()?)),
+            Some(Tok::Minus) => {
+                self.pos += 1;
+                Ok(Expr::Neg(Box::new(self.parse_factor(program, inner)?)))
+            }
+            Some(Tok::LParen) => {
+                self.pos += 1;
+                let e = self.parse_expr(program, inner)?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Some(Tok::Ident(_)) => Ok(Expr::Ref(self.parse_access(program, inner)?)),
+            Some(t) => Err(self.err(format!("expected expression, found {t}"))),
+            None => Err(self.err("expected expression, found end of input")),
+        }
+    }
+}
+
+/// Parses a DSL source string into a validated [`Program`].
+///
+/// ```
+/// let program = mdf_ir::parse_program(r#"
+///     program blur {
+///         arrays img, out;
+///         do i {
+///             doall A: j { out[i][j] = img[i][j-1] + img[i][j+1]; }
+///         }
+///     }
+/// "#).unwrap();
+/// assert_eq!(program.loops.len(), 1);
+/// assert_eq!(program.arrays, vec!["img".to_string(), "out".to_string()]);
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut parser = Parser {
+        toks,
+        pos: 0,
+        outer_index: String::new(),
+    };
+    let program = parser.parse_program()?;
+    program.validate().map_err(|e| ParseError {
+        line: 0,
+        col: 0,
+        message: format!("invalid program: {e}"),
+    })?;
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2: &str = r#"
+        program figure2 {
+            arrays a, b, c, d, e;
+            do i {
+                doall A: j { a[i][j] = e[i-2][j-1]; }
+                doall B: j { b[i][j] = a[i-1][j-1] + a[i-2][j-1]; }
+                doall C: j {
+                    c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1];
+                    d[i][j] = c[i-1][j];
+                }
+                doall D: j { e[i][j] = c[i][j+1]; }
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_figure2_identically_to_builder() {
+        let parsed = parse_program(FIG2).unwrap();
+        let built = crate::samples::figure2_program();
+        assert_eq!(parsed, built);
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = r#"
+            program p { arrays a, b; do i {
+                doall A: j { a[i][j] = 2 + b[i][j] * 3 - (1 + 1); }
+                doall B: j { b[i][j] = -a[i-1][j] * -2; }
+            } }
+        "#;
+        let p = parse_program(src).unwrap();
+        use crate::ast::{BinOp::*, Expr::*};
+        // 2 + b*3 - (1+1) parses as (2 + (b*3)) - (1+1).
+        match &p.loops[0].stmts[0].rhs {
+            Bin(Sub, l, r) => {
+                assert!(matches!(l.as_ref(), Bin(Add, _, _)));
+                assert!(matches!(r.as_ref(), Bin(Add, _, _)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+        // -a * -2 parses as (-a) * (-2).
+        match &p.loops[1].stmts[0].rhs {
+            Bin(Mul, l, r) => {
+                assert!(matches!(l.as_ref(), Neg(_)));
+                assert!(matches!(r.as_ref(), Neg(_)));
+            }
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undeclared_array_rejected() {
+        let err = parse_program(
+            "program p { arrays a; do i { doall A: j { z[i][j] = 1; } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("undeclared array 'z'"));
+    }
+
+    #[test]
+    fn wrong_index_variable_rejected() {
+        let err = parse_program(
+            "program p { arrays a; do i { doall A: j { a[j][i] = 1; } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("must use index 'i'"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = parse_program(
+            "program p { arrays a, b; do i { doall A: j { a[i][j] = 1; } doall A: j { b[i][j] = 2; } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("used twice"));
+    }
+
+    #[test]
+    fn trailing_input_rejected() {
+        let err = parse_program(
+            "program p { arrays a; do i { doall A: j { a[i][j] = 1; } } } extra",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn multiple_writers_rejected_via_validation() {
+        let err = parse_program(
+            "program p { arrays a; do i { doall A: j { a[i][j] = 1; } doall B: j { a[i][j+1] = 2; } } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("more than one writing statement"));
+    }
+
+    #[test]
+    fn error_positions_point_at_problem() {
+        let err = parse_program("program p {\n  arrays a;\n  do i {\n    doall A: j { a[i][j] == 1; }\n  }\n}").unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+}

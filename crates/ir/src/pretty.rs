@@ -1,0 +1,207 @@
+//! Pretty-printers: DSL round-trip output and Fortran-style listings like
+//! the paper's figures.
+
+use std::fmt::Write as _;
+
+use crate::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
+
+/// Renders a subscript `name+off` / `name-off` / `name`.
+fn subscript(name: &str, off: i64) -> String {
+    match off.cmp(&0) {
+        std::cmp::Ordering::Equal => name.to_string(),
+        std::cmp::Ordering::Greater => format!("{name}+{off}"),
+        std::cmp::Ordering::Less => format!("{name}{off}"),
+    }
+}
+
+/// Renders an access, optionally shifting both subscripts (used by the
+/// retimed code generator, where node `u`'s statements appear with
+/// subscripts shifted by `r(u)`).
+pub fn access_to_string(
+    p: &Program,
+    r: &ArrayRef,
+    outer: &str,
+    inner: &str,
+    shift: (i64, i64),
+) -> String {
+    format!(
+        "{}[{}][{}]",
+        p.arrays[r.array],
+        subscript(outer, r.di + shift.0),
+        subscript(inner, r.dj + shift.1)
+    )
+}
+
+fn expr_prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(_) | Expr::Ref(_) => 3,
+        Expr::Neg(_) => 2,
+        Expr::Bin(BinOp::Mul, _, _) => 1,
+        Expr::Bin(_, _, _) => 0,
+    }
+}
+
+/// Renders an expression with minimal parentheses, applying `shift` to
+/// every array subscript.
+pub fn expr_to_string(
+    p: &Program,
+    e: &Expr,
+    outer: &str,
+    inner: &str,
+    shift: (i64, i64),
+) -> String {
+    fn go(
+        p: &Program,
+        e: &Expr,
+        outer: &str,
+        inner: &str,
+        shift: (i64, i64),
+        parent_prec: u8,
+    ) -> String {
+        let prec = expr_prec(e);
+        let body = match e {
+            Expr::Const(v) => v.to_string(),
+            Expr::Ref(r) => access_to_string(p, r, outer, inner, shift),
+            Expr::Neg(inner_e) => {
+                format!("-{}", go(p, inner_e, outer, inner, shift, 2))
+            }
+            Expr::Bin(op, a, b) => format!(
+                "{} {} {}",
+                go(p, a, outer, inner, shift, prec),
+                op.token(),
+                // Right operand of - and binary ops: require strictly higher
+                // precedence to preserve left associativity.
+                go(p, b, outer, inner, shift, prec + 1)
+            ),
+        };
+        if prec < parent_prec {
+            format!("({body})")
+        } else {
+            body
+        }
+    }
+    go(p, e, outer, inner, shift, 0)
+}
+
+/// Renders one statement `lhs = rhs;` with shifted subscripts.
+pub fn stmt_to_string(
+    p: &Program,
+    s: &Stmt,
+    outer: &str,
+    inner: &str,
+    shift: (i64, i64),
+) -> String {
+    format!(
+        "{} = {};",
+        access_to_string(p, &s.lhs, outer, inner, shift),
+        expr_to_string(p, &s.rhs, outer, inner, shift)
+    )
+}
+
+/// Renders the program in DSL syntax (parsable by
+/// [`crate::parser::parse_program`]).
+pub fn program_to_dsl(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "program {} {{", p.name).unwrap();
+    writeln!(out, "    arrays {};", p.arrays.join(", ")).unwrap();
+    writeln!(out, "    do i {{").unwrap();
+    for l in &p.loops {
+        writeln!(out, "        doall {}: j {{", l.label).unwrap();
+        for s in &l.stmts {
+            writeln!(out, "            {}", stmt_to_string(p, s, "i", "j", (0, 0))).unwrap();
+        }
+        writeln!(out, "        }}").unwrap();
+    }
+    writeln!(out, "    }}").unwrap();
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+/// Renders the program as a Fortran-like listing in the style of the
+/// paper's Figure 2(b).
+pub fn program_to_fortran(p: &Program) -> String {
+    let mut out = String::new();
+    writeln!(out, "      DO 50 i = 0, n").unwrap();
+    for (k, l) in p.loops.iter().enumerate() {
+        let label = 10 * (k + 1);
+        writeln!(out, "{}: DOALL {} j = 0, m", l.label, label).unwrap();
+        for s in &l.stmts {
+            writeln!(out, "        {}", stmt_to_string(p, s, "i", "j", (0, 0))).unwrap();
+        }
+        writeln!(out, "{label:>2}    CONTINUE").unwrap();
+    }
+    writeln!(out, "50    CONTINUE").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use crate::samples::{all_samples, figure2_program};
+
+    #[test]
+    fn dsl_roundtrip_all_samples() {
+        for (name, p) in all_samples() {
+            let dsl = program_to_dsl(&p);
+            let reparsed = parse_program(&dsl).unwrap_or_else(|e| panic!("{name}: {e}\n{dsl}"));
+            assert_eq!(reparsed, p, "{name}");
+        }
+    }
+
+    #[test]
+    fn statement_rendering_matches_paper_style() {
+        let p = figure2_program();
+        let c_loop = &p.loops[2];
+        assert_eq!(
+            stmt_to_string(&p, &c_loop.stmts[0], "i", "j", (0, 0)),
+            "c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1];"
+        );
+        // Figure 3(b): with shift (-1, 0), C's statement becomes
+        // c[i-1][j] = b[i-1][j+2] - a[i-1][j-1] + b[i-1][j-1].
+        assert_eq!(
+            stmt_to_string(&p, &c_loop.stmts[0], "i", "j", (-1, 0)),
+            "c[i-1][j] = b[i-1][j+2] - a[i-1][j-1] + b[i-1][j-1];"
+        );
+    }
+
+    #[test]
+    fn minimal_parentheses() {
+        use crate::ast::{ArrayRef, Expr};
+        let mut p = Program::new("t");
+        let a = p.add_array("a");
+        // (a - 1) * 2 needs parens; a - 1 * 2 must not add them.
+        let needs = Expr::bin(
+            BinOp::Mul,
+            Expr::bin(BinOp::Sub, Expr::Ref(ArrayRef::new(a, 0, 0)), Expr::Const(1)),
+            Expr::Const(2),
+        );
+        assert_eq!(expr_to_string(&p, &needs, "i", "j", (0, 0)), "(a[i][j] - 1) * 2");
+        let flat = Expr::bin(
+            BinOp::Sub,
+            Expr::Ref(ArrayRef::new(a, 0, 0)),
+            Expr::bin(BinOp::Mul, Expr::Const(1), Expr::Const(2)),
+        );
+        assert_eq!(expr_to_string(&p, &flat, "i", "j", (0, 0)), "a[i][j] - 1 * 2");
+        // Right-nested subtraction keeps parens: a - (1 - 2).
+        let right_sub = Expr::bin(
+            BinOp::Sub,
+            Expr::Ref(ArrayRef::new(a, 0, 0)),
+            Expr::bin(BinOp::Sub, Expr::Const(1), Expr::Const(2)),
+        );
+        assert_eq!(
+            expr_to_string(&p, &right_sub, "i", "j", (0, 0)),
+            "a[i][j] - (1 - 2)"
+        );
+    }
+
+    #[test]
+    fn fortran_listing_mentions_all_loops() {
+        let p = figure2_program();
+        let f = program_to_fortran(&p);
+        for lbl in ["A:", "B:", "C:", "D:"] {
+            assert!(f.contains(lbl), "{f}");
+        }
+        assert!(f.contains("DO 50 i = 0, n"));
+    }
+}

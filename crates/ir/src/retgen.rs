@@ -1,0 +1,487 @@
+//! Retimed, fused code generation.
+//!
+//! After the planner produces a retiming `r`, the fused program executes,
+//! at fused iteration `(I, J)`, node `u`'s original iteration
+//! `(I + r(u).x, J + r(u).y)` — guarded to `u`'s original bounds
+//! `0 <= i <= n`, `0 <= j <= m`. The guarded form is exact for any bounds;
+//! the renderer additionally identifies the *guard-free kernel region*
+//! (where every node is active, so no guards are needed) and emits the
+//! boundary iterations as explicit prologue/epilogue sections, like the
+//! paper's Figure 12.
+
+use std::fmt::Write as _;
+
+use mdf_graph::vec2::IVec2;
+
+use crate::ast::Program;
+use crate::pretty::stmt_to_string;
+
+/// A program plus the retiming offsets of its loops: everything needed to
+/// execute or print the fused loop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FusedSpec {
+    /// The original program.
+    pub program: Program,
+    /// `r(u)` per loop, indexed like `program.loops`.
+    pub offsets: Vec<IVec2>,
+}
+
+/// An inclusive 1-D range; empty when `lo > hi`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IRange {
+    /// Lower bound.
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl IRange {
+    /// `true` when the range contains no integers.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Number of integers in the range.
+    pub fn len(&self) -> i64 {
+        (self.hi - self.lo + 1).max(0)
+    }
+
+    /// Membership.
+    pub fn contains(&self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+}
+
+impl FusedSpec {
+    /// Builds a spec, checking that `offsets` covers every loop.
+    pub fn new(program: Program, offsets: Vec<IVec2>) -> Self {
+        assert_eq!(
+            offsets.len(),
+            program.loops.len(),
+            "one offset per innermost loop required"
+        );
+        FusedSpec { program, offsets }
+    }
+
+    /// The identity spec (plain fusion, no retiming).
+    pub fn unretimed(program: Program) -> Self {
+        let n = program.loops.len();
+        FusedSpec::new(program, vec![IVec2::ZERO; n])
+    }
+
+    fn rx_bounds(&self) -> (i64, i64) {
+        let xs = self.offsets.iter().map(|v| v.x);
+        (xs.clone().min().unwrap_or(0), xs.max().unwrap_or(0))
+    }
+
+    fn ry_bounds(&self) -> (i64, i64) {
+        let ys = self.offsets.iter().map(|v| v.y);
+        (ys.clone().min().unwrap_or(0), ys.max().unwrap_or(0))
+    }
+
+    /// The fused outer range: all `I` for which *some* node is active
+    /// (`0 <= I + r(u).x <= n`).
+    pub fn outer_range(&self, n: i64) -> IRange {
+        let (min_rx, max_rx) = self.rx_bounds();
+        IRange {
+            lo: -max_rx,
+            hi: n - min_rx,
+        }
+    }
+
+    /// The fused inner range: all `J` for which some node can be active.
+    pub fn inner_range(&self, m: i64) -> IRange {
+        let (min_ry, max_ry) = self.ry_bounds();
+        IRange {
+            lo: -max_ry,
+            hi: m - min_ry,
+        }
+    }
+
+    /// The guard-free outer kernel range: all `I` for which *every* node is
+    /// active. May be empty for tiny `n`.
+    pub fn kernel_outer(&self, n: i64) -> IRange {
+        let (min_rx, max_rx) = self.rx_bounds();
+        IRange {
+            lo: -min_rx,
+            hi: n - max_rx,
+        }
+    }
+
+    /// The guard-free inner kernel range.
+    pub fn kernel_inner(&self, m: i64) -> IRange {
+        let (min_ry, max_ry) = self.ry_bounds();
+        IRange {
+            lo: -min_ry,
+            hi: m - max_ry,
+        }
+    }
+
+    /// `true` when loop `l`'s statements execute at fused iteration
+    /// `(fused_i, fused_j)` given original bounds `(n, m)`.
+    pub fn node_active(&self, l: usize, fused_i: i64, fused_j: i64, n: i64, m: i64) -> bool {
+        let r = self.offsets[l];
+        let i = fused_i + r.x;
+        let j = fused_j + r.y;
+        0 <= i && i <= n && 0 <= j && j <= m
+    }
+
+    /// Total statement *instances* the fused program executes for bounds
+    /// `(n, m)` — must equal the original's `(n+1)(m+1) * stmts` (each node
+    /// still executes its whole iteration space); checked in tests.
+    pub fn instance_count(&self, n: i64, m: i64) -> i64 {
+        (n + 1).max(0) * (m + 1).max(0) * self.program.loops.iter().map(|l| l.stmts.len() as i64).sum::<i64>()
+    }
+
+    /// Computes a valid statement order for the fused body.
+    ///
+    /// A dependence whose *retimed* vector is exactly `(0,0)` flows within
+    /// a single fused iteration, so the producer loop's statements must
+    /// appear before the consumer's in the body. Retiming can turn a
+    /// textually *backward* edge (e.g. `D -> A` with weight `(2,1)`) into a
+    /// `(0,0)` edge, so the original textual order is not always valid; the
+    /// correct order is a topological order of the `(0,0)`-retimed
+    /// dependence subgraph. For every executable program that subgraph is a
+    /// DAG (each original cycle carries outer-loop weight `>= 1`, which
+    /// retiming preserves, so no cycle can collapse to all-`(0,0)`); this
+    /// returns `None` only for specs built from non-executable inputs.
+    ///
+    /// Ties are broken by textual position (stable Kahn), so programs whose
+    /// textual order is already valid — like all the paper's examples —
+    /// keep it.
+    pub fn body_order(&self) -> Option<Vec<usize>> {
+        let nloops = self.program.loops.len();
+        let deps = crate::deps::analyze_dependences(&self.program).ok()?;
+        let mut adj = vec![Vec::new(); nloops];
+        let mut indeg = vec![0usize; nloops];
+        for d in &deps {
+            let retimed = d.vector + self.offsets[d.src] - self.offsets[d.dst];
+            if retimed == IVec2::ZERO && d.src != d.dst {
+                adj[d.src].push(d.dst);
+                indeg[d.dst] += 1;
+            }
+        }
+        // Stable Kahn: always take the smallest available loop index.
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..nloops)
+            .filter(|&l| indeg[l] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(nloops);
+        while let Some(std::cmp::Reverse(l)) = ready.pop() {
+            order.push(l);
+            for &next in &adj[l] {
+                indeg[next] -= 1;
+                if indeg[next] == 0 {
+                    ready.push(std::cmp::Reverse(next));
+                }
+            }
+        }
+        (order.len() == nloops).then_some(order)
+    }
+
+    /// Renders the fused program with explicit prologue / guard-free kernel
+    /// / epilogue sections (Figure 12 style). Bounds are kept symbolic as
+    /// `n` and `m`; the section boundaries are the numeric offsets computed
+    /// from the retiming.
+    pub fn render(&self) -> String {
+        let p = &self.program;
+        let mut out = String::new();
+        let (min_rx, max_rx) = self.rx_bounds();
+        let (min_ry, max_ry) = self.ry_bounds();
+        writeln!(out, "// fused '{}' under retiming:", p.name).unwrap();
+        for (l, r) in p.loops.iter().zip(&self.offsets) {
+            writeln!(out, "//   r({}) = {}", l.label, r).unwrap();
+        }
+        let bound = |base: &str, off: i64| -> String {
+            match off.cmp(&0) {
+                std::cmp::Ordering::Equal => base.to_string(),
+                std::cmp::Ordering::Greater => format!("{base}+{off}"),
+                std::cmp::Ordering::Less => format!("{base}{off}"),
+            }
+        };
+        if -max_rx < -min_rx {
+            writeln!(
+                out,
+                "// prologue rows: I = {} .. {} (guarded)",
+                -max_rx,
+                -min_rx - 1
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "DO I = {}, {} {{   // guard-free kernel rows",
+            -min_rx,
+            bound("n", -max_rx)
+        )
+        .unwrap();
+        if -max_ry < -min_ry {
+            writeln!(
+                out,
+                "    // row prologue cells: J = {} .. {} (guarded)",
+                -max_ry,
+                -min_ry - 1
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "    DOALL J = {}, {} {{",
+            -min_ry,
+            bound("m", -max_ry)
+        )
+        .unwrap();
+        let order = self
+            .body_order()
+            .unwrap_or_else(|| (0..p.loops.len()).collect());
+        for &li in &order {
+            let (l, r) = (&p.loops[li], self.offsets[li]);
+            for s in &l.stmts {
+                writeln!(
+                    out,
+                    "        {}",
+                    stmt_to_string(p, s, "I", "J", (r.x, r.y))
+                )
+                .unwrap();
+            }
+        }
+        writeln!(out, "    }}").unwrap();
+        if max_ry > min_ry {
+            writeln!(
+                out,
+                "    // row epilogue cells: J = {} .. {} (guarded)",
+                bound("m", -max_ry) + "+1",
+                bound("m", -min_ry)
+            )
+            .unwrap();
+        }
+        writeln!(out, "}}").unwrap();
+        if max_rx > min_rx {
+            writeln!(
+                out,
+                "// epilogue rows: I = {}+1 .. {} (guarded)",
+                bound("n", -max_rx),
+                bound("n", -min_rx)
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples::figure2_program;
+    use mdf_graph::v2;
+
+    fn fig2_spec() -> FusedSpec {
+        // The Algorithm 4 retiming of Figure 2.
+        FusedSpec::new(
+            figure2_program(),
+            vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)],
+        )
+    }
+
+    #[test]
+    fn ranges_cover_all_node_iterations() {
+        let spec = fig2_spec();
+        let (n, m) = (10, 7);
+        let or = spec.outer_range(n);
+        let ir = spec.inner_range(m);
+        // r.x in {-1, 0}: I runs 0 ..= n+1. r.y in {-1, 0}: J runs 0 ..= m+1.
+        assert_eq!((or.lo, or.hi), (0, n + 1));
+        assert_eq!((ir.lo, ir.hi), (0, m + 1));
+        // Every original iteration of every node is covered exactly once.
+        let mut count = 0i64;
+        for l in 0..spec.program.loops.len() {
+            for fi in or.lo..=or.hi {
+                for fj in ir.lo..=ir.hi {
+                    if spec.node_active(l, fi, fj, n, m) {
+                        count += spec.program.loops[l].stmts.len() as i64;
+                    }
+                }
+            }
+        }
+        assert_eq!(count, spec.instance_count(n, m));
+    }
+
+    #[test]
+    fn kernel_region_is_guard_free() {
+        let spec = fig2_spec();
+        let (n, m) = (10, 7);
+        let ko = spec.kernel_outer(n);
+        let ki = spec.kernel_inner(m);
+        assert_eq!((ko.lo, ko.hi), (1, n));
+        assert_eq!((ki.lo, ki.hi), (1, m));
+        for l in 0..spec.program.loops.len() {
+            for fi in ko.lo..=ko.hi {
+                for fj in ki.lo..=ki.hi {
+                    assert!(spec.node_active(l, fi, fj, n, m));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_can_be_empty_on_tiny_bounds() {
+        let spec = FusedSpec::new(
+            figure2_program(),
+            vec![v2(0, 0), v2(0, 0), v2(-3, 0), v2(-3, 0)],
+        );
+        assert!(spec.kernel_outer(2).is_empty());
+        assert!(!spec.outer_range(2).is_empty());
+    }
+
+    #[test]
+    fn render_matches_figure3_statements() {
+        // Figure 3(b): body statements after retiming and fusion.
+        let spec = fig2_spec();
+        let code = spec.render();
+        assert!(code.contains("a[I][J] = e[I-2][J-1];"), "{code}");
+        assert!(
+            code.contains("c[I-1][J] = b[I-1][J+2] - a[I-1][J-1] + b[I-1][J-1];"),
+            "{code}"
+        );
+        assert!(code.contains("e[I-1][J-1] = c[I-1][J];"), "{code}");
+        assert!(code.contains("prologue"), "{code}");
+        assert!(code.contains("epilogue"), "{code}");
+    }
+
+    #[test]
+    fn unretimed_spec_is_plain_fusion() {
+        let spec = FusedSpec::unretimed(figure2_program());
+        let (n, m) = (4, 4);
+        assert_eq!(spec.outer_range(n), spec.kernel_outer(n));
+        assert_eq!(spec.inner_range(m), spec.kernel_inner(m));
+    }
+
+    #[test]
+    fn irange_helpers() {
+        let r = IRange { lo: 2, hi: 5 };
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(2) && r.contains(5) && !r.contains(6));
+        let e = IRange { lo: 3, hi: 1 };
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}
+
+#[cfg(test)]
+mod body_order_tests {
+    use super::*;
+    use crate::ast::{ArrayRef, Expr, Stmt};
+    use crate::samples::figure2_program;
+    use mdf_graph::v2;
+
+    #[test]
+    fn figure2_keeps_textual_order() {
+        let spec = FusedSpec::new(
+            figure2_program(),
+            vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)],
+        );
+        assert_eq!(spec.body_order(), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn backward_edge_collapsed_to_zero_reorders_body() {
+        // B (later) produces b; A (earlier) reads b[i-1][j]: edge B -> A
+        // with vector (1, 0). Retiming r(A) = (1, 0) collapses it to
+        // (0,0) — retimed = (1,0) + r(B) - r(A) — so B's statements must
+        // now precede A's in the fused body.
+        let mut p = Program::new("backward");
+        let a = p.add_array("a");
+        let b = p.add_array("b");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(b, -1, 0)),
+            }],
+        );
+        p.add_loop(
+            "B",
+            vec![Stmt {
+                lhs: ArrayRef::new(b, 0, 0),
+                rhs: Expr::Const(1),
+            }],
+        );
+        let spec = FusedSpec::new(p, vec![v2(1, 0), v2(0, 0)]);
+        assert_eq!(spec.body_order(), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn unretimed_spec_order_is_textual() {
+        let spec = FusedSpec::unretimed(figure2_program());
+        assert_eq!(spec.body_order(), Some(vec![0, 1, 2, 3]));
+    }
+}
+
+impl FusedSpec {
+    /// Statement instances executed *outside* the guard-free kernel region
+    /// — the prologue/epilogue work the paper calls "negligible when
+    /// compared to that of the total execution" (Section 1). Returns
+    /// `(boundary_instances, total_instances)`.
+    pub fn prologue_instances(&self, n: i64, m: i64) -> (i64, i64) {
+        let ko = self.kernel_outer(n);
+        let ki = self.kernel_inner(m);
+        let orange = self.outer_range(n);
+        let irange = self.inner_range(m);
+        let mut boundary = 0i64;
+        let mut total = 0i64;
+        for (li, l) in self.program.loops.iter().enumerate() {
+            let stmts = l.stmts.len() as i64;
+            for fi in orange.lo..=orange.hi {
+                for fj in irange.lo..=irange.hi {
+                    if self.node_active(li, fi, fj, n, m) {
+                        total += stmts;
+                        if !(ko.contains(fi) && ki.contains(fj)) {
+                            boundary += stmts;
+                        }
+                    }
+                }
+            }
+        }
+        (boundary, total)
+    }
+
+    /// `prologue_instances` as a ratio in `[0, 1]`.
+    pub fn prologue_overhead(&self, n: i64, m: i64) -> f64 {
+        let (b, t) = self.prologue_instances(n, m);
+        if t == 0 {
+            0.0
+        } else {
+            b as f64 / t as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod prologue_tests {
+    use super::*;
+    use crate::samples::figure2_program;
+    use mdf_graph::v2;
+
+    #[test]
+    fn prologue_overhead_vanishes_with_problem_size() {
+        // The paper's negligibility claim: boundary work is O(n + m) while
+        // total work is O(n * m).
+        let spec = FusedSpec::new(
+            figure2_program(),
+            vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)],
+        );
+        let small = spec.prologue_overhead(8, 8);
+        let large = spec.prologue_overhead(256, 256);
+        assert!(small > large);
+        assert!(large < 0.02, "boundary share at 257x257: {large}");
+        let (b, t) = spec.prologue_instances(8, 8);
+        assert!(b > 0 && b < t);
+    }
+
+    #[test]
+    fn unretimed_spec_has_no_prologue() {
+        let spec = FusedSpec::unretimed(figure2_program());
+        assert_eq!(spec.prologue_instances(10, 10).0, 0);
+        assert_eq!(spec.prologue_overhead(10, 10), 0.0);
+    }
+}

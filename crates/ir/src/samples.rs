@@ -1,0 +1,304 @@
+//! Sample programs: the paper's Figure 2(b) code, plus the two realistic
+//! kernels (experiment-suite entries E4 and E5) standing in for the
+//! truncated part of the paper's Section 5 benchmark set (see DESIGN.md,
+//! "Substitutions").
+
+use crate::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
+
+fn read(a: usize, di: i64, dj: i64) -> Expr {
+    Expr::Ref(ArrayRef::new(a, di, dj))
+}
+
+fn add(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Add, a, b)
+}
+
+fn sub(a: Expr, b: Expr) -> Expr {
+    Expr::bin(BinOp::Sub, a, b)
+}
+
+/// The exact code of Figure 2(b):
+///
+/// ```text
+/// DO 50 i = 0, n
+///   A: DOALL 10 j = 0, m   a[i][j] = e[i-2][j-1]
+///   B: DOALL 20 j = 0, m   b[i][j] = a[i-1][j-1] + a[i-2][j-1]
+///   C: DOALL 30 j = 0, m   c[i][j] = b[i][j+2] - a[i][j-1] + b[i][j-1]
+///                          d[i][j] = c[i-1][j]
+///   D: DOALL 40 j = 0, m   e[i][j] = c[i][j+1]
+/// ```
+pub fn figure2_program() -> Program {
+    let mut p = Program::new("figure2");
+    let a = p.add_array("a");
+    let b = p.add_array("b");
+    let c = p.add_array("c");
+    let d = p.add_array("d");
+    let e = p.add_array("e");
+    p.add_loop(
+        "A",
+        vec![Stmt {
+            lhs: ArrayRef::new(a, 0, 0),
+            rhs: read(e, -2, -1),
+        }],
+    );
+    p.add_loop(
+        "B",
+        vec![Stmt {
+            lhs: ArrayRef::new(b, 0, 0),
+            rhs: add(read(a, -1, -1), read(a, -2, -1)),
+        }],
+    );
+    p.add_loop(
+        "C",
+        vec![
+            Stmt {
+                lhs: ArrayRef::new(c, 0, 0),
+                rhs: add(sub(read(b, 0, 2), read(a, 0, -1)), read(b, 0, -1)),
+            },
+            Stmt {
+                lhs: ArrayRef::new(d, 0, 0),
+                rhs: read(c, -1, 0),
+            },
+        ],
+    );
+    p.add_loop(
+        "D",
+        vec![Stmt {
+            lhs: ArrayRef::new(e, 0, 0),
+            rhs: read(c, 0, 1),
+        }],
+    );
+    p
+}
+
+/// Experiment-suite entry **E4**, "image pipeline": a separable blur, an
+/// edge detector, an unsharp mask and a running accumulation — the kind of
+/// multi-loop image-processing chain the paper's introduction motivates.
+///
+/// ```text
+/// A: blur[i][j]  = img[i][j-1] + img[i][j] + img[i][j+1]
+/// B: edge[i][j]  = blur[i][j+1] - blur[i][j-1]           (A->B hard)
+/// C: sharp[i][j] = img[i][j] + edge[i][j+2]              (B->C fusion-preventing)
+/// D: out[i][j]   = sharp[i][j] + out[i-1][j]             (self-dependence (1,0))
+/// ```
+///
+/// `img` is an input (never written), so it generates no edges. The graph
+/// is cyclic (self-loop on D) with one hard edge; Algorithm 4 applies.
+pub fn image_pipeline_program() -> Program {
+    let mut p = Program::new("image_pipeline");
+    let img = p.add_array("img");
+    let blur = p.add_array("blur");
+    let edge = p.add_array("edge");
+    let sharp = p.add_array("sharp");
+    let out = p.add_array("out");
+    p.add_loop(
+        "A",
+        vec![Stmt {
+            lhs: ArrayRef::new(blur, 0, 0),
+            rhs: add(add(read(img, 0, -1), read(img, 0, 0)), read(img, 0, 1)),
+        }],
+    );
+    p.add_loop(
+        "B",
+        vec![Stmt {
+            lhs: ArrayRef::new(edge, 0, 0),
+            rhs: sub(read(blur, 0, 1), read(blur, 0, -1)),
+        }],
+    );
+    p.add_loop(
+        "C",
+        vec![Stmt {
+            lhs: ArrayRef::new(sharp, 0, 0),
+            rhs: add(read(img, 0, 0), read(edge, 0, 2)),
+        }],
+    );
+    p.add_loop(
+        "D",
+        vec![Stmt {
+            lhs: ArrayRef::new(out, 0, 0),
+            rhs: add(read(sharp, 0, 0), read(out, -1, 0)),
+        }],
+    );
+    p
+}
+
+/// Experiment-suite entry **E5**, "relaxation": a two-stage red/black-style
+/// smoother where each stage reads the other's neighbouring cells. Both
+/// edges of the `A <-> B` cycle are hard, so Theorem 4.2 fails and only the
+/// hyperplane method (Algorithm 5) achieves full parallelism.
+///
+/// ```text
+/// A: u[i][j] = v[i-1][j-1] + v[i-1][j+1]    (B->A: {(1,-1),(1,1)}, hard)
+/// B: v[i][j] = u[i][j-1] + u[i][j+1]        (A->B: {(0,-1),(0,1)}, hard)
+/// ```
+pub fn relaxation_program() -> Program {
+    let mut p = Program::new("relaxation");
+    let u = p.add_array("u");
+    let v = p.add_array("v");
+    p.add_loop(
+        "A",
+        vec![Stmt {
+            lhs: ArrayRef::new(u, 0, 0),
+            rhs: add(read(v, -1, -1), read(v, -1, 1)),
+        }],
+    );
+    p.add_loop(
+        "B",
+        vec![Stmt {
+            lhs: ArrayRef::new(v, 0, 0),
+            rhs: add(read(u, 0, -1), read(u, 0, 1)),
+        }],
+    );
+    p
+}
+
+/// All sample programs with their suite names.
+pub fn all_samples() -> Vec<(&'static str, Program)> {
+    vec![
+        ("figure2", figure2_program()),
+        ("image_pipeline", image_pipeline_program()),
+        ("relaxation", relaxation_program()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_samples_validate() {
+        for (name, p) in all_samples() {
+            assert_eq!(p.validate(), Ok(()), "{name}");
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn figure2_has_expected_shape() {
+        let p = figure2_program();
+        assert_eq!(p.loops.len(), 4);
+        assert_eq!(p.stmt_count(), 5);
+        assert_eq!(p.arrays.len(), 5);
+        assert_eq!(p.max_offset(), 2);
+    }
+}
+
+/// A six-stage 1-D convolution chain (smoothing, band-pass, differencing,
+/// cross-row coupling, accumulation, output mix) — a wider pipeline used
+/// by the extended tests and benches. Two hard edges, one self-dependence,
+/// one fusion-preventing edge.
+pub fn conv_chain_program() -> Program {
+    let mut p = Program::new("conv_chain");
+    let sig = p.add_array("sig");
+    let c1 = p.add_array("c1");
+    let c2 = p.add_array("c2");
+    let dn = p.add_array("dn");
+    let up = p.add_array("up");
+    let acc = p.add_array("acc");
+    let out = p.add_array("out");
+    p.add_loop(
+        "A",
+        vec![Stmt {
+            lhs: ArrayRef::new(c1, 0, 0),
+            rhs: add(add(read(sig, 0, -1), read(sig, 0, 0)), read(sig, 0, 1)),
+        }],
+    );
+    p.add_loop(
+        "B",
+        vec![Stmt {
+            lhs: ArrayRef::new(c2, 0, 0),
+            rhs: add(read(c1, 0, -2), read(c1, 0, 2)),
+        }],
+    );
+    p.add_loop(
+        "C",
+        vec![Stmt {
+            lhs: ArrayRef::new(dn, 0, 0),
+            rhs: sub(read(c2, 0, -1), read(c2, 0, 1)),
+        }],
+    );
+    p.add_loop(
+        "D",
+        vec![Stmt {
+            lhs: ArrayRef::new(up, 0, 0),
+            rhs: read(dn, -1, 3),
+        }],
+    );
+    p.add_loop(
+        "E",
+        vec![Stmt {
+            lhs: ArrayRef::new(acc, 0, 0),
+            rhs: add(read(up, 0, 0), read(acc, -1, 0)),
+        }],
+    );
+    p.add_loop(
+        "F",
+        vec![Stmt {
+            lhs: ArrayRef::new(out, 0, 0),
+            rhs: add(read(acc, 0, -1), read(dn, 0, 1)),
+        }],
+    );
+    p
+}
+
+/// An ADI-style pass: a horizontal gather, a centered difference (hard
+/// edge), and an update feeding the next outer iteration through a hard
+/// back edge — Algorithm 4 fails on the resulting cycle and the planner
+/// needs the hyperplane method, like the relaxation kernel but with three
+/// stages.
+pub fn adi_pass_program() -> Program {
+    let mut p = Program::new("adi_pass");
+    let u = p.add_array("u");
+    let h = p.add_array("h");
+    let v = p.add_array("v");
+    p.add_loop(
+        "A",
+        vec![Stmt {
+            lhs: ArrayRef::new(h, 0, 0),
+            rhs: add(read(u, -1, -1), read(u, -1, 1)),
+        }],
+    );
+    p.add_loop(
+        "B",
+        vec![Stmt {
+            lhs: ArrayRef::new(v, 0, 0),
+            rhs: sub(read(h, 0, 1), read(h, 0, -1)),
+        }],
+    );
+    p.add_loop(
+        "C",
+        vec![Stmt {
+            lhs: ArrayRef::new(u, 0, 0),
+            rhs: add(read(v, 0, 0), read(u, -1, 0)),
+        }],
+    );
+    p
+}
+
+/// The extended sample set (beyond the 5-entry paper suite).
+pub fn extended_samples() -> Vec<(&'static str, Program)> {
+    vec![
+        ("conv_chain", conv_chain_program()),
+        ("adi_pass", adi_pass_program()),
+    ]
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    #[test]
+    fn extended_samples_validate() {
+        for (name, p) in extended_samples() {
+            assert_eq!(p.validate(), Ok(()), "{name}");
+            assert_eq!(p.name, name);
+        }
+    }
+
+    #[test]
+    fn conv_chain_shape() {
+        let p = conv_chain_program();
+        assert_eq!(p.loops.len(), 6);
+        assert_eq!(p.arrays.len(), 7);
+    }
+}

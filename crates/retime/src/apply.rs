@@ -1,0 +1,116 @@
+//! Applying a retiming to an MLDG: `G -> G_r`.
+//!
+//! `δ_r(e) = δ(e) + r(u) - r(v)` and
+//! `D_r(u,v) = { d + r(u) - r(v) : d ∈ D_L(u,v) }` (Section 2.3).
+//! Cycle weights are invariant under retiming (`δ_r(c) = δ(c)` for every
+//! cycle `c`), which [`crate::verify`] checks.
+
+use mdf_graph::mldg::Mldg;
+
+use crate::retiming::Retiming;
+
+/// Returns the retimed graph `G_r`. Node set and edge endpoints are
+/// unchanged; every dependence vector is shifted by `r(src) - r(dst)`.
+pub fn apply_retiming(g: &Mldg, r: &Retiming) -> Mldg {
+    assert_eq!(
+        r.len(),
+        g.node_count(),
+        "retiming covers {} nodes but the graph has {}",
+        r.len(),
+        g.node_count()
+    );
+    g.map_deps(|e, deps| {
+        let ed = g.edge(e);
+        deps.shifted(r.get(ed.src) - r.get(ed.dst))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retiming::Retiming;
+    use mdf_graph::paper::{figure14, figure2};
+    use mdf_graph::v2;
+
+    #[test]
+    fn figure3_retimed_graph_matches_paper() {
+        // Figure 3(a): Figure 2 retimed by r(A)=r(B)=(0,0), r(C)=(-1,0),
+        // r(D)=(-1,-1).
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+        let gr = apply_retiming(&g, &r);
+        let (a, b, c, d) = (
+            gr.node_by_label("A").unwrap(),
+            gr.node_by_label("B").unwrap(),
+            gr.node_by_label("C").unwrap(),
+            gr.node_by_label("D").unwrap(),
+        );
+        assert_eq!(gr.delta(gr.edge_between(a, b).unwrap()), v2(1, 1));
+        assert_eq!(gr.delta(gr.edge_between(b, c).unwrap()), v2(1, -2));
+        assert_eq!(gr.delta(gr.edge_between(c, d).unwrap()), v2(0, 0));
+        assert_eq!(gr.delta(gr.edge_between(a, c).unwrap()), v2(1, 1));
+        assert_eq!(gr.delta(gr.edge_between(d, a).unwrap()), v2(1, 0));
+        assert_eq!(gr.delta(gr.edge_between(c, c).unwrap()), v2(1, 0));
+    }
+
+    #[test]
+    fn figure15_retimed_graph_matches_paper() {
+        // Section 4.4's worked example: Figure 14 retimed by
+        // r(A)=(0,0) r(B)=(0,-4) r(C)=(0,-6) r(D)=(0,-3) r(E)=(0,-5)
+        // r(F)=(0,-6) r(G)=(0,0).
+        let g = figure14();
+        let r = Retiming::from_offsets(vec![
+            v2(0, 0),
+            v2(0, -4),
+            v2(0, -6),
+            v2(0, -3),
+            v2(0, -5),
+            v2(0, -6),
+            v2(0, 0),
+        ]);
+        let gr = apply_retiming(&g, &r);
+        let id = |s: &str| gr.node_by_label(s).unwrap();
+        let set = |a: &str, b: &str| {
+            gr.deps(gr.edge_between(id(a), id(b)).unwrap())
+                .as_slice()
+                .to_vec()
+        };
+        assert_eq!(set("A", "B"), vec![v2(0, 5)]);
+        assert_eq!(set("B", "C"), vec![v2(0, 0), v2(0, 5)]);
+        assert_eq!(set("C", "D"), vec![v2(0, 0), v2(0, 2)]);
+        assert_eq!(set("D", "C"), vec![v2(0, 1)]);
+        assert_eq!(set("D", "E"), vec![v2(0, 0)]);
+        assert_eq!(set("E", "B"), vec![v2(0, 0), v2(1, 0)]);
+        assert_eq!(set("B", "F"), vec![v2(0, 0)]);
+        assert_eq!(set("F", "G"), vec![v2(1, -4)]);
+        assert_eq!(set("B", "E"), vec![v2(1, 3)]);
+        assert_eq!(set("A", "D"), vec![v2(0, 0), v2(1, 3)]);
+    }
+
+    #[test]
+    fn identity_retiming_is_a_noop() {
+        let g = figure2();
+        let gr = apply_retiming(&g, &Retiming::identity(g.node_count()));
+        for e in g.edge_ids() {
+            assert_eq!(g.deps(e).as_slice(), gr.deps(e).as_slice());
+        }
+    }
+
+    #[test]
+    fn cycle_weights_preserved() {
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(5, -3), v2(-1, 2), v2(0, 7), v2(2, 2)]);
+        let gr = apply_retiming(&g, &r);
+        let (orig, _) = mdf_graph::cycles::elementary_cycles(&g, 100);
+        for c in orig {
+            assert_eq!(g.delta_sum(&c.edges), gr.delta_sum(&c.edges));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "retiming covers")]
+    fn size_mismatch_panics() {
+        let g = figure2();
+        apply_retiming(&g, &Retiming::identity(2));
+    }
+}

@@ -1,0 +1,21 @@
+//! # `mdf-retime` — multi-dimensional retiming machinery
+//!
+//! Implements Section 2.3 of the paper: retiming functions on MLDGs, the
+//! graph transformation `G -> G_r`, schedule vectors / DOALL hyperplanes
+//! (Lemma 4.3), and independent verification of every retiming
+//! post-condition the fusion algorithms claim.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apply;
+pub mod retiming;
+pub mod schedule;
+pub mod verify;
+
+pub use apply::apply_retiming;
+pub use retiming::Retiming;
+pub use schedule::{is_strict_schedule, wavefront_for, wavefront_steps, ScheduleError, Wavefront};
+pub use verify::{
+    check_fusion_legal, check_inner_doall, check_retiming_consistency, VerifyError,
+};

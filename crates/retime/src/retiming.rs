@@ -1,0 +1,171 @@
+//! Retiming functions `r : V -> Z^2` (Section 2.3).
+//!
+//! A retiming assigns each node (innermost loop) an integer offset of its
+//! iteration space. The fused loop at iteration `(I, J)` executes node `u`'s
+//! *original* iteration `(I + r(u).x, J + r(u).y)`; dependence vectors
+//! transform as `d_r = d + r(u) - r(v)` along an edge `u -> v`.
+
+use std::fmt;
+
+use mdf_graph::mldg::{Mldg, NodeId};
+use mdf_graph::vec2::IVec2;
+
+/// A two-dimensional retiming function, stored densely by node index.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Retiming {
+    offsets: Vec<IVec2>,
+}
+
+impl Retiming {
+    /// The identity retiming on `n` nodes.
+    pub fn identity(n: usize) -> Self {
+        Retiming {
+            offsets: vec![IVec2::ZERO; n],
+        }
+    }
+
+    /// Builds a retiming from per-node offsets (indexed by `NodeId`).
+    pub fn from_offsets(offsets: Vec<IVec2>) -> Self {
+        Retiming { offsets }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// `true` when covering zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// `r(u)`.
+    #[inline]
+    pub fn get(&self, u: NodeId) -> IVec2 {
+        self.offsets[u.index()]
+    }
+
+    /// Sets `r(u)`.
+    pub fn set(&mut self, u: NodeId, v: IVec2) {
+        self.offsets[u.index()] = v;
+    }
+
+    /// The raw offset slice.
+    pub fn offsets(&self) -> &[IVec2] {
+        &self.offsets
+    }
+
+    /// `true` when every offset is zero.
+    pub fn is_identity(&self) -> bool {
+        self.offsets.iter().all(|&v| v == IVec2::ZERO)
+    }
+
+    /// The retimed weight of one edge: `δ_r(e) = δ(e) + r(u) - r(v)`.
+    pub fn retimed_delta(&self, g: &Mldg, e: mdf_graph::mldg::EdgeId) -> IVec2 {
+        let ed = g.edge(e);
+        g.delta(e) + self.get(ed.src) - self.get(ed.dst)
+    }
+
+    /// Retimings are unique only up to a global translation (adding a
+    /// constant to every `r(u)` changes no edge weight). This returns the
+    /// translate with `r(anchor) = (0,0)`, matching how the paper reports
+    /// its retimings (always `r(A) = (0,0)`).
+    pub fn normalized(&self, anchor: NodeId) -> Retiming {
+        let shift = self.get(anchor);
+        Retiming {
+            offsets: self.offsets.iter().map(|&v| v - shift).collect(),
+        }
+    }
+
+    /// Component-wise extremes over all nodes: `(min, max)` of the offsets,
+    /// used to size prologue/epilogue regions in code generation.
+    pub fn component_bounds(&self) -> (IVec2, IVec2) {
+        let mut lo = IVec2::ZERO;
+        let mut hi = IVec2::ZERO;
+        for &v in &self.offsets {
+            lo = lo.min_components(v);
+            hi = hi.max_components(v);
+        }
+        (lo, hi)
+    }
+
+    /// Renders the retiming with node labels, in the paper's
+    /// `r(A)=(0,0) r(B)=(0,0) ...` style.
+    pub fn display<'a>(&'a self, g: &'a Mldg) -> impl fmt::Display + 'a {
+        struct Disp<'a> {
+            r: &'a Retiming,
+            g: &'a Mldg,
+        }
+        impl fmt::Display for Disp<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (i, n) in self.g.node_ids().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "r({})={}", self.g.label(n), self.r.get(n))?;
+                }
+                Ok(())
+            }
+        }
+        Disp { r: self, g }
+    }
+}
+
+impl fmt::Debug for Retiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.offsets.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::figure2;
+    use mdf_graph::v2;
+
+    #[test]
+    fn identity_and_accessors() {
+        let r = Retiming::identity(3);
+        assert!(r.is_identity());
+        assert_eq!(r.len(), 3);
+        let mut r = r;
+        r.set(NodeId(1), v2(-1, 2));
+        assert!(!r.is_identity());
+        assert_eq!(r.get(NodeId(1)), v2(-1, 2));
+    }
+
+    #[test]
+    fn retimed_delta_matches_paper_example() {
+        // Section 2.3: with r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1),
+        // the weight of e5 : D -> A becomes (2,1)+(-1,-1)-(0,0) = (1,0).
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+        let d = g.node_by_label("D").unwrap();
+        let a = g.node_by_label("A").unwrap();
+        let e5 = g.edge_between(d, a).unwrap();
+        assert_eq!(r.retimed_delta(&g, e5), v2(1, 0));
+    }
+
+    #[test]
+    fn normalization_anchors_first_node() {
+        let r = Retiming::from_offsets(vec![v2(3, 1), v2(2, 0), v2(3, -5)]);
+        let n = r.normalized(NodeId(0));
+        assert_eq!(n.offsets(), &[v2(0, 0), v2(-1, -1), v2(0, -6)]);
+    }
+
+    #[test]
+    fn component_bounds() {
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(-2, 1), v2(1, -3)]);
+        let (lo, hi) = r.component_bounds();
+        assert_eq!(lo, v2(-2, -3));
+        assert_eq!(hi, v2(1, 1));
+    }
+
+    #[test]
+    fn display_uses_labels() {
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+        let s = format!("{}", r.display(&g));
+        assert_eq!(s, "r(A)=(0,0) r(B)=(0,0) r(C)=(-1,0) r(D)=(-1,-1)");
+    }
+}

@@ -1,0 +1,208 @@
+//! Schedule vectors and DOALL hyperplanes (Section 2.3 and Lemma 4.3).
+//!
+//! A *strict schedule vector* `s` satisfies `s · d > 0` for every non-zero
+//! loop dependence vector `d`: iterations on hyperplanes perpendicular to
+//! `s` are then mutually independent and can run in parallel (the wavefront
+//! of Section 4.4).
+
+use mdf_graph::mldg::Mldg;
+use mdf_graph::vec2::IVec2;
+
+/// A wavefront schedule: the schedule vector and its perpendicular DOALL
+/// hyperplane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Wavefront {
+    /// Schedule vector `s`.
+    pub schedule: IVec2,
+    /// Hyperplane direction `h = (s.y, -s.x)`, perpendicular to `s`.
+    pub hyperplane: IVec2,
+}
+
+/// `true` iff `s` is a strict schedule vector for `g`: `s · d > 0` for
+/// every non-zero dependence vector of every edge.
+pub fn is_strict_schedule(g: &Mldg, s: IVec2) -> bool {
+    g.edge_ids().all(|e| {
+        g.deps(e)
+            .iter()
+            .all(|d| d == IVec2::ZERO || s.dot(d) > 0)
+    })
+}
+
+/// Why no wavefront could be constructed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// Lemma 4.3 requires every dependence vector of the (retimed) graph to
+    /// be lexicographically non-negative; this vector is not.
+    NegativeDependence {
+        /// The offending vector.
+        vector: IVec2,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::NegativeDependence { vector } => {
+                write!(f, "dependence vector {vector} is lexicographically negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// Constructs the wavefront of Lemma 4.3 for a graph whose dependence
+/// vectors are all `>= (0,0)` (e.g. any LLOFRA-retimed graph):
+///
+/// * if the lexicographic maximum dependence vector has first coordinate
+///   zero, then every non-zero vector is `(0, k)` with `k > 0` and
+///   `s = (0, 1)` works;
+/// * otherwise `s = (s1, 1)` with
+///   `s1 = max over d with d.x > 0 of (floor(-d.y / d.x) + 1)`,
+///   clamped to be at least 1 so that the schedule always advances with the
+///   outer loop.
+///
+/// The hyperplane is `h = s.perpendicular()`.
+pub fn wavefront_for(g: &Mldg) -> Result<Wavefront, ScheduleError> {
+    let mut max_d: Option<IVec2> = None;
+    let mut s1: i64 = 1;
+    for e in g.edge_ids() {
+        for d in g.deps(e).iter() {
+            if d < IVec2::ZERO {
+                return Err(ScheduleError::NegativeDependence { vector: d });
+            }
+            max_d = Some(max_d.map_or(d, |m| m.max(d)));
+            if d.x > 0 {
+                // floor(-d.y / d.x) + 1 is the least integer q with
+                // q * d.x + d.y > 0.
+                s1 = s1.max((-d.y).div_euclid(d.x) + 1);
+            }
+        }
+    }
+    let schedule = match max_d {
+        // No dependence at all, or none carried by the outer loop.
+        None => IVec2::new(0, 1),
+        Some(m) if m.x == 0 => IVec2::new(0, 1),
+        Some(_) => IVec2::new(s1, 1),
+    };
+    debug_assert!(
+        is_strict_schedule(g, schedule),
+        "constructed schedule {schedule} is not strict"
+    );
+    Ok(Wavefront {
+        schedule,
+        hyperplane: schedule.perpendicular(),
+    })
+}
+
+/// The number of distinct hyperplanes (wavefront steps) needed to sweep an
+/// `(n+1) x (m+1)` iteration space with schedule `s` — the critical path of
+/// the wavefront execution.
+pub fn wavefront_steps(s: IVec2, n: i64, m: i64) -> i64 {
+    // Iterations (i, j) with 0 <= i <= n, 0 <= j <= m are executed in order
+    // of s·(i,j); the number of steps is the number of distinct values,
+    // which for s with non-negative components is s.x * n + s.y * m + 1.
+    debug_assert!(s.x >= 0 && s.y >= 0);
+    s.x * n + s.y * m + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::paper::figure14;
+    use mdf_graph::v2;
+    use mdf_graph::Mldg;
+
+    fn graph_with(deps: &[(i64, i64)]) -> Mldg {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        for &(x, y) in deps {
+            g.add_dep(a, b, (x, y));
+        }
+        g
+    }
+
+    #[test]
+    fn strict_schedule_predicate() {
+        let g = graph_with(&[(1, 1), (0, 2)]);
+        assert!(is_strict_schedule(&g, v2(1, 1)));
+        assert!(!is_strict_schedule(&g, v2(1, 0))); // (0,2)·(1,0) = 0
+        assert!(!is_strict_schedule(&g, v2(0, -1)));
+    }
+
+    #[test]
+    fn zero_vectors_do_not_constrain_schedules() {
+        let g = graph_with(&[(0, 0), (1, 0)]);
+        assert!(is_strict_schedule(&g, v2(1, 0)));
+    }
+
+    #[test]
+    fn paper_section_4_4_wavefront() {
+        // After retiming Figure 14 the maximum d_r is (1,3) and the paper
+        // derives s = (5,1), h = (1,-5) from max ⌊-d.y/d.x⌋ + 1 = 5 at
+        // d = (1,-4) (edge F -> G).
+        let g = figure14();
+        let r = crate::retiming::Retiming::from_offsets(vec![
+            v2(0, 0),
+            v2(0, -4),
+            v2(0, -6),
+            v2(0, -3),
+            v2(0, -5),
+            v2(0, -6),
+            v2(0, 0),
+        ]);
+        let gr = crate::apply::apply_retiming(&g, &r);
+        let w = wavefront_for(&gr).unwrap();
+        assert_eq!(w.schedule, v2(5, 1));
+        assert_eq!(w.hyperplane, v2(1, -5));
+        assert!(is_strict_schedule(&gr, w.schedule));
+    }
+
+    #[test]
+    fn all_inner_dependences_give_row_schedule() {
+        let g = graph_with(&[(0, 1), (0, 3)]);
+        let w = wavefront_for(&g).unwrap();
+        assert_eq!(w.schedule, v2(0, 1));
+        assert_eq!(w.hyperplane, v2(1, 0));
+    }
+
+    #[test]
+    fn outer_only_dependences_give_column_schedule() {
+        let g = graph_with(&[(1, 0), (2, 5)]);
+        let w = wavefront_for(&g).unwrap();
+        assert_eq!(w.schedule, v2(1, 1));
+        assert!(is_strict_schedule(&g, w.schedule));
+    }
+
+    #[test]
+    fn negative_dependence_rejected() {
+        let g = graph_with(&[(0, -1)]);
+        assert_eq!(
+            wavefront_for(&g),
+            Err(ScheduleError::NegativeDependence { vector: v2(0, -1) })
+        );
+    }
+
+    #[test]
+    fn floor_division_handles_positive_y() {
+        // d = (2, 3): any s1 >= 1 gives 2*s1 + 3 > 0; expect minimal s1 = 1.
+        let g = graph_with(&[(2, 3)]);
+        let w = wavefront_for(&g).unwrap();
+        assert_eq!(w.schedule, v2(1, 1));
+        // d = (2, -3): need 2*s1 > 3, so s1 = 2.
+        let g = graph_with(&[(2, -3)]);
+        let w = wavefront_for(&g).unwrap();
+        assert_eq!(w.schedule, v2(2, 1));
+        // d = (2, -4): need 2*s1 > 4, so s1 = 3.
+        let g = graph_with(&[(2, -4)]);
+        assert_eq!(wavefront_for(&g).unwrap().schedule, v2(3, 1));
+    }
+
+    #[test]
+    fn wavefront_step_count() {
+        assert_eq!(wavefront_steps(v2(0, 1), 10, 20), 21);
+        assert_eq!(wavefront_steps(v2(1, 0), 10, 20), 11);
+        assert_eq!(wavefront_steps(v2(5, 1), 10, 20), 71);
+    }
+}

@@ -1,0 +1,180 @@
+//! Machine-checkable verification of retiming results.
+//!
+//! Every algorithm in `mdf-core` returns a retiming; these checkers confirm
+//! the claimed post-conditions directly on the retimed graph instead of
+//! trusting the algorithm:
+//!
+//! * [`check_retiming_consistency`] — `G_r` really is `G` retimed by `r`
+//!   and cycle weights are unchanged;
+//! * [`check_fusion_legal`] — Theorem 3.1's condition on `G_r`;
+//! * [`check_inner_doall`] — Property 4.2's condition on `G_r`.
+
+use mdf_graph::cycles::elementary_cycles;
+use mdf_graph::legality::{fused_inner_loop_is_doall, fusion_preventing_edges};
+use mdf_graph::mldg::{EdgeId, Mldg};
+use mdf_graph::vec2::IVec2;
+
+use crate::retiming::Retiming;
+
+/// A verification failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// `G_r`'s dependence set on an edge is not the shift of `G`'s.
+    EdgeMismatch {
+        /// The offending edge.
+        edge: EdgeId,
+    },
+    /// A cycle's weight changed under retiming (impossible for a true
+    /// retiming; indicates a corrupted transform).
+    CycleWeightChanged {
+        /// Edges of the cycle.
+        cycle: Vec<EdgeId>,
+        /// Weight before.
+        before: IVec2,
+        /// Weight after.
+        after: IVec2,
+    },
+    /// An edge of the retimed graph still has a lexicographically negative
+    /// weight, so fusion remains illegal (violates Theorem 3.1).
+    FusionIllegal {
+        /// The fusion-preventing edges remaining.
+        edges: Vec<EdgeId>,
+    },
+    /// A dependence vector of the retimed graph serializes the fused inner
+    /// loop (violates Property 4.2).
+    InnerLoopSerialized,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EdgeMismatch { edge } => {
+                write!(f, "edge {edge:?} is not the retimed image of the original")
+            }
+            VerifyError::CycleWeightChanged {
+                cycle,
+                before,
+                after,
+            } => write!(
+                f,
+                "cycle {cycle:?} weight changed from {before} to {after} under retiming"
+            ),
+            VerifyError::FusionIllegal { edges } => {
+                write!(f, "retimed graph still has fusion-preventing edges {edges:?}")
+            }
+            VerifyError::InnerLoopSerialized => {
+                write!(f, "a retimed dependence vector serializes the fused inner loop")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks that `retimed` is exactly `original` transformed by `r`, and that
+/// the weights of up to `cycle_cap` elementary cycles are preserved.
+pub fn check_retiming_consistency(
+    original: &Mldg,
+    retimed: &Mldg,
+    r: &Retiming,
+    cycle_cap: usize,
+) -> Result<(), VerifyError> {
+    for e in original.edge_ids() {
+        let ed = original.edge(e);
+        let expected = original.deps(e).shifted(r.get(ed.src) - r.get(ed.dst));
+        if retimed.deps(e).as_slice() != expected.as_slice() {
+            return Err(VerifyError::EdgeMismatch { edge: e });
+        }
+    }
+    let (cycles, _) = elementary_cycles(original, cycle_cap);
+    for c in cycles {
+        let before = original.delta_sum(&c.edges);
+        let after = retimed.delta_sum(&c.edges);
+        if before != after {
+            return Err(VerifyError::CycleWeightChanged {
+                cycle: c.edges,
+                before,
+                after,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Theorem 3.1 on the retimed graph: every `δ_r(e) >= (0,0)`.
+pub fn check_fusion_legal(retimed: &Mldg) -> Result<(), VerifyError> {
+    let bad = fusion_preventing_edges(retimed);
+    if bad.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyError::FusionIllegal { edges: bad })
+    }
+}
+
+/// Property 4.2 on the retimed graph: every dependence vector is either
+/// `(0,0)` or carried by the outer loop.
+pub fn check_inner_doall(retimed: &Mldg) -> Result<(), VerifyError> {
+    if fused_inner_loop_is_doall(retimed) {
+        Ok(())
+    } else {
+        Err(VerifyError::InnerLoopSerialized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apply::apply_retiming;
+    use mdf_graph::paper::figure2;
+    use mdf_graph::v2;
+
+    #[test]
+    fn consistent_retiming_passes() {
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+        let gr = apply_retiming(&g, &r);
+        assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
+        assert_eq!(check_fusion_legal(&gr), Ok(()));
+        assert_eq!(check_inner_doall(&gr), Ok(()));
+    }
+
+    #[test]
+    fn tampered_graph_detected() {
+        let g = figure2();
+        let r = Retiming::identity(4);
+        // "Retime" by hand-editing one edge instead: not a valid retiming.
+        let tampered = g.map_deps(|e, deps| {
+            if e.index() == 0 {
+                deps.shifted(v2(0, 1))
+            } else {
+                deps.shifted(v2(0, 0))
+            }
+        });
+        assert!(matches!(
+            check_retiming_consistency(&g, &tampered, &r, 100),
+            Err(VerifyError::EdgeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn llofra_retiming_is_legal_but_not_doall() {
+        // Figure 6: LLOFRA's retiming fuses legally, but the fused loop is
+        // serial (the paper's motivation for Section 4).
+        let g = figure2();
+        let r = Retiming::from_offsets(vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+        let gr = apply_retiming(&g, &r);
+        assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
+        assert_eq!(check_fusion_legal(&gr), Ok(()));
+        assert_eq!(check_inner_doall(&gr), Err(VerifyError::InnerLoopSerialized));
+    }
+
+    #[test]
+    fn illegal_fusion_detected() {
+        let g = figure2();
+        let gr = apply_retiming(&g, &Retiming::identity(4));
+        match check_fusion_legal(&gr) {
+            Err(VerifyError::FusionIllegal { edges }) => assert_eq!(edges.len(), 2),
+            other => panic!("expected FusionIllegal, got {other:?}"),
+        }
+    }
+}

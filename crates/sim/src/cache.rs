@@ -1,0 +1,291 @@
+//! Cache-locality simulation.
+//!
+//! The paper motivates fusion with *data locality*: "because of array
+//! reuse, it reduces the references to main memory" (Section 2). This
+//! module measures that claim directly: a set-associative LRU cache is fed
+//! the exact address stream of the original and fused executions, and the
+//! miss counts are compared. Values are irrelevant for locality, so the
+//! simulator walks the iteration spaces and issues addresses only.
+//!
+//! Arrays are laid out row-major over their halo-extended extents, placed
+//! back to back in one address space (element granularity).
+
+use mdf_ir::ast::Program;
+use mdf_ir::retgen::FusedSpec;
+
+/// Cache geometry (sizes in *elements*, not bytes — the IR's arrays hold
+/// one word per cell).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Elements per cache line.
+    pub line_elems: u64,
+    /// Number of sets.
+    pub sets: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        // 8 elements/line x 64 sets x 4 ways = 2048-element cache: small
+        // enough that multi-sweep traversals of realistic rows thrash, as
+        // 1996-era caches did.
+        CacheConfig {
+            line_elems: 8,
+            sets: 64,
+            ways: 4,
+        }
+    }
+}
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 for an empty stream.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative LRU cache over element addresses.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    // sets[s] holds line tags in LRU order (front = most recent).
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// An empty (cold) cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        assert!(cfg.line_elems > 0 && cfg.sets > 0 && cfg.ways > 0);
+        Cache {
+            cfg,
+            sets: vec![Vec::with_capacity(cfg.ways); cfg.sets as usize],
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Issues one access.
+    pub fn access(&mut self, addr: u64) {
+        let line = addr / self.cfg.line_elems;
+        let set = (line % self.cfg.sets) as usize;
+        let tag = line / self.cfg.sets;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            self.stats.hits += 1;
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+        } else {
+            self.stats.misses += 1;
+            if ways.len() == self.cfg.ways {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+        }
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// Address layout for a program's arrays over bounds `(n, m)`.
+struct Layout {
+    halo: i64,
+    rows: i64,
+    cols: i64,
+    bases: Vec<u64>,
+}
+
+impl Layout {
+    fn new(p: &Program, n: i64, m: i64) -> Layout {
+        let halo = p.max_offset();
+        let rows = n + 2 * halo + 1;
+        let cols = m + 2 * halo + 1;
+        let per_array = (rows * cols) as u64;
+        let bases = (0..p.arrays.len())
+            .map(|k| k as u64 * per_array)
+            .collect();
+        Layout {
+            halo,
+            rows,
+            cols,
+            bases,
+        }
+    }
+
+    #[inline]
+    fn addr(&self, array: usize, i: i64, j: i64) -> u64 {
+        let ri = i + self.halo;
+        let rj = j + self.halo;
+        debug_assert!(ri >= 0 && ri < self.rows && rj >= 0 && rj < self.cols);
+        self.bases[array] + (ri * self.cols + rj) as u64
+    }
+}
+
+fn touch_stmt(
+    cache: &mut Cache,
+    layout: &Layout,
+    s: &mdf_ir::ast::Stmt,
+    i: i64,
+    j: i64,
+) {
+    for r in s.rhs.refs() {
+        cache.access(layout.addr(r.array, i + r.di, j + r.dj));
+    }
+    cache.access(layout.addr(s.lhs.array, i + s.lhs.di, j + s.lhs.dj));
+}
+
+/// Cache statistics of the *original* execution (each loop sweeps the full
+/// row range before the next starts).
+pub fn cache_original(p: &Program, n: i64, m: i64, cfg: CacheConfig) -> CacheStats {
+    let layout = Layout::new(p, n, m);
+    let mut cache = Cache::new(cfg);
+    for i in 0..=n {
+        for l in &p.loops {
+            for j in 0..=m {
+                for s in &l.stmts {
+                    touch_stmt(&mut cache, &layout, s, i, j);
+                }
+            }
+        }
+    }
+    cache.stats()
+}
+
+/// Cache statistics of the *fused* execution (one sweep per fused row,
+/// all bodies interleaved at each iteration).
+pub fn cache_fused(spec: &FusedSpec, n: i64, m: i64, cfg: CacheConfig) -> CacheStats {
+    let p = &spec.program;
+    let layout = Layout::new(p, n, m);
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle");
+    let mut cache = Cache::new(cfg);
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            for &li in &body {
+                if !spec.node_active(li, fi, fj, n, m) {
+                    continue;
+                }
+                let r = spec.offsets[li];
+                for s in &p.loops[li].stmts {
+                    touch_stmt(&mut cache, &layout, s, fi + r.x, fj + r.y);
+                }
+            }
+        }
+    }
+    cache.stats()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_core::plan_fusion;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, image_pipeline_program};
+
+    #[test]
+    fn lru_mechanics() {
+        let mut c = Cache::new(CacheConfig {
+            line_elems: 1,
+            sets: 1,
+            ways: 2,
+        });
+        c.access(10); // miss
+        c.access(11); // miss
+        c.access(10); // hit (still resident)
+        c.access(12); // miss, evicts 11 (LRU)
+        c.access(11); // miss again
+        c.access(10); // miss: 10 was evicted by 11's refill
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 5 });
+    }
+
+    #[test]
+    fn line_granularity_gives_spatial_hits() {
+        let mut c = Cache::new(CacheConfig {
+            line_elems: 8,
+            sets: 4,
+            ways: 1,
+        });
+        for a in 0..8 {
+            c.access(a);
+        }
+        // One miss for the line, seven spatial hits.
+        assert_eq!(c.stats(), CacheStats { hits: 7, misses: 1 });
+    }
+
+    #[test]
+    fn access_counts_match_between_versions() {
+        // Fusion reorders accesses but never changes how many there are.
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let cfg = CacheConfig::default();
+        let orig = cache_original(&p, 40, 40, cfg);
+        let fused = cache_fused(&spec, 40, 40, cfg);
+        assert_eq!(orig.accesses(), fused.accesses());
+    }
+
+    #[test]
+    fn fusion_improves_locality_on_wide_rows() {
+        // With rows much larger than the cache, the unfused version
+        // re-misses each producer array once per consumer loop; the fused
+        // version consumes values while they are still resident.
+        let p = image_pipeline_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let cfg = CacheConfig::default(); // 2048 elements
+        let (n, m) = (16, 8192); // rows far exceed the cache
+        let orig = cache_original(&p, n, m, cfg);
+        let fused = cache_fused(&spec, n, m, cfg);
+        // Ideal stream analysis predicts ~1.67x fewer misses; measured is
+        // ~1.25x after conflict misses (the fused body touches ~10 array
+        // rows at once against 4 ways). Assert the robust bound.
+        assert!(
+            fused.misses * 6 < orig.misses * 5,
+            "expected >= 1.2x miss reduction: {} vs {}",
+            orig.misses,
+            fused.misses
+        );
+    }
+
+    #[test]
+    fn tiny_problem_fits_in_cache_either_way() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let big_cache = CacheConfig {
+            line_elems: 8,
+            sets: 4096,
+            ways: 8,
+        };
+        let orig = cache_original(&p, 8, 8, big_cache);
+        let fused = cache_fused(&spec, 8, 8, big_cache);
+        // Everything fits: both versions miss only on cold lines, and the
+        // fused version touches the same cells.
+        assert!(orig.miss_ratio() < 0.2);
+        assert!(fused.miss_ratio() < 0.2);
+    }
+}

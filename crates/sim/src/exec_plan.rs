@@ -1,0 +1,432 @@
+//! Executing fused, retimed programs — and checking them against the
+//! reference interpreter.
+//!
+//! Execution models:
+//! * [`run_fused`] — row-major order (the serialization of a DOALL fused
+//!   loop, and of any legally-fused loop: all retimed dependences are
+//!   `>= (0,0)`, so ascending `J` respects forward row dependences);
+//! * [`run_fused_desc`] — row-major with `J` *descending*: an adversarial
+//!   serialization that produces the same result **iff** no dependence
+//!   binds within a row, i.e. exactly when the fused loop really is DOALL;
+//! * [`run_wavefront`] — hyperplane order for Algorithm 5 plans.
+//!
+//! [`check_plan`] runs the full pipeline for a plan and compares every
+//! memory image against the original program's.
+
+use mdf_core::FusionPlan;
+use mdf_ir::ast::Program;
+use mdf_ir::retgen::FusedSpec;
+use mdf_retime::Wavefront;
+
+use crate::interp::{eval_expr, run_original, ExecStats, Memory};
+
+/// Inner-loop traversal order for fused row execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowOrder {
+    /// Ascending `J` (the canonical serialization).
+    Ascending,
+    /// Descending `J` (adversarial; only valid for DOALL rows).
+    Descending,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_body_at(spec: &FusedSpec, order: &[usize], mem: &mut Memory, fi: i64, fj: i64, n: i64, m: i64, stats: &mut ExecStats) {
+    for &li in order {
+        if !spec.node_active(li, fi, fj, n, m) {
+            continue;
+        }
+        let r = spec.offsets[li];
+        let (i, j) = (fi + r.x, fj + r.y);
+        for s in &spec.program.loops[li].stmts {
+            let v = eval_expr(mem, &s.rhs, i, j);
+            mem.write(&s.lhs, i, j, v);
+            stats.stmt_instances += 1;
+        }
+    }
+}
+
+/// Runs the fused program row by row with the chosen inner order.
+///
+/// One barrier is charged per fused row — the synchronization saving the
+/// paper reports (Section 4.2's `7n` vs `n - 2` arithmetic comes from this
+/// model plus the unfused one in [`run_original`]).
+pub fn run_fused_ordered(spec: &FusedSpec, n: i64, m: i64, order: RowOrder) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle: input was not executable");
+    // Guards keep every access within max_offset of [0,n]x[0,m], so the
+    // fused run uses the same allocation as the reference interpreter and
+    // the final memory images are directly comparable.
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        match order {
+            RowOrder::Ascending => {
+                for fj in irange.lo..=irange.hi {
+                    exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+                }
+            }
+            RowOrder::Descending => {
+                for fj in (irange.lo..=irange.hi).rev() {
+                    exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+                }
+            }
+        }
+        stats.barriers += 1;
+    }
+    (mem, stats)
+}
+
+/// [`run_fused_ordered`] with ascending rows.
+pub fn run_fused(spec: &FusedSpec, n: i64, m: i64) -> (Memory, ExecStats) {
+    run_fused_ordered(spec, n, m, RowOrder::Ascending)
+}
+
+/// [`run_fused_ordered`] with descending rows (adversarial DOALL check).
+pub fn run_fused_desc(spec: &FusedSpec, n: i64, m: i64) -> (Memory, ExecStats) {
+    run_fused_ordered(spec, n, m, RowOrder::Descending)
+}
+
+/// Runs the fused program in wavefront order: iterations grouped by
+/// `t = s · (I, J)`, groups ascending; one barrier per non-empty group.
+pub fn run_wavefront(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle: input was not executable");
+    // Guards keep every access within max_offset of [0,n]x[0,m], so the
+    // fused run uses the same allocation as the reference interpreter and
+    // the final memory images are directly comparable.
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = wavefront.schedule;
+    // Bucket iterations by their schedule value.
+    let mut buckets: std::collections::BTreeMap<i64, Vec<(i64, i64)>> =
+        std::collections::BTreeMap::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                buckets
+                    .entry(s.x * fi + s.y * fj)
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+    }
+    for (_, group) in buckets {
+        for (fi, fj) in group {
+            exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+        }
+        stats.barriers += 1;
+    }
+    (mem, stats)
+}
+
+/// Why a plan failed simulation-based checking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The fused execution's final memory differs from the original's.
+    ResultMismatch {
+        /// Which execution differed.
+        mode: &'static str,
+    },
+    /// A full-parallel plan's rows are not actually independent: the
+    /// descending-order run produced a different result.
+    NotDoall,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ResultMismatch { mode } => {
+                write!(f, "{mode} execution result differs from the original program")
+            }
+            SimError::NotDoall => write!(
+                f,
+                "claimed-DOALL fused loop produced different results under reversed row order"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Counters from a successful [`check_plan`] run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimReport {
+    /// Barriers of the original (unfused) execution.
+    pub original_barriers: u64,
+    /// Barriers of the fused execution (rows or hyperplane steps).
+    pub fused_barriers: u64,
+    /// Statement instances (identical in both by construction).
+    pub stmt_instances: u64,
+}
+
+/// End-to-end check of a fusion plan on a program:
+///
+/// 1. run the original program;
+/// 2. run the fused program per the plan (row-major, plus descending-row
+///    for full-parallel plans, plus wavefront order for hyperplane plans);
+/// 3. require every final memory image to be identical.
+pub fn check_plan(
+    program: &Program,
+    plan: &FusionPlan,
+    n: i64,
+    m: i64,
+) -> Result<SimReport, SimError> {
+    let (reference, ref_stats) = run_original(program, n, m);
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+
+    let (fused_mem, fused_stats) = run_fused(&spec, n, m);
+    if fused_mem != reference {
+        return Err(SimError::ResultMismatch { mode: "row-major" });
+    }
+    // Report the barrier count of the plan's *parallel* execution: fused
+    // rows for full-parallel plans, hyperplane steps for wavefront plans.
+    let fused_barriers = match plan {
+        FusionPlan::FullParallel { .. } => {
+            let (desc_mem, _) = run_fused_desc(&spec, n, m);
+            if desc_mem != reference {
+                return Err(SimError::NotDoall);
+            }
+            fused_stats.barriers
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            let (wf_mem, wf_stats) = run_wavefront(&spec, *wavefront, n, m);
+            if wf_mem != reference {
+                return Err(SimError::ResultMismatch { mode: "wavefront" });
+            }
+            wf_stats.barriers
+        }
+    };
+    Ok(SimReport {
+        original_barriers: ref_stats.barriers,
+        fused_barriers,
+        stmt_instances: ref_stats.stmt_instances,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_core::plan_fusion;
+    use mdf_graph::v2;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, image_pipeline_program, relaxation_program};
+
+    fn plan_for(p: &Program) -> FusionPlan {
+        let x = extract_mldg(p).unwrap();
+        plan_fusion(&x.graph).unwrap()
+    }
+
+    #[test]
+    fn figure2_plan_passes_end_to_end() {
+        let p = figure2_program();
+        let plan = plan_for(&p);
+        assert!(plan.is_full_parallel());
+        let report = check_plan(&p, &plan, 12, 9).unwrap();
+        // Original: 4 barriers per outer iteration, 13 iterations = 52.
+        assert_eq!(report.original_barriers, 52);
+        // Fused: one barrier per fused row; r.x in {-1,0} so rows = n+2 = 14.
+        assert_eq!(report.fused_barriers, 14);
+    }
+
+    #[test]
+    fn image_pipeline_plan_passes_end_to_end() {
+        let p = image_pipeline_program();
+        let plan = plan_for(&p);
+        assert!(plan.is_full_parallel());
+        check_plan(&p, &plan, 10, 10).unwrap();
+    }
+
+    #[test]
+    fn relaxation_needs_hyperplane_and_passes() {
+        let p = relaxation_program();
+        let plan = plan_for(&p);
+        assert!(!plan.is_full_parallel(), "both edges are hard");
+        check_plan(&p, &plan, 10, 10).unwrap();
+    }
+
+    #[test]
+    fn unretimed_fusion_of_figure2_changes_results() {
+        // Figure 4: fusing without retiming is illegal; the simulator must
+        // catch the wrong values (c[i][j] reads b[i][j+2] before it is
+        // computed).
+        let p = figure2_program();
+        let (reference, _) = run_original(&p, 8, 8);
+        let spec = FusedSpec::unretimed(p);
+        let (fused, _) = run_fused(&spec, 8, 8);
+        assert_ne!(fused, reference);
+    }
+
+    #[test]
+    fn llofra_only_retiming_is_legal_but_serial() {
+        // Figure 6's retiming fuses legally (row-major matches the
+        // original) but the inner loop is serial: descending order differs.
+        let p = figure2_program();
+        let spec = FusedSpec::new(
+            p.clone(),
+            vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
+        );
+        let (reference, _) = run_original(&p, 8, 8);
+        let (asc, _) = run_fused(&spec, 8, 8);
+        assert_eq!(asc, reference);
+        let (desc, _) = run_fused_desc(&spec, 8, 8);
+        assert_ne!(desc, reference, "Figure 7 shows intra-row dependences");
+    }
+
+    #[test]
+    fn small_bounds_edge_cases() {
+        // n = 0 or m = 0: prologue/epilogue regions dominate; the guarded
+        // execution must still be exact.
+        let p = figure2_program();
+        let plan = plan_for(&p);
+        for (n, m) in [(0, 0), (0, 5), (5, 0), (1, 1), (2, 3)] {
+            check_plan(&p, &plan, n, m)
+                .unwrap_or_else(|e| panic!("bounds ({n},{m}): {e}"));
+        }
+    }
+
+    #[test]
+    fn wavefront_respects_schedule_grouping() {
+        let p = relaxation_program();
+        let plan = plan_for(&p);
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let w = plan.wavefront().unwrap();
+        let (mem, stats) = run_wavefront(&spec, w, 6, 6);
+        let (reference, _) = run_original(&p, 6, 6);
+        assert_eq!(mem, reference);
+        assert!(stats.barriers > 0);
+    }
+}
+
+/// Runs a partial-fusion plan: within each fused row, the clusters execute
+/// in order with a barrier after each (so `clusters.len()` barriers per
+/// row); iterations within a cluster's row sweep are independent
+/// (row-DOALL per cluster).
+pub fn run_partitioned(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle");
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        for cluster in clusters {
+            // Members in global body order, restricted to this cluster.
+            let members: Vec<usize> = body
+                .iter()
+                .copied()
+                .filter(|li| cluster.iter().any(|n| n.index() == *li))
+                .collect();
+            for fj in irange.lo..=irange.hi {
+                for &li in &members {
+                    if !spec.node_active(li, fi, fj, n, m) {
+                        continue;
+                    }
+                    let r = spec.offsets[li];
+                    let (i, j) = (fi + r.x, fj + r.y);
+                    for s in &spec.program.loops[li].stmts {
+                        let v = eval_expr(&mem, &s.rhs, i, j);
+                        mem.write(&s.lhs, i, j, v);
+                        stats.stmt_instances += 1;
+                    }
+                }
+            }
+            stats.barriers += 1;
+        }
+    }
+    (mem, stats)
+}
+
+#[cfg(test)]
+mod partial_tests {
+    use super::*;
+    use mdf_core::partial::{fuse_partial, verify_partial};
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, relaxation_program};
+
+    #[test]
+    fn relaxation_partial_plan_executes_correctly() {
+        // E5: Algorithm 4 fails; partial fusion finds 2 row-DOALL clusters.
+        let p = relaxation_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).expect("2-cluster solution exists");
+        assert_eq!(plan.clusters.len(), 2);
+        assert!(verify_partial(&g, &plan));
+        let spec = FusedSpec::new(p.clone(), plan.retiming.offsets().to_vec());
+        let (reference, orig_stats) = run_original(&p, 14, 14);
+        let (part_mem, part_stats) = run_partitioned(&spec, &plan.clusters, 14, 14);
+        assert_eq!(part_mem, reference);
+        // 2 barriers per row here equals the unfused count (2 loops) — the
+        // value shows on graphs where clusters merge more than one loop.
+        assert_eq!(part_stats.barriers, orig_stats.barriers);
+    }
+
+    #[test]
+    fn figure2_partial_plan_is_single_cluster_and_matches_fused() {
+        let p = figure2_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        assert_eq!(plan.clusters.len(), 1);
+        let spec = FusedSpec::new(p.clone(), plan.retiming.offsets().to_vec());
+        let (reference, _) = run_original(&p, 10, 10);
+        let (mem, stats) = run_partitioned(&spec, &plan.clusters, 10, 10);
+        assert_eq!(mem, reference);
+        // One cluster: one barrier per fused row.
+        assert_eq!(stats.barriers, spec.outer_range(10).len() as u64);
+    }
+
+    #[test]
+    fn partial_clusters_are_row_doall_individually() {
+        // Adversarial check: reversing J within each cluster's sweep must
+        // not change results (each cluster is row-DOALL by construction).
+        let p = relaxation_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming.offsets().to_vec());
+        let (reference, _) = run_original(&p, 12, 12);
+        // Hand-rolled reversed-J partitioned execution.
+        let body = spec.body_order().unwrap();
+        let mut mem = Memory::for_program(&spec.program, 12, 12, 0);
+        let orange = spec.outer_range(12);
+        let irange = spec.inner_range(12);
+        for fi in orange.lo..=orange.hi {
+            for cluster in &plan.clusters {
+                let members: Vec<usize> = body
+                    .iter()
+                    .copied()
+                    .filter(|li| cluster.iter().any(|n| n.index() == *li))
+                    .collect();
+                for fj in (irange.lo..=irange.hi).rev() {
+                    for &li in &members {
+                        if !spec.node_active(li, fi, fj, 12, 12) {
+                            continue;
+                        }
+                        let r = spec.offsets[li];
+                        let (i, j) = (fi + r.x, fj + r.y);
+                        for s in &spec.program.loops[li].stmts {
+                            let v = eval_expr(&mem, &s.rhs, i, j);
+                            mem.write(&s.lhs, i, j, v);
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(mem, reference);
+    }
+}

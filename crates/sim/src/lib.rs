@@ -1,0 +1,43 @@
+//! # `mdf-sim` — execution substrate and transformation verifier
+//!
+//! Executes the paper's program model and its fused/retimed transforms:
+//!
+//! * [`array2`] — halo-extended arrays with deterministic boundary values;
+//! * [`interp`] — the reference interpreter (original semantics: one
+//!   barrier per DOALL loop per outer iteration);
+//! * [`exec_plan`] — fused execution (row-major, adversarial descending,
+//!   wavefront) and end-to-end plan checking against the reference;
+//! * [`doall_check`] — dynamic DOALL verification from recorded accesses;
+//! * [`machine`] — the synchronization-counting multiprocessor cost model
+//!   behind the Section 5 comparisons;
+//! * [`cache`] — set-associative LRU cache simulation measuring the
+//!   data-locality benefit of fusion (the paper's Section 2 motivation);
+//! * [`parallel`] — Rayon execution of certified-DOALL fused loops on real
+//!   threads (buffered writes + per-iteration overlays; no `unsafe`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod array2;
+pub mod cache;
+pub mod doall_check;
+pub mod exec_plan;
+pub mod interp;
+pub mod machine;
+pub mod parallel;
+pub mod spaceviz;
+
+pub use array2::Array2;
+pub use cache::{cache_fused, cache_original, Cache, CacheConfig, CacheStats};
+pub use doall_check::{check_hyperplanes_doall, check_rows_doall, DoallViolation};
+pub use exec_plan::{
+    check_plan, run_fused, run_fused_desc, run_fused_ordered, run_partitioned, run_wavefront,
+    RowOrder, SimError, SimReport,
+};
+pub use interp::{eval_expr, run_original, ExecStats, Memory};
+pub use machine::{
+    makespan_fused_rows, makespan_original, makespan_partitioned, makespan_wavefront, speedup,
+    MachineParams, Makespan,
+};
+pub use parallel::{run_fused_rayon, run_partitioned_rayon, run_wavefront_rayon};
+pub use spaceviz::{render_row_space, render_wavefront_space};

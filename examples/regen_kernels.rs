@@ -1,0 +1,39 @@
+//! Maintenance tool: regenerates `tests/generated/fused_kernels.rs`.
+//!
+//! ```text
+//! cargo run --example regen_kernels > tests/generated/fused_kernels.rs
+//! ```
+//!
+//! The emitted kernels are compiled into the `emitted_code` integration
+//! test and executed against the reference interpreter; a golden test pins
+//! the bytes, so rerun this after any change to the emitters or planner.
+
+use mdfusion::prelude::*;
+
+fn main() {
+    let mut fresh = String::new();
+    for (name, prog) in [
+        ("fused_figure2", mdfusion::ir::samples::figure2_program()),
+        (
+            "fused_image_pipeline",
+            mdfusion::ir::samples::image_pipeline_program(),
+        ),
+    ] {
+        let x = extract_mldg(&prog).unwrap();
+        let plan = plan_fusion(&x.graph).unwrap();
+        let spec = FusedSpec::new(prog, plan.retiming().offsets().to_vec());
+        fresh.push_str(&mdfusion::ir::emit::emit_rust_fn(&spec, name));
+        fresh.push('\n');
+    }
+    let prog = mdfusion::ir::samples::relaxation_program();
+    let x = extract_mldg(&prog).unwrap();
+    let plan = plan_fusion(&x.graph).unwrap();
+    let w = plan.wavefront().expect("relaxation needs Algorithm 5");
+    let spec = FusedSpec::new(prog, plan.retiming().offsets().to_vec());
+    fresh.push_str(&mdfusion::ir::emit::emit_rust_wavefront_fn(
+        &spec,
+        (w.schedule.x, w.schedule.y),
+        "wavefront_relaxation",
+    ));
+    print!("{fresh}");
+}

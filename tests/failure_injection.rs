@@ -1,0 +1,118 @@
+//! Failure injection: deliberately corrupted plans and transforms must be
+//! caught by every verification layer (graph-level checks, the dynamic
+//! DOALL checker, and execution equivalence). A verifier that accepts a
+//! wrong plan would be worse than none.
+
+use mdfusion::core::{FullParallelMethod, FusionPlan};
+use mdfusion::graph::v2;
+use mdfusion::prelude::*;
+use mdfusion::sim;
+
+fn figure2_plan() -> (Program, FusionPlan) {
+    let p = mdfusion::ir::samples::figure2_program();
+    let g = extract_mldg(&p).unwrap().graph;
+    (p, plan_fusion(&g).unwrap())
+}
+
+#[test]
+fn corrupted_retiming_rejected_by_graph_verifier() {
+    let (p, mut plan) = figure2_plan();
+    let g = extract_mldg(&p).unwrap().graph;
+    assert_eq!(verify_plan(&g, &plan), Ok(()));
+    // Nudge one offset: the plan is now inconsistent with its claims.
+    if let FusionPlan::FullParallel { retiming, .. } = &mut plan {
+        let old = retiming.get(NodeId(2));
+        retiming.set(NodeId(2), old + v2(0, 1));
+    }
+    assert!(verify_plan(&g, &plan).is_err());
+}
+
+#[test]
+fn corrupted_retiming_rejected_by_simulation() {
+    let (p, mut plan) = figure2_plan();
+    if let FusionPlan::FullParallel { retiming, .. } = &mut plan {
+        let old = retiming.get(NodeId(3));
+        retiming.set(NodeId(3), old + v2(1, 0));
+    }
+    // Either the results differ outright or the DOALL claim collapses.
+    assert!(sim::check_plan(&p, &plan, 12, 12).is_err());
+}
+
+#[test]
+fn false_doall_claim_caught_by_reversed_rows() {
+    // Take LLOFRA's legal-but-serial retiming and fraudulently label it a
+    // full-parallel plan: row-major matches, but the reversed-row run must
+    // expose the intra-row dependences.
+    let p = mdfusion::ir::samples::figure2_program();
+    let g = extract_mldg(&p).unwrap().graph;
+    let r = mdfusion::core::llofra(&g).unwrap();
+    let forged = FusionPlan::FullParallel {
+        retiming: r,
+        method: FullParallelMethod::Cyclic,
+    };
+    assert!(verify_plan(&g, &forged).is_err(), "static layer catches it");
+    assert_eq!(
+        sim::check_plan(&p, &forged, 12, 12),
+        Err(sim::SimError::NotDoall),
+        "dynamic layer catches it too"
+    );
+}
+
+#[test]
+fn false_wavefront_claim_caught() {
+    // A hyperplane plan with a non-strict schedule: s = (1,0) does not
+    // order the (0, k) dependences left by LLOFRA on Figure 2.
+    let p = mdfusion::ir::samples::figure2_program();
+    let g = extract_mldg(&p).unwrap().graph;
+    let r = mdfusion::core::llofra(&g).unwrap();
+    let forged = FusionPlan::Hyperplane {
+        retiming: r,
+        wavefront: Wavefront {
+            schedule: v2(1, 0),
+            hyperplane: v2(0, -1),
+        },
+    };
+    assert!(verify_plan(&g, &forged).is_err());
+}
+
+#[test]
+fn tampered_fused_spec_detected_by_equivalence() {
+    // Note: not every perturbation is a corruption — shifting B by (0,2)
+    // happens to be another valid retiming of Figure 2. Shifting B by
+    // (-1,0) is not: the B -> C dependence becomes (0,-2), so C reads
+    // b-values two positions ahead of the sweep and gets stale data.
+    let (p, plan) = figure2_plan();
+    let mut offsets = plan.retiming().offsets().to_vec();
+    offsets[1] += v2(-1, 0);
+    let spec = FusedSpec::new(p.clone(), offsets);
+    let (reference, _) = run_original(&p, 10, 10);
+    let (fused, _) = run_fused(&spec, 10, 10);
+    assert_ne!(fused, reference);
+}
+
+#[test]
+fn doall_checker_pinpoints_injected_conflicts() {
+    // Shift only C by (0,-2) (part of LLOFRA's retiming): B -> C becomes
+    // (0,0)-aligned but A -> C becomes (0,3), a forward intra-row flow the
+    // checker must flag with a concrete cell.
+    let p = mdfusion::ir::samples::figure2_program();
+    let spec = FusedSpec::new(
+        p,
+        vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
+    );
+    let v = sim::check_rows_doall(&spec, 10, 10).unwrap_err();
+    assert_ne!(v.iterations.0, v.iterations.1);
+}
+
+#[test]
+fn partial_plan_tampering_rejected() {
+    let p = mdfusion::ir::samples::relaxation_program();
+    let g = extract_mldg(&p).unwrap().graph;
+    let mut plan = mdfusion::core::fuse_partial(&g).unwrap();
+    assert!(mdfusion::core::verify_partial(&g, &plan));
+    // Merge the two clusters without re-solving: now an intra-cluster hard
+    // edge sits at x = 0.
+    let merged: Vec<NodeId> = plan.clusters.concat();
+    plan.clusters = vec![merged];
+    assert!(!mdfusion::core::verify_partial(&g, &plan));
+}

@@ -1,0 +1,83 @@
+//! Fuzzing the front ends: arbitrary inputs must produce errors, never
+//! panics, and accepted inputs must satisfy the parsers' invariants.
+
+use mdfusion::graph::textfmt;
+use mdfusion::ir::parse_program;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The DSL parser is total over arbitrary strings.
+    #[test]
+    fn dsl_parser_never_panics(input in ".{0,200}") {
+        let _ = parse_program(&input);
+    }
+
+    /// The MLDG text parser is total over arbitrary strings.
+    #[test]
+    fn textfmt_parser_never_panics(input in ".{0,200}") {
+        let _ = textfmt::parse(&input);
+    }
+
+    /// Token-shaped garbage: strings assembled from the DSL's own lexemes
+    /// (much deeper grammar coverage than raw bytes).
+    #[test]
+    fn dsl_parser_survives_token_salad(
+        toks in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "program", "arrays", "do", "doall", "p", "a", "b", "i", "j",
+                "{", "}", "[", "]", "(", ")", "+", "-", "*", "=", ";", ",",
+                ":", "0", "1", "42",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = toks.join(" ");
+        let _ = parse_program(&input);
+    }
+
+    /// Any program the parser accepts validates and pretty-prints to
+    /// something the parser accepts again, yielding the identical AST.
+    #[test]
+    fn accepted_programs_roundtrip(
+        toks in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "program", "arrays", "do", "doall", "p", "a", "b", "i", "j",
+                "{", "}", "[", "]", "+", "-", "=", ";", ",", ":", "1", "2",
+            ]),
+            0..60,
+        )
+    ) {
+        let input = toks.join(" ");
+        if let Ok(p) = parse_program(&input) {
+            prop_assert_eq!(p.validate(), Ok(()));
+            let printed = mdfusion::ir::pretty::program_to_dsl(&p);
+            let reparsed = parse_program(&printed).expect("printer output parses");
+            prop_assert_eq!(reparsed, p);
+        }
+    }
+
+    /// Same closure property for the MLDG text format.
+    #[test]
+    fn accepted_mldgs_roundtrip(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "mldg g", "node A", "node B", "node C",
+                "edge A -> B : (0,1)", "edge B -> C : (1,-2) (1,3)",
+                "edge C -> A : (2,0)", "edge A -> A : (1,0)",
+                "# comment", "",
+            ]),
+            0..12,
+        )
+    ) {
+        let input = lines.join("\n");
+        if let Ok((g, name)) = textfmt::parse(&input) {
+            let printed = textfmt::to_text(&g, &name);
+            let (g2, name2) = textfmt::parse(&printed).expect("printer output parses");
+            prop_assert_eq!(name2, name);
+            prop_assert_eq!(g2.edge_count(), g.edge_count());
+            prop_assert_eq!(g2.node_count(), g.node_count());
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! Integration tests pinning every worked example of the paper to the
+//! exact numbers printed in its figures and prose.
+
+use mdfusion::core::{fuse_acyclic, fuse_cyclic, fuse_hyperplane, llofra, plan_fusion};
+use mdfusion::graph::paper::{figure14, figure2, figure8};
+use mdfusion::graph::v2;
+use mdfusion::prelude::*;
+
+#[test]
+fn section_3_3_llofra_on_figure2() {
+    // "The retiming function computed by the algorithm above is
+    //  r(A)=(0,0), r(B)=(0,0), r(C)=(0,-2), and r(D)=(0,-3)."
+    let r = llofra(&figure2()).unwrap();
+    assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+}
+
+#[test]
+fn figure3_retiming_from_algorithm4() {
+    // Figure 3(a): r(A)=(0,0), r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1);
+    // retimed D -> A weight becomes (1,0).
+    let g = figure2();
+    let r = fuse_cyclic(&g).unwrap();
+    assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
+    let gr = apply_retiming(&g, &r);
+    let d = gr.node_by_label("D").unwrap();
+    let a = gr.node_by_label("A").unwrap();
+    assert_eq!(gr.delta(gr.edge_between(d, a).unwrap()), v2(1, 0));
+    // Cycle weights are invariant: δ(c1) = (3,-1), δ(c2) = (2,1).
+    let report = mdfusion::graph::legality::cycle_weight_report(&gr, 100);
+    assert_eq!(report.min_weight, Some(v2(1, 0))); // self-loop C -> C
+}
+
+#[test]
+fn figure10_acyclic_retiming_and_synchronization_claim() {
+    // Figure 10: r(A)=(0,0), r(B)=(-1,0), r(C)=r(D)=(-2,0), r(E)=(-1,0),
+    // r(F)=r(G)=(-2,0). Section 4.2: the unfused nest needs 7n
+    // synchronizations, the fused one (n - 2)-ish — one per fused row.
+    let g = figure8();
+    let r = fuse_acyclic(&g).unwrap();
+    assert_eq!(
+        r.offsets(),
+        &[
+            v2(0, 0),
+            v2(-1, 0),
+            v2(-2, 0),
+            v2(-2, 0),
+            v2(-1, 0),
+            v2(-2, 0),
+            v2(-2, 0)
+        ]
+    );
+    // Realize the graph as a program and count synchronizations.
+    let p = mdfusion::gen::program_from_mldg(&g, "fig8_code").unwrap();
+    let x = extract_mldg(&p).unwrap();
+    let plan = plan_fusion(&x.graph).unwrap();
+    assert!(plan.is_full_parallel());
+    let n = 100;
+    let report = check_plan(&p, &plan, n, 40).unwrap();
+    // 7 loops x (n+1) outer iterations before fusion.
+    assert_eq!(report.original_barriers, 7 * (n as u64 + 1));
+    // One barrier per fused row afterwards: n + 1 + rx-spread rows.
+    assert!(report.fused_barriers <= n as u64 + 3);
+}
+
+#[test]
+fn section_4_4_hyperplane_on_figure14() {
+    // Retiming from Algorithm 2: r(A)=(0,0), r(B)=(0,-4), r(C)=(0,-6),
+    // r(D)=(0,-3), r(E)=(0,-5), r(F)=(0,-6), r(G)=(0,0); schedule
+    // s = (5,1); hyperplane h = (1,-5).
+    let g = figure14();
+    let plan = fuse_hyperplane(&g).unwrap();
+    assert_eq!(
+        plan.retiming.offsets(),
+        &[
+            v2(0, 0),
+            v2(0, -4),
+            v2(0, -6),
+            v2(0, -3),
+            v2(0, -5),
+            v2(0, -6),
+            v2(0, 0)
+        ]
+    );
+    assert_eq!(plan.wavefront.schedule, v2(5, 1));
+    assert_eq!(plan.wavefront.hyperplane, v2(1, -5));
+}
+
+#[test]
+fn figure12_code_generation() {
+    // Figure 12's fused body (modulo index renaming): every retimed
+    // statement appears with the paper's subscripts.
+    let p = mdfusion::ir::samples::figure2_program();
+    let r = fuse_cyclic(&extract_mldg(&p).unwrap().graph).unwrap();
+    let spec = FusedSpec::new(p, r.offsets().to_vec());
+    let code = spec.render();
+    for line in [
+        "a[I][J] = e[I-2][J-1];",
+        "b[I][J] = a[I-1][J-1] + a[I-2][J-1];",
+        "c[I-1][J] = b[I-1][J+2] - a[I-1][J-1] + b[I-1][J-1];",
+        "d[I-1][J] = c[I-2][J];",
+        "e[I-1][J-1] = c[I-1][J];",
+    ] {
+        assert!(code.contains(line), "missing {line:?} in:\n{code}");
+    }
+}
+
+#[test]
+fn figure4_direct_fusion_is_illegal_and_detected() {
+    // Figure 4 shows the illegal direct fusion: c[i][j] reads b[i][j+2]
+    // before it is computed. Both the static check and the simulator must
+    // flag it.
+    let g = figure2();
+    assert!(!mdfusion::graph::legality::direct_fusion_legal(&g));
+    let p = mdfusion::ir::samples::figure2_program();
+    let (reference, _) = run_original(&p, 8, 8);
+    let (fused, _) = run_fused(&FusedSpec::unretimed(p), 8, 8);
+    assert_ne!(fused, reference);
+}
+
+#[test]
+fn figure7_llofra_fusion_is_legal_but_serial() {
+    // Figure 7: after LLOFRA and fusion the rows carry dependences, so the
+    // loop executes serially — the motivation for Section 4.
+    let p = mdfusion::ir::samples::figure2_program();
+    let r = llofra(&extract_mldg(&p).unwrap().graph).unwrap();
+    let spec = FusedSpec::new(p.clone(), r.offsets().to_vec());
+    assert!(mdfusion::sim::check_rows_doall(&spec, 8, 8).is_err());
+    // ...but the fusion itself is correct.
+    let (reference, _) = run_original(&p, 8, 8);
+    let (fused, _) = run_fused(&spec, 8, 8);
+    assert_eq!(fused, reference);
+}
+
+#[test]
+fn lemma_2_1_on_the_papers_executable_examples() {
+    for g in [figure2(), figure8()] {
+        let report = mdfusion::graph::legality::cycle_weight_report(&g, 1000);
+        assert!(report.all_at_least_one_neg_one);
+    }
+}
