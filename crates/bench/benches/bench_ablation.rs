@@ -59,7 +59,8 @@ fn llofra_all_vectors(g: &Mldg) -> Vec<IVec2> {
             sys.add_le(ed.dst.index(), ed.src.index(), d);
         }
     }
-    sys.solve(Engine::BellmanFord).expect("legal by construction")
+    sys.solve(Engine::BellmanFord)
+        .expect("legal by construction")
 }
 
 fn bench_min_vector_reduction(c: &mut Criterion) {

@@ -62,18 +62,18 @@ fn bench_native_vs_interpreter(c: &mut Criterion) {
 fn bench_kernels(c: &mut Criterion) {
     let (n, m) = (96i64, 96i64);
     for entry in suite() {
-        let Some(program) = entry.program else { continue };
+        let Some(program) = entry.program else {
+            continue;
+        };
         let plan = plan_fusion(&entry.graph).unwrap();
         let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
 
         let mut group = c.benchmark_group(format!("exec_{}", entry.id));
         group.sample_size(20);
         group.measurement_time(std::time::Duration::from_secs(3));
-        group.bench_with_input(
-            BenchmarkId::new("original", n),
-            &program,
-            |b, p| b.iter(|| run_original(black_box(p), n, m)),
-        );
+        group.bench_with_input(BenchmarkId::new("original", n), &program, |b, p| {
+            b.iter(|| run_original(black_box(p), n, m))
+        });
         group.bench_with_input(BenchmarkId::new("fused_rows", n), &spec, |b, s| {
             b.iter(|| run_fused(black_box(s), n, m))
         });

@@ -15,7 +15,12 @@ fn main() {
     println!("== Figure 11(a): constraint graph in x (hard edges discounted by 1) ==");
     let xs = build_x_system(&g);
     for e in xs.graph().edges() {
-        println!("  rx({}) - rx({}) <= {}", label(e.dst), label(e.src), e.weight);
+        println!(
+            "  rx({}) - rx({}) <= {}",
+            label(e.dst),
+            label(e.src),
+            e.weight
+        );
     }
     let rx = xs.solve(mdf_constraint::Engine::BellmanFord).unwrap();
     println!("  solution: {:?}\n", rx);
@@ -23,7 +28,12 @@ fn main() {
     println!("== Figure 11(b): constraint graph in y (equalities for zero-x edges) ==");
     let ys = build_y_system(&g, &rx);
     for e in ys.graph().edges() {
-        println!("  ry({}) - ry({}) <= {}", label(e.dst), label(e.src), e.weight);
+        println!(
+            "  ry({}) - ry({}) <= {}",
+            label(e.dst),
+            label(e.src),
+            e.weight
+        );
     }
     let ry = ys.solve(mdf_constraint::Engine::BellmanFord).unwrap();
     println!("  solution: {:?}\n", ry);

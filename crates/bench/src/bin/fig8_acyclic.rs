@@ -14,8 +14,14 @@ fn main() {
     println!("== Figure 8: the acyclic 2LDG ==\n{g:?}\n");
 
     let r = fuse_acyclic(&g).unwrap();
-    println!("== Algorithm 3 retiming (paper Figure 10) ==\n{}\n", r.display(&g));
-    println!("== Figure 10: the retimed 2LDG ==\n{:?}\n", apply_retiming(&g, &r));
+    println!(
+        "== Algorithm 3 retiming (paper Figure 10) ==\n{}\n",
+        r.display(&g)
+    );
+    println!(
+        "== Figure 10: the retimed 2LDG ==\n{:?}\n",
+        apply_retiming(&g, &r)
+    );
 
     // Synchronization arithmetic of Section 4.2.
     let program = program_from_mldg(&g, "fig8_code").expect("Figure 8 is executable");

@@ -2,8 +2,8 @@
 //! runnable suite kernel: unfused vs fused (rows or wavefront), under the
 //! synchronization cost model. Prints one series per kernel.
 
-use mdf_bench::makespan_partition;
 use mdf_baselines::Partition;
+use mdf_bench::makespan_partition;
 use mdf_core::plan_fusion;
 use mdf_gen::suite;
 use mdf_ir::retgen::FusedSpec;

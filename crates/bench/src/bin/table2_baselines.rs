@@ -20,7 +20,10 @@ fn main() {
 
     for entry in suite() {
         let Some(p) = &entry.program else {
-            println!("[{}] {} — graph-only entry, skipped here\n", entry.id, entry.description);
+            println!(
+                "[{}] {} — graph-only entry, skipped here\n",
+                entry.id, entry.description
+            );
             continue;
         };
         println!("[{}] {}", entry.id, entry.description);

@@ -56,7 +56,8 @@ fn main() {
         extra_edges: 10,
         ..GenConfig::default()
     };
-    let (mut partial_wins, mut total, mut sum_direct, mut sum_partial) = (0usize, 0usize, 0usize, 0usize);
+    let (mut partial_wins, mut total, mut sum_direct, mut sum_partial) =
+        (0usize, 0usize, 0usize, 0usize);
     for seed in 0..300u64 {
         let g = random_legal_mldg(seed, &cfg);
         let (Some(d), Some(p)) = (

@@ -79,8 +79,7 @@ pub fn makespan_shift_peel(
         compute: 0.0,
         total: 0.0,
     };
-    let body_work: f64 =
-        p.loops.iter().map(|l| l.stmts.len() as f64).sum::<f64>() * mp.stmt_cost;
+    let body_work: f64 = p.loops.iter().map(|l| l.stmts.len() as f64).sum::<f64>() * mp.stmt_cost;
     // The shifted fused row spans m + 1 + peel positions.
     let width = (m + 1 + plan.peel) as u64;
     for _ in 0..=n {

@@ -1,0 +1,618 @@
+//! `mdfuse fuzz` — a differential fuzzing harness for the whole pipeline.
+//!
+//! Each case generates a random workload (a legal cyclic 2LDG, an acyclic
+//! 2LDG, a graph with a planted negative cycle, or a random program pushed
+//! through the parse → extract front end), plans fusion under a budget,
+//! independently verifies the plan, and — when the graph realizes as an
+//! executable program — runs the fused schedule against the reference
+//! interpreter and compares final memory images. Infeasible cases must
+//! come back with a *valid* negative-cycle witness (the reported weight is
+//! recomputed from the graph). Every case runs under `catch_unwind`, so a
+//! panic anywhere in the pipeline is a reported failure, not a crash.
+//!
+//! Failures are shrunk greedily — drop one node or one edge at a time
+//! while the failure still reproduces — and reported as a minimized
+//! reproducer in the MLDG text format, ready to feed back into
+//! `mdfuse analyze`.
+//!
+//! The test-only hook `--inject-broken-retiming` perturbs each plan's
+//! retiming before the differential run; the harness then *must* catch
+//! the corruption in at least one case, which exercises the entire
+//! detection + shrinking path end to end.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
+use mdf_gen::{
+    program_from_mldg, random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg,
+    random_program, GenConfig, ProgramGenConfig,
+};
+use mdf_graph::mldg::Mldg;
+use mdf_graph::{textfmt, Budget, EdgeId, InfeasiblePhase, MdfError, NodeId, WitnessWeight};
+use mdf_ir::ast::Program;
+use mdf_ir::extract::extract_mldg;
+use mdf_retime::Retiming;
+use mdf_sim::check_plan_budgeted;
+
+use crate::CliError;
+
+/// Simulation bounds for the differential runs: small enough to keep a
+/// 200-case run fast, large enough that retiming prologues/epilogues and
+/// wavefront schedules are all exercised.
+const SIM_N: i64 = 6;
+/// Inner-loop bound companion to [`SIM_N`].
+const SIM_M: i64 = 6;
+
+/// Options for the `fuzz` subcommand.
+pub(crate) struct FuzzOpts {
+    /// Number of cases to run (`--cases`).
+    pub cases: u64,
+    /// Base seed (`--seed`); every case derives its own seed from it.
+    pub seed: u64,
+    /// Test-only fault injection (`--inject-broken-retiming`).
+    pub inject_broken_retiming: bool,
+}
+
+impl Default for FuzzOpts {
+    fn default() -> Self {
+        FuzzOpts {
+            cases: 64,
+            seed: 0,
+            inject_broken_retiming: false,
+        }
+    }
+}
+
+/// splitmix64: decorrelates per-case seeds from the base seed.
+fn derive_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn gen_cfg(seed: u64) -> GenConfig {
+    GenConfig {
+        nodes: 2 + (seed % 6) as usize,
+        extra_edges: (seed / 7 % 5) as usize,
+        hard_probability: 0.3,
+        self_loop_probability: 0.3,
+        magnitude: 2,
+    }
+}
+
+/// Restores the previous panic hook on drop. Cases run under
+/// `catch_unwind`, so the default hook would spam backtraces for panics
+/// the harness handles.
+struct QuietPanics {
+    #[allow(clippy::type_complexity)]
+    prev: Option<Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send + 'static>>,
+}
+
+impl QuietPanics {
+    fn new() -> Self {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        QuietPanics { prev: Some(prev) }
+    }
+}
+
+impl Drop for QuietPanics {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            std::panic::set_hook(prev);
+        }
+    }
+}
+
+/// What one fuzz case established.
+#[derive(Default)]
+struct Verdict {
+    /// A full differential execution ran (graph realized as a program).
+    differential: bool,
+    /// The injected retiming corruption was detected.
+    caught: bool,
+    /// The graph on which the injection was caught (for the reproducer).
+    caught_graph: Option<Mldg>,
+}
+
+/// Why one fuzz case failed.
+enum CaseError {
+    /// The harness's own budget tripped (e.g. `--deadline-ms`): not a
+    /// pipeline bug, surfaced as exit 5.
+    Budget(MdfError),
+    /// A pipeline bug, with an optional minimized MLDG reproducer.
+    Fail {
+        message: String,
+        reproducer: Option<String>,
+    },
+}
+
+fn fail(message: impl Into<String>) -> CaseError {
+    CaseError::Fail {
+        message: message.into(),
+        reproducer: None,
+    }
+}
+
+/// Routes an `MdfError` from an honest (non-injected) pipeline stage:
+/// budget trips propagate, everything else is a case failure.
+fn stage_error(stage: &str, e: MdfError) -> CaseError {
+    match e {
+        MdfError::BudgetExceeded { .. } => CaseError::Budget(e),
+        other => fail(format!("{stage}: {other}")),
+    }
+}
+
+/// Returns a copy of `plan` with its retiming deliberately corrupted
+/// (first offset shifted by one along the inner axis).
+fn perturb(plan: &FusionPlan) -> FusionPlan {
+    let mut offsets = plan.retiming().offsets().to_vec();
+    if let Some(o) = offsets.first_mut() {
+        o.y += 1;
+    }
+    let retiming = Retiming::from_offsets(offsets);
+    match plan {
+        FusionPlan::FullParallel { method, .. } => FusionPlan::FullParallel {
+            retiming,
+            method: *method,
+        },
+        FusionPlan::Hyperplane { wavefront, .. } => FusionPlan::Hyperplane {
+            retiming,
+            wavefront: *wavefront,
+        },
+    }
+}
+
+/// Plans, verifies, and (when `program` is given) differentially executes
+/// one feasible workload. With `inject`, additionally runs the corrupted
+/// plan and reports whether the checker caught it.
+fn check_feasible(
+    g: &Mldg,
+    program: Option<&Program>,
+    inject: bool,
+    budget: &Budget,
+) -> Result<Verdict, CaseError> {
+    let report = plan_fusion_budgeted(g, budget).map_err(|e| stage_error("planner", e))?;
+    report
+        .verify(g)
+        .map_err(|e| fail(format!("plan verification: {e}")))?;
+
+    let realized;
+    let program = match program {
+        Some(p) => Some(p),
+        None => {
+            realized = program_from_mldg(g, "fuzz");
+            realized.as_ref()
+        }
+    };
+    let Some(p) = program else {
+        return Ok(Verdict::default());
+    };
+
+    let mut verdict = Verdict {
+        differential: true,
+        ..Verdict::default()
+    };
+
+    if let DegradedPlan::Fused(plan) = &report.plan {
+        let mut meter = budget.meter();
+        check_plan_budgeted(p, plan, SIM_N, SIM_M, &mut meter)
+            .map_err(|e| stage_error("differential run", e))?
+            .map_err(|e| fail(format!("differential run: {e}")))?;
+
+        if inject {
+            let broken = perturb(plan);
+            let mut meter = budget.meter();
+            // Only a clean mismatch verdict counts as "caught"; a budget
+            // trip mid-run proves nothing about the checker.
+            if let Ok(Err(_)) = check_plan_budgeted(p, &broken, SIM_N, SIM_M, &mut meter) {
+                verdict.caught = true;
+                verdict.caught_graph = Some(g.clone());
+            }
+        }
+    } else if let DegradedPlan::Partial(plan) = &report.plan {
+        let mut meter = budget.meter();
+        mdf_sim::check_partial_budgeted(p, plan, SIM_N, SIM_M, &mut meter)
+            .map_err(|e| stage_error("partitioned run", e))?
+            .map_err(|e| fail(format!("partitioned run: {e}")))?;
+    }
+    Ok(verdict)
+}
+
+/// Validates the planner's rejection of a graph with a planted negative
+/// cycle: it must return [`MdfError::Infeasible`] and the witness must
+/// check out against the graph itself.
+fn check_infeasible(g: &Mldg, budget: &Budget) -> Result<(), CaseError> {
+    match plan_fusion_budgeted(g, budget) {
+        Err(MdfError::Infeasible {
+            phase,
+            cycle,
+            nodes,
+            weight,
+        }) => validate_witness(g, phase, &cycle, &nodes, weight).map_err(fail),
+        Err(e @ MdfError::BudgetExceeded { .. }) => Err(CaseError::Budget(e)),
+        Err(e) => Err(fail(format!("expected an infeasibility witness, got: {e}"))),
+        Ok(_) => Err(fail(
+            "planner accepted a graph with a planted negative cycle",
+        )),
+    }
+}
+
+fn validate_witness(
+    g: &Mldg,
+    phase: InfeasiblePhase,
+    cycle: &[EdgeId],
+    nodes: &[String],
+    weight: WitnessWeight,
+) -> Result<(), String> {
+    match weight {
+        WitnessWeight::Lex(w) => {
+            if cycle.is_empty() || nodes.is_empty() {
+                return Err(format!("empty {phase} witness"));
+            }
+            let sum = g.delta_sum(cycle);
+            if sum != w {
+                return Err(format!(
+                    "witness weight {w} does not match the cycle's delta sum {sum}"
+                ));
+            }
+            if !(w.x < 0 || (w.x == 0 && w.y < 0)) {
+                return Err(format!(
+                    "witness weight {w} is not lexicographically negative"
+                ));
+            }
+            Ok(())
+        }
+        WitnessWeight::Scalar(s) => {
+            // Scalar phases (OuterX discounts hard edges, InnerY may not
+            // map onto MLDG edges at all) only promise a negative weight.
+            if s >= 0 {
+                return Err(format!("scalar {phase} witness weight {s} is not negative"));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Rebuilds `g` without node `drop` (and its incident edges).
+fn without_node(g: &Mldg, drop: NodeId) -> Mldg {
+    let mut h = Mldg::new();
+    let mut map: HashMap<NodeId, NodeId> = HashMap::new();
+    for n in g.node_ids() {
+        if n != drop {
+            map.insert(n, h.add_node(g.label(n)));
+        }
+    }
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        if ed.src != drop && ed.dst != drop {
+            h.add_deps(map[&ed.src], map[&ed.dst], g.deps(e).iter());
+        }
+    }
+    h
+}
+
+/// Rebuilds `g` without edge `drop`.
+fn without_edge(g: &Mldg, drop: EdgeId) -> Mldg {
+    let mut h = Mldg::new();
+    for n in g.node_ids() {
+        h.add_node(g.label(n));
+    }
+    for e in g.edge_ids() {
+        if e != drop {
+            let ed = g.edge(e);
+            h.add_deps(ed.src, ed.dst, g.deps(e).iter());
+        }
+    }
+    h
+}
+
+/// Greedy shrinking: repeatedly drop one node or one edge as long as the
+/// failure predicate keeps holding, to a fixed point.
+fn shrink(mut g: Mldg, fails: &dyn Fn(&Mldg) -> bool) -> Mldg {
+    loop {
+        let mut reduced = false;
+        for n in g.node_ids() {
+            if g.node_count() <= 1 {
+                break;
+            }
+            let h = without_node(&g, n);
+            if fails(&h) {
+                g = h;
+                reduced = true;
+                break;
+            }
+        }
+        if !reduced {
+            for e in g.edge_ids() {
+                let h = without_edge(&g, e);
+                if fails(&h) {
+                    g = h;
+                    reduced = true;
+                    break;
+                }
+            }
+        }
+        if !reduced {
+            return g;
+        }
+    }
+}
+
+/// `true` when the feasible-case check fails (or panics) on `h`. The
+/// shrinking predicate for differential/verification failures.
+fn feasible_case_fails(h: &Mldg, inject: bool, budget: &Budget) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        matches!(
+            check_feasible(h, None, inject, budget),
+            Err(CaseError::Fail { .. })
+        )
+    }))
+    .unwrap_or(true)
+}
+
+/// `true` when the planner rejects `h` with an *invalid* witness. The
+/// shrinking predicate for witness bugs (a feasible shrunk graph simply
+/// no longer triggers the bug, so shrinking stays sound).
+fn witness_invalid(h: &Mldg, budget: &Budget) -> bool {
+    catch_unwind(AssertUnwindSafe(|| match plan_fusion_budgeted(h, budget) {
+        Err(MdfError::Infeasible {
+            phase,
+            cycle,
+            nodes,
+            weight,
+        }) => validate_witness(h, phase, &cycle, &nodes, weight).is_err(),
+        _ => false,
+    }))
+    .unwrap_or(false)
+}
+
+/// `true` when the injected retiming corruption is caught on `h`. The
+/// shrinking predicate for the injection reproducer.
+fn injection_caught(h: &Mldg, budget: &Budget) -> bool {
+    catch_unwind(AssertUnwindSafe(|| {
+        matches!(
+            check_feasible(h, None, true, budget),
+            Ok(Verdict { caught: true, .. })
+        )
+    }))
+    .unwrap_or(false)
+}
+
+fn reproducer_text(g: &Mldg) -> String {
+    format!(
+        "minimized reproducer ({} node(s), {} edge(s)):\n{}",
+        g.node_count(),
+        g.edge_count(),
+        textfmt::to_text(g, "repro")
+    )
+}
+
+/// Runs one case; `kind` cycles through the four workload classes.
+fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdict, CaseError> {
+    let cfg = gen_cfg(seed);
+    match kind {
+        0 | 1 => {
+            let g = if kind == 0 {
+                random_legal_mldg(seed, &cfg)
+            } else {
+                random_acyclic_mldg(seed, &cfg)
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                check_feasible(&g, None, inject, budget)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(fail(format!(
+                    "pipeline panicked: {}",
+                    crate::panic_message(payload)
+                )))
+            });
+            outcome.map_err(|e| match e {
+                CaseError::Fail { message, .. } => {
+                    let min = shrink(g.clone(), &|h| feasible_case_fails(h, inject, budget));
+                    CaseError::Fail {
+                        message,
+                        reproducer: Some(reproducer_text(&min)),
+                    }
+                }
+                budget_trip => budget_trip,
+            })
+        }
+        2 => {
+            let g = random_infeasible_mldg(seed, &cfg);
+            let outcome = catch_unwind(AssertUnwindSafe(|| check_infeasible(&g, budget)))
+                .unwrap_or_else(|payload| {
+                    Err(fail(format!(
+                        "pipeline panicked: {}",
+                        crate::panic_message(payload)
+                    )))
+                });
+            outcome.map(|()| Verdict::default()).map_err(|e| match e {
+                CaseError::Fail { message, .. } => {
+                    // Only witness-validity failures shrink soundly; a
+                    // wrongly-accepted graph is reported whole.
+                    let min = if witness_invalid(&g, budget) {
+                        shrink(g.clone(), &|h| witness_invalid(h, budget))
+                    } else {
+                        g.clone()
+                    };
+                    CaseError::Fail {
+                        message,
+                        reproducer: Some(reproducer_text(&min)),
+                    }
+                }
+                budget_trip => budget_trip,
+            })
+        }
+        _ => {
+            let pcfg = ProgramGenConfig {
+                loops: 2 + (seed % 3) as usize,
+                reads_per_loop: 1 + (seed / 3 % 2) as usize,
+                max_offset: 2,
+                self_read_probability: 0.25,
+            };
+            let p = random_program(seed, &pcfg);
+            catch_unwind(AssertUnwindSafe(|| program_case(&p, inject, budget))).unwrap_or_else(
+                |payload| {
+                    Err(fail(format!(
+                        "pipeline panicked on program {:?}: {}",
+                        p.name,
+                        crate::panic_message(payload)
+                    )))
+                },
+            )
+        }
+    }
+}
+
+/// The full front-end path: print the program back to DSL, re-parse it,
+/// extract the MLDG, then plan + verify + differentially execute.
+fn program_case(p: &Program, inject: bool, budget: &Budget) -> Result<Verdict, CaseError> {
+    let src = mdf_ir::pretty::program_to_dsl(p);
+    let reparsed = mdf_ir::parse_program(&src)
+        .map_err(|e| fail(format!("printed program failed to re-parse: {e}\n{src}")))?;
+    if &reparsed != p {
+        return Err(fail(format!(
+            "program does not round-trip through the DSL printer:\n{src}"
+        )));
+    }
+    let x = extract_mldg(p).map_err(|e| fail(format!("extraction: {e}")))?;
+    check_feasible(&x.graph, Some(p), inject, budget)
+}
+
+/// Entry point for `mdfuse fuzz`.
+pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> {
+    let _quiet = QuietPanics::new();
+    let mut kind_counts = [0u64; 4];
+    let mut differential = 0u64;
+    let mut caught = 0u64;
+    let mut caught_graph: Option<Mldg> = None;
+
+    for c in 0..opts.cases {
+        let kind = c % 4;
+        let seed = derive_seed(opts.seed, c);
+        kind_counts[kind as usize] += 1;
+        match run_case(kind, seed, opts.inject_broken_retiming, budget) {
+            Ok(v) => {
+                if v.differential {
+                    differential += 1;
+                }
+                if v.caught {
+                    caught += 1;
+                    if caught_graph.is_none() {
+                        caught_graph = v.caught_graph;
+                    }
+                }
+            }
+            Err(CaseError::Budget(e)) => return Err(CliError::Mdf(e)),
+            Err(CaseError::Fail {
+                message,
+                reproducer,
+            }) => {
+                let kind_name = ["legal", "acyclic", "infeasible", "program"][kind as usize];
+                let mut out =
+                    format!("fuzz case {c} ({kind_name}, seed {seed:#x}) failed: {message}");
+                if let Some(r) = reproducer {
+                    out.push('\n');
+                    out.push_str(&r);
+                }
+                return Err(CliError::Internal(out));
+            }
+        }
+    }
+
+    if opts.inject_broken_retiming {
+        let Some(g) = caught_graph else {
+            return Err(CliError::Internal(format!(
+                "--inject-broken-retiming: the injected fault was never caught \
+                 across {} differential run(s); the checker is blind",
+                differential
+            )));
+        };
+        let before = (g.node_count(), g.edge_count());
+        let min = shrink(g, &|h| injection_caught(h, budget));
+        return Ok(format!(
+            "fuzz: {} cases (seed {}): injected broken retiming caught in {caught}/{differential} differential run(s)\n\
+             shrunk from {} node(s)/{} edge(s); {}",
+            opts.cases, opts.seed, before.0, before.1, reproducer_text(&min)
+        ));
+    }
+
+    Ok(format!(
+        "fuzz: {} cases (seed {}): all passed \
+         ({} legal, {} acyclic, {} infeasible, {} program; {differential} differential run(s))\n",
+        opts.cases, opts.seed, kind_counts[0], kind_counts[1], kind_counts[2], kind_counts[3],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_small_run_passes() {
+        let opts = FuzzOpts {
+            cases: 12,
+            seed: 7,
+            inject_broken_retiming: false,
+        };
+        let out = run(&opts, &Budget::unlimited()).unwrap();
+        assert!(out.contains("all passed"), "{out}");
+        assert!(out.contains("differential run(s)"), "{out}");
+    }
+
+    #[test]
+    fn injection_is_caught_and_minimized() {
+        let opts = FuzzOpts {
+            cases: 24,
+            seed: 1,
+            inject_broken_retiming: true,
+        };
+        let out = run(&opts, &Budget::unlimited()).unwrap();
+        assert!(out.contains("injected broken retiming caught"), "{out}");
+        assert!(out.contains("minimized reproducer"), "{out}");
+        assert!(out.contains("mldg repro"), "{out}");
+    }
+
+    #[test]
+    fn derived_seeds_differ() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shrinking_reaches_a_fixed_point() {
+        // Predicate: graph has at least one edge. Shrinks to exactly one
+        // edge between two nodes (node removal would break it first).
+        let cfg = gen_cfg(3);
+        let g = random_legal_mldg(3, &cfg);
+        assert!(g.edge_count() > 1);
+        let min = shrink(g, &|h| h.edge_count() >= 1);
+        assert_eq!(min.edge_count(), 1);
+    }
+
+    #[test]
+    fn witness_validation_rejects_nonsense() {
+        let g = random_infeasible_mldg(5, &gen_cfg(5));
+        // A fabricated non-negative lex weight must be rejected.
+        let err = validate_witness(
+            &g,
+            InfeasiblePhase::Lex,
+            &[],
+            &[],
+            WitnessWeight::Lex(mdf_graph::v2(1, 0)),
+        );
+        assert!(err.is_err());
+        let err = validate_witness(
+            &g,
+            InfeasiblePhase::OuterX,
+            &[],
+            &[],
+            WitnessWeight::Scalar(3),
+        );
+        assert!(err.is_err());
+    }
+}

@@ -9,19 +9,89 @@
 //! mdfuse simulate <file> [n] [m]  execute original vs fused and compare
 //! mdfuse dot      <file>          emit Graphviz DOT for the MLDG
 //! mdfuse suite                    run the Section 5 experiment suite
+//! mdfuse fuzz                     differential fuzzing of the pipeline
 //! ```
 //!
 //! `<file>` may contain either the MLDG text format (`mldg <name> ...`) or
 //! the loop DSL (`program <name> { ... }`); the format is auto-detected.
+//!
+//! Exit codes are stable and scriptable: 0 success, 1 internal error,
+//! 2 usage error, 3 malformed input, 4 infeasible input, 5 budget
+//! exceeded. See [`CliError::exit_code`].
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use mdf_core::{analyze, plan_fusion, verify_plan};
+use mdf_core::{analyze, DegradedPlan};
 use mdf_graph::mldg::Mldg;
+use mdf_graph::{Budget, MdfError};
 use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
-use mdf_sim::check_plan;
+use mdf_sim::{check_partial_budgeted, check_plan_budgeted};
+
+mod fuzz;
+
+/// A CLI failure, classified for the exit code.
+#[derive(Debug)]
+enum CliError {
+    /// Bad arguments or an unreadable file (exit 2).
+    Usage(String),
+    /// A typed pipeline error; the exit code depends on the variant.
+    Mdf(MdfError),
+    /// A bug on our side: failed verification or a caught panic (exit 1).
+    Internal(String),
+}
+
+impl CliError {
+    /// The process exit code for this error.
+    ///
+    /// * `1` — internal error (verification failure, worker panic);
+    /// * `2` — usage error (bad arguments, unreadable file);
+    /// * `3` — malformed input (parse or validation error);
+    /// * `4` — infeasible input (negative cycle / not acyclic);
+    /// * `5` — resource budget exceeded.
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Mdf(e) => match e {
+                MdfError::Parse { .. } | MdfError::Invalid { .. } => 3,
+                MdfError::Infeasible { .. } | MdfError::NotAcyclic => 4,
+                MdfError::BudgetExceeded { .. } => 5,
+                MdfError::Exec { .. } => 1,
+            },
+            CliError::Internal(_) => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) => write!(f, "{m}"),
+            CliError::Mdf(e) => write!(f, "{e}"),
+            CliError::Internal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl From<MdfError> for CliError {
+    fn from(e: MdfError) -> Self {
+        CliError::Mdf(e)
+    }
+}
+
+/// Best-effort extraction of a human-readable message from a panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panicked".to_string()
+    }
+}
 
 /// Parsed input: always a graph, sometimes a runnable program too.
 struct Input {
@@ -30,18 +100,18 @@ struct Input {
     program: Option<Program>,
 }
 
-fn load(source: &str) -> Result<Input, String> {
+fn load(source: &str) -> Result<Input, CliError> {
     let trimmed = source.trim_start();
     if trimmed.starts_with("program") {
-        let program = mdf_ir::parse_program(source).map_err(|e| e.to_string())?;
-        let x = extract_mldg(&program).map_err(|e| e.to_string())?;
+        let program = mdf_ir::parse_program(source)?;
+        let x = extract_mldg(&program)?;
         Ok(Input {
             name: program.name.clone(),
             graph: x.graph,
             program: Some(program),
         })
     } else {
-        let (graph, name) = mdf_graph::textfmt::parse(source).map_err(|e| e.to_string())?;
+        let (graph, name) = mdf_graph::textfmt::parse(source)?;
         Ok(Input {
             name,
             graph,
@@ -50,92 +120,114 @@ fn load(source: &str) -> Result<Input, String> {
     }
 }
 
-fn load_file(path: &str) -> Result<Input, String> {
-    let source =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+fn load_file(path: &str) -> Result<Input, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
     load(&source)
 }
 
-fn cmd_analyze(input: &Input) -> Result<String, String> {
+fn cmd_analyze(input: &Input) -> Result<String, CliError> {
     Ok(analyze(&input.graph, &input.name).render(Some(&input.graph)))
 }
 
-fn cmd_fuse(input: &Input) -> Result<String, String> {
-    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
-    verify_plan(&input.graph, &plan).map_err(|e| format!("verification failed: {e}"))?;
+fn cmd_fuse(input: &Input, budget: &Budget) -> Result<String, CliError> {
+    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    report
+        .verify(&input.graph)
+        .map_err(|e| CliError::Internal(format!("verification failed: {e}")))?;
     let mut out = analyze(&input.graph, &input.name).render(Some(&input.graph));
-    if let Some(p) = &input.program {
+    if let (DegradedPlan::Fused(plan), Some(p)) = (&report.plan, &input.program) {
         let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
         out.push('\n');
         out.push_str(&spec.render());
     }
+    // Only surface the ladder when something actually degraded; the
+    // common single-rung success keeps its historical output.
+    if report.attempts.len() > 1 {
+        out.push('\n');
+        out.push_str("degradation ladder:\n");
+        out.push_str(&report.ladder_trace());
+    }
     Ok(out)
 }
 
-fn cmd_codegen(input: &Input) -> Result<String, String> {
+fn cmd_codegen(input: &Input, budget: &Budget) -> Result<String, CliError> {
     let program = input
         .program
         .as_ref()
-        .ok_or("codegen requires a loop program (DSL input)")?;
-    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
-    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+        .ok_or_else(|| CliError::Usage("codegen requires a loop program (DSL input)".into()))?;
+    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    let spec = FusedSpec::new(program.clone(), report.plan.retiming().offsets().to_vec());
     Ok(spec.render())
 }
 
-fn cmd_simulate(input: &Input, n: i64, m: i64) -> Result<String, String> {
+fn cmd_simulate(input: &Input, n: i64, m: i64, budget: &Budget) -> Result<String, CliError> {
     let program = input
         .program
         .as_ref()
-        .ok_or("simulate requires a loop program (DSL input)")?;
-    let plan = plan_fusion(&input.graph).map_err(|e| e.to_string())?;
-    let report = check_plan(program, &plan, n, m).map_err(|e| e.to_string())?;
+        .ok_or_else(|| CliError::Usage("simulate requires a loop program (DSL input)".into()))?;
+    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    let mut meter = budget.meter();
+    let verdict = match &report.plan {
+        DegradedPlan::Fused(plan) => check_plan_budgeted(program, plan, n, m, &mut meter)?,
+        DegradedPlan::Partial(plan) => check_partial_budgeted(program, plan, n, m, &mut meter)?,
+    };
+    let sim = verdict.map_err(|e| CliError::Internal(format!("simulation failed: {e}")))?;
     Ok(format!(
         "results identical over i=0..={n}, j=0..={m}\n\
          synchronizations: {} (original) -> {} (fused)\n\
          statement instances: {}\n",
-        report.original_barriers, report.fused_barriers, report.stmt_instances
+        sim.original_barriers, sim.fused_barriers, sim.stmt_instances
     ))
 }
 
-fn cmd_partial(input: &Input) -> Result<String, String> {
+fn cmd_partial(input: &Input) -> Result<String, CliError> {
     use std::fmt::Write as _;
-    let plan = mdf_core::fuse_partial(&input.graph)
-        .ok_or("no row-parallel clustering exists (negative cycle or zero-x cycle with inner weight)")?;
+    let plan = mdf_core::fuse_partial(&input.graph).ok_or_else(|| {
+        CliError::Mdf(MdfError::invalid(
+            "no row-parallel clustering exists (negative cycle or zero-x cycle with inner weight)",
+        ))
+    })?;
     if !mdf_core::verify_partial(&input.graph, &plan) {
-        return Err("internal error: partial plan failed verification".into());
+        return Err(CliError::Internal(
+            "internal error: partial plan failed verification".into(),
+        ));
     }
     let mut out = String::new();
-    writeln!(
+    // Writes into a String are infallible; discard the Result so no panic
+    // path exists in the command at all.
+    let _ = writeln!(
         out,
         "partial fusion: {} cluster(s), each row-DOALL; retiming: {}",
         plan.clusters.len(),
         plan.retiming.display(&input.graph)
-    )
-    .unwrap();
+    );
     for (i, c) in plan.clusters.iter().enumerate() {
         let labels: Vec<&str> = c.iter().map(|&n| input.graph.label(n)).collect();
-        writeln!(out, "  cluster {}: {}", i + 1, labels.join(", ")).unwrap();
+        let _ = writeln!(out, "  cluster {}: {}", i + 1, labels.join(", "));
     }
     Ok(out)
 }
 
-fn cmd_explain(input: &Input) -> Result<String, String> {
+fn cmd_explain(input: &Input) -> Result<String, CliError> {
     Ok(mdf_core::explain_fusion(&input.graph).render())
 }
 
-fn cmd_dot(input: &Input) -> Result<String, String> {
+fn cmd_dot(input: &Input) -> Result<String, CliError> {
     Ok(mdf_graph::dot::to_dot(&input.graph, &input.name))
 }
 
-fn cmd_suite() -> Result<String, String> {
+fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
     let mut out = String::new();
     for entry in mdf_gen::suite() {
         let report = analyze(&entry.graph, entry.id);
         out.push_str(&format!("[{}] {}\n", entry.id, entry.description));
         out.push_str(&report.render(Some(&entry.graph)));
         if let Some(p) = &entry.program {
-            let plan = plan_fusion(&entry.graph).map_err(|e| e.to_string())?;
-            let sim = check_plan(p, &plan, 32, 32).map_err(|e| e.to_string())?;
+            let plan = mdf_core::plan_fusion(&entry.graph)?;
+            let mut meter = budget.meter();
+            let sim = check_plan_budgeted(p, &plan, 32, 32, &mut meter)?
+                .map_err(|e| CliError::Internal(format!("simulation failed: {e}")))?;
             out.push_str(&format!(
                 "simulated (33x33): {} -> {} synchronizations, results identical\n",
                 sim.original_barriers, sim.fused_barriers
@@ -146,37 +238,112 @@ fn cmd_suite() -> Result<String, String> {
     Ok(out)
 }
 
-const USAGE: &str = "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]\n       mdfuse suite";
+const USAGE: &str =
+    "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]
+       mdfuse suite
+       mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
 
-fn run(args: &[String]) -> Result<String, String> {
-    match args {
-        [cmd] if cmd == "suite" => cmd_suite(),
+options:
+  --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5)
+  -h, --help         print this help
+
+exit codes:
+  0  success
+  1  internal error (verification failure, worker panic)
+  2  usage error (bad arguments, unreadable file)
+  3  malformed input (parse or validation error)
+  4  infeasible input (lexicographically negative cycle)
+  5  resource budget exceeded (graph size, rounds, iterations, deadline)";
+
+/// Command-line options shared by every subcommand.
+struct Opts {
+    deadline_ms: Option<u64>,
+    positional: Vec<String>,
+    help: bool,
+    fuzz: fuzz::FuzzOpts,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
+    let mut opts = Opts {
+        deadline_ms: None,
+        positional: Vec::new(),
+        help: false,
+        fuzz: fuzz::FuzzOpts::default(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<u64, CliError> {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("{name} requires a value\n{USAGE}")))?;
+            v.parse::<u64>()
+                .map_err(|e| CliError::Usage(format!("bad value for {name}: {e}\n{USAGE}")))
+        };
+        match a.as_str() {
+            "-h" | "--help" | "help" => opts.help = true,
+            "--deadline-ms" => opts.deadline_ms = Some(flag_value("--deadline-ms")?),
+            "--cases" => opts.fuzz.cases = flag_value("--cases")?,
+            "--seed" => opts.fuzz.seed = flag_value("--seed")?,
+            "--inject-broken-retiming" => opts.fuzz.inject_broken_retiming = true,
+            f if f.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown option {f:?}\n{USAGE}")))
+            }
+            _ => opts.positional.push(a.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn dispatch(args: &[String]) -> Result<String, CliError> {
+    let opts = parse_opts(args)?;
+    if opts.help {
+        return Ok(format!("{USAGE}\n"));
+    }
+    let mut budget = Budget::unlimited();
+    if let Some(ms) = opts.deadline_ms {
+        budget = budget.with_deadline(Duration::from_millis(ms));
+    }
+    match opts.positional.as_slice() {
+        #[cfg(test)]
+        [cmd] if cmd == "__panic__" => panic!("deliberate test panic"),
+        [cmd] if cmd == "suite" => cmd_suite(&budget),
+        [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
         [cmd, path, rest @ ..] => {
             let input = load_file(path)?;
             match cmd.as_str() {
                 "analyze" => cmd_analyze(&input),
-                "fuse" => cmd_fuse(&input),
-                "codegen" => cmd_codegen(&input),
+                "fuse" => cmd_fuse(&input, &budget),
+                "codegen" => cmd_codegen(&input, &budget),
                 "partial" => cmd_partial(&input),
                 "explain" => cmd_explain(&input),
                 "dot" => cmd_dot(&input),
                 "simulate" => {
-                    let n = rest
-                        .first()
-                        .map(|s| s.parse::<i64>().map_err(|e| e.to_string()))
-                        .transpose()?
-                        .unwrap_or(32);
-                    let m = rest
-                        .get(1)
-                        .map(|s| s.parse::<i64>().map_err(|e| e.to_string()))
-                        .transpose()?
-                        .unwrap_or(32);
-                    cmd_simulate(&input, n, m)
+                    let parse_dim = |s: &String| {
+                        s.parse::<i64>()
+                            .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
+                    };
+                    let n = rest.first().map(parse_dim).transpose()?.unwrap_or(32);
+                    let m = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
+                    cmd_simulate(&input, n, m, &budget)
                 }
-                other => Err(format!("unknown command {other:?}\n{USAGE}")),
+                other => Err(CliError::Usage(format!(
+                    "unknown command {other:?}\n{USAGE}"
+                ))),
             }
         }
-        _ => Err(USAGE.to_string()),
+        _ => Err(CliError::Usage(USAGE.to_string())),
+    }
+}
+
+/// Runs the CLI with panic isolation: a panic anywhere below becomes a
+/// structured internal error (exit 1) instead of an abort-style crash.
+fn run(args: &[String]) -> Result<String, CliError> {
+    match catch_unwind(AssertUnwindSafe(|| dispatch(args))) {
+        Ok(r) => r,
+        Err(payload) => Err(CliError::Internal(format!(
+            "internal panic: {}",
+            panic_message(payload)
+        ))),
     }
 }
 
@@ -189,7 +356,7 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("mdfuse: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -233,7 +400,7 @@ mod tests {
         let input = load(FIG2_DSL).unwrap();
         let a = cmd_analyze(&input).unwrap();
         assert!(a.contains("full parallel (Alg 4, cyclic)"));
-        let f = cmd_fuse(&input).unwrap();
+        let f = cmd_fuse(&input, &Budget::unlimited()).unwrap();
         assert!(f.contains("DOALL J"));
         assert!(f.contains("r(C)=(-1,0)"));
     }
@@ -241,15 +408,17 @@ mod tests {
     #[test]
     fn codegen_requires_program() {
         let input = load(FIG2_MLDG).unwrap();
-        assert!(cmd_codegen(&input).is_err());
+        assert!(cmd_codegen(&input, &Budget::unlimited()).is_err());
         let input = load(FIG2_DSL).unwrap();
-        assert!(cmd_codegen(&input).unwrap().contains("c[I-1][J]"));
+        assert!(cmd_codegen(&input, &Budget::unlimited())
+            .unwrap()
+            .contains("c[I-1][J]"));
     }
 
     #[test]
     fn simulate_reports_sync_reduction() {
         let input = load(FIG2_DSL).unwrap();
-        let s = cmd_simulate(&input, 10, 10).unwrap();
+        let s = cmd_simulate(&input, 10, 10, &Budget::unlimited()).unwrap();
         assert!(s.contains("44 (original) -> 12 (fused)"), "{s}");
     }
 
@@ -279,7 +448,7 @@ mod tests {
 
     #[test]
     fn suite_runs() {
-        let out = cmd_suite().unwrap();
+        let out = cmd_suite(&Budget::unlimited()).unwrap();
         for id in ["E1", "E2", "E3", "E4", "E5"] {
             assert!(out.contains(id), "{out}");
         }
@@ -291,5 +460,73 @@ mod tests {
         assert!(load("garbage").is_err());
         assert!(run(&["bogus".into(), "x".into()]).is_err());
         assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage_on_stdout() {
+        let out = run(&["--help".into()]).unwrap();
+        assert!(out.contains("exit codes"), "{out}");
+        assert!(out.contains("fuzz"), "{out}");
+    }
+
+    #[test]
+    fn exit_codes_are_classified() {
+        assert_eq!(CliError::Usage("x".into()).exit_code(), 2);
+        assert_eq!(CliError::Mdf(MdfError::parse(1, 1, "x")).exit_code(), 3);
+        assert_eq!(CliError::Mdf(MdfError::invalid("x")).exit_code(), 3);
+        assert_eq!(CliError::Mdf(MdfError::NotAcyclic).exit_code(), 4);
+        assert_eq!(
+            CliError::Mdf(MdfError::BudgetExceeded {
+                resource: mdf_graph::BudgetResource::Nodes,
+                limit: 1,
+                used: 2,
+            })
+            .exit_code(),
+            5
+        );
+        assert_eq!(CliError::Mdf(MdfError::exec(0, 0, "x")).exit_code(), 1);
+        assert_eq!(CliError::Internal("x".into()).exit_code(), 1);
+
+        // An infeasible input surfaces as exit 4 end to end.
+        let infeasible = "mldg bad\nnode A\nnode B\n\
+            edge A -> B : (0,1)\nedge B -> A : (0,-2)\n";
+        let input = load(infeasible).unwrap();
+        let err = cmd_fuse(&input, &Budget::unlimited()).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "{err}");
+
+        // Parse errors surface as exit 3 end to end.
+        let err = match load("mldg\n") {
+            Err(e) => e,
+            Ok(_) => panic!("truncated header must not parse"),
+        };
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn budget_trip_maps_to_exit_5() {
+        let input = load(FIG2_MLDG).unwrap();
+        let budget = Budget::unlimited().with_max_graph(1, 1);
+        let err = cmd_fuse(&input, &budget).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "{err}");
+        match err {
+            CliError::Mdf(MdfError::BudgetExceeded { .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panics_become_internal_errors() {
+        // A panic below dispatch() must be converted to exit 1, not abort.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let r = run(&["__panic__".into()]);
+        std::panic::set_hook(prev);
+        match r {
+            Err(CliError::Internal(m)) => {
+                assert!(m.contains("deliberate test panic"), "{m}");
+                assert_eq!(CliError::Internal(m).exit_code(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 }

@@ -13,6 +13,9 @@
 //! * [`shortest_paths_from`] — single-source variant with unreachable
 //!   vertices reported as `None`.
 
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::MdfError;
+
 use crate::graph::{ConstraintGraph, NegativeCycle};
 use crate::weight::Weight;
 
@@ -111,6 +114,53 @@ pub fn solve_difference_constraints_with_stats<W: Weight>(
     (Solution::Infeasible { cycle }, stats)
 }
 
+/// As [`solve_difference_constraints`], but metered: every full pass over
+/// the edge list charges one solver round against `meter`, which also
+/// re-checks the wall-clock deadline. Adversarially large systems
+/// (Bellman–Ford is `O(|V||E|)`) therefore fail fast with
+/// [`MdfError::BudgetExceeded`] instead of stalling the pipeline.
+pub fn solve_difference_constraints_budgeted<W: Weight>(
+    g: &ConstraintGraph<W>,
+    meter: &mut BudgetMeter,
+) -> Result<Solution<W>, MdfError> {
+    let n = g.vertex_count();
+    let mut dist: Vec<W> = vec![W::ZERO; n];
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+
+    for _round in 0..n {
+        meter.charge_rounds(1)?;
+        let mut changed = false;
+        for (eid, e) in g.edges().iter().enumerate() {
+            let candidate = dist[e.src] + e.weight;
+            if candidate < dist[e.dst] {
+                dist[e.dst] = candidate;
+                pred[e.dst] = Some(eid);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Ok(Solution::Feasible { dist });
+        }
+    }
+    // Negative cycle: one more applying pass yields a witness vertex whose
+    // predecessor chain provably reaches the cycle (see the unbudgeted
+    // solver for the argument).
+    meter.charge_rounds(1)?;
+    let mut witness = None;
+    for (eid, e) in g.edges().iter().enumerate() {
+        let candidate = dist[e.src] + e.weight;
+        if candidate < dist[e.dst] {
+            dist[e.dst] = candidate;
+            pred[e.dst] = Some(eid);
+            witness = Some(e.dst);
+        }
+    }
+    let start = witness.expect("relaxation in pass n but no improvable edge found");
+    Ok(Solution::Infeasible {
+        cycle: extract_cycle(g, &pred, start),
+    })
+}
+
 /// Single-source shortest paths; `None` marks unreachable vertices.
 pub fn shortest_paths_from<W: Weight>(
     g: &ConstraintGraph<W>,
@@ -181,7 +231,10 @@ fn extract_cycle<W: Weight>(
     }
     edges_rev.reverse();
     let total = g.weight_sum(&edges_rev);
-    debug_assert!(total < W::ZERO, "extracted cycle is not negative: {total:?}");
+    debug_assert!(
+        total < W::ZERO,
+        "extracted cycle is not negative: {total:?}"
+    );
     NegativeCycle {
         edges: edges_rev,
         total,

@@ -49,9 +49,7 @@ pub fn all_pairs_shortest_paths<W: Weight>(
 /// emulated by taking, for each vertex, the minimum distance from any
 /// vertex — every vertex is at distance 0 from the source).
 #[allow(clippy::result_unit_err)]
-pub fn solve_difference_constraints_floyd<W: Weight>(
-    g: &ConstraintGraph<W>,
-) -> Result<Vec<W>, ()> {
+pub fn solve_difference_constraints_floyd<W: Weight>(g: &ConstraintGraph<W>) -> Result<Vec<W>, ()> {
     let ap = all_pairs_shortest_paths(g)?;
     let n = g.vertex_count();
     let mut out = Vec::with_capacity(n);

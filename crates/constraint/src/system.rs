@@ -8,7 +8,12 @@
 //! iff the constraint graph has no cycle of (lexicographically) negative
 //! weight, and shortest distances from the virtual source are a solution.
 
-use crate::bellman_ford::{solve_difference_constraints, Solution};
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::MdfError;
+
+use crate::bellman_ford::{
+    solve_difference_constraints, solve_difference_constraints_budgeted, Solution,
+};
 use crate::dag::solve_difference_constraints_dag;
 use crate::graph::{ConstraintGraph, NegativeCycle};
 use crate::scc::solve_difference_constraints_scc;
@@ -112,6 +117,27 @@ impl<W: Weight> DifferenceSystem<W> {
         }
     }
 
+    /// Solves the system under a resource budget. The outer `Result`
+    /// reports abnormal termination (`MdfError::BudgetExceeded` when the
+    /// meter's solver-round or wall-clock limit trips); the inner one is
+    /// ordinary feasibility, as in [`DifferenceSystem::solve`]. Budgeted
+    /// solving always runs the metered Bellman–Ford engine — it is the
+    /// canonical engine, and the only one whose `O(|V||E|)` round
+    /// structure maps directly onto the budget's unit of account.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_budgeted(
+        &self,
+        meter: &mut BudgetMeter,
+    ) -> Result<Result<Vec<W>, Infeasible<W>>, MdfError> {
+        match solve_difference_constraints_budgeted(&self.graph, meter)? {
+            Solution::Feasible { dist } => {
+                debug_assert!(self.check(&dist), "engine produced an invalid solution");
+                Ok(Ok(dist))
+            }
+            Solution::Infeasible { cycle } => Ok(Err(Infeasible { cycle })),
+        }
+    }
+
     /// Verifies an assignment against every constraint.
     pub fn check(&self, assignment: &[W]) -> bool {
         assignment.len() == self.variables()
@@ -164,6 +190,52 @@ mod tests {
         assert_eq!(bf, spfa);
         // The system is cyclic, so DagOrBellmanFord falls back and agrees.
         assert_eq!(bf, dag);
+    }
+
+    #[test]
+    fn budgeted_solve_matches_plain_solve() {
+        use mdf_graph::budget::Budget;
+        let mut sys: DifferenceSystem<IVec2> = DifferenceSystem::new(4);
+        sys.add_le(1, 0, v2(1, 1));
+        sys.add_le(2, 1, v2(0, -2));
+        sys.add_le(3, 2, v2(0, -1));
+        sys.add_le(0, 3, v2(2, 1));
+        let mut meter = Budget::unlimited().meter();
+        let budgeted = sys.solve_budgeted(&mut meter).unwrap().unwrap();
+        let plain = sys.solve(Engine::BellmanFord).unwrap();
+        assert_eq!(budgeted, plain);
+    }
+
+    #[test]
+    fn budgeted_solve_trips_on_round_limit() {
+        use mdf_graph::budget::Budget;
+        use mdf_graph::error::{BudgetResource, MdfError};
+        // A long chain added in reverse order needs one round per vertex.
+        let n = 64;
+        let mut sys: DifferenceSystem<i64> = DifferenceSystem::new(n);
+        for v in (0..n - 1).rev() {
+            sys.add_le(v + 1, v, -1);
+        }
+        let mut meter = Budget::unlimited().with_max_solver_rounds(3).meter();
+        match sys.solve_budgeted(&mut meter) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::SolverRounds,
+                limit: 3,
+                ..
+            }) => {}
+            other => panic!("expected a round-budget trip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_solve_still_reports_infeasibility() {
+        use mdf_graph::budget::Budget;
+        let mut sys: DifferenceSystem<i64> = DifferenceSystem::new(2);
+        sys.add_eq(1, 0, 4);
+        sys.add_eq(1, 0, 5);
+        let mut meter = Budget::unlimited().meter();
+        let inf = sys.solve_budgeted(&mut meter).unwrap().unwrap_err();
+        assert!(inf.cycle.verify(sys.graph()));
     }
 
     proptest! {

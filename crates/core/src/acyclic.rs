@@ -11,24 +11,20 @@
 //! second avoids inner-dimension prologue shifts.
 
 use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_graph::budget::BudgetMeter;
 use mdf_graph::cycles::is_acyclic;
+use mdf_graph::error::MdfError;
 use mdf_graph::mldg::Mldg;
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
 
-use crate::llofra::FusionError;
-
 /// Runs Algorithm 3 with the default engine (a topological sweep, since the
 /// constraint graph is a DAG; `O(|V| + |E|)`).
-pub fn fuse_acyclic(g: &Mldg) -> Result<Retiming, FusionError> {
+pub fn fuse_acyclic(g: &Mldg) -> Result<Retiming, MdfError> {
     fuse_acyclic_with_engine(g, Engine::DagOrBellmanFord)
 }
 
-/// Runs Algorithm 3 with a caller-selected engine.
-pub fn fuse_acyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, FusionError> {
-    if !is_acyclic(g) {
-        return Err(FusionError::NotAcyclic);
-    }
+fn build_acyclic_system(g: &Mldg) -> DifferenceSystem<IVec2> {
     let mut sys: DifferenceSystem<IVec2> = DifferenceSystem::new(g.node_count());
     for e in g.edge_ids() {
         let ed = g.edge(e);
@@ -38,12 +34,37 @@ pub fn fuse_acyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, Fu
             g.delta(e) - IVec2::ONE_NEG_ONE,
         );
     }
-    let offsets = sys
+    sys
+}
+
+/// Zeroes the second components (final loop of Algorithm 3).
+fn zero_y(offsets: Vec<IVec2>) -> Retiming {
+    Retiming::from_offsets(offsets.into_iter().map(|v| IVec2::new(v.x, 0)).collect())
+}
+
+/// Runs Algorithm 3 with a caller-selected engine.
+pub fn fuse_acyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, MdfError> {
+    if !is_acyclic(g) {
+        return Err(MdfError::NotAcyclic);
+    }
+    let offsets = build_acyclic_system(g)
         .solve(engine)
         .expect("acyclic constraint systems are always feasible (Theorem 4.1)");
-    // Zero the second components (final loop of Algorithm 3).
-    let offsets = offsets.into_iter().map(|v| IVec2::new(v.x, 0)).collect();
-    Ok(Retiming::from_offsets(offsets))
+    Ok(zero_y(offsets))
+}
+
+/// Runs Algorithm 3 under a resource budget (the solve is metered). The
+/// constraint system of an acyclic 2LDG is always feasible (Theorem 4.1),
+/// so the only failure modes are [`MdfError::NotAcyclic`] and
+/// [`MdfError::BudgetExceeded`].
+pub fn fuse_acyclic_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    if !is_acyclic(g) {
+        return Err(MdfError::NotAcyclic);
+    }
+    let offsets = build_acyclic_system(g)
+        .solve_budgeted(meter)?
+        .expect("acyclic constraint systems are always feasible (Theorem 4.1)");
+    Ok(zero_y(offsets))
 }
 
 #[cfg(test)]
@@ -96,7 +117,18 @@ mod tests {
 
     #[test]
     fn cyclic_input_rejected() {
-        assert_eq!(fuse_acyclic(&figure2()), Err(FusionError::NotAcyclic));
+        assert_eq!(fuse_acyclic(&figure2()), Err(MdfError::NotAcyclic));
+    }
+
+    #[test]
+    fn budgeted_acyclic_matches_plain() {
+        use mdf_graph::budget::Budget;
+        let g = figure8();
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(
+            fuse_acyclic_budgeted(&g, &mut meter).unwrap(),
+            fuse_acyclic(&g).unwrap()
+        );
     }
 
     #[test]

@@ -16,45 +16,14 @@
 //! Theorem 4.2: a DOALL-after-fusion retiming exists iff both constraint
 //! graphs are free of negative cycles.
 
-use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_constraint::{DifferenceSystem, Engine, Infeasible};
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::{InfeasiblePhase, MdfError, WitnessWeight};
 use mdf_graph::mldg::{EdgeId, Mldg};
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
 
-/// Why Algorithm 4 failed (Theorem 4.2's two conditions).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum CyclicFusionError {
-    /// The constraint graph in `x` has a negative cycle: some cycle of the
-    /// 2LDG has too little outer-loop weight to absorb its hard edges.
-    PhaseX {
-        /// MLDG edges of the offending cycle.
-        cycle: Vec<EdgeId>,
-        /// Cycle weight in the x constraint graph (negative).
-        weight: i64,
-    },
-    /// The constraint graph in `y` has a negative cycle: the equality
-    /// alignment of the same-iteration component is contradictory.
-    PhaseY {
-        /// Cycle weight in the y constraint graph (negative).
-        weight: i64,
-    },
-}
-
-impl std::fmt::Display for CyclicFusionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CyclicFusionError::PhaseX { cycle, weight } => write!(
-                f,
-                "x-phase infeasible: cycle {cycle:?} weighs {weight} after hard-edge discounts"
-            ),
-            CyclicFusionError::PhaseY { weight } => {
-                write!(f, "y-phase infeasible: alignment cycle weighs {weight}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for CyclicFusionError {}
+use crate::llofra::infeasible_witness;
 
 /// Builds the phase-one ("in x") difference system: one scalar variable per
 /// node; constraint indices equal MLDG edge indices.
@@ -85,37 +54,64 @@ pub fn build_y_system(g: &Mldg, rx: &[i64]) -> DifferenceSystem<i64> {
     sys
 }
 
+/// Maps a phase-one infeasibility onto the unified witness: constraint
+/// indices equal MLDG edge indices in [`build_x_system`].
+fn phase_x_infeasible(g: &Mldg, inf: Infeasible<i64>) -> MdfError {
+    infeasible_witness(
+        g,
+        InfeasiblePhase::OuterX,
+        inf.cycle.edges.iter().map(|&i| EdgeId(i as u32)).collect(),
+        WitnessWeight::Scalar(inf.cycle.total),
+    )
+}
+
+/// Maps a phase-two infeasibility. The y system's constraints do not map
+/// 1:1 onto MLDG edges (equalities lower to two edges each), so the
+/// witness carries only the weight.
+fn phase_y_infeasible(inf: Infeasible<i64>) -> MdfError {
+    MdfError::Infeasible {
+        phase: InfeasiblePhase::InnerY,
+        cycle: Vec::new(),
+        nodes: Vec::new(),
+        weight: WitnessWeight::Scalar(inf.cycle.total),
+    }
+}
+
 /// Runs Algorithm 4 with the default Bellman–Ford engine.
-pub fn fuse_cyclic(g: &Mldg) -> Result<Retiming, CyclicFusionError> {
+pub fn fuse_cyclic(g: &Mldg) -> Result<Retiming, MdfError> {
     fuse_cyclic_with_engine(g, Engine::BellmanFord)
 }
 
 /// Runs Algorithm 4 with a caller-selected engine.
-pub fn fuse_cyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, CyclicFusionError> {
+pub fn fuse_cyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, MdfError> {
     // PHASE ONE: first components.
     let x_sys = build_x_system(g);
-    let rx = x_sys.solve(engine).map_err(|inf| {
-        // Constraint indices equal MLDG edge indices in build_x_system.
-        CyclicFusionError::PhaseX {
-            cycle: inf
-                .cycle
-                .edges
-                .iter()
-                .map(|&i| EdgeId(i as u32))
-                .collect(),
-            weight: inf.cycle.total,
-        }
-    })?;
+    let rx = x_sys
+        .solve(engine)
+        .map_err(|inf| phase_x_infeasible(g, inf))?;
 
     // PHASE TWO: second components.
     let y_sys = build_y_system(g, &rx);
-    let ry = y_sys
-        .solve(engine)
-        .map_err(|inf| CyclicFusionError::PhaseY {
-            weight: inf.cycle.total,
-        })?;
+    let ry = y_sys.solve(engine).map_err(phase_y_infeasible)?;
 
-    // PHASE THREE: combine.
+    combine(rx, ry)
+}
+
+/// Runs Algorithm 4 under a resource budget: both scalar solves are
+/// metered, so oversized systems fail fast with
+/// [`MdfError::BudgetExceeded`].
+pub fn fuse_cyclic_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    let x_sys = build_x_system(g);
+    let rx = x_sys
+        .solve_budgeted(meter)?
+        .map_err(|inf| phase_x_infeasible(g, inf))?;
+    let y_sys = build_y_system(g, &rx);
+    let ry = y_sys.solve_budgeted(meter)?.map_err(phase_y_infeasible)?;
+    combine(rx, ry)
+}
+
+/// PHASE THREE: combine the per-axis solutions.
+fn combine(rx: Vec<i64>, ry: Vec<i64>) -> Result<Retiming, MdfError> {
     let offsets = rx
         .into_iter()
         .zip(ry)
@@ -139,10 +135,7 @@ mod tests {
         let g = figure2();
         let r = fuse_cyclic(&g).unwrap();
         // Section 4.3: r(A)=r(B)=(0,0), r(C)=(-1,0), r(D)=(-1,-1).
-        assert_eq!(
-            r.offsets(),
-            &[v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]
-        );
+        assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
         let gr = apply_retiming(&g, &r);
         assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
         assert_eq!(check_fusion_legal(&gr), Ok(()));
@@ -180,9 +173,15 @@ mod tests {
         // the x system demands sum <= -2 around a cycle.
         let g = figure14();
         match fuse_cyclic(&g) {
-            Err(CyclicFusionError::PhaseX { cycle, weight }) => {
+            Err(MdfError::Infeasible {
+                phase: InfeasiblePhase::OuterX,
+                cycle,
+                nodes,
+                weight: WitnessWeight::Scalar(weight),
+            }) => {
                 assert!(weight < 0);
                 assert!(!cycle.is_empty());
+                assert_eq!(nodes.len(), cycle.len());
                 // The witness must be a real cycle of the MLDG whose
                 // x-weight minus hard-edge discounts equals `weight`.
                 let mut w = 0;
@@ -209,9 +208,24 @@ mod tests {
         g.add_dep(a, c, (0, 0));
         g.add_dep(c, b, (0, 1));
         match fuse_cyclic(&g) {
-            Err(CyclicFusionError::PhaseY { weight }) => assert!(weight < 0),
+            Err(MdfError::Infeasible {
+                phase: InfeasiblePhase::InnerY,
+                weight: WitnessWeight::Scalar(weight),
+                ..
+            }) => assert!(weight < 0),
             other => panic!("expected PhaseY failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budgeted_cyclic_matches_plain() {
+        use mdf_graph::budget::Budget;
+        let g = figure2();
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(
+            fuse_cyclic_budgeted(&g, &mut meter).unwrap(),
+            fuse_cyclic(&g).unwrap()
+        );
     }
 
     #[test]

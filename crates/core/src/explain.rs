@@ -164,7 +164,10 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
                 )
                 .unwrap();
             }
-            ex.push("phase one: the constraint graph in x (Figure 11(a) style)", body);
+            ex.push(
+                "phase one: the constraint graph in x (Figure 11(a) style)",
+                body,
+            );
             let rx: Vec<i64> = retiming.offsets().iter().map(|v| v.x).collect();
             let ys = build_y_system(g, &rx);
             let mut body = String::new();
@@ -181,10 +184,16 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
                 )
                 .unwrap();
             }
-            ex.push("phase two: the constraint graph in y (Figure 11(b) style)", body);
+            ex.push(
+                "phase two: the constraint graph in y (Figure 11(b) style)",
+                body,
+            );
             ex.push("combined retiming", format!("{}", retiming.display(g)));
         }
-        FusionPlan::Hyperplane { retiming, wavefront } => {
+        FusionPlan::Hyperplane {
+            retiming,
+            wavefront,
+        } => {
             ex.push(
                 "selection: Theorem 4.2 fails — Algorithm 5 (wavefront)",
                 "some cycle cannot absorb its hard edges (or alignment is\n\
@@ -215,13 +224,17 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
         }
     }
 
-    ex.push("retimed dependence sets", describe_retimed(g, plan.retiming()));
+    ex.push(
+        "retimed dependence sets",
+        describe_retimed(g, plan.retiming()),
+    );
     let verdict = verify_plan(g, &plan);
     ex.push(
         "independent verification",
         match &verdict {
-            Ok(()) => "retiming consistency, fusion legality and parallelism claims all hold"
-                .to_string(),
+            Ok(()) => {
+                "retiming consistency, fusion legality and parallelism claims all hold".to_string()
+            }
             Err(e) => format!("FAILED: {e}"),
         },
     );

@@ -11,10 +11,12 @@
 //! 3. returns the hyperplane `h ⟂ s` along which all iterations are
 //!    independent (wavefront execution).
 
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::MdfError;
 use mdf_graph::mldg::Mldg;
 use mdf_retime::{apply_retiming, wavefront_for, Retiming, Wavefront};
 
-use crate::llofra::{llofra, FusionError};
+use crate::llofra::{llofra, llofra_budgeted};
 
 /// The result of Algorithm 5: a fusion-legalizing retiming plus a wavefront
 /// along which the fused loop is fully parallel.
@@ -29,12 +31,26 @@ pub struct HyperplanePlan {
 /// Runs Algorithm 5. Fails only when LLOFRA itself is infeasible, i.e. the
 /// 2LDG has a cycle of lexicographically negative weight (such a graph is
 /// not a legal nested loop at all).
-pub fn fuse_hyperplane(g: &Mldg) -> Result<HyperplanePlan, FusionError> {
-    let retiming = llofra(g)?;
+pub fn fuse_hyperplane(g: &Mldg) -> Result<HyperplanePlan, MdfError> {
+    finish(g, llofra(g)?)
+}
+
+/// Runs Algorithm 5 under a resource budget (the LLOFRA solve is metered).
+pub fn fuse_hyperplane_budgeted(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+) -> Result<HyperplanePlan, MdfError> {
+    finish(g, llofra_budgeted(g, meter)?)
+}
+
+/// Derives the wavefront from a LLOFRA retiming. LLOFRA guarantees all
+/// retimed dependence vectors are `>= (0,0)`, so Lemma 4.3 applies; the
+/// schedule derivation failing anyway would mean the retiming is corrupt,
+/// reported as [`MdfError::Invalid`] rather than a panic.
+fn finish(g: &Mldg, retiming: Retiming) -> Result<HyperplanePlan, MdfError> {
     let retimed = apply_retiming(g, &retiming);
-    let wavefront = wavefront_for(&retimed).expect(
-        "LLOFRA guarantees all dependence vectors >= (0,0), so Lemma 4.3 applies",
-    );
+    let wavefront = wavefront_for(&retimed)
+        .map_err(|e| MdfError::invalid(format!("wavefront derivation failed: {e}")))?;
     Ok(HyperplanePlan {
         retiming,
         wavefront,
@@ -80,7 +96,18 @@ mod tests {
         g.add_dep(b, a, (0, 2));
         assert!(matches!(
             fuse_hyperplane(&g),
-            Err(FusionError::Infeasible { .. })
+            Err(MdfError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn budgeted_hyperplane_matches_plain() {
+        use mdf_graph::budget::Budget;
+        let g = figure14();
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(
+            fuse_hyperplane_budgeted(&g, &mut meter).unwrap(),
+            fuse_hyperplane(&g).unwrap()
+        );
     }
 }

@@ -35,11 +35,20 @@ pub mod partial;
 pub mod planner;
 pub mod report;
 
-pub use acyclic::fuse_acyclic;
-pub use cyclic::{fuse_cyclic, CyclicFusionError};
-pub use hyperplane::{fuse_hyperplane, HyperplanePlan};
-pub use llofra::{llofra, FusionError};
-pub use partial::{fuse_partial, verify_partial, PartialFusionPlan};
-pub use planner::{plan_fusion, verify_plan, FullParallelMethod, FusionPlan};
-pub use report::{analyze, AnalysisReport};
+pub use acyclic::{fuse_acyclic, fuse_acyclic_budgeted};
+pub use cyclic::{fuse_cyclic, fuse_cyclic_budgeted};
 pub use explain::{explain_fusion, Explanation};
+pub use hyperplane::{fuse_hyperplane, fuse_hyperplane_budgeted, HyperplanePlan};
+pub use llofra::{llofra, llofra_budgeted};
+pub use partial::{fuse_partial, fuse_partial_budgeted, verify_partial, PartialFusionPlan};
+pub use planner::{
+    plan_fusion, plan_fusion_budgeted, verify_plan, DegradedPlan, FullParallelMethod, FusionPlan,
+    PlanReport, Rung, RungAttempt,
+};
+pub use report::{analyze, AnalysisReport};
+
+// Re-exported so downstream crates name the pipeline error and budget
+// types through one crate.
+pub use mdf_graph::{
+    Budget, BudgetMeter, BudgetResource, InfeasiblePhase, MdfError, WitnessWeight,
+};

@@ -10,40 +10,32 @@
 //! cycle.
 
 use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::{InfeasiblePhase, MdfError, WitnessWeight};
 use mdf_graph::mldg::{EdgeId, Mldg};
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
 
-/// Why a fusion algorithm failed on this input.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum FusionError {
-    /// The constraint system is infeasible; the cycle (as MLDG edges) and
-    /// its weight certify it. For LLOFRA the weight is the actual cycle
-    /// weight `δ_L(c) < (0,0)`; for the full-parallelism algorithms it is
-    /// the weight in the *modified* constraint graph.
-    Infeasible {
-        /// Edges of the negative cycle, in traversal order.
-        cycle: Vec<EdgeId>,
-        /// The cycle's (negative) weight in the constraint graph.
-        weight: IVec2,
-    },
-    /// The algorithm requires an acyclic 2LDG but the input has a cycle.
-    NotAcyclic,
-}
-
-impl std::fmt::Display for FusionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            FusionError::Infeasible { cycle, weight } => write!(
-                f,
-                "constraint system infeasible: cycle {cycle:?} has weight {weight}"
-            ),
-            FusionError::NotAcyclic => write!(f, "algorithm requires an acyclic 2LDG"),
-        }
+/// Builds the pipeline-wide [`MdfError::Infeasible`] witness from a
+/// negative cycle expressed as MLDG edges: node labels are read off the
+/// edge sources in traversal order so the error is self-describing.
+pub(crate) fn infeasible_witness(
+    g: &Mldg,
+    phase: InfeasiblePhase,
+    cycle: Vec<EdgeId>,
+    weight: WitnessWeight,
+) -> MdfError {
+    let nodes = cycle
+        .iter()
+        .map(|&e| g.label(g.edge(e).src).to_string())
+        .collect();
+    MdfError::Infeasible {
+        phase,
+        cycle,
+        nodes,
+        weight,
     }
 }
-
-impl std::error::Error for FusionError {}
 
 /// Builds LLOFRA's 2-ILP system: one `IVec2` variable per node, one
 /// constraint `r(v) - r(u) <= δ_L(e)` per edge. Constraint indices equal
@@ -69,21 +61,38 @@ pub fn build_llofra_system(g: &Mldg) -> DifferenceSystem<IVec2> {
 /// let r = llofra(&figure2()).unwrap();
 /// assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
 /// ```
-pub fn llofra(g: &Mldg) -> Result<Retiming, FusionError> {
+pub fn llofra(g: &Mldg) -> Result<Retiming, MdfError> {
     llofra_with_engine(g, Engine::BellmanFord)
 }
 
 /// Runs LLOFRA with a caller-selected constraint engine (used by the
 /// ablation benchmarks; all engines return the same canonical retiming).
-pub fn llofra_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, FusionError> {
+pub fn llofra_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, MdfError> {
     let sys = build_llofra_system(g);
     match sys.solve(engine) {
         Ok(offsets) => Ok(Retiming::from_offsets(offsets)),
-        Err(inf) => Err(FusionError::Infeasible {
-            cycle: inf.cycle.edges.iter().map(|&i| EdgeId(i as u32)).collect(),
-            weight: inf.cycle.total,
-        }),
+        Err(inf) => Err(lex_infeasible(g, inf)),
     }
+}
+
+/// Runs LLOFRA under a resource budget: the 2-D Bellman–Ford solve is
+/// metered (rounds + deadline), so oversized or adversarial graphs return
+/// [`MdfError::BudgetExceeded`] instead of stalling.
+pub fn llofra_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    let sys = build_llofra_system(g);
+    match sys.solve_budgeted(meter)? {
+        Ok(offsets) => Ok(Retiming::from_offsets(offsets)),
+        Err(inf) => Err(lex_infeasible(g, inf)),
+    }
+}
+
+fn lex_infeasible(g: &Mldg, inf: mdf_constraint::Infeasible<IVec2>) -> MdfError {
+    infeasible_witness(
+        g,
+        InfeasiblePhase::Lex,
+        inf.cycle.edges.iter().map(|&i| EdgeId(i as u32)).collect(),
+        WitnessWeight::Lex(inf.cycle.total),
+    )
 }
 
 #[cfg(test)]
@@ -98,10 +107,7 @@ mod tests {
         let g = figure2();
         let r = llofra(&g).unwrap();
         // Section 3.3: r(A)=(0,0), r(B)=(0,0), r(C)=(0,-2), r(D)=(0,-3).
-        assert_eq!(
-            r.offsets(),
-            &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]
-        );
+        assert_eq!(r.offsets(), &[v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
         let gr = apply_retiming(&g, &r);
         assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
         assert_eq!(check_fusion_legal(&gr), Ok(()));
@@ -163,13 +169,33 @@ mod tests {
         g.add_dep(a, b, (0, -2));
         g.add_dep(b, a, (0, 1));
         match llofra(&g) {
-            Err(FusionError::Infeasible { cycle, weight }) => {
+            Err(MdfError::Infeasible {
+                phase: InfeasiblePhase::Lex,
+                cycle,
+                nodes,
+                weight: WitnessWeight::Lex(weight),
+            }) => {
                 assert_eq!(weight, v2(0, -1));
                 assert_eq!(cycle.len(), 2);
                 assert_eq!(g.delta_sum(&cycle), v2(0, -1));
+                // Node labels follow the cycle's edge sources.
+                assert_eq!(nodes.len(), 2);
+                assert!(nodes.contains(&"A".to_string()));
+                assert!(nodes.contains(&"B".to_string()));
             }
             other => panic!("expected Infeasible, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn budgeted_llofra_matches_plain_llofra() {
+        use mdf_graph::budget::Budget;
+        let g = figure2();
+        let mut meter = Budget::unlimited().meter();
+        assert_eq!(
+            llofra_budgeted(&g, &mut meter).unwrap(),
+            llofra(&g).unwrap()
+        );
     }
 
     #[test]

@@ -30,9 +30,7 @@ pub enum NdimFusionError<const N: usize> {
 
 /// Computes a retiming making fusion legal for an `N`-dimensional MLDG:
 /// afterwards every edge weight is lexicographically non-negative.
-pub fn llofra_ndim<const N: usize>(
-    g: &MldgN<N>,
-) -> Result<Vec<IVecN<N>>, NdimFusionError<N>> {
+pub fn llofra_ndim<const N: usize>(g: &MldgN<N>) -> Result<Vec<IVecN<N>>, NdimFusionError<N>> {
     let mut cg: ConstraintGraph<IVecN<N>> = ConstraintGraph::new(g.node_count());
     for e in g.edge_ids() {
         let ed = g.edge(e);

@@ -23,7 +23,9 @@
 //! wavefront that preserves the row-parallel execution model.
 
 use mdf_constraint::{DifferenceSystem, Engine};
+use mdf_graph::budget::BudgetMeter;
 use mdf_graph::cycles::topological_order;
+use mdf_graph::error::MdfError;
 use mdf_graph::legality::textual_order;
 use mdf_graph::mldg::{Mldg, NodeId};
 use mdf_graph::vec2::IVec2;
@@ -56,10 +58,8 @@ impl PartialFusionPlan {
     }
 }
 
-/// Solves the mixed constraint system for a given cluster assignment.
-/// `cluster_of[v]` is the execution position of `v`'s cluster.
-fn solve_for_assignment(g: &Mldg, cluster_of: &[usize]) -> Option<Retiming> {
-    // PHASE ONE: first components.
+/// Builds the phase-one ("in x") system for a given cluster assignment.
+fn build_x_assignment_system(g: &Mldg, cluster_of: &[usize]) -> DifferenceSystem<i64> {
     let mut xs: DifferenceSystem<i64> = DifferenceSystem::new(g.node_count());
     for e in g.edge_ids() {
         let ed = g.edge(e);
@@ -73,9 +73,12 @@ fn solve_for_assignment(g: &Mldg, cluster_of: &[usize]) -> Option<Retiming> {
         };
         xs.add_le(ed.dst.index(), ed.src.index(), g.delta(e).x - discount);
     }
-    let rx = xs.solve(Engine::BellmanFord).ok()?;
+    xs
+}
 
-    // PHASE TWO: second components — only intra-cluster alignment matters.
+/// Builds the phase-two ("in y") system: only intra-cluster alignment
+/// matters.
+fn build_y_assignment_system(g: &Mldg, cluster_of: &[usize], rx: &[i64]) -> DifferenceSystem<i64> {
     let mut ys: DifferenceSystem<i64> = DifferenceSystem::new(g.node_count());
     for e in g.edge_ids() {
         let ed = g.edge(e);
@@ -86,13 +89,44 @@ fn solve_for_assignment(g: &Mldg, cluster_of: &[usize]) -> Option<Retiming> {
             ys.add_eq(ed.dst.index(), ed.src.index(), g.delta(e).y);
         }
     }
-    let ry = ys.solve(Engine::BellmanFord).ok()?;
-    Some(Retiming::from_offsets(
+    ys
+}
+
+fn combine(rx: Vec<i64>, ry: Vec<i64>) -> Retiming {
+    Retiming::from_offsets(
         rx.into_iter()
             .zip(ry)
             .map(|(x, y)| IVec2::new(x, y))
             .collect(),
-    ))
+    )
+}
+
+/// Solves the mixed constraint system for a given cluster assignment.
+/// `cluster_of[v]` is the execution position of `v`'s cluster.
+fn solve_for_assignment(g: &Mldg, cluster_of: &[usize]) -> Option<Retiming> {
+    let rx = build_x_assignment_system(g, cluster_of)
+        .solve(Engine::BellmanFord)
+        .ok()?;
+    let ry = build_y_assignment_system(g, cluster_of, &rx)
+        .solve(Engine::BellmanFord)
+        .ok()?;
+    Some(combine(rx, ry))
+}
+
+/// As [`solve_for_assignment`], but metered: `Err` is a budget trip,
+/// `Ok(None)` ordinary infeasibility of this assignment.
+fn solve_for_assignment_budgeted(
+    g: &Mldg,
+    cluster_of: &[usize],
+    meter: &mut BudgetMeter,
+) -> Result<Option<Retiming>, MdfError> {
+    let Ok(rx) = build_x_assignment_system(g, cluster_of).solve_budgeted(meter)? else {
+        return Ok(None);
+    };
+    let Ok(ry) = build_y_assignment_system(g, cluster_of, &rx).solve_budgeted(meter)? else {
+        return Ok(None);
+    };
+    Ok(Some(combine(rx, ry)))
 }
 
 /// Greedy partial fusion. Returns `None` when even the all-singleton
@@ -152,6 +186,55 @@ pub fn fuse_partial(g: &Mldg) -> Option<PartialFusionPlan> {
         clusters,
         retiming: retiming.expect("at least one node was assigned"),
     })
+}
+
+/// Greedy partial fusion under a resource budget: the per-assignment
+/// solves are metered (the greedy scan performs `O(|V|)` of them, so this
+/// is the most solver-hungry rung of the planner's ladder). `Err` is a
+/// budget trip; `Ok(None)` means no row-parallel clustering exists, as in
+/// [`fuse_partial`].
+pub fn fuse_partial_budgeted(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+) -> Result<Option<PartialFusionPlan>, MdfError> {
+    if g.node_count() == 0 {
+        return Ok(Some(PartialFusionPlan {
+            clusters: Vec::new(),
+            retiming: Retiming::identity(0),
+        }));
+    }
+    let order = textual_order(g)
+        .or_else(|| topological_order(g))
+        .unwrap_or_else(|| g.node_ids().collect());
+
+    let mut cluster_of = vec![usize::MAX; g.node_count()];
+    let mut clusters: Vec<Vec<NodeId>> = Vec::new();
+    let mut retiming: Option<Retiming> = None;
+
+    for &v in &order {
+        meter.check_deadline()?;
+        if let Some(last) = clusters.len().checked_sub(1) {
+            cluster_of[v.index()] = last;
+            let tentative = assignment_with_tail(&cluster_of, &order, clusters.len());
+            if let Some(r) = solve_for_assignment_budgeted(g, &tentative, meter)? {
+                clusters[last].push(v);
+                retiming = Some(r);
+                continue;
+            }
+        }
+        let next = clusters.len();
+        cluster_of[v.index()] = next;
+        clusters.push(vec![v]);
+        let tentative = assignment_with_tail(&cluster_of, &order, clusters.len());
+        match solve_for_assignment_budgeted(g, &tentative, meter)? {
+            Some(r) => retiming = Some(r),
+            None => return Ok(None),
+        }
+    }
+    Ok(Some(PartialFusionPlan {
+        clusters,
+        retiming: retiming.expect("at least one node was assigned"),
+    }))
 }
 
 /// Completes a partial assignment: nodes not yet placed get singleton
@@ -261,6 +344,18 @@ mod tests {
     fn empty_graph() {
         let plan = fuse_partial(&Mldg::new()).unwrap();
         assert!(plan.clusters.is_empty());
+    }
+
+    #[test]
+    fn budgeted_partial_matches_plain() {
+        use mdf_graph::budget::Budget;
+        for g in [figure2(), figure8(), figure14()] {
+            let mut meter = Budget::unlimited().meter();
+            assert_eq!(
+                fuse_partial_budgeted(&g, &mut meter).unwrap(),
+                fuse_partial(&g)
+            );
+        }
     }
 
     #[test]

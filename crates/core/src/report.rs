@@ -44,9 +44,7 @@ pub struct AnalysisReport {
 pub fn analyze(g: &Mldg, name: &str) -> AnalysisReport {
     let cw = cycle_weight_report(g, 4096);
     let plan = plan_fusion(g).ok();
-    let verified = plan
-        .as_ref()
-        .is_some_and(|p| verify_plan(g, p).is_ok());
+    let verified = plan.as_ref().is_some_and(|p| verify_plan(g, p).is_ok());
     let partial_clusters = match &plan {
         Some(FusionPlan::Hyperplane { .. }) => {
             crate::partial::fuse_partial(g).map(|pp| pp.clusters.len())
@@ -219,7 +217,9 @@ mod tests {
         let r = analyze(&g, "relax");
         assert_eq!(r.plan_kind(), "hyperplane wavefront (Alg 5)");
         assert_eq!(r.partial_clusters, Some(2));
-        assert!(r.render(Some(&g)).contains("partial fusion into 2 DOALL cluster(s)"));
+        assert!(r
+            .render(Some(&g))
+            .contains("partial fusion into 2 DOALL cluster(s)"));
     }
 
     #[test]

@@ -17,8 +17,7 @@ pub mod program_gen;
 pub mod suites;
 
 pub use mldg_gen::{
-    random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg, random_legal_mldg_n,
-    GenConfig,
+    random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg, random_legal_mldg_n, GenConfig,
 };
 pub use program_gen::{program_from_mldg, random_program, ProgramGenConfig};
 pub use suites::{suite, SuiteEntry};

@@ -59,7 +59,9 @@ pub fn random_legal_mldg(seed: u64, cfg: &GenConfig) -> Mldg {
     assert!(cfg.nodes >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Mldg::new();
-    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let ids: Vec<NodeId> = (0..cfg.nodes)
+        .map(|i| g.add_node(format!("N{i}")))
+        .collect();
     let r: Vec<IVec2> = (0..cfg.nodes)
         .map(|_| {
             IVec2::new(
@@ -118,7 +120,9 @@ pub fn random_acyclic_mldg(seed: u64, cfg: &GenConfig) -> Mldg {
     assert!(cfg.nodes >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g = Mldg::new();
-    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let ids: Vec<NodeId> = (0..cfg.nodes)
+        .map(|i| g.add_node(format!("N{i}")))
+        .collect();
     let add = |g: &mut Mldg, rng: &mut StdRng, u: usize, v: usize| {
         let d = IVec2::new(
             rng.random_range(0..=cfg.magnitude),
@@ -250,7 +254,9 @@ pub fn random_legal_mldg_n<const N: usize>(
     assert!(cfg.nodes >= 1);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut g: mdf_graph::mldg_n::MldgN<N> = mdf_graph::mldg_n::MldgN::new();
-    let ids: Vec<NodeId> = (0..cfg.nodes).map(|i| g.add_node(format!("N{i}"))).collect();
+    let ids: Vec<NodeId> = (0..cfg.nodes)
+        .map(|i| g.add_node(format!("N{i}")))
+        .collect();
     let r: Vec<IVecN<N>> = (0..cfg.nodes)
         .map(|_| {
             let mut v = IVecN::ZERO;

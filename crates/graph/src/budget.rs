@@ -1,0 +1,282 @@
+//! Resource budgets for planning and simulation.
+//!
+//! A [`Budget`] declares per-run ceilings — graph size, Bellman–Ford
+//! relaxation rounds, simulated statement instances, allocated memory
+//! cells, and a wall-clock deadline. Long-running stages thread a
+//! [`BudgetMeter`] (the running tally for one pipeline invocation) through
+//! their inner loops and bail out with
+//! [`MdfError::BudgetExceeded`] instead of hanging or exhausting memory
+//! on adversarial inputs.
+
+use std::time::{Duration, Instant};
+
+use crate::error::{BudgetResource, MdfError};
+
+/// Declarative resource ceilings. `None` means unlimited.
+///
+/// The default budget is fully unlimited, so budgeted entry points behave
+/// exactly like their plain counterparts unless a caller opts in.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Maximum MLDG node count accepted by planning.
+    pub max_nodes: Option<u64>,
+    /// Maximum MLDG edge count accepted by planning.
+    pub max_edges: Option<u64>,
+    /// Maximum Bellman–Ford relaxation rounds, cumulative across all
+    /// constraint solves of one pipeline run.
+    pub max_solver_rounds: Option<u64>,
+    /// Maximum simulated statement instances, cumulative.
+    pub max_iterations: Option<u64>,
+    /// Maximum simulated memory cells allocated, cumulative.
+    pub max_memory_cells: Option<u64>,
+    /// Wall-clock deadline for the whole metered run.
+    pub deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget with every limit disabled.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Caps the MLDG size (nodes and edges).
+    pub fn with_max_graph(mut self, nodes: u64, edges: u64) -> Self {
+        self.max_nodes = Some(nodes);
+        self.max_edges = Some(edges);
+        self
+    }
+
+    /// Caps cumulative Bellman–Ford relaxation rounds.
+    pub fn with_max_solver_rounds(mut self, rounds: u64) -> Self {
+        self.max_solver_rounds = Some(rounds);
+        self
+    }
+
+    /// Caps cumulative simulated statement instances.
+    pub fn with_max_iterations(mut self, iterations: u64) -> Self {
+        self.max_iterations = Some(iterations);
+        self
+    }
+
+    /// Caps cumulative simulated memory cells.
+    pub fn with_max_memory_cells(mut self, cells: u64) -> Self {
+        self.max_memory_cells = Some(cells);
+        self
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Starts metering against this budget; the deadline clock begins now.
+    pub fn meter(&self) -> BudgetMeter {
+        BudgetMeter {
+            budget: *self,
+            start: Instant::now(),
+            rounds: 0,
+            iterations: 0,
+            cells: 0,
+        }
+    }
+}
+
+/// The running tally for one metered pipeline run.
+///
+/// All `charge_*` methods are cumulative and saturating; each returns
+/// `Err(MdfError::BudgetExceeded)` the moment a limit is crossed, naming
+/// the exhausted resource.
+#[derive(Clone, Debug)]
+pub struct BudgetMeter {
+    budget: Budget,
+    start: Instant,
+    rounds: u64,
+    iterations: u64,
+    cells: u64,
+}
+
+fn charge(
+    counter: &mut u64,
+    n: u64,
+    limit: Option<u64>,
+    resource: BudgetResource,
+) -> Result<(), MdfError> {
+    *counter = counter.saturating_add(n);
+    match limit {
+        Some(limit) if *counter > limit => Err(MdfError::BudgetExceeded {
+            resource,
+            limit,
+            used: *counter,
+        }),
+        _ => Ok(()),
+    }
+}
+
+impl BudgetMeter {
+    /// The budget this meter enforces.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Time elapsed since the meter started.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Rejects graphs larger than the configured node/edge ceilings.
+    pub fn check_size(&self, nodes: usize, edges: usize) -> Result<(), MdfError> {
+        if let Some(limit) = self.budget.max_nodes {
+            if nodes as u64 > limit {
+                return Err(MdfError::BudgetExceeded {
+                    resource: BudgetResource::Nodes,
+                    limit,
+                    used: nodes as u64,
+                });
+            }
+        }
+        if let Some(limit) = self.budget.max_edges {
+            if edges as u64 > limit {
+                return Err(MdfError::BudgetExceeded {
+                    resource: BudgetResource::Edges,
+                    limit,
+                    used: edges as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Fails once the wall-clock deadline has passed.
+    pub fn check_deadline(&self) -> Result<(), MdfError> {
+        if let Some(deadline) = self.budget.deadline {
+            let elapsed = self.start.elapsed();
+            if elapsed > deadline {
+                return Err(MdfError::BudgetExceeded {
+                    resource: BudgetResource::WallClockMs,
+                    limit: deadline.as_millis() as u64,
+                    used: elapsed.as_millis() as u64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` Bellman–Ford relaxation rounds and re-checks the
+    /// deadline (solver rounds are the natural heartbeat for it).
+    pub fn charge_rounds(&mut self, n: u64) -> Result<(), MdfError> {
+        charge(
+            &mut self.rounds,
+            n,
+            self.budget.max_solver_rounds,
+            BudgetResource::SolverRounds,
+        )?;
+        self.check_deadline()
+    }
+
+    /// Charges `n` simulated statement instances.
+    pub fn charge_iterations(&mut self, n: u64) -> Result<(), MdfError> {
+        charge(
+            &mut self.iterations,
+            n,
+            self.budget.max_iterations,
+            BudgetResource::Iterations,
+        )
+    }
+
+    /// Charges `n` simulated memory cells.
+    pub fn charge_cells(&mut self, n: u64) -> Result<(), MdfError> {
+        charge(
+            &mut self.cells,
+            n,
+            self.budget.max_memory_cells,
+            BudgetResource::MemoryCells,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let mut m = Budget::unlimited().meter();
+        m.check_size(1_000_000, 1_000_000).unwrap();
+        m.charge_rounds(u64::MAX).unwrap();
+        m.charge_iterations(u64::MAX).unwrap();
+        m.charge_cells(u64::MAX).unwrap();
+        m.check_deadline().unwrap();
+    }
+
+    #[test]
+    fn size_limits_trip_with_resource_names() {
+        let m = Budget::unlimited().with_max_graph(10, 20).meter();
+        m.check_size(10, 20).unwrap();
+        match m.check_size(11, 0) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::Nodes,
+                limit: 10,
+                used: 11,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match m.check_size(0, 21) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::Edges,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn charges_accumulate_across_calls() {
+        let mut m = Budget::unlimited().with_max_solver_rounds(5).meter();
+        m.charge_rounds(3).unwrap();
+        m.charge_rounds(2).unwrap();
+        match m.charge_rounds(1) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::SolverRounds,
+                limit: 5,
+                used: 6,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_trips_after_it_passes() {
+        let mut m = Budget::unlimited()
+            .with_deadline(Duration::from_millis(0))
+            .meter();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(matches!(
+            m.check_deadline(),
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::WallClockMs,
+                ..
+            })
+        ));
+        // charge_rounds doubles as a deadline heartbeat.
+        assert!(m.charge_rounds(1).is_err());
+    }
+
+    #[test]
+    fn iteration_and_cell_budgets_trip() {
+        let mut m = Budget::unlimited()
+            .with_max_iterations(4)
+            .with_max_memory_cells(8)
+            .meter();
+        m.charge_iterations(4).unwrap();
+        assert!(m.charge_iterations(1).is_err());
+        m.charge_cells(8).unwrap();
+        assert!(matches!(
+            m.charge_cells(1),
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::MemoryCells,
+                ..
+            })
+        ));
+    }
+}

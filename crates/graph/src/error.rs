@@ -1,0 +1,268 @@
+//! The unified error taxonomy for the fusion pipeline.
+//!
+//! Every fallible stage — text/DSL parsing, constraint solving, planning,
+//! simulation — reports failures as an [`MdfError`], so callers (most
+//! importantly the CLI, which maps variants onto process exit codes) can
+//! classify outcomes without string matching. Infeasibility carries a
+//! machine-checkable *witness*: the negative-weight cycle (as MLDG edge
+//! ids plus node labels) whose weight proves no legal retiming exists.
+
+use std::fmt;
+
+use crate::mldg::EdgeId;
+use crate::vec2::IVec2;
+
+/// Which solving phase produced an infeasibility witness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum InfeasiblePhase {
+    /// The lexicographic 2-D system of LLOFRA / Algorithm 3 (Theorem 3.2).
+    Lex,
+    /// Phase one of Algorithm 4: the scalar outer (`x`) system with the
+    /// hard-edge discount.
+    OuterX,
+    /// Phase two of Algorithm 4: the scalar inner (`y`) alignment system.
+    InnerY,
+}
+
+impl fmt::Display for InfeasiblePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InfeasiblePhase::Lex => write!(f, "lexicographic 2-D phase"),
+            InfeasiblePhase::OuterX => write!(f, "outer x phase"),
+            InfeasiblePhase::InnerY => write!(f, "inner y phase"),
+        }
+    }
+}
+
+/// The weight of an infeasibility witness cycle: lexicographic for the 2-D
+/// systems, scalar for the per-axis phases of Algorithm 4.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WitnessWeight {
+    /// A 2-D lexicographic cycle weight.
+    Lex(IVec2),
+    /// A scalar (single-axis) cycle weight.
+    Scalar(i64),
+}
+
+impl fmt::Display for WitnessWeight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessWeight::Lex(w) => write!(f, "{w}"),
+            WitnessWeight::Scalar(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+/// The resource classes a [`crate::budget::Budget`] can bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BudgetResource {
+    /// MLDG node count.
+    Nodes,
+    /// MLDG edge count.
+    Edges,
+    /// Bellman–Ford relaxation rounds across all constraint solves.
+    SolverRounds,
+    /// Simulated statement instances.
+    Iterations,
+    /// Simulated memory cells.
+    MemoryCells,
+    /// Wall-clock time (limits and usage reported in milliseconds).
+    WallClockMs,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetResource::Nodes => write!(f, "nodes"),
+            BudgetResource::Edges => write!(f, "edges"),
+            BudgetResource::SolverRounds => write!(f, "solver rounds"),
+            BudgetResource::Iterations => write!(f, "simulated iterations"),
+            BudgetResource::MemoryCells => write!(f, "memory cells"),
+            BudgetResource::WallClockMs => write!(f, "wall-clock ms"),
+        }
+    }
+}
+
+/// The pipeline-wide error type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MdfError {
+    /// Malformed textual input (MLDG text format or the loop DSL), with
+    /// the 1-based source location of the offending token.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// 1-based column of the offending token (0 when unknown).
+        col: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Structurally well-formed input that violates a semantic rule
+    /// (duplicate labels, undeclared arrays, empty dependence sets, ...).
+    Invalid {
+        /// Human-readable description.
+        message: String,
+    },
+    /// No legal retiming exists; carries the negative-cycle witness.
+    Infeasible {
+        /// Which solving phase detected the witness.
+        phase: InfeasiblePhase,
+        /// The MLDG edges of the witness cycle, in traversal order.
+        /// Empty when the phase's constraints do not map 1:1 onto MLDG
+        /// edges (the `InnerY` equality system).
+        cycle: Vec<EdgeId>,
+        /// Labels of the nodes on the witness cycle, in traversal order.
+        nodes: Vec<String>,
+        /// The (negative) cycle weight proving infeasibility.
+        weight: WitnessWeight,
+    },
+    /// An algorithm requiring an acyclic 2LDG was given a cyclic one.
+    NotAcyclic,
+    /// A resource budget was exhausted before the stage finished.
+    BudgetExceeded {
+        /// Which resource ran out.
+        resource: BudgetResource,
+        /// The configured limit.
+        limit: u64,
+        /// Usage at the moment the limit tripped.
+        used: u64,
+    },
+    /// A simulation step failed (worker panic, serialized inner loop, or
+    /// a differential mismatch), with the iteration coordinates.
+    Exec {
+        /// Outer (fused) iteration index of the failing step.
+        fi: i64,
+        /// Inner iteration index of the failing step.
+        fj: i64,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl MdfError {
+    /// Builds a parse error at `line:col`.
+    pub fn parse(line: usize, col: usize, message: impl Into<String>) -> Self {
+        MdfError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    /// Builds a semantic-validity error.
+    pub fn invalid(message: impl Into<String>) -> Self {
+        MdfError::Invalid {
+            message: message.into(),
+        }
+    }
+
+    /// Builds an execution error at fused iteration `(fi, fj)`.
+    pub fn exec(fi: i64, fj: i64, message: impl Into<String>) -> Self {
+        MdfError::Exec {
+            fi,
+            fj,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for MdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MdfError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            MdfError::Invalid { message } => write!(f, "invalid input: {message}"),
+            MdfError::Infeasible {
+                phase,
+                nodes,
+                weight,
+                ..
+            } => {
+                write!(f, "fusion infeasible ({phase}): ")?;
+                if nodes.is_empty() {
+                    write!(f, "a cycle has negative weight {weight}")
+                } else {
+                    write!(
+                        f,
+                        "cycle {} -> {} has negative weight {weight}",
+                        nodes.join(" -> "),
+                        nodes[0]
+                    )
+                }
+            }
+            MdfError::NotAcyclic => write!(f, "algorithm requires an acyclic 2LDG"),
+            MdfError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+            } => write!(
+                f,
+                "budget exceeded: {resource} limit is {limit}, needed {used}"
+            ),
+            MdfError::Exec { fi, fj, message } => {
+                write!(f, "execution error at iteration ({fi},{fj}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MdfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec2::v2;
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(
+            MdfError::parse(3, 7, "bad token").to_string(),
+            "parse error at 3:7: bad token"
+        );
+        assert_eq!(
+            MdfError::invalid("duplicate node").to_string(),
+            "invalid input: duplicate node"
+        );
+        let inf = MdfError::Infeasible {
+            phase: InfeasiblePhase::Lex,
+            cycle: vec![EdgeId(0), EdgeId(1)],
+            nodes: vec!["A".into(), "B".into()],
+            weight: WitnessWeight::Lex(v2(0, -1)),
+        };
+        assert_eq!(
+            inf.to_string(),
+            "fusion infeasible (lexicographic 2-D phase): cycle A -> B -> A has negative weight (0,-1)"
+        );
+        assert_eq!(
+            MdfError::BudgetExceeded {
+                resource: BudgetResource::SolverRounds,
+                limit: 10,
+                used: 11,
+            }
+            .to_string(),
+            "budget exceeded: solver rounds limit is 10, needed 11"
+        );
+        assert_eq!(
+            MdfError::exec(2, -1, "worker panicked").to_string(),
+            "execution error at iteration (2,-1): worker panicked"
+        );
+        assert_eq!(
+            MdfError::NotAcyclic.to_string(),
+            "algorithm requires an acyclic 2LDG"
+        );
+    }
+
+    #[test]
+    fn witness_with_no_nodes_still_displays() {
+        let inf = MdfError::Infeasible {
+            phase: InfeasiblePhase::InnerY,
+            cycle: vec![],
+            nodes: vec![],
+            weight: WitnessWeight::Scalar(-2),
+        };
+        assert_eq!(
+            inf.to_string(),
+            "fusion infeasible (inner y phase): a cycle has negative weight -2"
+        );
+    }
+}

@@ -25,8 +25,10 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod budget;
 pub mod cycles;
 pub mod dot;
+pub mod error;
 pub mod legality;
 pub mod mldg;
 pub mod mldg_n;
@@ -35,6 +37,8 @@ pub mod paper;
 pub mod textfmt;
 pub mod vec2;
 
+pub use budget::{Budget, BudgetMeter};
+pub use error::{BudgetResource, InfeasiblePhase, MdfError, WitnessWeight};
 pub use mldg::{DepSet, EdgeData, EdgeId, Mldg, NodeData, NodeId};
 pub use nvec::IVecN;
 pub use vec2::{v2, IVec2};

@@ -12,38 +12,31 @@
 //!
 //! Whitespace is insignificant inside vector lists; every edge line carries
 //! the *full* dependence set `D_L` (the minimal vector `δ_L` is derived).
+//!
+//! Parsing never panics: every malformed input is reported as
+//! [`MdfError::Parse`] with the 1-based line and column of the offending
+//! token (columns count bytes, which coincides with characters for the
+//! ASCII inputs the format is made of).
 
 use std::fmt::Write as _;
 
+use crate::error::MdfError;
 use crate::mldg::Mldg;
 use crate::vec2::IVec2;
 
-/// A parse failure with 1-based line information.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// 1-based line number of the failure.
-    pub line: usize,
-    /// Human-readable description.
-    pub message: String,
+/// 1-based byte column of `sub` inside `raw`. `sub` must be a subslice of
+/// `raw` (which every token here is — they are all produced by slicing the
+/// current line); columns are meaningless otherwise, so we saturate.
+fn col_of(raw: &str, sub: &str) -> usize {
+    (sub.as_ptr() as usize).saturating_sub(raw.as_ptr() as usize) + 1
 }
 
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-fn err(line: usize, message: impl Into<String>) -> ParseError {
-    ParseError {
-        line,
-        message: message.into(),
-    }
+fn err(line: usize, raw: &str, sub: &str, message: impl Into<String>) -> MdfError {
+    MdfError::parse(line, col_of(raw, sub), message)
 }
 
 /// Parses the text format; returns the graph and its declared name.
-pub fn parse(input: &str) -> Result<(Mldg, String), ParseError> {
+pub fn parse(input: &str) -> Result<(Mldg, String), MdfError> {
     let mut g = Mldg::new();
     let mut name = None;
     for (idx, raw) in input.lines().enumerate() {
@@ -59,73 +52,111 @@ pub fn parse(input: &str) -> Result<(Mldg, String), ParseError> {
         match keyword {
             "mldg" => {
                 if name.is_some() {
-                    return Err(err(lineno, "duplicate 'mldg' header"));
+                    return Err(err(lineno, raw, keyword, "duplicate 'mldg' header"));
                 }
                 if rest.is_empty() {
-                    return Err(err(lineno, "'mldg' requires a name"));
+                    return Err(err(lineno, raw, keyword, "'mldg' requires a name"));
                 }
                 name = Some(rest.to_string());
             }
             "node" => {
                 if rest.is_empty() || rest.contains(char::is_whitespace) {
-                    return Err(err(lineno, "'node' requires a single label"));
+                    return Err(err(lineno, raw, keyword, "'node' requires a single label"));
                 }
                 if g.node_by_label(rest).is_some() {
-                    return Err(err(lineno, format!("duplicate node {rest:?}")));
+                    return Err(err(lineno, raw, rest, format!("duplicate node {rest:?}")));
                 }
                 g.add_node(rest);
             }
             "edge" => {
                 let (endpoints, vecs) = rest
                     .split_once(':')
-                    .ok_or_else(|| err(lineno, "'edge' requires ': <vectors>'"))?;
+                    .ok_or_else(|| err(lineno, raw, rest, "'edge' requires ': <vectors>'"))?;
                 let (src, dst) = endpoints
                     .split_once("->")
-                    .ok_or_else(|| err(lineno, "'edge' requires 'SRC -> DST'"))?;
-                let src = g
-                    .node_by_label(src.trim())
-                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", src.trim())))?;
-                let dst = g
-                    .node_by_label(dst.trim())
-                    .ok_or_else(|| err(lineno, format!("unknown node {:?}", dst.trim())))?;
-                let vectors = parse_vectors(vecs, lineno)?;
+                    .ok_or_else(|| err(lineno, raw, endpoints, "'edge' requires 'SRC -> DST'"))?;
+                let src_label = src.trim();
+                let dst_label = dst.trim();
+                let src = g.node_by_label(src_label).ok_or_else(|| {
+                    err(
+                        lineno,
+                        raw,
+                        src_label,
+                        format!("unknown node {src_label:?}"),
+                    )
+                })?;
+                let dst = g.node_by_label(dst_label).ok_or_else(|| {
+                    err(
+                        lineno,
+                        raw,
+                        dst_label,
+                        format!("unknown node {dst_label:?}"),
+                    )
+                })?;
+                let vectors = parse_vectors(vecs, lineno, raw)?;
                 if vectors.is_empty() {
-                    return Err(err(lineno, "edge carries no dependence vectors"));
+                    return Err(err(lineno, raw, vecs, "edge carries no dependence vectors"));
                 }
                 for v in vectors {
                     g.add_dep(src, dst, v);
                 }
             }
-            other => return Err(err(lineno, format!("unknown keyword {other:?}"))),
+            other => {
+                return Err(err(
+                    lineno,
+                    raw,
+                    other,
+                    format!("unknown keyword {other:?}"),
+                ))
+            }
         }
     }
-    let name = name.ok_or_else(|| err(1, "missing 'mldg <name>' header"))?;
+    let name = name.ok_or_else(|| MdfError::parse(1, 1, "missing 'mldg <name>' header"))?;
     Ok((g, name))
 }
 
-/// Parses a whitespace-separated list of `(x,y)` vectors.
-fn parse_vectors(s: &str, lineno: usize) -> Result<Vec<IVec2>, ParseError> {
+/// Parses a whitespace-separated list of `(x,y)` vectors. `raw` is the
+/// full source line `s` was sliced from, for column reporting.
+fn parse_vectors(s: &str, lineno: usize, raw: &str) -> Result<Vec<IVec2>, MdfError> {
     let mut out = Vec::new();
     let mut rest = s.trim();
     while !rest.is_empty() {
         if !rest.starts_with('(') {
-            return Err(err(lineno, format!("expected '(' in vector list near {rest:?}")));
+            return Err(err(
+                lineno,
+                raw,
+                rest,
+                format!("expected '(' in vector list near {rest:?}"),
+            ));
         }
         let close = rest
             .find(')')
-            .ok_or_else(|| err(lineno, "unterminated vector"))?;
+            .ok_or_else(|| err(lineno, raw, rest, "unterminated vector"))?;
         let body = &rest[1..close];
-        let (xs, ys) = body
-            .split_once(',')
-            .ok_or_else(|| err(lineno, format!("vector {body:?} needs two components")))?;
-        let x = xs
-            .trim()
-            .parse::<i64>()
-            .map_err(|_| err(lineno, format!("bad integer {:?}", xs.trim())))?;
-        let y = ys
-            .trim()
-            .parse::<i64>()
-            .map_err(|_| err(lineno, format!("bad integer {:?}", ys.trim())))?;
+        let (xs, ys) = body.split_once(',').ok_or_else(|| {
+            err(
+                lineno,
+                raw,
+                body,
+                format!("vector {body:?} needs two components"),
+            )
+        })?;
+        let x = xs.trim().parse::<i64>().map_err(|_| {
+            err(
+                lineno,
+                raw,
+                xs.trim(),
+                format!("bad integer {:?}", xs.trim()),
+            )
+        })?;
+        let y = ys.trim().parse::<i64>().map_err(|_| {
+            err(
+                lineno,
+                raw,
+                ys.trim(),
+                format!("bad integer {:?}", ys.trim()),
+            )
+        })?;
         out.push(IVec2::new(x, y));
         rest = rest[close + 1..].trim_start();
     }
@@ -135,15 +166,17 @@ fn parse_vectors(s: &str, lineno: usize) -> Result<Vec<IVec2>, ParseError> {
 /// Serializes a graph in the text format (inverse of [`parse`]).
 pub fn to_text(g: &Mldg, name: &str) -> String {
     let mut out = String::new();
-    writeln!(out, "mldg {name}").unwrap();
+    // Writes into a String are infallible; discard the Result rather than
+    // unwrap so no panic path exists here at all.
+    let _ = writeln!(out, "mldg {name}");
     for n in g.node_ids() {
-        writeln!(out, "node {}", g.label(n)).unwrap();
+        let _ = writeln!(out, "node {}", g.label(n));
     }
     for e in g.edge_ids() {
         let d = g.edge(e);
-        write!(out, "edge {} -> {} :", g.label(d.src), g.label(d.dst)).unwrap();
+        let _ = write!(out, "edge {} -> {} :", g.label(d.src), g.label(d.dst));
         for v in g.deps(e).iter() {
-            write!(out, " {v}").unwrap();
+            let _ = write!(out, " {v}");
         }
         out.push('\n');
     }
@@ -155,6 +188,13 @@ mod tests {
     use super::*;
     use crate::paper::{figure14, figure2, figure8};
     use crate::vec2::v2;
+
+    fn parse_err(input: &str) -> (usize, usize, String) {
+        match parse(input).unwrap_err() {
+            MdfError::Parse { line, col, message } => (line, col, message),
+            other => panic!("expected a parse error, got {other}"),
+        }
+    }
 
     #[test]
     fn roundtrip_paper_figures() {
@@ -178,31 +218,61 @@ mod tests {
 
     #[test]
     fn parse_with_comments_and_blank_lines() {
-        let input = "\n# a graph\nmldg tiny  \nnode A\nnode B # consumer\n\nedge A -> B : (0, 1) (2,-3)\n";
+        let input =
+            "\n# a graph\nmldg tiny  \nnode A\nnode B # consumer\n\nedge A -> B : (0, 1) (2,-3)\n";
         let (g, name) = parse(input).unwrap();
         assert_eq!(name, "tiny");
         assert_eq!(g.node_count(), 2);
         let e = g
-            .edge_between(
-                g.node_by_label("A").unwrap(),
-                g.node_by_label("B").unwrap(),
-            )
+            .edge_between(g.node_by_label("A").unwrap(), g.node_by_label("B").unwrap())
             .unwrap();
         assert_eq!(g.deps(e).as_slice(), &[v2(0, 1), v2(2, -3)]);
     }
 
     #[test]
-    fn errors_carry_line_numbers() {
-        assert_eq!(parse("mldg x\nnode A\nedge A -> Z : (0,0)").unwrap_err().line, 3);
-        assert_eq!(parse("mldg x\nbogus A").unwrap_err().line, 2);
-        assert_eq!(parse("node A").unwrap_err().message, "missing 'mldg <name>' header");
-        assert!(parse("mldg x\nnode A\nedge A -> A : (0").unwrap_err().message.contains("unterminated"));
-        assert!(parse("mldg x\nnode A\nedge A -> A :").unwrap_err().message.contains("no dependence"));
+    fn errors_carry_line_and_column() {
+        // `Z` starts at column 11 of "edge A -> Z : (0,0)".
+        let (line, col, msg) = parse_err("mldg x\nnode A\nedge A -> Z : (0,0)");
+        assert_eq!((line, col), (3, 11));
+        assert!(msg.contains("unknown node"), "{msg}");
+
+        let (line, col, msg) = parse_err("mldg x\nbogus A");
+        assert_eq!((line, col), (2, 1));
+        assert!(msg.contains("unknown keyword"), "{msg}");
+
+        let (line, _, msg) = parse_err("node A");
+        assert_eq!(line, 1);
+        assert_eq!(msg, "missing 'mldg <name>' header");
+
+        // The unterminated vector "(0" starts at column 15.
+        let (line, col, msg) = parse_err("mldg x\nnode A\nedge A -> A : (0");
+        assert_eq!((line, col), (3, 15));
+        assert!(msg.contains("unterminated"), "{msg}");
+
+        let (line, _, msg) = parse_err("mldg x\nnode A\nedge A -> A :");
+        assert_eq!(line, 3);
+        assert!(msg.contains("no dependence"), "{msg}");
+    }
+
+    #[test]
+    fn errors_display_through_mdferror() {
+        let e = parse("mldg x\nbogus A").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error at 2:1: unknown keyword \"bogus\""
+        );
     }
 
     #[test]
     fn duplicate_declarations_rejected() {
         assert!(parse("mldg a\nmldg b").is_err());
         assert!(parse("mldg a\nnode A\nnode A").is_err());
+    }
+
+    #[test]
+    fn repeated_edge_lines_merge_dependence_sets() {
+        let (g, _) =
+            parse("mldg m\nnode A\nnode B\nedge A -> B : (1,0)\nedge A -> B : (0,1)").unwrap();
+        assert_eq!(g.edge_count(), 1);
     }
 }

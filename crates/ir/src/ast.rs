@@ -384,7 +384,10 @@ mod tests {
             lhs: ArrayRef::new(a, 0, 1),
             rhs: Expr::Const(0),
         });
-        assert_eq!(p.validate(), Err(ProgramError::MultipleWriters { array: a }));
+        assert_eq!(
+            p.validate(),
+            Err(ProgramError::MultipleWriters { array: a })
+        );
     }
 
     #[test]

@@ -88,6 +88,12 @@ impl From<ProgramError> for AnalysisError {
     }
 }
 
+impl From<AnalysisError> for mdf_graph::MdfError {
+    fn from(e: AnalysisError) -> Self {
+        mdf_graph::MdfError::invalid(e.to_string())
+    }
+}
+
 /// Runs dependence analysis. The program is validated first.
 pub fn analyze_dependences(p: &Program) -> Result<Vec<Dependence>, AnalysisError> {
     p.validate()?;
@@ -150,10 +156,7 @@ mod tests {
         // All Figure 2 dependences are flow dependences.
         assert!(deps.iter().all(|d| d.kind == DepKind::Flow));
         let between = |src: &str, dst: &str| -> Vec<IVec2> {
-            let (s, d) = (
-                p.loop_by_label(src).unwrap(),
-                p.loop_by_label(dst).unwrap(),
-            );
+            let (s, d) = (p.loop_by_label(src).unwrap(), p.loop_by_label(dst).unwrap());
             let mut v: Vec<IVec2> = deps
                 .iter()
                 .filter(|dep| dep.src == s && dep.dst == d)

@@ -3,9 +3,10 @@
 //! with the full dependence-vector set `D_L` on each edge.
 
 use mdf_graph::mldg::{Mldg, NodeId};
+use mdf_graph::MdfError;
 
 use crate::ast::Program;
-use crate::deps::{analyze_dependences, AnalysisError, DepKind, Dependence};
+use crate::deps::{analyze_dependences, DepKind, Dependence};
 
 /// A program's MLDG together with the dependence records it was built from.
 /// `NodeId(k)` is loop `k` in textual order.
@@ -26,15 +27,12 @@ impl ExtractedMldg {
     /// Count of anti-dependence records (zero for programs that fit the
     /// paper's model exactly).
     pub fn anti_count(&self) -> usize {
-        self.deps
-            .iter()
-            .filter(|d| d.kind == DepKind::Anti)
-            .count()
+        self.deps.iter().filter(|d| d.kind == DepKind::Anti).count()
     }
 }
 
 /// Analyzes `p` and builds its MLDG.
-pub fn extract_mldg(p: &Program) -> Result<ExtractedMldg, AnalysisError> {
+pub fn extract_mldg(p: &Program) -> Result<ExtractedMldg, MdfError> {
     let deps = analyze_dependences(p)?;
     let mut graph = Mldg::new();
     for l in &p.loops {
@@ -98,7 +96,10 @@ mod tests {
         assert!(x.graph.is_hard(ab));
         assert_eq!(x.graph.deps(ab).as_slice(), &[v2(0, -1), v2(0, 1)]);
         // B -> C is fusion-preventing: (0,-2).
-        assert_eq!(x.graph.delta(x.graph.edge_between(b, c).unwrap()), v2(0, -2));
+        assert_eq!(
+            x.graph.delta(x.graph.edge_between(b, c).unwrap()),
+            v2(0, -2)
+        );
         // D has an outer-carried self-dependence (1,0).
         assert_eq!(x.graph.delta(x.graph.edge_between(d, d).unwrap()), v2(1, 0));
     }

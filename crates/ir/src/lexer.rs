@@ -84,11 +84,21 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
 impl std::error::Error for LexError {}
+
+impl From<LexError> for mdf_graph::MdfError {
+    fn from(e: LexError) -> Self {
+        mdf_graph::MdfError::parse(e.line, e.col, e.message)
+    }
+}
 
 /// Tokenizes `src`. `//` comments run to end of line; whitespace is
 /// insignificant.

@@ -32,8 +32,9 @@ pub mod transform;
 
 pub use ast::{ArrayId, ArrayRef, BinOp, Expr, InnerLoop, Program, ProgramError, Stmt};
 pub use deps::{analyze_dependences, AnalysisError, DepKind, Dependence};
+pub use emit::emit_rust_fn;
 pub use extract::{extract_mldg, ExtractedMldg};
-pub use parser::{parse_program, ParseError};
+pub use mdf_graph::MdfError;
+pub use parser::parse_program;
 pub use retgen::{FusedSpec, IRange};
 pub use transform::{distribute, is_fully_distributed};
-pub use emit::emit_rust_fn;

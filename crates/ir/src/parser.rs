@@ -18,36 +18,8 @@
 //! second the inner index name.
 
 use crate::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
-use crate::lexer::{lex, LexError, Spanned, Tok};
-
-/// A parse failure with position information.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ParseError {
-    /// Line (1-based; 0 when at end of input).
-    pub line: usize,
-    /// Column (1-based).
-    pub col: usize,
-    /// Description.
-    pub message: String,
-}
-
-impl std::fmt::Display for ParseError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-impl From<LexError> for ParseError {
-    fn from(e: LexError) -> Self {
-        ParseError {
-            line: e.line,
-            col: e.col,
-            message: e.message,
-        }
-    }
-}
+use crate::lexer::{lex, Spanned, Tok};
+use mdf_graph::MdfError;
 
 struct Parser {
     toks: Vec<Spanned>,
@@ -61,21 +33,20 @@ impl Parser {
     }
 
     fn here(&self) -> (usize, usize) {
-        self.toks
-            .get(self.pos)
-            .map_or((0, 0), |s| (s.line, s.col))
+        // At end of input, point just past the last token (or 1:1 for an
+        // empty stream) so locations stay 1-based everywhere.
+        self.toks.get(self.pos).map_or_else(
+            || self.toks.last().map_or((1, 1), |s| (s.line, s.col + 1)),
+            |s| (s.line, s.col),
+        )
     }
 
-    fn err(&self, message: impl Into<String>) -> ParseError {
+    fn err(&self, message: impl Into<String>) -> MdfError {
         let (line, col) = self.here();
-        ParseError {
-            line,
-            col,
-            message: message.into(),
-        }
+        MdfError::parse(line, col, message)
     }
 
-    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+    fn expect(&mut self, want: &Tok) -> Result<(), MdfError> {
         match self.peek() {
             Some(t) if t == want => {
                 self.pos += 1;
@@ -86,7 +57,7 @@ impl Parser {
         }
     }
 
-    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+    fn expect_ident(&mut self, what: &str) -> Result<String, MdfError> {
         match self.peek() {
             Some(Tok::Ident(s)) => {
                 let s = s.clone();
@@ -98,7 +69,7 @@ impl Parser {
         }
     }
 
-    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), MdfError> {
         let got = self.expect_ident(&format!("keyword '{kw}'"))?;
         if got == kw {
             Ok(())
@@ -111,7 +82,7 @@ impl Parser {
         matches!(self.peek(), Some(Tok::Ident(s)) if s == kw)
     }
 
-    fn parse_program(&mut self) -> Result<Program, ParseError> {
+    fn parse_program(&mut self) -> Result<Program, MdfError> {
         self.expect_keyword("program")?;
         let name = self.expect_ident("program name")?;
         let mut program = Program::new(name);
@@ -151,7 +122,7 @@ impl Parser {
         Ok(program)
     }
 
-    fn parse_inner_loop(&mut self, program: &mut Program) -> Result<(), ParseError> {
+    fn parse_inner_loop(&mut self, program: &mut Program) -> Result<(), MdfError> {
         self.expect_keyword("doall")?;
         let label = self.expect_ident("loop label")?;
         if program.loop_by_label(&label).is_some() {
@@ -172,7 +143,7 @@ impl Parser {
         Ok(())
     }
 
-    fn parse_stmt(&mut self, program: &Program, inner: &str) -> Result<Stmt, ParseError> {
+    fn parse_stmt(&mut self, program: &Program, inner: &str) -> Result<Stmt, MdfError> {
         let lhs = self.parse_access(program, inner)?;
         self.expect(&Tok::Eq)?;
         let rhs = self.parse_expr(program, inner)?;
@@ -180,7 +151,7 @@ impl Parser {
         Ok(Stmt { lhs, rhs })
     }
 
-    fn parse_access(&mut self, program: &Program, inner: &str) -> Result<ArrayRef, ParseError> {
+    fn parse_access(&mut self, program: &Program, inner: &str) -> Result<ArrayRef, MdfError> {
         let name = self.expect_ident("array name")?;
         let array = program
             .array_by_name(&name)
@@ -191,7 +162,7 @@ impl Parser {
         Ok(ArrayRef::new(array, di, dj))
     }
 
-    fn parse_subscript(&mut self, index_name: &str) -> Result<i64, ParseError> {
+    fn parse_subscript(&mut self, index_name: &str) -> Result<i64, MdfError> {
         self.expect(&Tok::LBracket)?;
         let got = self.expect_ident("index variable")?;
         if got != index_name {
@@ -214,7 +185,7 @@ impl Parser {
         Ok(offset)
     }
 
-    fn expect_int(&mut self) -> Result<i64, ParseError> {
+    fn expect_int(&mut self) -> Result<i64, MdfError> {
         match self.peek() {
             Some(Tok::Int(v)) => {
                 let v = *v;
@@ -226,7 +197,7 @@ impl Parser {
         }
     }
 
-    fn parse_expr(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+    fn parse_expr(&mut self, program: &Program, inner: &str) -> Result<Expr, MdfError> {
         let mut lhs = self.parse_term(program, inner)?;
         loop {
             let op = match self.peek() {
@@ -241,7 +212,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_term(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+    fn parse_term(&mut self, program: &Program, inner: &str) -> Result<Expr, MdfError> {
         let mut lhs = self.parse_factor(program, inner)?;
         while matches!(self.peek(), Some(Tok::Star)) {
             self.pos += 1;
@@ -251,7 +222,7 @@ impl Parser {
         Ok(lhs)
     }
 
-    fn parse_factor(&mut self, program: &Program, inner: &str) -> Result<Expr, ParseError> {
+    fn parse_factor(&mut self, program: &Program, inner: &str) -> Result<Expr, MdfError> {
         match self.peek() {
             Some(Tok::Int(_)) => Ok(Expr::Const(self.expect_int()?)),
             Some(Tok::Minus) => {
@@ -285,7 +256,7 @@ impl Parser {
 /// assert_eq!(program.loops.len(), 1);
 /// assert_eq!(program.arrays, vec!["img".to_string(), "out".to_string()]);
 /// ```
-pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+pub fn parse_program(src: &str) -> Result<Program, MdfError> {
     let toks = lex(src)?;
     let mut parser = Parser {
         toks,
@@ -293,17 +264,23 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
         outer_index: String::new(),
     };
     let program = parser.parse_program()?;
-    program.validate().map_err(|e| ParseError {
-        line: 0,
-        col: 0,
-        message: format!("invalid program: {e}"),
-    })?;
+    program
+        .validate()
+        .map_err(|e| MdfError::invalid(format!("invalid program: {e}")))?;
     Ok(program)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Message of a `Parse` or `Invalid` rejection of `src`.
+    fn reject(src: &str) -> String {
+        match parse_program(src).unwrap_err() {
+            MdfError::Parse { message, .. } | MdfError::Invalid { message } => message,
+            other => panic!("unexpected error kind: {other}"),
+        }
+    }
 
     const FIG2: &str = r#"
         program figure2 {
@@ -357,52 +334,50 @@ mod tests {
 
     #[test]
     fn undeclared_array_rejected() {
-        let err = parse_program(
-            "program p { arrays a; do i { doall A: j { z[i][j] = 1; } } }",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("undeclared array 'z'"));
+        let msg = reject("program p { arrays a; do i { doall A: j { z[i][j] = 1; } } }");
+        assert!(msg.contains("undeclared array 'z'"));
     }
 
     #[test]
     fn wrong_index_variable_rejected() {
-        let err = parse_program(
-            "program p { arrays a; do i { doall A: j { a[j][i] = 1; } } }",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("must use index 'i'"));
+        let msg = reject("program p { arrays a; do i { doall A: j { a[j][i] = 1; } } }");
+        assert!(msg.contains("must use index 'i'"));
     }
 
     #[test]
     fn duplicate_label_rejected() {
-        let err = parse_program(
+        let msg = reject(
             "program p { arrays a, b; do i { doall A: j { a[i][j] = 1; } doall A: j { b[i][j] = 2; } } }",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("used twice"));
+        );
+        assert!(msg.contains("used twice"));
     }
 
     #[test]
     fn trailing_input_rejected() {
-        let err = parse_program(
-            "program p { arrays a; do i { doall A: j { a[i][j] = 1; } } } extra",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("trailing"));
+        let msg = reject("program p { arrays a; do i { doall A: j { a[i][j] = 1; } } } extra");
+        assert!(msg.contains("trailing"));
     }
 
     #[test]
     fn multiple_writers_rejected_via_validation() {
-        let err = parse_program(
+        let msg = reject(
             "program p { arrays a; do i { doall A: j { a[i][j] = 1; } doall B: j { a[i][j+1] = 2; } } }",
-        )
-        .unwrap_err();
-        assert!(err.message.contains("more than one writing statement"));
+        );
+        assert!(msg.contains("more than one writing statement"));
     }
 
     #[test]
     fn error_positions_point_at_problem() {
-        let err = parse_program("program p {\n  arrays a;\n  do i {\n    doall A: j { a[i][j] == 1; }\n  }\n}").unwrap_err();
-        assert_eq!(err.line, 4);
+        let err = parse_program(
+            "program p {\n  arrays a;\n  do i {\n    doall A: j { a[i][j] == 1; }\n  }\n}",
+        )
+        .unwrap_err();
+        match err {
+            MdfError::Parse { line, col, .. } => {
+                assert_eq!(line, 4);
+                assert!(col > 1);
+            }
+            other => panic!("expected a parse error, got {other}"),
+        }
     }
 }

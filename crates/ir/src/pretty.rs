@@ -108,7 +108,12 @@ pub fn program_to_dsl(p: &Program) -> String {
     for l in &p.loops {
         writeln!(out, "        doall {}: j {{", l.label).unwrap();
         for s in &l.stmts {
-            writeln!(out, "            {}", stmt_to_string(p, s, "i", "j", (0, 0))).unwrap();
+            writeln!(
+                out,
+                "            {}",
+                stmt_to_string(p, s, "i", "j", (0, 0))
+            )
+            .unwrap();
         }
         writeln!(out, "        }}").unwrap();
     }
@@ -173,16 +178,26 @@ mod tests {
         // (a - 1) * 2 needs parens; a - 1 * 2 must not add them.
         let needs = Expr::bin(
             BinOp::Mul,
-            Expr::bin(BinOp::Sub, Expr::Ref(ArrayRef::new(a, 0, 0)), Expr::Const(1)),
+            Expr::bin(
+                BinOp::Sub,
+                Expr::Ref(ArrayRef::new(a, 0, 0)),
+                Expr::Const(1),
+            ),
             Expr::Const(2),
         );
-        assert_eq!(expr_to_string(&p, &needs, "i", "j", (0, 0)), "(a[i][j] - 1) * 2");
+        assert_eq!(
+            expr_to_string(&p, &needs, "i", "j", (0, 0)),
+            "(a[i][j] - 1) * 2"
+        );
         let flat = Expr::bin(
             BinOp::Sub,
             Expr::Ref(ArrayRef::new(a, 0, 0)),
             Expr::bin(BinOp::Mul, Expr::Const(1), Expr::Const(2)),
         );
-        assert_eq!(expr_to_string(&p, &flat, "i", "j", (0, 0)), "a[i][j] - 1 * 2");
+        assert_eq!(
+            expr_to_string(&p, &flat, "i", "j", (0, 0)),
+            "a[i][j] - 1 * 2"
+        );
         // Right-nested subtraction keeps parens: a - (1 - 2).
         let right_sub = Expr::bin(
             BinOp::Sub,

@@ -130,7 +130,14 @@ impl FusedSpec {
     /// `(n, m)` — must equal the original's `(n+1)(m+1) * stmts` (each node
     /// still executes its whole iteration space); checked in tests.
     pub fn instance_count(&self, n: i64, m: i64) -> i64 {
-        (n + 1).max(0) * (m + 1).max(0) * self.program.loops.iter().map(|l| l.stmts.len() as i64).sum::<i64>()
+        (n + 1).max(0)
+            * (m + 1).max(0)
+            * self
+                .program
+                .loops
+                .iter()
+                .map(|l| l.stmts.len() as i64)
+                .sum::<i64>()
     }
 
     /// Computes a valid statement order for the fused body.
@@ -224,13 +231,7 @@ impl FusedSpec {
             )
             .unwrap();
         }
-        writeln!(
-            out,
-            "    DOALL J = {}, {} {{",
-            -min_ry,
-            bound("m", -max_ry)
-        )
-        .unwrap();
+        writeln!(out, "    DOALL J = {}, {} {{", -min_ry, bound("m", -max_ry)).unwrap();
         let order = self
             .body_order()
             .unwrap_or_else(|| (0..p.loops.len()).collect());

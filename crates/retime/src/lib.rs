@@ -16,6 +16,4 @@ pub mod verify;
 pub use apply::apply_retiming;
 pub use retiming::Retiming;
 pub use schedule::{is_strict_schedule, wavefront_for, wavefront_steps, ScheduleError, Wavefront};
-pub use verify::{
-    check_fusion_legal, check_inner_doall, check_retiming_consistency, VerifyError,
-};
+pub use verify::{check_fusion_legal, check_inner_doall, check_retiming_consistency, VerifyError};

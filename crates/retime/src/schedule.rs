@@ -21,11 +21,8 @@ pub struct Wavefront {
 /// `true` iff `s` is a strict schedule vector for `g`: `s · d > 0` for
 /// every non-zero dependence vector of every edge.
 pub fn is_strict_schedule(g: &Mldg, s: IVec2) -> bool {
-    g.edge_ids().all(|e| {
-        g.deps(e)
-            .iter()
-            .all(|d| d == IVec2::ZERO || s.dot(d) > 0)
-    })
+    g.edge_ids()
+        .all(|e| g.deps(e).iter().all(|d| d == IVec2::ZERO || s.dot(d) > 0))
 }
 
 /// Why no wavefront could be constructed.
@@ -43,7 +40,10 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::NegativeDependence { vector } => {
-                write!(f, "dependence vector {vector} is lexicographically negative")
+                write!(
+                    f,
+                    "dependence vector {vector} is lexicographically negative"
+                )
             }
         }
     }

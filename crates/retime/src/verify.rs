@@ -60,10 +60,16 @@ impl std::fmt::Display for VerifyError {
                 "cycle {cycle:?} weight changed from {before} to {after} under retiming"
             ),
             VerifyError::FusionIllegal { edges } => {
-                write!(f, "retimed graph still has fusion-preventing edges {edges:?}")
+                write!(
+                    f,
+                    "retimed graph still has fusion-preventing edges {edges:?}"
+                )
             }
             VerifyError::InnerLoopSerialized => {
-                write!(f, "a retimed dependence vector serializes the fused inner loop")
+                write!(
+                    f,
+                    "a retimed dependence vector serializes the fused inner loop"
+                )
             }
         }
     }
@@ -165,7 +171,10 @@ mod tests {
         let gr = apply_retiming(&g, &r);
         assert_eq!(check_retiming_consistency(&g, &gr, &r, 100), Ok(()));
         assert_eq!(check_fusion_legal(&gr), Ok(()));
-        assert_eq!(check_inner_doall(&gr), Err(VerifyError::InnerLoopSerialized));
+        assert_eq!(
+            check_inner_doall(&gr),
+            Err(VerifyError::InnerLoopSerialized)
+        );
     }
 
     #[test]

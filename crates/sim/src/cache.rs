@@ -122,9 +122,7 @@ impl Layout {
         let rows = n + 2 * halo + 1;
         let cols = m + 2 * halo + 1;
         let per_array = (rows * cols) as u64;
-        let bases = (0..p.arrays.len())
-            .map(|k| k as u64 * per_array)
-            .collect();
+        let bases = (0..p.arrays.len()).map(|k| k as u64 * per_array).collect();
         Layout {
             halo,
             rows,
@@ -142,13 +140,7 @@ impl Layout {
     }
 }
 
-fn touch_stmt(
-    cache: &mut Cache,
-    layout: &Layout,
-    s: &mdf_ir::ast::Stmt,
-    i: i64,
-    j: i64,
-) {
+fn touch_stmt(cache: &mut Cache, layout: &Layout, s: &mdf_ir::ast::Stmt, i: i64, j: i64) {
     for r in s.rhs.refs() {
         cache.access(layout.addr(r.array, i + r.di, j + r.dj));
     }

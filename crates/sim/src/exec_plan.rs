@@ -13,12 +13,21 @@
 //! [`check_plan`] runs the full pipeline for a plan and compares every
 //! memory image against the original program's.
 
-use mdf_core::FusionPlan;
+use mdf_core::{FusionPlan, PartialFusionPlan};
+use mdf_graph::{BudgetMeter, MdfError};
 use mdf_ir::ast::Program;
 use mdf_ir::retgen::FusedSpec;
 use mdf_retime::Wavefront;
 
-use crate::interp::{eval_expr, run_original, ExecStats, Memory};
+use crate::interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
+
+/// The fused body order, or a typed error for non-executable specs (a
+/// `(0,0)`-dependence cycle between loops) instead of a panic.
+pub(crate) fn body_order_typed(spec: &FusedSpec) -> Result<Vec<usize>, MdfError> {
+    spec.body_order().ok_or_else(|| {
+        MdfError::invalid("fused body has a (0,0)-dependence cycle: the program is not executable")
+    })
+}
 
 /// Inner-loop traversal order for fused row execution.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,7 +39,16 @@ pub enum RowOrder {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn exec_body_at(spec: &FusedSpec, order: &[usize], mem: &mut Memory, fi: i64, fj: i64, n: i64, m: i64, stats: &mut ExecStats) {
+fn exec_body_at(
+    spec: &FusedSpec,
+    order: &[usize],
+    mem: &mut Memory,
+    fi: i64,
+    fj: i64,
+    n: i64,
+    m: i64,
+    stats: &mut ExecStats,
+) {
     for &li in order {
         if !spec.node_active(li, fi, fj, n, m) {
             continue;
@@ -130,6 +148,81 @@ pub fn run_wavefront(
     (mem, stats)
 }
 
+/// [`run_fused_ordered`] under a resource budget: typed error for
+/// non-executable specs, cells charged at allocation, statement instances
+/// charged per fused row, deadline re-checked every row.
+pub fn run_fused_ordered_budgeted(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    meter: &mut BudgetMeter,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        meter.check_deadline()?;
+        let before = stats.stmt_instances;
+        match order {
+            RowOrder::Ascending => {
+                for fj in irange.lo..=irange.hi {
+                    exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+                }
+            }
+            RowOrder::Descending => {
+                for fj in (irange.lo..=irange.hi).rev() {
+                    exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+                }
+            }
+        }
+        stats.barriers += 1;
+        meter.charge_iterations(stats.stmt_instances - before)?;
+    }
+    Ok((mem, stats))
+}
+
+/// [`run_wavefront`] under a resource budget (one deadline check and one
+/// iteration charge per hyperplane group).
+pub fn run_wavefront_budgeted(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = wavefront.schedule;
+    let mut buckets: std::collections::BTreeMap<i64, Vec<(i64, i64)>> =
+        std::collections::BTreeMap::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                buckets
+                    .entry(s.x * fi + s.y * fj)
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+    }
+    for (_, group) in buckets {
+        meter.check_deadline()?;
+        let before = stats.stmt_instances;
+        for (fi, fj) in group {
+            exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
+        }
+        stats.barriers += 1;
+        meter.charge_iterations(stats.stmt_instances - before)?;
+    }
+    Ok((mem, stats))
+}
+
 /// Why a plan failed simulation-based checking.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
@@ -147,7 +240,10 @@ impl std::fmt::Display for SimError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SimError::ResultMismatch { mode } => {
-                write!(f, "{mode} execution result differs from the original program")
+                write!(
+                    f,
+                    "{mode} execution result differs from the original program"
+                )
             }
             SimError::NotDoall => write!(
                 f,
@@ -214,6 +310,75 @@ pub fn check_plan(
     })
 }
 
+/// [`check_plan`] under a resource budget. The outer `Result` reports
+/// abnormal termination (a budget trip); the inner one is the differential
+/// verdict itself, exactly as [`check_plan`] would return it.
+#[allow(clippy::type_complexity)]
+pub fn check_plan_budgeted(
+    program: &Program,
+    plan: &FusionPlan,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<Result<SimReport, SimError>, MdfError> {
+    let (reference, ref_stats) = run_original_budgeted(program, n, m, meter)?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+
+    let (fused_mem, fused_stats) =
+        run_fused_ordered_budgeted(&spec, n, m, RowOrder::Ascending, meter)?;
+    if fused_mem != reference {
+        return Ok(Err(SimError::ResultMismatch { mode: "row-major" }));
+    }
+    let fused_barriers = match plan {
+        FusionPlan::FullParallel { .. } => {
+            let (desc_mem, _) =
+                run_fused_ordered_budgeted(&spec, n, m, RowOrder::Descending, meter)?;
+            if desc_mem != reference {
+                return Ok(Err(SimError::NotDoall));
+            }
+            fused_stats.barriers
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            let (wf_mem, wf_stats) = run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?;
+            if wf_mem != reference {
+                return Ok(Err(SimError::ResultMismatch { mode: "wavefront" }));
+            }
+            wf_stats.barriers
+        }
+    };
+    Ok(Ok(SimReport {
+        original_barriers: ref_stats.barriers,
+        fused_barriers,
+        stmt_instances: ref_stats.stmt_instances,
+    }))
+}
+
+/// Differentially checks a partial-fusion plan under a resource budget:
+/// the clustered execution must reproduce the original program's memory
+/// image exactly. Same nesting convention as [`check_plan_budgeted`].
+#[allow(clippy::type_complexity)]
+pub fn check_partial_budgeted(
+    program: &Program,
+    plan: &PartialFusionPlan,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<Result<SimReport, SimError>, MdfError> {
+    let (reference, ref_stats) = run_original_budgeted(program, n, m, meter)?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming.offsets().to_vec());
+    let (part_mem, part_stats) = run_partitioned_budgeted(&spec, &plan.clusters, n, m, meter)?;
+    if part_mem != reference {
+        return Ok(Err(SimError::ResultMismatch {
+            mode: "partitioned",
+        }));
+    }
+    Ok(Ok(SimReport {
+        original_barriers: ref_stats.barriers,
+        fused_barriers: part_stats.barriers,
+        stmt_instances: ref_stats.stmt_instances,
+    }))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,10 +437,7 @@ mod tests {
         // Figure 6's retiming fuses legally (row-major matches the
         // original) but the inner loop is serial: descending order differs.
         let p = figure2_program();
-        let spec = FusedSpec::new(
-            p.clone(),
-            vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
-        );
+        let spec = FusedSpec::new(p.clone(), vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
         let (reference, _) = run_original(&p, 8, 8);
         let (asc, _) = run_fused(&spec, 8, 8);
         assert_eq!(asc, reference);
@@ -290,8 +452,7 @@ mod tests {
         let p = figure2_program();
         let plan = plan_for(&p);
         for (n, m) in [(0, 0), (0, 5), (5, 0), (1, 1), (2, 3)] {
-            check_plan(&p, &plan, n, m)
-                .unwrap_or_else(|e| panic!("bounds ({n},{m}): {e}"));
+            check_plan(&p, &plan, n, m).unwrap_or_else(|e| panic!("bounds ({n},{m}): {e}"));
         }
     }
 
@@ -351,6 +512,121 @@ pub fn run_partitioned(
         }
     }
     (mem, stats)
+}
+
+/// [`run_partitioned`] under a resource budget (one deadline check per
+/// fused row, iteration charges per cluster step).
+pub fn run_partitioned_budgeted(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        meter.check_deadline()?;
+        for cluster in clusters {
+            let members: Vec<usize> = body
+                .iter()
+                .copied()
+                .filter(|li| cluster.iter().any(|n| n.index() == *li))
+                .collect();
+            let before = stats.stmt_instances;
+            for fj in irange.lo..=irange.hi {
+                for &li in &members {
+                    if !spec.node_active(li, fi, fj, n, m) {
+                        continue;
+                    }
+                    let r = spec.offsets[li];
+                    let (i, j) = (fi + r.x, fj + r.y);
+                    for s in &spec.program.loops[li].stmts {
+                        let v = eval_expr(&mem, &s.rhs, i, j);
+                        mem.write(&s.lhs, i, j, v);
+                        stats.stmt_instances += 1;
+                    }
+                }
+            }
+            stats.barriers += 1;
+            meter.charge_iterations(stats.stmt_instances - before)?;
+        }
+    }
+    Ok((mem, stats))
+}
+
+#[cfg(test)]
+mod budgeted_tests {
+    use super::*;
+    use mdf_core::{fuse_partial, plan_fusion};
+    use mdf_graph::{Budget, BudgetResource};
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, relaxation_program};
+
+    #[test]
+    fn budgeted_check_matches_plain_when_unlimited() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let plain = check_plan(&p, &plan, 10, 8).unwrap();
+        let mut meter = Budget::unlimited().meter();
+        let budgeted = check_plan_budgeted(&p, &plan, 10, 8, &mut meter)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn budgeted_wavefront_check_matches_plain() {
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let plain = check_plan(&p, &plan, 8, 8).unwrap();
+        let mut meter = Budget::unlimited().meter();
+        let budgeted = check_plan_budgeted(&p, &plan, 8, 8, &mut meter)
+            .unwrap()
+            .unwrap();
+        assert_eq!(plain, budgeted);
+    }
+
+    #[test]
+    fn iteration_budget_trips_the_differential_check() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let mut meter = Budget::unlimited().with_max_iterations(20).meter();
+        match check_plan_budgeted(&p, &plan, 10, 8, &mut meter) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::Iterations,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budgeted_partial_check_passes_on_relaxation() {
+        let p = relaxation_program();
+        let g = extract_mldg(&p).unwrap().graph;
+        let plan = fuse_partial(&g).unwrap();
+        let mut meter = Budget::unlimited().meter();
+        let report = check_partial_budgeted(&p, &plan, 10, 10, &mut meter)
+            .unwrap()
+            .unwrap();
+        assert!(report.original_barriers > 0);
+    }
+
+    #[test]
+    fn unretimed_fusion_reported_as_mismatch_not_panic() {
+        // Figure 4's illegal fusion must surface as a structured verdict.
+        let p = figure2_program();
+        let spec = FusedSpec::unretimed(p.clone());
+        let mut meter = Budget::unlimited().meter();
+        let (reference, _) = run_original(&p, 8, 8);
+        let (fused, _) =
+            run_fused_ordered_budgeted(&spec, 8, 8, RowOrder::Ascending, &mut meter).unwrap();
+        assert_ne!(fused, reference);
+    }
 }
 
 #[cfg(test)]

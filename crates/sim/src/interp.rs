@@ -2,6 +2,7 @@
 //! semantics — outer loop sequential, each innermost DOALL loop running to
 //! completion (one barrier) before the next loop starts.
 
+use mdf_graph::{BudgetMeter, MdfError};
 use mdf_ir::ast::{ArrayRef, Expr, Program};
 
 use crate::array2::Array2;
@@ -25,6 +26,25 @@ impl Memory {
             .map(|k| Array2::new(k, -halo, n + halo, -halo, m + halo))
             .collect();
         Memory { arrays }
+    }
+
+    /// Like [`Memory::for_program`], but charges the allocation against
+    /// `meter` *before* reserving anything, so an oversized simulation
+    /// request fails with [`MdfError::BudgetExceeded`] instead of
+    /// exhausting host memory.
+    pub fn for_program_budgeted(
+        p: &Program,
+        n: i64,
+        m: i64,
+        extra_halo: i64,
+        meter: &mut BudgetMeter,
+    ) -> Result<Memory, MdfError> {
+        let halo = p.max_offset() + extra_halo;
+        let side_i = (n + 2 * halo + 1).max(1) as u64;
+        let side_j = (m + 2 * halo + 1).max(1) as u64;
+        let cells = (p.arrays.len() as u64).saturating_mul(side_i.saturating_mul(side_j));
+        meter.charge_cells(cells)?;
+        Ok(Memory::for_program(p, n, m, extra_halo))
     }
 
     /// Reads `r` at iteration `(i, j)`.
@@ -103,6 +123,34 @@ pub fn run_original(p: &Program, n: i64, m: i64) -> (Memory, ExecStats) {
     (mem, stats)
 }
 
+/// [`run_original`] under a resource budget: memory cells are charged at
+/// allocation, statement instances per DOALL sweep, and the deadline is
+/// re-checked every outer iteration.
+pub fn run_original_budgeted(
+    p: &Program,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let mut mem = Memory::for_program_budgeted(p, n, m, 0, meter)?;
+    let mut stats = ExecStats::default();
+    for i in 0..=n {
+        meter.check_deadline()?;
+        for l in &p.loops {
+            meter.charge_iterations(l.stmts.len() as u64 * (m + 1).max(0) as u64)?;
+            for j in 0..=m {
+                for s in &l.stmts {
+                    let v = eval_expr(&mem, &s.rhs, i, j);
+                    mem.write(&s.lhs, i, j, v);
+                    stats.stmt_instances += 1;
+                }
+            }
+            stats.barriers += 1;
+        }
+    }
+    Ok((mem, stats))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +200,48 @@ mod tests {
         let out = p.array_by_name("out").unwrap();
         // The accumulator must differ across rows (it sums sharp values).
         assert_ne!(mem_a.array(out).get(5, 2), mem_a.array(out).get(1, 2));
+    }
+
+    #[test]
+    fn budgeted_run_matches_plain_when_unlimited() {
+        use mdf_graph::Budget;
+        let p = figure2_program();
+        let (plain_mem, plain_stats) = run_original(&p, 7, 5);
+        let mut meter = Budget::unlimited().meter();
+        let (mem, stats) = run_original_budgeted(&p, 7, 5, &mut meter).unwrap();
+        assert_eq!(mem, plain_mem);
+        assert_eq!(stats, plain_stats);
+    }
+
+    #[test]
+    fn iteration_budget_trips_mid_run() {
+        use mdf_graph::{Budget, BudgetResource, MdfError};
+        let p = figure2_program();
+        // Figure 2 executes 5 statements per (i, j); cap far below that.
+        let mut meter = Budget::unlimited().with_max_iterations(10).meter();
+        match run_original_budgeted(&p, 7, 5, &mut meter) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::Iterations,
+                limit: 10,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_budget_trips_before_allocating() {
+        use mdf_graph::{Budget, BudgetResource, MdfError};
+        let p = figure2_program();
+        let mut meter = Budget::unlimited().with_max_memory_cells(4).meter();
+        match run_original_budgeted(&p, 100, 100, &mut meter) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::MemoryCells,
+                limit: 4,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]

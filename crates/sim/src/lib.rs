@@ -31,13 +31,17 @@ pub use array2::Array2;
 pub use cache::{cache_fused, cache_original, Cache, CacheConfig, CacheStats};
 pub use doall_check::{check_hyperplanes_doall, check_rows_doall, DoallViolation};
 pub use exec_plan::{
-    check_plan, run_fused, run_fused_desc, run_fused_ordered, run_partitioned, run_wavefront,
-    RowOrder, SimError, SimReport,
+    check_partial_budgeted, check_plan, check_plan_budgeted, run_fused, run_fused_desc,
+    run_fused_ordered, run_fused_ordered_budgeted, run_partitioned, run_partitioned_budgeted,
+    run_wavefront, run_wavefront_budgeted, RowOrder, SimError, SimReport,
 };
-pub use interp::{eval_expr, run_original, ExecStats, Memory};
+pub use interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
 pub use machine::{
     makespan_fused_rows, makespan_original, makespan_partitioned, makespan_wavefront, speedup,
     MachineParams, Makespan,
 };
-pub use parallel::{run_fused_rayon, run_partitioned_rayon, run_wavefront_rayon};
+pub use parallel::{
+    run_fused_rayon, run_partitioned_rayon, run_wavefront_rayon, try_run_fused_rayon,
+    try_run_partitioned_rayon, try_run_wavefront_rayon,
+};
 pub use spaceviz::{render_row_space, render_wavefront_space};

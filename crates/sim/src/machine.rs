@@ -84,14 +84,17 @@ pub fn makespan_fused_rows(spec: &FusedSpec, n: i64, m: i64, mp: &MachineParams)
         compute: 0.0,
         total: 0.0,
     };
-    let body_work: u64 = spec.program.loops.iter().map(|l| l.stmts.len() as u64).sum();
+    let body_work: u64 = spec
+        .program
+        .loops
+        .iter()
+        .map(|l| l.stmts.len() as u64)
+        .sum();
     let orange = spec.outer_range(n);
     let irange = spec.inner_range(m);
     for fi in orange.lo..=orange.hi {
         let width = (irange.lo..=irange.hi)
-            .filter(|&fj| {
-                (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m))
-            })
+            .filter(|&fj| (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)))
             .count() as u64;
         if width > 0 {
             step(width, body_work, mp, &mut ms);
@@ -114,7 +117,12 @@ pub fn makespan_wavefront(
         compute: 0.0,
         total: 0.0,
     };
-    let body_work: u64 = spec.program.loops.iter().map(|l| l.stmts.len() as u64).sum();
+    let body_work: u64 = spec
+        .program
+        .loops
+        .iter()
+        .map(|l| l.stmts.len() as u64)
+        .sum();
     let orange = spec.outer_range(n);
     let irange = spec.inner_range(m);
     let s = wavefront.schedule;
@@ -217,10 +225,7 @@ mod tests {
     #[test]
     fn more_processors_never_hurt() {
         let p = figure2_program();
-        let spec = FusedSpec::new(
-            p.clone(),
-            vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)],
-        );
+        let spec = FusedSpec::new(p.clone(), vec![v2(0, 0), v2(0, 0), v2(-1, 0), v2(-1, -1)]);
         let mut last = f64::INFINITY;
         for procs in [1, 2, 4, 8, 16, 32] {
             let mp = MachineParams {

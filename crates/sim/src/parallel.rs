@@ -12,24 +12,22 @@
 //! body (a `(0,0)` dependence) must see its own step-local writes, so
 //! evaluation consults a small per-iteration overlay first.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use rayon::prelude::*;
 
+use mdf_graph::MdfError;
 use mdf_ir::ast::{ArrayRef, Expr};
 use mdf_ir::retgen::FusedSpec;
 use mdf_retime::Wavefront;
 
+use crate::exec_plan::body_order_typed;
 use crate::interp::{ExecStats, Memory};
 
 /// A buffered write: `(array, i, j, value)`.
 type Write = (usize, i64, i64, i64);
 
-fn eval_with_overlay(
-    mem: &Memory,
-    overlay: &[Write],
-    e: &Expr,
-    i: i64,
-    j: i64,
-) -> i64 {
+fn eval_with_overlay(mem: &Memory, overlay: &[Write], e: &Expr, i: i64, j: i64) -> i64 {
     match e {
         Expr::Const(v) => *v,
         Expr::Ref(r) => read_with_overlay(mem, overlay, r, i, j),
@@ -78,6 +76,41 @@ fn run_iteration(
     overlay
 }
 
+/// Human-readable text of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Runs one fused iteration inside `catch_unwind`, converting a worker
+/// panic into a structured [`MdfError::Exec`] carrying the iteration
+/// coordinates — so one poisoned iteration fails the step, not the
+/// process.
+fn run_iteration_caught(
+    spec: &FusedSpec,
+    body: &[usize],
+    mem: &Memory,
+    fi: i64,
+    fj: i64,
+    n: i64,
+    m: i64,
+) -> Result<Vec<Write>, MdfError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_iteration(spec, body, mem, fi, fj, n, m)
+    }))
+    .map_err(|payload| MdfError::exec(fi, fj, panic_message(payload)))
+}
+
+/// Sequences per-iteration results, keeping the first failure.
+fn collect_writes(batches: Vec<Result<Vec<Write>, MdfError>>) -> Result<Vec<Vec<Write>>, MdfError> {
+    batches.into_iter().collect()
+}
+
 fn apply_writes(mem: &mut Memory, batches: Vec<Vec<Write>>, stats: &mut ExecStats) {
     for batch in batches {
         for (a, i, j, v) in batch {
@@ -111,14 +144,34 @@ pub fn run_fused_rayon(spec: &FusedSpec, n: i64, m: i64) -> (Memory, ExecStats) 
     (mem, stats)
 }
 
-/// Runs a hyperplane-certified fused program with one `par_iter` per
-/// non-empty hyperplane.
-pub fn run_wavefront_rayon(
+/// Panic-isolated [`run_fused_rayon`]: a non-executable spec returns a
+/// typed error, and a panic in any worker iteration is caught and reported
+/// as [`MdfError::Exec`] with the failing `(fi, fj)` coordinates.
+pub fn try_run_fused_rayon(
     spec: &FusedSpec,
-    w: Wavefront,
     n: i64,
     m: i64,
-) -> (Memory, ExecStats) {
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    for fi in orange.lo..=orange.hi {
+        let mem_ref = &mem;
+        let body_ref = &body;
+        let batches: Vec<Result<Vec<Write>, MdfError>> = (irange.lo..=irange.hi)
+            .into_par_iter()
+            .map(move |fj| run_iteration_caught(spec, body_ref, mem_ref, fi, fj, n, m))
+            .collect();
+        apply_writes(&mut mem, collect_writes(batches)?, &mut stats);
+    }
+    Ok((mem, stats))
+}
+
+/// Runs a hyperplane-certified fused program with one `par_iter` per
+/// non-empty hyperplane.
+pub fn run_wavefront_rayon(spec: &FusedSpec, w: Wavefront, n: i64, m: i64) -> (Memory, ExecStats) {
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");
@@ -149,6 +202,43 @@ pub fn run_wavefront_rayon(
         apply_writes(&mut mem, batches, &mut stats);
     }
     (mem, stats)
+}
+
+/// Panic-isolated [`run_wavefront_rayon`] (see [`try_run_fused_rayon`]).
+pub fn try_run_wavefront_rayon(
+    spec: &FusedSpec,
+    w: Wavefront,
+    n: i64,
+    m: i64,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let s = w.schedule;
+    let mut buckets: std::collections::BTreeMap<i64, Vec<(i64, i64)>> =
+        std::collections::BTreeMap::new();
+    for fi in orange.lo..=orange.hi {
+        for fj in irange.lo..=irange.hi {
+            if (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m)) {
+                buckets
+                    .entry(s.x * fi + s.y * fj)
+                    .or_default()
+                    .push((fi, fj));
+            }
+        }
+    }
+    for (_, group) in buckets {
+        let mem_ref = &mem;
+        let body_ref = &body;
+        let batches: Vec<Result<Vec<Write>, MdfError>> = group
+            .into_par_iter()
+            .map(move |(fi, fj)| run_iteration_caught(spec, body_ref, mem_ref, fi, fj, n, m))
+            .collect();
+        apply_writes(&mut mem, collect_writes(batches)?, &mut stats);
+    }
+    Ok((mem, stats))
 }
 
 #[cfg(test)]
@@ -192,6 +282,52 @@ mod tests {
         let (orig, _) = run_original(&p, 15, 15);
         let (par, _) = run_wavefront_rayon(&spec, w, 15, 15);
         assert_eq!(par, orig);
+    }
+
+    #[test]
+    fn try_variants_match_plain_runs() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let (plain, plain_stats) = run_fused_rayon(&spec, 12, 12);
+        let (tried, tried_stats) = try_run_fused_rayon(&spec, 12, 12).unwrap();
+        assert_eq!(plain, tried);
+        assert_eq!(plain_stats, tried_stats);
+    }
+
+    #[test]
+    fn try_wavefront_matches_plain_run() {
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let w = plan.wavefront().unwrap();
+        let (plain, _) = run_wavefront_rayon(&spec, w, 10, 10);
+        let (tried, _) = try_run_wavefront_rayon(&spec, w, 10, 10).unwrap();
+        assert_eq!(plain, tried);
+    }
+
+    #[test]
+    fn worker_panic_becomes_exec_error_with_coordinates() {
+        // Evaluate an iteration against memory from a *different* program
+        // with fewer arrays: the array-id indexing panics, and the catch
+        // wrapper must turn that into Exec with the right coordinates.
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let body = spec.body_order().unwrap();
+        let tiny = mdf_ir::parse_program(
+            "program tiny { arrays q; do i { doall A: j { q[i][j] = 1; } } }",
+        )
+        .unwrap();
+        let mem = Memory::for_program(&tiny, 6, 6, 0);
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // silence the expected panic
+        let got = run_iteration_caught(&spec, &body, &mem, 3, 2, 6, 6);
+        std::panic::set_hook(prev_hook);
+        match got {
+            Err(MdfError::Exec { fi: 3, fj: 2, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
     }
 
     #[test]
@@ -249,6 +385,45 @@ pub fn run_partitioned_rayon(
         }
     }
     (mem, stats)
+}
+
+/// Panic-isolated [`run_partitioned_rayon`] (see [`try_run_fused_rayon`]).
+pub fn try_run_partitioned_rayon(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let body = body_order_typed(spec)?;
+    let mut mem = Memory::for_program(&spec.program, n, m, 0);
+    let mut stats = ExecStats::default();
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let members: Vec<Vec<usize>> = clusters
+        .iter()
+        .map(|c| {
+            body.iter()
+                .copied()
+                .filter(|li| c.iter().any(|nd| nd.index() == *li))
+                .collect()
+        })
+        .collect();
+    for fi in orange.lo..=orange.hi {
+        for cluster_body in &members {
+            let mem_ref = &mem;
+            let batches: Vec<Result<Vec<Write>, MdfError>> = (irange.lo..=irange.hi)
+                .into_par_iter()
+                .map(move |fj| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_iteration_subset(spec, cluster_body, mem_ref, fi, fj, n, m)
+                    }))
+                    .map_err(|payload| MdfError::exec(fi, fj, panic_message(payload)))
+                })
+                .collect();
+            apply_writes(&mut mem, collect_writes(batches)?, &mut stats);
+        }
+    }
+    Ok((mem, stats))
 }
 
 /// Like `run_iteration` but restricted to the given loops.

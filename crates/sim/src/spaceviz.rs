@@ -32,8 +32,7 @@ pub fn render_row_space(spec: &FusedSpec, n: i64, m: i64) -> String {
     for fi in (orange.lo..=orange.hi).rev() {
         write!(out, "I={fi:>3} |").unwrap();
         for fj in irange.lo..=irange.hi {
-            let active = (0..spec.program.loops.len())
-                .any(|l| spec.node_active(l, fi, fj, n, m));
+            let active = (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m));
             out.push(if active { '.' } else { ' ' });
         }
         writeln!(out, "|  {}", if doall_all { "DOALL" } else { "serial" }).unwrap();
@@ -74,8 +73,7 @@ pub fn render_wavefront_space(spec: &FusedSpec, w: Wavefront, n: i64, m: i64) ->
     for fi in (orange.lo..=orange.hi).rev() {
         write!(out, "I={fi:>3} |").unwrap();
         for fj in irange.lo..=irange.hi {
-            let active = (0..spec.program.loops.len())
-                .any(|l| spec.node_active(l, fi, fj, n, m));
+            let active = (0..spec.program.loops.len()).any(|l| spec.node_active(l, fi, fj, n, m));
             if active {
                 let idx = index_of(s.x * fi + s.y * fj);
                 out.push(char::from_digit((idx % 10) as u32, 10).unwrap());
@@ -111,10 +109,7 @@ mod tests {
     #[test]
     fn row_space_marks_figure7_serial() {
         let p = figure2_program();
-        let spec = FusedSpec::new(
-            p,
-            vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
-        );
+        let spec = FusedSpec::new(p, vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
         let viz = render_row_space(&spec, 3, 3);
         assert!(viz.contains("serial"));
         assert!(!viz.contains("DOALL"));

@@ -57,7 +57,10 @@ fn main() {
     // Machine-model sweep over processor counts.
     let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
     println!("== predicted total cost vs processors (machine model) ==");
-    println!("{:>6} {:>12} {:>12} {:>9}", "procs", "unfused", "fused", "speedup");
+    println!(
+        "{:>6} {:>12} {:>12} {:>9}",
+        "procs", "unfused", "fused", "speedup"
+    );
     for p in [1u64, 2, 4, 8, 16, 32] {
         let mp = MachineParams {
             processors: p,

@@ -18,10 +18,13 @@ fn main() {
     // Algorithm 4 must fail: the A <-> B cycle carries two hard edges and
     // no outer-loop weight to absorb them.
     let alg4 = mdfusion::core::fuse_cyclic(g);
-    println!("Algorithm 4: {}", match &alg4 {
-        Ok(_) => "succeeded (unexpected!)".to_string(),
-        Err(e) => format!("fails as expected — {e}"),
-    });
+    println!(
+        "Algorithm 4: {}",
+        match &alg4 {
+            Ok(_) => "succeeded (unexpected!)".to_string(),
+            Err(e) => format!("fails as expected — {e}"),
+        }
+    );
     assert!(alg4.is_err());
 
     // The planner falls back to Algorithm 5.

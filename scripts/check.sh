@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass before merging.
+# Mirrors .github/workflows/ci.yml so it can be run locally first.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> fuzz smoke (50 cases)"
+./target/release/mdfuse fuzz --cases 50 --seed 1
+
+echo "==> fuzz self-test (fault injection must be caught)"
+./target/release/mdfuse fuzz --cases 50 --seed 1 --inject-broken-retiming >/dev/null
+
+echo "All checks passed."

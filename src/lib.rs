@@ -53,8 +53,9 @@ pub use mdf_sim as sim;
 /// The most common imports for working with the library.
 pub mod prelude {
     pub use mdf_core::{
-        analyze, fuse_acyclic, fuse_cyclic, fuse_hyperplane, llofra, plan_fusion, verify_plan,
-        FullParallelMethod, FusionError, FusionPlan,
+        analyze, fuse_acyclic, fuse_cyclic, fuse_hyperplane, llofra, plan_fusion,
+        plan_fusion_budgeted, verify_plan, Budget, DegradedPlan, FullParallelMethod, FusionPlan,
+        MdfError, PlanReport,
     };
     pub use mdf_graph::{v2, IVec2, Mldg, NodeId};
     pub use mdf_ir::{extract_mldg, parse_program, FusedSpec, Program};

@@ -1,0 +1,93 @@
+//! Resource-budget acceptance tests: oversized or adversarial inputs must
+//! come back as typed [`MdfError::BudgetExceeded`] in bounded wall-clock
+//! time, instead of hanging the planner or exhausting memory.
+
+use std::time::{Duration, Instant};
+
+use mdfusion::graph::{v2, Budget, BudgetResource, MdfError, Mldg};
+use mdfusion::prelude::*;
+
+/// A legal chain `N0 -> N1 -> ... -> N{n-1}` with unit inner weights,
+/// optionally closed into a (lexicographically positive) cycle.
+fn chain(n: usize, close_cycle: bool) -> Mldg {
+    let mut g = Mldg::new();
+    let ids: Vec<NodeId> = (0..n).map(|i| g.add_node(format!("N{i}"))).collect();
+    for w in ids.windows(2) {
+        g.add_dep(w[0], w[1], v2(0, 1));
+    }
+    if close_cycle {
+        // Cycle weight (1, -(2n)) + (0, n-1) chain = lex-positive overall.
+        g.add_dep(ids[n - 1], ids[0], v2(1, -(2 * n as i64)));
+    }
+    g
+}
+
+#[test]
+fn oversized_graph_rejected_before_any_planning() {
+    let start = Instant::now();
+    let g = chain(50_000, false);
+    let budget = Budget::unlimited().with_max_graph(10_000, 100_000);
+    match plan_fusion_budgeted(&g, &budget) {
+        Err(MdfError::BudgetExceeded {
+            resource: BudgetResource::Nodes,
+            limit: 10_000,
+            used,
+        }) => assert_eq!(used, 50_000),
+        other => panic!("unexpected: {other:?}"),
+    }
+    // The size gate must fire up front, not after an attempted solve.
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "size check took {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn tight_deadline_bounds_planning_on_a_huge_graph() {
+    let g = chain(50_000, true);
+    let budget = Budget::unlimited().with_deadline(Duration::from_millis(50));
+    let start = Instant::now();
+    let result = plan_fusion_budgeted(&g, &budget);
+    let elapsed = start.elapsed();
+    match result {
+        Err(MdfError::BudgetExceeded {
+            resource: BudgetResource::WallClockMs,
+            ..
+        }) => {}
+        other => panic!("unexpected: {other:?}"),
+    }
+    // The deadline is a heartbeat inside the solver, not a hard preemption;
+    // allow generous slack for one solver round, but nowhere near the time
+    // an unbounded 50k-node Bellman-Ford sweep would take.
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "planner ran for {elapsed:?}"
+    );
+}
+
+#[test]
+fn solver_round_cap_degrades_to_a_typed_error() {
+    let g = chain(200, true);
+    let budget = Budget::unlimited().with_max_solver_rounds(1);
+    match plan_fusion_budgeted(&g, &budget) {
+        // Every ladder rung needs more than one relaxation round on a
+        // 200-node cycle, so the cumulative meter trips everywhere.
+        Err(MdfError::BudgetExceeded {
+            resource: BudgetResource::SolverRounds,
+            limit: 1,
+            ..
+        }) => {}
+        // ...unless a rung gets by without the solver (acceptable only if
+        // the surviving plan still verifies).
+        Ok(report) => report.verify(&g).unwrap(),
+        other => panic!("unexpected: {other:?}"),
+    }
+}
+
+#[test]
+fn unlimited_budget_still_plans_the_chain() {
+    let g = chain(500, true);
+    let report = plan_fusion_budgeted(&g, &Budget::unlimited()).unwrap();
+    report.verify(&g).unwrap();
+}

@@ -77,18 +77,16 @@ fn shift_and_peel_comparison_on_e2() {
 fn planner_method_selection_matches_theory() {
     let kinds: Vec<String> = suite()
         .iter()
-        .map(|e| {
-            match plan_fusion(&e.graph).unwrap() {
-                FusionPlan::FullParallel {
-                    method: FullParallelMethod::Acyclic,
-                    ..
-                } => format!("{}:alg3", e.id),
-                FusionPlan::FullParallel {
-                    method: FullParallelMethod::Cyclic,
-                    ..
-                } => format!("{}:alg4", e.id),
-                FusionPlan::Hyperplane { .. } => format!("{}:alg5", e.id),
-            }
+        .map(|e| match plan_fusion(&e.graph).unwrap() {
+            FusionPlan::FullParallel {
+                method: FullParallelMethod::Acyclic,
+                ..
+            } => format!("{}:alg3", e.id),
+            FusionPlan::FullParallel {
+                method: FullParallelMethod::Cyclic,
+                ..
+            } => format!("{}:alg4", e.id),
+            FusionPlan::Hyperplane { .. } => format!("{}:alg5", e.id),
         })
         .collect();
     assert_eq!(
@@ -196,7 +194,9 @@ fn distribute_then_fuse_pipeline() {
 fn extended_kernels_plan_and_verify_end_to_end() {
     use mdfusion::core::FusionPlan;
     for (name, p) in mdfusion::ir::samples::extended_samples() {
-        let g = extract_mldg(&p).unwrap_or_else(|e| panic!("{name}: {e}")).graph;
+        let g = extract_mldg(&p)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .graph;
         let plan = plan_fusion(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
         verify_plan(&g, &plan).unwrap_or_else(|e| panic!("{name}: {e}"));
         check_plan(&p, &plan, 20, 20).unwrap_or_else(|e| panic!("{name}: {e}"));

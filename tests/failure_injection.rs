@@ -96,10 +96,7 @@ fn doall_checker_pinpoints_injected_conflicts() {
     // (0,0)-aligned but A -> C becomes (0,3), a forward intra-row flow the
     // checker must flag with a concrete cell.
     let p = mdfusion::ir::samples::figure2_program();
-    let spec = FusedSpec::new(
-        p,
-        vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)],
-    );
+    let spec = FusedSpec::new(p, vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
     let v = sim::check_rows_doall(&spec, 10, 10).unwrap_err();
     assert_ne!(v.iterations.0, v.iterations.1);
 }

@@ -1,0 +1,252 @@
+//! Table-driven malformed-input tests for both textual front ends.
+//!
+//! Every rejected input must come back as a typed [`MdfError::Parse`]
+//! carrying the 1-based source location of the offending token — and no
+//! input, however mangled, may panic. The tables double as a living spec
+//! of the error surface: each row pins the reported line and a message
+//! fragment, so a regression in location tracking fails loudly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mdfusion::graph::{textfmt, MdfError};
+use mdfusion::ir::parse_program;
+
+struct Case {
+    name: &'static str,
+    input: &'static str,
+    /// Expected 1-based line of the reported error; `None` leaves the
+    /// exact line unpinned (still required to be >= 1).
+    line: Option<usize>,
+    /// Required substring of the error message.
+    needle: &'static str,
+}
+
+const TEXTFMT_CASES: &[Case] = &[
+    Case {
+        name: "empty input",
+        input: "",
+        line: Some(1),
+        needle: "missing 'mldg",
+    },
+    Case {
+        name: "truncated header",
+        input: "mldg",
+        line: Some(1),
+        needle: "requires a name",
+    },
+    Case {
+        name: "garbage keyword",
+        input: "mldg g\nnots A",
+        line: Some(2),
+        needle: "unknown keyword",
+    },
+    Case {
+        name: "duplicate header",
+        input: "mldg a\nmldg b",
+        line: Some(2),
+        needle: "duplicate 'mldg'",
+    },
+    Case {
+        name: "duplicate node",
+        input: "mldg g\nnode A\nnode A",
+        line: Some(3),
+        needle: "duplicate node",
+    },
+    Case {
+        name: "node with two labels",
+        input: "mldg g\nnode A B",
+        line: Some(2),
+        needle: "single label",
+    },
+    Case {
+        name: "edge to unknown node",
+        input: "mldg g\nnode A\nedge A -> Z : (0,1)",
+        line: Some(3),
+        needle: "unknown node",
+    },
+    Case {
+        name: "edge without vectors",
+        input: "mldg g\nnode A\nedge A -> A :",
+        line: Some(3),
+        needle: "no dependence vectors",
+    },
+    Case {
+        name: "edge without colon",
+        input: "mldg g\nnode A\nedge A -> A (0,1)",
+        line: Some(3),
+        needle: "requires ':",
+    },
+    Case {
+        name: "edge without arrow",
+        input: "mldg g\nnode A\nedge A A : (0,1)",
+        line: Some(3),
+        needle: "SRC -> DST",
+    },
+    Case {
+        name: "unterminated vector",
+        input: "mldg g\nnode A\nedge A -> A : (0",
+        line: Some(3),
+        needle: "unterminated",
+    },
+    Case {
+        name: "one-component vector",
+        input: "mldg g\nnode A\nedge A -> A : (7)",
+        line: Some(3),
+        needle: "two components",
+    },
+    Case {
+        name: "non-integer component",
+        input: "mldg g\nnode A\nedge A -> A : (x,1)",
+        line: Some(3),
+        needle: "bad integer",
+    },
+    Case {
+        name: "weight overflowing i64",
+        input: "mldg g\nnode A\nedge A -> A : (99999999999999999999,1)",
+        line: Some(3),
+        needle: "bad integer",
+    },
+    Case {
+        name: "junk between vectors",
+        input: "mldg g\nnode A\nedge A -> A : (0,1) junk (1,0)",
+        line: Some(3),
+        needle: "expected '('",
+    },
+];
+
+const DSL_CASES: &[Case] = &[
+    Case {
+        name: "empty input",
+        input: "",
+        line: None,
+        needle: "end of input",
+    },
+    Case {
+        name: "garbage keyword",
+        input: "garbage",
+        line: Some(1),
+        needle: "expected keyword 'program'",
+    },
+    Case {
+        name: "truncated after header",
+        input: "program p",
+        line: None,
+        needle: "end of input",
+    },
+    Case {
+        name: "array declared twice",
+        input: "program p { arrays a, a; do i { doall L: j { a[i][j] = 1; } } }",
+        line: Some(1),
+        needle: "declared twice",
+    },
+    Case {
+        name: "undeclared array",
+        input: "program p {\n  arrays a;\n  do i {\n    doall L: j { b[i][j] = 1; }\n  }\n}",
+        line: Some(4),
+        needle: "undeclared array 'b'",
+    },
+    Case {
+        name: "loop label used twice",
+        input: "program p {\n  arrays a;\n  do i {\n    doall L: j { a[i][j] = 1; }\n    doall L: j { a[i][j] = 2; }\n  }\n}",
+        line: Some(5),
+        needle: "used twice",
+    },
+    Case {
+        name: "empty loop body",
+        input: "program p { arrays a; do i { doall L: j { } } }",
+        line: Some(1),
+        needle: "no statements",
+    },
+    Case {
+        name: "no doall loops",
+        input: "program p { arrays a; do i { } }",
+        line: Some(1),
+        needle: "at least one doall loop",
+    },
+    Case {
+        name: "trailing input",
+        input: "program p { arrays a; do i { doall L: j { a[i][j] = 1; } } } extra",
+        line: Some(1),
+        needle: "trailing input",
+    },
+    Case {
+        name: "missing semicolon",
+        input: "program p { arrays a; do i { doall L: j { a[i][j] = 1 } } }",
+        line: Some(1),
+        needle: "expected",
+    },
+];
+
+/// Asserts `result` is a typed parse error matching the table row.
+fn assert_typed_parse_error(case: &Case, result: Result<(), MdfError>) {
+    match result {
+        Err(MdfError::Parse { line, col, message }) => {
+            assert!(
+                line >= 1 && col >= 1,
+                "{}: location must be 1-based, got {line}:{col}",
+                case.name
+            );
+            if let Some(want) = case.line {
+                assert_eq!(line, want, "{}: wrong line ({message})", case.name);
+            }
+            assert!(
+                message.contains(case.needle),
+                "{}: message {message:?} does not contain {:?}",
+                case.name,
+                case.needle
+            );
+        }
+        Err(other) => panic!("{}: expected a parse error, got: {other}", case.name),
+        Ok(()) => panic!("{}: malformed input was accepted", case.name),
+    }
+}
+
+#[test]
+fn textfmt_rejects_malformed_inputs_with_locations() {
+    for case in TEXTFMT_CASES {
+        let result = catch_unwind(AssertUnwindSafe(|| textfmt::parse(case.input)))
+            .unwrap_or_else(|_| panic!("{}: parser panicked", case.name));
+        assert_typed_parse_error(case, result.map(|_| ()));
+    }
+}
+
+#[test]
+fn dsl_rejects_malformed_inputs_with_locations() {
+    for case in DSL_CASES {
+        let result = catch_unwind(AssertUnwindSafe(|| parse_program(case.input)))
+            .unwrap_or_else(|_| panic!("{}: parser panicked", case.name));
+        assert_typed_parse_error(case, result.map(|_| ()));
+    }
+}
+
+/// Every prefix of a valid input is either accepted or rejected with a
+/// typed error — truncation at any byte must not panic either parser.
+#[test]
+fn truncations_never_panic() {
+    let mldg = "mldg fig2\nnode A\nnode B\nedge A -> B : (1,1) (2,1)\nedge B -> A : (1,0)\n";
+    for end in 0..=mldg.len() {
+        let prefix = &mldg[..end];
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ = textfmt::parse(prefix);
+        }))
+        .unwrap_or_else(|_| panic!("textfmt panicked on prefix of length {end}"));
+    }
+
+    let dsl = "program p { arrays a, b; do i { doall L: j { a[i][j] = b[i-1][j+1]; } } }";
+    for end in 0..=dsl.len() {
+        let prefix = &dsl[..end];
+        catch_unwind(AssertUnwindSafe(|| {
+            let _ = parse_program(prefix);
+        }))
+        .unwrap_or_else(|_| panic!("DSL parser panicked on prefix of length {end}"));
+    }
+}
+
+/// Error strings are stable: scripts match on the `parse error at L:C:`
+/// prefix, so its shape is part of the CLI contract.
+#[test]
+fn parse_error_display_is_stable() {
+    let e = textfmt::parse("mldg x\nbogus").unwrap_err();
+    let s = e.to_string();
+    assert!(s.starts_with("parse error at 2:1: "), "{s}");
+}

@@ -69,12 +69,19 @@ proptest! {
     }
 
     /// Infeasible graphs are rejected, and the reported witness really is
-    /// a lexicographically negative cycle of the input.
+    /// a lexicographically negative cycle of the input, with node labels
+    /// matching the cycle's edges.
     #[test]
     fn infeasible_graphs_rejected_with_real_witness(seed in 0u64..10_000, cfg in gen_config()) {
+        use mdfusion::graph::{InfeasiblePhase, MdfError, WitnessWeight};
         let g = random_infeasible_mldg(seed, &cfg);
         match plan_fusion(&g) {
-            Err(mdfusion::core::FusionError::Infeasible { cycle, weight }) => {
+            Err(MdfError::Infeasible {
+                phase: InfeasiblePhase::Lex,
+                cycle,
+                nodes,
+                weight: WitnessWeight::Lex(weight),
+            }) => {
                 prop_assert!(weight < v2(0, 0));
                 prop_assert_eq!(g.delta_sum(&cycle), weight);
                 // Edges must chain into a closed walk.
@@ -84,8 +91,36 @@ proptest! {
                 let first = g.edge(cycle[0]).src;
                 let last = g.edge(*cycle.last().unwrap()).dst;
                 prop_assert_eq!(first, last);
+                // The witness's node labels follow the edge sources.
+                prop_assert_eq!(nodes.len(), cycle.len());
+                for (label, &e) in nodes.iter().zip(cycle.iter()) {
+                    prop_assert_eq!(label.as_str(), g.label(g.edge(e).src));
+                }
             }
             other => prop_assert!(false, "expected infeasible, got {:?}", other.is_ok()),
+        }
+    }
+
+    /// The budgeted planner is total on feasible graphs: under an
+    /// unlimited budget it never panics and its surviving plan passes
+    /// independent verification; under an arbitrarily tight solver cap it
+    /// either still produces a verified (possibly degraded) plan or
+    /// reports a typed budget error — never anything else.
+    #[test]
+    fn budgeted_planner_verifies_or_reports_budget(
+        seed in 0u64..10_000,
+        cfg in gen_config(),
+        rounds in 1u64..40,
+    ) {
+        let g = random_legal_mldg(seed, &cfg);
+        let report = plan_fusion_budgeted(&g, &Budget::unlimited())
+            .expect("feasible by construction");
+        prop_assert!(report.verify(&g).is_ok());
+        prop_assert!(report.ladder_trace().contains("succeeded"));
+        match plan_fusion_budgeted(&g, &Budget::unlimited().with_max_solver_rounds(rounds)) {
+            Ok(r) => prop_assert!(r.verify(&g).is_ok()),
+            Err(MdfError::BudgetExceeded { .. }) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
         }
     }
 

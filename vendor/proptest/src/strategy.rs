@@ -1,0 +1,158 @@
+//! The [`Strategy`] trait and the primitive strategies: numeric ranges,
+//! tuples, `prop_map`, [`Just`], and simple string patterns.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of test-case values (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Returns a strategy producing `f(v)` for every `v` this strategy
+    /// produces.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// String-pattern strategy. Upstream proptest interprets a `&str` strategy
+/// as a full regex; this stand-in supports the shape the test suite uses —
+/// `.{lo,hi}` (any characters, length between `lo` and `hi`) — and treats
+/// any other pattern as `.{0,64}`. Generated strings mix printable ASCII
+/// with newlines and a few multi-byte characters so parser fuzz tests see
+/// interesting inputs.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 64));
+        let n = rng.random_range(lo..=hi);
+        let mut s = String::with_capacity(n);
+        for _ in 0..n {
+            let c = match rng.random_range(0..20u32) {
+                0 => '\n',
+                1 => '\t',
+                2 => rng
+                    .random_range(0x80u32..0x250)
+                    .try_into()
+                    .unwrap_or('\u{fffd}'),
+                _ => char::from(rng.random_range(0x20u8..0x7f)),
+            };
+            s.push(c);
+        }
+        s
+    }
+}
+
+/// Parses a `.{lo,hi}` pattern into its length bounds.
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dot_repeat_parses() {
+        assert_eq!(parse_dot_repeat(".{0,200}"), Some((0, 200)));
+        assert_eq!(parse_dot_repeat(".{3,7}"), Some((3, 7)));
+        assert_eq!(parse_dot_repeat("[a-z]+"), None);
+    }
+
+    #[test]
+    fn just_yields_its_value() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Just(41).generate(&mut rng), 41);
+    }
+
+    #[test]
+    fn string_strategy_is_valid_utf8_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = ".{0,30}".generate(&mut rng);
+            assert!(s.chars().count() <= 30);
+        }
+    }
+}

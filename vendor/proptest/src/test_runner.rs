@@ -1,0 +1,81 @@
+//! Test-runner configuration and the case loop behind the `proptest!`
+//! macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (subset of `proptest::test_runner::ProptestConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Runs `body` against `cfg.cases` deterministic inputs. Case `k` of test
+/// `name` uses the RNG seed `fnv1a(name) ^ k`, so reruns replay the exact
+/// same cases and a reported failure is already a stable reproducer.
+pub fn run_cases(cfg: &ProptestConfig, name: &str, mut body: impl FnMut(&mut StdRng)) {
+    for case in 0..cfg.cases {
+        let seed = fnv1a(name) ^ u64::from(case);
+        let mut rng = StdRng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| body(&mut rng))) {
+            eprintln!(
+                "proptest stand-in: property `{name}` failed at case {case}/{} (seed {seed}); \
+                 rerunning the test replays this exact case",
+                cfg.cases
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// FNV-1a hash of a test name, the per-property half of the case seed.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_exactly_cases_times() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(17), "counting", |_| n += 1);
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn failure_propagates_with_context() {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            run_cases(&ProptestConfig::with_cases(4), "always_fails", |_| {
+                panic!("expected")
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn seeds_differ_between_properties() {
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this workspace vendors
+//! the small slice of rayon that `mdf-sim` uses: `into_par_iter()` on
+//! ranges and vectors followed by `.map(...).collect::<Vec<_>>()`. Work is
+//! split across `std::thread::scope` workers (one chunk per available
+//! core); on a single-core host it degrades to in-place sequential
+//! execution. A panic in any worker propagates to the caller on join,
+//! matching rayon's behaviour — which is what the panic-isolation layer in
+//! `mdf-sim::parallel` relies on.
+
+#![forbid(unsafe_code)]
+
+/// The traits user code imports via `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Parallel iterator types.
+pub mod iter {
+    /// Conversion into a parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Element type.
+        type Item;
+        /// The parallel iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<C: IntoIterator> IntoParallelIterator for C {
+        type Item = C::Item;
+        type Iter = ParIter<C::Item>;
+        fn into_par_iter(self) -> ParIter<C::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// The operations mdfusion chains on a parallel iterator.
+    pub trait ParallelIterator: Sized {
+        /// Element type.
+        type Item;
+        /// Applies `f` to every element in parallel.
+        fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+            Self::Item: Send;
+        /// Collects the results in input order.
+        fn collect<T: FromIterator<Self::Item>>(self) -> T;
+    }
+
+    /// An eager "parallel" iterator over a materialized item list.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T> ParallelIterator for ParIter<T> {
+        type Item = T;
+
+        fn map<R, F>(self, f: F) -> ParIter<R>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+            T: Send,
+        {
+            ParIter {
+                items: run_chunked(self.items, &f),
+            }
+        }
+
+        fn collect<C: FromIterator<T>>(self) -> C {
+            self.items.into_iter().collect()
+        }
+    }
+
+    /// Maps `f` over `items`, splitting into one chunk per available core.
+    /// Results come back in input order. Worker panics propagate when the
+    /// scope joins, like a rayon pool.
+    fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        if workers <= 1 || items.len() <= 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = items.len().div_ceil(workers);
+        let chunks: Vec<Vec<T>> = {
+            let mut it = items.into_iter();
+            let mut out = Vec::new();
+            loop {
+                let c: Vec<T> = it.by_ref().take(chunk).collect();
+                if c.is_empty() {
+                    break;
+                }
+                out.push(c);
+            }
+            out
+        };
+        let mut results: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(r) => results.push(r),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn maps_ranges_in_order() {
+        let out: Vec<i64> = (1i64..=8).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(out, vec![1, 4, 9, 16, 25, 36, 49, 64]);
+    }
+
+    #[test]
+    fn maps_vectors_in_order() {
+        let pairs: Vec<(i64, i64)> = vec![(1, 2), (3, 4), (5, 6)];
+        let out: Vec<i64> = pairs.into_par_iter().map(|(a, b)| a + b).collect();
+        assert_eq!(out, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<i64> = Vec::<i64>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            let _: Vec<i64> = (0i64..=4)
+                .into_par_iter()
+                .map(|x| if x == 3 { panic!("boom") } else { x })
+                .collect();
+        });
+        assert!(r.is_err());
+    }
+}
