@@ -1,0 +1,304 @@
+//! Retiming certificate checking.
+//!
+//! A fusion plan is treated as a *certificate*: the planner claims that
+//! applying retiming `r` to the MLDG makes the fused loop legal (Theorem
+//! 3.1) and fully parallel (Property 4.2, or Lemma 4.3 along a
+//! wavefront). This pass re-derives every retimed dependence vector
+//! `d_r = d + r(u) − r(v)` directly from the *raw* graph — without calling
+//! into `mdf-core`'s retiming application or verifier — and checks the
+//! postcondition that the producing algorithm is supposed to establish:
+//!
+//! * **Theorem 3.1** (all plans): every `d_r ≥ (0, 0)` lexicographically.
+//! * **Algorithm 3** (acyclic): after the final `y`-zeroing step every
+//!   retimed vector has `d_r.x ≥ 1`, and every `r(v).y == 0`. (The paper
+//!   states the looser `d_r ≥ (1, −1)`; the implementation's `zero_y`
+//!   normalization makes the first-component bound the invariant that
+//!   actually guarantees Property 4.2.)
+//! * **Algorithm 4** (cyclic): hard edges carry only vectors with
+//!   `d_r.x ≥ 1`; on any edge each vector satisfies `d_r.x ≥ 1` or is
+//!   exactly `(0, 0)` — the `y`-phase equality system pins zero-`x`
+//!   vectors of non-hard edges to zero.
+//! * **Algorithm 5** (hyperplane): `s · d_r ≥ 1` for every nonzero
+//!   retimed vector, and the published hyperplane is `s.perpendicular()`.
+//!
+//! Violations are reported as `MDF006` errors; a verified certificate
+//! produces a single `MDF005` info; partial-fusion plans produce an
+//! `MDF007` skip warning (their per-cluster certificates are a separate
+//! concern).
+
+use crate::diag::{Diagnostic, Severity};
+use mdf_core::{DegradedPlan, FullParallelMethod, FusionPlan, PlanReport};
+use mdf_graph::{IVec2, Mldg};
+use mdf_retime::{Retiming, Wavefront};
+
+/// Codes emitted by this pass.
+pub const CODE_CERTIFIED: &str = "MDF005";
+/// Certificate violation.
+pub const CODE_VIOLATION: &str = "MDF006";
+/// Certification skipped (partial plan or missing data).
+pub const CODE_SKIPPED: &str = "MDF007";
+
+/// Checks the plan in `report` against the raw graph `g`, returning
+/// diagnostics (exactly one `MDF005` info on success).
+pub fn check_certificate(g: &Mldg, report: &PlanReport) -> Vec<Diagnostic> {
+    match &report.plan {
+        DegradedPlan::Fused(plan) => check_fusion_certificate(g, plan),
+        DegradedPlan::Partial(p) => vec![Diagnostic::new(
+            CODE_SKIPPED,
+            Severity::Warning,
+            format!(
+                "certification skipped: partial fusion into {} cluster(s) \
+                 (per-cluster certificates are not derived)",
+                p.clusters.len()
+            ),
+        )],
+    }
+}
+
+/// Checks a full [`FusionPlan`] certificate against the raw graph.
+pub fn check_fusion_certificate(g: &Mldg, plan: &FusionPlan) -> Vec<Diagnostic> {
+    let r = plan.retiming();
+    let mut diags = Vec::new();
+    if r.len() != g.node_count() {
+        diags.push(Diagnostic::new(
+            CODE_VIOLATION,
+            Severity::Error,
+            format!(
+                "retiming has {} offsets but the graph has {} nodes",
+                r.len(),
+                g.node_count()
+            ),
+        ));
+        return diags;
+    }
+
+    let mut vectors = 0usize;
+    for e in g.edge_ids() {
+        let ed = g.edge(e);
+        let hard = g.is_hard(e);
+        for d in g.deps(e).iter() {
+            vectors += 1;
+            let dr = retimed(d, r, ed.src.index(), ed.dst.index());
+            let ctx = || {
+                format!(
+                    "edge {} -> {}, vector {} retimed to {}",
+                    g.label(ed.src),
+                    g.label(ed.dst),
+                    d,
+                    dr
+                )
+            };
+            // Theorem 3.1: fusion legality.
+            if dr < IVec2::ZERO {
+                diags.push(
+                    Diagnostic::new(
+                        CODE_VIOLATION,
+                        Severity::Error,
+                        format!("Theorem 3.1 violated: retimed vector {dr} < (0, 0)"),
+                    )
+                    .with_note(ctx()),
+                );
+                continue;
+            }
+            match plan {
+                FusionPlan::FullParallel { method, .. } => {
+                    let ok = match method {
+                        // Algorithm 3's zero_y normalization: x >= 1 always.
+                        FullParallelMethod::Acyclic => dr.x >= 1,
+                        // Algorithm 4: x >= 1, except non-hard edges may
+                        // pin a vector to exactly (0, 0).
+                        FullParallelMethod::Cyclic => dr.x >= 1 || (!hard && dr == IVec2::ZERO),
+                    };
+                    if !ok {
+                        diags.push(
+                            Diagnostic::new(
+                                CODE_VIOLATION,
+                                Severity::Error,
+                                format!(
+                                    "Property 4.2 violated: retimed vector {dr} is neither \
+                                     outer-carried (x >= 1) nor zero{}",
+                                    if hard { " (hard edge)" } else { "" }
+                                ),
+                            )
+                            .with_note(ctx()),
+                        );
+                    }
+                }
+                FusionPlan::Hyperplane { wavefront, .. } => {
+                    let s = wavefront.schedule;
+                    if dr != IVec2::ZERO && s.dot(dr) < 1 {
+                        diags.push(
+                            Diagnostic::new(
+                                CODE_VIOLATION,
+                                Severity::Error,
+                                format!(
+                                    "Lemma 4.3 violated: schedule {s} does not strictly \
+                                     separate retimed vector {dr} (s . d = {})",
+                                    s.dot(dr)
+                                ),
+                            )
+                            .with_note(ctx()),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    if let FusionPlan::FullParallel {
+        method: FullParallelMethod::Acyclic,
+        retiming,
+    } = plan
+    {
+        for (i, off) in retiming.offsets().iter().enumerate() {
+            if off.y != 0 {
+                diags.push(Diagnostic::new(
+                    CODE_VIOLATION,
+                    Severity::Error,
+                    format!(
+                        "Algorithm 3 postcondition violated: r({}) = {} has a nonzero \
+                         y component after zero_y normalization",
+                        node_label(g, i),
+                        off
+                    ),
+                ));
+            }
+        }
+    }
+    if let FusionPlan::Hyperplane { wavefront, .. } = plan {
+        check_wavefront_shape(*wavefront, &mut diags);
+    }
+
+    if diags.is_empty() {
+        diags.push(Diagnostic::new(
+            CODE_CERTIFIED,
+            Severity::Info,
+            format!(
+                "retiming certificate verified: {} vector(s) across {} edge(s) satisfy {}",
+                vectors,
+                g.edge_count(),
+                postcondition_name(plan)
+            ),
+        ));
+    }
+    diags
+}
+
+/// The hyperplane published with a wavefront must be orthogonal to the
+/// schedule (the paper takes `h = (s.y, -s.x)`).
+fn check_wavefront_shape(w: Wavefront, diags: &mut Vec<Diagnostic>) {
+    if w.hyperplane != w.schedule.perpendicular() {
+        diags.push(Diagnostic::new(
+            CODE_VIOLATION,
+            Severity::Error,
+            format!(
+                "wavefront hyperplane {} is not perpendicular to schedule {} \
+                 (expected {})",
+                w.hyperplane,
+                w.schedule,
+                w.schedule.perpendicular()
+            ),
+        ));
+    }
+}
+
+fn retimed(d: IVec2, r: &Retiming, src: usize, dst: usize) -> IVec2 {
+    let ro = r.offsets();
+    let rs = ro.get(src).copied().unwrap_or(IVec2::ZERO);
+    let rd = ro.get(dst).copied().unwrap_or(IVec2::ZERO);
+    IVec2 {
+        x: d.x + rs.x - rd.x,
+        y: d.y + rs.y - rd.y,
+    }
+}
+
+fn node_label(g: &Mldg, i: usize) -> String {
+    g.node_ids()
+        .nth(i)
+        .map(|n| g.label(n).to_string())
+        .unwrap_or_else(|| format!("#{i}"))
+}
+
+fn postcondition_name(plan: &FusionPlan) -> &'static str {
+    match plan {
+        FusionPlan::FullParallel {
+            method: FullParallelMethod::Acyclic,
+            ..
+        } => "Theorem 3.1 + Algorithm 3 (x >= 1, zeroed y)",
+        FusionPlan::FullParallel {
+            method: FullParallelMethod::Cyclic,
+            ..
+        } => "Theorem 3.1 + Theorem 4.2 (x >= 1 or zero)",
+        FusionPlan::Hyperplane { .. } => "Theorem 3.1 + Lemma 4.3 (strict schedule)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+    use mdf_core::plan_fusion_budgeted;
+    use mdf_graph::paper::{figure14, figure2, figure8};
+    use mdf_graph::Budget;
+
+    fn report_for(g: &Mldg) -> PlanReport {
+        plan_fusion_budgeted(g, &Budget::default()).unwrap()
+    }
+
+    #[test]
+    fn figure2_cyclic_certificate_verifies() {
+        let g = figure2();
+        let diags = check_certificate(&g, &report_for(&g));
+        assert!(!has_errors(&diags), "{diags:?}");
+        assert_eq!(diags[0].code, CODE_CERTIFIED);
+    }
+
+    #[test]
+    fn figure8_acyclic_certificate_verifies() {
+        let g = figure8();
+        let diags = check_certificate(&g, &report_for(&g));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn figure14_hyperplane_certificate_verifies() {
+        let g = figure14();
+        let diags = check_certificate(&g, &report_for(&g));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn corrupted_retiming_is_rejected() {
+        let g = figure2();
+        let report = report_for(&g);
+        let DegradedPlan::Fused(plan) = &report.plan else {
+            panic!("figure 2 fuses fully");
+        };
+        let mut offsets = plan.retiming().offsets().to_vec();
+        offsets[2].y += 1; // perturb one component
+        let broken = match plan {
+            FusionPlan::FullParallel { method, .. } => FusionPlan::FullParallel {
+                retiming: Retiming::from_offsets(offsets),
+                method: *method,
+            },
+            FusionPlan::Hyperplane { wavefront, .. } => FusionPlan::Hyperplane {
+                retiming: Retiming::from_offsets(offsets),
+                wavefront: *wavefront,
+            },
+        };
+        let diags = check_fusion_certificate(&g, &broken);
+        assert!(has_errors(&diags), "{diags:?}");
+        assert!(diags.iter().any(|d| d.code == CODE_VIOLATION));
+    }
+
+    #[test]
+    fn wrong_length_retiming_is_rejected() {
+        let g = figure2();
+        let broken = FusionPlan::FullParallel {
+            retiming: Retiming::identity(2),
+            method: FullParallelMethod::Cyclic,
+        };
+        let diags = check_fusion_certificate(&g, &broken);
+        assert!(has_errors(&diags));
+    }
+}

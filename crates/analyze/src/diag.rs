@@ -1,0 +1,228 @@
+//! Stable diagnostics shared by every `mdf-analyze` pass.
+//!
+//! Each diagnostic carries a stable `MDF0xx`/`MDF1xx` code so that tools
+//! (and the CI artifact diff) can track individual findings across
+//! refactors. Rendering is either human-readable (`rustc`-flavoured) or a
+//! small hand-rolled JSON document — the build environment is offline, so
+//! no serialization crates are available.
+
+use std::fmt::Write as _;
+
+/// How serious a diagnostic is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Informational: a property was positively certified.
+    Info,
+    /// A remark tying graph-level facts back to source lines.
+    Note,
+    /// Suspicious but not fatal.
+    Warning,
+    /// A proven problem (a race witness, a broken certificate, bad input).
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both output formats.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Note => "note",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// A 1-based source position attached to a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// One finding of an analysis or lint pass.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `"MDF002"`.
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// One-line message.
+    pub message: String,
+    /// Source position, when the finding maps to DSL input.
+    pub span: Option<Span>,
+    /// Extra free-form detail lines.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with no span and no notes.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity,
+            message: message.into(),
+            span: None,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a source position.
+    #[must_use]
+    pub fn with_span(mut self, line: usize, col: usize) -> Self {
+        self.span = Some(Span { line, col });
+        self
+    }
+
+    /// Appends a detail line.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+/// `true` when any diagnostic is an [`Severity::Error`].
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// Renders diagnostics in a `rustc`-flavoured human format.
+pub fn render_human(diags: &[Diagnostic], source_name: &str) -> String {
+    let mut out = String::new();
+    for d in diags {
+        let _ = writeln!(out, "{}[{}]: {}", d.severity.as_str(), d.code, d.message);
+        if let Some(sp) = d.span {
+            let _ = writeln!(out, "  --> {}:{}:{}", source_name, sp.line, sp.col);
+        }
+        for n in &d.notes {
+            let _ = writeln!(out, "  = note: {n}");
+        }
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let _ = writeln!(
+        out,
+        "{} diagnostic(s): {} error(s), {} warning(s)",
+        diags.len(),
+        errors,
+        warnings
+    );
+    out
+}
+
+/// Renders diagnostics as a single pretty-printed JSON document.
+pub fn render_json(diags: &[Diagnostic], source_name: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"source\": \"{}\",", escape(source_name));
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    let _ = writeln!(out, "  \"errors\": {errors},");
+    let _ = writeln!(out, "  \"warnings\": {warnings},");
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        let _ = write!(
+            out,
+            "\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"",
+            d.code,
+            d.severity.as_str(),
+            escape(&d.message)
+        );
+        if let Some(sp) = d.span {
+            let _ = write!(out, ", \"line\": {}, \"col\": {}", sp.line, sp.col);
+        }
+        if !d.notes.is_empty() {
+            out.push_str(", \"notes\": [");
+            for (j, n) in d.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{}\"", escape(n));
+            }
+            out.push(']');
+        }
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_rendering_includes_code_span_and_notes() {
+        let d = Diagnostic::new("MDF002", Severity::Error, "race on 'a'")
+            .with_span(3, 7)
+            .with_note("conflict vector (0, 2)");
+        let s = render_human(&[d], "ex.mdf");
+        assert!(s.contains("error[MDF002]: race on 'a'"));
+        assert!(s.contains("--> ex.mdf:3:7"));
+        assert!(s.contains("note: conflict vector (0, 2)"));
+        assert!(s.contains("1 error(s)"));
+    }
+
+    #[test]
+    fn json_rendering_is_well_formed_and_escaped() {
+        let d = Diagnostic::new(
+            "MDF101",
+            Severity::Warning,
+            "unused array \"x\"\nsecond line",
+        );
+        let s = render_json(&[d], "a\\b.mdf");
+        assert!(s.contains("\"source\": \"a\\\\b.mdf\""));
+        assert!(s.contains("\\\"x\\\"\\nsecond line"));
+        assert!(s.contains("\"warnings\": 1"));
+        // Balanced braces/brackets as a cheap well-formedness proxy.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_diagnostics_render() {
+        assert!(render_json(&[], "x").contains("\"diagnostics\": []"));
+        assert!(!has_errors(&[]));
+    }
+}

@@ -1,0 +1,424 @@
+//! DSL lints with source spans.
+//!
+//! The lint pass runs the full front half of the pipeline — lenient parse,
+//! validation, dependence analysis, MLDG extraction — and maps everything
+//! it learns back to source lines via the parser's [`SpanTable`]. Codes:
+//!
+//! | code   | severity | finding |
+//! |--------|----------|---------|
+//! | MDF101 | warning  | array declared but never referenced |
+//! | MDF102 | note     | read textually before the array's writer (sees initial contents) |
+//! | MDF103 | warning  | non-uniform subscript (degrades dependence extraction) |
+//! | MDF104 | warning  | dead loop: its written array is never read |
+//! | MDF105 | note     | fusion-preventing edge (lex-negative dependence) at its source read |
+//! | MDF106 | note     | hard edge (retiming-invariant; Section 2.2) |
+//! | MDF107 | error    | intra-loop serializing dependence (inner loop is not DOALL as written) |
+//! | MDF108 | error    | program fails validation |
+//! | MDF109 | error    | parse error |
+
+use crate::diag::{Diagnostic, Severity};
+use mdf_graph::legality;
+use mdf_graph::MdfError;
+use mdf_ir::ast::{ArrayRef, Program};
+use mdf_ir::deps::{analyze_dependences, AnalysisError, DepKind, Dependence};
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::{parse_program_lenient, SpanTable, SrcLoc};
+
+/// Lints DSL source, returning diagnostics in pass order.
+pub fn lint_source(src: &str) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let parsed = match parse_program_lenient(src) {
+        Ok(p) => p,
+        Err(e) => {
+            diags.push(parse_error_diag(&e));
+            return diags;
+        }
+    };
+    let p = &parsed.program;
+    let spans = &parsed.spans;
+
+    for issue in &parsed.subscript_issues {
+        diags.push(
+            Diagnostic::new(
+                "MDF103",
+                Severity::Warning,
+                format!(
+                    "non-uniform subscript: expected '{} ± const', found '{}'",
+                    issue.expected, issue.found
+                ),
+            )
+            .with_span(issue.loc.line, issue.loc.col)
+            .with_note(
+                "dependence extraction assumes uniform `index ± const` subscripts; \
+                 this access is treated as a plain offset, which may hide dependences"
+                    .to_string(),
+            ),
+        );
+    }
+
+    if let Err(e) = p.validate() {
+        diags.push(Diagnostic::new(
+            "MDF108",
+            Severity::Error,
+            format!("invalid program: {e}"),
+        ));
+        return diags;
+    }
+
+    lint_usage(p, spans, &mut diags);
+
+    let deps = match analyze_dependences(p) {
+        Ok(d) => d,
+        Err(AnalysisError::IntraLoopConflict {
+            loop_index,
+            array,
+            distance,
+        }) => {
+            let mut d = Diagnostic::new(
+                "MDF107",
+                Severity::Error,
+                format!(
+                    "loop '{}' carries an intra-loop dependence on '{}' at distance {}: \
+                     it is not DOALL as written",
+                    loop_label(p, loop_index),
+                    array_name(p, array),
+                    distance
+                ),
+            );
+            if let Some(loc) = spans.loops.get(loop_index).map(|l| l.label) {
+                d = d.with_span(loc.line, loc.col);
+            }
+            diags.push(d);
+            return diags;
+        }
+        Err(AnalysisError::Program(e)) => {
+            diags.push(Diagnostic::new(
+                "MDF108",
+                Severity::Error,
+                format!("invalid program: {e}"),
+            ));
+            return diags;
+        }
+    };
+
+    let Ok(extracted) = extract_mldg(p) else {
+        return diags; // already reported above; extraction repeats analysis
+    };
+    let g = &extracted.graph;
+
+    for e in legality::fusion_preventing_edges(g) {
+        let ed = g.edge(e);
+        let delta = g.delta(e);
+        let (src_l, dst_l) = (ed.src.index(), ed.dst.index());
+        let mut d = Diagnostic::new(
+            "MDF105",
+            Severity::Note,
+            format!(
+                "fusion-preventing dependence {} -> {} with lex-negative minimum vector {}: \
+                 direct fusion is illegal without retiming",
+                g.label(ed.src),
+                g.label(ed.dst),
+                delta
+            ),
+        );
+        if let Some(loc) = dep_read_loc(p, spans, &deps, src_l, dst_l, delta) {
+            d = d.with_span(loc.line, loc.col);
+        }
+        diags.push(d);
+    }
+
+    for e in g.edge_ids() {
+        if !g.is_hard(e) {
+            continue;
+        }
+        let ed = g.edge(e);
+        let vecs: Vec<String> = g.deps(e).iter().map(|v| v.to_string()).collect();
+        let mut d = Diagnostic::new(
+            "MDF106",
+            Severity::Note,
+            format!(
+                "hard edge {} -> {}: dependence vectors {} agree on x but differ in y, \
+                 so no retiming can separate them (Section 2.2)",
+                g.label(ed.src),
+                g.label(ed.dst),
+                vecs.join(", ")
+            ),
+        );
+        if let Some(loc) = spans.loops.get(ed.dst.index()).map(|l| l.label) {
+            d = d.with_span(loc.line, loc.col);
+        }
+        diags.push(d);
+    }
+
+    diags
+}
+
+/// Maps a parse/lex failure to MDF109.
+fn parse_error_diag(e: &MdfError) -> Diagnostic {
+    match e {
+        MdfError::Parse { line, col, message } => {
+            Diagnostic::new("MDF109", Severity::Error, format!("parse error: {message}"))
+                .with_span(*line, *col)
+        }
+        other => Diagnostic::new("MDF109", Severity::Error, format!("parse error: {other}")),
+    }
+}
+
+/// MDF101 (unused array), MDF104 (dead loop), MDF102 (read before writer).
+fn lint_usage(p: &Program, spans: &SpanTable, diags: &mut Vec<Diagnostic>) {
+    let n_arrays = p.arrays.len();
+    let mut read = vec![false; n_arrays];
+    let mut written = vec![false; n_arrays];
+    for l in &p.loops {
+        for s in &l.stmts {
+            written[s.lhs.array] = true;
+            for r in s.rhs.refs() {
+                read[r.array] = true;
+            }
+        }
+    }
+
+    for a in 0..n_arrays {
+        if !read[a] && !written[a] {
+            let mut d = Diagnostic::new(
+                "MDF101",
+                Severity::Warning,
+                format!("array '{}' is declared but never referenced", p.arrays[a]),
+            );
+            if let Some(loc) = spans.arrays.get(a) {
+                d = d.with_span(loc.line, loc.col);
+            }
+            diags.push(d);
+        }
+    }
+
+    for (li, l) in p.loops.iter().enumerate() {
+        let all_dead = l.stmts.iter().all(|s| !read[s.lhs.array]);
+        if all_dead {
+            let arrays: Vec<&str> = l
+                .stmts
+                .iter()
+                .map(|s| p.arrays[s.lhs.array].as_str())
+                .collect();
+            let mut d = Diagnostic::new(
+                "MDF104",
+                Severity::Warning,
+                format!(
+                    "dead loop '{}': it only writes {} which no loop reads",
+                    l.label,
+                    arrays
+                        .iter()
+                        .map(|a| format!("'{a}'"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            );
+            if let Some(loc) = spans.loops.get(li).map(|s| s.label) {
+                d = d.with_span(loc.line, loc.col);
+            }
+            diags.push(d);
+        }
+    }
+
+    // MDF102: a read of `X` in a loop textually before `X`'s writer
+    // observes the array's *initial* contents (an anti-dependence), while
+    // later reads observe written values — an easy-to-miss asymmetry.
+    for (li, l) in p.loops.iter().enumerate() {
+        for (si, s) in l.stmts.iter().enumerate() {
+            for (ri, r) in s.rhs.refs().into_iter().enumerate() {
+                let Some((wl, _)) = p.writer_of(r.array) else {
+                    continue;
+                };
+                if li < wl {
+                    let mut d = Diagnostic::new(
+                        "MDF102",
+                        Severity::Note,
+                        format!(
+                            "loop '{}' reads '{}' before its writer loop '{}': within an \
+                             outer iteration this read sees the previous iteration's (or \
+                             initial) contents",
+                            l.label,
+                            array_name(p, r.array),
+                            loop_label(p, wl)
+                        ),
+                    );
+                    if let Some(loc) = read_loc(spans, li, si, ri) {
+                        d = d.with_span(loc.line, loc.col);
+                    }
+                    diags.push(d);
+                }
+            }
+        }
+    }
+}
+
+/// Source location of the read reference participating in the dependence
+/// `src_l -> dst_l` with vector `delta`.
+fn dep_read_loc(
+    p: &Program,
+    spans: &SpanTable,
+    deps: &[Dependence],
+    src_l: usize,
+    dst_l: usize,
+    delta: mdf_graph::IVec2,
+) -> Option<SrcLoc> {
+    let dep = deps
+        .iter()
+        .find(|d| d.src == src_l && d.dst == dst_l && d.vector == delta)?;
+    // Reconstruct the reading reference. For a flow dependence the reader
+    // is `dst` and `d = write − read`; for an anti dependence the reader
+    // is `src` and the stored vector is `read − write`.
+    let (wl, ws) = p.writer_of(dep.array)?;
+    let w = p.loops.get(wl)?.stmts.get(ws)?.lhs;
+    let (reader_loop, read_ref) = match dep.kind {
+        DepKind::Flow => (
+            dep.dst,
+            ArrayRef::new(dep.array, w.di - dep.vector.x, w.dj - dep.vector.y),
+        ),
+        DepKind::Anti => (
+            dep.src,
+            ArrayRef::new(dep.array, w.di + dep.vector.x, w.dj + dep.vector.y),
+        ),
+    };
+    find_read(p, spans, reader_loop, read_ref)
+}
+
+/// Finds the span of the first read in `loop_idx` matching `target`.
+fn find_read(p: &Program, spans: &SpanTable, loop_idx: usize, target: ArrayRef) -> Option<SrcLoc> {
+    let l = p.loops.get(loop_idx)?;
+    for (si, s) in l.stmts.iter().enumerate() {
+        for (ri, r) in s.rhs.refs().into_iter().enumerate() {
+            if r == target {
+                return read_loc(spans, loop_idx, si, ri);
+            }
+        }
+    }
+    None
+}
+
+fn read_loc(spans: &SpanTable, li: usize, si: usize, ri: usize) -> Option<SrcLoc> {
+    spans.loops.get(li)?.stmts.get(si)?.reads.get(ri).copied()
+}
+
+fn loop_label(p: &Program, li: usize) -> String {
+    p.loops
+        .get(li)
+        .map(|l| l.label.clone())
+        .unwrap_or_else(|| format!("#{li}"))
+}
+
+fn array_name(p: &Program, a: usize) -> String {
+    p.arrays.get(a).cloned().unwrap_or_else(|| format!("#{a}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::has_errors;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_program_produces_no_warnings_or_errors() {
+        let diags = lint_source(
+            "program p { arrays a, b; do i {
+                doall A: j { a[i][j] = b[i-1][j]; }
+                doall B: j { b[i][j] = a[i][j-1]; }
+            } }",
+        );
+        assert!(!has_errors(&diags), "{diags:?}");
+        assert!(
+            !diags.iter().any(|d| d.severity == Severity::Warning),
+            "{diags:?}"
+        );
+        // The B -> A backward use shows up as an MDF102 note on loop A.
+        assert!(codes(&diags).contains(&"MDF102"), "{diags:?}");
+    }
+
+    #[test]
+    fn unused_array_flagged_at_declaration() {
+        let diags =
+            lint_source("program p { arrays a, ghost; do i { doall A: j { a[i][j] = 1; } } }");
+        let d = diags.iter().find(|d| d.code == "MDF101").unwrap();
+        assert!(d.message.contains("ghost"));
+        let sp = d.span.unwrap();
+        assert_eq!(sp.line, 1);
+    }
+
+    #[test]
+    fn dead_loop_flagged() {
+        let diags = lint_source(
+            "program p { arrays a, b; do i {
+                doall A: j { a[i][j] = 1; }
+                doall B: j { b[i][j] = a[i-1][j]; }
+            } }",
+        );
+        // Loop B writes b which nobody reads.
+        let d = diags.iter().find(|d| d.code == "MDF104").unwrap();
+        assert!(d.message.contains("'B'"), "{}", d.message);
+        // Loop A is alive (a is read by B), so only one dead loop.
+        assert_eq!(diags.iter().filter(|d| d.code == "MDF104").count(), 1);
+    }
+
+    #[test]
+    fn non_uniform_subscript_is_a_warning_not_an_error() {
+        let diags =
+            lint_source("program p { arrays a, b; do i { doall A: j { a[i][0] = b[j][j]; } } }");
+        assert_eq!(diags.iter().filter(|d| d.code == "MDF103").count(), 2);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn intra_loop_conflict_is_an_error() {
+        let diags =
+            lint_source("program p { arrays a; do i { doall A: j { a[i][j] = a[i][j-1]; } } }");
+        assert!(codes(&diags).contains(&"MDF107"), "{diags:?}");
+        assert!(has_errors(&diags));
+    }
+
+    #[test]
+    fn parse_error_maps_to_mdf109_with_span() {
+        let diags = lint_source("program p { arrays a; do i { doall A: j { a[i][j] == 1; } } }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, "MDF109");
+        assert!(diags[0].span.is_some());
+    }
+
+    #[test]
+    fn multiple_writers_map_to_mdf108() {
+        let diags = lint_source(
+            "program p { arrays a; do i {
+                doall A: j { a[i][j] = 1; }
+                doall B: j { a[i][j+1] = 2; }
+            } }",
+        );
+        assert!(codes(&diags).contains(&"MDF108"), "{diags:?}");
+    }
+
+    #[test]
+    fn fusion_preventing_edge_noted_at_read() {
+        // B reads a[i][j+2]: flow vector (0, -2) is lex-negative.
+        let diags = lint_source(
+            "program p { arrays a, b; do i {
+                doall A: j { a[i][j] = 1; }
+                doall B: j { b[i][j] = a[i][j+2]; }
+            } }",
+        );
+        let d = diags.iter().find(|d| d.code == "MDF105").unwrap();
+        assert!(d.span.is_some(), "{d:?}");
+    }
+
+    #[test]
+    fn hard_edge_noted() {
+        // Two vectors with equal x, different y between A and B.
+        let diags = lint_source(
+            "program p { arrays a, b; do i {
+                doall A: j { a[i][j] = 1; }
+                doall B: j { b[i][j] = a[i-1][j-1] + a[i-1][j+1]; }
+            } }",
+        );
+        assert!(codes(&diags).contains(&"MDF106"), "{diags:?}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Diagnostic assembly for `mdfuse analyze` and `mdfuse lint`.
+//!
+//! `mdfuse analyze` keeps its historical graph report and appends a
+//! *certificates* section produced by `mdf-analyze`:
+//!
+//! | code   | severity | meaning |
+//! |--------|----------|---------|
+//! | MDF001 | info     | fused rows statically certified DOALL for all sizes |
+//! | MDF002 | error    | row race witness (two iterations, a cell, bounds) |
+//! | MDF003 | info     | wavefront hyperplanes statically certified DOALL |
+//! | MDF004 | error    | hyperplane race witness |
+//! | MDF005 | info     | retiming certificate verified against the raw MLDG |
+//! | MDF006 | error    | retiming certificate violation |
+//! | MDF007 | warning  | certification skipped (MLDG-only input / partial plan) |
+//! | MDF008 | error    | no legal fusion exists (lex-negative cycle) |
+//! | MDF009 | note     | why retiming is needed: the unretimed loop races |
+
+use mdf_analyze::{
+    certify_doall, check_certificate, Diagnostic, ParallelMode, RaceVerdict, RaceWitness, Severity,
+};
+use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
+use mdf_graph::mldg::Mldg;
+use mdf_graph::{Budget, MdfError};
+use mdf_ir::ast::{ArrayRef, Program};
+use mdf_ir::retgen::FusedSpec;
+use mdf_ir::{SpanTable, SrcLoc};
+
+/// Computes the certificate diagnostics for one input. Budget trips and
+/// non-infeasibility errors propagate; infeasibility becomes `MDF008`.
+pub(crate) fn certificates(
+    g: &Mldg,
+    program: Option<&Program>,
+    spans: Option<&SpanTable>,
+    budget: &Budget,
+) -> Result<Vec<Diagnostic>, MdfError> {
+    let mut diags = Vec::new();
+    let report = match plan_fusion_budgeted(g, budget) {
+        Ok(r) => r,
+        Err(e @ MdfError::Infeasible { .. }) => {
+            diags.push(Diagnostic::new(
+                "MDF008",
+                Severity::Error,
+                format!("no legal fusion exists: {e}"),
+            ));
+            return Ok(diags);
+        }
+        Err(e) => return Err(e),
+    };
+
+    diags.extend(check_certificate(g, &report));
+
+    let DegradedPlan::Fused(plan) = &report.plan else {
+        return Ok(diags); // partial: check_certificate already emitted MDF007
+    };
+    let Some(p) = program else {
+        diags.push(Diagnostic::new(
+            "MDF007",
+            Severity::Warning,
+            "race certification skipped: MLDG input carries no array subscripts \
+             (provide the loop program to certify DOALL statically)",
+        ));
+        return Ok(diags);
+    };
+
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    match plan {
+        FusionPlan::FullParallel { .. } => match certify_doall(&spec, ParallelMode::Rows) {
+            RaceVerdict::Certified { pairs_checked } => diags.push(Diagnostic::new(
+                "MDF001",
+                Severity::Info,
+                format!(
+                    "statically certified: fused rows are DOALL for all iteration-space \
+                     sizes ({pairs_checked} access pair(s) checked)"
+                ),
+            )),
+            RaceVerdict::Race(w) => diags.push(race_diag("MDF002", "fused row", &w, p, spans)),
+        },
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            match certify_doall(&spec, ParallelMode::Hyperplanes(wavefront.schedule)) {
+                RaceVerdict::Certified { pairs_checked } => diags.push(Diagnostic::new(
+                    "MDF003",
+                    Severity::Info,
+                    format!(
+                        "statically certified: wavefront hyperplanes (schedule s={}) are \
+                         DOALL for all iteration-space sizes ({pairs_checked} access \
+                         pair(s) checked)",
+                        wavefront.schedule
+                    ),
+                )),
+                RaceVerdict::Race(w) => diags.push(race_diag("MDF004", "hyperplane", &w, p, spans)),
+            }
+        }
+    }
+
+    // Explain *why* the retiming matters: without it the rows race.
+    if !plan.retiming().is_identity() {
+        if let RaceVerdict::Race(w) =
+            certify_doall(&FusedSpec::unretimed(p.clone()), ParallelMode::Rows)
+        {
+            let mut d = Diagnostic::new(
+                "MDF009",
+                Severity::Note,
+                format!(
+                    "without retiming the fused rows race: {} writes '{}' while {} \
+                     reads it {} iteration(s) away in the same row",
+                    loop_label(p, w.writer_loop),
+                    w.array_name,
+                    loop_label(p, w.access_loop),
+                    w.conflict.y.abs()
+                ),
+            );
+            if let Some(loc) = witness_access_loc(&w, spans) {
+                d = d.with_span(loc.line, loc.col);
+            }
+            diags.push(d);
+        }
+    }
+    Ok(diags)
+}
+
+/// Formats a race witness as an error diagnostic with source spans.
+fn race_diag(
+    code: &'static str,
+    step_kind: &str,
+    w: &RaceWitness,
+    p: &Program,
+    spans: Option<&SpanTable>,
+) -> Diagnostic {
+    let mut d = Diagnostic::new(
+        code,
+        Severity::Error,
+        format!(
+            "{step_kind} race on '{}': {} writes {} while {} accesses {} in the same \
+             parallel step (conflict vector {})",
+            w.array_name,
+            loop_label(p, w.writer_loop),
+            fmt_ref(p, w.writer_ref),
+            loop_label(p, w.access_loop),
+            fmt_ref(p, w.access_ref),
+            w.conflict
+        ),
+    )
+    .with_note(format!(
+        "witness at bounds n={}, m={}: fused iteration (I,J)=({},{}) and \
+         ({},{}) both touch cell ({},{})",
+        w.bounds.0,
+        w.bounds.1,
+        w.write_iter.0,
+        w.write_iter.1,
+        w.access_iter.0,
+        w.access_iter.1,
+        w.cell.0,
+        w.cell.1
+    ));
+    if let Some(loc) = witness_access_loc(w, spans) {
+        d = d.with_span(loc.line, loc.col);
+    }
+    if let Some(loc) = witness_writer_loc(w, spans) {
+        d = d.with_note(format!("conflicting write at {loc}"));
+    }
+    d
+}
+
+fn witness_access_loc(w: &RaceWitness, spans: Option<&SpanTable>) -> Option<SrcLoc> {
+    let st = spans?.loops.get(w.access_loop)?.stmts.get(w.access_stmt)?;
+    match w.access_read_index {
+        Some(ri) => st.reads.get(ri).copied(),
+        None => Some(st.lhs),
+    }
+}
+
+fn witness_writer_loc(w: &RaceWitness, spans: Option<&SpanTable>) -> Option<SrcLoc> {
+    Some(
+        spans?
+            .loops
+            .get(w.writer_loop)?
+            .stmts
+            .get(w.writer_stmt)?
+            .lhs,
+    )
+}
+
+fn loop_label(p: &Program, li: usize) -> String {
+    p.loops
+        .get(li)
+        .map(|l| format!("loop '{}'", l.label))
+        .unwrap_or_else(|| format!("loop #{li}"))
+}
+
+/// Renders an array reference as DSL-ish text, e.g. `a[i-1][j+2]`.
+fn fmt_ref(p: &Program, r: ArrayRef) -> String {
+    let name = p
+        .arrays
+        .get(r.array)
+        .cloned()
+        .unwrap_or_else(|| format!("#{}", r.array));
+    format!("{name}[i{}][j{}]", fmt_off(r.di), fmt_off(r.dj))
+}
+
+fn fmt_off(o: i64) -> String {
+    match o.cmp(&0) {
+        std::cmp::Ordering::Equal => String::new(),
+        std::cmp::Ordering::Greater => format!("+{o}"),
+        std::cmp::Ordering::Less => o.to_string(),
+    }
+}

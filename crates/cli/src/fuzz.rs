@@ -23,6 +23,7 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use mdf_analyze::{certify_doall, check_certificate, check_fusion_certificate, ParallelMode};
 use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
 use mdf_gen::{
     program_from_mldg, random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg,
@@ -32,8 +33,12 @@ use mdf_graph::mldg::Mldg;
 use mdf_graph::{textfmt, Budget, EdgeId, InfeasiblePhase, MdfError, NodeId, WitnessWeight};
 use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
 use mdf_retime::Retiming;
-use mdf_sim::check_plan_budgeted;
+use mdf_sim::{
+    align_partial_to_program, align_plan_to_program, check_hyperplanes_doall, check_plan_budgeted,
+    check_rows_doall,
+};
 
 use crate::CliError;
 
@@ -179,6 +184,17 @@ fn check_feasible(
         .verify(g)
         .map_err(|e| fail(format!("plan verification: {e}")))?;
 
+    // Second oracle: the independent certificate checker must agree that
+    // the plan's retiming satisfies its algorithm's postconditions.
+    let cert = check_certificate(g, &report);
+    if mdf_analyze::has_errors(&cert) {
+        let msgs: Vec<_> = cert.iter().map(|d| d.message.clone()).collect();
+        return Err(fail(format!(
+            "static certificate check rejected a verified plan: {}",
+            msgs.join("; ")
+        )));
+    }
+
     let realized;
     let program = match program {
         Some(p) => Some(p),
@@ -197,28 +213,108 @@ fn check_feasible(
     };
 
     if let DegradedPlan::Fused(plan) = &report.plan {
+        // The plan is indexed by graph node; the (possibly realized)
+        // program orders loops textually. Align before executing.
+        let aligned = align_plan_to_program(g, p, plan)
+            .ok_or_else(|| fail("program is not a loop-per-node realization of the graph"))?;
         let mut meter = budget.meter();
-        check_plan_budgeted(p, plan, SIM_N, SIM_M, &mut meter)
+        check_plan_budgeted(p, &aligned, SIM_N, SIM_M, &mut meter)
             .map_err(|e| stage_error("differential run", e))?
             .map_err(|e| fail(format!("differential run: {e}")))?;
 
+        check_static_dynamic_agreement(p, &aligned)?;
+
         if inject {
+            // Corrupt the graph-indexed plan, then align the corruption,
+            // so the static and dynamic detectors see the same fault.
             let broken = perturb(plan);
+            let broken_aligned = align_plan_to_program(g, p, &broken)
+                .ok_or_else(|| fail("alignment failed for the corrupted plan"))?;
             let mut meter = budget.meter();
             // Only a clean mismatch verdict counts as "caught"; a budget
             // trip mid-run proves nothing about the checker.
-            if let Ok(Err(_)) = check_plan_budgeted(p, &broken, SIM_N, SIM_M, &mut meter) {
+            let dynamic_caught = matches!(
+                check_plan_budgeted(p, &broken_aligned, SIM_N, SIM_M, &mut meter),
+                Ok(Err(_))
+            );
+            // The static passes form an independent detector: either the
+            // certificate checker rejects the corrupted retiming against
+            // the raw graph, or the race certifier finds a conflict.
+            let broken_spec =
+                FusedSpec::new(p.clone(), broken_aligned.retiming().offsets().to_vec());
+            let static_caught = mdf_analyze::has_errors(&check_fusion_certificate(g, &broken))
+                || !certify_doall(&broken_spec, plan_mode(&broken)).is_certified();
+            if dynamic_caught || static_caught {
                 verdict.caught = true;
                 verdict.caught_graph = Some(g.clone());
             }
         }
     } else if let DegradedPlan::Partial(plan) = &report.plan {
+        let aligned = align_partial_to_program(g, p, plan)
+            .ok_or_else(|| fail("program is not a loop-per-node realization of the graph"))?;
         let mut meter = budget.meter();
-        mdf_sim::check_partial_budgeted(p, plan, SIM_N, SIM_M, &mut meter)
+        mdf_sim::check_partial_budgeted(p, &aligned, SIM_N, SIM_M, &mut meter)
             .map_err(|e| stage_error("partitioned run", e))?
             .map_err(|e| fail(format!("partitioned run: {e}")))?;
     }
     Ok(verdict)
+}
+
+/// The parallel interpretation a plan claims for its fused loop.
+fn plan_mode(plan: &FusionPlan) -> ParallelMode {
+    match plan {
+        FusionPlan::FullParallel { .. } => ParallelMode::Rows,
+        FusionPlan::Hyperplane { wavefront, .. } => ParallelMode::Hyperplanes(wavefront.schedule),
+    }
+}
+
+/// Cross-checks the static race certifier against the dynamic DOALL
+/// checker on the same fused spec. Any disagreement — a certified spec
+/// that races dynamically, or a static witness the dynamic oracle cannot
+/// reproduce at the witness's own bounds — is a reported failure.
+fn check_static_dynamic_agreement(p: &Program, plan: &FusionPlan) -> Result<(), CaseError> {
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let mode = plan_mode(plan);
+    let dynamic = |spec: &FusedSpec, n: i64, m: i64| match mode {
+        ParallelMode::Rows => check_rows_doall(spec, n, m),
+        ParallelMode::Hyperplanes(_) => {
+            let FusionPlan::Hyperplane { wavefront, .. } = plan else {
+                unreachable!("mode and plan agree by construction");
+            };
+            check_hyperplanes_doall(spec, *wavefront, n, m)
+        }
+    };
+    match certify_doall(&spec, mode) {
+        mdf_analyze::RaceVerdict::Certified { .. } => {
+            if let Err(v) = dynamic(&spec, SIM_N, SIM_M) {
+                return Err(fail(format!(
+                    "static/dynamic disagreement: statically certified DOALL, \
+                     but the dynamic oracle observed {v:?}"
+                )));
+            }
+        }
+        mdf_analyze::RaceVerdict::Race(w) => {
+            // The planner's plan must never race; and if the certifier
+            // claims one, the dynamic oracle must reproduce it at the
+            // witness's own bounds.
+            match dynamic(&spec, w.bounds.0, w.bounds.1) {
+                Ok(()) => {
+                    return Err(fail(format!(
+                        "static/dynamic disagreement: static race witness on '{}' \
+                         (conflict {}) not reproduced at bounds {:?}",
+                        w.array_name, w.conflict, w.bounds
+                    )))
+                }
+                Err(v) => {
+                    return Err(fail(format!(
+                        "planner produced a racing plan: {v:?} (static conflict {})",
+                        w.conflict
+                    )))
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates the planner's rejection of a graph with a planted negative

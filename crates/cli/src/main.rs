@@ -31,6 +31,7 @@ use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
 use mdf_sim::{check_partial_budgeted, check_plan_budgeted};
 
+mod analysis;
 mod fuzz;
 
 /// A CLI failure, classified for the exit code.
@@ -42,6 +43,9 @@ enum CliError {
     Mdf(MdfError),
     /// A bug on our side: failed verification or a caught panic (exit 1).
     Internal(String),
+    /// Diagnostics with error severity: the rendered report goes to
+    /// stdout, the process exits 3.
+    Lint(String),
 }
 
 impl CliError {
@@ -62,6 +66,7 @@ impl CliError {
                 MdfError::Exec { .. } => 1,
             },
             CliError::Internal(_) => 1,
+            CliError::Lint(_) => 3,
         }
     }
 }
@@ -72,6 +77,7 @@ impl std::fmt::Display for CliError {
             CliError::Usage(m) => write!(f, "{m}"),
             CliError::Mdf(e) => write!(f, "{e}"),
             CliError::Internal(m) => write!(f, "{m}"),
+            CliError::Lint(m) => write!(f, "{m}"),
         }
     }
 }
@@ -93,22 +99,25 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Parsed input: always a graph, sometimes a runnable program too.
+/// Parsed input: always a graph, sometimes a runnable program too (with
+/// its source span table, for diagnostics).
 struct Input {
     name: String,
     graph: Mldg,
     program: Option<Program>,
+    spans: Option<mdf_ir::SpanTable>,
 }
 
 fn load(source: &str) -> Result<Input, CliError> {
     let trimmed = source.trim_start();
     if trimmed.starts_with("program") {
-        let program = mdf_ir::parse_program(source)?;
-        let x = extract_mldg(&program)?;
+        let parsed = mdf_ir::parse_program_spanned(source)?;
+        let x = extract_mldg(&parsed.program)?;
         Ok(Input {
-            name: program.name.clone(),
+            name: parsed.program.name.clone(),
             graph: x.graph,
-            program: Some(program),
+            program: Some(parsed.program),
+            spans: Some(parsed.spans),
         })
     } else {
         let (graph, name) = mdf_graph::textfmt::parse(source)?;
@@ -116,6 +125,7 @@ fn load(source: &str) -> Result<Input, CliError> {
             name,
             graph,
             program: None,
+            spans: None,
         })
     }
 }
@@ -126,8 +136,45 @@ fn load_file(path: &str) -> Result<Input, CliError> {
     load(&source)
 }
 
-fn cmd_analyze(input: &Input) -> Result<String, CliError> {
-    Ok(analyze(&input.graph, &input.name).render(Some(&input.graph)))
+fn cmd_analyze(input: &Input, budget: &Budget, json: bool) -> Result<String, CliError> {
+    let diags = analysis::certificates(
+        &input.graph,
+        input.program.as_ref(),
+        input.spans.as_ref(),
+        budget,
+    )?;
+    let out = if json {
+        mdf_analyze::render_json(&diags, &input.name)
+    } else {
+        let mut out = analyze(&input.graph, &input.name).render(Some(&input.graph));
+        out.push_str("certificates:\n");
+        out.push_str(&mdf_analyze::render_human(&diags, &input.name));
+        out
+    };
+    if mdf_analyze::has_errors(&diags) {
+        return Err(CliError::Lint(out));
+    }
+    Ok(out)
+}
+
+fn cmd_lint(path: &str, json: bool) -> Result<String, CliError> {
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    if !source.trim_start().starts_with("program") {
+        return Err(CliError::Usage(
+            "lint requires a loop program (DSL input)".into(),
+        ));
+    }
+    let diags = mdf_analyze::lint_source(&source);
+    let out = if json {
+        mdf_analyze::render_json(&diags, path)
+    } else {
+        mdf_analyze::render_human(&diags, path)
+    };
+    if mdf_analyze::has_errors(&diags) {
+        return Err(CliError::Lint(out));
+    }
+    Ok(out)
 }
 
 fn cmd_fuse(input: &Input, budget: &Budget) -> Result<String, CliError> {
@@ -225,6 +272,9 @@ fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
         out.push_str(&report.render(Some(&entry.graph)));
         if let Some(p) = &entry.program {
             let plan = mdf_core::plan_fusion(&entry.graph)?;
+            // Realized programs order loops textually; re-index the plan.
+            let plan = mdf_sim::align_plan_to_program(&entry.graph, p, &plan)
+                .ok_or_else(|| CliError::Internal("suite program/graph mismatch".into()))?;
             let mut meter = budget.meter();
             let sim = check_plan_budgeted(p, &plan, 32, 32, &mut meter)?
                 .map_err(|e| CliError::Internal(format!("simulation failed: {e}")))?;
@@ -240,10 +290,12 @@ fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
 
 const USAGE: &str =
     "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]
+       mdfuse lint <file> [--json]
        mdfuse suite
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
 
 options:
+  --json             emit diagnostics as JSON (analyze, lint)
   --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5)
   -h, --help         print this help
 
@@ -251,7 +303,7 @@ exit codes:
   0  success
   1  internal error (verification failure, worker panic)
   2  usage error (bad arguments, unreadable file)
-  3  malformed input (parse or validation error)
+  3  malformed input, or diagnostics with error severity (analyze, lint)
   4  infeasible input (lexicographically negative cycle)
   5  resource budget exceeded (graph size, rounds, iterations, deadline)";
 
@@ -260,6 +312,7 @@ struct Opts {
     deadline_ms: Option<u64>,
     positional: Vec<String>,
     help: bool,
+    json: bool,
     fuzz: fuzz::FuzzOpts,
 }
 
@@ -268,6 +321,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         deadline_ms: None,
         positional: Vec::new(),
         help: false,
+        json: false,
         fuzz: fuzz::FuzzOpts::default(),
     };
     let mut it = args.iter();
@@ -281,6 +335,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         };
         match a.as_str() {
             "-h" | "--help" | "help" => opts.help = true,
+            "--json" => opts.json = true,
             "--deadline-ms" => opts.deadline_ms = Some(flag_value("--deadline-ms")?),
             "--cases" => opts.fuzz.cases = flag_value("--cases")?,
             "--seed" => opts.fuzz.seed = flag_value("--seed")?,
@@ -309,9 +364,12 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         [cmd] if cmd == "suite" => cmd_suite(&budget),
         [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
         [cmd, path, rest @ ..] => {
+            if cmd == "lint" {
+                return cmd_lint(path, opts.json);
+            }
             let input = load_file(path)?;
             match cmd.as_str() {
-                "analyze" => cmd_analyze(&input),
+                "analyze" => cmd_analyze(&input, &budget, opts.json),
                 "fuse" => cmd_fuse(&input, &budget),
                 "codegen" => cmd_codegen(&input, &budget),
                 "partial" => cmd_partial(&input),
@@ -353,6 +411,12 @@ fn main() -> ExitCode {
         Ok(out) => {
             print!("{out}");
             ExitCode::SUCCESS
+        }
+        Err(CliError::Lint(report)) => {
+            // Diagnostics are the command's product, not an error wrapper:
+            // print them plainly on stdout and signal via the exit code.
+            print!("{report}");
+            ExitCode::from(3)
         }
         Err(e) => {
             eprintln!("mdfuse: {e}");
@@ -398,11 +462,80 @@ mod tests {
     #[test]
     fn analyze_and_fuse_render() {
         let input = load(FIG2_DSL).unwrap();
-        let a = cmd_analyze(&input).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), false).unwrap();
         assert!(a.contains("full parallel (Alg 4, cyclic)"));
+        // The certificates section statically certifies the plan.
+        assert!(a.contains("info[MDF005]"), "{a}");
+        assert!(a.contains("info[MDF001]"), "{a}");
+        assert!(a.contains("note[MDF009]"), "{a}");
         let f = cmd_fuse(&input, &Budget::unlimited()).unwrap();
         assert!(f.contains("DOALL J"));
         assert!(f.contains("r(C)=(-1,0)"));
+    }
+
+    #[test]
+    fn analyze_mldg_only_skips_race_certification() {
+        let input = load(FIG2_MLDG).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), false).unwrap();
+        assert!(a.contains("info[MDF005]"), "{a}");
+        assert!(a.contains("warning[MDF007]"), "{a}");
+        assert!(a.contains("no array subscripts"), "{a}");
+    }
+
+    #[test]
+    fn analyze_json_emits_machine_readable_diagnostics() {
+        let input = load(FIG2_DSL).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), true).unwrap();
+        assert!(a.trim_start().starts_with('{'), "{a}");
+        assert!(a.contains("\"code\": \"MDF001\""), "{a}");
+        assert!(a.contains("\"errors\": 0"), "{a}");
+    }
+
+    #[test]
+    fn lint_flags_unused_array_with_exit_0_for_warnings() {
+        let dir = std::env::temp_dir().join("mdfuse-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("unused.mdf");
+        std::fs::write(
+            &path,
+            "program p {\n  arrays a, b, zzz;\n  do i {\n    doall A: j { a[i][j] = 1; }\n\
+             \x20   doall B: j { b[i][j] = a[i][j]; }\n  }\n}\n",
+        )
+        .unwrap();
+        // Warnings render but are not an error exit.
+        let out = cmd_lint(path.to_str().unwrap(), false).unwrap();
+        assert!(out.contains("warning[MDF101]"), "{out}");
+        assert!(out.contains("zzz"), "{out}");
+    }
+
+    #[test]
+    fn lint_error_exits_3_via_lint_variant() {
+        let dir = std::env::temp_dir().join("mdfuse-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("conflict.mdf");
+        // A loop that reads its own write one j over is not DOALL: MDF107.
+        std::fs::write(
+            &path,
+            "program p {\n  arrays a, b;\n  do i {\n    doall A: j {\n\
+             \x20     a[i][j] = 1;\n      b[i][j] = a[i][j+1];\n    }\n  }\n}\n",
+        )
+        .unwrap();
+        let err = cmd_lint(path.to_str().unwrap(), false).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        let CliError::Lint(report) = err else {
+            panic!("expected Lint");
+        };
+        assert!(report.contains("error[MDF107]"), "{report}");
+    }
+
+    #[test]
+    fn lint_rejects_mldg_input() {
+        let dir = std::env::temp_dir().join("mdfuse-lint-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("graph.mldg");
+        std::fs::write(&path, FIG2_MLDG).unwrap();
+        let err = cmd_lint(path.to_str().unwrap(), false).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]

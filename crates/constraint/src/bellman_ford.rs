@@ -109,6 +109,9 @@ pub fn solve_difference_constraints_with_stats<W: Weight>(
             witness = Some(e.dst);
         }
     }
+    // An n-th relaxation pass only runs because an edge improved, so a
+    // witness was recorded.
+    #[allow(clippy::expect_used)]
     let start = witness.expect("relaxation in pass n but no improvable edge found");
     let cycle = extract_cycle(g, &pred, start);
     (Solution::Infeasible { cycle }, stats)
@@ -155,6 +158,9 @@ pub fn solve_difference_constraints_budgeted<W: Weight>(
             witness = Some(e.dst);
         }
     }
+    // An n-th relaxation pass only runs because an edge improved, so a
+    // witness was recorded.
+    #[allow(clippy::expect_used)]
     let start = witness.expect("relaxation in pass n but no improvable edge found");
     Ok(Solution::Infeasible {
         cycle: extract_cycle(g, &pred, start),
@@ -198,6 +204,9 @@ pub fn shortest_paths_from<W: Weight>(
             witness = Some(e.dst);
         }
     }
+    // An n-th relaxation pass only runs because an edge improved, so a
+    // witness was recorded.
+    #[allow(clippy::expect_used)]
     let start = witness.expect("relaxation in pass n but no improvable edge found");
     Err(extract_cycle(g, &pred, start))
 }
@@ -215,6 +224,7 @@ fn extract_cycle<W: Weight>(
     // downstream of it.
     let mut v = start;
     for _ in 0..n {
+        #[allow(clippy::expect_used)]
         let e = pred[v].expect("vertex behind a negative cycle must have a predecessor");
         v = g.edge(e).src;
     }
@@ -222,6 +232,7 @@ fn extract_cycle<W: Weight>(
     let anchor = v;
     let mut edges_rev = Vec::new();
     loop {
+        #[allow(clippy::expect_used)]
         let e = pred[v].expect("cycle vertex must have a predecessor");
         edges_rev.push(e);
         v = g.edge(e).src;

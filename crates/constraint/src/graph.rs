@@ -135,7 +135,7 @@ impl<W: Weight> NegativeCycle<W> {
             }
         }
         let first = g.edge(self.edges[0]).src;
-        let last = g.edge(*self.edges.last().unwrap()).dst;
+        let last = g.edge(self.edges[self.edges.len() - 1]).dst;
         first == last && g.weight_sum(&self.edges) == self.total && self.total < W::ZERO
     }
 }

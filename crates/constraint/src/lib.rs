@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-constraint` — difference-constraint solving substrate
 //!
 //! Implements Section 2.4 of the paper ("Two Dimensional Linear Inequality

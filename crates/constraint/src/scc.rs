@@ -60,6 +60,8 @@ fn tarjan_sccs<W: Weight>(g: &ConstraintGraph<W>) -> Vec<Vec<usize>> {
                 if lowlink[v] == index[v] {
                     let mut comp = Vec::new();
                     loop {
+                        // Tarjan invariant: the SCC root is still on the stack.
+                        #[allow(clippy::expect_used)]
                         let w = stack.pop().expect("tarjan underflow");
                         on_stack[w] = false;
                         comp.push(w);

@@ -47,9 +47,9 @@ pub fn fuse_acyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, Md
     if !is_acyclic(g) {
         return Err(MdfError::NotAcyclic);
     }
-    let offsets = build_acyclic_system(g)
-        .solve(engine)
-        .expect("acyclic constraint systems are always feasible (Theorem 4.1)");
+    let offsets = build_acyclic_system(g).solve(engine).map_err(|_| {
+        MdfError::invalid("acyclic constraint system infeasible, contradicting Theorem 4.1")
+    })?;
     Ok(zero_y(offsets))
 }
 
@@ -63,7 +63,9 @@ pub fn fuse_acyclic_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retimi
     }
     let offsets = build_acyclic_system(g)
         .solve_budgeted(meter)?
-        .expect("acyclic constraint systems are always feasible (Theorem 4.1)");
+        .map_err(|_| {
+            MdfError::invalid("acyclic constraint system infeasible, contradicting Theorem 4.1")
+        })?;
     Ok(zero_y(offsets))
 }
 

@@ -39,9 +39,9 @@ impl Explanation {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for (i, s) in self.steps.iter().enumerate() {
-            writeln!(out, "[{}] {}", i + 1, s.title).unwrap();
+            let _ = writeln!(out, "[{}] {}", i + 1, s.title);
             for line in s.body.lines() {
-                writeln!(out, "    {line}").unwrap();
+                let _ = writeln!(out, "    {line}");
             }
         }
         out
@@ -59,15 +59,14 @@ fn describe_graph(g: &Mldg) -> String {
     let mut s = String::new();
     for e in g.edge_ids() {
         let ed = g.edge(e);
-        writeln!(
+        let _ = writeln!(
             s,
             "{} -> {} : {:?}{}",
             g.label(ed.src),
             g.label(ed.dst),
             g.deps(e),
             if g.is_hard(e) { "  [hard]" } else { "" }
-        )
-        .unwrap();
+        );
     }
     s
 }
@@ -77,14 +76,13 @@ fn describe_retimed(g: &Mldg, r: &Retiming) -> String {
     let mut s = String::new();
     for e in gr.edge_ids() {
         let ed = gr.edge(e);
-        writeln!(
+        let _ = writeln!(
             s,
             "{} -> {} : {:?}",
             gr.label(ed.src),
             gr.label(ed.dst),
             gr.deps(e)
-        )
-        .unwrap();
+        );
     }
     s
 }
@@ -155,14 +153,13 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
             let xs = build_x_system(g);
             let mut body = String::new();
             for e in xs.graph().edges() {
-                writeln!(
+                let _ = writeln!(
                     body,
                     "rx({}) - rx({}) <= {}",
                     g.label(mdf_graph::NodeId(e.dst as u32)),
                     g.label(mdf_graph::NodeId(e.src as u32)),
                     e.weight
-                )
-                .unwrap();
+                );
             }
             ex.push(
                 "phase one: the constraint graph in x (Figure 11(a) style)",
@@ -175,14 +172,13 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
                 body.push_str("(no loop-independent non-hard edges: y phase is trivial)\n");
             }
             for e in ys.graph().edges() {
-                writeln!(
+                let _ = writeln!(
                     body,
                     "ry({}) - ry({}) <= {}",
                     g.label(mdf_graph::NodeId(e.dst as u32)),
                     g.label(mdf_graph::NodeId(e.src as u32)),
                     e.weight
-                )
-                .unwrap();
+                );
             }
             ex.push(
                 "phase two: the constraint graph in y (Figure 11(b) style)",
@@ -203,14 +199,13 @@ pub fn explain_fusion(g: &Mldg) -> Explanation {
             let sys = build_llofra_system(g);
             let mut body = String::new();
             for e in sys.graph().edges() {
-                writeln!(
+                let _ = writeln!(
                     body,
                     "r({}) - r({}) <= {}",
                     g.label(mdf_graph::NodeId(e.dst as u32)),
                     g.label(mdf_graph::NodeId(e.src as u32)),
                     e.weight
-                )
-                .unwrap();
+                );
             }
             ex.push("LLOFRA's 2-ILP system (Figure 5 style)", body);
             ex.push("retiming", format!("{}", retiming.display(g)));

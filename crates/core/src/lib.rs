@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-core` — the paper's fusion algorithms
 //!
 //! Polynomial-time nested loop fusion with full parallelism, after

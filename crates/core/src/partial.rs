@@ -182,10 +182,8 @@ pub fn fuse_partial(g: &Mldg) -> Option<PartialFusionPlan> {
             None => return None,
         }
     }
-    Some(PartialFusionPlan {
-        clusters,
-        retiming: retiming.expect("at least one node was assigned"),
-    })
+    let retiming = retiming?;
+    Some(PartialFusionPlan { clusters, retiming })
 }
 
 /// Greedy partial fusion under a resource budget: the per-assignment
@@ -231,10 +229,10 @@ pub fn fuse_partial_budgeted(
             None => return Ok(None),
         }
     }
-    Ok(Some(PartialFusionPlan {
-        clusters,
-        retiming: retiming.expect("at least one node was assigned"),
-    }))
+    let Some(retiming) = retiming else {
+        return Ok(None);
+    };
+    Ok(Some(PartialFusionPlan { clusters, retiming }))
 }
 
 /// Completes a partial assignment: nodes not yet placed get singleton

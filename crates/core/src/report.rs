@@ -88,8 +88,8 @@ impl AnalysisReport {
     /// weights when a graph is supplied.
     pub fn render(&self, g: Option<&Mldg>) -> String {
         let mut s = String::new();
-        writeln!(s, "=== {} ===", self.name).unwrap();
-        writeln!(
+        let _ = writeln!(s, "=== {} ===", self.name);
+        let _ = writeln!(
             s,
             "nodes: {}  edges: {}  dep-vectors: {}  hard-edges: {}  {}",
             self.nodes,
@@ -97,9 +97,8 @@ impl AnalysisReport {
             self.dep_vectors,
             self.hard_edges,
             if self.acyclic { "acyclic" } else { "cyclic" }
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             s,
             "direct fusion: {}  fusion-preventing edges: {}  min cycle weight: {}",
             if self.direct_fusion_legal {
@@ -110,49 +109,47 @@ impl AnalysisReport {
             self.fusion_preventing,
             self.min_cycle_weight
                 .map_or("n/a (acyclic)".to_string(), |w| w.to_string()),
-        )
-        .unwrap();
-        writeln!(
+        );
+        let _ = writeln!(
             s,
             "plan: {}  independently verified: {}",
             self.plan_kind(),
             if self.verified { "yes" } else { "NO" }
-        )
-        .unwrap();
+        );
         if let (Some(plan), Some(g)) = (&self.plan, g) {
-            writeln!(s, "retiming: {}", plan.retiming().display(g)).unwrap();
+            let _ = writeln!(s, "retiming: {}", plan.retiming().display(g));
             if let Some(w) = plan.wavefront() {
-                writeln!(
+                let _ = writeln!(
                     s,
                     "schedule: s={}  hyperplane: h={}",
                     w.schedule, w.hyperplane
-                )
-                .unwrap();
+                );
                 match self.partial_clusters {
-                    Some(k) => writeln!(
-                        s,
-                        "row-parallel alternative: partial fusion into {k} DOALL cluster(s)"
-                    )
-                    .unwrap(),
-                    None => writeln!(
-                        s,
-                        "row-parallel alternative: none exists (wavefront is necessary)"
-                    )
-                    .unwrap(),
+                    Some(k) => {
+                        let _ = writeln!(
+                            s,
+                            "row-parallel alternative: partial fusion into {k} DOALL cluster(s)"
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            s,
+                            "row-parallel alternative: none exists (wavefront is necessary)"
+                        );
+                    }
                 }
             }
             let gr = apply_retiming(g, plan.retiming());
-            write!(s, "retimed weights:").unwrap();
+            let _ = write!(s, "retimed weights:");
             for e in gr.edge_ids() {
                 let ed = gr.edge(e);
-                write!(
+                let _ = write!(
                     s,
                     " {}->{}:{}",
                     gr.label(ed.src),
                     gr.label(ed.dst),
                     gr.delta(e)
-                )
-                .unwrap();
+                );
             }
             s.push('\n');
         }

@@ -94,6 +94,8 @@ pub fn strongly_connected_components(g: &Mldg) -> Vec<Vec<NodeId>> {
                 if lowlink[v.index()] == index[v.index()] {
                     let mut comp = Vec::new();
                     loop {
+                        // Tarjan invariant: the SCC root is still on the stack.
+                        #[allow(clippy::expect_used)]
                         let w = stack.pop().expect("Tarjan stack underflow");
                         on_stack[w.index()] = false;
                         comp.push(w);

@@ -9,11 +9,11 @@ use crate::mldg::Mldg;
 /// Renders the graph in Graphviz DOT syntax.
 pub fn to_dot(g: &Mldg, name: &str) -> String {
     let mut out = String::new();
-    writeln!(out, "digraph \"{}\" {{", escape(name)).unwrap();
-    writeln!(out, "  rankdir=LR;").unwrap();
-    writeln!(out, "  node [shape=circle, fontsize=12];").unwrap();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=circle, fontsize=12];");
     for n in g.node_ids() {
-        writeln!(out, "  n{} [label=\"{}\"];", n.0, escape(g.label(n))).unwrap();
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.0, escape(g.label(n)));
     }
     for e in g.edge_ids() {
         let d = g.edge(e);
@@ -30,17 +30,16 @@ pub fn to_dot(g: &Mldg, name: &str) -> String {
         } else {
             ""
         };
-        writeln!(
+        let _ = writeln!(
             out,
             "  n{} -> n{} [label=\"{}\"{}];",
             d.src.0,
             d.dst.0,
             escape(&label),
             style
-        )
-        .unwrap();
+        );
     }
-    writeln!(out, "}}").unwrap();
+    let _ = writeln!(out, "}}");
     out
 }
 

@@ -301,6 +301,81 @@ mod tests {
     }
 
     #[test]
+    fn hard_edge_classification() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        // Two vectors with the same outer distance but different inner
+        // distances make the edge hard (Definition 4.1); retiming moves
+        // both by the same amount, so their y-gap is un-closable.
+        let hard = g.add_deps(a, b, [v2(1, 0), v2(1, 3)]);
+        assert!(g.is_hard(hard));
+        // Distinct outer distances: not hard, even with differing y.
+        let soft = g.add_deps(b, a, [v2(1, 2), v2(2, -1)]);
+        assert!(!g.is_hard(soft));
+        // A single vector can never be hard.
+        let single = g.add_dep(a, a, (1, 5));
+        assert!(!g.is_hard(single));
+        // Duplicate-free sets with equal (x, y) pairs collapse, so equal
+        // vectors do not spuriously classify as hard.
+        let dup = g.add_deps(b, b, [v2(2, 2), v2(2, 2)]);
+        assert!(!g.is_hard(dup));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_legal() {
+        let g = Mldg::new();
+        assert_eq!(check_executable(&g), Ok(()));
+        assert!(direct_fusion_legal(&g));
+        assert!(fused_inner_loop_is_doall(&g));
+        assert_eq!(textual_order(&g), Some(vec![]));
+        let r = cycle_weight_report(&g, 10);
+        assert_eq!(r.cycles_inspected, 0);
+        assert_eq!(r.min_weight, None);
+    }
+
+    #[test]
+    fn self_loop_edges_in_legality_predicates() {
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        g.add_dep(a, a, (1, 0));
+        // An outer-carried self-loop is executable, fusable, and DOALL.
+        assert_eq!(check_executable(&g), Ok(()));
+        assert!(direct_fusion_legal(&g));
+        assert!(fused_inner_loop_is_doall(&g));
+
+        // A lex-negative self-loop is fusion-preventing and shows up in
+        // the cycle report as an infeasible cycle weight.
+        let mut h = Mldg::new();
+        let b = h.add_node("B");
+        let e = h.add_dep(b, b, (0, -1));
+        assert_eq!(fusion_preventing_edges(&h), vec![e]);
+        let r = cycle_weight_report(&h, 10);
+        assert_eq!(r.min_weight, Some(v2(0, -1)));
+        assert!(!r.all_lex_nonnegative);
+    }
+
+    #[test]
+    fn doall_predicate_boundary_vectors() {
+        // Property 4.2 boundary: (0,0) is safe (same fused iteration,
+        // serialized by body order), (1,-1) and (1,0) are safe (outer-
+        // carried), while (0,±1) serialize the inner loop.
+        for (d, safe) in [
+            (v2(0, 0), true),
+            (v2(1, -1), true),
+            (v2(1, 0), true),
+            (v2(0, 1), false),
+            (v2(0, -1), false),
+        ] {
+            let mut g = Mldg::new();
+            let a = g.add_node("A");
+            let b = g.add_node("B");
+            g.add_dep(a, b, (d.x, d.y));
+            assert_eq!(fused_inner_loop_is_doall(&g), safe, "vector {d}");
+        }
+    }
+
+    #[test]
     fn acyclic_cycle_report() {
         let mut g = Mldg::new();
         let a = g.add_node("A");

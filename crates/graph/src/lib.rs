@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-graph` — the MLDG substrate
 //!
 //! Data model for *multi-dimensional loop dependence graphs* (MLDGs) from

@@ -86,6 +86,8 @@ impl DepSet {
     }
 
     /// The lexicographically maximal vector of the set.
+    // A `DepSet` is non-empty by construction, so `last()` always succeeds.
+    #[allow(clippy::expect_used)]
     #[inline]
     pub fn max_vector(&self) -> IVec2 {
         *self.vecs.last().expect("DepSet must be non-empty")
@@ -246,6 +248,8 @@ impl Mldg {
     }
 
     /// Records several dependence vectors at once.
+    // Documented precondition: at least one vector must be supplied.
+    #[allow(clippy::expect_used)]
     pub fn add_deps<I>(&mut self, src: NodeId, dst: NodeId, ds: I) -> EdgeId
     where
         I: IntoIterator,

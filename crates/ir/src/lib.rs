@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-ir` — the loop-nest IR substrate
 //!
 //! The paper's program model (Figure 1) as a small compiler stack:
@@ -35,6 +36,9 @@ pub use deps::{analyze_dependences, AnalysisError, DepKind, Dependence};
 pub use emit::emit_rust_fn;
 pub use extract::{extract_mldg, ExtractedMldg};
 pub use mdf_graph::MdfError;
-pub use parser::parse_program;
+pub use parser::{
+    parse_program, parse_program_lenient, parse_program_spanned, LoopSpans, ParsedProgram,
+    SpanTable, SrcLoc, StmtSpans, SubscriptIssue,
+};
 pub use retgen::{FusedSpec, IRange};
 pub use transform::{distribute, is_fully_distributed};

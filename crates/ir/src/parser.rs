@@ -21,10 +21,87 @@ use crate::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
 use crate::lexer::{lex, Spanned, Tok};
 use mdf_graph::MdfError;
 
+/// A 1-based source location (line, column) of a token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SrcLoc {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl std::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Source locations of one statement: the written access plus every read,
+/// in evaluation (= parse) order, matching [`Expr::refs`](crate::ast::Expr::refs).
+#[derive(Clone, Debug)]
+pub struct StmtSpans {
+    /// Location of the written (left-hand side) array reference.
+    pub lhs: SrcLoc,
+    /// Locations of the read references, in `rhs.refs()` order.
+    pub reads: Vec<SrcLoc>,
+}
+
+/// Source locations of one inner loop: its label and its statements.
+#[derive(Clone, Debug)]
+pub struct LoopSpans {
+    /// Location of the loop label identifier.
+    pub label: SrcLoc,
+    /// One entry per statement, in order.
+    pub stmts: Vec<StmtSpans>,
+}
+
+/// A side table mapping AST positions back to source locations.
+///
+/// The AST itself is span-free (it is structurally compared in round-trip
+/// tests), so the parser records locations out of band, indexed exactly
+/// like [`Program::arrays`] and [`Program::loops`].
+#[derive(Clone, Debug, Default)]
+pub struct SpanTable {
+    /// Declaration site of each array, indexed by `ArrayId`.
+    pub arrays: Vec<SrcLoc>,
+    /// Per-loop label and statement locations.
+    pub loops: Vec<LoopSpans>,
+}
+
+/// A subscript that does not fit the uniform `index ± const` model,
+/// recorded (rather than rejected) by the lenient parse mode.
+#[derive(Clone, Debug)]
+pub struct SubscriptIssue {
+    /// Location of the offending subscript token.
+    pub loc: SrcLoc,
+    /// The index variable the grammar position requires.
+    pub expected: String,
+    /// What was found instead (a different identifier, or a constant).
+    pub found: String,
+}
+
+/// A parsed program together with its span table and any subscript issues
+/// tolerated by the lenient mode (always empty for strict parses).
+#[derive(Clone, Debug)]
+pub struct ParsedProgram {
+    /// The program AST.
+    pub program: Program,
+    /// Source locations for arrays, loop labels, and array references.
+    pub spans: SpanTable,
+    /// Non-uniform subscripts observed in lenient mode.
+    pub subscript_issues: Vec<SubscriptIssue>,
+}
+
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
     outer_index: String,
+    lenient: bool,
+    spans: SpanTable,
+    issues: Vec<SubscriptIssue>,
+    /// Locations of array references, pushed by `parse_access` in parse
+    /// order; `parse_stmt` drains its window into a `StmtSpans`.
+    ref_locs: Vec<SrcLoc>,
 }
 
 impl Parser {
@@ -89,11 +166,13 @@ impl Parser {
         self.expect(&Tok::LBrace)?;
         self.expect_keyword("arrays")?;
         loop {
+            let loc = self.loc_here();
             let a = self.expect_ident("array name")?;
             if program.array_by_name(&a).is_some() {
                 return Err(self.err(format!("array '{a}' declared twice")));
             }
             program.add_array(a);
+            self.spans.arrays.push(loc);
             match self.peek() {
                 Some(Tok::Comma) => {
                     self.pos += 1;
@@ -122,8 +201,14 @@ impl Parser {
         Ok(program)
     }
 
+    fn loc_here(&self) -> SrcLoc {
+        let (line, col) = self.here();
+        SrcLoc { line, col }
+    }
+
     fn parse_inner_loop(&mut self, program: &mut Program) -> Result<(), MdfError> {
         self.expect_keyword("doall")?;
+        let label_loc = self.loc_here();
         let label = self.expect_ident("loop label")?;
         if program.loop_by_label(&label).is_some() {
             return Err(self.err(format!("loop label '{label}' used twice")));
@@ -132,30 +217,53 @@ impl Parser {
         let inner_index = self.expect_ident("inner index name")?;
         self.expect(&Tok::LBrace)?;
         let mut stmts = Vec::new();
+        let mut stmt_spans = Vec::new();
         while !matches!(self.peek(), Some(Tok::RBrace)) {
-            stmts.push(self.parse_stmt(program, &inner_index)?);
+            let (stmt, spans) = self.parse_stmt(program, &inner_index)?;
+            stmts.push(stmt);
+            stmt_spans.push(spans);
         }
         self.expect(&Tok::RBrace)?;
         if stmts.is_empty() {
             return Err(self.err(format!("loop '{label}' has no statements")));
         }
         program.add_loop(label, stmts);
+        self.spans.loops.push(LoopSpans {
+            label: label_loc,
+            stmts: stmt_spans,
+        });
         Ok(())
     }
 
-    fn parse_stmt(&mut self, program: &Program, inner: &str) -> Result<Stmt, MdfError> {
+    fn parse_stmt(
+        &mut self,
+        program: &Program,
+        inner: &str,
+    ) -> Result<(Stmt, StmtSpans), MdfError> {
+        let mark = self.ref_locs.len();
         let lhs = self.parse_access(program, inner)?;
         self.expect(&Tok::Eq)?;
         let rhs = self.parse_expr(program, inner)?;
         self.expect(&Tok::Semi)?;
-        Ok(Stmt { lhs, rhs })
+        let lhs_loc = self.ref_locs[mark];
+        let reads = self.ref_locs[mark + 1..].to_vec();
+        self.ref_locs.truncate(mark);
+        Ok((
+            Stmt { lhs, rhs },
+            StmtSpans {
+                lhs: lhs_loc,
+                reads,
+            },
+        ))
     }
 
     fn parse_access(&mut self, program: &Program, inner: &str) -> Result<ArrayRef, MdfError> {
+        let loc = self.loc_here();
         let name = self.expect_ident("array name")?;
         let array = program
             .array_by_name(&name)
             .ok_or_else(|| self.err(format!("undeclared array '{name}'")))?;
+        self.ref_locs.push(loc);
         let outer = self.outer_index.clone();
         let di = self.parse_subscript(&outer)?;
         let dj = self.parse_subscript(inner)?;
@@ -164,11 +272,36 @@ impl Parser {
 
     fn parse_subscript(&mut self, index_name: &str) -> Result<i64, MdfError> {
         self.expect(&Tok::LBracket)?;
+        let loc = self.loc_here();
+        if self.lenient {
+            // Constant subscript, e.g. `x[0][j]`: outside the uniform model.
+            // Record the issue and read the constant as the offset so the
+            // rest of the program still parses.
+            if let Some(Tok::Int(v)) = self.peek() {
+                let v = *v;
+                self.pos += 1;
+                self.issues.push(SubscriptIssue {
+                    loc,
+                    expected: index_name.to_string(),
+                    found: v.to_string(),
+                });
+                self.expect(&Tok::RBracket)?;
+                return Ok(v);
+            }
+        }
         let got = self.expect_ident("index variable")?;
         if got != index_name {
-            return Err(self.err(format!(
-                "subscript must use index '{index_name}', found '{got}'"
-            )));
+            if self.lenient {
+                self.issues.push(SubscriptIssue {
+                    loc,
+                    expected: index_name.to_string(),
+                    found: got,
+                });
+            } else {
+                return Err(self.err(format!(
+                    "subscript must use index '{index_name}', found '{got}'"
+                )));
+            }
         }
         let offset = match self.peek() {
             Some(Tok::Plus) => {
@@ -257,17 +390,46 @@ impl Parser {
 /// assert_eq!(program.arrays, vec!["img".to_string(), "out".to_string()]);
 /// ```
 pub fn parse_program(src: &str) -> Result<Program, MdfError> {
+    Ok(parse_program_spanned(src)?.program)
+}
+
+/// As [`parse_program`], but also returns the [`SpanTable`] mapping arrays,
+/// loop labels, and array references back to source locations.
+pub fn parse_program_spanned(src: &str) -> Result<ParsedProgram, MdfError> {
+    let parsed = parse_with_mode(src, false)?;
+    parsed
+        .program
+        .validate()
+        .map_err(|e| MdfError::invalid(format!("invalid program: {e}")))?;
+    Ok(parsed)
+}
+
+/// Lenient parse for diagnostics: non-uniform subscripts (a wrong index
+/// variable, or a bare constant) are recorded as [`SubscriptIssue`]s
+/// instead of rejected, and [`Program::validate`] is *not* run — lint
+/// passes map validation failures to diagnostics themselves. Structural
+/// errors (bad syntax, undeclared arrays, duplicate labels) still fail.
+pub fn parse_program_lenient(src: &str) -> Result<ParsedProgram, MdfError> {
+    parse_with_mode(src, true)
+}
+
+fn parse_with_mode(src: &str, lenient: bool) -> Result<ParsedProgram, MdfError> {
     let toks = lex(src)?;
     let mut parser = Parser {
         toks,
         pos: 0,
         outer_index: String::new(),
+        lenient,
+        spans: SpanTable::default(),
+        issues: Vec::new(),
+        ref_locs: Vec::new(),
     };
     let program = parser.parse_program()?;
-    program
-        .validate()
-        .map_err(|e| MdfError::invalid(format!("invalid program: {e}")))?;
-    Ok(program)
+    Ok(ParsedProgram {
+        program,
+        spans: parser.spans,
+        subscript_issues: parser.issues,
+    })
 }
 
 #[cfg(test)]

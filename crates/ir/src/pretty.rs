@@ -102,23 +102,22 @@ pub fn stmt_to_string(
 /// [`crate::parser::parse_program`]).
 pub fn program_to_dsl(p: &Program) -> String {
     let mut out = String::new();
-    writeln!(out, "program {} {{", p.name).unwrap();
-    writeln!(out, "    arrays {};", p.arrays.join(", ")).unwrap();
-    writeln!(out, "    do i {{").unwrap();
+    let _ = writeln!(out, "program {} {{", p.name);
+    let _ = writeln!(out, "    arrays {};", p.arrays.join(", "));
+    let _ = writeln!(out, "    do i {{");
     for l in &p.loops {
-        writeln!(out, "        doall {}: j {{", l.label).unwrap();
+        let _ = writeln!(out, "        doall {}: j {{", l.label);
         for s in &l.stmts {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "            {}",
                 stmt_to_string(p, s, "i", "j", (0, 0))
-            )
-            .unwrap();
+            );
         }
-        writeln!(out, "        }}").unwrap();
+        let _ = writeln!(out, "        }}");
     }
-    writeln!(out, "    }}").unwrap();
-    writeln!(out, "}}").unwrap();
+    let _ = writeln!(out, "    }}");
+    let _ = writeln!(out, "}}");
     out
 }
 
@@ -126,16 +125,16 @@ pub fn program_to_dsl(p: &Program) -> String {
 /// paper's Figure 2(b).
 pub fn program_to_fortran(p: &Program) -> String {
     let mut out = String::new();
-    writeln!(out, "      DO 50 i = 0, n").unwrap();
+    let _ = writeln!(out, "      DO 50 i = 0, n");
     for (k, l) in p.loops.iter().enumerate() {
         let label = 10 * (k + 1);
-        writeln!(out, "{}: DOALL {} j = 0, m", l.label, label).unwrap();
+        let _ = writeln!(out, "{}: DOALL {} j = 0, m", l.label, label);
         for s in &l.stmts {
-            writeln!(out, "        {}", stmt_to_string(p, s, "i", "j", (0, 0))).unwrap();
+            let _ = writeln!(out, "        {}", stmt_to_string(p, s, "i", "j", (0, 0)));
         }
-        writeln!(out, "{label:>2}    CONTINUE").unwrap();
+        let _ = writeln!(out, "{label:>2}    CONTINUE");
     }
-    writeln!(out, "50    CONTINUE").unwrap();
+    let _ = writeln!(out, "50    CONTINUE");
     out
 }
 

@@ -195,9 +195,9 @@ impl FusedSpec {
         let mut out = String::new();
         let (min_rx, max_rx) = self.rx_bounds();
         let (min_ry, max_ry) = self.ry_bounds();
-        writeln!(out, "// fused '{}' under retiming:", p.name).unwrap();
+        let _ = writeln!(out, "// fused '{}' under retiming:", p.name);
         for (l, r) in p.loops.iter().zip(&self.offsets) {
-            writeln!(out, "//   r({}) = {}", l.label, r).unwrap();
+            let _ = writeln!(out, "//   r({}) = {}", l.label, r);
         }
         let bound = |base: &str, off: i64| -> String {
             match off.cmp(&0) {
@@ -207,64 +207,58 @@ impl FusedSpec {
             }
         };
         if -max_rx < -min_rx {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "// prologue rows: I = {} .. {} (guarded)",
                 -max_rx,
                 -min_rx - 1
-            )
-            .unwrap();
+            );
         }
-        writeln!(
+        let _ = writeln!(
             out,
             "DO I = {}, {} {{   // guard-free kernel rows",
             -min_rx,
             bound("n", -max_rx)
-        )
-        .unwrap();
+        );
         if -max_ry < -min_ry {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "    // row prologue cells: J = {} .. {} (guarded)",
                 -max_ry,
                 -min_ry - 1
-            )
-            .unwrap();
+            );
         }
-        writeln!(out, "    DOALL J = {}, {} {{", -min_ry, bound("m", -max_ry)).unwrap();
+        let _ = writeln!(out, "    DOALL J = {}, {} {{", -min_ry, bound("m", -max_ry));
         let order = self
             .body_order()
             .unwrap_or_else(|| (0..p.loops.len()).collect());
         for &li in &order {
             let (l, r) = (&p.loops[li], self.offsets[li]);
             for s in &l.stmts {
-                writeln!(
+                let _ = writeln!(
                     out,
                     "        {}",
                     stmt_to_string(p, s, "I", "J", (r.x, r.y))
-                )
-                .unwrap();
+                );
             }
         }
-        writeln!(out, "    }}").unwrap();
+        let _ = writeln!(out, "    }}");
         if max_ry > min_ry {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "    // row epilogue cells: J = {} .. {} (guarded)",
                 bound("m", -max_ry) + "+1",
                 bound("m", -min_ry)
-            )
-            .unwrap();
+            );
         }
-        writeln!(out, "}}").unwrap();
+        let _ = writeln!(out, "}}");
         if max_rx > min_rx {
-            writeln!(
+            let _ = writeln!(
                 out,
                 "// epilogue rows: I = {}+1 .. {} (guarded)",
                 bound("n", -max_rx),
                 bound("n", -min_rx)
-            )
-            .unwrap();
+            );
         }
         out
     }

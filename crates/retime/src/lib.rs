@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-retime` — multi-dimensional retiming machinery
 //!
 //! Implements Section 2.3 of the paper: retiming functions on MLDGs, the

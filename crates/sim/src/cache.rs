@@ -169,6 +169,8 @@ pub fn cache_original(p: &Program, n: i64, m: i64, cfg: CacheConfig) -> CacheSta
 pub fn cache_fused(spec: &FusedSpec, n: i64, m: i64, cfg: CacheConfig) -> CacheStats {
     let p = &spec.program;
     let layout = Layout::new(p, n, m);
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");

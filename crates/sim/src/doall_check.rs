@@ -95,6 +95,8 @@ fn run_with_steps(
     step_of: impl Fn(i64, i64) -> i64,
     pos_of: impl Fn(i64, i64) -> i64,
 ) -> Result<(), DoallViolation> {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");
@@ -157,11 +159,16 @@ pub fn check_hyperplanes_doall(
     m: i64,
 ) -> Result<(), DoallViolation> {
     let s = w.schedule;
-    // Within a hyperplane, identify iterations by their fused J (distinct
-    // iterations on a hyperplane have distinct J since s is not (1,0)...
-    // and when s = (1,0) each hyperplane is a row, where J again
-    // discriminates).
-    run_with_steps(spec, n, m, move |fi, fj| s.x * fi + s.y * fj, |_, fj| fj)
+    // Within a hyperplane, identify iterations by their fused J: when
+    // s.x != 0, J determines I on the plane (s.x * I = t - s.y * J), so J
+    // is a unique per-iteration id (and for s = (1,0) each hyperplane is a
+    // row, where J again discriminates). When s.x == 0 every iteration on
+    // the plane shares J, so I must discriminate instead.
+    if s.x == 0 {
+        run_with_steps(spec, n, m, move |fi, fj| s.x * fi + s.y * fj, |fi, _| fi)
+    } else {
+        run_with_steps(spec, n, m, move |fi, fj| s.x * fi + s.y * fj, |_, fj| fj)
+    }
 }
 
 #[cfg(test)]

@@ -14,10 +14,11 @@
 //! memory image against the original program's.
 
 use mdf_core::{FusionPlan, PartialFusionPlan};
-use mdf_graph::{BudgetMeter, MdfError};
+use mdf_graph::mldg::{Mldg, NodeId};
+use mdf_graph::{BudgetMeter, IVec2, MdfError};
 use mdf_ir::ast::Program;
 use mdf_ir::retgen::FusedSpec;
-use mdf_retime::Wavefront;
+use mdf_retime::{Retiming, Wavefront};
 
 use crate::interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
 
@@ -69,6 +70,8 @@ fn exec_body_at(
 /// paper reports (Section 4.2's `7n` vs `n - 2` arithmetic comes from this
 /// model plus the unfused one in [`run_original`]).
 pub fn run_fused_ordered(spec: &FusedSpec, n: i64, m: i64, order: RowOrder) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle: input was not executable");
@@ -115,6 +118,8 @@ pub fn run_wavefront(
     n: i64,
     m: i64,
 ) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle: input was not executable");
@@ -221,6 +226,75 @@ pub fn run_wavefront_budgeted(
         meter.charge_iterations(stats.stmt_instances - before)?;
     }
     Ok((mem, stats))
+}
+
+/// The permutation sending each graph node index to the program loop with
+/// the same label. `None` when the program is not a loop-per-node
+/// realization of the graph (count mismatch, unknown or duplicated label).
+fn node_to_loop_map(g: &Mldg, p: &Program) -> Option<Vec<usize>> {
+    if p.loops.len() != g.node_count() {
+        return None;
+    }
+    let mut map = vec![usize::MAX; g.node_count()];
+    for (li, l) in p.loops.iter().enumerate() {
+        let n = g.node_by_label(&l.label)?;
+        if map[n.index()] != usize::MAX {
+            return None;
+        }
+        map[n.index()] = li;
+    }
+    Some(map)
+}
+
+/// Re-indexes a graph-node-indexed retiming into program-loop order.
+fn align_retiming(map: &[usize], r: &Retiming) -> Option<Retiming> {
+    let offs = r.offsets();
+    if offs.len() != map.len() {
+        return None;
+    }
+    let mut out = vec![IVec2::ZERO; offs.len()];
+    for (ni, &li) in map.iter().enumerate() {
+        out[li] = offs[ni];
+    }
+    Some(Retiming::from_offsets(out))
+}
+
+/// A fusion plan's retiming is indexed by MLDG node, but a program
+/// realized from that graph may order its loops differently (any textual
+/// order of the zero-distance subgraph is valid, and the realizer must
+/// follow one). Re-index the plan by matching loop labels to node labels
+/// so it can be executed against the program; `None` when the program is
+/// not a loop-per-node realization of the graph.
+pub fn align_plan_to_program(g: &Mldg, p: &Program, plan: &FusionPlan) -> Option<FusionPlan> {
+    let map = node_to_loop_map(g, p)?;
+    let retiming = align_retiming(&map, plan.retiming())?;
+    Some(match plan {
+        FusionPlan::FullParallel { method, .. } => FusionPlan::FullParallel {
+            retiming,
+            method: *method,
+        },
+        FusionPlan::Hyperplane { wavefront, .. } => FusionPlan::Hyperplane {
+            retiming,
+            wavefront: *wavefront,
+        },
+    })
+}
+
+/// [`align_plan_to_program`] for partial-fusion plans: permutes both the
+/// retiming and every cluster's node ids into program-loop order.
+pub fn align_partial_to_program(
+    g: &Mldg,
+    p: &Program,
+    plan: &PartialFusionPlan,
+) -> Option<PartialFusionPlan> {
+    let map = node_to_loop_map(g, p)?;
+    let retiming = align_retiming(&map, &plan.retiming)?;
+    let clusters = plan
+        .clusters
+        .iter()
+        .map(|c| c.iter().map(|n| NodeId(map[n.index()] as u32)).collect())
+        .collect();
+    Some(PartialFusionPlan { clusters, retiming })
 }
 
 /// Why a plan failed simulation-based checking.
@@ -393,6 +467,70 @@ mod tests {
     }
 
     #[test]
+    fn alignment_fixes_permuted_realizations() {
+        // Fuzzer-found (seed 42, case 500): a graph whose only valid
+        // textual order reverses its node order. Realizing it permutes
+        // the loops, so applying the graph-indexed retiming positionally
+        // races; aligning by label makes the differential check pass.
+        let mut g = Mldg::new();
+        let n3 = g.add_node("N3");
+        let n4 = g.add_node("N4");
+        g.add_dep(n4, n3, (0, 2));
+        let p = mdf_gen_realize(&g);
+        assert_eq!(p.loops[0].label, "N4", "realizer must follow textual order");
+        let plan = plan_fusion(&g).unwrap();
+        let aligned = align_plan_to_program(&g, &p, &plan).unwrap();
+        check_plan(&p, &aligned, 10, 10).unwrap();
+        // The unaligned plan misassigns the offsets and is caught.
+        assert!(check_plan(&p, &plan, 10, 10).is_err());
+    }
+
+    /// A minimal loop-per-node realization (mirrors `mdf-gen`'s, which
+    /// this crate cannot depend on): each node becomes a loop, in textual
+    /// order, reading each producer at the dependence offset.
+    fn mdf_gen_realize(g: &Mldg) -> Program {
+        use mdf_ir::ast::{ArrayRef, BinOp, Expr, Stmt};
+        let order = mdf_graph::legality::textual_order(g).unwrap();
+        let mut p = Program::new("realized");
+        let arrays: Vec<usize> = g
+            .node_ids()
+            .map(|n| p.add_array(format!("a_{}", g.label(n).to_lowercase())))
+            .collect();
+        let input = p.add_array("input");
+        for &v in &order {
+            let mut expr = Expr::Ref(ArrayRef::new(input, 0, 0));
+            for &e in g.in_edges(v) {
+                let u = g.edge(e).src;
+                for d in g.deps(e).iter() {
+                    let r = Expr::Ref(ArrayRef::new(arrays[u.index()], -d.x, -d.y));
+                    expr = Expr::bin(BinOp::Add, expr, r);
+                }
+            }
+            p.add_loop(
+                g.label(v).to_string(),
+                vec![Stmt {
+                    lhs: ArrayRef::new(arrays[v.index()], 0, 0),
+                    rhs: expr,
+                }],
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn align_rejects_mismatched_programs() {
+        let mut g = Mldg::new();
+        g.add_node("A");
+        g.add_node("B");
+        let p = figure2_program(); // four loops, different labels
+        let plan = FusionPlan::FullParallel {
+            retiming: mdf_retime::Retiming::identity(2),
+            method: mdf_core::FullParallelMethod::Cyclic,
+        };
+        assert!(align_plan_to_program(&g, &p, &plan).is_none());
+    }
+
+    #[test]
     fn figure2_plan_passes_end_to_end() {
         let p = figure2_program();
         let plan = plan_for(&p);
@@ -479,6 +617,8 @@ pub fn run_partitioned(
     n: i64,
     m: i64,
 ) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! # `mdf-sim` — execution substrate and transformation verifier
 //!
 //! Executes the paper's program model and its fused/retimed transforms:
@@ -31,9 +32,10 @@ pub use array2::Array2;
 pub use cache::{cache_fused, cache_original, Cache, CacheConfig, CacheStats};
 pub use doall_check::{check_hyperplanes_doall, check_rows_doall, DoallViolation};
 pub use exec_plan::{
-    check_partial_budgeted, check_plan, check_plan_budgeted, run_fused, run_fused_desc,
-    run_fused_ordered, run_fused_ordered_budgeted, run_partitioned, run_partitioned_budgeted,
-    run_wavefront, run_wavefront_budgeted, RowOrder, SimError, SimReport,
+    align_partial_to_program, align_plan_to_program, check_partial_budgeted, check_plan,
+    check_plan_budgeted, run_fused, run_fused_desc, run_fused_ordered, run_fused_ordered_budgeted,
+    run_partitioned, run_partitioned_budgeted, run_wavefront, run_wavefront_budgeted, RowOrder,
+    SimError, SimReport,
 };
 pub use interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
 pub use machine::{

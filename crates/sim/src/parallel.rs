@@ -125,6 +125,8 @@ fn apply_writes(mem: &mut Memory, batches: Vec<Vec<Write>>, stats: &mut ExecStat
 /// row. The result must equal the sequential executions — asserted by the
 /// FX3 tests and benches.
 pub fn run_fused_rayon(spec: &FusedSpec, n: i64, m: i64) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");
@@ -172,6 +174,8 @@ pub fn try_run_fused_rayon(
 /// Runs a hyperplane-certified fused program with one `par_iter` per
 /// non-empty hyperplane.
 pub fn run_wavefront_rayon(spec: &FusedSpec, w: Wavefront, n: i64, m: i64) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");
@@ -357,6 +361,8 @@ pub fn run_partitioned_rayon(
     n: i64,
     m: i64,
 ) -> (Memory, ExecStats) {
+    // Executability of `spec` is a documented precondition of this API.
+    #[allow(clippy::expect_used)]
     let body = spec
         .body_order()
         .expect("fused spec has a (0,0)-dependence cycle");

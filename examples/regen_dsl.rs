@@ -1,0 +1,24 @@
+//! Maintenance tool: regenerates the DSL example suite in `examples/dsl/`.
+//!
+//! ```text
+//! cargo run --example regen_dsl
+//! ```
+//!
+//! Each sample program is pretty-printed back to DSL source and written as
+//! `examples/dsl/<name>.mdf`. These files feed `mdfuse analyze` / `mdfuse
+//! lint` (see README), the `analyze_examples` integration test, and the CI
+//! job that archives their `--json` diagnostics.
+
+use mdfusion::ir::pretty::program_to_dsl;
+
+fn main() {
+    let dir = std::path::Path::new("examples/dsl");
+    std::fs::create_dir_all(dir).expect("create examples/dsl");
+    let mut programs = mdfusion::ir::samples::all_samples();
+    programs.extend(mdfusion::ir::samples::extended_samples());
+    for (name, prog) in programs {
+        let path = dir.join(format!("{name}.mdf"));
+        std::fs::write(&path, program_to_dsl(&prog)).expect("write sample");
+        println!("wrote {}", path.display());
+    }
+}

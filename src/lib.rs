@@ -18,6 +18,7 @@
 //! | [`core`] | `mdf-core` | LLOFRA (Alg 2), Alg 3/4/5, the planner, n-dim extension |
 //! | [`ir`] | `mdf-ir` | loop-nest DSL, dependence analysis, fused code generation |
 //! | [`sim`] | `mdf-sim` | interpreter, plan checking, DOALL checker, cost model, Rayon runner |
+//! | [`analysis`] | `mdf-analyze` | static race certifier, certificate checker, DSL lints |
 //! | [`baselines`] | `mdf-baselines` | direct fusion, shift-and-peel, no-fusion |
 //! | [`gen`] | `mdf-gen` | random workloads and the E1–E5 experiment suite |
 //!
@@ -41,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use mdf_analyze as analysis;
 pub use mdf_baselines as baselines;
 pub use mdf_constraint as constraint;
 pub use mdf_core as core;
