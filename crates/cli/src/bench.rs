@@ -1,0 +1,770 @@
+//! `mdfuse bench` — the fusion benchmark: interpreter vs compiled kernel
+//! vs the planning baselines, across the executable `mdf-gen` suites.
+//!
+//! Each suite entry is planned once, then executed by three engines on
+//! the same bounds:
+//!
+//! * `unfused` — the reference interpreter running the original loop
+//!   sequence (`run_original_budgeted`), the speedup denominator;
+//! * `interp`  — the fused tree-walking interpreter (row serialization or
+//!   wavefront order, per the plan);
+//! * `kernel`  — the compiled engine from `mdf-kernel`, in the mode the
+//!   race certificate licenses.
+//!
+//! Every engine's final memory fingerprint must match `unfused`; a
+//! mismatch is an internal error, not a report row. The `mdf-baselines`
+//! crate contributes the planning-level context per suite: the cluster
+//! and synchronization counts direct (no-retiming) fusion would reach,
+//! against which the paper's full-fusion sync counts are judged.
+//!
+//! The report is schema-versioned JSON (`BENCH_fusion.json`, schema v1);
+//! `--check` re-parses and validates a report file with a dependency-free
+//! JSON reader so CI can gate on schema drift. Under `--deadline-ms` the
+//! bench degrades to a partial report (`"complete": false`) instead of
+//! hanging: whatever finished before the deadline is still emitted.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mdf_baselines::{direct_fusion, DirectPolicy};
+use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
+use mdf_graph::{Budget, BudgetMeter, MdfError};
+use mdf_ir::retgen::FusedSpec;
+use mdf_kernel::CompiledKernel;
+use mdf_sim::{
+    align_plan_to_program, run_fused_ordered_budgeted, run_original_budgeted,
+    run_wavefront_budgeted, ExecStats, RowOrder,
+};
+
+use crate::CliError;
+
+/// Version stamp of the `BENCH_fusion.json` schema.
+pub(crate) const SCHEMA_VERSION: u64 = 1;
+
+/// Options for the `bench` subcommand.
+#[derive(Default)]
+pub(crate) struct BenchOpts {
+    /// Small bounds, single repetition (`--quick`): the CI smoke shape.
+    pub quick: bool,
+    /// Write the JSON report to this path (`--out`).
+    pub out: Option<String>,
+    /// Validate an existing report instead of benchmarking (`--check`).
+    pub check: Option<String>,
+}
+
+/// One engine's measurement on one suite.
+struct EngineRow {
+    engine: &'static str,
+    wall_ms: f64,
+    cells_per_s: f64,
+    speedup: f64,
+    barriers: u64,
+    fingerprint: u64,
+}
+
+/// One suite entry's results.
+struct SuiteRow {
+    id: String,
+    n: i64,
+    m: i64,
+    plan: String,
+    baseline_clusters: usize,
+    baseline_syncs: i64,
+    cells: u64,
+    engines: Vec<EngineRow>,
+}
+
+/// The whole report.
+struct BenchReport {
+    threads: usize,
+    quick: bool,
+    deadline_ms: Option<u64>,
+    complete: bool,
+    suites: Vec<SuiteRow>,
+}
+
+fn plan_label(plan: &FusionPlan) -> String {
+    match plan {
+        FusionPlan::FullParallel { .. } => "full_parallel".into(),
+        FusionPlan::Hyperplane { wavefront, .. } => format!(
+            "hyperplane(s=({},{}))",
+            wavefront.schedule.x, wavefront.schedule.y
+        ),
+    }
+}
+
+/// Runs one engine `reps` times on fresh memory each time, keeping the
+/// best wall time (the least-noise estimator on a shared CI host). The
+/// closure returns the final memory fingerprint plus counters.
+fn time_engine(
+    reps: u32,
+    budget: &Budget,
+    mut body: impl FnMut(&mut BudgetMeter) -> Result<(u64, ExecStats), MdfError>,
+) -> Result<(u64, ExecStats, f64), MdfError> {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let mut meter = budget.meter();
+        let t0 = Instant::now();
+        let out = body(&mut meter)?;
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        last = Some(out);
+    }
+    match last {
+        Some((fp, stats)) => Ok((fp, stats, best)),
+        None => Err(MdfError::invalid("bench requires at least one repetition")),
+    }
+}
+
+fn engine_row(
+    engine: &'static str,
+    fingerprint: u64,
+    stats: &ExecStats,
+    wall_ms: f64,
+    unfused_ms: f64,
+) -> EngineRow {
+    let secs = (wall_ms / 1e3).max(1e-9);
+    EngineRow {
+        engine,
+        wall_ms,
+        cells_per_s: stats.stmt_instances as f64 / secs,
+        speedup: unfused_ms / wall_ms.max(1e-9),
+        barriers: stats.barriers,
+        fingerprint,
+    }
+}
+
+/// Measures one suite entry. `Err` carries typed pipeline errors upward;
+/// budget trips are routed by the caller into a partial report.
+fn bench_entry(
+    entry: &mdf_gen::SuiteEntry,
+    n: i64,
+    m: i64,
+    reps: u32,
+    budget: &Budget,
+) -> Result<Option<SuiteRow>, MdfError> {
+    let Some(p) = &entry.program else {
+        return Ok(None);
+    };
+    let report = plan_fusion_budgeted(&entry.graph, budget)?;
+    let DegradedPlan::Fused(plan) = &report.plan else {
+        return Ok(None);
+    };
+    let plan = align_plan_to_program(&entry.graph, p, plan)
+        .ok_or_else(|| MdfError::invalid("suite program is not a realization of its graph"))?;
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let mode = mdf_kernel::plan_mode(&spec, &plan);
+    let kernel = CompiledKernel::compile(&spec, n, m)?;
+    let baseline = direct_fusion(&entry.graph, DirectPolicy::PreserveParallelism)
+        .ok_or_else(|| MdfError::invalid("suite graph has no textual order"))?;
+
+    let (ufp, ustats, uwall) = time_engine(reps, budget, |meter| {
+        let (mem, stats) = run_original_budgeted(p, n, m, meter)?;
+        Ok((mem.fingerprint(), stats))
+    })?;
+    let (ifp, istats, iwall) = time_engine(reps, budget, |meter| {
+        let (mem, stats) = match &plan {
+            FusionPlan::FullParallel { .. } => {
+                run_fused_ordered_budgeted(&spec, n, m, RowOrder::Ascending, meter)?
+            }
+            FusionPlan::Hyperplane { wavefront, .. } => {
+                run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?
+            }
+        };
+        Ok((mem.fingerprint(), stats))
+    })?;
+    let (kfp, kstats, kwall) = time_engine(reps, budget, |meter| {
+        let (mem, stats) = kernel.run_budgeted(mode, meter)?;
+        Ok((mem.fingerprint(), stats))
+    })?;
+
+    if ifp != ufp || kfp != ufp {
+        // Surfaced by the caller as an internal error: the differential
+        // contract ("every engine reproduces the original memory image")
+        // is the precondition for comparing their timings at all.
+        return Err(MdfError::exec(
+            0,
+            0,
+            format!(
+                "engine fingerprint mismatch on {}: unfused {ufp:#x}, interp {ifp:#x}, kernel {kfp:#x}",
+                entry.id
+            ),
+        ));
+    }
+
+    Ok(Some(SuiteRow {
+        id: entry.id.to_string(),
+        n,
+        m,
+        plan: plan_label(&plan),
+        baseline_clusters: baseline.cluster_count(),
+        baseline_syncs: baseline.sync_count(n),
+        cells: ustats.stmt_instances,
+        engines: vec![
+            engine_row("unfused", ufp, &ustats, uwall, uwall),
+            engine_row("interp", ifp, &istats, iwall, uwall),
+            engine_row("kernel", kfp, &kstats, kwall, uwall),
+        ],
+    }))
+}
+
+/// Runs the benchmark across the executable suite; stops early on a
+/// budget trip and marks the report incomplete.
+fn collect(
+    quick: bool,
+    deadline_ms: Option<u64>,
+    budget: &Budget,
+) -> Result<BenchReport, CliError> {
+    let (n, m) = if quick { (48, 48) } else { (192, 192) };
+    let reps = if quick { 1 } else { 3 };
+    let mut report = BenchReport {
+        threads: rayon::current_num_threads(),
+        quick,
+        deadline_ms,
+        complete: true,
+        suites: Vec::new(),
+    };
+    for entry in mdf_gen::executable_suite() {
+        match bench_entry(&entry, n, m, reps, budget) {
+            Ok(Some(row)) => report.suites.push(row),
+            Ok(None) => {}
+            Err(MdfError::BudgetExceeded { .. }) => {
+                report.complete = false;
+                break;
+            }
+            Err(e @ MdfError::Exec { .. }) => {
+                return Err(CliError::Internal(e.to_string()));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(report)
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(r: &BenchReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"name\": \"BENCH_fusion\",");
+    let _ = writeln!(out, "  \"threads\": {},", r.threads);
+    let _ = writeln!(out, "  \"quick\": {},", r.quick);
+    match r.deadline_ms {
+        Some(ms) => {
+            let _ = writeln!(out, "  \"deadline_ms\": {ms},");
+        }
+        None => {
+            let _ = writeln!(out, "  \"deadline_ms\": null,");
+        }
+    }
+    let _ = writeln!(out, "  \"complete\": {},", r.complete);
+    let _ = writeln!(out, "  \"suites\": [");
+    for (si, s) in r.suites.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"id\": \"{}\",", json_escape(&s.id));
+        let _ = writeln!(out, "      \"n\": {},", s.n);
+        let _ = writeln!(out, "      \"m\": {},", s.m);
+        let _ = writeln!(out, "      \"plan\": \"{}\",", json_escape(&s.plan));
+        let _ = writeln!(
+            out,
+            "      \"baseline\": {{ \"policy\": \"direct_preserve_parallelism\", \
+             \"clusters\": {}, \"syncs\": {} }},",
+            s.baseline_clusters, s.baseline_syncs
+        );
+        let _ = writeln!(out, "      \"cells\": {},", s.cells);
+        let _ = writeln!(out, "      \"engines\": [");
+        for (ei, e) in s.engines.iter().enumerate() {
+            let _ = write!(
+                out,
+                "        {{ \"engine\": \"{}\", \"wall_ms\": {:.4}, \"cells_per_s\": {:.0}, \
+                 \"speedup_vs_unfused\": {:.3}, \"barriers\": {}, \"fingerprint\": \"{:#x}\" }}",
+                e.engine, e.wall_ms, e.cells_per_s, e.speedup, e.barriers, e.fingerprint
+            );
+            let _ = writeln!(out, "{}", if ei + 1 < s.engines.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "      ]");
+        let _ = write!(out, "    }}");
+        let _ = writeln!(out, "{}", if si + 1 < r.suites.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_human(r: &BenchReport) -> String {
+    let mut out = String::new();
+    let shape = r
+        .suites
+        .first()
+        .map(|s| format!("{}x{}", s.n + 1, s.m + 1))
+        .unwrap_or_else(|| "-".into());
+    let _ = writeln!(
+        out,
+        "BENCH_fusion schema v{SCHEMA_VERSION} ({} thread(s), bounds {shape}{}{})",
+        r.threads,
+        if r.quick { ", quick" } else { "" },
+        if r.complete { "" } else { ", INCOMPLETE" },
+    );
+    for s in &r.suites {
+        let _ = writeln!(
+            out,
+            "[{}] plan {}, {} stmt instances; direct-fusion baseline: {} cluster(s), {} sync(s)",
+            s.id, s.plan, s.cells, s.baseline_clusters, s.baseline_syncs
+        );
+        for e in &s.engines {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>9.3} ms  {:>10.1} Mcells/s  {:>6.2}x  {:>6} barrier(s)",
+                e.engine,
+                e.wall_ms,
+                e.cells_per_s / 1e6,
+                e.speedup,
+                e.barriers
+            );
+        }
+    }
+    if !r.complete {
+        let _ = writeln!(
+            out,
+            "(budget tripped: partial report; remaining suites skipped)"
+        );
+    }
+    out
+}
+
+/// Entry point for `mdfuse bench`.
+pub(crate) fn run(
+    opts: &BenchOpts,
+    json: bool,
+    deadline_ms: Option<u64>,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    if let Some(path) = &opts.check {
+        return check_file(path);
+    }
+    let report = collect(opts.quick, deadline_ms, budget)?;
+    let rendered = render_json(&report);
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &rendered)
+            .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    if json {
+        Ok(rendered)
+    } else {
+        let mut out = render_human(&report);
+        if let Some(path) = &opts.out {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Ok(out)
+    }
+}
+
+/// Validates a report file against the schema (exit 3 on violation).
+fn check_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let (suites, complete) =
+        validate(&text).map_err(|m| CliError::Mdf(MdfError::invalid(format!("{path}: {m}"))))?;
+    Ok(format!(
+        "{path}: valid BENCH_fusion schema v{SCHEMA_VERSION} ({suites} suite(s), {})\n",
+        if complete { "complete" } else { "partial" }
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Dependency-free JSON reader, just enough to validate our own schema.
+
+/// A parsed JSON value.
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    fn str_val(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    fn bool_val(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Result<u8, String> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek()? == b {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(s),
+                b'\\' => {
+                    let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(code).ok_or("bad \\u escape")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                other => s.push(other as char),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek()? {
+            b'{' => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let k = self.string()?;
+                    self.expect(b':')?;
+                    fields.push((k, self.value()?));
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(fields));
+                        }
+                        other => return Err(format!("bad object at {:?}", other as char)),
+                    }
+                }
+            }
+            b'[' => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        other => return Err(format!("bad array at {:?}", other as char)),
+                    }
+                }
+            }
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.literal("true", Json::Bool(true)),
+            b'f' => self.literal("false", Json::Bool(false)),
+            b'n' => self.literal("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Validates a `BENCH_fusion.json` document; returns (suite count,
+/// complete flag) on success, a human-readable schema violation on error.
+fn validate(text: &str) -> Result<(usize, bool), String> {
+    let doc = parse_json(text)?;
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field {k:?}"));
+    if field("schema_version")?.num() != Some(SCHEMA_VERSION as f64) {
+        return Err(format!("schema_version is not {SCHEMA_VERSION}"));
+    }
+    if field("name")?.str_val() != Some("BENCH_fusion") {
+        return Err("name is not \"BENCH_fusion\"".into());
+    }
+    if !field("threads")?.num().is_some_and(|t| t >= 1.0) {
+        return Err("threads must be a number >= 1".into());
+    }
+    field("quick")?
+        .bool_val()
+        .ok_or("quick must be a boolean")?;
+    match field("deadline_ms")? {
+        Json::Null | Json::Num(_) => {}
+        _ => return Err("deadline_ms must be a number or null".into()),
+    }
+    let complete = field("complete")?
+        .bool_val()
+        .ok_or("complete must be a boolean")?;
+    let suites = field("suites")?.arr().ok_or("suites must be an array")?;
+    if complete && suites.is_empty() {
+        return Err("a complete report must contain at least one suite".into());
+    }
+    for s in suites {
+        let sid = s
+            .get("id")
+            .and_then(Json::str_val)
+            .filter(|v| !v.is_empty())
+            .ok_or("suite id must be a non-empty string")?;
+        let ctx = |m: &str| format!("suite {sid}: {m}");
+        for k in ["n", "m", "cells"] {
+            s.get(k)
+                .and_then(Json::num)
+                .ok_or_else(|| ctx(&format!("{k} must be a number")))?;
+        }
+        s.get("plan")
+            .and_then(Json::str_val)
+            .ok_or_else(|| ctx("plan must be a string"))?;
+        let b = s.get("baseline").ok_or_else(|| ctx("missing baseline"))?;
+        for k in ["clusters", "syncs"] {
+            b.get(k)
+                .and_then(Json::num)
+                .ok_or_else(|| ctx(&format!("baseline.{k} must be a number")))?;
+        }
+        let engines = s
+            .get("engines")
+            .and_then(Json::arr)
+            .ok_or_else(|| ctx("engines must be an array"))?;
+        if complete && engines.len() != 3 {
+            return Err(ctx("a complete report needs exactly 3 engine rows"));
+        }
+        let mut fps = Vec::new();
+        for e in engines {
+            let name = e
+                .get("engine")
+                .and_then(Json::str_val)
+                .ok_or_else(|| ctx("engine must be a string"))?;
+            if !["unfused", "interp", "kernel"].contains(&name) {
+                return Err(ctx(&format!("unknown engine {name:?}")));
+            }
+            for k in ["wall_ms", "cells_per_s", "speedup_vs_unfused", "barriers"] {
+                if !e.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+                    return Err(ctx(&format!("{name}.{k} must be a number >= 0")));
+                }
+            }
+            let fp = e
+                .get("fingerprint")
+                .and_then(Json::str_val)
+                .filter(|v| v.starts_with("0x"))
+                .ok_or_else(|| ctx("fingerprint must be a hex string"))?;
+            fps.push(fp);
+        }
+        if fps.windows(2).any(|w| w[0] != w[1]) {
+            return Err(ctx("engine fingerprints disagree"));
+        }
+    }
+    Ok((suites.len(), complete))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn quick_bench_covers_every_executable_suite_and_validates() {
+        let r = collect(true, None, &Budget::unlimited()).unwrap();
+        assert!(r.complete);
+        let ids: Vec<&str> = r.suites.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids, ["E1", "E2", "E4", "E5"], "{ids:?}");
+        let json = render_json(&r);
+        let (suites, complete) = validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert_eq!(suites, 4);
+        assert!(complete);
+        // Fingerprints agree across engines within each suite (collect
+        // would have failed otherwise); spot-check the report says so too.
+        for s in &r.suites {
+            assert!(s
+                .engines
+                .iter()
+                .all(|e| e.fingerprint == s.engines[0].fingerprint));
+            assert_eq!(s.engines.len(), 3);
+        }
+    }
+
+    #[test]
+    fn kernel_beats_the_interpreter_on_every_suite() {
+        // The acceptance bar for the compiled engine, at the full bench
+        // shape (best-of-3 keeps scheduler noise out of the comparison).
+        let r = collect(false, None, &Budget::unlimited()).unwrap();
+        assert!(r.complete);
+        for s in &r.suites {
+            let wall = |name: &str| {
+                s.engines
+                    .iter()
+                    .find(|e| e.engine == name)
+                    .map(|e| e.wall_ms)
+                    .unwrap_or(f64::INFINITY)
+            };
+            assert!(
+                wall("kernel") < wall("interp"),
+                "[{}] kernel {:.3} ms vs interp {:.3} ms",
+                s.id,
+                wall("kernel"),
+                wall("interp")
+            );
+        }
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_a_partial_report() {
+        let budget = Budget::unlimited().with_deadline(Duration::from_millis(0));
+        let r = collect(true, Some(0), &budget).unwrap();
+        assert!(!r.complete);
+        let json = render_json(&r);
+        let (_, complete) = validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert!(!complete);
+        assert!(json.contains("\"deadline_ms\": 0"), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_schema_drift() {
+        let r = collect(true, None, &Budget::unlimited()).unwrap();
+        let good = render_json(&r);
+        assert!(validate(&good).is_ok());
+        let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        assert!(validate(&bad).unwrap_err().contains("schema_version"));
+        let bad = good.replace("\"engine\": \"kernel\"", "\"engine\": \"jit\"");
+        assert!(validate(&bad).unwrap_err().contains("unknown engine"));
+        let bad = good.replace("\"name\": \"BENCH_fusion\"", "\"name\": \"x\"");
+        assert!(validate(&bad).is_err());
+        assert!(validate("{").is_err());
+        assert!(validate("[1, 2]").is_err());
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\n\"yA"], "b": null}"#).unwrap();
+        let a = v.get("a").and_then(Json::arr).unwrap();
+        assert_eq!(a[1].num(), Some(-25.0));
+        assert_eq!(a[2].str_val(), Some("x\n\"yA"));
+        assert!(matches!(v.get("b"), Some(Json::Null)));
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+    }
+}

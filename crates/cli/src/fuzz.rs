@@ -34,6 +34,7 @@ use mdf_graph::{textfmt, Budget, EdgeId, InfeasiblePhase, MdfError, NodeId, Witn
 use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
+use mdf_kernel::{plan_mode as kernel_plan_mode, CompiledKernel};
 use mdf_retime::Retiming;
 use mdf_sim::{
     align_partial_to_program, align_plan_to_program, check_hyperplanes_doall, check_plan_budgeted,
@@ -223,6 +224,7 @@ fn check_feasible(
             .map_err(|e| fail(format!("differential run: {e}")))?;
 
         check_static_dynamic_agreement(p, &aligned)?;
+        check_kernel_oracle(p, &aligned, budget)?;
 
         if inject {
             // Corrupt the graph-indexed plan, then align the corruption,
@@ -258,6 +260,38 @@ fn check_feasible(
             .map_err(|e| fail(format!("partitioned run: {e}")))?;
     }
     Ok(verdict)
+}
+
+/// Third oracle: the compiled kernel (`mdf-kernel`) must reproduce the
+/// reference interpreter's memory image bit for bit — same fingerprint,
+/// same statement-instance count — on every planned case, in whatever
+/// execution mode the race certificate licenses for the plan.
+fn check_kernel_oracle(p: &Program, plan: &FusionPlan, budget: &Budget) -> Result<(), CaseError> {
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let kernel = CompiledKernel::compile(&spec, SIM_N, SIM_M)
+        .map_err(|e| fail(format!("kernel compile: {e}")))?;
+    let mode = kernel_plan_mode(&spec, plan);
+    let mut meter = budget.meter();
+    let (kmem, kstats) = kernel
+        .run_budgeted(mode, &mut meter)
+        .map_err(|e| stage_error("kernel run", e))?;
+    let (imem, istats) = mdf_sim::run_original(p, SIM_N, SIM_M);
+    if kmem.fingerprint() != imem.fingerprint() {
+        return Err(fail(format!(
+            "kernel oracle: memory fingerprint mismatch in mode {mode:?} \
+             (kernel {:#x}, interpreter {:#x})",
+            kmem.fingerprint(),
+            imem.fingerprint()
+        )));
+    }
+    if kstats.stmt_instances != istats.stmt_instances {
+        return Err(fail(format!(
+            "kernel oracle: instance count mismatch in mode {mode:?} \
+             (kernel {}, interpreter {})",
+            kstats.stmt_instances, istats.stmt_instances
+        )));
+    }
+    Ok(())
 }
 
 /// The parallel interpretation a plan claims for its fused loop.

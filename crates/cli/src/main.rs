@@ -7,8 +7,10 @@
 //! mdfuse partial  <file>          partial fusion into row-DOALL clusters
 //! mdfuse explain  <file>          step-by-step derivation of the plan
 //! mdfuse simulate <file> [n] [m]  execute original vs fused and compare
+//! mdfuse run      <file> [n] [m]  execute the fused schedule for real
 //! mdfuse dot      <file>          emit Graphviz DOT for the MLDG
 //! mdfuse suite                    run the Section 5 experiment suite
+//! mdfuse bench                    interpreter vs kernel vs baselines
 //! mdfuse fuzz                     differential fuzzing of the pipeline
 //! ```
 //!
@@ -32,6 +34,7 @@ use mdf_ir::retgen::FusedSpec;
 use mdf_sim::{check_partial_budgeted, check_plan_budgeted};
 
 mod analysis;
+mod bench;
 mod fuzz;
 
 /// A CLI failure, classified for the exit code.
@@ -228,6 +231,91 @@ fn cmd_simulate(input: &Input, n: i64, m: i64, budget: &Budget) -> Result<String
     ))
 }
 
+/// `mdfuse run`: plan, then actually execute the fused schedule with the
+/// selected engine, cross-checking the final memory image against the
+/// original program's.
+fn cmd_run(
+    input: &Input,
+    n: i64,
+    m: i64,
+    engine: &str,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    let program = input
+        .program
+        .as_ref()
+        .ok_or_else(|| CliError::Usage("run requires a loop program (DSL input)".into()))?;
+    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    let DegradedPlan::Fused(plan) = &report.plan else {
+        return Err(CliError::Mdf(MdfError::invalid(
+            "the plan degraded to partial fusion; `run` executes fully fused schedules \
+             (use `simulate` for partial plans)",
+        )));
+    };
+    let plan = mdf_sim::align_plan_to_program(&input.graph, program, plan)
+        .ok_or_else(|| CliError::Internal("program/graph alignment failed".into()))?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+    let mut meter = budget.meter();
+    let t0 = std::time::Instant::now();
+    let (fp, stats, how) = match engine {
+        "interp" => {
+            let (mem, stats) = match &plan {
+                mdf_core::FusionPlan::FullParallel { .. } => mdf_sim::run_fused_ordered_budgeted(
+                    &spec,
+                    n,
+                    m,
+                    mdf_sim::RowOrder::Ascending,
+                    &mut meter,
+                )?,
+                mdf_core::FusionPlan::Hyperplane { wavefront, .. } => {
+                    mdf_sim::run_wavefront_budgeted(&spec, *wavefront, n, m, &mut meter)?
+                }
+            };
+            (mem.fingerprint(), stats, "interp".to_string())
+        }
+        "kernel" => {
+            let mode = mdf_kernel::plan_mode(&spec, &plan);
+            let k = mdf_kernel::CompiledKernel::compile(&spec, n, m)?;
+            let (mem, stats) = k.run_budgeted(mode, &mut meter)?;
+            let mode_name = match mode {
+                mdf_kernel::ExecMode::RowsCertified => "rows-doall",
+                mdf_kernel::ExecMode::RowsSerial => "rows-serial",
+                mdf_kernel::ExecMode::Wavefront {
+                    certified: true, ..
+                } => "wavefront",
+                mdf_kernel::ExecMode::Wavefront { .. } => "wavefront-serial",
+            };
+            (mem.fingerprint(), stats, format!("kernel/{mode_name}"))
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown engine {other:?} (expected \"interp\" or \"kernel\")"
+            )))
+        }
+    };
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let (omem, ostats) = mdf_sim::run_original_budgeted(program, n, m, &mut meter)?;
+    if omem.fingerprint() != fp {
+        return Err(CliError::Internal(format!(
+            "engine {engine} diverged from the original program \
+             (fingerprint {fp:#x}, expected {:#x})",
+            omem.fingerprint()
+        )));
+    }
+    Ok(format!(
+        "ran {} over i=0..={n}, j=0..={m} (engine {how}): results identical\n\
+         fingerprint: {fp:#x}\n\
+         synchronizations: {} (original) -> {} (fused)\n\
+         statement instances: {}\n\
+         wall: {wall:.3} ms ({:.1} Mcells/s)\n",
+        input.name,
+        ostats.barriers,
+        stats.barriers,
+        stats.stmt_instances,
+        stats.stmt_instances as f64 / (wall / 1e3).max(1e-9) / 1e6,
+    ))
+}
+
 fn cmd_partial(input: &Input) -> Result<String, CliError> {
     use std::fmt::Write as _;
     let plan = mdf_core::fuse_partial(&input.graph).ok_or_else(|| {
@@ -290,13 +378,20 @@ fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
 
 const USAGE: &str =
     "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]
+       mdfuse run <file> [n] [m] [--engine interp|kernel]
        mdfuse lint <file> [--json]
        mdfuse suite
+       mdfuse bench [--quick] [--json] [--out PATH] [--check PATH]
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
 
 options:
-  --json             emit diagnostics as JSON (analyze, lint)
-  --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5)
+  --json             emit diagnostics as JSON (analyze, lint, bench)
+  --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5;
+                     bench instead emits a partial report and exits 0)
+  --engine ENGINE    execution engine for run: interp | kernel (default kernel)
+  --quick            bench: small bounds, one repetition (CI smoke shape)
+  --out PATH         bench: also write the JSON report to PATH
+  --check PATH       bench: validate an existing BENCH_fusion.json and exit
   -h, --help         print this help
 
 exit codes:
@@ -313,7 +408,22 @@ struct Opts {
     positional: Vec<String>,
     help: bool,
     json: bool,
+    engine: String,
     fuzz: fuzz::FuzzOpts,
+    bench: bench::BenchOpts,
+}
+
+/// The value following a `--flag VALUE` pair, or a usage error.
+fn next_value<'a>(it: &mut std::slice::Iter<'a, String>, name: &str) -> Result<&'a str, CliError> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| CliError::Usage(format!("{name} requires a value\n{USAGE}")))
+}
+
+fn next_u64(it: &mut std::slice::Iter<'_, String>, name: &str) -> Result<u64, CliError> {
+    next_value(it, name)?
+        .parse::<u64>()
+        .map_err(|e| CliError::Usage(format!("bad value for {name}: {e}\n{USAGE}")))
 }
 
 fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
@@ -322,24 +432,23 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         positional: Vec::new(),
         help: false,
         json: false,
+        engine: "kernel".to_string(),
         fuzz: fuzz::FuzzOpts::default(),
+        bench: bench::BenchOpts::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let mut flag_value = |name: &str| -> Result<u64, CliError> {
-            let v = it
-                .next()
-                .ok_or_else(|| CliError::Usage(format!("{name} requires a value\n{USAGE}")))?;
-            v.parse::<u64>()
-                .map_err(|e| CliError::Usage(format!("bad value for {name}: {e}\n{USAGE}")))
-        };
         match a.as_str() {
             "-h" | "--help" | "help" => opts.help = true,
             "--json" => opts.json = true,
-            "--deadline-ms" => opts.deadline_ms = Some(flag_value("--deadline-ms")?),
-            "--cases" => opts.fuzz.cases = flag_value("--cases")?,
-            "--seed" => opts.fuzz.seed = flag_value("--seed")?,
+            "--quick" => opts.bench.quick = true,
+            "--deadline-ms" => opts.deadline_ms = Some(next_u64(&mut it, "--deadline-ms")?),
+            "--cases" => opts.fuzz.cases = next_u64(&mut it, "--cases")?,
+            "--seed" => opts.fuzz.seed = next_u64(&mut it, "--seed")?,
             "--inject-broken-retiming" => opts.fuzz.inject_broken_retiming = true,
+            "--engine" => opts.engine = next_value(&mut it, "--engine")?.to_string(),
+            "--out" => opts.bench.out = Some(next_value(&mut it, "--out")?.to_string()),
+            "--check" => opts.bench.check = Some(next_value(&mut it, "--check")?.to_string()),
             f if f.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option {f:?}\n{USAGE}")))
             }
@@ -362,6 +471,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         #[cfg(test)]
         [cmd] if cmd == "__panic__" => panic!("deliberate test panic"),
         [cmd] if cmd == "suite" => cmd_suite(&budget),
+        [cmd] if cmd == "bench" => bench::run(&opts.bench, opts.json, opts.deadline_ms, &budget),
         [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
         [cmd, path, rest @ ..] => {
             if cmd == "lint" {
@@ -375,14 +485,18 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                 "partial" => cmd_partial(&input),
                 "explain" => cmd_explain(&input),
                 "dot" => cmd_dot(&input),
-                "simulate" => {
+                "simulate" | "run" => {
                     let parse_dim = |s: &String| {
                         s.parse::<i64>()
                             .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
                     };
                     let n = rest.first().map(parse_dim).transpose()?.unwrap_or(32);
                     let m = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
-                    cmd_simulate(&input, n, m, &budget)
+                    if cmd == "run" {
+                        cmd_run(&input, n, m, &opts.engine, &budget)
+                    } else {
+                        cmd_simulate(&input, n, m, &budget)
+                    }
                 }
                 other => Err(CliError::Usage(format!(
                     "unknown command {other:?}\n{USAGE}"
@@ -553,6 +667,63 @@ mod tests {
         let input = load(FIG2_DSL).unwrap();
         let s = cmd_simulate(&input, 10, 10, &Budget::unlimited()).unwrap();
         assert!(s.contains("44 (original) -> 12 (fused)"), "{s}");
+    }
+
+    #[test]
+    fn run_executes_both_engines_with_identical_results() {
+        let input = load(FIG2_DSL).unwrap();
+        let k = cmd_run(&input, 12, 12, "kernel", &Budget::unlimited()).unwrap();
+        assert!(k.contains("results identical"), "{k}");
+        assert!(k.contains("engine kernel/rows-doall"), "{k}");
+        let i = cmd_run(&input, 12, 12, "interp", &Budget::unlimited()).unwrap();
+        assert!(i.contains("engine interp"), "{i}");
+        // Same schedule, same synchronization count, same fingerprint.
+        let fp = |s: &str| {
+            s.lines()
+                .find(|l| l.starts_with("fingerprint:"))
+                .map(str::to_string)
+        };
+        assert_eq!(fp(&k), fp(&i));
+        assert!(k.contains("52 (original) -> 14 (fused)"), "{k}");
+        assert!(cmd_run(&input, 4, 4, "jit", &Budget::unlimited()).is_err());
+        let mldg = load(FIG2_MLDG).unwrap();
+        assert!(cmd_run(&mldg, 4, 4, "kernel", &Budget::unlimited()).is_err());
+    }
+
+    #[test]
+    fn bench_quick_json_round_trips_through_check() {
+        let dir = std::env::temp_dir().join("mdfuse-bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_fusion.json");
+        let out = run(&[
+            "bench".into(),
+            "--quick".into(),
+            "--json".into(),
+            "--out".into(),
+            path.to_str().unwrap().to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("\"schema_version\": 1"), "{out}");
+        assert!(out.contains("\"complete\": true"), "{out}");
+        let checked = run(&[
+            "bench".into(),
+            "--check".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(
+            checked.contains("valid BENCH_fusion schema v1"),
+            "{checked}"
+        );
+        // A corrupted report fails the check with exit code 3.
+        std::fs::write(&path, "{\"schema_version\": 99}").unwrap();
+        let err = run(&[
+            "bench".into(),
+            "--check".into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
     }
 
     #[test]

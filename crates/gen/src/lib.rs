@@ -20,4 +20,4 @@ pub use mldg_gen::{
     random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg, random_legal_mldg_n, GenConfig,
 };
 pub use program_gen::{program_from_mldg, random_program, ProgramGenConfig};
-pub use suites::{suite, SuiteEntry};
+pub use suites::{executable_suite, suite, SuiteEntry};

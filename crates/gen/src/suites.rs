@@ -74,6 +74,17 @@ pub fn suite() -> Vec<SuiteEntry> {
     ]
 }
 
+/// The executable subset of [`suite`]: entries whose graph realizes as a
+/// runnable program. This is the population `mdfuse bench` and the
+/// kernel differential tests iterate over (E3's Figure 14 has hard edges
+/// in both directions, so no loop-per-node program realizes it).
+pub fn executable_suite() -> Vec<SuiteEntry> {
+    suite()
+        .into_iter()
+        .filter(|e| e.program.is_some())
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,587 @@
+//! Step drivers: running a compiled kernel over the planned iteration
+//! space.
+//!
+//! Three modes, picked by [`crate::plan_mode`] from the plan and the
+//! static race certificate:
+//!
+//! * [`ExecMode::RowsCertified`] — row-DOALL execution. Each fused row
+//!   runs **loop-major**: every lowered loop sweeps its active column
+//!   range as a tight cursor-increment loop (statement-major within the
+//!   loop). This reordering of the canonical cell-major serialization is
+//!   exactly what the row-DOALL certificate licenses: no dependence binds
+//!   two distinct iterations of a row, and same-iteration statement order
+//!   is preserved. Long rows additionally split into column tiles executed
+//!   on worker threads, writing **in place** through [`SharedCells`].
+//! * [`ExecMode::RowsSerial`] — the canonical cell-major serialization,
+//!   sequential and in place (a single thread cannot race itself). The
+//!   fallback when no certificate exists.
+//! * [`ExecMode::Wavefront`] — hyperplane execution: cells grouped by
+//!   `t = s · (fi, fj)`, groups ascending, one barrier per group; groups
+//!   run threaded in place only when the hyperplane certificate holds.
+//!
+//! Counters ([`ExecStats`]) match the interpreter's accounting exactly:
+//! one barrier per fused row / non-empty wavefront group, one statement
+//! instance per executed assignment — so BENCH reports are directly
+//! comparable across engines.
+
+use std::collections::BTreeMap;
+
+use mdf_graph::{BudgetMeter, IVec2, MdfError};
+use mdf_ir::retgen::{FusedSpec, IRange};
+use mdf_sim::ExecStats;
+use rayon::prelude::*;
+
+use crate::lower::{eval_compiled, lower_loop, CompiledLoop, MAX_REGS};
+use crate::memory::{KernelMemory, Layout};
+
+/// Minimum row length before a certified row is split into column tiles
+/// for threading; below this the barrier and spawn overhead dominates.
+const TILE_COLS: i64 = 256;
+
+/// How a compiled kernel traverses the fused iteration space. Produced by
+/// [`crate::plan_mode`]; constructing a `RowsCertified`/certified
+/// wavefront mode by hand asserts that the caller holds a race
+/// certificate for the spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Row-DOALL, certificate held: loop-major rows, tiled + threaded.
+    RowsCertified,
+    /// No certificate: canonical cell-major serialization, sequential.
+    RowsSerial,
+    /// Hyperplane wavefront with schedule vector `s`.
+    Wavefront {
+        /// The schedule vector.
+        schedule: IVec2,
+        /// Whether the hyperplane race certificate holds (gates threading).
+        certified: bool,
+    },
+}
+
+/// A bounds-checked shared view of the kernel buffer for certified
+/// parallel steps. The *only* `unsafe` in the crate: distinct iterations
+/// of a certified step touch disjoint cells (that is what the certificate
+/// proves), so concurrent in-place access through a raw pointer is
+/// data-race-free; every access still bounds-checks against the buffer
+/// length.
+struct SharedCells {
+    ptr: *mut i64,
+    len: usize,
+}
+
+unsafe impl Send for SharedCells {}
+unsafe impl Sync for SharedCells {}
+
+impl SharedCells {
+    fn new(data: &mut [i64]) -> SharedCells {
+        SharedCells {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+        }
+    }
+
+    #[inline]
+    fn slot(&self, idx: isize) -> usize {
+        // A negative isize wraps to a huge usize, so one compare covers
+        // both underflow and overflow.
+        let u = idx as usize;
+        assert!(u < self.len, "kernel access out of bounds: {idx}");
+        u
+    }
+
+    #[inline]
+    fn read(&self, idx: isize) -> i64 {
+        let u = self.slot(idx);
+        unsafe { *self.ptr.add(u) }
+    }
+
+    #[inline]
+    fn write(&self, idx: isize, v: i64) {
+        let u = self.slot(idx);
+        unsafe { *self.ptr.add(u) = v }
+    }
+}
+
+/// A fused spec lowered for fixed bounds `(n, m)`: bytecode bodies, active
+/// ranges, and the flat-memory layout, ready to run in any [`ExecMode`].
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    layout: Layout,
+    n: i64,
+    m: i64,
+    outer: IRange,
+    inner: IRange,
+    /// Lowered loops **in fused body order** (stable topological order of
+    /// the `(0,0)`-retimed dependence subgraph), not textual order.
+    loops: Vec<CompiledLoop>,
+}
+
+impl CompiledKernel {
+    /// Lowers `spec` for bounds `(n, m)`. Fails typed on non-executable
+    /// specs (a `(0,0)`-dependence cycle) or bodies nesting deeper than
+    /// the register file.
+    pub fn compile(spec: &FusedSpec, n: i64, m: i64) -> Result<CompiledKernel, MdfError> {
+        let body = spec.body_order().ok_or_else(|| {
+            MdfError::invalid(
+                "fused body has a (0,0)-dependence cycle: the program is not executable",
+            )
+        })?;
+        let layout = Layout::for_program(&spec.program, n, m);
+        let loops = body
+            .iter()
+            .map(|&li| {
+                lower_loop(
+                    &layout,
+                    &spec.program.loops[li].stmts,
+                    spec.offsets[li],
+                    n,
+                    m,
+                )
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompiledKernel {
+            layout,
+            n,
+            m,
+            outer: spec.outer_range(n),
+            inner: spec.inner_range(m),
+            loops,
+        })
+    }
+
+    /// The memory layout the kernel runs over.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// The bounds the kernel was compiled for.
+    pub fn bounds(&self) -> (i64, i64) {
+        (self.n, self.m)
+    }
+
+    /// Runs the kernel on fresh memory with the host's thread count.
+    pub fn run(&self, mode: ExecMode) -> (KernelMemory, ExecStats) {
+        self.run_with_threads(mode, rayon::current_num_threads())
+    }
+
+    /// [`CompiledKernel::run`] with an explicit worker count driving the
+    /// step policy (whether certified steps take the tiled [`SharedCells`]
+    /// path); actual parallelism is still the runtime's to grant. Exposed
+    /// so tests and benches can force either path deterministically.
+    pub fn run_with_threads(&self, mode: ExecMode, threads: usize) -> (KernelMemory, ExecStats) {
+        let mut mem = KernelMemory::new(self.layout);
+        // An unlimited meter cannot trip, so the budgeted driver is total.
+        #[allow(clippy::expect_used)]
+        let stats = self
+            .drive(mode, &mut mem, threads, None)
+            .expect("unbudgeted kernel run cannot trip a budget");
+        (mem, stats)
+    }
+
+    /// Runs under a resource budget: cells charged before allocation, the
+    /// deadline re-checked and statement instances charged at every
+    /// barrier (fused row or wavefront group), mirroring the budgeted
+    /// interpreter drivers in `mdf-sim`.
+    pub fn run_budgeted(
+        &self,
+        mode: ExecMode,
+        meter: &mut BudgetMeter,
+    ) -> Result<(KernelMemory, ExecStats), MdfError> {
+        meter.charge_cells(self.layout.cells() as u64)?;
+        let mut mem = KernelMemory::new(self.layout);
+        let stats = self.drive(mode, &mut mem, rayon::current_num_threads(), Some(meter))?;
+        Ok((mem, stats))
+    }
+
+    fn drive(
+        &self,
+        mode: ExecMode,
+        mem: &mut KernelMemory,
+        threads: usize,
+        mut meter: Option<&mut BudgetMeter>,
+    ) -> Result<ExecStats, MdfError> {
+        let mut stats = ExecStats::default();
+        match mode {
+            ExecMode::RowsCertified | ExecMode::RowsSerial => {
+                for fi in self.outer.lo..=self.outer.hi {
+                    if let Some(meter) = meter.as_deref_mut() {
+                        meter.check_deadline()?;
+                    }
+                    let instances = if mode == ExecMode::RowsCertified {
+                        self.row_loop_major(mem.data_mut(), fi, threads)
+                    } else {
+                        self.row_cell_major(mem.data_mut(), fi)
+                    };
+                    stats.stmt_instances += instances;
+                    stats.barriers += 1;
+                    if let Some(meter) = meter.as_deref_mut() {
+                        meter.charge_iterations(instances)?;
+                    }
+                }
+            }
+            ExecMode::Wavefront {
+                schedule,
+                certified,
+            } => {
+                for group in self.wavefront_groups(schedule) {
+                    if let Some(meter) = meter.as_deref_mut() {
+                        meter.check_deadline()?;
+                    }
+                    let instances =
+                        self.wavefront_group(mem.data_mut(), &group, certified, threads);
+                    stats.stmt_instances += instances;
+                    stats.barriers += 1;
+                    if let Some(meter) = meter.as_deref_mut() {
+                        meter.charge_iterations(instances)?;
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// One certified row, loop-major: each active loop's statements sweep
+    /// the loop's column range with a cursor that advances by one cell per
+    /// step. Long rows split into column tiles run through the shared
+    /// in-place view; each tile replays the full loop-major body
+    /// restricted to its columns, which the row certificate makes
+    /// equivalent (no dependence crosses iterations within the row).
+    fn row_loop_major(&self, data: &mut [i64], fi: i64, threads: usize) -> u64 {
+        let active = |cl: &CompiledLoop| cl.rows.contains(fi) && !cl.cols.is_empty();
+        let instances: u64 = self
+            .loops
+            .iter()
+            .filter(|cl| active(cl))
+            .map(|cl| cl.stmts.len() as u64 * cl.cols.len() as u64)
+            .sum();
+        if threads > 1 && self.inner.len() >= 2 * TILE_COLS {
+            let cells = SharedCells::new(data);
+            let tiles: Vec<(i64, i64)> = (self.inner.lo..=self.inner.hi)
+                .step_by(TILE_COLS as usize)
+                .map(|lo| (lo, (lo + TILE_COLS - 1).min(self.inner.hi)))
+                .collect();
+            tiles.into_par_iter().for_each(|(tile_lo, tile_hi)| {
+                let mut regs = [0i64; MAX_REGS];
+                for cl in &self.loops {
+                    if !active(cl) {
+                        continue;
+                    }
+                    let lo = tile_lo.max(cl.cols.lo);
+                    let hi = tile_hi.min(cl.cols.hi);
+                    if lo > hi {
+                        continue;
+                    }
+                    let base = self.layout.cursor(fi + cl.offset.x, lo + cl.offset.y) as isize;
+                    for s in &cl.stmts {
+                        for cur in base..base + (hi - lo + 1) as isize {
+                            let v = eval_compiled(&s.instrs, &mut regs, |d| cells.read(cur + d));
+                            cells.write(cur + s.store_delta, v);
+                        }
+                    }
+                }
+            });
+        } else {
+            let mut regs = [0i64; MAX_REGS];
+            for cl in &self.loops {
+                if !active(cl) {
+                    continue;
+                }
+                let base = self
+                    .layout
+                    .cursor(fi + cl.offset.x, cl.cols.lo + cl.offset.y)
+                    as isize;
+                for s in &cl.stmts {
+                    for cur in base..base + cl.cols.len() as isize {
+                        let v = {
+                            let ro: &[i64] = data;
+                            eval_compiled(&s.instrs, &mut regs, |d| ro[(cur + d) as usize])
+                        };
+                        data[(cur + s.store_delta) as usize] = v;
+                    }
+                }
+            }
+        }
+        instances
+    }
+
+    /// One uncertified row: the canonical cell-major serialization, cell
+    /// by cell with loops in body order — bit-identical to the
+    /// interpreter's `run_fused` traversal, just through compiled bodies.
+    fn row_cell_major(&self, data: &mut [i64], fi: i64) -> u64 {
+        let mut regs = [0i64; MAX_REGS];
+        let mut instances = 0u64;
+        for fj in self.inner.lo..=self.inner.hi {
+            instances += self.exec_cell(data, &mut regs, fi, fj);
+        }
+        instances
+    }
+
+    /// Executes every active loop body at one fused cell, in place.
+    #[inline]
+    fn exec_cell(&self, data: &mut [i64], regs: &mut [i64; MAX_REGS], fi: i64, fj: i64) -> u64 {
+        let mut instances = 0u64;
+        for cl in &self.loops {
+            if !cl.rows.contains(fi) || !cl.cols.contains(fj) {
+                continue;
+            }
+            let cur = self.layout.cursor(fi + cl.offset.x, fj + cl.offset.y) as isize;
+            for s in &cl.stmts {
+                let v = {
+                    let ro: &[i64] = data;
+                    eval_compiled(&s.instrs, regs, |d| ro[(cur + d) as usize])
+                };
+                data[(cur + s.store_delta) as usize] = v;
+                instances += 1;
+            }
+        }
+        instances
+    }
+
+    /// The wavefront groups of the compiled iteration space: active cells
+    /// bucketed by `s · (fi, fj)`, ascending.
+    fn wavefront_groups(&self, s: IVec2) -> Vec<Vec<(i64, i64)>> {
+        let mut buckets: BTreeMap<i64, Vec<(i64, i64)>> = BTreeMap::new();
+        for fi in self.outer.lo..=self.outer.hi {
+            for fj in self.inner.lo..=self.inner.hi {
+                if self
+                    .loops
+                    .iter()
+                    .any(|cl| cl.rows.contains(fi) && cl.cols.contains(fj))
+                {
+                    buckets
+                        .entry(s.x * fi + s.y * fj)
+                        .or_default()
+                        .push((fi, fj));
+                }
+            }
+        }
+        buckets.into_values().collect()
+    }
+
+    /// One wavefront group: all cells of one hyperplane. Threaded in place
+    /// only under the hyperplane certificate; otherwise sequential in
+    /// group order (the interpreter's serialization).
+    fn wavefront_group(
+        &self,
+        data: &mut [i64],
+        group: &[(i64, i64)],
+        certified: bool,
+        threads: usize,
+    ) -> u64 {
+        if certified && threads > 1 && group.len() >= 2 {
+            let instances: u64 = group
+                .iter()
+                .map(|&(fi, fj)| {
+                    self.loops
+                        .iter()
+                        .filter(|cl| cl.rows.contains(fi) && cl.cols.contains(fj))
+                        .map(|cl| cl.stmts.len() as u64)
+                        .sum::<u64>()
+                })
+                .sum();
+            let cells = SharedCells::new(data);
+            group.to_vec().into_par_iter().for_each(|(fi, fj)| {
+                let mut regs = [0i64; MAX_REGS];
+                for cl in &self.loops {
+                    if !cl.rows.contains(fi) || !cl.cols.contains(fj) {
+                        continue;
+                    }
+                    let cur = self.layout.cursor(fi + cl.offset.x, fj + cl.offset.y) as isize;
+                    for s in &cl.stmts {
+                        let v = eval_compiled(&s.instrs, &mut regs, |d| cells.read(cur + d));
+                        cells.write(cur + s.store_delta, v);
+                    }
+                }
+            });
+            instances
+        } else {
+            let mut regs = [0i64; MAX_REGS];
+            let mut instances = 0u64;
+            for &(fi, fj) in group {
+                instances += self.exec_cell(data, &mut regs, fi, fj);
+            }
+            instances
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_core::plan_fusion;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, image_pipeline_program, relaxation_program};
+    use mdf_sim::{run_fused, run_original, run_wavefront};
+
+    fn planned_spec(p: &mdf_ir::ast::Program) -> (FusedSpec, mdf_core::FusionPlan) {
+        let plan = plan_fusion(&extract_mldg(p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+        (spec, plan)
+    }
+
+    #[test]
+    fn certified_rows_match_original_fingerprint() {
+        for (n, m) in [(0, 0), (1, 1), (5, 3), (12, 9)] {
+            for p in [figure2_program(), image_pipeline_program()] {
+                let (spec, plan) = planned_spec(&p);
+                let mode = crate::plan_mode(&spec, &plan);
+                assert_eq!(mode, ExecMode::RowsCertified, "{}", p.name);
+                let k = CompiledKernel::compile(&spec, n, m).unwrap();
+                let (kmem, kstats) = k.run(mode);
+                let (imem, _) = run_original(&p, n, m);
+                assert_eq!(
+                    kmem.fingerprint(),
+                    imem.fingerprint(),
+                    "{} at ({n},{m})",
+                    p.name
+                );
+                // Barrier accounting matches the fused interpreter.
+                let (_, istats) = run_fused(&spec, n, m);
+                assert_eq!(kstats.barriers, istats.barriers);
+                assert_eq!(kstats.stmt_instances, istats.stmt_instances);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_tiled_path_matches_serial_path() {
+        // Push the row length past the tiling threshold and force a
+        // multi-worker policy: the SharedCells tiled path must produce the
+        // same image as the single-threaded sweep.
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 4, 3 * TILE_COLS).unwrap();
+        let (serial, _) = k.run_with_threads(mode, 1);
+        let (tiled, _) = k.run_with_threads(mode, 4);
+        assert_eq!(serial.fingerprint(), tiled.fingerprint());
+        let (imem, _) = run_original(&p, 4, 3 * TILE_COLS);
+        assert_eq!(tiled.fingerprint(), imem.fingerprint());
+    }
+
+    #[test]
+    fn wavefront_mode_matches_original_and_interpreter_barriers() {
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let ExecMode::Wavefront {
+            schedule,
+            certified,
+        } = mode
+        else {
+            panic!("relaxation must plan a wavefront");
+        };
+        assert!(certified);
+        for (n, m) in [(0, 0), (3, 5), (10, 10)] {
+            let k = CompiledKernel::compile(&spec, n, m).unwrap();
+            let (kmem, kstats) = k.run(mode);
+            let (imem, _) = run_original(&p, n, m);
+            assert_eq!(kmem.fingerprint(), imem.fingerprint(), "({n},{m})");
+            let w = plan.wavefront().unwrap();
+            assert_eq!(w.schedule, schedule);
+            let (_, wstats) = run_wavefront(&spec, w, n, m);
+            assert_eq!(kstats.barriers, wstats.barriers);
+        }
+        // Forced-parallel groups agree with the sequential groups.
+        let k = CompiledKernel::compile(&spec, 8, 8).unwrap();
+        let (a, _) = k.run_with_threads(mode, 1);
+        let (b, _) = k.run_with_threads(mode, 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn serial_fallback_is_exact_for_legal_but_not_doall_specs() {
+        // Figure 6's retiming fuses legally but rows are serial; the
+        // RowsSerial fallback must still reproduce the original exactly.
+        use mdf_graph::v2;
+        let p = figure2_program();
+        let spec = FusedSpec::new(p.clone(), vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+        let k = CompiledKernel::compile(&spec, 8, 8).unwrap();
+        let (kmem, _) = k.run(ExecMode::RowsSerial);
+        let (imem, _) = run_original(&p, 8, 8);
+        assert_eq!(kmem.fingerprint(), imem.fingerprint());
+    }
+
+    #[test]
+    fn body_order_is_honored_not_textual_order() {
+        // A backward edge collapsed to (0,0) forces loop B before loop A;
+        // executing textually would read stale values.
+        use mdf_graph::v2;
+        use mdf_ir::ast::{ArrayRef, Expr, Program, Stmt};
+        let mut p = Program::new("backward");
+        let a = p.add_array("a");
+        let b = p.add_array("b");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(b, -1, 0)),
+            }],
+        );
+        p.add_loop(
+            "B",
+            vec![Stmt {
+                lhs: ArrayRef::new(b, 0, 0),
+                rhs: Expr::Const(7),
+            }],
+        );
+        let spec = FusedSpec::new(p.clone(), vec![v2(1, 0), v2(0, 0)]);
+        let k = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        let (kmem, _) = k.run(ExecMode::RowsSerial);
+        let (fmem, _) = run_fused(&spec, 6, 6);
+        assert_eq!(kmem.fingerprint(), fmem.fingerprint());
+    }
+
+    #[test]
+    fn budgeted_run_matches_plain_and_trips_on_iteration_cap() {
+        use mdf_graph::{Budget, BudgetResource};
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 9, 7).unwrap();
+        let mut meter = Budget::unlimited().meter();
+        let (bmem, bstats) = k.run_budgeted(mode, &mut meter).unwrap();
+        let (pmem, pstats) = k.run(mode);
+        assert_eq!(bmem.fingerprint(), pmem.fingerprint());
+        assert_eq!(bstats, pstats);
+
+        let mut tight = Budget::unlimited().with_max_iterations(10).meter();
+        match k.run_budgeted(mode, &mut tight) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::Iterations,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+
+        let mut tiny = Budget::unlimited().with_max_memory_cells(4).meter();
+        match k.run_budgeted(mode, &mut tiny) {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::MemoryCells,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nonexecutable_spec_fails_typed_at_compile() {
+        // A same-loop, same-row dependence (a[i][j] reading a[i][j-1])
+        // violates the DOALL program model; dependence analysis rejects
+        // it, `body_order` has nothing to order, and compilation must
+        // surface a typed error — mirroring `body_order_typed` in
+        // `mdf-sim` — instead of producing a kernel.
+        use mdf_ir::ast::{ArrayRef, Expr, Program, Stmt};
+        let mut p = Program::new("not-doall");
+        let a = p.add_array("a");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(a, 0, -1)),
+            }],
+        );
+        let spec = FusedSpec::unretimed(p);
+        assert!(spec.body_order().is_none(), "analysis must reject the loop");
+        assert!(CompiledKernel::compile(&spec, 4, 4).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # `mdf-kernel` — compiled execution engine for fused schedules
+//!
+//! The reference path in `mdf-sim` is a tree-walking interpreter: every
+//! statement instance re-traverses its `Expr` AST, every array access
+//! re-derives a halo-adjusted 2-D index, and the thread-safe `parallel`
+//! runner buffers writes into per-iteration overlays that are applied
+//! after each barrier. That is the right substrate for *checking*
+//! transformations; it is the wrong substrate for *running* them.
+//!
+//! This crate lowers a [`FusedSpec`] (program + retiming) once into a
+//! flat, allocation-free kernel and executes the planned iteration space
+//! directly:
+//!
+//! * [`lower`] — statement bodies compile to a register bytecode
+//!   ([`lower::Instr`]): constants folded, every array reference resolved
+//!   to a single precomputed *linear delta* from the iteration cursor in
+//!   one dense buffer shared by all arrays (no per-cell halo math);
+//! * [`memory`] — [`KernelMemory`], the dense buffer, laid out exactly
+//!   like `mdf_sim::Memory` so fingerprints are directly comparable;
+//! * [`exec`] — the step drivers: tiled row-DOALL and hyperplane
+//!   wavefront, writing **in place** with no buffered-write overlay.
+//!
+//! ## In-place safety argument
+//!
+//! Writing in place during a parallel step is sound only when no two
+//! iterations of the step touch one cell with at least one write. That is
+//! precisely what `mdf-analyze`'s static race certificate proves — for
+//! every iteration-space size, not just the one being run. The engine
+//! therefore *consumes the certificate*: [`plan_mode`] runs
+//! [`certify_doall`] and only a `Certified` verdict unlocks the loop-major
+//! traversal and threaded in-place writes; anything else degrades to the
+//! canonical sequential serialization (still compiled, still in place —
+//! a single thread cannot race itself). Callers who want the buffered
+//! interpreter path instead can keep using `mdf_sim::parallel`.
+//!
+//! The tiny `unsafe` surface (shared `&[Cell]`-style writes during a
+//! certified step) lives in [`exec`] behind that gate; everything else in
+//! the crate is `#![deny(unsafe_code)]`-clean.
+
+#![warn(missing_docs)]
+
+pub mod exec;
+pub mod lower;
+pub mod memory;
+
+pub use exec::{CompiledKernel, ExecMode};
+pub use lower::{CompiledLoop, CompiledStmt, Instr};
+pub use memory::KernelMemory;
+
+use mdf_analyze::{certify_doall, ParallelMode};
+use mdf_core::FusionPlan;
+use mdf_ir::retgen::FusedSpec;
+
+/// Picks the execution mode for a plan by consulting the static race
+/// certificate: certified plans run loop-major and (on multicore hosts)
+/// with threaded in-place writes; uncertified plans fall back to the
+/// canonical sequential serialization.
+pub fn plan_mode(spec: &FusedSpec, plan: &FusionPlan) -> ExecMode {
+    match plan {
+        FusionPlan::FullParallel { .. } => {
+            if certify_doall(spec, ParallelMode::Rows).is_certified() {
+                ExecMode::RowsCertified
+            } else {
+                ExecMode::RowsSerial
+            }
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => ExecMode::Wavefront {
+            schedule: wavefront.schedule,
+            certified: certify_doall(spec, ParallelMode::Hyperplanes(wavefront.schedule))
+                .is_certified(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_core::plan_fusion;
+    use mdf_ir::extract::extract_mldg;
+    use mdf_ir::samples::{figure2_program, relaxation_program};
+
+    #[test]
+    fn planner_plans_are_certified_by_construction() {
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        assert_eq!(plan_mode(&spec, &plan), ExecMode::RowsCertified);
+
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        match plan_mode(&spec, &plan) {
+            ExecMode::Wavefront { certified, .. } => assert!(certified),
+            other => panic!("expected wavefront, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_retiming_demotes_to_serial() {
+        // An unretimed Figure 2 claims-full-parallel plan must NOT get the
+        // in-place parallel mode: the certificate rejects it.
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::unretimed(p);
+        if plan.is_full_parallel() {
+            assert_eq!(plan_mode(&spec, &plan), ExecMode::RowsSerial);
+        }
+    }
+}

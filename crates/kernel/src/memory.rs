@@ -1,0 +1,190 @@
+//! Dense flat memory for compiled kernels.
+//!
+//! `mdf_sim::Memory` stores one halo-extended [`mdf_sim::Array2`] per
+//! array, and every access re-derives `(i - lo_i) * cols + (j - lo_j)`
+//! behind a bounds `debug_assert`. The kernel instead allocates **one**
+//! contiguous `Vec<i64>` holding every array plane back to back, all with
+//! the same extent, so a compiled instruction reaches any cell of any
+//! array as `data[cursor + delta]` for a `delta` precomputed at lowering
+//! time.
+//!
+//! The layout is bit-for-bit the same as the interpreter's — same halo
+//! rule (`max_offset`), same row-major plane order, same deterministic
+//! [`init_value`] boundary pattern — so [`KernelMemory::fingerprint`]
+//! returns **exactly** the value `mdf_sim::Memory::fingerprint` returns
+//! for an equal memory image. That equality is the kernel's differential
+//! oracle contract, enforced by `tests/` and the fuzzer.
+
+use mdf_ir::ast::Program;
+use mdf_sim::array2::init_value;
+
+/// The shared shape of every array plane in a kernel's flat buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Layout {
+    /// Number of arrays (= number of planes).
+    pub arrays: usize,
+    /// Halo width; planes cover `[-halo, n+halo] x [-halo, m+halo]`.
+    pub halo: i64,
+    /// Rows per plane (`n + 2*halo + 1`).
+    pub rows: i64,
+    /// Columns per plane (`m + 2*halo + 1`).
+    pub cols: i64,
+}
+
+impl Layout {
+    /// The layout the interpreter would use for `p` at bounds `(n, m)`
+    /// (same halo rule as `mdf_sim::Memory::for_program`).
+    pub fn for_program(p: &Program, n: i64, m: i64) -> Layout {
+        let halo = p.max_offset();
+        Layout {
+            arrays: p.arrays.len(),
+            halo,
+            rows: n + 2 * halo + 1,
+            cols: m + 2 * halo + 1,
+        }
+    }
+
+    /// Cells per plane.
+    pub fn plane(&self) -> usize {
+        (self.rows * self.cols) as usize
+    }
+
+    /// Total cells across all planes.
+    pub fn cells(&self) -> usize {
+        self.arrays * self.plane()
+    }
+
+    /// The *cursor* of cell `(i, j)`: its linear index within a plane.
+    /// Compiled code adds per-reference deltas (plane base + subscript
+    /// offset) to a cursor instead of calling this per access.
+    pub fn cursor(&self, i: i64, j: i64) -> usize {
+        debug_assert!(
+            i >= -self.halo
+                && i < self.rows - self.halo
+                && j >= -self.halo
+                && j < self.cols - self.halo,
+            "cursor ({i},{j}) outside layout"
+        );
+        ((i + self.halo) * self.cols + (j + self.halo)) as usize
+    }
+
+    /// The linear delta a reference to array `k` at subscript offset
+    /// `(di, dj)` adds to the accessing statement's cursor.
+    pub fn delta(&self, k: usize, di: i64, dj: i64) -> isize {
+        (k as i64 * self.rows * self.cols + di * self.cols + dj) as isize
+    }
+}
+
+/// The flat memory image of one kernel execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelMemory {
+    layout: Layout,
+    data: Vec<i64>,
+}
+
+impl KernelMemory {
+    /// Allocates and initializes memory for `layout`, filling every cell
+    /// with the interpreter's deterministic boundary pattern.
+    pub fn new(layout: Layout) -> KernelMemory {
+        let mut data = Vec::with_capacity(layout.cells());
+        for k in 0..layout.arrays {
+            for i in -layout.halo..layout.rows - layout.halo {
+                for j in -layout.halo..layout.cols - layout.halo {
+                    data.push(init_value(k, i, j));
+                }
+            }
+        }
+        KernelMemory { layout, data }
+    }
+
+    /// The layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Reads array `k` at `(i, j)` (tests and reporting; compiled code
+    /// never calls this).
+    pub fn get(&self, k: usize, i: i64, j: i64) -> i64 {
+        self.data[(self.layout.cursor(i, j) as isize + self.layout.delta(k, 0, 0)) as usize]
+    }
+
+    /// The whole buffer, for the execution engine.
+    pub(crate) fn data_mut(&mut self) -> &mut [i64] {
+        &mut self.data
+    }
+
+    /// Fingerprint of the whole memory image — **identical** to
+    /// `mdf_sim::Memory::fingerprint` on an equal image: the same
+    /// per-plane FNV fold (`Array2::fingerprint`) combined the same way.
+    pub fn fingerprint(&self) -> u64 {
+        let plane = self.layout.plane();
+        let mut h: u64 = 14695981039346656037;
+        for k in 0..self.layout.arrays {
+            let mut a: u64 = 0xcbf2_9ce4_8422_2325;
+            for &v in &self.data[k * plane..(k + 1) * plane] {
+                a ^= v as u64;
+                a = a.wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= a;
+            h = h.wrapping_mul(1099511628211);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_ir::samples::figure2_program;
+    use mdf_sim::Memory;
+
+    #[test]
+    fn layout_matches_interpreter_extents() {
+        let p = figure2_program();
+        let (n, m) = (10, 7);
+        let layout = Layout::for_program(&p, n, m);
+        let mem = Memory::for_program(&p, n, m, 0);
+        let ((lo_i, hi_i), (lo_j, hi_j)) = mem.array(0).extent();
+        assert_eq!(lo_i, -layout.halo);
+        assert_eq!(hi_i, layout.rows - layout.halo - 1);
+        assert_eq!(lo_j, -layout.halo);
+        assert_eq!(hi_j, layout.cols - layout.halo - 1);
+        assert_eq!(layout.arrays, p.arrays.len());
+    }
+
+    #[test]
+    fn fresh_memory_fingerprint_equals_interpreter_fingerprint() {
+        // The whole oracle contract in one assert: untouched kernel memory
+        // and untouched interpreter memory hash identically.
+        let p = figure2_program();
+        for (n, m) in [(0, 0), (3, 5), (12, 9)] {
+            let layout = Layout::for_program(&p, n, m);
+            let kmem = KernelMemory::new(layout);
+            let imem = Memory::for_program(&p, n, m, 0);
+            assert_eq!(kmem.fingerprint(), imem.fingerprint(), "bounds ({n},{m})");
+        }
+    }
+
+    #[test]
+    fn cursor_delta_arithmetic_reaches_the_right_cells() {
+        let p = figure2_program();
+        let layout = Layout::for_program(&p, 6, 6);
+        let kmem = KernelMemory::new(layout);
+        // a[i-2][j+1] of array 3 from iteration (2, 3), via cursor + delta.
+        let cur = layout.cursor(2, 3) as isize;
+        let d = layout.delta(3, -2, 1);
+        assert_eq!(kmem.data[(cur + d) as usize], init_value(3, 0, 4));
+        assert_eq!(kmem.get(3, 0, 4), init_value(3, 0, 4));
+    }
+
+    #[test]
+    fn fingerprint_is_content_sensitive() {
+        let p = figure2_program();
+        let layout = Layout::for_program(&p, 4, 4);
+        let mut kmem = KernelMemory::new(layout);
+        let f0 = kmem.fingerprint();
+        let idx = (layout.cursor(1, 1) as isize + layout.delta(2, 0, 0)) as usize;
+        kmem.data_mut()[idx] ^= 1;
+        assert_ne!(f0, kmem.fingerprint());
+    }
+}

@@ -27,7 +27,62 @@ use crate::interp::{ExecStats, Memory};
 /// A buffered write: `(array, i, j, value)`.
 type Write = (usize, i64, i64, i64);
 
-fn eval_with_overlay(mem: &Memory, overlay: &[Write], e: &Expr, i: i64, j: i64) -> i64 {
+/// Writes of the overlay before an index is built: tuned so that typical
+/// bodies (a handful of statements) never pay for hashing, while large
+/// bodies switch to O(1) lookups instead of going quadratic per cell.
+const OVERLAY_INDEX_THRESHOLD: usize = 8;
+
+/// One fused iteration's buffered writes, readable by later statements of
+/// the same iteration.
+///
+/// Reads used to reverse-scan the whole write list, which made a cell with
+/// `k` buffered writes cost O(k) per read — quadratic per iteration for
+/// large statement bodies. Small overlays keep the scan (cheapest for the
+/// common few-statement body); past [`OVERLAY_INDEX_THRESHOLD`] writes a
+/// `(array, i, j) -> newest value` index is built once and maintained
+/// incrementally, so reads stay O(1) however large the body grows.
+#[derive(Default)]
+struct Overlay {
+    /// Writes in execution order (newest last) — the step's output batch.
+    writes: Vec<Write>,
+    /// Lazily-built index over `writes`; newest write wins by overwrite.
+    index: Option<std::collections::HashMap<(usize, i64, i64), i64>>,
+}
+
+impl Overlay {
+    fn push(&mut self, w: Write) {
+        self.writes.push(w);
+        if let Some(index) = &mut self.index {
+            index.insert((w.0, w.1, w.2), w.3);
+        } else if self.writes.len() > OVERLAY_INDEX_THRESHOLD {
+            self.index = Some(
+                self.writes
+                    .iter()
+                    .map(|&(a, i, j, v)| ((a, i, j), v))
+                    .collect(),
+            );
+        }
+    }
+
+    fn get(&self, array: usize, i: i64, j: i64) -> Option<i64> {
+        if let Some(index) = &self.index {
+            return index.get(&(array, i, j)).copied();
+        }
+        // The newest overlay entry wins; the un-indexed overlay is tiny.
+        for &(a, wi, wj, v) in self.writes.iter().rev() {
+            if a == array && wi == i && wj == j {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn into_writes(self) -> Vec<Write> {
+        self.writes
+    }
+}
+
+fn eval_with_overlay(mem: &Memory, overlay: &Overlay, e: &Expr, i: i64, j: i64) -> i64 {
     match e {
         Expr::Const(v) => *v,
         Expr::Ref(r) => read_with_overlay(mem, overlay, r, i, j),
@@ -39,16 +94,11 @@ fn eval_with_overlay(mem: &Memory, overlay: &[Write], e: &Expr, i: i64, j: i64) 
     }
 }
 
-fn read_with_overlay(mem: &Memory, overlay: &[Write], r: &ArrayRef, i: i64, j: i64) -> i64 {
+fn read_with_overlay(mem: &Memory, overlay: &Overlay, r: &ArrayRef, i: i64, j: i64) -> i64 {
     let (ci, cj) = (i + r.di, j + r.dj);
-    // The newest overlay entry wins; overlays are tiny (one iteration's
-    // writes), so a reverse linear scan is the fast path.
-    for &(a, wi, wj, v) in overlay.iter().rev() {
-        if a == r.array && wi == ci && wj == cj {
-            return v;
-        }
-    }
-    mem.read(r, i, j)
+    overlay
+        .get(r.array, ci, cj)
+        .unwrap_or_else(|| mem.read(r, i, j))
 }
 
 /// Executes one fused iteration, returning its buffered writes.
@@ -61,7 +111,7 @@ fn run_iteration(
     n: i64,
     m: i64,
 ) -> Vec<Write> {
-    let mut overlay: Vec<Write> = Vec::new();
+    let mut overlay = Overlay::default();
     for &li in body {
         if !spec.node_active(li, fi, fj, n, m) {
             continue;
@@ -73,7 +123,7 @@ fn run_iteration(
             overlay.push((s.lhs.array, i + s.lhs.di, j + s.lhs.dj, v));
         }
     }
-    overlay
+    overlay.into_writes()
 }
 
 /// Human-readable text of a caught panic payload.
@@ -335,6 +385,62 @@ mod tests {
     }
 
     #[test]
+    fn overlay_index_kicks_in_for_large_bodies_and_agrees_with_scan() {
+        // A chain of 24 single-statement loops, each reading its
+        // predecessor at (0,0): every fused iteration buffers 24 writes,
+        // well past OVERLAY_INDEX_THRESHOLD, so reads go through the
+        // hash index. The parallel run must still match the reference
+        // interpreter exactly.
+        use mdf_ir::ast::{ArrayRef, BinOp, Expr, Program, Stmt};
+        let mut p = Program::new("chain24");
+        let ids: Vec<usize> = (0..24).map(|k| p.add_array(format!("x{k}"))).collect();
+        for (k, &id) in ids.iter().enumerate() {
+            let rhs = if k == 0 {
+                Expr::Const(7)
+            } else {
+                Expr::bin(
+                    BinOp::Add,
+                    Expr::Ref(ArrayRef::new(ids[k - 1], 0, 0)),
+                    Expr::Const(k as i64),
+                )
+            };
+            p.add_loop(
+                format!("L{k}"),
+                vec![Stmt {
+                    lhs: ArrayRef::new(id, 0, 0),
+                    rhs,
+                }],
+            );
+        }
+        assert_eq!(p.validate(), Ok(()));
+        let spec = FusedSpec::unretimed(p.clone());
+        let (reference, _) = run_original(&p, 9, 9);
+        let (par, _) = run_fused_rayon(&spec, 9, 9);
+        assert_eq!(par, reference);
+        // The overlay itself: 24 writes buffered, newest-wins lookups.
+        let body = spec.body_order().unwrap();
+        let mem = Memory::for_program(&p, 9, 9, 0);
+        let writes = run_iteration(&spec, &body, &mem, 4, 4, 9, 9);
+        assert_eq!(writes.len(), 24);
+        // Chained values: x_k = 7 + 1 + 2 + ... + k.
+        let expect = 7 + (23 * 24) / 2;
+        assert_eq!(writes.last().unwrap().3, expect);
+    }
+
+    #[test]
+    fn overlay_newest_write_wins_through_the_index() {
+        let mut o = Overlay::default();
+        for k in 0..20 {
+            o.push((0, 1, 1, k)); // same cell, repeatedly overwritten
+            o.push((1, k, k, -k));
+        }
+        assert_eq!(o.get(0, 1, 1), Some(19));
+        assert_eq!(o.get(1, 3, 3), Some(-3));
+        assert_eq!(o.get(2, 0, 0), None);
+        assert_eq!(o.into_writes().len(), 40);
+    }
+
+    #[test]
     fn overlay_serves_same_iteration_reads() {
         // Figure 2's (0,0)-retimed edges B->C and C->D mean C reads B's
         // value and D reads C's value within one fused iteration; the
@@ -442,7 +548,7 @@ fn run_iteration_subset(
     n: i64,
     m: i64,
 ) -> Vec<Write> {
-    let mut overlay: Vec<Write> = Vec::new();
+    let mut overlay = Overlay::default();
     for &li in loops {
         if !spec.node_active(li, fi, fj, n, m) {
             continue;
@@ -454,7 +560,7 @@ fn run_iteration_subset(
             overlay.push((s.lhs.array, i + s.lhs.di, j + s.lhs.dj, v));
         }
     }
-    overlay
+    overlay.into_writes()
 }
 
 #[cfg(test)]

@@ -19,6 +19,13 @@ cargo test -q --workspace
 echo "==> fuzz smoke (50 cases)"
 ./target/release/mdfuse fuzz --cases 50 --seed 1
 
+echo "==> bench smoke (quick, schema-validated)"
+bench_out=$(mktemp -d)
+./target/release/mdfuse bench --quick --json --deadline-ms 60000 \
+  --out "$bench_out/BENCH_fusion.json" >/dev/null
+./target/release/mdfuse bench --check "$bench_out/BENCH_fusion.json"
+rm -rf "$bench_out"
+
 echo "==> fuzz self-test (fault injection must be caught)"
 ./target/release/mdfuse fuzz --cases 50 --seed 1 --inject-broken-retiming >/dev/null
 

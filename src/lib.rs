@@ -19,6 +19,7 @@
 //! | [`ir`] | `mdf-ir` | loop-nest DSL, dependence analysis, fused code generation |
 //! | [`sim`] | `mdf-sim` | interpreter, plan checking, DOALL checker, cost model, Rayon runner |
 //! | [`analysis`] | `mdf-analyze` | static race certifier, certificate checker, DSL lints |
+//! | [`kernel`] | `mdf-kernel` | compiled execution engine: bytecode lowering, tiled in-place steps |
 //! | [`baselines`] | `mdf-baselines` | direct fusion, shift-and-peel, no-fusion |
 //! | [`gen`] | `mdf-gen` | random workloads and the E1–E5 experiment suite |
 //!
@@ -49,6 +50,7 @@ pub use mdf_core as core;
 pub use mdf_gen as gen;
 pub use mdf_graph as graph;
 pub use mdf_ir as ir;
+pub use mdf_kernel as kernel;
 pub use mdf_retime as retime;
 pub use mdf_sim as sim;
 

@@ -1,19 +1,55 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no registry access, so this workspace vendors
-//! the small slice of rayon that `mdf-sim` uses: `into_par_iter()` on
-//! ranges and vectors followed by `.map(...).collect::<Vec<_>>()`. Work is
-//! split across `std::thread::scope` workers (one chunk per available
-//! core); on a single-core host it degrades to in-place sequential
+//! the small slice of rayon that `mdf-sim` and `mdf-kernel` use:
+//! `into_par_iter()` on ranges and vectors followed by
+//! `.map(...).collect::<Vec<_>>()` or `.for_each(...)`, plus
+//! [`current_num_threads`]. Work is split across `std::thread::scope`
+//! workers; on a single-core host it degrades to in-place sequential
 //! execution. A panic in any worker propagates to the caller on join,
 //! matching rayon's behaviour — which is what the panic-isolation layer in
 //! `mdf-sim::parallel` relies on.
+//!
+//! ## Work distribution
+//!
+//! Items are dealt to workers round-robin (worker `w` takes items
+//! `w, w + W, w + 2W, ...`), not as one contiguous block per worker. The
+//! contiguous split starved workers on ragged steps: a triangular
+//! wavefront produces successive parallel steps of size 1, 2, 3, …, and
+//! with `chunk = ceil(len / workers)` a step of 5 items on 4 workers was
+//! split `[2, 2, 1, 0]` — one worker idle while another holds two items.
+//! Interleaving guarantees every worker's load is within one item of
+//! every other's ([`worker_loads`] is the testable form of that promise),
+//! which is also the right policy when per-item cost grows monotonically
+//! along the step (each worker samples the whole cost range instead of
+//! one end of it). `map` results are reassembled in input order, so the
+//! observable API is unchanged.
 
 #![forbid(unsafe_code)]
 
 /// The traits user code imports via `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+}
+
+/// The number of worker threads parallel iterators will use (mirrors
+/// `rayon::current_num_threads`): the host's available parallelism, or 1
+/// when that cannot be determined.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The per-worker item counts of the round-robin deal of `len` items to
+/// `workers` workers. Load balance invariant: `max - min <= 1` for every
+/// `(len, workers)` — the regression surface for the ragged-wavefront
+/// starvation fix (see the module docs).
+pub fn worker_loads(len: usize, workers: usize) -> Vec<usize> {
+    let workers = workers.max(1);
+    (0..workers)
+        .map(|w| len / workers + usize::from(w < len % workers))
+        .collect()
 }
 
 /// Parallel iterator types.
@@ -49,6 +85,12 @@ pub mod iter {
             R: Send,
             F: Fn(Self::Item) -> R + Sync,
             Self::Item: Send;
+        /// Runs `f` on every element in parallel, discarding results (no
+        /// per-item allocation; the in-place kernel engine's step driver).
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(Self::Item) + Sync,
+            Self::Item: Send;
         /// Collects the results in input order.
         fn collect<T: FromIterator<Self::Item>>(self) -> T;
     }
@@ -68,8 +110,16 @@ pub mod iter {
             T: Send,
         {
             ParIter {
-                items: run_chunked(self.items, &f),
+                items: run_interleaved(self.items, &f, super::current_num_threads()),
             }
+        }
+
+        fn for_each<F>(self, f: F)
+        where
+            F: Fn(T) + Sync,
+            T: Send,
+        {
+            run_interleaved_for_each(self.items, &f, super::current_num_threads());
         }
 
         fn collect<C: FromIterator<T>>(self) -> C {
@@ -77,49 +127,90 @@ pub mod iter {
         }
     }
 
-    /// Maps `f` over `items`, splitting into one chunk per available core.
-    /// Results come back in input order. Worker panics propagate when the
-    /// scope joins, like a rayon pool.
-    fn run_chunked<T: Send, R: Send>(items: Vec<T>, f: &(impl Fn(T) -> R + Sync)) -> Vec<R> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        if workers <= 1 || items.len() <= 1 {
+    /// Deals `items` round-robin across `w` workers; worker `w` takes the
+    /// items at global indices `w, w + W, ...` in order.
+    fn deal<T>(items: Vec<T>, workers: usize) -> Vec<Vec<T>> {
+        let cap = items.len().div_ceil(workers.max(1));
+        let mut hands: Vec<Vec<T>> = (0..workers).map(|_| Vec::with_capacity(cap)).collect();
+        for (idx, item) in items.into_iter().enumerate() {
+            hands[idx % workers].push(item);
+        }
+        hands
+    }
+
+    /// Maps `f` over `items` with round-robin work distribution (see the
+    /// crate docs), reassembling results in input order. Worker panics
+    /// propagate when the scope joins, like a rayon pool.
+    fn run_interleaved<T: Send, R: Send>(
+        items: Vec<T>,
+        f: &(impl Fn(T) -> R + Sync),
+        workers: usize,
+    ) -> Vec<R> {
+        let len = items.len();
+        if workers <= 1 || len <= 1 {
             return items.into_iter().map(f).collect();
         }
-        let chunk = items.len().div_ceil(workers);
-        let chunks: Vec<Vec<T>> = {
-            let mut it = items.into_iter();
-            let mut out = Vec::new();
-            loop {
-                let c: Vec<T> = it.by_ref().take(chunk).collect();
-                if c.is_empty() {
-                    break;
-                }
-                out.push(c);
-            }
-            out
-        };
-        let mut results: Vec<Vec<R>> = Vec::new();
+        let workers = workers.min(len);
+        let hands = deal(items, workers);
+        let mut per_worker: Vec<Vec<R>> = Vec::with_capacity(workers);
         std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
+            let handles: Vec<_> = hands
                 .into_iter()
-                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .map(|hand| s.spawn(move || hand.into_iter().map(f).collect::<Vec<R>>()))
                 .collect();
             for h in handles {
                 match h.join() {
-                    Ok(r) => results.push(r),
+                    Ok(r) => per_worker.push(r),
                     Err(payload) => std::panic::resume_unwind(payload),
                 }
             }
         });
-        results.into_iter().flatten().collect()
+        // Undo the deal: global index `i` lives at per_worker[i % W][i / W].
+        let mut out: Vec<Option<R>> = (0..len).map(|_| None).collect();
+        for (w, hand) in per_worker.into_iter().enumerate() {
+            for (k, r) in hand.into_iter().enumerate() {
+                out[w + k * workers] = Some(r);
+            }
+        }
+        out.into_iter().flatten().collect()
+    }
+
+    /// [`run_interleaved`] without result collection.
+    fn run_interleaved_for_each<T: Send>(items: Vec<T>, f: &(impl Fn(T) + Sync), workers: usize) {
+        let len = items.len();
+        if workers <= 1 || len <= 1 {
+            items.into_iter().for_each(f);
+            return;
+        }
+        let workers = workers.min(len);
+        let hands = deal(items, workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = hands
+                .into_iter()
+                .map(|hand| s.spawn(move || hand.into_iter().for_each(f)))
+                .collect();
+            for h in handles {
+                if let Err(payload) = h.join() {
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        });
+    }
+
+    #[cfg(test)]
+    pub(crate) fn run_interleaved_forced<T: Send, R: Send>(
+        items: Vec<T>,
+        f: &(impl Fn(T) -> R + Sync),
+        workers: usize,
+    ) -> Vec<R> {
+        run_interleaved(items, f, workers)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::worker_loads;
 
     #[test]
     fn maps_ranges_in_order() {
@@ -141,6 +232,16 @@ mod tests {
     }
 
     #[test]
+    fn for_each_visits_every_item() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+        let sum = AtomicI64::new(0);
+        (1i64..=100).into_par_iter().for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
     fn worker_panic_propagates() {
         let r = std::panic::catch_unwind(|| {
             let _: Vec<i64> = (0i64..=4)
@@ -149,5 +250,59 @@ mod tests {
                 .collect();
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn for_each_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            (0i64..=4)
+                .into_par_iter()
+                .for_each(|x| assert!(x != 3, "boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn interleaved_map_preserves_order_for_forced_worker_counts() {
+        // The reassembly math must hold whatever the worker count — this
+        // is what keeps `map` order-stable on real multicore hosts.
+        for workers in 1..=9 {
+            for len in 0..=33i64 {
+                let items: Vec<i64> = (0..len).collect();
+                let out = super::iter::run_interleaved_forced(items, &|x| x * 10, workers);
+                let expected: Vec<i64> = (0..len).map(|x| x * 10).collect();
+                assert_eq!(out, expected, "workers={workers} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn ragged_wavefront_steps_no_longer_starve_workers() {
+        // Regression: a skewed/triangular wavefront issues parallel steps
+        // of size 1, 2, 3, …; the old contiguous split gave `[2, 2, 1, 0]`
+        // for 5 items on 4 workers. Round-robin keeps every worker within
+        // one item of every other on EVERY step size.
+        for workers in 2..=8 {
+            for step_len in 0..=64 {
+                let loads = worker_loads(step_len, workers);
+                assert_eq!(loads.len(), workers);
+                assert_eq!(loads.iter().sum::<usize>(), step_len);
+                let (mx, mn) = (
+                    *loads.iter().max().unwrap_or(&0),
+                    *loads.iter().min().unwrap_or(&0),
+                );
+                assert!(
+                    mx - mn <= 1,
+                    "step of {step_len} on {workers} workers is unbalanced: {loads:?}"
+                );
+            }
+        }
+        // The motivating case, explicitly.
+        assert_eq!(worker_loads(5, 4), vec![2, 1, 1, 1]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
