@@ -30,6 +30,7 @@ use crate::diag::{Diagnostic, Severity};
 use mdf_core::{DegradedPlan, FullParallelMethod, FusionPlan, PlanReport};
 use mdf_graph::{IVec2, Mldg};
 use mdf_retime::{Retiming, Wavefront};
+use mdf_trace::Span as TraceSpan;
 
 /// Codes emitted by this pass.
 pub const CODE_CERTIFIED: &str = "MDF005";
@@ -53,6 +54,22 @@ pub fn check_certificate(g: &Mldg, report: &PlanReport) -> Vec<Diagnostic> {
             ),
         )],
     }
+}
+
+/// As [`check_certificate`], reporting `analyze.certificates` and the
+/// number of violation diagnostics (`analyze.witnesses`) onto `span`.
+pub fn check_certificate_traced(
+    g: &Mldg,
+    report: &PlanReport,
+    span: &TraceSpan,
+) -> Vec<Diagnostic> {
+    let diags = check_certificate(g, report);
+    span.add("analyze.certificates", 1);
+    let violations = diags.iter().filter(|d| d.code == CODE_VIOLATION).count();
+    if violations > 0 {
+        span.add("analyze.witnesses", violations as u64);
+    }
+    diags
 }
 
 /// Checks a full [`FusionPlan`] certificate against the raw graph.

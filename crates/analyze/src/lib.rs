@@ -30,7 +30,7 @@ pub mod diag;
 pub mod lint;
 pub mod race;
 
-pub use certify::{check_certificate, check_fusion_certificate};
+pub use certify::{check_certificate, check_certificate_traced, check_fusion_certificate};
 pub use diag::{has_errors, render_human, render_json, Diagnostic, Severity, Span};
 pub use lint::lint_source;
-pub use race::{certify_doall, ParallelMode, RaceVerdict, RaceWitness};
+pub use race::{certify_doall, certify_doall_traced, ParallelMode, RaceVerdict, RaceWitness};

@@ -22,6 +22,7 @@
 use mdf_graph::{v2, IVec2};
 use mdf_ir::ast::{ArrayRef, Program};
 use mdf_ir::retgen::FusedSpec;
+use mdf_trace::Span as TraceSpan;
 
 /// Which parallel interpretation of the fused loop is being certified.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -142,6 +143,21 @@ pub fn certify_doall(spec: &FusedSpec, mode: ParallelMode) -> RaceVerdict {
     RaceVerdict::Certified {
         pairs_checked: pairs,
     }
+}
+
+/// As [`certify_doall`], reporting `analyze.certificates`,
+/// `analyze.pairs-checked` and `analyze.witnesses` onto `span`. Purely
+/// observational: the verdict is exactly [`certify_doall`]'s.
+pub fn certify_doall_traced(spec: &FusedSpec, mode: ParallelMode, span: &TraceSpan) -> RaceVerdict {
+    let verdict = certify_doall(spec, mode);
+    span.add("analyze.certificates", 1);
+    match &verdict {
+        RaceVerdict::Certified { pairs_checked } => {
+            span.add("analyze.pairs-checked", *pairs_checked as u64);
+        }
+        RaceVerdict::Race(_) => span.add("analyze.witnesses", 1),
+    }
+    verdict
 }
 
 fn offset(spec: &FusedSpec, l: usize) -> IVec2 {

@@ -16,25 +16,30 @@
 //! | MDF009 | note     | why retiming is needed: the unretimed loop races |
 
 use mdf_analyze::{
-    certify_doall, check_certificate, Diagnostic, ParallelMode, RaceVerdict, RaceWitness, Severity,
+    certify_doall_traced, check_certificate_traced, Diagnostic, ParallelMode, RaceVerdict,
+    RaceWitness, Severity,
 };
-use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
+use mdf_core::{plan_fusion_traced, DegradedPlan, FusionPlan};
 use mdf_graph::mldg::Mldg;
 use mdf_graph::{Budget, MdfError};
 use mdf_ir::ast::{ArrayRef, Program};
 use mdf_ir::retgen::FusedSpec;
 use mdf_ir::{SpanTable, SrcLoc};
+use mdf_trace::Span;
 
 /// Computes the certificate diagnostics for one input. Budget trips and
 /// non-infeasibility errors propagate; infeasibility becomes `MDF008`.
+/// Planning and certification work is reported onto `span`.
 pub(crate) fn certificates(
     g: &Mldg,
     program: Option<&Program>,
     spans: Option<&SpanTable>,
     budget: &Budget,
+    span: &Span,
 ) -> Result<Vec<Diagnostic>, MdfError> {
     let mut diags = Vec::new();
-    let report = match plan_fusion_budgeted(g, budget) {
+    let plan_span = span.child("plan");
+    let report = match plan_fusion_traced(g, budget, &plan_span) {
         Ok(r) => r,
         Err(e @ MdfError::Infeasible { .. }) => {
             diags.push(Diagnostic::new(
@@ -46,8 +51,9 @@ pub(crate) fn certificates(
         }
         Err(e) => return Err(e),
     };
+    plan_span.finish();
 
-    diags.extend(check_certificate(g, &report));
+    diags.extend(check_certificate_traced(g, &report, span));
 
     let DegradedPlan::Fused(plan) = &report.plan else {
         return Ok(diags); // partial: check_certificate already emitted MDF007
@@ -64,19 +70,21 @@ pub(crate) fn certificates(
 
     let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
     match plan {
-        FusionPlan::FullParallel { .. } => match certify_doall(&spec, ParallelMode::Rows) {
-            RaceVerdict::Certified { pairs_checked } => diags.push(Diagnostic::new(
-                "MDF001",
-                Severity::Info,
-                format!(
-                    "statically certified: fused rows are DOALL for all iteration-space \
+        FusionPlan::FullParallel { .. } => {
+            match certify_doall_traced(&spec, ParallelMode::Rows, span) {
+                RaceVerdict::Certified { pairs_checked } => diags.push(Diagnostic::new(
+                    "MDF001",
+                    Severity::Info,
+                    format!(
+                        "statically certified: fused rows are DOALL for all iteration-space \
                      sizes ({pairs_checked} access pair(s) checked)"
-                ),
-            )),
-            RaceVerdict::Race(w) => diags.push(race_diag("MDF002", "fused row", &w, p, spans)),
-        },
+                    ),
+                )),
+                RaceVerdict::Race(w) => diags.push(race_diag("MDF002", "fused row", &w, p, spans)),
+            }
+        }
         FusionPlan::Hyperplane { wavefront, .. } => {
-            match certify_doall(&spec, ParallelMode::Hyperplanes(wavefront.schedule)) {
+            match certify_doall_traced(&spec, ParallelMode::Hyperplanes(wavefront.schedule), span) {
                 RaceVerdict::Certified { pairs_checked } => diags.push(Diagnostic::new(
                     "MDF003",
                     Severity::Info,
@@ -95,7 +103,7 @@ pub(crate) fn certificates(
     // Explain *why* the retiming matters: without it the rows race.
     if !plan.retiming().is_identity() {
         if let RaceVerdict::Race(w) =
-            certify_doall(&FusedSpec::unretimed(p.clone()), ParallelMode::Rows)
+            certify_doall_traced(&FusedSpec::unretimed(p.clone()), ParallelMode::Rows, span)
         {
             let mut d = Diagnostic::new(
                 "MDF009",

@@ -27,7 +27,7 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 use mdf_baselines::{direct_fusion, DirectPolicy};
-use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
+use mdf_core::{plan_fusion_traced, DegradedPlan, FusionPlan};
 use mdf_graph::{Budget, BudgetMeter, MdfError};
 use mdf_ir::retgen::FusedSpec;
 use mdf_kernel::CompiledKernel;
@@ -35,6 +35,8 @@ use mdf_sim::{
     align_plan_to_program, run_fused_ordered_budgeted, run_original_budgeted,
     run_wavefront_budgeted, ExecStats, RowOrder,
 };
+use mdf_trace::json::{escape as json_escape, parse as parse_json, Json};
+use mdf_trace::Span;
 
 use crate::CliError;
 
@@ -62,6 +64,14 @@ struct EngineRow {
     fingerprint: u64,
 }
 
+/// Wall time of the planning-side phases of one suite, measured directly
+/// (always present in the report, independent of `--profile`).
+struct PhaseBreakdown {
+    plan_ms: f64,
+    certify_ms: f64,
+    lower_ms: f64,
+}
+
 /// One suite entry's results.
 struct SuiteRow {
     id: String,
@@ -71,6 +81,7 @@ struct SuiteRow {
     baseline_clusters: usize,
     baseline_syncs: i64,
     cells: u64,
+    phases: PhaseBreakdown,
     engines: Vec<EngineRow>,
 }
 
@@ -142,22 +153,38 @@ fn bench_entry(
     m: i64,
     reps: u32,
     budget: &Budget,
+    span: &Span,
 ) -> Result<Option<SuiteRow>, MdfError> {
     let Some(p) = &entry.program else {
         return Ok(None);
     };
-    let report = plan_fusion_budgeted(&entry.graph, budget)?;
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+
+    let plan_span = span.child("plan");
+    let t0 = Instant::now();
+    let report = plan_fusion_traced(&entry.graph, budget, &plan_span)?;
+    let plan_ms = ms(t0);
+    plan_span.finish();
     let DegradedPlan::Fused(plan) = &report.plan else {
         return Ok(None);
     };
     let plan = align_plan_to_program(&entry.graph, p, plan)
         .ok_or_else(|| MdfError::invalid("suite program is not a realization of its graph"))?;
     let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
-    let mode = mdf_kernel::plan_mode(&spec, &plan);
-    let kernel = CompiledKernel::compile(&spec, n, m)?;
+
+    let lower_span = span.child("lower");
+    let t0 = Instant::now();
+    let mode = mdf_kernel::plan_mode_traced(&spec, &plan, &lower_span);
+    let certify_ms = ms(t0);
+    let t0 = Instant::now();
+    let kernel = CompiledKernel::compile_traced(&spec, n, m, &lower_span)?;
+    let lower_ms = ms(t0);
+    lower_span.finish();
+
     let baseline = direct_fusion(&entry.graph, DirectPolicy::PreserveParallelism)
         .ok_or_else(|| MdfError::invalid("suite graph has no textual order"))?;
 
+    let exec_span = span.child("execute");
     let (ufp, ustats, uwall) = time_engine(reps, budget, |meter| {
         let (mem, stats) = run_original_budgeted(p, n, m, meter)?;
         Ok((mem.fingerprint(), stats))
@@ -177,6 +204,9 @@ fn bench_entry(
         let (mem, stats) = kernel.run_budgeted(mode, meter)?;
         Ok((mem.fingerprint(), stats))
     })?;
+    exec_span.add("kernel.barriers", kstats.barriers);
+    exec_span.add("kernel.instances", kstats.stmt_instances);
+    exec_span.finish();
 
     if ifp != ufp || kfp != ufp {
         // Surfaced by the caller as an internal error: the differential
@@ -200,6 +230,11 @@ fn bench_entry(
         baseline_clusters: baseline.cluster_count(),
         baseline_syncs: baseline.sync_count(n),
         cells: ustats.stmt_instances,
+        phases: PhaseBreakdown {
+            plan_ms,
+            certify_ms,
+            lower_ms,
+        },
         engines: vec![
             engine_row("unfused", ufp, &ustats, uwall, uwall),
             engine_row("interp", ifp, &istats, iwall, uwall),
@@ -214,6 +249,7 @@ fn collect(
     quick: bool,
     deadline_ms: Option<u64>,
     budget: &Budget,
+    span: &Span,
 ) -> Result<BenchReport, CliError> {
     let (n, m) = if quick { (48, 48) } else { (192, 192) };
     let reps = if quick { 1 } else { 3 };
@@ -225,7 +261,10 @@ fn collect(
         suites: Vec::new(),
     };
     for entry in mdf_gen::executable_suite() {
-        match bench_entry(&entry, n, m, reps, budget) {
+        let suite_span = span.child(entry.id);
+        let outcome = bench_entry(&entry, n, m, reps, budget, &suite_span);
+        suite_span.finish();
+        match outcome {
             Ok(Some(row)) => report.suites.push(row),
             Ok(None) => {}
             Err(MdfError::BudgetExceeded { .. }) => {
@@ -239,18 +278,6 @@ fn collect(
         }
     }
     Ok(report)
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => "\\\"".chars().collect::<Vec<_>>(),
-            '\\' => "\\\\".chars().collect(),
-            '\n' => "\\n".chars().collect(),
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 fn render_json(r: &BenchReport) -> String {
@@ -283,6 +310,12 @@ fn render_json(r: &BenchReport) -> String {
             s.baseline_clusters, s.baseline_syncs
         );
         let _ = writeln!(out, "      \"cells\": {},", s.cells);
+        let _ = writeln!(
+            out,
+            "      \"phases\": {{ \"plan_ms\": {:.4}, \"certify_ms\": {:.4}, \
+             \"lower_ms\": {:.4} }},",
+            s.phases.plan_ms, s.phases.certify_ms, s.phases.lower_ms
+        );
         let _ = writeln!(out, "      \"engines\": [");
         for (ei, e) in s.engines.iter().enumerate() {
             let _ = write!(
@@ -349,11 +382,12 @@ pub(crate) fn run(
     json: bool,
     deadline_ms: Option<u64>,
     budget: &Budget,
+    span: &Span,
 ) -> Result<String, CliError> {
     if let Some(path) = &opts.check {
         return check_file(path);
     }
-    let report = collect(opts.quick, deadline_ms, budget)?;
+    let report = collect(opts.quick, deadline_ms, budget, span)?;
     let rendered = render_json(&report);
     if let Some(path) = &opts.out {
         std::fs::write(path, &rendered)
@@ -383,228 +417,22 @@ fn check_file(path: &str) -> Result<String, CliError> {
 }
 
 // ---------------------------------------------------------------------
-// Dependency-free JSON reader, just enough to validate our own schema.
-
-/// A parsed JSON value.
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn num(&self) -> Option<f64> {
-        match self {
-            Json::Num(v) => Some(*v),
-            _ => None,
-        }
-    }
-
-    fn str_val(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-
-    fn bool_val(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Result<u8, String> {
-        self.skip_ws();
-        self.bytes
-            .get(self.pos)
-            .copied()
-            .ok_or_else(|| "unexpected end of input".into())
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), String> {
-        if self.peek()? == b {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected {:?} at byte {}", b as char, self.pos))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(format!("bad literal at byte {}", self.pos))
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut s = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos).ok_or("unterminated string")?;
-            self.pos += 1;
-            match b {
-                b'"' => return Ok(s),
-                b'\\' => {
-                    let e = *self.bytes.get(self.pos).ok_or("unterminated escape")?;
-                    self.pos += 1;
-                    match e {
-                        b'"' => s.push('"'),
-                        b'\\' => s.push('\\'),
-                        b'/' => s.push('/'),
-                        b'n' => s.push('\n'),
-                        b't' => s.push('\t'),
-                        b'r' => s.push('\r'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            s.push(char::from_u32(code).ok_or("bad \\u escape")?);
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("bad escape {:?}", other as char)),
-                    }
-                }
-                other => s.push(other as char),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek()? {
-            b'{' => {
-                self.pos += 1;
-                let mut fields = Vec::new();
-                if self.peek()? == b'}' {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    self.skip_ws();
-                    let k = self.string()?;
-                    self.expect(b':')?;
-                    fields.push((k, self.value()?));
-                    match self.peek()? {
-                        b',' => self.pos += 1,
-                        b'}' => {
-                            self.pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        other => return Err(format!("bad object at {:?}", other as char)),
-                    }
-                }
-            }
-            b'[' => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                if self.peek()? == b']' {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    match self.peek()? {
-                        b',' => self.pos += 1,
-                        b']' => {
-                            self.pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        other => return Err(format!("bad array at {:?}", other as char)),
-                    }
-                }
-            }
-            b'"' => Ok(Json::Str(self.string()?)),
-            b't' => self.literal("true", Json::Bool(true)),
-            b'f' => self.literal("false", Json::Bool(false)),
-            b'n' => self.literal("null", Json::Null),
-            _ => self.number(),
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Json, String> {
-    let mut p = Parser::new(text);
-    let v = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
+// Schema validation, on top of the dependency-free JSON reader shared
+// with the profile format (`mdf_trace::json`).
 
 /// Validates a `BENCH_fusion.json` document; returns (suite count,
 /// complete flag) on success, a human-readable schema violation on error.
 fn validate(text: &str) -> Result<(usize, bool), String> {
     let doc = parse_json(text)?;
     let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field {k:?}"));
-    if field("schema_version")?.num() != Some(SCHEMA_VERSION as f64) {
-        return Err(format!("schema_version is not {SCHEMA_VERSION}"));
+    match field("schema_version")?.num() {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => {
+            return Err(format!(
+                "unknown schema_version {v} (expected {SCHEMA_VERSION})"
+            ))
+        }
+        None => return Err("schema_version must be a number".into()),
     }
     if field("name")?.str_val() != Some("BENCH_fusion") {
         return Err("name is not \"BENCH_fusion\"".into());
@@ -641,6 +469,12 @@ fn validate(text: &str) -> Result<(usize, bool), String> {
         s.get("plan")
             .and_then(Json::str_val)
             .ok_or_else(|| ctx("plan must be a string"))?;
+        let phases = s.get("phases").ok_or_else(|| ctx("missing phases"))?;
+        for k in ["plan_ms", "certify_ms", "lower_ms"] {
+            if !phases.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+                return Err(ctx(&format!("phases.{k} must be a number >= 0")));
+            }
+        }
         let b = s.get("baseline").ok_or_else(|| ctx("missing baseline"))?;
         for k in ["clusters", "syncs"] {
             b.get(k)
@@ -689,7 +523,7 @@ mod tests {
 
     #[test]
     fn quick_bench_covers_every_executable_suite_and_validates() {
-        let r = collect(true, None, &Budget::unlimited()).unwrap();
+        let r = collect(true, None, &Budget::unlimited(), &Span::disabled()).unwrap();
         assert!(r.complete);
         let ids: Vec<&str> = r.suites.iter().map(|s| s.id.as_str()).collect();
         assert_eq!(ids, ["E1", "E2", "E4", "E5"], "{ids:?}");
@@ -712,7 +546,7 @@ mod tests {
     fn kernel_beats_the_interpreter_on_every_suite() {
         // The acceptance bar for the compiled engine, at the full bench
         // shape (best-of-3 keeps scheduler noise out of the comparison).
-        let r = collect(false, None, &Budget::unlimited()).unwrap();
+        let r = collect(false, None, &Budget::unlimited(), &Span::disabled()).unwrap();
         assert!(r.complete);
         for s in &r.suites {
             let wall = |name: &str| {
@@ -735,7 +569,7 @@ mod tests {
     #[test]
     fn expired_deadline_degrades_to_a_partial_report() {
         let budget = Budget::unlimited().with_deadline(Duration::from_millis(0));
-        let r = collect(true, Some(0), &budget).unwrap();
+        let r = collect(true, Some(0), &budget, &Span::disabled()).unwrap();
         assert!(!r.complete);
         let json = render_json(&r);
         let (_, complete) = validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
@@ -745,7 +579,7 @@ mod tests {
 
     #[test]
     fn validator_rejects_schema_drift() {
-        let r = collect(true, None, &Budget::unlimited()).unwrap();
+        let r = collect(true, None, &Budget::unlimited(), &Span::disabled()).unwrap();
         let good = render_json(&r);
         assert!(validate(&good).is_ok());
         let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 2");

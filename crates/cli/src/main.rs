@@ -32,10 +32,12 @@ use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
 use mdf_sim::{check_partial_budgeted, check_plan_budgeted};
+use mdf_trace::Span;
 
 mod analysis;
 mod bench;
 mod fuzz;
+mod profile;
 
 /// A CLI failure, classified for the exit code.
 #[derive(Debug)]
@@ -111,11 +113,22 @@ struct Input {
     spans: Option<mdf_ir::SpanTable>,
 }
 
+#[cfg(test)]
 fn load(source: &str) -> Result<Input, CliError> {
+    load_traced(source, &Span::disabled())
+}
+
+/// As [`load`], timing the two front-end stages as `parse` and `graph`
+/// child spans of `span`.
+fn load_traced(source: &str, span: &Span) -> Result<Input, CliError> {
     let trimmed = source.trim_start();
     if trimmed.starts_with("program") {
+        let parse = span.child("parse");
         let parsed = mdf_ir::parse_program_spanned(source)?;
+        parse.finish();
+        let graph = span.child("graph");
         let x = extract_mldg(&parsed.program)?;
+        graph.finish();
         Ok(Input {
             name: parsed.program.name.clone(),
             graph: x.graph,
@@ -123,7 +136,9 @@ fn load(source: &str) -> Result<Input, CliError> {
             spans: Some(parsed.spans),
         })
     } else {
+        let parse = span.child("parse");
         let (graph, name) = mdf_graph::textfmt::parse(source)?;
+        parse.finish();
         Ok(Input {
             name,
             graph,
@@ -133,19 +148,27 @@ fn load(source: &str) -> Result<Input, CliError> {
     }
 }
 
-fn load_file(path: &str) -> Result<Input, CliError> {
+fn load_file(path: &str, span: &Span) -> Result<Input, CliError> {
     let source = std::fs::read_to_string(path)
         .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
-    load(&source)
+    load_traced(&source, span)
 }
 
-fn cmd_analyze(input: &Input, budget: &Budget, json: bool) -> Result<String, CliError> {
+fn cmd_analyze(
+    input: &Input,
+    budget: &Budget,
+    json: bool,
+    span: &Span,
+) -> Result<String, CliError> {
+    let certify = span.child("certify");
     let diags = analysis::certificates(
         &input.graph,
         input.program.as_ref(),
         input.spans.as_ref(),
         budget,
+        &certify,
     )?;
+    certify.finish();
     let out = if json {
         mdf_analyze::render_json(&diags, &input.name)
     } else {
@@ -240,12 +263,15 @@ fn cmd_run(
     m: i64,
     engine: &str,
     budget: &Budget,
+    span: &Span,
 ) -> Result<String, CliError> {
     let program = input
         .program
         .as_ref()
         .ok_or_else(|| CliError::Usage("run requires a loop program (DSL input)".into()))?;
-    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    let plan_span = span.child("plan");
+    let report = mdf_core::plan_fusion_traced(&input.graph, budget, &plan_span)?;
+    plan_span.finish();
     let DegradedPlan::Fused(plan) = &report.plan else {
         return Err(CliError::Mdf(MdfError::invalid(
             "the plan degraded to partial fusion; `run` executes fully fused schedules \
@@ -259,24 +285,31 @@ fn cmd_run(
     let t0 = std::time::Instant::now();
     let (fp, stats, how) = match engine {
         "interp" => {
+            let exec = span.child("execute");
             let (mem, stats) = match &plan {
-                mdf_core::FusionPlan::FullParallel { .. } => mdf_sim::run_fused_ordered_budgeted(
+                mdf_core::FusionPlan::FullParallel { .. } => mdf_sim::run_fused_ordered_traced(
                     &spec,
                     n,
                     m,
                     mdf_sim::RowOrder::Ascending,
                     &mut meter,
+                    &exec,
                 )?,
                 mdf_core::FusionPlan::Hyperplane { wavefront, .. } => {
-                    mdf_sim::run_wavefront_budgeted(&spec, *wavefront, n, m, &mut meter)?
+                    mdf_sim::run_wavefront_traced(&spec, *wavefront, n, m, &mut meter, &exec)?
                 }
             };
+            exec.finish();
             (mem.fingerprint(), stats, "interp".to_string())
         }
         "kernel" => {
-            let mode = mdf_kernel::plan_mode(&spec, &plan);
-            let k = mdf_kernel::CompiledKernel::compile(&spec, n, m)?;
-            let (mem, stats) = k.run_budgeted(mode, &mut meter)?;
+            let lower = span.child("lower");
+            let mode = mdf_kernel::plan_mode_traced(&spec, &plan, &lower);
+            let k = mdf_kernel::CompiledKernel::compile_traced(&spec, n, m, &lower)?;
+            lower.finish();
+            let exec = span.child("execute");
+            let (mem, stats) = k.run_budgeted_traced(mode, &mut meter, &exec)?;
+            exec.finish();
             let mode_name = match mode {
                 mdf_kernel::ExecMode::RowsCertified => "rows-doall",
                 mdf_kernel::ExecMode::RowsSerial => "rows-serial",
@@ -294,7 +327,9 @@ fn cmd_run(
         }
     };
     let wall = t0.elapsed().as_secs_f64() * 1e3;
-    let (omem, ostats) = mdf_sim::run_original_budgeted(program, n, m, &mut meter)?;
+    let crosscheck = span.child("crosscheck");
+    let (omem, ostats) = mdf_sim::run_original_traced(program, n, m, &mut meter, &crosscheck)?;
+    crosscheck.finish();
     if omem.fingerprint() != fp {
         return Err(CliError::Internal(format!(
             "engine {engine} diverged from the original program \
@@ -378,11 +413,12 @@ fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
 
 const USAGE: &str =
     "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]
-       mdfuse run <file> [n] [m] [--engine interp|kernel]
+       mdfuse run <file> [n] [m] [--engine interp|kernel] [--profile[=PATH]]
        mdfuse lint <file> [--json]
        mdfuse suite
-       mdfuse bench [--quick] [--json] [--out PATH] [--check PATH]
+       mdfuse bench [--quick] [--json] [--out PATH] [--check PATH] [--profile[=PATH]]
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
+       mdfuse profile-check <file>
 
 options:
   --json             emit diagnostics as JSON (analyze, lint, bench)
@@ -392,6 +428,9 @@ options:
   --quick            bench: small bounds, one repetition (CI smoke shape)
   --out PATH         bench: also write the JSON report to PATH
   --check PATH       bench: validate an existing BENCH_fusion.json and exit
+  --profile[=PATH]   run, bench, analyze: write a schema-versioned JSONL
+                     profile (default trace.jsonl) and print a phase summary
+                     on stderr; validate it back with `mdfuse profile-check`
   -h, --help         print this help
 
 exit codes:
@@ -409,6 +448,8 @@ struct Opts {
     help: bool,
     json: bool,
     engine: String,
+    /// `--profile[=PATH]`: collect and write a JSONL profile.
+    profile: Option<String>,
     fuzz: fuzz::FuzzOpts,
     bench: bench::BenchOpts,
 }
@@ -433,6 +474,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         help: false,
         json: false,
         engine: "kernel".to_string(),
+        profile: None,
         fuzz: fuzz::FuzzOpts::default(),
         bench: bench::BenchOpts::default(),
     };
@@ -449,6 +491,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--engine" => opts.engine = next_value(&mut it, "--engine")?.to_string(),
             "--out" => opts.bench.out = Some(next_value(&mut it, "--out")?.to_string()),
             "--check" => opts.bench.check = Some(next_value(&mut it, "--check")?.to_string()),
+            "--profile" => opts.profile = Some(profile::DEFAULT_PROFILE_PATH.to_string()),
+            f if f.starts_with("--profile=") => {
+                let path = &f["--profile=".len()..];
+                if path.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "--profile= requires a path\n{USAGE}"
+                    )));
+                }
+                opts.profile = Some(path.to_string());
+            }
             f if f.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option {f:?}\n{USAGE}")))
             }
@@ -467,44 +519,73 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
     if let Some(ms) = opts.deadline_ms {
         budget = budget.with_deadline(Duration::from_millis(ms));
     }
-    match opts.positional.as_slice() {
+    // `--profile` applies to the commands with a phase pipeline worth
+    // profiling; anything else is a usage error, not a silent no-op.
+    let tool = opts.positional.first().map(String::as_str).unwrap_or("");
+    if opts.profile.is_some() && !matches!(tool, "run" | "bench" | "analyze") {
+        return Err(CliError::Usage(format!(
+            "--profile applies to run, bench, and analyze\n{USAGE}"
+        )));
+    }
+    let session = opts
+        .profile
+        .as_ref()
+        .map(|path| profile::ProfileSession::new(path, tool, &args.join(" ")));
+    let root = match (&session, tool) {
+        (Some(s), "run") => s.root("run"),
+        (Some(s), "bench") => s.root("bench"),
+        (Some(s), "analyze") => s.root("analyze"),
+        _ => Span::disabled(),
+    };
+
+    let out = match opts.positional.as_slice() {
         #[cfg(test)]
         [cmd] if cmd == "__panic__" => panic!("deliberate test panic"),
         [cmd] if cmd == "suite" => cmd_suite(&budget),
-        [cmd] if cmd == "bench" => bench::run(&opts.bench, opts.json, opts.deadline_ms, &budget),
+        [cmd] if cmd == "bench" => {
+            bench::run(&opts.bench, opts.json, opts.deadline_ms, &budget, &root)
+        }
         [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
+        [cmd, path] if cmd == "profile-check" => profile::check_file(path),
         [cmd, path, rest @ ..] => {
             if cmd == "lint" {
-                return cmd_lint(path, opts.json);
-            }
-            let input = load_file(path)?;
-            match cmd.as_str() {
-                "analyze" => cmd_analyze(&input, &budget, opts.json),
-                "fuse" => cmd_fuse(&input, &budget),
-                "codegen" => cmd_codegen(&input, &budget),
-                "partial" => cmd_partial(&input),
-                "explain" => cmd_explain(&input),
-                "dot" => cmd_dot(&input),
-                "simulate" | "run" => {
-                    let parse_dim = |s: &String| {
-                        s.parse::<i64>()
-                            .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
-                    };
-                    let n = rest.first().map(parse_dim).transpose()?.unwrap_or(32);
-                    let m = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
-                    if cmd == "run" {
-                        cmd_run(&input, n, m, &opts.engine, &budget)
-                    } else {
-                        cmd_simulate(&input, n, m, &budget)
+                cmd_lint(path, opts.json)
+            } else {
+                let input = load_file(path, &root)?;
+                match cmd.as_str() {
+                    "analyze" => cmd_analyze(&input, &budget, opts.json, &root),
+                    "fuse" => cmd_fuse(&input, &budget),
+                    "codegen" => cmd_codegen(&input, &budget),
+                    "partial" => cmd_partial(&input),
+                    "explain" => cmd_explain(&input),
+                    "dot" => cmd_dot(&input),
+                    "simulate" | "run" => {
+                        let parse_dim = |s: &String| {
+                            s.parse::<i64>()
+                                .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
+                        };
+                        let n = rest.first().map(parse_dim).transpose()?.unwrap_or(32);
+                        let m = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
+                        if cmd == "run" {
+                            cmd_run(&input, n, m, &opts.engine, &budget, &root)
+                        } else {
+                            cmd_simulate(&input, n, m, &budget)
+                        }
                     }
+                    other => Err(CliError::Usage(format!(
+                        "unknown command {other:?}\n{USAGE}"
+                    ))),
                 }
-                other => Err(CliError::Usage(format!(
-                    "unknown command {other:?}\n{USAGE}"
-                ))),
             }
         }
         _ => Err(CliError::Usage(USAGE.to_string())),
+    }?;
+
+    root.finish();
+    if let Some(session) = session {
+        eprint!("{}", session.finish()?);
     }
+    Ok(out)
 }
 
 /// Runs the CLI with panic isolation: a panic anywhere below becomes a
@@ -576,7 +657,7 @@ mod tests {
     #[test]
     fn analyze_and_fuse_render() {
         let input = load(FIG2_DSL).unwrap();
-        let a = cmd_analyze(&input, &Budget::unlimited(), false).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), false, &Span::disabled()).unwrap();
         assert!(a.contains("full parallel (Alg 4, cyclic)"));
         // The certificates section statically certifies the plan.
         assert!(a.contains("info[MDF005]"), "{a}");
@@ -590,7 +671,7 @@ mod tests {
     #[test]
     fn analyze_mldg_only_skips_race_certification() {
         let input = load(FIG2_MLDG).unwrap();
-        let a = cmd_analyze(&input, &Budget::unlimited(), false).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), false, &Span::disabled()).unwrap();
         assert!(a.contains("info[MDF005]"), "{a}");
         assert!(a.contains("warning[MDF007]"), "{a}");
         assert!(a.contains("no array subscripts"), "{a}");
@@ -599,7 +680,7 @@ mod tests {
     #[test]
     fn analyze_json_emits_machine_readable_diagnostics() {
         let input = load(FIG2_DSL).unwrap();
-        let a = cmd_analyze(&input, &Budget::unlimited(), true).unwrap();
+        let a = cmd_analyze(&input, &Budget::unlimited(), true, &Span::disabled()).unwrap();
         assert!(a.trim_start().starts_with('{'), "{a}");
         assert!(a.contains("\"code\": \"MDF001\""), "{a}");
         assert!(a.contains("\"errors\": 0"), "{a}");
@@ -672,10 +753,26 @@ mod tests {
     #[test]
     fn run_executes_both_engines_with_identical_results() {
         let input = load(FIG2_DSL).unwrap();
-        let k = cmd_run(&input, 12, 12, "kernel", &Budget::unlimited()).unwrap();
+        let k = cmd_run(
+            &input,
+            12,
+            12,
+            "kernel",
+            &Budget::unlimited(),
+            &Span::disabled(),
+        )
+        .unwrap();
         assert!(k.contains("results identical"), "{k}");
         assert!(k.contains("engine kernel/rows-doall"), "{k}");
-        let i = cmd_run(&input, 12, 12, "interp", &Budget::unlimited()).unwrap();
+        let i = cmd_run(
+            &input,
+            12,
+            12,
+            "interp",
+            &Budget::unlimited(),
+            &Span::disabled(),
+        )
+        .unwrap();
         assert!(i.contains("engine interp"), "{i}");
         // Same schedule, same synchronization count, same fingerprint.
         let fp = |s: &str| {
@@ -685,9 +782,17 @@ mod tests {
         };
         assert_eq!(fp(&k), fp(&i));
         assert!(k.contains("52 (original) -> 14 (fused)"), "{k}");
-        assert!(cmd_run(&input, 4, 4, "jit", &Budget::unlimited()).is_err());
+        assert!(cmd_run(&input, 4, 4, "jit", &Budget::unlimited(), &Span::disabled()).is_err());
         let mldg = load(FIG2_MLDG).unwrap();
-        assert!(cmd_run(&mldg, 4, 4, "kernel", &Budget::unlimited()).is_err());
+        assert!(cmd_run(
+            &mldg,
+            4,
+            4,
+            "kernel",
+            &Budget::unlimited(),
+            &Span::disabled()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! `--profile` support: collecting a trace for one CLI invocation and
+//! emitting it as a schema-versioned JSONL profile.
+//!
+//! A [`ProfileSession`] owns the in-memory sink behind the command's
+//! [`Tracer`]. When the command finishes, [`ProfileSession::finish`]
+//! assembles the span tree, **self-validates** the emitted document with
+//! `mdf_trace::validate_trace` (a malformed profile is an internal bug,
+//! not a user error), writes it to the requested path, and returns a
+//! human-readable phase summary for stderr — stdout stays reserved for
+//! the command's own output.
+//!
+//! `mdfuse profile-check <file>` re-validates any profile file with the
+//! same dependency-free validator, exiting 3 on schema violations, so CI
+//! can gate on profile schema drift exactly like it gates on
+//! `BENCH_fusion.json`.
+
+use std::sync::Arc;
+
+use mdf_graph::MdfError;
+use mdf_trace::{validate_trace, MemorySink, Span, Tracer};
+
+use crate::CliError;
+
+/// Default output path for a bare `--profile` (no `=PATH`).
+pub(crate) const DEFAULT_PROFILE_PATH: &str = "trace.jsonl";
+
+/// A live profiling session for one CLI invocation.
+pub(crate) struct ProfileSession {
+    sink: Arc<MemorySink>,
+    tracer: Tracer,
+    path: String,
+    tool: String,
+    command: String,
+}
+
+impl ProfileSession {
+    /// Starts a session writing to `path`. `tool` is the subcommand name,
+    /// `command` the full argument vector (both stamped into the header).
+    pub(crate) fn new(path: &str, tool: &str, command: &str) -> ProfileSession {
+        let sink = Arc::new(MemorySink::new());
+        ProfileSession {
+            tracer: Tracer::new(sink.clone()),
+            sink,
+            path: path.to_string(),
+            tool: tool.to_string(),
+            command: command.to_string(),
+        }
+    }
+
+    /// Opens the root span for the command.
+    pub(crate) fn root(&self, name: &'static str) -> Span {
+        self.tracer.span(name)
+    }
+
+    /// Assembles, self-validates, and writes the profile. Returns the
+    /// stderr phase summary. Every open span must be finished first.
+    pub(crate) fn finish(self) -> Result<String, CliError> {
+        let profile = self
+            .sink
+            .profile()
+            .map_err(|m| CliError::Internal(format!("profile assembly failed: {m}")))?;
+        let doc = profile.to_jsonl(&self.tool, &self.command);
+        let summary = validate_trace(&doc).map_err(|m| {
+            CliError::Internal(format!("emitted profile failed self-validation: {m}"))
+        })?;
+        std::fs::write(&self.path, &doc)
+            .map_err(|e| CliError::Usage(format!("cannot write {}: {e}", self.path)))?;
+        Ok(format!(
+            "profile: {} span(s) -> {}\n{}",
+            summary.spans,
+            self.path,
+            indent(&profile.summary())
+        ))
+    }
+}
+
+fn indent(s: &str) -> String {
+    s.lines()
+        .map(|l| format!("  {l}\n"))
+        .collect::<Vec<_>>()
+        .join("")
+}
+
+/// `mdfuse profile-check <file>`: validates a profile document against
+/// the mdf-trace schema (exit 3 on violation).
+pub(crate) fn check_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let summary = validate_trace(&text)
+        .map_err(|m| CliError::Mdf(MdfError::invalid(format!("{path}: {m}"))))?;
+    Ok(format!(
+        "{path}: valid mdf-trace profile v{} ({} span(s), {} root(s), command {:?})\n",
+        mdf_trace::SCHEMA_VERSION,
+        summary.spans,
+        summary.roots,
+        summary.command
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_round_trips_through_the_validator() {
+        let dir = std::env::temp_dir().join("mdfuse-profile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.jsonl");
+        let session = ProfileSession::new(path.to_str().unwrap(), "run", "run x.mdf --profile");
+        let root = session.root("run");
+        let plan = root.child("plan");
+        plan.add("plan.attempts", 1);
+        plan.finish();
+        root.finish();
+        let summary = session.finish().unwrap();
+        assert!(summary.contains("2 span(s)"), "{summary}");
+        assert!(summary.contains("plan.attempts=1"), "{summary}");
+        let checked = check_file(path.to_str().unwrap()).unwrap();
+        assert!(checked.contains("valid mdf-trace profile v1"), "{checked}");
+
+        // Corrupting the version makes profile-check exit 3.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace("\"schema_version\":1", "\"schema_version\":9"),
+        )
+        .unwrap();
+        let err = check_file(path.to_str().unwrap()).unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(
+            err.to_string()
+                .contains("unknown schema_version 9 (expected 1)"),
+            "{err}"
+        );
+    }
+}

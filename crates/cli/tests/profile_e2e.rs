@@ -1,0 +1,193 @@
+//! End-to-end tests of the `mdfuse` binary's observability surface:
+//! `--profile` emission, `profile-check` validation, the bench report
+//! round-trip, and the exit-code contract for malformed artifacts.
+//!
+//! These spawn the real binary (`CARGO_BIN_EXE_mdfuse`), so they cover
+//! argument parsing, stream separation (profile summary on stderr,
+//! command output on stdout), and file I/O — everything the in-process
+//! unit tests can't see.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn mdfuse(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mdfuse"))
+        .args(args)
+        .output()
+        .expect("mdfuse spawns")
+}
+
+fn exit_code(out: &Output) -> i32 {
+    out.status.code().expect("mdfuse exits normally")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A fresh scratch directory under the target-local temp root.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mdfuse-e2e-{test}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn example(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/dsl")
+        .join(name)
+        .to_str()
+        .expect("utf-8 path")
+        .to_string()
+}
+
+#[test]
+fn run_profile_covers_the_whole_pipeline() {
+    let dir = scratch("run");
+    let trace = dir.join("trace.jsonl");
+    let trace_arg = format!("--profile={}", trace.display());
+    let out = mdfuse(&[
+        "run",
+        &example("figure2.mdf"),
+        "8",
+        "8",
+        "--engine",
+        "kernel",
+        &trace_arg,
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    // Command output stays on stdout; the phase summary goes to stderr.
+    assert!(stdout(&out).contains("fingerprint"), "{}", stdout(&out));
+    let err = stderr(&out);
+    assert!(err.contains("profile:"), "{err}");
+
+    // The emitted document covers every pipeline phase, parse → graph →
+    // solve → plan → lower → execute (plus the result crosscheck).
+    let doc = std::fs::read_to_string(&trace).expect("profile written");
+    for phase in [
+        "\"name\":\"run\"",
+        "\"name\":\"parse\"",
+        "\"name\":\"graph\"",
+        "\"name\":\"plan\"",
+        "\"name\":\"solve-x\"",
+        "\"name\":\"solve-y\"",
+        "\"name\":\"lower\"",
+        "\"name\":\"execute\"",
+        "\"name\":\"crosscheck\"",
+    ] {
+        assert!(doc.contains(phase), "missing {phase} in:\n{doc}");
+    }
+    assert!(doc.contains("\"kernel.barriers\""), "{doc}");
+
+    // And it round-trips through the validator subcommand.
+    let check = mdfuse(&["profile-check", trace.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&check), 0, "stdout: {}", stdout(&check));
+    assert!(
+        stdout(&check).contains("valid mdf-trace profile v1"),
+        "{}",
+        stdout(&check)
+    );
+}
+
+#[test]
+fn profile_check_rejects_unknown_schema_versions() {
+    let dir = scratch("reject");
+    let trace = dir.join("trace.jsonl");
+    let trace_arg = format!("--profile={}", trace.display());
+    let out = mdfuse(&["run", &example("relaxation.mdf"), "6", "6", &trace_arg]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    let doc = std::fs::read_to_string(&trace).expect("profile written");
+    std::fs::write(
+        &trace,
+        doc.replace("\"schema_version\":1", "\"schema_version\":99"),
+    )
+    .expect("corrupt profile");
+    let check = mdfuse(&["profile-check", trace.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&check), 3, "stderr: {}", stderr(&check));
+    assert!(
+        stderr(&check).contains("unknown schema_version 99 (expected 1)"),
+        "{}",
+        stderr(&check)
+    );
+}
+
+#[test]
+fn bench_quick_report_round_trips_through_check() {
+    let dir = scratch("bench");
+    let report = dir.join("BENCH_fusion.json");
+    let trace = dir.join("bench-trace.jsonl");
+    let trace_arg = format!("--profile={}", trace.display());
+    let out = mdfuse(&[
+        "bench",
+        "--quick",
+        "--out",
+        report.to_str().expect("utf-8"),
+        &trace_arg,
+    ]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+
+    // The regenerated report (with per-suite phase breakdowns) passes
+    // the report validator...
+    let check = mdfuse(&["bench", "--check", report.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&check), 0, "stderr: {}", stderr(&check));
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"phases\""), "{json}");
+    assert!(json.contains("\"plan_ms\""), "{json}");
+
+    // ...and rejects a version bump it does not understand (exit 3).
+    std::fs::write(
+        &report,
+        json.replace("\"schema_version\": 1", "\"schema_version\": 99"),
+    )
+    .expect("corrupt report");
+    let bad = mdfuse(&["bench", "--check", report.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&bad), 3, "stderr: {}", stderr(&bad));
+    assert!(
+        stderr(&bad).contains("unknown schema_version"),
+        "{}",
+        stderr(&bad)
+    );
+
+    // The bench profile nests one span per suite under the root.
+    let doc = std::fs::read_to_string(&trace).expect("bench profile written");
+    for suite in [
+        "\"name\":\"E1\"",
+        "\"name\":\"E2\"",
+        "\"name\":\"E4\"",
+        "\"name\":\"E5\"",
+    ] {
+        assert!(doc.contains(suite), "missing {suite} in:\n{doc}");
+    }
+    let check = mdfuse(&["profile-check", trace.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&check), 0, "stderr: {}", stderr(&check));
+}
+
+#[test]
+fn profile_flag_is_limited_to_run_bench_analyze() {
+    let out = mdfuse(&["fuse", &example("figure2.mdf"), "--profile"]);
+    assert_eq!(exit_code(&out), 2);
+    assert!(
+        stderr(&out).contains("--profile applies to run, bench, and analyze"),
+        "{}",
+        stderr(&out)
+    );
+}
+
+#[test]
+fn analyze_profile_reports_certification_counters() {
+    let dir = scratch("analyze");
+    let trace = dir.join("trace.jsonl");
+    let trace_arg = format!("--profile={}", trace.display());
+    let out = mdfuse(&["analyze", &example("figure2.mdf"), &trace_arg]);
+    assert_eq!(exit_code(&out), 0, "stderr: {}", stderr(&out));
+    let doc = std::fs::read_to_string(&trace).expect("profile written");
+    assert!(doc.contains("\"name\":\"certify\""), "{doc}");
+    assert!(doc.contains("\"analyze.certificates\""), "{doc}");
+    let check = mdfuse(&["profile-check", trace.to_str().expect("utf-8")]);
+    assert_eq!(exit_code(&check), 0, "stderr: {}", stderr(&check));
+}

@@ -15,6 +15,7 @@
 
 use mdf_graph::budget::BudgetMeter;
 use mdf_graph::error::MdfError;
+use mdf_trace::Span;
 
 use crate::graph::{ConstraintGraph, NegativeCycle};
 use crate::weight::Weight;
@@ -126,22 +127,49 @@ pub fn solve_difference_constraints_budgeted<W: Weight>(
     g: &ConstraintGraph<W>,
     meter: &mut BudgetMeter,
 ) -> Result<Solution<W>, MdfError> {
+    solve_difference_constraints_traced(g, meter, &Span::disabled())
+}
+
+/// As [`solve_difference_constraints_budgeted`], also reporting relaxation
+/// counters onto `span`: `constraint.rounds` (full passes over the edge
+/// list), `constraint.relaxations` (successful distance improvements) and
+/// `constraint.negative-cycles` (1 when infeasible). Counters accumulate
+/// in locals and are reported once at the end, so the hot loop is
+/// identical whether tracing is enabled or not.
+pub fn solve_difference_constraints_traced<W: Weight>(
+    g: &ConstraintGraph<W>,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<Solution<W>, MdfError> {
     let n = g.vertex_count();
     let mut dist: Vec<W> = vec![W::ZERO; n];
     let mut pred: Vec<Option<usize>> = vec![None; n];
+    let mut rounds: u64 = 0;
+    let mut relaxations: u64 = 0;
+
+    let report = |span: &Span, rounds: u64, relaxations: u64, cycles: u64| {
+        span.add("constraint.rounds", rounds);
+        span.add("constraint.relaxations", relaxations);
+        if cycles > 0 {
+            span.add("constraint.negative-cycles", cycles);
+        }
+    };
 
     for _round in 0..n {
         meter.charge_rounds(1)?;
+        rounds += 1;
         let mut changed = false;
         for (eid, e) in g.edges().iter().enumerate() {
             let candidate = dist[e.src] + e.weight;
             if candidate < dist[e.dst] {
                 dist[e.dst] = candidate;
                 pred[e.dst] = Some(eid);
+                relaxations += 1;
                 changed = true;
             }
         }
         if !changed {
+            report(span, rounds, relaxations, 0);
             return Ok(Solution::Feasible { dist });
         }
     }
@@ -149,12 +177,14 @@ pub fn solve_difference_constraints_budgeted<W: Weight>(
     // predecessor chain provably reaches the cycle (see the unbudgeted
     // solver for the argument).
     meter.charge_rounds(1)?;
+    rounds += 1;
     let mut witness = None;
     for (eid, e) in g.edges().iter().enumerate() {
         let candidate = dist[e.src] + e.weight;
         if candidate < dist[e.dst] {
             dist[e.dst] = candidate;
             pred[e.dst] = Some(eid);
+            relaxations += 1;
             witness = Some(e.dst);
         }
     }
@@ -162,6 +192,7 @@ pub fn solve_difference_constraints_budgeted<W: Weight>(
     // witness was recorded.
     #[allow(clippy::expect_used)]
     let start = witness.expect("relaxation in pass n but no improvable edge found");
+    report(span, rounds, relaxations, 1);
     Ok(Solution::Infeasible {
         cycle: extract_cycle(g, &pred, start),
     })

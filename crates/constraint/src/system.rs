@@ -10,9 +10,10 @@
 
 use mdf_graph::budget::BudgetMeter;
 use mdf_graph::error::MdfError;
+use mdf_trace::Span;
 
 use crate::bellman_ford::{
-    solve_difference_constraints, solve_difference_constraints_budgeted, Solution,
+    solve_difference_constraints, solve_difference_constraints_traced, Solution,
 };
 use crate::dag::solve_difference_constraints_dag;
 use crate::graph::{ConstraintGraph, NegativeCycle};
@@ -129,7 +130,23 @@ impl<W: Weight> DifferenceSystem<W> {
         &self,
         meter: &mut BudgetMeter,
     ) -> Result<Result<Vec<W>, Infeasible<W>>, MdfError> {
-        match solve_difference_constraints_budgeted(&self.graph, meter)? {
+        self.solve_traced(meter, &Span::disabled())
+    }
+
+    /// As [`DifferenceSystem::solve_budgeted`], also reporting system shape
+    /// (`constraint.systems`, `constraint.variables`,
+    /// `constraint.constraints`) and the relaxation counters of the
+    /// underlying Bellman–Ford run onto `span`.
+    #[allow(clippy::type_complexity)]
+    pub fn solve_traced(
+        &self,
+        meter: &mut BudgetMeter,
+        span: &Span,
+    ) -> Result<Result<Vec<W>, Infeasible<W>>, MdfError> {
+        span.add("constraint.systems", 1);
+        span.add("constraint.variables", self.variables() as u64);
+        span.add("constraint.constraints", self.constraints() as u64);
+        match solve_difference_constraints_traced(&self.graph, meter, span)? {
             Solution::Feasible { dist } => {
                 debug_assert!(self.check(&dist), "engine produced an invalid solution");
                 Ok(Ok(dist))

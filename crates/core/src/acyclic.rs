@@ -17,6 +17,7 @@ use mdf_graph::error::MdfError;
 use mdf_graph::mldg::Mldg;
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
+use mdf_trace::Span;
 
 /// Runs Algorithm 3 with the default engine (a topological sweep, since the
 /// constraint graph is a DAG; `O(|V| + |E|)`).
@@ -58,11 +59,22 @@ pub fn fuse_acyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, Md
 /// so the only failure modes are [`MdfError::NotAcyclic`] and
 /// [`MdfError::BudgetExceeded`].
 pub fn fuse_acyclic_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    fuse_acyclic_traced(g, meter, &Span::disabled())
+}
+
+/// As [`fuse_acyclic_budgeted`], reporting the constraint solve's shape
+/// and relaxation counters onto a `solve` child of `span`.
+pub fn fuse_acyclic_traced(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<Retiming, MdfError> {
     if !is_acyclic(g) {
         return Err(MdfError::NotAcyclic);
     }
+    let solve = span.child("solve");
     let offsets = build_acyclic_system(g)
-        .solve_budgeted(meter)?
+        .solve_traced(meter, &solve)?
         .map_err(|_| {
             MdfError::invalid("acyclic constraint system infeasible, contradicting Theorem 4.1")
         })?;

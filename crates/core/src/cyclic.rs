@@ -22,6 +22,7 @@ use mdf_graph::error::{InfeasiblePhase, MdfError, WitnessWeight};
 use mdf_graph::mldg::{EdgeId, Mldg};
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
+use mdf_trace::Span;
 
 use crate::llofra::infeasible_witness;
 
@@ -101,12 +102,27 @@ pub fn fuse_cyclic_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, Mdf
 /// metered, so oversized systems fail fast with
 /// [`MdfError::BudgetExceeded`].
 pub fn fuse_cyclic_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    fuse_cyclic_traced(g, meter, &Span::disabled())
+}
+
+/// As [`fuse_cyclic_budgeted`], reporting each scalar phase's solve onto
+/// `solve-x` / `solve-y` children of `span`.
+pub fn fuse_cyclic_traced(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<Retiming, MdfError> {
     let x_sys = build_x_system(g);
+    let solve_x = span.child("solve-x");
     let rx = x_sys
-        .solve_budgeted(meter)?
+        .solve_traced(meter, &solve_x)?
         .map_err(|inf| phase_x_infeasible(g, inf))?;
+    solve_x.finish();
     let y_sys = build_y_system(g, &rx);
-    let ry = y_sys.solve_budgeted(meter)?.map_err(phase_y_infeasible)?;
+    let solve_y = span.child("solve-y");
+    let ry = y_sys
+        .solve_traced(meter, &solve_y)?
+        .map_err(phase_y_infeasible)?;
     combine(rx, ry)
 }
 

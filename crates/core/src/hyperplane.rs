@@ -15,8 +15,9 @@ use mdf_graph::budget::BudgetMeter;
 use mdf_graph::error::MdfError;
 use mdf_graph::mldg::Mldg;
 use mdf_retime::{apply_retiming, wavefront_for, Retiming, Wavefront};
+use mdf_trace::Span;
 
-use crate::llofra::{llofra, llofra_budgeted};
+use crate::llofra::{llofra, llofra_traced};
 
 /// The result of Algorithm 5: a fusion-legalizing retiming plus a wavefront
 /// along which the fused loop is fully parallel.
@@ -40,7 +41,17 @@ pub fn fuse_hyperplane_budgeted(
     g: &Mldg,
     meter: &mut BudgetMeter,
 ) -> Result<HyperplanePlan, MdfError> {
-    finish(g, llofra_budgeted(g, meter)?)
+    fuse_hyperplane_traced(g, meter, &Span::disabled())
+}
+
+/// As [`fuse_hyperplane_budgeted`], reporting the LLOFRA solve onto a
+/// `solve` child of `span`.
+pub fn fuse_hyperplane_traced(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<HyperplanePlan, MdfError> {
+    finish(g, llofra_traced(g, meter, span)?)
 }
 
 /// Derives the wavefront from a LLOFRA retiming. LLOFRA guarantees all

@@ -36,15 +36,19 @@ pub mod partial;
 pub mod planner;
 pub mod report;
 
-pub use acyclic::{fuse_acyclic, fuse_acyclic_budgeted};
-pub use cyclic::{fuse_cyclic, fuse_cyclic_budgeted};
+pub use acyclic::{fuse_acyclic, fuse_acyclic_budgeted, fuse_acyclic_traced};
+pub use cyclic::{fuse_cyclic, fuse_cyclic_budgeted, fuse_cyclic_traced};
 pub use explain::{explain_fusion, Explanation};
-pub use hyperplane::{fuse_hyperplane, fuse_hyperplane_budgeted, HyperplanePlan};
-pub use llofra::{llofra, llofra_budgeted};
-pub use partial::{fuse_partial, fuse_partial_budgeted, verify_partial, PartialFusionPlan};
+pub use hyperplane::{
+    fuse_hyperplane, fuse_hyperplane_budgeted, fuse_hyperplane_traced, HyperplanePlan,
+};
+pub use llofra::{llofra, llofra_budgeted, llofra_traced};
+pub use partial::{
+    fuse_partial, fuse_partial_budgeted, fuse_partial_traced, verify_partial, PartialFusionPlan,
+};
 pub use planner::{
-    plan_fusion, plan_fusion_budgeted, verify_plan, DegradedPlan, FullParallelMethod, FusionPlan,
-    PlanReport, Rung, RungAttempt,
+    plan_fusion, plan_fusion_budgeted, plan_fusion_traced, verify_plan, DegradedPlan,
+    FullParallelMethod, FusionPlan, PlanReport, Rung, RungAttempt,
 };
 pub use report::{analyze, AnalysisReport};
 

@@ -15,6 +15,7 @@ use mdf_graph::error::{InfeasiblePhase, MdfError, WitnessWeight};
 use mdf_graph::mldg::{EdgeId, Mldg};
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
+use mdf_trace::Span;
 
 /// Builds the pipeline-wide [`MdfError::Infeasible`] witness from a
 /// negative cycle expressed as MLDG edges: node labels are read off the
@@ -79,8 +80,15 @@ pub fn llofra_with_engine(g: &Mldg, engine: Engine) -> Result<Retiming, MdfError
 /// metered (rounds + deadline), so oversized or adversarial graphs return
 /// [`MdfError::BudgetExceeded`] instead of stalling.
 pub fn llofra_budgeted(g: &Mldg, meter: &mut BudgetMeter) -> Result<Retiming, MdfError> {
+    llofra_traced(g, meter, &Span::disabled())
+}
+
+/// As [`llofra_budgeted`], reporting the 2-D solve onto a `solve` child
+/// of `span`.
+pub fn llofra_traced(g: &Mldg, meter: &mut BudgetMeter, span: &Span) -> Result<Retiming, MdfError> {
     let sys = build_llofra_system(g);
-    match sys.solve_budgeted(meter)? {
+    let solve = span.child("solve");
+    match sys.solve_traced(meter, &solve)? {
         Ok(offsets) => Ok(Retiming::from_offsets(offsets)),
         Err(inf) => Err(lex_infeasible(g, inf)),
     }

@@ -30,6 +30,7 @@ use mdf_graph::legality::textual_order;
 use mdf_graph::mldg::{Mldg, NodeId};
 use mdf_graph::vec2::IVec2;
 use mdf_retime::Retiming;
+use mdf_trace::Span;
 
 /// A partial-fusion result.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,17 +114,20 @@ fn solve_for_assignment(g: &Mldg, cluster_of: &[usize]) -> Option<Retiming> {
     Some(combine(rx, ry))
 }
 
-/// As [`solve_for_assignment`], but metered: `Err` is a budget trip,
-/// `Ok(None)` ordinary infeasibility of this assignment.
-fn solve_for_assignment_budgeted(
+/// As [`solve_for_assignment`], but metered and traced: `Err` is a budget
+/// trip, `Ok(None)` ordinary infeasibility of this assignment. The greedy
+/// scan performs `O(|V|)` of these solves, so counters accumulate directly
+/// on the caller's span rather than spawning a child span per solve.
+fn solve_for_assignment_traced(
     g: &Mldg,
     cluster_of: &[usize],
     meter: &mut BudgetMeter,
+    span: &Span,
 ) -> Result<Option<Retiming>, MdfError> {
-    let Ok(rx) = build_x_assignment_system(g, cluster_of).solve_budgeted(meter)? else {
+    let Ok(rx) = build_x_assignment_system(g, cluster_of).solve_traced(meter, span)? else {
         return Ok(None);
     };
-    let Ok(ry) = build_y_assignment_system(g, cluster_of, &rx).solve_budgeted(meter)? else {
+    let Ok(ry) = build_y_assignment_system(g, cluster_of, &rx).solve_traced(meter, span)? else {
         return Ok(None);
     };
     Ok(Some(combine(rx, ry)))
@@ -195,6 +199,16 @@ pub fn fuse_partial_budgeted(
     g: &Mldg,
     meter: &mut BudgetMeter,
 ) -> Result<Option<PartialFusionPlan>, MdfError> {
+    fuse_partial_traced(g, meter, &Span::disabled())
+}
+
+/// As [`fuse_partial_budgeted`], reporting every per-assignment solve's
+/// counters onto `span` (plus `partial.clusters` on success).
+pub fn fuse_partial_traced(
+    g: &Mldg,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<Option<PartialFusionPlan>, MdfError> {
     if g.node_count() == 0 {
         return Ok(Some(PartialFusionPlan {
             clusters: Vec::new(),
@@ -214,7 +228,7 @@ pub fn fuse_partial_budgeted(
         if let Some(last) = clusters.len().checked_sub(1) {
             cluster_of[v.index()] = last;
             let tentative = assignment_with_tail(&cluster_of, &order, clusters.len());
-            if let Some(r) = solve_for_assignment_budgeted(g, &tentative, meter)? {
+            if let Some(r) = solve_for_assignment_traced(g, &tentative, meter, span)? {
                 clusters[last].push(v);
                 retiming = Some(r);
                 continue;
@@ -224,7 +238,7 @@ pub fn fuse_partial_budgeted(
         cluster_of[v.index()] = next;
         clusters.push(vec![v]);
         let tentative = assignment_with_tail(&cluster_of, &order, clusters.len());
-        match solve_for_assignment_budgeted(g, &tentative, meter)? {
+        match solve_for_assignment_traced(g, &tentative, meter, span)? {
             Some(r) => retiming = Some(r),
             None => return Ok(None),
         }
@@ -232,6 +246,7 @@ pub fn fuse_partial_budgeted(
     let Some(retiming) = retiming else {
         return Ok(None);
     };
+    span.add("partial.clusters", clusters.len() as u64);
     Ok(Some(PartialFusionPlan { clusters, retiming }))
 }
 

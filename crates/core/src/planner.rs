@@ -25,11 +25,12 @@ use mdf_retime::{
     apply_retiming, check_fusion_legal, check_inner_doall, check_retiming_consistency,
     is_strict_schedule, Retiming, VerifyError, Wavefront,
 };
+use mdf_trace::Span;
 
-use crate::acyclic::{fuse_acyclic, fuse_acyclic_budgeted};
-use crate::cyclic::{fuse_cyclic, fuse_cyclic_budgeted};
-use crate::hyperplane::{fuse_hyperplane, fuse_hyperplane_budgeted};
-use crate::partial::{fuse_partial_budgeted, verify_partial, PartialFusionPlan};
+use crate::acyclic::{fuse_acyclic, fuse_acyclic_traced};
+use crate::cyclic::{fuse_cyclic, fuse_cyclic_traced};
+use crate::hyperplane::{fuse_hyperplane, fuse_hyperplane_traced};
+use crate::partial::{fuse_partial_traced, verify_partial, PartialFusionPlan};
 
 /// Which algorithm produced a full-parallel plan.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -238,6 +239,27 @@ impl PlanReport {
 ///   rung could succeed either);
 /// * every rung ran over budget → the last budget error.
 pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, MdfError> {
+    plan_fusion_traced(g, budget, &Span::disabled())
+}
+
+/// Classifies a rung failure for the `plan.degraded.*` counters.
+fn degradation_counter(e: &MdfError) -> &'static str {
+    match e {
+        MdfError::Infeasible { .. } | MdfError::NotAcyclic => "plan.degraded.infeasible",
+        MdfError::BudgetExceeded { .. } => "plan.degraded.budget",
+        MdfError::Invalid { .. } => "plan.degraded.invalid",
+        _ => "plan.degraded.other",
+    }
+}
+
+/// As [`plan_fusion_budgeted`], reporting the ladder onto `span`: one
+/// child span per rung attempted (`alg3-acyclic`, `alg4-cyclic`,
+/// `alg5-hyperplane`, `partial`, each carrying its constraint-solve
+/// counters), plus `plan.attempts`, `plan.degradations` and a
+/// `plan.degraded.{infeasible,budget,invalid,other}` reason counter per
+/// failed rung. Tracing is strictly observational — the ladder's
+/// decisions are identical with an enabled and a disabled span.
+pub fn plan_fusion_traced(g: &Mldg, budget: &Budget, span: &Span) -> Result<PlanReport, MdfError> {
     let mut meter = budget.meter();
     meter.check_size(g.node_count(), g.edge_count())?;
     meter.check_deadline()?;
@@ -246,7 +268,9 @@ pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, Mdf
 
     // Rung 1: full parallelism in row order (Algorithm 3 or 4).
     if is_acyclic(g) {
-        match fuse_acyclic_budgeted(g, &mut meter) {
+        let rung = span.child("alg3-acyclic");
+        span.add("plan.attempts", 1);
+        match fuse_acyclic_traced(g, &mut meter, &rung) {
             Ok(retiming) => {
                 attempts.push(RungAttempt {
                     rung: Rung::Acyclic,
@@ -260,13 +284,20 @@ pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, Mdf
                     attempts,
                 });
             }
-            Err(e) => attempts.push(RungAttempt {
-                rung: Rung::Acyclic,
-                error: Some(e),
-            }),
+            Err(e) => {
+                span.add("plan.degradations", 1);
+                span.add(degradation_counter(&e), 1);
+                attempts.push(RungAttempt {
+                    rung: Rung::Acyclic,
+                    error: Some(e),
+                });
+            }
         }
+        rung.finish();
     } else {
-        match fuse_cyclic_budgeted(g, &mut meter) {
+        let rung = span.child("alg4-cyclic");
+        span.add("plan.attempts", 1);
+        match fuse_cyclic_traced(g, &mut meter, &rung) {
             Ok(retiming) => {
                 attempts.push(RungAttempt {
                     rung: Rung::Cyclic,
@@ -280,15 +311,22 @@ pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, Mdf
                     attempts,
                 });
             }
-            Err(e) => attempts.push(RungAttempt {
-                rung: Rung::Cyclic,
-                error: Some(e),
-            }),
+            Err(e) => {
+                span.add("plan.degradations", 1);
+                span.add(degradation_counter(&e), 1);
+                attempts.push(RungAttempt {
+                    rung: Rung::Cyclic,
+                    error: Some(e),
+                });
+            }
         }
+        rung.finish();
     }
 
     // Rung 2: hyperplane wavefront (Algorithm 5).
-    match fuse_hyperplane_budgeted(g, &mut meter) {
+    let rung = span.child("alg5-hyperplane");
+    span.add("plan.attempts", 1);
+    match fuse_hyperplane_traced(g, &mut meter, &rung) {
         Ok(hp) => {
             attempts.push(RungAttempt {
                 rung: Rung::Hyperplane,
@@ -305,14 +343,21 @@ pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, Mdf
         // A negative-cycle witness here is terminal: the graph is not a
         // legal nested loop, so no later rung can succeed.
         Err(e @ MdfError::Infeasible { .. }) => return Err(e),
-        Err(e) => attempts.push(RungAttempt {
-            rung: Rung::Hyperplane,
-            error: Some(e),
-        }),
+        Err(e) => {
+            span.add("plan.degradations", 1);
+            span.add(degradation_counter(&e), 1);
+            attempts.push(RungAttempt {
+                rung: Rung::Hyperplane,
+                error: Some(e),
+            });
+        }
     }
+    rung.finish();
 
     // Rung 3: partial fusion into row-DOALL clusters.
-    match fuse_partial_budgeted(g, &mut meter) {
+    let rung = span.child("partial");
+    span.add("plan.attempts", 1);
+    match fuse_partial_traced(g, &mut meter, &rung) {
         Ok(Some(plan)) => {
             attempts.push(RungAttempt {
                 rung: Rung::Partial,
@@ -323,10 +368,14 @@ pub fn plan_fusion_budgeted(g: &Mldg, budget: &Budget) -> Result<PlanReport, Mdf
                 attempts,
             })
         }
-        Ok(None) => Err(last_error(
-            attempts,
-            MdfError::invalid("no row-parallel clustering exists"),
-        )),
+        Ok(None) => {
+            span.add("plan.degradations", 1);
+            span.add("plan.degraded.infeasible", 1);
+            Err(last_error(
+                attempts,
+                MdfError::invalid("no row-parallel clustering exists"),
+            ))
+        }
         Err(e) => Err(e),
     }
 }

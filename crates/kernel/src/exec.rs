@@ -29,6 +29,7 @@ use std::collections::BTreeMap;
 use mdf_graph::{BudgetMeter, IVec2, MdfError};
 use mdf_ir::retgen::{FusedSpec, IRange};
 use mdf_sim::ExecStats;
+use mdf_trace::Span;
 use rayon::prelude::*;
 
 use crate::lower::{eval_compiled, lower_loop, CompiledLoop, MAX_REGS};
@@ -148,6 +149,29 @@ impl CompiledKernel {
         })
     }
 
+    /// As [`CompiledKernel::compile`], reporting lowering shape onto
+    /// `span`: `kernel.loops` (lowered loops) and `kernel.instrs` (total
+    /// bytecode instructions across all statement bodies).
+    pub fn compile_traced(
+        spec: &FusedSpec,
+        n: i64,
+        m: i64,
+        span: &Span,
+    ) -> Result<CompiledKernel, MdfError> {
+        let k = Self::compile(spec, n, m)?;
+        if span.is_enabled() {
+            span.add("kernel.loops", k.loops.len() as u64);
+            let instrs: u64 = k
+                .loops
+                .iter()
+                .flat_map(|cl| cl.stmts.iter())
+                .map(|s| s.instrs.len() as u64)
+                .sum();
+            span.add("kernel.instrs", instrs);
+        }
+        Ok(k)
+    }
+
     /// The memory layout the kernel runs over.
     pub fn layout(&self) -> Layout {
         self.layout
@@ -190,6 +214,68 @@ impl CompiledKernel {
         let mut mem = KernelMemory::new(self.layout);
         let stats = self.drive(mode, &mut mem, rayon::current_num_threads(), Some(meter))?;
         Ok((mem, stats))
+    }
+
+    /// As [`CompiledKernel::run`], reporting execution counters onto `span`
+    /// (see [`CompiledKernel::run_with_threads_traced`]).
+    pub fn run_traced(&self, mode: ExecMode, span: &Span) -> (KernelMemory, ExecStats) {
+        self.run_with_threads_traced(mode, rayon::current_num_threads(), span)
+    }
+
+    /// As [`CompiledKernel::run_with_threads`], reporting execution
+    /// counters onto `span`: `kernel.barriers`, `kernel.instances`, plus
+    /// `kernel.rows` / `kernel.groups` for the mode taken and
+    /// `kernel.tiles` when the tiled threaded path is active. Counters are
+    /// derived after the run from [`ExecStats`] and the kernel's shape —
+    /// nothing is counted inside the hot loops, so the run itself is
+    /// bit-identical to the untraced one.
+    pub fn run_with_threads_traced(
+        &self,
+        mode: ExecMode,
+        threads: usize,
+        span: &Span,
+    ) -> (KernelMemory, ExecStats) {
+        let out = self.run_with_threads(mode, threads);
+        self.report_exec(mode, threads, &out.1, span);
+        out
+    }
+
+    /// As [`CompiledKernel::run_budgeted`], reporting execution counters
+    /// onto `span` (see [`CompiledKernel::run_with_threads_traced`]).
+    pub fn run_budgeted_traced(
+        &self,
+        mode: ExecMode,
+        meter: &mut BudgetMeter,
+        span: &Span,
+    ) -> Result<(KernelMemory, ExecStats), MdfError> {
+        let out = self.run_budgeted(mode, meter)?;
+        self.report_exec(mode, rayon::current_num_threads(), &out.1, span);
+        Ok(out)
+    }
+
+    /// Post-run counter reporting, shared by the traced entry points.
+    /// `stats.barriers` equals rows executed (row modes) or non-empty
+    /// wavefront groups (wavefront mode), so the mode-specific counters
+    /// are exact without re-walking the iteration space.
+    fn report_exec(&self, mode: ExecMode, threads: usize, stats: &ExecStats, span: &Span) {
+        if !span.is_enabled() {
+            return;
+        }
+        span.add("kernel.barriers", stats.barriers);
+        span.add("kernel.instances", stats.stmt_instances);
+        match mode {
+            ExecMode::RowsCertified => {
+                span.add("kernel.rows", stats.barriers);
+                if self.rows_tiled(threads) {
+                    span.add(
+                        "kernel.tiles",
+                        stats.barriers * self.column_tiles().len() as u64,
+                    );
+                }
+            }
+            ExecMode::RowsSerial => span.add("kernel.rows", stats.barriers),
+            ExecMode::Wavefront { .. } => span.add("kernel.groups", stats.barriers),
+        }
     }
 
     fn drive(
@@ -239,6 +325,26 @@ impl CompiledKernel {
         Ok(stats)
     }
 
+    /// Whether certified rows take the tiled threaded path under `threads`
+    /// workers. Shared between execution and the `kernel.tiles` counter so
+    /// the accounting can never drift from what actually ran.
+    fn rows_tiled(&self, threads: usize) -> bool {
+        threads > 1 && self.inner.len() >= 2 * TILE_COLS
+    }
+
+    /// The column tiles a certified threaded row splits into:
+    /// [`TILE_COLS`]-wide chunks of the fused inner range, last one
+    /// ragged. Shared between execution and the `kernel.tiles` counter.
+    fn column_tiles(&self) -> Vec<(i64, i64)> {
+        if self.inner.is_empty() {
+            return Vec::new();
+        }
+        (self.inner.lo..=self.inner.hi)
+            .step_by(TILE_COLS as usize)
+            .map(|lo| (lo, (lo + TILE_COLS - 1).min(self.inner.hi)))
+            .collect()
+    }
+
     /// One certified row, loop-major: each active loop's statements sweep
     /// the loop's column range with a cursor that advances by one cell per
     /// step. Long rows split into column tiles run through the shared
@@ -253,32 +359,31 @@ impl CompiledKernel {
             .filter(|cl| active(cl))
             .map(|cl| cl.stmts.len() as u64 * cl.cols.len() as u64)
             .sum();
-        if threads > 1 && self.inner.len() >= 2 * TILE_COLS {
+        if self.rows_tiled(threads) {
             let cells = SharedCells::new(data);
-            let tiles: Vec<(i64, i64)> = (self.inner.lo..=self.inner.hi)
-                .step_by(TILE_COLS as usize)
-                .map(|lo| (lo, (lo + TILE_COLS - 1).min(self.inner.hi)))
-                .collect();
-            tiles.into_par_iter().for_each(|(tile_lo, tile_hi)| {
-                let mut regs = [0i64; MAX_REGS];
-                for cl in &self.loops {
-                    if !active(cl) {
-                        continue;
-                    }
-                    let lo = tile_lo.max(cl.cols.lo);
-                    let hi = tile_hi.min(cl.cols.hi);
-                    if lo > hi {
-                        continue;
-                    }
-                    let base = self.layout.cursor(fi + cl.offset.x, lo + cl.offset.y) as isize;
-                    for s in &cl.stmts {
-                        for cur in base..base + (hi - lo + 1) as isize {
-                            let v = eval_compiled(&s.instrs, &mut regs, |d| cells.read(cur + d));
-                            cells.write(cur + s.store_delta, v);
+            self.column_tiles()
+                .into_par_iter()
+                .for_each(|(tile_lo, tile_hi)| {
+                    let mut regs = [0i64; MAX_REGS];
+                    for cl in &self.loops {
+                        if !active(cl) {
+                            continue;
+                        }
+                        let lo = tile_lo.max(cl.cols.lo);
+                        let hi = tile_hi.min(cl.cols.hi);
+                        if lo > hi {
+                            continue;
+                        }
+                        let base = self.layout.cursor(fi + cl.offset.x, lo + cl.offset.y) as isize;
+                        for s in &cl.stmts {
+                            for cur in base..base + (hi - lo + 1) as isize {
+                                let v =
+                                    eval_compiled(&s.instrs, &mut regs, |d| cells.read(cur + d));
+                                cells.write(cur + s.store_delta, v);
+                            }
                         }
                     }
-                }
-            });
+                });
         } else {
             let mut regs = [0i64; MAX_REGS];
             for cl in &self.loops {
@@ -561,6 +666,134 @@ mod tests {
             }) => {}
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    fn single_node_program() -> mdf_ir::ast::Program {
+        use mdf_ir::ast::{ArrayRef, Expr, Program, Stmt};
+        let mut p = Program::new("stencil");
+        let a = p.add_array("a");
+        p.add_loop(
+            "A",
+            vec![Stmt {
+                lhs: ArrayRef::new(a, 0, 0),
+                rhs: Expr::Ref(ArrayRef::new(a, -1, 0)),
+            }],
+        );
+        p
+    }
+
+    fn run_traced_profile(
+        k: &CompiledKernel,
+        mode: ExecMode,
+        threads: usize,
+    ) -> ((KernelMemory, ExecStats), mdf_trace::Profile) {
+        use std::sync::Arc;
+        let sink = Arc::new(mdf_trace::MemorySink::new());
+        let tracer = mdf_trace::Tracer::new(sink.clone());
+        let span = tracer.span("execute");
+        let out = k.run_with_threads_traced(mode, threads, &span);
+        span.finish();
+        (out, sink.profile().unwrap())
+    }
+
+    #[test]
+    fn empty_iteration_space_counts_zero_barriers_and_instances() {
+        // n = -1 makes the fused outer range empty: the drivers must
+        // execute nothing, touch nothing, and account exactly zero.
+        let spec = FusedSpec::unretimed(single_node_program());
+        let k = CompiledKernel::compile(&spec, -1, 3).unwrap();
+        for mode in [ExecMode::RowsCertified, ExecMode::RowsSerial] {
+            let ((mem, stats), profile) = run_traced_profile(&k, mode, 4);
+            assert_eq!(stats.barriers, 0);
+            assert_eq!(stats.stmt_instances, 0);
+            assert_eq!(profile.counter_total("kernel.barriers"), 0);
+            assert_eq!(profile.counter_total("kernel.instances"), 0);
+            assert_eq!(profile.counter_total("kernel.tiles"), 0);
+            assert_eq!(mem.fingerprint(), KernelMemory::new(k.layout).fingerprint());
+        }
+    }
+
+    #[test]
+    fn one_by_n_and_n_by_one_spaces_count_exactly() {
+        let spec = FusedSpec::unretimed(single_node_program());
+
+        // 1 x 8 space: one fused row, eight columns.
+        let k = CompiledKernel::compile(&spec, 0, 7).unwrap();
+        let ((_, stats), profile) = run_traced_profile(&k, ExecMode::RowsCertified, 1);
+        assert_eq!(stats.barriers, 1);
+        assert_eq!(stats.stmt_instances, 8);
+        assert_eq!(profile.counter_total("kernel.rows"), 1);
+        assert_eq!(profile.counter_total("kernel.barriers"), 1);
+        assert_eq!(profile.counter_total("kernel.instances"), 8);
+        assert_eq!(profile.counter_total("kernel.tiles"), 0, "below tile gate");
+
+        // 8 x 1 space: eight fused rows, one column each.
+        let k = CompiledKernel::compile(&spec, 7, 0).unwrap();
+        let ((_, stats), profile) = run_traced_profile(&k, ExecMode::RowsSerial, 1);
+        assert_eq!(stats.barriers, 8);
+        assert_eq!(stats.stmt_instances, 8);
+        assert_eq!(profile.counter_total("kernel.rows"), 8);
+        assert_eq!(profile.counter_total("kernel.barriers"), 8);
+    }
+
+    #[test]
+    fn single_node_mldg_compile_counters() {
+        use std::sync::Arc;
+        let spec = FusedSpec::unretimed(single_node_program());
+        let sink = Arc::new(mdf_trace::MemorySink::new());
+        let tracer = mdf_trace::Tracer::new(sink.clone());
+        let span = tracer.span("lower");
+        let k = CompiledKernel::compile_traced(&spec, 4, 4, &span).unwrap();
+        span.finish();
+        let profile = sink.profile().unwrap();
+        assert_eq!(profile.counter_total("kernel.loops"), 1);
+        // One statement: load a[i-1][j], store — at least one instruction,
+        // and exactly what the lowered body holds.
+        let instrs: u64 = k.loops[0].stmts.iter().map(|s| s.instrs.len() as u64).sum();
+        assert!(instrs >= 1);
+        assert_eq!(profile.counter_total("kernel.instrs"), instrs);
+    }
+
+    #[test]
+    fn tiled_path_tile_counter_is_exact_and_does_not_perturb() {
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        assert_eq!(mode, ExecMode::RowsCertified);
+        let k = CompiledKernel::compile(&spec, 4, 3 * TILE_COLS).unwrap();
+
+        let (plain_mem, plain_stats) = k.run_with_threads(mode, 4);
+        let ((mem, stats), profile) = run_traced_profile(&k, mode, 4);
+        assert_eq!(mem.fingerprint(), plain_mem.fingerprint());
+        assert_eq!(stats, plain_stats);
+
+        let tiles_per_row = (k.inner.len() + TILE_COLS - 1) / TILE_COLS;
+        assert!(tiles_per_row >= 3);
+        assert_eq!(
+            profile.counter_total("kernel.tiles"),
+            stats.barriers * tiles_per_row as u64
+        );
+        assert_eq!(profile.counter_total("kernel.rows"), stats.barriers);
+
+        // Single-threaded run of the same kernel takes the untiled path.
+        let (_, profile) = run_traced_profile(&k, mode, 1);
+        assert_eq!(profile.counter_total("kernel.tiles"), 0);
+    }
+
+    #[test]
+    fn wavefront_groups_counter_matches_barriers() {
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        let ((_, stats), profile) = run_traced_profile(&k, mode, 2);
+        assert_eq!(profile.counter_total("kernel.groups"), stats.barriers);
+        assert_eq!(profile.counter_total("kernel.barriers"), stats.barriers);
+        assert_eq!(
+            profile.counter_total("kernel.instances"),
+            stats.stmt_instances
+        );
+        assert_eq!(profile.counter_total("kernel.tiles"), 0);
     }
 
     #[test]

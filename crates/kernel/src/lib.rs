@@ -48,9 +48,10 @@ pub use exec::{CompiledKernel, ExecMode};
 pub use lower::{CompiledLoop, CompiledStmt, Instr};
 pub use memory::KernelMemory;
 
-use mdf_analyze::{certify_doall, ParallelMode};
+use mdf_analyze::{certify_doall, certify_doall_traced, ParallelMode};
 use mdf_core::FusionPlan;
 use mdf_ir::retgen::FusedSpec;
+use mdf_trace::Span;
 
 /// Picks the execution mode for a plan by consulting the static race
 /// certificate: certified plans run loop-major and (on multicore hosts)
@@ -71,6 +72,43 @@ pub fn plan_mode(spec: &FusedSpec, plan: &FusionPlan) -> ExecMode {
                 .is_certified(),
         },
     }
+}
+
+/// As [`plan_mode`], reporting the certificate consultation and the
+/// decision onto `span`: one of `kernel.mode.rows-certified` /
+/// `kernel.mode.rows-serial` / `kernel.mode.wavefront`, plus a
+/// `kernel.fallback.row-race` or `kernel.fallback.hyperplane-race`
+/// counter when a failed certificate caused a serial(ized) fallback — the
+/// "why is this not parallel" answer, straight from the profile.
+pub fn plan_mode_traced(spec: &FusedSpec, plan: &FusionPlan, span: &Span) -> ExecMode {
+    let mode = match plan {
+        FusionPlan::FullParallel { .. } => {
+            if certify_doall_traced(spec, ParallelMode::Rows, span).is_certified() {
+                ExecMode::RowsCertified
+            } else {
+                span.add("kernel.fallback.row-race", 1);
+                ExecMode::RowsSerial
+            }
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            let certified =
+                certify_doall_traced(spec, ParallelMode::Hyperplanes(wavefront.schedule), span)
+                    .is_certified();
+            if !certified {
+                span.add("kernel.fallback.hyperplane-race", 1);
+            }
+            ExecMode::Wavefront {
+                schedule: wavefront.schedule,
+                certified,
+            }
+        }
+    };
+    match mode {
+        ExecMode::RowsCertified => span.add("kernel.mode.rows-certified", 1),
+        ExecMode::RowsSerial => span.add("kernel.mode.rows-serial", 1),
+        ExecMode::Wavefront { .. } => span.add("kernel.mode.wavefront", 1),
+    }
+    mode
 }
 
 #[cfg(test)]
@@ -106,5 +144,58 @@ mod tests {
         if plan.is_full_parallel() {
             assert_eq!(plan_mode(&spec, &plan), ExecMode::RowsSerial);
         }
+    }
+
+    #[test]
+    fn traced_mode_choice_matches_untraced_and_records_cause() {
+        use mdf_trace::{MemorySink, Tracer};
+        use std::sync::Arc;
+
+        let profile_of = |spec: &FusedSpec, plan: &mdf_core::FusionPlan| {
+            let sink = Arc::new(MemorySink::new());
+            let tracer = Tracer::new(sink.clone());
+            let span = tracer.span("plan-mode");
+            let mode = plan_mode_traced(spec, plan, &span);
+            span.finish();
+            assert_eq!(mode, plan_mode(spec, plan), "tracing must not perturb");
+            (mode, sink.profile().unwrap())
+        };
+
+        // Certified rows: mode counter set, no fallback cause.
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let (mode, profile) = profile_of(&spec, &plan);
+        assert_eq!(mode, ExecMode::RowsCertified);
+        assert_eq!(profile.counter_total("kernel.mode.rows-certified"), 1);
+        assert_eq!(profile.counter_total("kernel.fallback.row-race"), 0);
+        assert_eq!(profile.counter_total("analyze.certificates"), 1);
+
+        // Failed certificate: serial fallback with its cause recorded.
+        let p = figure2_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::unretimed(p);
+        if plan.is_full_parallel() {
+            let (mode, profile) = profile_of(&spec, &plan);
+            assert_eq!(mode, ExecMode::RowsSerial);
+            assert_eq!(profile.counter_total("kernel.mode.rows-serial"), 1);
+            assert_eq!(profile.counter_total("kernel.fallback.row-race"), 1);
+            assert_eq!(profile.counter_total("analyze.witnesses"), 1);
+        }
+
+        // Certified wavefront.
+        let p = relaxation_program();
+        let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
+        let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+        let (mode, profile) = profile_of(&spec, &plan);
+        assert!(matches!(
+            mode,
+            ExecMode::Wavefront {
+                certified: true,
+                ..
+            }
+        ));
+        assert_eq!(profile.counter_total("kernel.mode.wavefront"), 1);
+        assert_eq!(profile.counter_total("kernel.fallback.hyperplane-race"), 0);
     }
 }

@@ -27,6 +27,7 @@ pub mod interp;
 pub mod machine;
 pub mod parallel;
 pub mod spaceviz;
+pub mod traced;
 
 pub use array2::Array2;
 pub use cache::{cache_fused, cache_original, Cache, CacheConfig, CacheStats};
@@ -47,3 +48,4 @@ pub use parallel::{
     try_run_partitioned_rayon, try_run_wavefront_rayon,
 };
 pub use spaceviz::{render_row_space, render_wavefront_space};
+pub use traced::{run_fused_ordered_traced, run_original_traced, run_wavefront_traced};

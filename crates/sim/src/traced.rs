@@ -1,0 +1,106 @@
+//! Traced wrappers around the interpreter entry points.
+//!
+//! Thin and strictly observational: each wrapper runs the corresponding
+//! budgeted function and reports the resulting [`ExecStats`] onto the
+//! caller's span as `sim.barriers` / `sim.instances` counters. Results —
+//! memory contents, fingerprints, the stats themselves — are exactly what
+//! the untraced call produces.
+
+use mdf_graph::budget::BudgetMeter;
+use mdf_graph::error::MdfError;
+use mdf_ir::ast::Program;
+use mdf_ir::retgen::FusedSpec;
+use mdf_retime::Wavefront;
+use mdf_trace::Span;
+
+use crate::exec_plan::{run_fused_ordered_budgeted, run_wavefront_budgeted, RowOrder};
+use crate::interp::{run_original_budgeted, ExecStats, Memory};
+
+fn report(span: &Span, stats: &ExecStats) {
+    span.add("sim.barriers", stats.barriers);
+    span.add("sim.instances", stats.stmt_instances);
+}
+
+/// As [`run_original_budgeted`], reporting the stats onto `span`.
+pub fn run_original_traced(
+    p: &Program,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let out = run_original_budgeted(p, n, m, meter)?;
+    report(span, &out.1);
+    Ok(out)
+}
+
+/// As [`run_fused_ordered_budgeted`], reporting the stats onto `span`.
+pub fn run_fused_ordered_traced(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let out = run_fused_ordered_budgeted(spec, n, m, order, meter)?;
+    report(span, &out.1);
+    Ok(out)
+}
+
+/// As [`run_wavefront_budgeted`], reporting the stats onto `span`.
+pub fn run_wavefront_traced(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+    span: &Span,
+) -> Result<(Memory, ExecStats), MdfError> {
+    let out = run_wavefront_budgeted(spec, wavefront, n, m, meter)?;
+    report(span, &out.1);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdf_graph::budget::Budget;
+    use mdf_ir::parse_program;
+    use mdf_trace::{MemorySink, Tracer};
+    use std::sync::Arc;
+
+    const SRC: &str = "\
+program traced_smoke {
+    arrays a, b;
+    do i {
+        doall A: j {
+            a[i][j] = a[i-1][j] + 1;
+        }
+        doall B: j {
+            b[i][j] = a[i][j] * 2;
+        }
+    }
+}
+";
+
+    #[test]
+    fn traced_run_matches_untraced_and_reports_counters() {
+        let p = parse_program(SRC).unwrap();
+        let mut meter = Budget::unlimited().meter();
+        let (plain_mem, plain_stats) = run_original_budgeted(&p, 6, 6, &mut meter).unwrap();
+
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(sink.clone());
+        let span = tracer.span("execute");
+        let mut meter = Budget::unlimited().meter();
+        let (mem, stats) = run_original_traced(&p, 6, 6, &mut meter, &span).unwrap();
+        span.finish();
+
+        assert_eq!(mem.fingerprint(), plain_mem.fingerprint());
+        assert_eq!(stats, plain_stats);
+        let profile = sink.profile().unwrap();
+        assert_eq!(profile.counter_total("sim.barriers"), stats.barriers);
+        assert_eq!(profile.counter_total("sim.instances"), stats.stmt_instances);
+    }
+}

@@ -1,0 +1,237 @@
+//! Dependency-free validator for the schema-v1 profile format emitted by
+//! [`crate::profile::Profile::to_jsonl`] — the engine behind
+//! `mdfuse profile-check`. Checks structural well-formedness, not
+//! semantics: header first, known schema version, unique span ids,
+//! parents emitted before children, child intervals nested inside their
+//! parent's, sibling intervals non-overlapping, and an honest
+//! `span_count`.
+
+use std::collections::BTreeMap;
+
+use crate::json::{parse, Json};
+use crate::SCHEMA_VERSION;
+
+/// What a valid trace contained, for one-line reporting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The `command` field from the header.
+    pub command: String,
+    /// Number of span lines.
+    pub spans: usize,
+    /// Number of root spans (`parent: null`).
+    pub roots: usize,
+}
+
+fn uint(v: &Json, what: &str, line: usize) -> Result<u64, String> {
+    let n = v
+        .num()
+        .ok_or_else(|| format!("line {line}: {what} is not a number"))?;
+    if n < 0.0 || n.fract() != 0.0 || n > 9_007_199_254_740_992.0 {
+        return Err(format!("line {line}: {what} is not a non-negative integer"));
+    }
+    Ok(n as u64)
+}
+
+/// Validates one profile document. Returns a [`TraceSummary`] on success,
+/// a human-readable schema violation on error.
+pub fn validate_trace(text: &str) -> Result<TraceSummary, String> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty());
+
+    let (_, header_line) = lines.next().ok_or("empty trace file")?;
+    let header = parse(header_line).map_err(|e| format!("line 1: {e}"))?;
+    if header.get("kind").and_then(Json::str_val) != Some("header") {
+        return Err("line 1: first line is not a header record".into());
+    }
+    let version = uint(
+        header
+            .get("schema_version")
+            .ok_or("line 1: header is missing schema_version")?,
+        "schema_version",
+        1,
+    )?;
+    if version != SCHEMA_VERSION {
+        return Err(format!(
+            "unknown schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    if header.get("name").and_then(Json::str_val) != Some("mdf-trace") {
+        return Err("line 1: header name is not \"mdf-trace\"".into());
+    }
+    let command = header
+        .get("command")
+        .and_then(Json::str_val)
+        .ok_or("line 1: header is missing command")?
+        .to_string();
+    let declared = uint(
+        header
+            .get("span_count")
+            .ok_or("line 1: header is missing span_count")?,
+        "span_count",
+        1,
+    )? as usize;
+
+    // id -> emitted interval, for the parent-nesting check.
+    struct Seen {
+        start: u64,
+        end: u64,
+    }
+    let mut seen: BTreeMap<u64, Seen> = BTreeMap::new();
+    // Last-emitted interval per parent, for the sibling-overlap check.
+    let mut last_sibling: BTreeMap<Option<u64>, (u64, u64)> = BTreeMap::new();
+    let mut roots = 0usize;
+    let mut count = 0usize;
+
+    for (idx, line) in lines {
+        let ln = idx + 1;
+        let v = parse(line).map_err(|e| format!("line {ln}: {e}"))?;
+        if v.get("kind").and_then(Json::str_val) != Some("span") {
+            return Err(format!("line {ln}: record kind is not \"span\""));
+        }
+        let id = uint(
+            v.get("id").ok_or(format!("line {ln}: missing id"))?,
+            "id",
+            ln,
+        )?;
+        if seen.contains_key(&id) {
+            return Err(format!("line {ln}: duplicate span id {id}"));
+        }
+        if v.get("name").and_then(Json::str_val).is_none() {
+            return Err(format!("line {ln}: missing span name"));
+        }
+        let parent = match v.get("parent") {
+            Some(Json::Null) => None,
+            Some(p) => Some(uint(p, "parent", ln)?),
+            None => return Err(format!("line {ln}: missing parent")),
+        };
+        let start = uint(
+            v.get("start_ns")
+                .ok_or(format!("line {ln}: missing start_ns"))?,
+            "start_ns",
+            ln,
+        )?;
+        let dur = uint(
+            v.get("dur_ns")
+                .ok_or(format!("line {ln}: missing dur_ns"))?,
+            "dur_ns",
+            ln,
+        )?;
+        let end = start.saturating_add(dur);
+        let counters = v
+            .get("counters")
+            .ok_or(format!("line {ln}: missing counters"))?;
+        for (k, val) in counters
+            .obj()
+            .ok_or(format!("line {ln}: counters is not an object"))?
+        {
+            uint(val, &format!("counter {k:?}"), ln)?;
+        }
+        match parent {
+            None => roots += 1,
+            Some(p) => {
+                let pspan = seen.get(&p).ok_or(format!(
+                    "line {ln}: span {id} references parent {p} not yet emitted (orphan)"
+                ))?;
+                if start < pspan.start || end > pspan.end {
+                    return Err(format!(
+                        "line {ln}: span {id} [{start}, {end}] escapes its \
+                         parent {p} [{}, {}]",
+                        pspan.start, pspan.end
+                    ));
+                }
+            }
+        }
+        if let Some(&(_, prev_end)) = last_sibling.get(&parent) {
+            if start < prev_end {
+                return Err(format!(
+                    "line {ln}: span {id} starts at {start}, overlapping its \
+                     preceding sibling which ended at {prev_end}"
+                ));
+            }
+        }
+        last_sibling.insert(parent, (start, end));
+        seen.insert(id, Seen { start, end });
+        count += 1;
+    }
+
+    if count != declared {
+        return Err(format!(
+            "header declares span_count {declared} but {count} span record(s) follow"
+        ));
+    }
+    if count == 0 {
+        return Err("trace contains no spans".into());
+    }
+    Ok(TraceSummary {
+        command,
+        spans: count,
+        roots,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = concat!(
+        "{\"kind\":\"header\",\"schema_version\":1,\"name\":\"mdf-trace\",",
+        "\"tool\":\"mdfuse\",\"command\":\"run a.mdf\",\"span_count\":3}\n",
+        "{\"kind\":\"span\",\"id\":0,\"parent\":null,\"name\":\"run\",",
+        "\"start_ns\":0,\"dur_ns\":100,\"counters\":{}}\n",
+        "{\"kind\":\"span\",\"id\":1,\"parent\":0,\"name\":\"plan\",",
+        "\"start_ns\":10,\"dur_ns\":40,\"counters\":{\"plan.attempts\":1}}\n",
+        "{\"kind\":\"span\",\"id\":2,\"parent\":0,\"name\":\"execute\",",
+        "\"start_ns\":60,\"dur_ns\":30,\"counters\":{\"kernel.barriers\":7}}\n",
+    );
+
+    #[test]
+    fn accepts_a_well_formed_trace() {
+        let s = validate_trace(GOOD).unwrap();
+        assert_eq!(s.command, "run a.mdf");
+        assert_eq!(s.spans, 3);
+        assert_eq!(s.roots, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_schema_versions() {
+        let bumped = GOOD.replace("\"schema_version\":1", "\"schema_version\":2");
+        let err = validate_trace(&bumped).unwrap_err();
+        assert_eq!(err, "unknown schema_version 2 (expected 1)");
+    }
+
+    #[test]
+    fn rejects_orphans_and_overlaps_and_miscounts() {
+        // Orphan: parent 9 never emitted.
+        let orphan = GOOD.replace("\"id\":1,\"parent\":0", "\"id\":1,\"parent\":9");
+        assert!(validate_trace(&orphan).unwrap_err().contains("orphan"));
+
+        // Overlapping siblings: second child starts before the first ends.
+        let overlap = GOOD.replace("\"start_ns\":60", "\"start_ns\":45");
+        assert!(validate_trace(&overlap)
+            .unwrap_err()
+            .contains("overlapping"));
+
+        // Child escaping its parent's interval.
+        let escape = GOOD.replace(
+            "\"start_ns\":60,\"dur_ns\":30",
+            "\"start_ns\":60,\"dur_ns\":50",
+        );
+        assert!(validate_trace(&escape).unwrap_err().contains("escapes"));
+
+        // span_count lies.
+        let short = GOOD.replace("\"span_count\":3", "\"span_count\":5");
+        assert!(validate_trace(&short)
+            .unwrap_err()
+            .contains("span_count 5 but 3"));
+
+        // Duplicate ids.
+        let dup = GOOD.replace("\"id\":2", "\"id\":1");
+        assert!(validate_trace(&dup).unwrap_err().contains("duplicate"));
+
+        // Not a header first.
+        assert!(validate_trace("{\"kind\":\"span\"}\n").is_err());
+        assert!(validate_trace("").is_err());
+    }
+}

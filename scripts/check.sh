@@ -26,6 +26,16 @@ bench_out=$(mktemp -d)
 ./target/release/mdfuse bench --check "$bench_out/BENCH_fusion.json"
 rm -rf "$bench_out"
 
+echo "==> profile smoke (run/bench --profile, schema-validated)"
+profile_out=$(mktemp -d)
+./target/release/mdfuse run examples/dsl/figure2.mdf 16 16 --engine kernel \
+  --profile="$profile_out/run.trace.jsonl" >/dev/null 2>&1
+./target/release/mdfuse profile-check "$profile_out/run.trace.jsonl"
+./target/release/mdfuse bench --quick --deadline-ms 60000 \
+  --profile="$profile_out/bench.trace.jsonl" >/dev/null 2>&1
+./target/release/mdfuse profile-check "$profile_out/bench.trace.jsonl"
+rm -rf "$profile_out"
+
 echo "==> fuzz self-test (fault injection must be caught)"
 ./target/release/mdfuse fuzz --cases 50 --seed 1 --inject-broken-retiming >/dev/null
 

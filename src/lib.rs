@@ -20,6 +20,7 @@
 //! | [`sim`] | `mdf-sim` | interpreter, plan checking, DOALL checker, cost model, Rayon runner |
 //! | [`analysis`] | `mdf-analyze` | static race certifier, certificate checker, DSL lints |
 //! | [`kernel`] | `mdf-kernel` | compiled execution engine: bytecode lowering, tiled in-place steps |
+//! | [`trace`] | `mdf-trace` | structured tracing: span trees, phase counters, profile emission |
 //! | [`baselines`] | `mdf-baselines` | direct fusion, shift-and-peel, no-fusion |
 //! | [`gen`] | `mdf-gen` | random workloads and the E1–E5 experiment suite |
 //!
@@ -53,6 +54,7 @@ pub use mdf_ir as ir;
 pub use mdf_kernel as kernel;
 pub use mdf_retime as retime;
 pub use mdf_sim as sim;
+pub use mdf_trace as trace;
 
 /// The most common imports for working with the library.
 pub mod prelude {
