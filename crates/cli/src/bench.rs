@@ -17,11 +17,18 @@
 //! and synchronization counts direct (no-retiming) fusion would reach,
 //! against which the paper's full-fusion sync counts are judged.
 //!
-//! The report is schema-versioned JSON (`BENCH_fusion.json`, schema v1);
+//! The report is schema-versioned JSON (`BENCH_fusion.json`, schema v2);
 //! `--check` re-parses and validates a report file with a dependency-free
 //! JSON reader so CI can gate on schema drift. Under `--deadline-ms` the
 //! bench degrades to a partial report (`"complete": false`) instead of
 //! hanging: whatever finished before the deadline is still emitted.
+//!
+//! Schema v2 adds a per-suite `degradation` record so contaminated
+//! numbers are distinguishable from clean ones: `serial_fallback` (the
+//! kernel ran without a race certificate — serial rows or an uncertified
+//! wavefront), `plan_degradations` (ladder rungs the planner fell past),
+//! and `retries` (chunk retries by the supervising executor; the plain
+//! bench path never retries, so nonzero marks a perturbed measurement).
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -41,7 +48,7 @@ use mdf_trace::Span;
 use crate::CliError;
 
 /// Version stamp of the `BENCH_fusion.json` schema.
-pub(crate) const SCHEMA_VERSION: u64 = 1;
+pub(crate) const SCHEMA_VERSION: u64 = 2;
 
 /// Options for the `bench` subcommand.
 #[derive(Default)]
@@ -72,6 +79,19 @@ struct PhaseBreakdown {
     lower_ms: f64,
 }
 
+/// What (if anything) degraded while producing one suite's numbers.
+struct Degradation {
+    /// The kernel ran without a race certificate: serial rows or an
+    /// uncertified wavefront. Perf numbers measure the fallback, not the
+    /// parallel engine.
+    serial_fallback: bool,
+    /// Ladder rungs the planner fell past before this plan.
+    plan_degradations: u64,
+    /// Chunk retries by the supervising executor. The plain bench path
+    /// never retries; nonzero marks a perturbed measurement.
+    retries: u64,
+}
+
 /// One suite entry's results.
 struct SuiteRow {
     id: String,
@@ -81,6 +101,7 @@ struct SuiteRow {
     baseline_clusters: usize,
     baseline_syncs: i64,
     cells: u64,
+    degradation: Degradation,
     phases: PhaseBreakdown,
     engines: Vec<EngineRow>,
 }
@@ -190,18 +211,21 @@ fn bench_entry(
         Ok((mem.fingerprint(), stats))
     })?;
     let (ifp, istats, iwall) = time_engine(reps, budget, |meter| {
+        // Timed rows must be whole runs: a deadline-truncated partial
+        // outcome converts back to its typed cause here.
         let (mem, stats) = match &plan {
             FusionPlan::FullParallel { .. } => {
                 run_fused_ordered_budgeted(&spec, n, m, RowOrder::Ascending, meter)?
+                    .into_complete()?
             }
             FusionPlan::Hyperplane { wavefront, .. } => {
-                run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?
+                run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?.into_complete()?
             }
         };
         Ok((mem.fingerprint(), stats))
     })?;
     let (kfp, kstats, kwall) = time_engine(reps, budget, |meter| {
-        let (mem, stats) = kernel.run_budgeted(mode, meter)?;
+        let (mem, stats) = kernel.run_budgeted(mode, meter)?.into_complete()?;
         Ok((mem.fingerprint(), stats))
     })?;
     exec_span.add("kernel.barriers", kstats.barriers);
@@ -230,6 +254,18 @@ fn bench_entry(
         baseline_clusters: baseline.cluster_count(),
         baseline_syncs: baseline.sync_count(n),
         cells: ustats.stmt_instances,
+        degradation: Degradation {
+            serial_fallback: matches!(
+                mode,
+                mdf_kernel::ExecMode::RowsSerial
+                    | mdf_kernel::ExecMode::Wavefront {
+                        certified: false,
+                        ..
+                    }
+            ),
+            plan_degradations: report.attempts.len().saturating_sub(1) as u64,
+            retries: 0,
+        },
         phases: PhaseBreakdown {
             plan_ms,
             certify_ms,
@@ -312,6 +348,12 @@ fn render_json(r: &BenchReport) -> String {
         let _ = writeln!(out, "      \"cells\": {},", s.cells);
         let _ = writeln!(
             out,
+            "      \"degradation\": {{ \"serial_fallback\": {}, \
+             \"plan_degradations\": {}, \"retries\": {} }},",
+            s.degradation.serial_fallback, s.degradation.plan_degradations, s.degradation.retries
+        );
+        let _ = writeln!(
+            out,
             "      \"phases\": {{ \"plan_ms\": {:.4}, \"certify_ms\": {:.4}, \
              \"lower_ms\": {:.4} }},",
             s.phases.plan_ms, s.phases.certify_ms, s.phases.lower_ms
@@ -350,9 +392,23 @@ fn render_human(r: &BenchReport) -> String {
         if r.complete { "" } else { ", INCOMPLETE" },
     );
     for s in &r.suites {
+        let mut tags = String::new();
+        if s.degradation.serial_fallback {
+            tags.push_str(" [serial fallback]");
+        }
+        if s.degradation.plan_degradations > 0 {
+            let _ = write!(
+                tags,
+                " [{} plan degradation(s)]",
+                s.degradation.plan_degradations
+            );
+        }
+        if s.degradation.retries > 0 {
+            let _ = write!(tags, " [{} retry(ies)]", s.degradation.retries);
+        }
         let _ = writeln!(
             out,
-            "[{}] plan {}, {} stmt instances; direct-fusion baseline: {} cluster(s), {} sync(s)",
+            "[{}] plan {}, {} stmt instances; direct-fusion baseline: {} cluster(s), {} sync(s){tags}",
             s.id, s.plan, s.cells, s.baseline_clusters, s.baseline_syncs
         );
         for e in &s.engines {
@@ -481,6 +537,17 @@ fn validate(text: &str) -> Result<(usize, bool), String> {
                 .and_then(Json::num)
                 .ok_or_else(|| ctx(&format!("baseline.{k} must be a number")))?;
         }
+        let d = s
+            .get("degradation")
+            .ok_or_else(|| ctx("missing degradation"))?;
+        d.get("serial_fallback")
+            .and_then(Json::bool_val)
+            .ok_or_else(|| ctx("degradation.serial_fallback must be a boolean"))?;
+        for k in ["plan_degradations", "retries"] {
+            if !d.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+                return Err(ctx(&format!("degradation.{k} must be a number >= 0")));
+            }
+        }
         let engines = s
             .get("engines")
             .and_then(Json::arr)
@@ -539,6 +606,13 @@ mod tests {
                 .iter()
                 .all(|e| e.fingerprint == s.engines[0].fingerprint));
             assert_eq!(s.engines.len(), 3);
+            // Every executable suite runs certified on unlimited budgets;
+            // a hyperplane plan sits one ladder rung below full-parallel
+            // by construction, everything else plans at the top rung.
+            assert!(!s.degradation.serial_fallback, "{}", s.id);
+            let expected_rungs = u64::from(s.plan.starts_with("hyperplane"));
+            assert_eq!(s.degradation.plan_degradations, expected_rungs, "{}", s.id);
+            assert_eq!(s.degradation.retries, 0, "{}", s.id);
         }
     }
 
@@ -582,12 +656,17 @@ mod tests {
         let r = collect(true, None, &Budget::unlimited(), &Span::disabled()).unwrap();
         let good = render_json(&r);
         assert!(validate(&good).is_ok());
-        let bad = good.replace("\"schema_version\": 1", "\"schema_version\": 2");
+        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 3");
         assert!(validate(&bad).unwrap_err().contains("schema_version"));
         let bad = good.replace("\"engine\": \"kernel\"", "\"engine\": \"jit\"");
         assert!(validate(&bad).unwrap_err().contains("unknown engine"));
         let bad = good.replace("\"name\": \"BENCH_fusion\"", "\"name\": \"x\"");
         assert!(validate(&bad).is_err());
+        // Schema v2: the degradation record is mandatory and typed.
+        let bad = good.replace("\"serial_fallback\": false", "\"serial_fallback\": 0");
+        assert!(validate(&bad).unwrap_err().contains("serial_fallback"));
+        let bad = good.replace("\"retries\": 0", "\"retries\": -1");
+        assert!(validate(&bad).unwrap_err().contains("retries"));
         assert!(validate("{").is_err());
         assert!(validate("[1, 2]").is_err());
     }

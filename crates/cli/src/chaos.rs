@@ -1,0 +1,911 @@
+//! `mdfuse chaos` — the fault-injection sweep.
+//!
+//! For every executable workload (the generator suite plus the DSL
+//! examples) the sweep first probes a clean run with an empty armed
+//! [`FaultPlan`] to learn how often each fault site in
+//! [`mdf_chaos::SITES`] is reached, then re-runs the pipeline once per
+//! sampled *(site, kind, trigger)* with that single fault armed. Every
+//! case must end in one of three acceptable states:
+//!
+//! * **recovered** — the supervised executor retried or degraded past
+//!   the fault and the final memory image is bit-identical to the
+//!   original program's (same fingerprint, same execution counters);
+//! * **detected** — the fault surfaced as a typed error, or was isolated
+//!   by the driver before execution began (planning has no supervisor);
+//! * **partial** — a typed partial report whose checkpoint then resumed
+//!   under a clean meter to a bit-identical completion.
+//!
+//! Anything else — a divergent result (**wrong answer**) or a panic
+//! escaping the supervised executor (**unhandled panic**) — fails the
+//! sweep with exit code 1 and a per-case diagnosis. `mdfuse chaos
+//! --check FILE` re-validates a written report with the same
+//! dependency-free JSON parser that backs `profile-check`, so CI can
+//! gate on the artifact without trusting the producer.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use mdf_chaos::{FaultKind, FaultPlan, SITES};
+use mdf_core::{DegradedPlan, FusionPlan, PlanReport};
+use mdf_graph::mldg::Mldg;
+use mdf_graph::{Budget, BudgetMeter, MdfError};
+use mdf_ir::ast::Program;
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
+use mdf_kernel::{plan_mode, CompiledKernel, ExecMode};
+use mdf_sim::{
+    resume_fused_supervised, resume_wavefront_supervised, run_fused_ordered, run_fused_supervised,
+    run_original, run_wavefront, run_wavefront_supervised, ExecStats, RecoveryStats, RetryPolicy,
+    RowOrder, SupervisedOutcome,
+};
+use mdf_trace::json::{escape as json_escape, parse as parse_json};
+use mdf_trace::Span;
+
+use crate::CliError;
+
+/// Report schema version; bump on any breaking shape change.
+const SCHEMA_VERSION: u64 = 1;
+
+/// Iteration-space bounds for every sweep case: big enough that each
+/// workload crosses several barriers (so mid-run triggers exist), small
+/// enough that the full sweep stays CI-smoke sized.
+const SWEEP_N: i64 = 12;
+const SWEEP_M: i64 = 10;
+
+/// Worker count handed to the supervised executors, so the sweep also
+/// exercises the multi-thread entry (and its serial degradation path).
+const SWEEP_THREADS: usize = 2;
+
+/// Options for `mdfuse chaos`.
+pub(crate) struct ChaosOpts {
+    /// Seed for the per-site mid-range trigger sample.
+    pub seed: u64,
+    /// Also write the JSON report to this path.
+    pub out: Option<String>,
+    /// Validate an existing report instead of sweeping.
+    pub check: Option<String>,
+    /// Directory of `.mdf` DSL examples to include (skipped if absent).
+    pub examples: String,
+}
+
+impl Default for ChaosOpts {
+    fn default() -> Self {
+        ChaosOpts {
+            seed: 0,
+            out: None,
+            check: None,
+            examples: "examples/dsl".to_string(),
+        }
+    }
+}
+
+/// How a single injected-fault case ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Class {
+    /// Supervised execution completed bit-identically to the baseline.
+    Recovered,
+    /// The fault surfaced as a typed error (or driver-contained panic)
+    /// before any result was produced.
+    Detected,
+    /// A typed partial report whose checkpoint resumed bit-identically.
+    Partial,
+    /// A completed run whose result diverged from the baseline.
+    WrongAnswer(String),
+    /// A panic escaped the supervised executor.
+    UnhandledPanic(String),
+}
+
+impl Class {
+    fn name(&self) -> &'static str {
+        match self {
+            Class::Recovered => "recovered",
+            Class::Detected => "detected",
+            Class::Partial => "partial",
+            Class::WrongAnswer(_) => "wrong-answer",
+            Class::UnhandledPanic(_) => "unhandled-panic",
+        }
+    }
+
+    fn is_failure(&self) -> bool {
+        matches!(self, Class::WrongAnswer(_) | Class::UnhandledPanic(_))
+    }
+}
+
+/// One finished case, with its observability counters.
+struct CaseResult {
+    workload: String,
+    site: &'static str,
+    kind: FaultKind,
+    trigger: u64,
+    class: Class,
+    injected: u64,
+    recovery: RecoveryStats,
+}
+
+/// Per-class tallies (kept in the order they are reported).
+#[derive(Clone, Copy, Default)]
+struct Tally {
+    cases: u64,
+    recovered: u64,
+    detected: u64,
+    partial: u64,
+    wrong_answer: u64,
+    unhandled_panic: u64,
+}
+
+impl Tally {
+    fn add(&mut self, class: &Class) {
+        self.cases += 1;
+        match class {
+            Class::Recovered => self.recovered += 1,
+            Class::Detected => self.detected += 1,
+            Class::Partial => self.partial += 1,
+            Class::WrongAnswer(_) => self.wrong_answer += 1,
+            Class::UnhandledPanic(_) => self.unhandled_panic += 1,
+        }
+    }
+}
+
+/// A workload's clean-run baseline: the plan, both engines' artifacts,
+/// and the original program's fingerprint (the ground-truth oracle every
+/// completed case is compared against).
+struct Baseline {
+    name: String,
+    program: Program,
+    graph: Mldg,
+    report: PlanReport,
+    plan: FusionPlan,
+    spec: FusedSpec,
+    mode: ExecMode,
+    kernel: CompiledKernel,
+    original_fp: u64,
+    kernel_stats: ExecStats,
+    interp_stats: ExecStats,
+}
+
+/// Builds the baseline for one workload. `None` when the planner (by
+/// design) degrades to partial fusion — there is no fused schedule to
+/// perturb, so the workload is skipped rather than failed.
+fn baseline(name: &str, program: &Program) -> Result<Option<Baseline>, CliError> {
+    let graph = extract_mldg(program)?.graph;
+    let report = mdf_core::plan_fusion_budgeted(&graph, &Budget::unlimited())?;
+    report
+        .verify(&graph)
+        .map_err(|e| CliError::Internal(format!("{name}: clean plan failed verification: {e}")))?;
+    let DegradedPlan::Fused(plan) = &report.plan else {
+        return Ok(None);
+    };
+    let plan = mdf_sim::align_plan_to_program(&graph, program, plan)
+        .ok_or_else(|| CliError::Internal(format!("{name}: program/graph alignment failed")))?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+    let mode = plan_mode(&spec, &plan);
+    let kernel = CompiledKernel::compile(&spec, SWEEP_N, SWEEP_M)?;
+    let (omem, _) = run_original(program, SWEEP_N, SWEEP_M);
+    let (_, kernel_stats) = kernel.run_with_threads(mode, 1);
+    let interp_stats = match &plan {
+        FusionPlan::FullParallel { .. } => {
+            run_fused_ordered(&spec, SWEEP_N, SWEEP_M, RowOrder::Ascending).1
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            run_wavefront(&spec, *wavefront, SWEEP_N, SWEEP_M).1
+        }
+    };
+    Ok(Some(Baseline {
+        name: name.to_string(),
+        program: program.clone(),
+        graph,
+        report,
+        plan,
+        spec,
+        mode,
+        kernel,
+        original_fp: omem.fingerprint(),
+        kernel_stats,
+        interp_stats,
+    }))
+}
+
+/// The supervised interpreter run matching `plan`'s shape.
+fn interp_supervised(
+    spec: &FusedSpec,
+    plan: &FusionPlan,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+) -> Result<SupervisedOutcome<mdf_sim::Memory>, MdfError> {
+    match plan {
+        FusionPlan::FullParallel { .. } => {
+            run_fused_supervised(spec, SWEEP_N, SWEEP_M, RowOrder::Ascending, meter, policy)
+        }
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            run_wavefront_supervised(spec, *wavefront, SWEEP_N, SWEEP_M, meter, policy)
+        }
+    }
+}
+
+/// Runs one clean probe over the full pipeline (planning, then both
+/// supervised engines) and returns each site's hit count, bounding the
+/// trigger range the sweep samples from.
+fn probe(b: &Baseline) -> Result<BTreeMap<&'static str, u64>, CliError> {
+    let guard = FaultPlan::probe().arm();
+    let chaos = Budget::unlimited().with_chaos();
+    let policy = RetryPolicy::deterministic();
+    mdf_core::plan_fusion_budgeted(&b.graph, &chaos)?;
+    let mut meter = chaos.meter();
+    b.kernel
+        .run_supervised(b.mode, SWEEP_THREADS, &policy, &mut meter)?;
+    let mut meter = chaos.meter();
+    interp_supervised(&b.spec, &b.plan, &mut meter, &policy)?;
+    Ok(guard.all_hits().into_iter().collect())
+}
+
+/// Folds one supervised outcome's recovery counters into `acc`.
+fn fold_recovery(acc: &mut RecoveryStats, r: &RecoveryStats) {
+    acc.retries += r.retries;
+    acc.checkpoints_taken += r.checkpoints_taken;
+    acc.resumes += r.resumes;
+    acc.degraded_to_serial |= r.degraded_to_serial;
+    acc.backoff_ms += r.backoff_ms;
+}
+
+/// Runs one case: arm the single fault, re-plan under chaos, execute
+/// under the engine that owns the faulted site, classify the outcome.
+fn run_case(b: &Baseline, site: &'static str, kind: FaultKind, trigger: u64) -> CaseResult {
+    let guard = FaultPlan::single(site, kind, trigger).arm();
+    let chaos = Budget::unlimited().with_chaos();
+    let policy = RetryPolicy::deterministic();
+    let mut recovery = RecoveryStats::default();
+    let class = classify(b, site, &chaos, &policy, &mut recovery);
+    CaseResult {
+        workload: b.name.clone(),
+        site,
+        kind,
+        trigger,
+        class,
+        injected: guard.injected(),
+        recovery,
+    }
+}
+
+/// The case body behind [`run_case`], returning the classification.
+fn classify(
+    b: &Baseline,
+    site: &'static str,
+    chaos: &Budget,
+    policy: &RetryPolicy,
+    recovery: &mut RecoveryStats,
+) -> Class {
+    // Phase 1: planning under chaos. Planning has no supervisor, so a
+    // typed error or a driver-contained panic is a successful detection.
+    let planned = catch_unwind(AssertUnwindSafe(|| {
+        let report = mdf_core::plan_fusion_budgeted(&b.graph, chaos)?;
+        report
+            .verify(&b.graph)
+            .map_err(|e| MdfError::invalid(format!("plan verification rejected: {e}")))?;
+        Ok::<_, MdfError>(report)
+    }));
+    let report = match planned {
+        Err(_) => return Class::Detected,
+        Ok(Err(_)) => return Class::Detected,
+        Ok(Ok(r)) => r,
+    };
+    // A fault that knocked the ladder down to partial fusion is itself a
+    // typed partial report.
+    let DegradedPlan::Fused(fused) = &report.plan else {
+        return Class::Partial;
+    };
+
+    // Rebuild the execution artifacts from the *surviving* plan. When the
+    // fault never fired during planning this reproduces the baseline; when
+    // it did (a ladder rung absorbed solver exhaustion, or a corrupted
+    // retiming happened to stay legal), the perturbed-but-verified plan is
+    // held to the same bit-identity oracle as everything else.
+    let Some(plan) = mdf_sim::align_plan_to_program(&b.graph, &b.program, fused) else {
+        return Class::WrongAnswer("a verified plan failed program alignment".to_string());
+    };
+    let spec = FusedSpec::new(b.program.clone(), plan.retiming().offsets().to_vec());
+    let mode = plan_mode(&spec, &plan);
+    let kernel = match CompiledKernel::compile(&spec, SWEEP_N, SWEEP_M) {
+        Ok(k) => k,
+        Err(_) => return Class::Detected,
+    };
+
+    // Phase 2: supervised execution under the engine that owns the site.
+    // (Planning-site faults either fired above or never will; their cases
+    // double as clean supervised reruns that must still match.) Expected
+    // counters come from the baseline on the fast path, or from a clean
+    // unmetered run of the perturbed plan (plain runs never consult the
+    // armed fault plan, so this is safe mid-case).
+    let interp = site.starts_with("sim.");
+    let same_plan = report == b.report;
+    let want = match (same_plan, interp) {
+        (true, true) => b.interp_stats,
+        (true, false) => b.kernel_stats,
+        (false, true) => match &plan {
+            FusionPlan::FullParallel { .. } => {
+                run_fused_ordered(&spec, SWEEP_N, SWEEP_M, RowOrder::Ascending).1
+            }
+            FusionPlan::Hyperplane { wavefront, .. } => {
+                run_wavefront(&spec, *wavefront, SWEEP_N, SWEEP_M).1
+            }
+        },
+        (false, false) => kernel.run_with_threads(mode, 1).1,
+    };
+    if interp {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut meter = chaos.meter();
+            interp_supervised(&spec, &plan, &mut meter, policy)
+        }));
+        match run {
+            Err(p) => Class::UnhandledPanic(crate::panic_message(p)),
+            Ok(Err(_)) => Class::Detected,
+            Ok(Ok(SupervisedOutcome::Complete {
+                mem,
+                stats,
+                recovery: r,
+            })) => {
+                fold_recovery(recovery, &r);
+                complete_class(b, mem.fingerprint(), stats, want)
+            }
+            Ok(Ok(SupervisedOutcome::Partial {
+                mem,
+                checkpoint,
+                recovery: r,
+                ..
+            })) => {
+                fold_recovery(recovery, &r);
+                // Resume under a clean meter: the partial report's promise
+                // is that the checkpoint completes bit-identically.
+                let mut meter = Budget::unlimited().meter();
+                let resumed = match &plan {
+                    FusionPlan::FullParallel { .. } => resume_fused_supervised(
+                        &spec,
+                        SWEEP_N,
+                        SWEEP_M,
+                        RowOrder::Ascending,
+                        mem,
+                        checkpoint,
+                        &mut meter,
+                        policy,
+                    ),
+                    FusionPlan::Hyperplane { wavefront, .. } => resume_wavefront_supervised(
+                        &spec, *wavefront, SWEEP_N, SWEEP_M, mem, checkpoint, &mut meter, policy,
+                    ),
+                };
+                partial_class(b, resumed, want, recovery, |m| m.fingerprint())
+            }
+        }
+    } else {
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            let mut meter = chaos.meter();
+            kernel.run_supervised(mode, SWEEP_THREADS, policy, &mut meter)
+        }));
+        match run {
+            Err(p) => Class::UnhandledPanic(crate::panic_message(p)),
+            Ok(Err(_)) => Class::Detected,
+            Ok(Ok(SupervisedOutcome::Complete {
+                mem,
+                stats,
+                recovery: r,
+            })) => {
+                fold_recovery(recovery, &r);
+                complete_class(b, mem.fingerprint(), stats, want)
+            }
+            Ok(Ok(SupervisedOutcome::Partial {
+                mem,
+                checkpoint,
+                recovery: r,
+                ..
+            })) => {
+                fold_recovery(recovery, &r);
+                let mut meter = Budget::unlimited().meter();
+                let resumed = kernel.resume_supervised(
+                    mode,
+                    SWEEP_THREADS,
+                    policy,
+                    &mut meter,
+                    mem,
+                    checkpoint,
+                );
+                partial_class(b, resumed, want, recovery, |m| m.fingerprint())
+            }
+        }
+    }
+}
+
+/// Classifies a completed supervised run against the baseline.
+fn complete_class(b: &Baseline, fp: u64, stats: ExecStats, want: ExecStats) -> Class {
+    if fp != b.original_fp {
+        Class::WrongAnswer(format!(
+            "fingerprint {fp:#x} != original {:#x}",
+            b.original_fp
+        ))
+    } else if stats.barriers != want.barriers || stats.stmt_instances != want.stmt_instances {
+        Class::WrongAnswer(format!(
+            "stats diverged: {}/{} barriers, {}/{} instances",
+            stats.barriers, want.barriers, stats.stmt_instances, want.stmt_instances
+        ))
+    } else {
+        Class::Recovered
+    }
+}
+
+/// Classifies a partial outcome by the result of its clean resume.
+fn partial_class<M>(
+    b: &Baseline,
+    resumed: Result<SupervisedOutcome<M>, MdfError>,
+    want: ExecStats,
+    recovery: &mut RecoveryStats,
+    fp: impl Fn(&M) -> u64,
+) -> Class {
+    match resumed {
+        Ok(SupervisedOutcome::Complete {
+            mem,
+            stats,
+            recovery: r,
+        }) => {
+            fold_recovery(recovery, &r);
+            match complete_class(b, fp(&mem), stats, want) {
+                Class::Recovered => Class::Partial,
+                wrong => wrong,
+            }
+        }
+        Ok(SupervisedOutcome::Partial { cause, .. }) => {
+            Class::WrongAnswer(format!("clean resume stopped partial again: {cause}"))
+        }
+        Err(e) => Class::WrongAnswer(format!("clean resume failed: {e}")),
+    }
+}
+
+/// splitmix64, the workspace-standard seed chain.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Trigger sample for a site hit `hits` times in a clean run: the first
+/// hit, the last, and one seeded mid-range point.
+fn triggers(hits: u64, state: &mut u64) -> BTreeSet<u64> {
+    let mut t = BTreeSet::new();
+    if hits == 0 {
+        return t;
+    }
+    t.insert(1);
+    t.insert(hits);
+    t.insert(1 + splitmix64(state) % hits);
+    t
+}
+
+/// The sweep's workload list: the executable generator suite plus every
+/// `.mdf` example under `dir` (silently skipped when the directory does
+/// not exist, e.g. when invoked outside the repository root).
+fn workloads(dir: &str) -> Result<Vec<(String, Program)>, CliError> {
+    let mut out: Vec<(String, Program)> = mdf_gen::executable_suite()
+        .into_iter()
+        .filter_map(|e| e.program.map(|p| (e.id.to_string(), p)))
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "mdf"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let src = std::fs::read_to_string(&path)
+                .map_err(|e| CliError::Usage(format!("cannot read {}: {e}", path.display())))?;
+            let program = mdf_ir::parse_program(&src)?;
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("example")
+                .to_string();
+            out.push((name, program));
+        }
+    }
+    Ok(out)
+}
+
+/// Runs the sweep or, with `--check`, validates an existing report.
+pub(crate) fn run(opts: &ChaosOpts, json: bool, span: &Span) -> Result<String, CliError> {
+    if let Some(path) = &opts.check {
+        return check_file(path);
+    }
+
+    // Injected worker panics unwind through `catch_unwind` dozens of
+    // times per sweep; silence the default "thread panicked" firehose
+    // for the duration (same pattern as the panic-isolation tests).
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let swept = sweep(opts, span);
+    std::panic::set_hook(prev_hook);
+    let (results, names) = swept?;
+
+    let mut per: BTreeMap<&str, Tally> = BTreeMap::new();
+    let mut totals = Tally::default();
+    let mut counters = RecoveryStats::default();
+    let mut injected = 0u64;
+    let mut failures: Vec<&CaseResult> = Vec::new();
+    for r in &results {
+        per.entry(r.workload.as_str()).or_default().add(&r.class);
+        totals.add(&r.class);
+        fold_recovery(&mut counters, &r.recovery);
+        injected += r.injected;
+        if r.class.is_failure() {
+            failures.push(r);
+        }
+    }
+
+    span.add("chaos.cases", totals.cases);
+    span.add("chaos.faults_injected", injected);
+    span.add("chaos.retries", counters.retries);
+    span.add("chaos.checkpoints_taken", counters.checkpoints_taken);
+    span.add("chaos.resumes", counters.resumes);
+    span.add("chaos.failures", failures.len() as u64);
+
+    let doc = render_json(
+        opts.seed, &names, &per, totals, &counters, injected, &failures,
+    );
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &doc)
+            .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    if !failures.is_empty() {
+        let mut msg = format!("chaos sweep failed: {} case(s)\n", failures.len());
+        for f in &failures {
+            let detail = match &f.class {
+                Class::WrongAnswer(d) | Class::UnhandledPanic(d) => d.as_str(),
+                _ => "",
+            };
+            let _ = writeln!(
+                msg,
+                "  {} @ {} [{} x{}]: {} — {detail}",
+                f.workload,
+                f.site,
+                f.kind.name(),
+                f.trigger,
+                f.class.name()
+            );
+        }
+        return Err(CliError::Internal(msg));
+    }
+    if json {
+        return Ok(doc);
+    }
+    Ok(render_human(
+        opts.seed, &names, &per, totals, &counters, injected,
+    ))
+}
+
+/// Executes the probe + sweep over every workload. Returns the case
+/// results and the workload names (in sweep order).
+#[allow(clippy::type_complexity)]
+fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>), CliError> {
+    let mut results = Vec::new();
+    let mut names = Vec::new();
+    let mut state = opts.seed ^ 0x6368_616f_7353_7765; // "chaosSwe"
+    for (name, program) in workloads(&opts.examples)? {
+        let Some(b) = baseline(&name, &program)? else {
+            continue;
+        };
+        let case_span = span.child("cases");
+        let hits = probe(&b)?;
+        for site in SITES {
+            let reached = hits.get(site.name).copied().unwrap_or(0);
+            for trigger in triggers(reached, &mut state) {
+                for kind in site.kinds {
+                    results.push(run_case(&b, site.name, *kind, trigger));
+                }
+            }
+        }
+        names.push(b.name.clone());
+        case_span.add("chaos.workloads", 1);
+        case_span.finish();
+    }
+    Ok((results, names))
+}
+
+fn render_human(
+    seed: u64,
+    names: &[String],
+    per: &BTreeMap<&str, Tally>,
+    totals: Tally,
+    counters: &RecoveryStats,
+    injected: u64,
+) -> String {
+    let mut out = format!(
+        "chaos sweep: seed {seed}, grid {SWEEP_N}x{SWEEP_M}, {} workload(s)\n",
+        names.len()
+    );
+    for name in names {
+        let t = per.get(name.as_str()).copied().unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {name}: {} case(s) — {} recovered, {} detected, {} partial",
+            t.cases, t.recovered, t.detected, t.partial
+        );
+    }
+    let _ = writeln!(
+        out,
+        "totals: {} case(s) — {} recovered, {} detected, {} partial, \
+         {} wrong answer(s), {} unhandled panic(s)",
+        totals.cases,
+        totals.recovered,
+        totals.detected,
+        totals.partial,
+        totals.wrong_answer,
+        totals.unhandled_panic
+    );
+    let _ = writeln!(
+        out,
+        "counters: {injected} fault(s) injected, {} retries, {} checkpoints, {} resumes",
+        counters.retries, counters.checkpoints_taken, counters.resumes
+    );
+    out.push_str(
+        "every injected fault was recovered, detected, or yielded a typed partial report\n",
+    );
+    out
+}
+
+fn render_json(
+    seed: u64,
+    names: &[String],
+    per: &BTreeMap<&str, Tally>,
+    totals: Tally,
+    counters: &RecoveryStats,
+    injected: u64,
+    failures: &[&CaseResult],
+) -> String {
+    fn tally(out: &mut String, indent: &str, t: Tally) {
+        let _ = write!(
+            out,
+            "{indent}\"cases\": {},\n\
+             {indent}\"recovered\": {},\n\
+             {indent}\"detected\": {},\n\
+             {indent}\"partial\": {},\n\
+             {indent}\"wrong_answer\": {},\n\
+             {indent}\"unhandled_panic\": {}\n",
+            t.cases, t.recovered, t.detected, t.partial, t.wrong_answer, t.unhandled_panic
+        );
+    }
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    out.push_str("  \"report\": \"CHAOS_sweep\",\n");
+    let _ = writeln!(out, "  \"seed\": {seed},");
+    let _ = writeln!(out, "  \"grid\": {{ \"n\": {SWEEP_N}, \"m\": {SWEEP_M} }},");
+    out.push_str("  \"workloads\": [\n");
+    for (i, name) in names.iter().enumerate() {
+        let t = per.get(name.as_str()).copied().unwrap_or_default();
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": \"{}\",", json_escape(name));
+        tally(&mut out, "      ", t);
+        let _ = write!(out, "    }}");
+        out.push_str(if i + 1 < names.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"totals\": {\n");
+    tally(&mut out, "    ", totals);
+    out.push_str("  },\n");
+    out.push_str("  \"counters\": {\n");
+    let _ = writeln!(out, "    \"faults_injected\": {injected},");
+    let _ = writeln!(out, "    \"retries\": {},", counters.retries);
+    let _ = writeln!(
+        out,
+        "    \"checkpoints_taken\": {},",
+        counters.checkpoints_taken
+    );
+    let _ = writeln!(out, "    \"resumes\": {}", counters.resumes);
+    out.push_str("  },\n");
+    out.push_str("  \"failures\": [\n");
+    for (i, f) in failures.iter().enumerate() {
+        let detail = match &f.class {
+            Class::WrongAnswer(d) | Class::UnhandledPanic(d) => d.as_str(),
+            _ => "",
+        };
+        let _ = write!(
+            out,
+            "    {{ \"workload\": \"{}\", \"site\": \"{}\", \"kind\": \"{}\", \
+             \"trigger\": {}, \"class\": \"{}\", \"detail\": \"{}\" }}",
+            json_escape(&f.workload),
+            f.site,
+            f.kind.name(),
+            f.trigger,
+            f.class.name(),
+            json_escape(detail)
+        );
+        out.push_str(if i + 1 < failures.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// `mdfuse chaos --check FILE`: dependency-free validation of a written
+/// sweep report. Schema violations and recorded failures both exit 3, so
+/// CI can gate on the artifact exactly like `profile-check`.
+fn check_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let invalid = |m: String| CliError::Mdf(MdfError::invalid(format!("{path}: {m}")));
+    let doc = parse_json(&text).map_err(|m| invalid(format!("malformed JSON: {m}")))?;
+    let version = doc
+        .get("schema_version")
+        .and_then(|v| v.num())
+        .ok_or_else(|| invalid("missing schema_version".into()))?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(invalid(format!(
+            "unknown schema_version {version} (expected {SCHEMA_VERSION})"
+        )));
+    }
+    if doc.get("report").and_then(|v| v.str_val()) != Some("CHAOS_sweep") {
+        return Err(invalid("report field is not \"CHAOS_sweep\"".into()));
+    }
+    let totals = doc
+        .get("totals")
+        .ok_or_else(|| invalid("missing totals".into()))?;
+    let field = |k: &str| -> Result<u64, CliError> {
+        let v = totals
+            .get(k)
+            .and_then(|v| v.num())
+            .ok_or_else(|| invalid(format!("totals.{k} missing or non-numeric")))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(invalid(format!("totals.{k} is not a count: {v}")));
+        }
+        Ok(v as u64)
+    };
+    let cases = field("cases")?;
+    let sum = field("recovered")?
+        + field("detected")?
+        + field("partial")?
+        + field("wrong_answer")?
+        + field("unhandled_panic")?;
+    if cases != sum {
+        return Err(invalid(format!(
+            "totals.cases ({cases}) != sum of classes ({sum})"
+        )));
+    }
+    let counters = doc
+        .get("counters")
+        .ok_or_else(|| invalid("missing counters".into()))?;
+    let mut injected = 0.0;
+    for k in ["faults_injected", "retries", "checkpoints_taken", "resumes"] {
+        let v = counters
+            .get(k)
+            .and_then(|v| v.num())
+            .ok_or_else(|| invalid(format!("counters.{k} missing or non-numeric")))?;
+        if v < 0.0 {
+            return Err(invalid(format!("counters.{k} is negative: {v}")));
+        }
+        if k == "faults_injected" {
+            injected = v;
+        }
+    }
+    let failures = doc
+        .get("failures")
+        .and_then(|v| v.arr())
+        .ok_or_else(|| invalid("missing failures array".into()))?;
+    if field("wrong_answer")? != 0 || field("unhandled_panic")? != 0 || !failures.is_empty() {
+        return Err(invalid(format!(
+            "sweep recorded failures: {} wrong answer(s), {} unhandled panic(s), \
+             {} failure record(s)",
+            field("wrong_answer")?,
+            field("unhandled_panic")?,
+            failures.len()
+        )));
+    }
+    Ok(format!(
+        "valid CHAOS_sweep schema v{SCHEMA_VERSION}: {cases} case(s), {injected} fault(s) injected\n"
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_opts(dir: &std::path::Path) -> ChaosOpts {
+        ChaosOpts {
+            seed: 7,
+            out: Some(dir.join("CHAOS_sweep.json").to_str().unwrap().to_string()),
+            check: None,
+            // Unit tests run from the crate dir; the repo examples live
+            // two levels up.
+            examples: concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/dsl").to_string(),
+        }
+    }
+
+    #[test]
+    fn sweep_recovers_detects_or_partials_every_fault_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("mdfuse-chaos-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = sweep_opts(&dir);
+        let out = run(&opts, false, &Span::disabled()).unwrap();
+        assert!(
+            out.contains("0 wrong answer(s), 0 unhandled panic(s)"),
+            "{out}"
+        );
+        assert!(out.contains("every injected fault was recovered"), "{out}");
+        // The suite alone contributes 4 workloads; the examples add more.
+        assert!(out.contains("E1:"), "{out}");
+        assert!(out.contains("figure2:"), "{out}");
+
+        // The written report validates...
+        let path = opts.out.clone().unwrap();
+        let checked = run(
+            &ChaosOpts {
+                check: Some(path.clone()),
+                ..ChaosOpts::default()
+            },
+            false,
+            &Span::disabled(),
+        )
+        .unwrap();
+        assert!(checked.contains("valid CHAOS_sweep schema v1"), "{checked}");
+
+        // ...and a schema bump is rejected with exit 3.
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"faults_injected\""), "{json}");
+        std::fs::write(
+            &path,
+            json.replace("\"schema_version\": 1", "\"schema_version\": 9"),
+        )
+        .unwrap();
+        let err = run(
+            &ChaosOpts {
+                check: Some(path),
+                ..ChaosOpts::default()
+            },
+            false,
+            &Span::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3, "{err}");
+    }
+
+    #[test]
+    fn check_rejects_reports_with_recorded_failures() {
+        let dir = std::env::temp_dir().join(format!("mdfuse-chaos-check-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(
+            &path,
+            r#"{
+  "schema_version": 1,
+  "report": "CHAOS_sweep",
+  "seed": 0,
+  "workloads": [],
+  "totals": { "cases": 1, "recovered": 0, "detected": 0, "partial": 0,
+              "wrong_answer": 1, "unhandled_panic": 0 },
+  "counters": { "faults_injected": 1, "retries": 0,
+                "checkpoints_taken": 0, "resumes": 0 },
+  "failures": [ { "workload": "E1", "site": "kernel.barrier",
+                  "kind": "deadline-expiry", "trigger": 1,
+                  "class": "wrong-answer", "detail": "x" } ]
+}"#,
+        )
+        .unwrap();
+        let err = run(
+            &ChaosOpts {
+                check: Some(path.to_str().unwrap().to_string()),
+                ..ChaosOpts::default()
+            },
+            false,
+            &Span::disabled(),
+        )
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.to_string().contains("recorded failures"), "{err}");
+    }
+
+    #[test]
+    fn triggers_sample_first_last_and_a_seeded_midpoint() {
+        let mut state = 42;
+        let t = triggers(10, &mut state);
+        assert!(t.contains(&1) && t.contains(&10));
+        assert!(t.len() <= 3);
+        assert!(t.iter().all(|&x| (1..=10).contains(&x)));
+        assert!(triggers(0, &mut state).is_empty());
+    }
+}

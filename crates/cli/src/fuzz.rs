@@ -19,11 +19,18 @@
 //! retiming before the differential run; the harness then *must* catch
 //! the corruption in at least one case, which exercises the entire
 //! detection + shrinking path end to end.
+//!
+//! Every planned case additionally replays under a seeded single-fault
+//! [`mdf_chaos::FaultPlan`] (a worker panic, a deadline report, or an
+//! allocation refusal at a kernel site) through the supervising executor:
+//! the recovered run must be bit-identical to the uninterrupted one — a
+//! fourth, fault-tolerance oracle on top of the three differential ones.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use mdf_analyze::{certify_doall, check_certificate, check_fusion_certificate, ParallelMode};
+use mdf_chaos::{FaultKind, FaultPlan};
 use mdf_core::{plan_fusion_budgeted, DegradedPlan, FusionPlan};
 use mdf_gen::{
     program_from_mldg, random_acyclic_mldg, random_infeasible_mldg, random_legal_mldg,
@@ -38,7 +45,7 @@ use mdf_kernel::{plan_mode as kernel_plan_mode, CompiledKernel};
 use mdf_retime::Retiming;
 use mdf_sim::{
     align_partial_to_program, align_plan_to_program, check_hyperplanes_doall, check_plan_budgeted,
-    check_rows_doall,
+    check_rows_doall, RetryPolicy, SupervisedOutcome,
 };
 
 use crate::CliError;
@@ -178,6 +185,7 @@ fn check_feasible(
     g: &Mldg,
     program: Option<&Program>,
     inject: bool,
+    seed: u64,
     budget: &Budget,
 ) -> Result<Verdict, CaseError> {
     let report = plan_fusion_budgeted(g, budget).map_err(|e| stage_error("planner", e))?;
@@ -225,6 +233,7 @@ fn check_feasible(
 
         check_static_dynamic_agreement(p, &aligned)?;
         check_kernel_oracle(p, &aligned, budget)?;
+        check_chaos_oracle(p, &aligned, seed, budget)?;
 
         if inject {
             // Corrupt the graph-indexed plan, then align the corruption,
@@ -274,6 +283,7 @@ fn check_kernel_oracle(p: &Program, plan: &FusionPlan, budget: &Budget) -> Resul
     let mut meter = budget.meter();
     let (kmem, kstats) = kernel
         .run_budgeted(mode, &mut meter)
+        .and_then(mdf_sim::RunOutcome::into_complete)
         .map_err(|e| stage_error("kernel run", e))?;
     let (imem, istats) = mdf_sim::run_original(p, SIM_N, SIM_M);
     if kmem.fingerprint() != imem.fingerprint() {
@@ -292,6 +302,90 @@ fn check_kernel_oracle(p: &Program, plan: &FusionPlan, budget: &Budget) -> Resul
         )));
     }
     Ok(())
+}
+
+/// Fourth oracle: replay the planned case under one seeded injected fault
+/// — a worker panic, a deadline report, or an allocation refusal at a
+/// kernel site — through the supervising executor. Recovery must finish
+/// bit-identical to the uninterrupted kernel run with identical counters;
+/// a fault that fires without a retry, a divergent image, or an
+/// exhausted-retries partial report is a case failure.
+fn check_chaos_oracle(
+    p: &Program,
+    plan: &FusionPlan,
+    seed: u64,
+    budget: &Budget,
+) -> Result<(), CaseError> {
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let kernel = CompiledKernel::compile(&spec, SIM_N, SIM_M)
+        .map_err(|e| fail(format!("chaos replay compile: {e}")))?;
+    let mode = kernel_plan_mode(&spec, plan);
+    let (bmem, bstats) = kernel.run_with_threads(mode, 1);
+
+    let total = kernel.barrier_count(mode).max(1);
+    let (site, kind) = match (seed >> 8) % 4 {
+        0 => ("kernel.barrier", FaultKind::DeadlineExpiry),
+        1 => ("kernel.barrier", FaultKind::WorkerPanic),
+        2 => ("kernel.chunk.mid", FaultKind::WorkerPanic),
+        _ => ("kernel.alloc", FaultKind::AllocRefusal),
+    };
+    // A trigger past the site's hit count simply never fires — that case
+    // degenerates to a clean supervised run, which must also match.
+    let trigger = if site == "kernel.alloc" {
+        1
+    } else {
+        1 + (seed >> 16) % total
+    };
+    let guard = FaultPlan::single(site, kind, trigger).arm();
+    let mut meter = budget.with_chaos().meter();
+    let out = kernel
+        .run_supervised(mode, 1, &RetryPolicy::deterministic(), &mut meter)
+        .map_err(|e| stage_error("chaos replay", e));
+    let injected = guard.injected();
+    drop(guard);
+    match out? {
+        SupervisedOutcome::Complete {
+            mem,
+            stats,
+            recovery,
+        } => {
+            if mem.fingerprint() != bmem.fingerprint() {
+                return Err(fail(format!(
+                    "chaos replay: recovered fingerprint {:#x} diverged from {:#x} \
+                     ({site}/{} trigger {trigger})",
+                    mem.fingerprint(),
+                    bmem.fingerprint(),
+                    kind.name()
+                )));
+            }
+            if stats != bstats {
+                return Err(fail(format!(
+                    "chaos replay: recovered counters {stats:?} diverged from {bstats:?} \
+                     ({site}/{} trigger {trigger})",
+                    kind.name()
+                )));
+            }
+            if injected > 0 && recovery.retries == 0 {
+                return Err(fail(format!(
+                    "chaos replay: the fault fired ({site}/{} trigger {trigger}) \
+                     but the supervisor recorded no retry",
+                    kind.name()
+                )));
+            }
+            Ok(())
+        }
+        // A single spent fault cannot exhaust the retry ladder: a partial
+        // outcome is only legitimate when the caller's own deadline keeps
+        // tripping, which is a budget condition, not a pipeline bug.
+        SupervisedOutcome::Partial { cause, .. } => match cause {
+            e @ MdfError::BudgetExceeded { .. } => Err(CaseError::Budget(e)),
+            e => Err(fail(format!(
+                "chaos replay: retries exhausted on a single injected fault \
+                 ({site}/{} trigger {trigger}): {e}",
+                kind.name()
+            ))),
+        },
+    }
 }
 
 /// The parallel interpretation a plan claims for its fused loop.
@@ -473,10 +567,10 @@ fn shrink(mut g: Mldg, fails: &dyn Fn(&Mldg) -> bool) -> Mldg {
 
 /// `true` when the feasible-case check fails (or panics) on `h`. The
 /// shrinking predicate for differential/verification failures.
-fn feasible_case_fails(h: &Mldg, inject: bool, budget: &Budget) -> bool {
+fn feasible_case_fails(h: &Mldg, inject: bool, seed: u64, budget: &Budget) -> bool {
     catch_unwind(AssertUnwindSafe(|| {
         matches!(
-            check_feasible(h, None, inject, budget),
+            check_feasible(h, None, inject, seed, budget),
             Err(CaseError::Fail { .. })
         )
     }))
@@ -501,10 +595,10 @@ fn witness_invalid(h: &Mldg, budget: &Budget) -> bool {
 
 /// `true` when the injected retiming corruption is caught on `h`. The
 /// shrinking predicate for the injection reproducer.
-fn injection_caught(h: &Mldg, budget: &Budget) -> bool {
+fn injection_caught(h: &Mldg, seed: u64, budget: &Budget) -> bool {
     catch_unwind(AssertUnwindSafe(|| {
         matches!(
-            check_feasible(h, None, true, budget),
+            check_feasible(h, None, true, seed, budget),
             Ok(Verdict { caught: true, .. })
         )
     }))
@@ -531,7 +625,7 @@ fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdi
                 random_acyclic_mldg(seed, &cfg)
             };
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                check_feasible(&g, None, inject, budget)
+                check_feasible(&g, None, inject, seed, budget)
             }))
             .unwrap_or_else(|payload| {
                 Err(fail(format!(
@@ -541,7 +635,7 @@ fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdi
             });
             outcome.map_err(|e| match e {
                 CaseError::Fail { message, .. } => {
-                    let min = shrink(g.clone(), &|h| feasible_case_fails(h, inject, budget));
+                    let min = shrink(g.clone(), &|h| feasible_case_fails(h, inject, seed, budget));
                     CaseError::Fail {
                         message,
                         reproducer: Some(reproducer_text(&min)),
@@ -584,22 +678,26 @@ fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdi
                 self_read_probability: 0.25,
             };
             let p = random_program(seed, &pcfg);
-            catch_unwind(AssertUnwindSafe(|| program_case(&p, inject, budget))).unwrap_or_else(
-                |payload| {
+            catch_unwind(AssertUnwindSafe(|| program_case(&p, inject, seed, budget)))
+                .unwrap_or_else(|payload| {
                     Err(fail(format!(
                         "pipeline panicked on program {:?}: {}",
                         p.name,
                         crate::panic_message(payload)
                     )))
-                },
-            )
+                })
         }
     }
 }
 
 /// The full front-end path: print the program back to DSL, re-parse it,
 /// extract the MLDG, then plan + verify + differentially execute.
-fn program_case(p: &Program, inject: bool, budget: &Budget) -> Result<Verdict, CaseError> {
+fn program_case(
+    p: &Program,
+    inject: bool,
+    seed: u64,
+    budget: &Budget,
+) -> Result<Verdict, CaseError> {
     let src = mdf_ir::pretty::program_to_dsl(p);
     let reparsed = mdf_ir::parse_program(&src)
         .map_err(|e| fail(format!("printed program failed to re-parse: {e}\n{src}")))?;
@@ -609,7 +707,7 @@ fn program_case(p: &Program, inject: bool, budget: &Budget) -> Result<Verdict, C
         )));
     }
     let x = extract_mldg(p).map_err(|e| fail(format!("extraction: {e}")))?;
-    check_feasible(&x.graph, Some(p), inject, budget)
+    check_feasible(&x.graph, Some(p), inject, seed, budget)
 }
 
 /// Entry point for `mdfuse fuzz`.
@@ -662,7 +760,7 @@ pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> 
             )));
         };
         let before = (g.node_count(), g.edge_count());
-        let min = shrink(g, &|h| injection_caught(h, budget));
+        let min = shrink(g, &|h| injection_caught(h, opts.seed, budget));
         return Ok(format!(
             "fuzz: {} cases (seed {}): injected broken retiming caught in {caught}/{differential} differential run(s)\n\
              shrunk from {} node(s)/{} edge(s); {}",
@@ -672,7 +770,8 @@ pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> 
 
     Ok(format!(
         "fuzz: {} cases (seed {}): all passed \
-         ({} legal, {} acyclic, {} infeasible, {} program; {differential} differential run(s))\n",
+         ({} legal, {} acyclic, {} infeasible, {} program; {differential} differential run(s), \
+         each replayed under an injected fault)\n",
         opts.cases, opts.seed, kind_counts[0], kind_counts[1], kind_counts[2], kind_counts[3],
     ))
 }

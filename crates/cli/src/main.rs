@@ -12,6 +12,7 @@
 //! mdfuse suite                    run the Section 5 experiment suite
 //! mdfuse bench                    interpreter vs kernel vs baselines
 //! mdfuse fuzz                     differential fuzzing of the pipeline
+//! mdfuse chaos                    fault-injection sweep with recovery oracle
 //! ```
 //!
 //! `<file>` may contain either the MLDG text format (`mldg <name> ...`) or
@@ -36,6 +37,7 @@ use mdf_trace::Span;
 
 mod analysis;
 mod bench;
+mod chaos;
 mod fuzz;
 mod profile;
 
@@ -286,6 +288,8 @@ fn cmd_run(
     let (fp, stats, how) = match engine {
         "interp" => {
             let exec = span.child("execute");
+            // `run` wants a full answer: a deadline-truncated partial
+            // outcome converts back to its typed cause (exit 5).
             let (mem, stats) = match &plan {
                 mdf_core::FusionPlan::FullParallel { .. } => mdf_sim::run_fused_ordered_traced(
                     &spec,
@@ -294,9 +298,11 @@ fn cmd_run(
                     mdf_sim::RowOrder::Ascending,
                     &mut meter,
                     &exec,
-                )?,
+                )?
+                .into_complete()?,
                 mdf_core::FusionPlan::Hyperplane { wavefront, .. } => {
                     mdf_sim::run_wavefront_traced(&spec, *wavefront, n, m, &mut meter, &exec)?
+                        .into_complete()?
                 }
             };
             exec.finish();
@@ -308,7 +314,9 @@ fn cmd_run(
             let k = mdf_kernel::CompiledKernel::compile_traced(&spec, n, m, &lower)?;
             lower.finish();
             let exec = span.child("execute");
-            let (mem, stats) = k.run_budgeted_traced(mode, &mut meter, &exec)?;
+            let (mem, stats) = k
+                .run_budgeted_traced(mode, &mut meter, &exec)?
+                .into_complete()?;
             exec.finish();
             let mode_name = match mode {
                 mdf_kernel::ExecMode::RowsCertified => "rows-doall",
@@ -418,19 +426,23 @@ const USAGE: &str =
        mdfuse suite
        mdfuse bench [--quick] [--json] [--out PATH] [--check PATH] [--profile[=PATH]]
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
+       mdfuse chaos [--seed S] [--json] [--out PATH] [--check PATH]
+                    [--examples DIR] [--profile[=PATH]]
        mdfuse profile-check <file>
 
 options:
-  --json             emit diagnostics as JSON (analyze, lint, bench)
+  --json             emit diagnostics as JSON (analyze, lint, bench, chaos)
   --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5;
                      bench instead emits a partial report and exits 0)
   --engine ENGINE    execution engine for run: interp | kernel (default kernel)
   --quick            bench: small bounds, one repetition (CI smoke shape)
-  --out PATH         bench: also write the JSON report to PATH
-  --check PATH       bench: validate an existing BENCH_fusion.json and exit
-  --profile[=PATH]   run, bench, analyze: write a schema-versioned JSONL
-                     profile (default trace.jsonl) and print a phase summary
-                     on stderr; validate it back with `mdfuse profile-check`
+  --out PATH         bench, chaos: also write the JSON report to PATH
+  --check PATH       bench, chaos: validate an existing report and exit
+  --examples DIR     chaos: directory of .mdf examples to sweep
+                     (default examples/dsl; skipped when absent)
+  --profile[=PATH]   run, bench, analyze, chaos: write a schema-versioned
+                     JSONL profile (default trace.jsonl) and print a phase
+                     summary on stderr; validate with `mdfuse profile-check`
   -h, --help         print this help
 
 exit codes:
@@ -452,6 +464,7 @@ struct Opts {
     profile: Option<String>,
     fuzz: fuzz::FuzzOpts,
     bench: bench::BenchOpts,
+    chaos: chaos::ChaosOpts,
 }
 
 /// The value following a `--flag VALUE` pair, or a usage error.
@@ -477,6 +490,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         profile: None,
         fuzz: fuzz::FuzzOpts::default(),
         bench: bench::BenchOpts::default(),
+        chaos: chaos::ChaosOpts::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -486,11 +500,24 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
             "--quick" => opts.bench.quick = true,
             "--deadline-ms" => opts.deadline_ms = Some(next_u64(&mut it, "--deadline-ms")?),
             "--cases" => opts.fuzz.cases = next_u64(&mut it, "--cases")?,
-            "--seed" => opts.fuzz.seed = next_u64(&mut it, "--seed")?,
+            "--seed" => {
+                let seed = next_u64(&mut it, "--seed")?;
+                opts.fuzz.seed = seed;
+                opts.chaos.seed = seed;
+            }
             "--inject-broken-retiming" => opts.fuzz.inject_broken_retiming = true,
             "--engine" => opts.engine = next_value(&mut it, "--engine")?.to_string(),
-            "--out" => opts.bench.out = Some(next_value(&mut it, "--out")?.to_string()),
-            "--check" => opts.bench.check = Some(next_value(&mut it, "--check")?.to_string()),
+            "--out" => {
+                let path = next_value(&mut it, "--out")?.to_string();
+                opts.bench.out = Some(path.clone());
+                opts.chaos.out = Some(path);
+            }
+            "--check" => {
+                let path = next_value(&mut it, "--check")?.to_string();
+                opts.bench.check = Some(path.clone());
+                opts.chaos.check = Some(path);
+            }
+            "--examples" => opts.chaos.examples = next_value(&mut it, "--examples")?.to_string(),
             "--profile" => opts.profile = Some(profile::DEFAULT_PROFILE_PATH.to_string()),
             f if f.starts_with("--profile=") => {
                 let path = &f["--profile=".len()..];
@@ -522,9 +549,9 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
     // `--profile` applies to the commands with a phase pipeline worth
     // profiling; anything else is a usage error, not a silent no-op.
     let tool = opts.positional.first().map(String::as_str).unwrap_or("");
-    if opts.profile.is_some() && !matches!(tool, "run" | "bench" | "analyze") {
+    if opts.profile.is_some() && !matches!(tool, "run" | "bench" | "analyze" | "chaos") {
         return Err(CliError::Usage(format!(
-            "--profile applies to run, bench, and analyze\n{USAGE}"
+            "--profile applies to run, bench, analyze, and chaos\n{USAGE}"
         )));
     }
     let session = opts
@@ -535,6 +562,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         (Some(s), "run") => s.root("run"),
         (Some(s), "bench") => s.root("bench"),
         (Some(s), "analyze") => s.root("analyze"),
+        (Some(s), "chaos") => s.root("chaos"),
         _ => Span::disabled(),
     };
 
@@ -546,6 +574,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
             bench::run(&opts.bench, opts.json, opts.deadline_ms, &budget, &root)
         }
         [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
+        [cmd] if cmd == "chaos" => chaos::run(&opts.chaos, opts.json, &root),
         [cmd, path] if cmd == "profile-check" => profile::check_file(path),
         [cmd, path, rest @ ..] => {
             if cmd == "lint" {
@@ -808,8 +837,9 @@ mod tests {
             path.to_str().unwrap().to_string(),
         ])
         .unwrap();
-        assert!(out.contains("\"schema_version\": 1"), "{out}");
+        assert!(out.contains("\"schema_version\": 2"), "{out}");
         assert!(out.contains("\"complete\": true"), "{out}");
+        assert!(out.contains("\"degradation\""), "{out}");
         let checked = run(&[
             "bench".into(),
             "--check".into(),
@@ -817,7 +847,7 @@ mod tests {
         ])
         .unwrap();
         assert!(
-            checked.contains("valid BENCH_fusion schema v1"),
+            checked.contains("valid BENCH_fusion schema v2"),
             "{checked}"
         );
         // A corrupted report fails the check with exit code 3.

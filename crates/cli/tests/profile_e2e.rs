@@ -142,7 +142,7 @@ fn bench_quick_report_round_trips_through_check() {
     // ...and rejects a version bump it does not understand (exit 3).
     std::fs::write(
         &report,
-        json.replace("\"schema_version\": 1", "\"schema_version\": 99"),
+        json.replace("\"schema_version\": 2", "\"schema_version\": 99"),
     )
     .expect("corrupt report");
     let bad = mdfuse(&["bench", "--check", report.to_str().expect("utf-8")]);
@@ -168,11 +168,11 @@ fn bench_quick_report_round_trips_through_check() {
 }
 
 #[test]
-fn profile_flag_is_limited_to_run_bench_analyze() {
+fn profile_flag_is_limited_to_pipeline_commands() {
     let out = mdfuse(&["fuse", &example("figure2.mdf"), "--profile"]);
     assert_eq!(exit_code(&out), 2);
     assert!(
-        stderr(&out).contains("--profile applies to run, bench, and analyze"),
+        stderr(&out).contains("--profile applies to run, bench, analyze, and chaos"),
         "{}",
         stderr(&out)
     );

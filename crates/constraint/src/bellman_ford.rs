@@ -156,6 +156,7 @@ pub fn solve_difference_constraints_traced<W: Weight>(
     };
 
     for _round in 0..n {
+        meter.chaos_site("constraint.solve.round")?;
         meter.charge_rounds(1)?;
         rounds += 1;
         let mut changed = false;
@@ -176,6 +177,7 @@ pub fn solve_difference_constraints_traced<W: Weight>(
     // Negative cycle: one more applying pass yields a witness vertex whose
     // predecessor chain provably reaches the cycle (see the unbudgeted
     // solver for the argument).
+    meter.chaos_site("constraint.solve.round")?;
     meter.charge_rounds(1)?;
     rounds += 1;
     let mut witness = None;

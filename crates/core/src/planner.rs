@@ -17,7 +17,7 @@
 //! partial fusion — and the returned [`PlanReport`] records every rung
 //! attempted and which one finally succeeded.
 
-use mdf_graph::budget::Budget;
+use mdf_graph::budget::{Budget, BudgetMeter};
 use mdf_graph::cycles::is_acyclic;
 use mdf_graph::error::MdfError;
 use mdf_graph::mldg::Mldg;
@@ -278,7 +278,7 @@ pub fn plan_fusion_traced(g: &Mldg, budget: &Budget, span: &Span) -> Result<Plan
                 });
                 return Ok(PlanReport {
                     plan: DegradedPlan::Fused(FusionPlan::FullParallel {
-                        retiming,
+                        retiming: chaos_retiming(&mut meter, retiming),
                         method: FullParallelMethod::Acyclic,
                     }),
                     attempts,
@@ -305,7 +305,7 @@ pub fn plan_fusion_traced(g: &Mldg, budget: &Budget, span: &Span) -> Result<Plan
                 });
                 return Ok(PlanReport {
                     plan: DegradedPlan::Fused(FusionPlan::FullParallel {
-                        retiming,
+                        retiming: chaos_retiming(&mut meter, retiming),
                         method: FullParallelMethod::Cyclic,
                     }),
                     attempts,
@@ -334,7 +334,7 @@ pub fn plan_fusion_traced(g: &Mldg, budget: &Budget, span: &Span) -> Result<Plan
             });
             return Ok(PlanReport {
                 plan: DegradedPlan::Fused(FusionPlan::Hyperplane {
-                    retiming: hp.retiming,
+                    retiming: chaos_retiming(&mut meter, hp.retiming),
                     wavefront: hp.wavefront,
                 }),
                 attempts,
@@ -378,6 +378,23 @@ pub fn plan_fusion_traced(g: &Mldg, budget: &Budget, span: &Span) -> Result<Plan
         }
         Err(e) => Err(e),
     }
+}
+
+/// Chaos hook on the `planner.retiming` fault site: when the armed fault
+/// plan says so, corrupt a freshly computed retiming in flight (shift the
+/// first node's column offset). The corrupted plan must then be rejected
+/// by [`PlanReport::verify`] / the downstream certificate checkers — the
+/// chaos sweep asserts an injected corruption never reaches execution as
+/// a silently wrong answer.
+fn chaos_retiming(meter: &mut BudgetMeter, retiming: Retiming) -> Retiming {
+    if !meter.chaos_corrupts("planner.retiming") {
+        return retiming;
+    }
+    let mut offsets = retiming.offsets().to_vec();
+    if let Some(o) = offsets.first_mut() {
+        o.y += 1;
+    }
+    Retiming::from_offsets(offsets)
 }
 
 /// The most informative error once the whole ladder is exhausted: the last

@@ -7,6 +7,13 @@
 //! their inner loops and bail out with
 //! [`MdfError::BudgetExceeded`] instead of hanging or exhausting memory
 //! on adversarial inputs.
+//!
+//! The meter is also the carrier for deterministic fault injection: a
+//! budget built with [`Budget::with_chaos`] makes the meter consult the
+//! process-wide armed [`mdf_chaos::FaultPlan`] at named sites
+//! ([`BudgetMeter::chaos_site`]). Ordinary budgets never consult it, so
+//! chaos-armed runs cannot perturb unrelated metered work in the same
+//! process.
 
 use std::time::{Duration, Instant};
 
@@ -31,6 +38,8 @@ pub struct Budget {
     pub max_memory_cells: Option<u64>,
     /// Wall-clock deadline for the whole metered run.
     pub deadline: Option<Duration>,
+    /// Whether meters of this budget consult the armed chaos fault plan.
+    pub chaos: bool,
 }
 
 impl Budget {
@@ -67,6 +76,12 @@ impl Budget {
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Opts meters of this budget into the armed chaos fault plan.
+    pub fn with_chaos(mut self) -> Self {
+        self.chaos = true;
         self
     }
 
@@ -193,6 +208,62 @@ impl BudgetMeter {
             BudgetResource::MemoryCells,
         )
     }
+
+    /// Consults the armed chaos plan at a named fault site.
+    ///
+    /// No-op (one bool test) unless the budget was built with
+    /// [`Budget::with_chaos`]. When a fault fires it is simulated with the
+    /// exact failure shape a genuine trip would have: budget-style kinds
+    /// become [`MdfError::BudgetExceeded`] naming the matching resource,
+    /// and [`mdf_chaos::FaultKind::WorkerPanic`] panics (supervisors and
+    /// the CLI's panic isolation are expected to contain it).
+    /// [`mdf_chaos::FaultKind::CorruptRetiming`] is not an error shape and
+    /// is ignored here — planner code asks for it via
+    /// [`BudgetMeter::chaos_corrupts`].
+    pub fn chaos_site(&mut self, site: &'static str) -> Result<(), MdfError> {
+        if !self.budget.chaos {
+            return Ok(());
+        }
+        let synthetic = |resource: BudgetResource, limit: Option<u64>, used: u64| {
+            Err(MdfError::BudgetExceeded {
+                resource,
+                limit: limit.unwrap_or(0),
+                used,
+            })
+        };
+        match mdf_chaos::hit(site) {
+            None | Some(mdf_chaos::FaultKind::CorruptRetiming) => Ok(()),
+            Some(mdf_chaos::FaultKind::WorkerPanic) => {
+                panic!("chaos: injected worker panic at {site}")
+            }
+            Some(mdf_chaos::FaultKind::SolverExhaustion) => synthetic(
+                BudgetResource::SolverRounds,
+                self.budget.max_solver_rounds,
+                self.rounds,
+            ),
+            Some(mdf_chaos::FaultKind::DeadlineExpiry) => synthetic(
+                BudgetResource::WallClockMs,
+                self.budget.deadline.map(|d| d.as_millis() as u64),
+                self.start.elapsed().as_millis() as u64,
+            ),
+            Some(mdf_chaos::FaultKind::AllocRefusal) => synthetic(
+                BudgetResource::MemoryCells,
+                self.budget.max_memory_cells,
+                self.cells,
+            ),
+        }
+    }
+
+    /// Consults the armed chaos plan at a retiming-producing site; `true`
+    /// means the caller must corrupt the vector it just computed (the
+    /// downstream verifier is then required to reject the plan).
+    pub fn chaos_corrupts(&mut self, site: &'static str) -> bool {
+        self.budget.chaos
+            && matches!(
+                mdf_chaos::hit(site),
+                Some(mdf_chaos::FaultKind::CorruptRetiming)
+            )
+    }
 }
 
 #[cfg(test)]
@@ -260,6 +331,81 @@ mod tests {
         ));
         // charge_rounds doubles as a deadline heartbeat.
         assert!(m.charge_rounds(1).is_err());
+    }
+
+    #[test]
+    fn chaos_sites_are_inert_without_opt_in() {
+        // Even with a plan armed, a non-chaos budget never consults it.
+        let guard =
+            mdf_chaos::FaultPlan::single("sim.barrier", mdf_chaos::FaultKind::WorkerPanic, 1).arm();
+        let mut m = Budget::unlimited().meter();
+        m.chaos_site("sim.barrier").unwrap();
+        m.chaos_site("sim.barrier").unwrap();
+        assert_eq!(guard.hits("sim.barrier"), 0);
+        assert!(!m.chaos_corrupts("planner.retiming"));
+    }
+
+    #[test]
+    fn chaos_faults_map_to_matching_budget_errors() {
+        let _guard =
+            mdf_chaos::FaultPlan::single("sim.barrier", mdf_chaos::FaultKind::DeadlineExpiry, 2)
+                .arm();
+        let mut m = Budget::unlimited()
+            .with_deadline(Duration::from_secs(3600))
+            .with_chaos()
+            .meter();
+        m.chaos_site("sim.barrier").unwrap();
+        match m.chaos_site("sim.barrier") {
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::WallClockMs,
+                limit: 3_600_000,
+                ..
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        m.chaos_site("sim.barrier").unwrap();
+    }
+
+    #[test]
+    fn chaos_alloc_refusal_maps_to_memory_cells() {
+        let _guard =
+            mdf_chaos::FaultPlan::single("kernel.alloc", mdf_chaos::FaultKind::AllocRefusal, 1)
+                .arm();
+        let mut m = Budget::unlimited().with_chaos().meter();
+        assert!(matches!(
+            m.chaos_site("kernel.alloc"),
+            Err(MdfError::BudgetExceeded {
+                resource: BudgetResource::MemoryCells,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn chaos_panic_kind_panics_with_site_name() {
+        let _guard =
+            mdf_chaos::FaultPlan::single("kernel.barrier", mdf_chaos::FaultKind::WorkerPanic, 1)
+                .arm();
+        let mut m = Budget::unlimited().with_chaos().meter();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            m.chaos_site("kernel.barrier")
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("kernel.barrier"), "panic payload: {msg}");
+    }
+
+    #[test]
+    fn chaos_corruption_requests_reach_the_planner_site() {
+        let _guard = mdf_chaos::FaultPlan::single(
+            "planner.retiming",
+            mdf_chaos::FaultKind::CorruptRetiming,
+            1,
+        )
+        .arm();
+        let mut m = Budget::unlimited().with_chaos().meter();
+        assert!(m.chaos_corrupts("planner.retiming"));
+        assert!(!m.chaos_corrupts("planner.retiming"), "spent after firing");
     }
 
     #[test]

@@ -19,9 +19,10 @@
 //! * [`paper`] — the exact example graphs from the paper's figures;
 //! * [`dot`] / [`textfmt`] — interchange formats.
 //!
-//! The crate is dependency-free and deliberately small: everything that
-//! *computes* retimings lives above it (`mdf-constraint`, `mdf-retime`,
-//! `mdf-core`).
+//! The crate is deliberately small (its only dependency is the equally
+//! small `mdf-chaos` fault-injection registry consulted by [`budget`]):
+//! everything that *computes* retimings lives above it
+//! (`mdf-constraint`, `mdf-retime`, `mdf-core`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -28,12 +28,21 @@ use std::collections::BTreeMap;
 
 use mdf_graph::{BudgetMeter, IVec2, MdfError};
 use mdf_ir::retgen::{FusedSpec, IRange};
-use mdf_sim::ExecStats;
+use mdf_sim::{
+    check_resume, deadline_expired, supervise_run, Checkpoint, ExecStats, RetryPolicy, RunOutcome,
+    Snapshot, SupervisedOutcome,
+};
 use mdf_trace::Span;
 use rayon::prelude::*;
 
 use crate::lower::{eval_compiled, lower_loop, CompiledLoop, MAX_REGS};
 use crate::memory::{KernelMemory, Layout};
+
+impl Snapshot for KernelMemory {
+    fn digest(&self) -> u64 {
+        self.fingerprint()
+    }
+}
 
 /// Minimum row length before a certified row is split into column tiles
 /// for threading; below this the barrier and spawn overhead dominates.
@@ -55,6 +64,17 @@ pub enum ExecMode {
         schedule: IVec2,
         /// Whether the hyperplane race certificate holds (gates threading).
         certified: bool,
+    },
+}
+
+/// How a metered drive ended: all barriers, or stopped at a barrier top
+/// by a deadline report with the work completed so far intact.
+enum DriveEnd {
+    Complete(ExecStats),
+    Stopped {
+        completed: u64,
+        stats: ExecStats,
+        cause: MdfError,
     },
 }
 
@@ -204,16 +224,153 @@ impl CompiledKernel {
     /// Runs under a resource budget: cells charged before allocation, the
     /// deadline re-checked and statement instances charged at every
     /// barrier (fused row or wavefront group), mirroring the budgeted
-    /// interpreter drivers in `mdf-sim`.
+    /// interpreter drivers in `mdf-sim`. Deadline expiry at a barrier top
+    /// does not discard completed work: it returns
+    /// [`RunOutcome::Partial`] with the live image and a resumable
+    /// [`Checkpoint`]; every other budget trip stays a typed error.
     pub fn run_budgeted(
         &self,
         mode: ExecMode,
         meter: &mut BudgetMeter,
-    ) -> Result<(KernelMemory, ExecStats), MdfError> {
+    ) -> Result<RunOutcome<KernelMemory>, MdfError> {
+        meter.chaos_site("kernel.alloc")?;
         meter.charge_cells(self.layout.cells() as u64)?;
-        let mut mem = KernelMemory::new(self.layout);
-        let stats = self.drive(mode, &mut mem, rayon::current_num_threads(), Some(meter))?;
-        Ok((mem, stats))
+        let mem = KernelMemory::new(self.layout);
+        self.finish_budgeted(mode, mem, meter, 0, ExecStats::default())
+    }
+
+    /// Continues a budgeted run from a [`Checkpoint`] produced by an
+    /// earlier partial outcome, against the memory image that outcome
+    /// carried (digest-verified). Memory cells are *not* re-charged: the
+    /// image is presented, not allocated.
+    pub fn resume_budgeted(
+        &self,
+        mode: ExecMode,
+        mem: KernelMemory,
+        checkpoint: Checkpoint,
+        meter: &mut BudgetMeter,
+    ) -> Result<RunOutcome<KernelMemory>, MdfError> {
+        check_resume(&mem, &checkpoint)?;
+        self.finish_budgeted(
+            mode,
+            mem,
+            meter,
+            checkpoint.completed_barriers,
+            checkpoint.stats,
+        )
+    }
+
+    fn finish_budgeted(
+        &self,
+        mode: ExecMode,
+        mut mem: KernelMemory,
+        meter: &mut BudgetMeter,
+        start: u64,
+        stats0: ExecStats,
+    ) -> Result<RunOutcome<KernelMemory>, MdfError> {
+        let threads = rayon::current_num_threads();
+        match self.drive_from(mode, &mut mem, threads, Some(meter), start, stats0)? {
+            DriveEnd::Complete(stats) => Ok(RunOutcome::Complete { mem, stats }),
+            DriveEnd::Stopped {
+                completed,
+                stats,
+                cause,
+            } => Ok(RunOutcome::partial(mem, completed, stats, cause)),
+        }
+    }
+
+    /// The number of barriers `mode` executes over this kernel's iteration
+    /// space: fused rows for the row modes, non-empty hyperplane groups
+    /// for the wavefront. The unit of checkpointing and resumption.
+    pub fn barrier_count(&self, mode: ExecMode) -> u64 {
+        match mode {
+            ExecMode::RowsCertified | ExecMode::RowsSerial => self.outer.len().max(0) as u64,
+            ExecMode::Wavefront { schedule, .. } => self.wavefront_groups(schedule).len() as u64,
+        }
+    }
+
+    /// Runs the kernel under the supervising executor: one chunk per
+    /// barrier, a snapshot checkpoint after each, recoverable failures
+    /// (caught worker panics, deadline reports) restored and retried per
+    /// `policy` with multi-thread → serial degradation. A completed
+    /// supervised run is bit-identical to an uninterrupted one.
+    pub fn run_supervised(
+        &self,
+        mode: ExecMode,
+        threads: usize,
+        policy: &RetryPolicy,
+        meter: &mut BudgetMeter,
+    ) -> Result<SupervisedOutcome<KernelMemory>, MdfError> {
+        self.supervise(mode, threads, policy, meter, None)
+    }
+
+    /// As [`CompiledKernel::run_supervised`], continuing from a prior
+    /// checkpoint (digest-verified) instead of fresh memory.
+    pub fn resume_supervised(
+        &self,
+        mode: ExecMode,
+        threads: usize,
+        policy: &RetryPolicy,
+        meter: &mut BudgetMeter,
+        mem: KernelMemory,
+        checkpoint: Checkpoint,
+    ) -> Result<SupervisedOutcome<KernelMemory>, MdfError> {
+        self.supervise(mode, threads, policy, meter, Some((mem, checkpoint)))
+    }
+
+    fn supervise(
+        &self,
+        mode: ExecMode,
+        threads: usize,
+        policy: &RetryPolicy,
+        meter: &mut BudgetMeter,
+        resume: Option<(KernelMemory, Checkpoint)>,
+    ) -> Result<SupervisedOutcome<KernelMemory>, MdfError> {
+        let groups = match mode {
+            ExecMode::Wavefront { schedule, .. } => self.wavefront_groups(schedule),
+            _ => Vec::new(),
+        };
+        let total = match mode {
+            ExecMode::RowsCertified | ExecMode::RowsSerial => self.outer.len().max(0) as u64,
+            ExecMode::Wavefront { .. } => groups.len() as u64,
+        };
+        supervise_run(
+            total,
+            threads,
+            policy,
+            meter,
+            resume,
+            |meter| {
+                meter.chaos_site("kernel.alloc")?;
+                meter.charge_cells(self.layout.cells() as u64)?;
+                Ok(KernelMemory::new(self.layout))
+            },
+            |mem, barrier, threads_now, meter| {
+                meter.check_deadline()?;
+                meter.chaos_site("kernel.barrier")?;
+                let instances = match mode {
+                    ExecMode::RowsCertified => self.row_loop_major(
+                        mem.data_mut(),
+                        self.outer.lo + barrier as i64,
+                        threads_now,
+                    ),
+                    ExecMode::RowsSerial => {
+                        self.row_cell_major(mem.data_mut(), self.outer.lo + barrier as i64)
+                    }
+                    ExecMode::Wavefront { certified, .. } => self.wavefront_group(
+                        mem.data_mut(),
+                        &groups[barrier as usize],
+                        certified,
+                        threads_now,
+                    ),
+                };
+                // Fires *after* the chunk's writes — only a panic is sound
+                // here (the supervisor restores the snapshot wholesale).
+                meter.chaos_site("kernel.chunk.mid")?;
+                meter.charge_iterations(instances)?;
+                Ok(instances)
+            },
+        )
     }
 
     /// As [`CompiledKernel::run`], reporting execution counters onto `span`
@@ -240,16 +397,17 @@ impl CompiledKernel {
         out
     }
 
-    /// As [`CompiledKernel::run_budgeted`], reporting execution counters
-    /// onto `span` (see [`CompiledKernel::run_with_threads_traced`]).
+    /// As [`CompiledKernel::run_budgeted`], reporting the execution
+    /// counters accumulated so far (final on complete runs) onto `span`
+    /// (see [`CompiledKernel::run_with_threads_traced`]).
     pub fn run_budgeted_traced(
         &self,
         mode: ExecMode,
         meter: &mut BudgetMeter,
         span: &Span,
-    ) -> Result<(KernelMemory, ExecStats), MdfError> {
+    ) -> Result<RunOutcome<KernelMemory>, MdfError> {
         let out = self.run_budgeted(mode, meter)?;
-        self.report_exec(mode, rayon::current_num_threads(), &out.1, span);
+        self.report_exec(mode, rayon::current_num_threads(), &out.stats(), span);
         Ok(out)
     }
 
@@ -283,14 +441,54 @@ impl CompiledKernel {
         mode: ExecMode,
         mem: &mut KernelMemory,
         threads: usize,
-        mut meter: Option<&mut BudgetMeter>,
+        meter: Option<&mut BudgetMeter>,
     ) -> Result<ExecStats, MdfError> {
-        let mut stats = ExecStats::default();
+        match self.drive_from(mode, mem, threads, meter, 0, ExecStats::default())? {
+            DriveEnd::Complete(stats) => Ok(stats),
+            // Unreachable without a meter; with one, `run_budgeted` calls
+            // `drive_from` directly and keeps the partial work instead.
+            DriveEnd::Stopped { cause, .. } => Err(cause),
+        }
+    }
+
+    /// The barrier-granular driver: executes barriers `start..` of `mode`,
+    /// accumulating onto `stats0`. A deadline report (real or injected) at
+    /// a barrier *top* — where memory is clean — stops the drive with the
+    /// completed count instead of erroring, so callers can hand back a
+    /// resumable partial result. Any other budget trip propagates.
+    fn drive_from(
+        &self,
+        mode: ExecMode,
+        mem: &mut KernelMemory,
+        threads: usize,
+        mut meter: Option<&mut BudgetMeter>,
+        start: u64,
+        stats0: ExecStats,
+    ) -> Result<DriveEnd, MdfError> {
+        fn gate(meter: &mut BudgetMeter) -> Result<(), MdfError> {
+            meter.check_deadline()?;
+            meter.chaos_site("kernel.barrier")
+        }
+        let mut stats = stats0;
+        let mut completed = start;
         match mode {
             ExecMode::RowsCertified | ExecMode::RowsSerial => {
-                for fi in self.outer.lo..=self.outer.hi {
+                for (idx, fi) in (self.outer.lo..=self.outer.hi).enumerate() {
+                    let idx = idx as u64;
+                    if idx < start {
+                        continue;
+                    }
                     if let Some(meter) = meter.as_deref_mut() {
-                        meter.check_deadline()?;
+                        if let Err(e) = gate(meter) {
+                            if deadline_expired(&e) {
+                                return Ok(DriveEnd::Stopped {
+                                    completed,
+                                    stats,
+                                    cause: e,
+                                });
+                            }
+                            return Err(e);
+                        }
                     }
                     let instances = if mode == ExecMode::RowsCertified {
                         self.row_loop_major(mem.data_mut(), fi, threads)
@@ -299,7 +497,9 @@ impl CompiledKernel {
                     };
                     stats.stmt_instances += instances;
                     stats.barriers += 1;
+                    completed = idx + 1;
                     if let Some(meter) = meter.as_deref_mut() {
+                        meter.chaos_site("kernel.chunk.mid")?;
                         meter.charge_iterations(instances)?;
                     }
                 }
@@ -308,21 +508,36 @@ impl CompiledKernel {
                 schedule,
                 certified,
             } => {
-                for group in self.wavefront_groups(schedule) {
+                for (idx, group) in self.wavefront_groups(schedule).into_iter().enumerate() {
+                    let idx = idx as u64;
+                    if idx < start {
+                        continue;
+                    }
                     if let Some(meter) = meter.as_deref_mut() {
-                        meter.check_deadline()?;
+                        if let Err(e) = gate(meter) {
+                            if deadline_expired(&e) {
+                                return Ok(DriveEnd::Stopped {
+                                    completed,
+                                    stats,
+                                    cause: e,
+                                });
+                            }
+                            return Err(e);
+                        }
                     }
                     let instances =
                         self.wavefront_group(mem.data_mut(), &group, certified, threads);
                     stats.stmt_instances += instances;
                     stats.barriers += 1;
+                    completed = idx + 1;
                     if let Some(meter) = meter.as_deref_mut() {
+                        meter.chaos_site("kernel.chunk.mid")?;
                         meter.charge_iterations(instances)?;
                     }
                 }
             }
         }
-        Ok(stats)
+        Ok(DriveEnd::Complete(stats))
     }
 
     /// Whether certified rows take the tiled threaded path under `threads`
@@ -644,7 +859,11 @@ mod tests {
         let mode = crate::plan_mode(&spec, &plan);
         let k = CompiledKernel::compile(&spec, 9, 7).unwrap();
         let mut meter = Budget::unlimited().meter();
-        let (bmem, bstats) = k.run_budgeted(mode, &mut meter).unwrap();
+        let (bmem, bstats) = k
+            .run_budgeted(mode, &mut meter)
+            .unwrap()
+            .into_complete()
+            .unwrap();
         let (pmem, pstats) = k.run(mode);
         assert_eq!(bmem.fingerprint(), pmem.fingerprint());
         assert_eq!(bstats, pstats);
@@ -664,6 +883,136 @@ mod tests {
                 resource: BudgetResource::MemoryCells,
                 ..
             }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_deadline_yields_partial_then_resume_is_bit_identical() {
+        use mdf_chaos::{FaultKind, FaultPlan};
+        use mdf_graph::Budget;
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 9, 7).unwrap();
+        let (pmem, pstats) = k.run(mode);
+        let total = k.barrier_count(mode);
+        assert!(total >= 3);
+
+        // Expire the deadline at every barrier index in turn; each stop
+        // must be resumable to the exact uninterrupted image and counters.
+        for b in 1..=total {
+            let guard = FaultPlan::single("kernel.barrier", FaultKind::DeadlineExpiry, b).arm();
+            let mut meter = Budget::unlimited().with_chaos().meter();
+            let out = k.run_budgeted(mode, &mut meter).unwrap();
+            drop(guard);
+            let RunOutcome::Partial {
+                mem,
+                checkpoint,
+                cause,
+            } = out
+            else {
+                panic!("expected a partial outcome at barrier {b}");
+            };
+            assert!(mdf_sim::deadline_expired(&cause));
+            assert_eq!(checkpoint.completed_barriers, b - 1);
+            assert_eq!(checkpoint.stats.barriers, b - 1);
+
+            let mut meter = Budget::unlimited().meter();
+            let (rmem, rstats) = k
+                .resume_budgeted(mode, mem, checkpoint, &mut meter)
+                .unwrap()
+                .into_complete()
+                .unwrap();
+            assert_eq!(rmem.fingerprint(), pmem.fingerprint(), "barrier {b}");
+            assert_eq!(rstats, pstats, "barrier {b}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_a_tampered_image() {
+        use mdf_chaos::{FaultKind, FaultPlan};
+        use mdf_graph::Budget;
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        let guard = FaultPlan::single("kernel.barrier", FaultKind::DeadlineExpiry, 2).arm();
+        let mut meter = Budget::unlimited().with_chaos().meter();
+        let RunOutcome::Partial {
+            mut mem,
+            checkpoint,
+            ..
+        } = k.run_budgeted(mode, &mut meter).unwrap()
+        else {
+            panic!("expected partial");
+        };
+        drop(guard);
+        mem.data_mut()[0] ^= 1;
+        let mut meter = Budget::unlimited().meter();
+        assert!(k
+            .resume_budgeted(mode, mem, checkpoint, &mut meter)
+            .is_err());
+    }
+
+    #[test]
+    fn supervised_run_recovers_injected_worker_panic_bit_identically() {
+        use mdf_chaos::{FaultKind, FaultPlan};
+        use mdf_graph::Budget;
+        use mdf_sim::{RetryPolicy, SupervisedOutcome};
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 9, 7).unwrap();
+        let (pmem, pstats) = k.run(mode);
+
+        // A mid-chunk panic lands *after* the chunk's writes: recovery
+        // must restore the snapshot, retry, and still match bit-for-bit.
+        let guard = FaultPlan::single("kernel.chunk.mid", FaultKind::WorkerPanic, 3).arm();
+        let mut meter = Budget::unlimited().with_chaos().meter();
+        let out = k
+            .run_supervised(mode, 1, &RetryPolicy::deterministic(), &mut meter)
+            .unwrap();
+        assert_eq!(guard.injected(), 1);
+        drop(guard);
+        match out {
+            SupervisedOutcome::Complete {
+                mem,
+                stats,
+                recovery,
+            } => {
+                assert_eq!(mem.fingerprint(), pmem.fingerprint());
+                assert_eq!(stats, pstats, "retried work counted once");
+                assert_eq!(recovery.retries, 1);
+                assert_eq!(recovery.resumes, 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn supervised_alloc_refusal_is_retried_to_completion() {
+        use mdf_chaos::{FaultKind, FaultPlan};
+        use mdf_graph::Budget;
+        use mdf_sim::RetryPolicy;
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 5, 5).unwrap();
+        let (pmem, _) = k.run(mode);
+        let guard = FaultPlan::single("kernel.alloc", FaultKind::AllocRefusal, 1).arm();
+        let mut meter = Budget::unlimited().with_chaos().meter();
+        let out = k
+            .run_supervised(mode, 1, &RetryPolicy::deterministic(), &mut meter)
+            .unwrap();
+        assert_eq!(guard.injected(), 1);
+        drop(guard);
+        assert!(out.is_complete());
+        assert_eq!(out.recovery().retries, 1);
+        match out {
+            mdf_sim::SupervisedOutcome::Complete { mem, .. } => {
+                assert_eq!(mem.fingerprint(), pmem.fingerprint());
+            }
             other => panic!("unexpected: {other:?}"),
         }
     }

@@ -21,6 +21,10 @@ use mdf_ir::retgen::FusedSpec;
 use mdf_retime::{Retiming, Wavefront};
 
 use crate::interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
+use crate::recover::{
+    check_resume, deadline_expired, supervise_run, Checkpoint, RetryPolicy, RunOutcome,
+    SupervisedOutcome,
+};
 
 /// The fused body order, or a typed error for non-executable specs (a
 /// `(0,0)`-dependence cycle between loops) instead of a panic.
@@ -153,23 +157,101 @@ pub fn run_wavefront(
     (mem, stats)
 }
 
+/// Barrier-top budget-and-chaos gate shared by the budgeted drivers: the
+/// deadline is re-checked and the `sim.barrier` fault site consulted at
+/// the top of every barrier. `Some(outcome)` means "stop here with a
+/// clean partial result"; a non-deadline failure propagates as `Err`.
+fn barrier_gate(
+    meter: &mut BudgetMeter,
+    mem: &Memory,
+    completed: u64,
+    stats: ExecStats,
+) -> Result<Option<RunOutcome<Memory>>, MdfError> {
+    match meter
+        .check_deadline()
+        .and_then(|()| meter.chaos_site("sim.barrier"))
+    {
+        Ok(()) => Ok(None),
+        Err(e) if deadline_expired(&e) => {
+            Ok(Some(RunOutcome::partial(mem.clone(), completed, stats, e)))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 /// [`run_fused_ordered`] under a resource budget: typed error for
 /// non-executable specs, cells charged at allocation, statement instances
-/// charged per fused row, deadline re-checked every row.
+/// charged per fused row, deadline re-checked every row. Deadline expiry
+/// at a row top returns [`RunOutcome::Partial`] with the completed rows
+/// and a resumable [`Checkpoint`] instead of discarding them.
 pub fn run_fused_ordered_budgeted(
     spec: &FusedSpec,
     n: i64,
     m: i64,
     order: RowOrder,
     meter: &mut BudgetMeter,
-) -> Result<(Memory, ExecStats), MdfError> {
+) -> Result<RunOutcome<Memory>, MdfError> {
+    let mem = alloc_budgeted(spec, n, m, meter)?;
+    fused_rows_from(spec, n, m, order, mem, 0, ExecStats::default(), meter)
+}
+
+/// Resumes [`run_fused_ordered_budgeted`] from a prior partial result.
+/// The checkpoint's digest is verified against `mem` before continuing;
+/// a completed resume is bit-identical to an uninterrupted run.
+pub fn resume_fused_ordered_budgeted(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    mem: Memory,
+    checkpoint: &Checkpoint,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
+    check_resume(&mem, checkpoint)?;
+    fused_rows_from(
+        spec,
+        n,
+        m,
+        order,
+        mem,
+        checkpoint.completed_barriers,
+        checkpoint.stats,
+        meter,
+    )
+}
+
+/// Allocation under the budget and the `sim.alloc` fault site.
+fn alloc_budgeted(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<Memory, MdfError> {
+    meter.chaos_site("sim.alloc")?;
+    Memory::for_program_budgeted(&spec.program, n, m, 0, meter)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn fused_rows_from(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    mut mem: Memory,
+    start: u64,
+    mut stats: ExecStats,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
     let body = body_order_typed(spec)?;
-    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
-    let mut stats = ExecStats::default();
     let orange = spec.outer_range(n);
     let irange = spec.inner_range(m);
-    for fi in orange.lo..=orange.hi {
-        meter.check_deadline()?;
+    for (idx, fi) in (orange.lo..=orange.hi).enumerate() {
+        if (idx as u64) < start {
+            continue;
+        }
+        if let Some(partial) = barrier_gate(meter, &mem, idx as u64, stats)? {
+            return Ok(partial);
+        }
         let before = stats.stmt_instances;
         match order {
             RowOrder::Ascending => {
@@ -186,24 +268,15 @@ pub fn run_fused_ordered_budgeted(
         stats.barriers += 1;
         meter.charge_iterations(stats.stmt_instances - before)?;
     }
-    Ok((mem, stats))
+    Ok(RunOutcome::Complete { mem, stats })
 }
 
-/// [`run_wavefront`] under a resource budget (one deadline check and one
-/// iteration charge per hyperplane group).
-pub fn run_wavefront_budgeted(
-    spec: &FusedSpec,
-    wavefront: Wavefront,
-    n: i64,
-    m: i64,
-    meter: &mut BudgetMeter,
-) -> Result<(Memory, ExecStats), MdfError> {
-    let body = body_order_typed(spec)?;
-    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
-    let mut stats = ExecStats::default();
+/// The wavefront groups of the fused iteration space: active cells
+/// bucketed by `s · (fi, fj)`, ascending — the barrier sequence of
+/// hyperplane execution, shared by the budgeted driver and its resume.
+fn wavefront_buckets(spec: &FusedSpec, s: IVec2, n: i64, m: i64) -> Vec<Vec<(i64, i64)>> {
     let orange = spec.outer_range(n);
     let irange = spec.inner_range(m);
-    let s = wavefront.schedule;
     let mut buckets: std::collections::BTreeMap<i64, Vec<(i64, i64)>> =
         std::collections::BTreeMap::new();
     for fi in orange.lo..=orange.hi {
@@ -216,16 +289,217 @@ pub fn run_wavefront_budgeted(
             }
         }
     }
-    for (_, group) in buckets {
-        meter.check_deadline()?;
+    buckets.into_values().collect()
+}
+
+/// [`run_wavefront`] under a resource budget (one deadline check and one
+/// iteration charge per hyperplane group). Deadline expiry at a group top
+/// returns [`RunOutcome::Partial`] with a resumable [`Checkpoint`].
+pub fn run_wavefront_budgeted(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
+    let mem = alloc_budgeted(spec, n, m, meter)?;
+    wavefront_groups_from(spec, wavefront, n, m, mem, 0, ExecStats::default(), meter)
+}
+
+/// Resumes [`run_wavefront_budgeted`] from a prior partial result
+/// (digest-verified, groups skipped by the checkpoint's barrier count).
+pub fn resume_wavefront_budgeted(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    mem: Memory,
+    checkpoint: &Checkpoint,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
+    check_resume(&mem, checkpoint)?;
+    wavefront_groups_from(
+        spec,
+        wavefront,
+        n,
+        m,
+        mem,
+        checkpoint.completed_barriers,
+        checkpoint.stats,
+        meter,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn wavefront_groups_from(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    mut mem: Memory,
+    start: u64,
+    mut stats: ExecStats,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
+    let body = body_order_typed(spec)?;
+    let groups = wavefront_buckets(spec, wavefront.schedule, n, m);
+    for (idx, group) in groups.iter().enumerate() {
+        if (idx as u64) < start {
+            continue;
+        }
+        if let Some(partial) = barrier_gate(meter, &mem, idx as u64, stats)? {
+            return Ok(partial);
+        }
         let before = stats.stmt_instances;
-        for (fi, fj) in group {
+        for &(fi, fj) in group {
             exec_body_at(spec, &body, &mut mem, fi, fj, n, m, &mut stats);
         }
         stats.barriers += 1;
         meter.charge_iterations(stats.stmt_instances - before)?;
     }
-    Ok((mem, stats))
+    Ok(RunOutcome::Complete { mem, stats })
+}
+
+/// Supervised fused execution: [`run_fused_ordered_budgeted`] driven
+/// barrier by barrier through [`supervise_run`] — per-row checkpoints,
+/// retry with deterministic backoff on recoverable failures, typed
+/// partial report once the ladder is exhausted. The interpreter is
+/// single-threaded, so the degradation ladder's thread step is a no-op
+/// here (the kernel supervisor exercises it for real).
+pub fn run_fused_supervised(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    supervise_fused(spec, n, m, order, meter, policy, None)
+}
+
+/// Resumes [`run_fused_supervised`] from a prior checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_fused_supervised(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    mem: Memory,
+    checkpoint: Checkpoint,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    supervise_fused(spec, n, m, order, meter, policy, Some((mem, checkpoint)))
+}
+
+fn supervise_fused(
+    spec: &FusedSpec,
+    n: i64,
+    m: i64,
+    order: RowOrder,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+    resume: Option<(Memory, Checkpoint)>,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    let body = body_order_typed(spec)?;
+    let orange = spec.outer_range(n);
+    let irange = spec.inner_range(m);
+    let rows: Vec<i64> = (orange.lo..=orange.hi).collect();
+    supervise_run(
+        rows.len() as u64,
+        1,
+        policy,
+        meter,
+        resume,
+        |meter| alloc_budgeted(spec, n, m, meter),
+        |mem, barrier, _threads, meter| {
+            meter.check_deadline()?;
+            meter.chaos_site("sim.barrier")?;
+            let fi = rows[barrier as usize];
+            let mut stats = ExecStats::default();
+            match order {
+                RowOrder::Ascending => {
+                    for fj in irange.lo..=irange.hi {
+                        exec_body_at(spec, &body, mem, fi, fj, n, m, &mut stats);
+                    }
+                }
+                RowOrder::Descending => {
+                    for fj in (irange.lo..=irange.hi).rev() {
+                        exec_body_at(spec, &body, mem, fi, fj, n, m, &mut stats);
+                    }
+                }
+            }
+            meter.charge_iterations(stats.stmt_instances)?;
+            Ok(stats.stmt_instances)
+        },
+    )
+}
+
+/// Supervised wavefront execution — [`run_fused_supervised`]'s hyperplane
+/// counterpart, one checkpoint per wavefront group.
+pub fn run_wavefront_supervised(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    supervise_wavefront(spec, wavefront, n, m, meter, policy, None)
+}
+
+/// Resumes [`run_wavefront_supervised`] from a prior checkpoint.
+#[allow(clippy::too_many_arguments)]
+pub fn resume_wavefront_supervised(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    mem: Memory,
+    checkpoint: Checkpoint,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    supervise_wavefront(
+        spec,
+        wavefront,
+        n,
+        m,
+        meter,
+        policy,
+        Some((mem, checkpoint)),
+    )
+}
+
+fn supervise_wavefront(
+    spec: &FusedSpec,
+    wavefront: Wavefront,
+    n: i64,
+    m: i64,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+    resume: Option<(Memory, Checkpoint)>,
+) -> Result<SupervisedOutcome<Memory>, MdfError> {
+    let body = body_order_typed(spec)?;
+    let groups = wavefront_buckets(spec, wavefront.schedule, n, m);
+    supervise_run(
+        groups.len() as u64,
+        1,
+        policy,
+        meter,
+        resume,
+        |meter| alloc_budgeted(spec, n, m, meter),
+        |mem, barrier, _threads, meter| {
+            meter.check_deadline()?;
+            meter.chaos_site("sim.barrier")?;
+            let mut stats = ExecStats::default();
+            for &(fi, fj) in &groups[barrier as usize] {
+                exec_body_at(spec, &body, mem, fi, fj, n, m, &mut stats);
+            }
+            meter.charge_iterations(stats.stmt_instances)?;
+            Ok(stats.stmt_instances)
+        },
+    )
 }
 
 /// The permutation sending each graph node index to the program loop with
@@ -398,22 +672,26 @@ pub fn check_plan_budgeted(
     let (reference, ref_stats) = run_original_budgeted(program, n, m, meter)?;
     let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
 
+    // A partial run cannot support a differential verdict, so the typed
+    // cause propagates as abnormal termination here (`into_complete`).
     let (fused_mem, fused_stats) =
-        run_fused_ordered_budgeted(&spec, n, m, RowOrder::Ascending, meter)?;
+        run_fused_ordered_budgeted(&spec, n, m, RowOrder::Ascending, meter)?.into_complete()?;
     if fused_mem != reference {
         return Ok(Err(SimError::ResultMismatch { mode: "row-major" }));
     }
     let fused_barriers = match plan {
         FusionPlan::FullParallel { .. } => {
             let (desc_mem, _) =
-                run_fused_ordered_budgeted(&spec, n, m, RowOrder::Descending, meter)?;
+                run_fused_ordered_budgeted(&spec, n, m, RowOrder::Descending, meter)?
+                    .into_complete()?;
             if desc_mem != reference {
                 return Ok(Err(SimError::NotDoall));
             }
             fused_stats.barriers
         }
         FusionPlan::Hyperplane { wavefront, .. } => {
-            let (wf_mem, wf_stats) = run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?;
+            let (wf_mem, wf_stats) =
+                run_wavefront_budgeted(&spec, *wavefront, n, m, meter)?.into_complete()?;
             if wf_mem != reference {
                 return Ok(Err(SimError::ResultMismatch { mode: "wavefront" }));
             }
@@ -440,7 +718,8 @@ pub fn check_partial_budgeted(
 ) -> Result<Result<SimReport, SimError>, MdfError> {
     let (reference, ref_stats) = run_original_budgeted(program, n, m, meter)?;
     let spec = FusedSpec::new(program.clone(), plan.retiming.offsets().to_vec());
-    let (part_mem, part_stats) = run_partitioned_budgeted(&spec, &plan.clusters, n, m, meter)?;
+    let (part_mem, part_stats) =
+        run_partitioned_budgeted(&spec, &plan.clusters, n, m, meter)?.into_complete()?;
     if part_mem != reference {
         return Ok(Err(SimError::ResultMismatch {
             mode: "partitioned",
@@ -654,23 +933,71 @@ pub fn run_partitioned(
     (mem, stats)
 }
 
-/// [`run_partitioned`] under a resource budget (one deadline check per
-/// fused row, iteration charges per cluster step).
+/// [`run_partitioned`] under a resource budget: the deadline is checked
+/// and the `sim.barrier` fault site consulted at every barrier (each
+/// cluster step of each fused row), and iterations are charged per
+/// cluster step. Deadline expiry at a barrier top returns
+/// [`RunOutcome::Partial`] with a resumable [`Checkpoint`].
 pub fn run_partitioned_budgeted(
     spec: &FusedSpec,
     clusters: &[Vec<mdf_graph::NodeId>],
     n: i64,
     m: i64,
     meter: &mut BudgetMeter,
-) -> Result<(Memory, ExecStats), MdfError> {
+) -> Result<RunOutcome<Memory>, MdfError> {
+    let mem = alloc_budgeted(spec, n, m, meter)?;
+    partitioned_from(spec, clusters, n, m, mem, 0, ExecStats::default(), meter)
+}
+
+/// Resumes [`run_partitioned_budgeted`] from a prior partial result
+/// (digest-verified; the checkpoint counts cluster-step barriers).
+pub fn resume_partitioned_budgeted(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+    mem: Memory,
+    checkpoint: &Checkpoint,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
+    check_resume(&mem, checkpoint)?;
+    partitioned_from(
+        spec,
+        clusters,
+        n,
+        m,
+        mem,
+        checkpoint.completed_barriers,
+        checkpoint.stats,
+        meter,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn partitioned_from(
+    spec: &FusedSpec,
+    clusters: &[Vec<mdf_graph::NodeId>],
+    n: i64,
+    m: i64,
+    mut mem: Memory,
+    start: u64,
+    mut stats: ExecStats,
+    meter: &mut BudgetMeter,
+) -> Result<RunOutcome<Memory>, MdfError> {
     let body = body_order_typed(spec)?;
-    let mut mem = Memory::for_program_budgeted(&spec.program, n, m, 0, meter)?;
-    let mut stats = ExecStats::default();
     let orange = spec.outer_range(n);
     let irange = spec.inner_range(m);
+    let mut barrier: u64 = 0;
     for fi in orange.lo..=orange.hi {
-        meter.check_deadline()?;
         for cluster in clusters {
+            let this = barrier;
+            barrier += 1;
+            if this < start {
+                continue;
+            }
+            if let Some(partial) = barrier_gate(meter, &mem, this, stats)? {
+                return Ok(partial);
+            }
             let members: Vec<usize> = body
                 .iter()
                 .copied()
@@ -695,7 +1022,7 @@ pub fn run_partitioned_budgeted(
             meter.charge_iterations(stats.stmt_instances - before)?;
         }
     }
-    Ok((mem, stats))
+    Ok(RunOutcome::Complete { mem, stats })
 }
 
 #[cfg(test)]
@@ -763,8 +1090,10 @@ mod budgeted_tests {
         let spec = FusedSpec::unretimed(p.clone());
         let mut meter = Budget::unlimited().meter();
         let (reference, _) = run_original(&p, 8, 8);
-        let (fused, _) =
-            run_fused_ordered_budgeted(&spec, 8, 8, RowOrder::Ascending, &mut meter).unwrap();
+        let (fused, _) = run_fused_ordered_budgeted(&spec, 8, 8, RowOrder::Ascending, &mut meter)
+            .unwrap()
+            .into_complete()
+            .unwrap();
         assert_ne!(fused, reference);
     }
 }

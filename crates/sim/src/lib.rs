@@ -14,7 +14,10 @@
 //! * [`cache`] — set-associative LRU cache simulation measuring the
 //!   data-locality benefit of fusion (the paper's Section 2 motivation);
 //! * [`parallel`] — Rayon execution of certified-DOALL fused loops on real
-//!   threads (buffered writes + per-iteration overlays; no `unsafe`).
+//!   threads (buffered writes + per-iteration overlays; no `unsafe`);
+//! * [`recover`] — checkpoint/resume substrate and the supervising
+//!   executor (barrier-granular snapshots, deterministic retry with
+//!   backoff, typed partial reports).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ pub mod exec_plan;
 pub mod interp;
 pub mod machine;
 pub mod parallel;
+pub mod recover;
 pub mod spaceviz;
 pub mod traced;
 
@@ -34,9 +38,11 @@ pub use cache::{cache_fused, cache_original, Cache, CacheConfig, CacheStats};
 pub use doall_check::{check_hyperplanes_doall, check_rows_doall, DoallViolation};
 pub use exec_plan::{
     align_partial_to_program, align_plan_to_program, check_partial_budgeted, check_plan,
-    check_plan_budgeted, run_fused, run_fused_desc, run_fused_ordered, run_fused_ordered_budgeted,
-    run_partitioned, run_partitioned_budgeted, run_wavefront, run_wavefront_budgeted, RowOrder,
-    SimError, SimReport,
+    check_plan_budgeted, resume_fused_ordered_budgeted, resume_fused_supervised,
+    resume_partitioned_budgeted, resume_wavefront_budgeted, resume_wavefront_supervised, run_fused,
+    run_fused_desc, run_fused_ordered, run_fused_ordered_budgeted, run_fused_supervised,
+    run_partitioned, run_partitioned_budgeted, run_wavefront, run_wavefront_budgeted,
+    run_wavefront_supervised, RowOrder, SimError, SimReport,
 };
 pub use interp::{eval_expr, run_original, run_original_budgeted, ExecStats, Memory};
 pub use machine::{
@@ -46,6 +52,10 @@ pub use machine::{
 pub use parallel::{
     run_fused_rayon, run_partitioned_rayon, run_wavefront_rayon, try_run_fused_rayon,
     try_run_partitioned_rayon, try_run_wavefront_rayon,
+};
+pub use recover::{
+    check_resume, deadline_expired, supervise_run, Checkpoint, RecoveryStats, RetryPolicy,
+    RunOutcome, Snapshot, SupervisedOutcome,
 };
 pub use spaceviz::{render_row_space, render_wavefront_space};
 pub use traced::{run_fused_ordered_traced, run_original_traced, run_wavefront_traced};

@@ -15,6 +15,7 @@ use mdf_trace::Span;
 
 use crate::exec_plan::{run_fused_ordered_budgeted, run_wavefront_budgeted, RowOrder};
 use crate::interp::{run_original_budgeted, ExecStats, Memory};
+use crate::recover::RunOutcome;
 
 fn report(span: &Span, stats: &ExecStats) {
     span.add("sim.barriers", stats.barriers);
@@ -34,7 +35,8 @@ pub fn run_original_traced(
     Ok(out)
 }
 
-/// As [`run_fused_ordered_budgeted`], reporting the stats onto `span`.
+/// As [`run_fused_ordered_budgeted`], reporting the stats accumulated so
+/// far (final on complete runs) onto `span`.
 pub fn run_fused_ordered_traced(
     spec: &FusedSpec,
     n: i64,
@@ -42,13 +44,14 @@ pub fn run_fused_ordered_traced(
     order: RowOrder,
     meter: &mut BudgetMeter,
     span: &Span,
-) -> Result<(Memory, ExecStats), MdfError> {
+) -> Result<RunOutcome<Memory>, MdfError> {
     let out = run_fused_ordered_budgeted(spec, n, m, order, meter)?;
-    report(span, &out.1);
+    report(span, &out.stats());
     Ok(out)
 }
 
-/// As [`run_wavefront_budgeted`], reporting the stats onto `span`.
+/// As [`run_wavefront_budgeted`], reporting the stats accumulated so far
+/// (final on complete runs) onto `span`.
 pub fn run_wavefront_traced(
     spec: &FusedSpec,
     wavefront: Wavefront,
@@ -56,9 +59,9 @@ pub fn run_wavefront_traced(
     m: i64,
     meter: &mut BudgetMeter,
     span: &Span,
-) -> Result<(Memory, ExecStats), MdfError> {
+) -> Result<RunOutcome<Memory>, MdfError> {
     let out = run_wavefront_budgeted(spec, wavefront, n, m, meter)?;
-    report(span, &out.1);
+    report(span, &out.stats());
     Ok(out)
 }
 

@@ -39,4 +39,11 @@ rm -rf "$profile_out"
 echo "==> fuzz self-test (fault injection must be caught)"
 ./target/release/mdfuse fuzz --cases 50 --seed 1 --inject-broken-retiming >/dev/null
 
+echo "==> chaos smoke (fixed-seed fault sweep, schema-validated)"
+chaos_out=$(mktemp -d)
+./target/release/mdfuse chaos --seed 1 \
+  --out "$chaos_out/CHAOS_sweep.json" >/dev/null
+./target/release/mdfuse chaos --check "$chaos_out/CHAOS_sweep.json"
+rm -rf "$chaos_out"
+
 echo "All checks passed."

@@ -21,6 +21,7 @@
 //! | [`analysis`] | `mdf-analyze` | static race certifier, certificate checker, DSL lints |
 //! | [`kernel`] | `mdf-kernel` | compiled execution engine: bytecode lowering, tiled in-place steps |
 //! | [`trace`] | `mdf-trace` | structured tracing: span trees, phase counters, profile emission |
+//! | [`chaos`] | `mdf-chaos` | deterministic fault injection: seeded fault plans, named sites |
 //! | [`baselines`] | `mdf-baselines` | direct fusion, shift-and-peel, no-fusion |
 //! | [`gen`] | `mdf-gen` | random workloads and the E1–E5 experiment suite |
 //!
@@ -46,6 +47,7 @@
 
 pub use mdf_analyze as analysis;
 pub use mdf_baselines as baselines;
+pub use mdf_chaos as chaos;
 pub use mdf_constraint as constraint;
 pub use mdf_core as core;
 pub use mdf_gen as gen;

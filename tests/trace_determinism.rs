@@ -156,6 +156,8 @@ fn assert_tracing_is_invisible(p: &Program, n: i64, m: i64) -> bool {
             let ((tmem, tstats), _) = traced(|s| {
                 run_fused_ordered_traced(&spec, n, m, RowOrder::Ascending, &mut budget.meter(), s)
                     .expect("unbudgeted")
+                    .into_complete()
+                    .expect("unlimited budget cannot stop early")
             });
             assert_eq!(
                 imem.fingerprint(),
@@ -170,6 +172,8 @@ fn assert_tracing_is_invisible(p: &Program, n: i64, m: i64) -> bool {
             let ((tmem, tstats), _) = traced(|s| {
                 run_wavefront_traced(&spec, *wavefront, n, m, &mut budget.meter(), s)
                     .expect("unbudgeted")
+                    .into_complete()
+                    .expect("unlimited budget cannot stop early")
             });
             assert_eq!(
                 imem.fingerprint(),
