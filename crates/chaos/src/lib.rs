@@ -107,6 +107,27 @@ pub const SITES: &[SiteInfo] = &[
         name: "kernel.chunk.mid",
         kinds: &[FaultKind::WorkerPanic],
     },
+    // Service-layer sites (`mdf-service`). Connection-handling faults are
+    // panics: the daemon must isolate them per connection (typed error or
+    // close, never a wedge or a dead acceptor). The cache site corrupts a
+    // cached plan in place; retrieval-time revalidation must reject the
+    // poisoned entry and fall back to fresh planning.
+    SiteInfo {
+        name: "service.accept",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "service.read",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "service.write",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "service.cache",
+        kinds: &[FaultKind::CorruptRetiming],
+    },
 ];
 
 /// Looks a site up in [`SITES`].

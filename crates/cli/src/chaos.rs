@@ -21,6 +21,16 @@
 //! --check FILE` re-validates a written report with the same
 //! dependency-free JSON parser that backs `profile-check`, so CI can
 //! gate on the artifact without trusting the producer.
+//!
+//! A second phase sweeps the **daemon** fault sites (`service.accept`,
+//! `service.read`, `service.write`, `service.cache`): each case boots an
+//! in-process chaos-enabled [`mdf_service::Server`] on a private socket,
+//! arms the single fault, and drives real client traffic with
+//! retry-once semantics. The contract mirrors the executor sweep — a
+//! dropped connection or typed `Internal` error followed by a successful
+//! retry is **recovered**, a typed error with the daemon still
+//! answering is **detected**, and a hung client, dead daemon, or
+//! divergent fingerprint fails the sweep.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -34,6 +44,8 @@ use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
 use mdf_kernel::{plan_mode, CompiledKernel, ExecMode};
+use mdf_service::proto::{ErrCode, Response, Submit};
+use mdf_service::{Client, Engine, Server, ServiceConfig};
 use mdf_sim::{
     resume_fused_supervised, resume_wavefront_supervised, run_fused_ordered, run_fused_supervised,
     run_original, run_wavefront, run_wavefront_supervised, ExecStats, RecoveryStats, RetryPolicy,
@@ -457,6 +469,177 @@ fn partial_class<M>(
     }
 }
 
+/// Requests per service case: enough that every daemon site is reachable
+/// at trigger 2 (the cache site needs one populating miss first).
+const SERVICE_REQUESTS: u64 = 3;
+
+/// What one client-observed submission attempt produced.
+enum SubmitOutcome {
+    /// `Done` with this fingerprint.
+    Done(u64),
+    /// A typed service error.
+    Typed(ErrCode),
+    /// The connection dropped or the read timed out.
+    Transport(String),
+}
+
+/// One connect-submit-close round trip against a live daemon.
+fn one_submit(socket: &std::path::Path, source: &str, i: u64) -> SubmitOutcome {
+    let mut client = match Client::connect(socket) {
+        Ok(c) => c,
+        Err(e) => return SubmitOutcome::Transport(format!("connect: {e}")),
+    };
+    let engine = if i.is_multiple_of(2) {
+        Engine::Kernel
+    } else {
+        Engine::Interp
+    };
+    match client.submit(Submit {
+        engine,
+        n: SWEEP_N,
+        m: SWEEP_M,
+        deadline_ms: 30_000,
+        source: source.to_string(),
+    }) {
+        Ok(Response::Done(done)) => SubmitOutcome::Done(done.fingerprint),
+        Ok(Response::Err(e)) => SubmitOutcome::Typed(e.code),
+        Ok(other) => SubmitOutcome::Transport(format!("unexpected response: {other:?}")),
+        Err(e) => SubmitOutcome::Transport(e.to_string()),
+    }
+}
+
+/// Drives `SERVICE_REQUESTS` submissions with retry-once semantics and
+/// classifies what the client observed. `retries` counts the retries the
+/// client needed (folded into the sweep's recovery counters).
+fn drive_service(socket: &std::path::Path, source: &str, want: u64, retries: &mut u64) -> Class {
+    for i in 0..SERVICE_REQUESTS {
+        let mut last_typed: Option<ErrCode> = None;
+        let mut last_transport: Option<String> = None;
+        let mut landed = false;
+        // Faults are one-shot, so one retry is the recovery contract.
+        for attempt in 0..2 {
+            if attempt > 0 {
+                *retries += 1;
+            }
+            match one_submit(socket, source, i) {
+                SubmitOutcome::Done(fp) if fp == want => {
+                    landed = true;
+                    break;
+                }
+                SubmitOutcome::Done(fp) => {
+                    return Class::WrongAnswer(format!(
+                        "request {i}: fingerprint {fp:#x} != original {want:#x}"
+                    ));
+                }
+                SubmitOutcome::Typed(code) => last_typed = Some(code),
+                SubmitOutcome::Transport(detail) => last_transport = Some(detail),
+            }
+        }
+        if landed {
+            continue;
+        }
+        // Both attempts failed. The daemon must still be answering —
+        // otherwise the fault took the whole service down.
+        let alive = Client::connect(socket).is_ok_and(|mut c| c.ping().is_ok());
+        if !alive {
+            return Class::UnhandledPanic(format!(
+                "request {i}: daemon stopped answering after {}",
+                last_transport
+                    .or_else(|| last_typed.map(|c| c.name().to_string()))
+                    .unwrap_or_else(|| "an injected fault".into())
+            ));
+        }
+        if last_typed.is_some() {
+            return Class::Detected;
+        }
+        return Class::WrongAnswer(format!(
+            "request {i}: retry exhausted without a typed error: {}",
+            last_transport.unwrap_or_default()
+        ));
+    }
+    Class::Recovered
+}
+
+/// Runs one daemon-phase case: boot a chaos-enabled server, arm the
+/// fault, drive client traffic, classify, drain.
+fn service_case(
+    workload: &str,
+    source: &str,
+    want: u64,
+    site: &'static str,
+    kind: FaultKind,
+    trigger: u64,
+) -> CaseResult {
+    let socket = std::env::temp_dir().join(format!(
+        "mdfuse-chaos-{}-{}-{}-{trigger}.sock",
+        std::process::id(),
+        site.replace('.', "-"),
+        kind.name(),
+    ));
+    let mut config = ServiceConfig::new(&socket);
+    config.chaos = true;
+    config.workers = 2;
+    let mut recovery = RecoveryStats::default();
+    let (class, injected) = match Server::start(config) {
+        Err(e) => (
+            Class::UnhandledPanic(format!("server failed to start: {e}")),
+            0,
+        ),
+        Ok(server) => {
+            let guard = FaultPlan::single(site, kind, trigger).arm();
+            let mut class = drive_service(&socket, source, want, &mut recovery.retries);
+            // A cache poison that fired must have been *observed* as a
+            // rejected entry — silently surviving revalidation would mean
+            // the oracle is blind, even though the answer was right.
+            if site == "service.cache" && guard.injected() > 0 && class == Class::Recovered {
+                let rejected = Client::connect(&socket)
+                    .ok()
+                    .and_then(|mut c| c.stats().ok())
+                    .map_or(0, |s| s.cache_rejected);
+                if rejected == 0 {
+                    class = Class::WrongAnswer(
+                        "cache poison fired but no entry was rejected".to_string(),
+                    );
+                }
+            }
+            let injected = guard.injected();
+            drop(guard);
+            server.drain();
+            (class, injected)
+        }
+    };
+    CaseResult {
+        workload: format!("mdfused:{workload}"),
+        site,
+        kind,
+        trigger,
+        class,
+        injected,
+        recovery,
+    }
+}
+
+/// The daemon-level phase: every `service.*` site and kind, at the first
+/// and a second trigger, against a live server executing `program`.
+fn service_sweep(
+    name: &str,
+    program: &Program,
+    results: &mut Vec<CaseResult>,
+    names: &mut Vec<String>,
+) {
+    let source = mdf_ir::pretty::program_to_dsl(program);
+    let (omem, _) = run_original(program, SWEEP_N, SWEEP_M);
+    let want = omem.fingerprint();
+    for site in SITES.iter().filter(|s| s.name.starts_with("service.")) {
+        for kind in site.kinds {
+            for trigger in [1, 2] {
+                results.push(service_case(name, &source, want, site.name, *kind, trigger));
+            }
+        }
+    }
+    names.push(format!("mdfused:{name}"));
+}
+
 /// splitmix64, the workspace-standard seed chain.
 fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -586,10 +769,14 @@ fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>)
     let mut results = Vec::new();
     let mut names = Vec::new();
     let mut state = opts.seed ^ 0x6368_616f_7353_7765; // "chaosSwe"
+    let mut service_workload: Option<(String, Program)> = None;
     for (name, program) in workloads(&opts.examples)? {
         let Some(b) = baseline(&name, &program)? else {
             continue;
         };
+        if service_workload.is_none() {
+            service_workload = Some((name.clone(), program.clone()));
+        }
         let case_span = span.child("cases");
         let hits = probe(&b)?;
         for site in SITES {
@@ -603,6 +790,13 @@ fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>)
         names.push(b.name.clone());
         case_span.add("chaos.workloads", 1);
         case_span.finish();
+    }
+    // Phase two: the daemon sites, against a live server running the
+    // first fully-fused workload.
+    if let Some((name, program)) = service_workload {
+        let svc_span = span.child("service");
+        service_sweep(&name, &program, &mut results, &mut names);
+        svc_span.finish();
     }
     Ok((results, names))
 }
@@ -827,9 +1021,11 @@ mod tests {
             "{out}"
         );
         assert!(out.contains("every injected fault was recovered"), "{out}");
-        // The suite alone contributes 4 workloads; the examples add more.
+        // The suite alone contributes 4 workloads; the examples add more,
+        // and the daemon phase reports under its own workload name.
         assert!(out.contains("E1:"), "{out}");
         assert!(out.contains("figure2:"), "{out}");
+        assert!(out.contains("mdfused:E1:"), "{out}");
 
         // The written report validates...
         let path = opts.out.clone().unwrap();

@@ -25,6 +25,16 @@
 //! allocation refusal at a kernel site) through the supervising executor:
 //! the recovered run must be bit-identical to the uninterrupted one — a
 //! fourth, fault-tolerance oracle on top of the three differential ones.
+//!
+//! The fifth oracle surface is the `mdfused` wire protocol
+//! (`mdf_service::proto`): each frame case encodes a seeded random
+//! request/response, round-trips it (decode must reproduce the message
+//! exactly), then applies a batch of byte-level mutations — bit flips,
+//! truncations, length-prefix corruption, payload extension — and feeds
+//! the result to the decoders. Every mutation must land as either a
+//! clean decode of *some* message or a typed `ProtoError`; a panic (or
+//! an allocation driven by a hostile length prefix) is a reported
+//! failure.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -388,6 +398,132 @@ fn check_chaos_oracle(
     }
 }
 
+/// splitmix64 step for the frame mutator's own byte stream.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds a seeded random protocol request (weighted toward `Submit`,
+/// the only variant with interesting structure).
+fn random_request(state: &mut u64) -> mdf_service::Request {
+    use mdf_service::{Engine, Request, Submit};
+    match mix(state) % 6 {
+        0 => Request::Ping,
+        1 => Request::Stats,
+        2 => Request::Shutdown,
+        _ => {
+            let len = (mix(state) % 64) as usize;
+            let source: String = (0..len)
+                .map(|_| {
+                    // Printable ASCII plus newlines: valid UTF-8 by
+                    // construction, shaped like real program text.
+                    let c = (mix(state) % 96) as u8;
+                    if c == 95 {
+                        '\n'
+                    } else {
+                        (32 + c) as char
+                    }
+                })
+                .collect();
+            Request::Submit(Submit {
+                engine: if mix(state).is_multiple_of(2) {
+                    Engine::Kernel
+                } else {
+                    Engine::Interp
+                },
+                n: (mix(state) % 1000) as i64 - 500,
+                m: (mix(state) % 1000) as i64 - 500,
+                deadline_ms: mix(state) % 100_000,
+                source,
+            })
+        }
+    }
+}
+
+/// Fifth oracle: protocol frame round-trip + mutation robustness. Pure —
+/// exercises `mdf_service::proto`'s encoders and decoders directly, no
+/// daemon involved.
+fn check_frames(seed: u64) -> Result<(), CaseError> {
+    use mdf_service::proto::{read_frame, Request, Response};
+    let mut state = seed;
+    let req = random_request(&mut state);
+    let frame = req.encode();
+
+    // Round-trip: the framing layer and decoder must reproduce the
+    // message exactly.
+    let payload = match read_frame(&mut &frame[..]) {
+        Ok(Some(p)) => p,
+        other => return Err(fail(format!("encoded frame failed to read: {other:?}"))),
+    };
+    match Request::decode(&payload) {
+        Ok(decoded) if decoded == req => {}
+        Ok(decoded) => {
+            return Err(fail(format!(
+                "frame round-trip changed the message: {req:?} -> {decoded:?}"
+            )))
+        }
+        Err(e) => return Err(fail(format!("encoded frame failed to decode: {e}"))),
+    }
+
+    // Mutation batch: every corrupted frame must decode totally — some
+    // message, or a typed ProtoError. Never a panic.
+    for k in 0..24u64 {
+        let mut bytes = frame.clone();
+        match mix(&mut state) % 5 {
+            0 => {
+                // Bit flip anywhere (length prefix included).
+                let i = (mix(&mut state) as usize) % bytes.len();
+                bytes[i] ^= 1 << (mix(&mut state) % 8);
+            }
+            1 => {
+                // Truncate mid-frame (possibly mid-prefix).
+                let cut = (mix(&mut state) as usize) % bytes.len();
+                bytes.truncate(cut);
+            }
+            2 => {
+                // Hostile length prefix, up to u32::MAX.
+                let claim = (mix(&mut state) as u32).to_le_bytes();
+                bytes[..4].copy_from_slice(&claim);
+            }
+            3 => {
+                // Append garbage (trailing bytes past the framed length).
+                let extra = (mix(&mut state) % 16) as usize + 1;
+                for _ in 0..extra {
+                    bytes.push(mix(&mut state) as u8);
+                }
+            }
+            _ => {
+                // Overwrite a run of payload bytes with noise.
+                if bytes.len() > 5 {
+                    let start = 4 + (mix(&mut state) as usize) % (bytes.len() - 4);
+                    for b in bytes.iter_mut().skip(start) {
+                        *b = mix(&mut state) as u8;
+                    }
+                }
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Feed the whole mutated stream through the frame reader and
+            // both decoders; all of them must be total.
+            let mut cursor = &bytes[..];
+            while let Ok(Some(payload)) = read_frame(&mut cursor) {
+                let _ = Request::decode(&payload);
+                let _ = Response::decode(&payload);
+            }
+        }));
+        if outcome.is_err() {
+            return Err(fail(format!(
+                "protocol decoder panicked on mutated frame (mutation {k}, bytes {bytes:02x?})"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// The parallel interpretation a plan claims for its fused loop.
 fn plan_mode(plan: &FusionPlan) -> ParallelMode {
     match plan {
@@ -614,7 +750,7 @@ fn reproducer_text(g: &Mldg) -> String {
     )
 }
 
-/// Runs one case; `kind` cycles through the four workload classes.
+/// Runs one case; `kind` cycles through the five workload classes.
 fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdict, CaseError> {
     let cfg = gen_cfg(seed);
     match kind {
@@ -670,7 +806,7 @@ fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdi
                 budget_trip => budget_trip,
             })
         }
-        _ => {
+        3 => {
             let pcfg = ProgramGenConfig {
                 loops: 2 + (seed % 3) as usize,
                 reads_per_loop: 1 + (seed / 3 % 2) as usize,
@@ -687,6 +823,14 @@ fn run_case(kind: u64, seed: u64, inject: bool, budget: &Budget) -> Result<Verdi
                     )))
                 })
         }
+        _ => catch_unwind(AssertUnwindSafe(|| check_frames(seed)))
+            .unwrap_or_else(|payload| {
+                Err(fail(format!(
+                    "frame oracle panicked outside the decoder: {}",
+                    crate::panic_message(payload)
+                )))
+            })
+            .map(|()| Verdict::default()),
     }
 }
 
@@ -713,13 +857,13 @@ fn program_case(
 /// Entry point for `mdfuse fuzz`.
 pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> {
     let _quiet = QuietPanics::new();
-    let mut kind_counts = [0u64; 4];
+    let mut kind_counts = [0u64; 5];
     let mut differential = 0u64;
     let mut caught = 0u64;
     let mut caught_graph: Option<Mldg> = None;
 
     for c in 0..opts.cases {
-        let kind = c % 4;
+        let kind = c % 5;
         let seed = derive_seed(opts.seed, c);
         kind_counts[kind as usize] += 1;
         match run_case(kind, seed, opts.inject_broken_retiming, budget) {
@@ -739,7 +883,8 @@ pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> 
                 message,
                 reproducer,
             }) => {
-                let kind_name = ["legal", "acyclic", "infeasible", "program"][kind as usize];
+                let kind_name =
+                    ["legal", "acyclic", "infeasible", "program", "frame"][kind as usize];
                 let mut out =
                     format!("fuzz case {c} ({kind_name}, seed {seed:#x}) failed: {message}");
                 if let Some(r) = reproducer {
@@ -770,9 +915,15 @@ pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> 
 
     Ok(format!(
         "fuzz: {} cases (seed {}): all passed \
-         ({} legal, {} acyclic, {} infeasible, {} program; {differential} differential run(s), \
-         each replayed under an injected fault)\n",
-        opts.cases, opts.seed, kind_counts[0], kind_counts[1], kind_counts[2], kind_counts[3],
+         ({} legal, {} acyclic, {} infeasible, {} program, {} frame; \
+         {differential} differential run(s), each replayed under an injected fault)\n",
+        opts.cases,
+        opts.seed,
+        kind_counts[0],
+        kind_counts[1],
+        kind_counts[2],
+        kind_counts[3],
+        kind_counts[4],
     ))
 }
 

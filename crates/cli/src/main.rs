@@ -40,6 +40,7 @@ mod bench;
 mod chaos;
 mod fuzz;
 mod profile;
+mod service_cmd;
 
 /// A CLI failure, classified for the exit code.
 #[derive(Debug)]
@@ -428,6 +429,14 @@ const USAGE: &str =
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
        mdfuse chaos [--seed S] [--json] [--out PATH] [--check PATH]
                     [--examples DIR] [--profile[=PATH]]
+       mdfuse serve <socket> [--workers N] [--queue N] [--cache-cap N]
+                    [--inject-chaos]
+       mdfuse client <socket> <ping|stats|shutdown>
+       mdfuse client <socket> submit <file> [n] [m] [--engine E]
+                    [--deadline-ms MS]
+       mdfuse loadgen [--socket PATH] [--requests N] [--concurrency C]
+                    [--mode closed|open] [--rps R] [--seed S] [--json]
+                    [--out PATH] [--check PATH] [--examples DIR]
        mdfuse profile-check <file>
 
 options:
@@ -438,8 +447,18 @@ options:
   --quick            bench: small bounds, one repetition (CI smoke shape)
   --out PATH         bench, chaos: also write the JSON report to PATH
   --check PATH       bench, chaos: validate an existing report and exit
-  --examples DIR     chaos: directory of .mdf examples to sweep
+  --examples DIR     chaos, loadgen: directory of .mdf examples
                      (default examples/dsl; skipped when absent)
+  --workers N        serve: concurrent submissions (default 4)
+  --queue N          serve: admission queue depth (default 8)
+  --cache-cap N      serve: plan cache capacity (default 64)
+  --inject-chaos     serve: arm the service.* fault sites (testing only)
+  --socket PATH      loadgen: drive an external daemon (default: boot an
+                     in-process one on a temp socket)
+  --requests N       loadgen: total submissions (default 120)
+  --concurrency C    loadgen: client threads (default 4)
+  --mode M           loadgen: closed (back-to-back) or open (fixed-rate)
+  --rps R            loadgen: open-loop arrival rate (default 200)
   --profile[=PATH]   run, bench, analyze, chaos: write a schema-versioned
                      JSONL profile (default trace.jsonl) and print a phase
                      summary on stderr; validate with `mdfuse profile-check`
@@ -465,6 +484,7 @@ struct Opts {
     fuzz: fuzz::FuzzOpts,
     bench: bench::BenchOpts,
     chaos: chaos::ChaosOpts,
+    service: service_cmd::ServiceOpts,
 }
 
 /// The value following a `--flag VALUE` pair, or a usage error.
@@ -491,6 +511,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
         fuzz: fuzz::FuzzOpts::default(),
         bench: bench::BenchOpts::default(),
         chaos: chaos::ChaosOpts::default(),
+        service: service_cmd::ServiceOpts::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -504,20 +525,40 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 let seed = next_u64(&mut it, "--seed")?;
                 opts.fuzz.seed = seed;
                 opts.chaos.seed = seed;
+                opts.service.seed = seed;
             }
             "--inject-broken-retiming" => opts.fuzz.inject_broken_retiming = true,
             "--engine" => opts.engine = next_value(&mut it, "--engine")?.to_string(),
             "--out" => {
                 let path = next_value(&mut it, "--out")?.to_string();
                 opts.bench.out = Some(path.clone());
-                opts.chaos.out = Some(path);
+                opts.chaos.out = Some(path.clone());
+                opts.service.out = Some(path);
             }
             "--check" => {
                 let path = next_value(&mut it, "--check")?.to_string();
                 opts.bench.check = Some(path.clone());
-                opts.chaos.check = Some(path);
+                opts.chaos.check = Some(path.clone());
+                opts.service.check = Some(path);
             }
-            "--examples" => opts.chaos.examples = next_value(&mut it, "--examples")?.to_string(),
+            "--examples" => {
+                let dir = next_value(&mut it, "--examples")?.to_string();
+                opts.chaos.examples = dir.clone();
+                opts.service.examples = dir;
+            }
+            "--workers" => opts.service.workers = next_u64(&mut it, "--workers")? as usize,
+            "--queue" => opts.service.queue_depth = next_u64(&mut it, "--queue")? as usize,
+            "--cache-cap" => {
+                opts.service.cache_capacity = next_u64(&mut it, "--cache-cap")? as usize
+            }
+            "--inject-chaos" => opts.service.inject_chaos = true,
+            "--socket" => opts.service.socket = Some(next_value(&mut it, "--socket")?.to_string()),
+            "--requests" => opts.service.requests = next_u64(&mut it, "--requests")?,
+            "--concurrency" => {
+                opts.service.concurrency = next_u64(&mut it, "--concurrency")? as usize
+            }
+            "--mode" => opts.service.mode = next_value(&mut it, "--mode")?.to_string(),
+            "--rps" => opts.service.rps = next_u64(&mut it, "--rps")?,
             "--profile" => opts.profile = Some(profile::DEFAULT_PROFILE_PATH.to_string()),
             f if f.starts_with("--profile=") => {
                 let path = &f["--profile=".len()..];
@@ -575,6 +616,11 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         }
         [cmd] if cmd == "fuzz" => fuzz::run(&opts.fuzz, &budget),
         [cmd] if cmd == "chaos" => chaos::run(&opts.chaos, opts.json, &root),
+        [cmd] if cmd == "loadgen" => service_cmd::loadgen(&opts.service, opts.json),
+        [cmd, socket] if cmd == "serve" => service_cmd::serve(socket, &opts.service),
+        [cmd, socket, action, rest @ ..] if cmd == "client" => {
+            service_cmd::client(socket, action, rest, &opts.engine, opts.deadline_ms)
+        }
         [cmd, path] if cmd == "profile-check" => profile::check_file(path),
         [cmd, path, rest @ ..] => {
             if cmd == "lint" {

@@ -1,0 +1,735 @@
+//! `mdfuse serve`, `mdfuse client`, and `mdfuse loadgen`: the CLI face
+//! of the `mdfused` daemon (`mdf-service`).
+//!
+//! * `serve` runs the daemon in the foreground until a client sends
+//!   `Shutdown`, then drains gracefully and prints the flushed stats.
+//! * `client` is a one-shot protocol client: ping, stats, shutdown, or
+//!   submit a program/graph file.
+//! * `loadgen` drives a seeded request mix over the DSL example
+//!   workloads — against an external daemon (`--socket`) or an
+//!   in-process one it boots itself — and emits the schema-versioned
+//!   `BENCH_service.json` report (p50/p99 latency, throughput, cache
+//!   hit rate, overload rejections, recoveries). Every completed
+//!   request's fingerprint is checked against a direct `run_original`
+//!   of the same workload, so the load test doubles as a correctness
+//!   oracle. `--check` re-validates a committed report with the
+//!   dependency-free JSON reader.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mdf_graph::MdfError;
+use mdf_service::proto::{ErrCode, Response, ServiceStats, Submit};
+use mdf_service::{Client, Engine, Server, ServiceConfig};
+use mdf_trace::json::{escape as json_escape, parse as parse_json, Json};
+
+use crate::CliError;
+
+/// Version stamp of the `BENCH_service.json` schema.
+const SCHEMA_VERSION: u64 = 1;
+
+/// Options for `serve`, `client`, and `loadgen`.
+pub(crate) struct ServiceOpts {
+    /// `serve`: concurrent submissions.
+    pub workers: usize,
+    /// `serve`: admission queue depth.
+    pub queue_depth: usize,
+    /// `serve`: plan-cache capacity.
+    pub cache_capacity: usize,
+    /// `serve`: arm the `service.*` chaos sites (testing only).
+    pub inject_chaos: bool,
+    /// `loadgen`: external daemon socket (in-process daemon when unset).
+    pub socket: Option<String>,
+    /// `loadgen`: total submissions.
+    pub requests: u64,
+    /// `loadgen`: closed-loop client threads.
+    pub concurrency: usize,
+    /// `loadgen`: `closed` (back-to-back) or `open` (fixed-rate).
+    pub mode: String,
+    /// `loadgen`: open-loop arrival rate, requests/second.
+    pub rps: u64,
+    /// Shared with bench/chaos: write the JSON report here.
+    pub out: Option<String>,
+    /// Shared with bench/chaos: validate an existing report and exit.
+    pub check: Option<String>,
+    /// Workload directory (`.mdf` DSL examples).
+    pub examples: String,
+    /// Seed for the request mix.
+    pub seed: u64,
+}
+
+impl Default for ServiceOpts {
+    fn default() -> Self {
+        ServiceOpts {
+            workers: 4,
+            queue_depth: 8,
+            cache_capacity: 64,
+            inject_chaos: false,
+            socket: None,
+            requests: 120,
+            concurrency: 4,
+            mode: "closed".to_string(),
+            rps: 200,
+            out: None,
+            check: None,
+            examples: "examples/dsl".to_string(),
+            seed: 0,
+        }
+    }
+}
+
+/// splitmix64, the workspace-standard deterministic mix.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// serve
+
+/// Entry point for `mdfuse serve <socket>`.
+pub(crate) fn serve(socket: &str, opts: &ServiceOpts) -> Result<String, CliError> {
+    let mut config = ServiceConfig::new(socket);
+    config.workers = opts.workers.max(1);
+    config.queue_depth = opts.queue_depth;
+    config.cache_capacity = opts.cache_capacity.max(1);
+    config.chaos = opts.inject_chaos;
+    let server =
+        Server::start(config).map_err(|e| CliError::Usage(format!("cannot bind {socket}: {e}")))?;
+    // Foreground daemon: stdout is line-buffered status, shutdown comes
+    // from a client `Shutdown` message (`mdfuse client <socket> shutdown`).
+    println!(
+        "mdfused listening on {socket} ({} worker(s), queue {}, cache {})",
+        opts.workers, opts.queue_depth, opts.cache_capacity
+    );
+    while !server.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let stats = server.drain();
+    Ok(format!("mdfused drained\n{}", render_stats_human(&stats)))
+}
+
+fn render_stats_human(s: &ServiceStats) -> String {
+    format!(
+        "connections: {}\nrequests: {} ({} completed)\n\
+         cache: {} hit(s), {} miss(es), {} rejected\n\
+         rejections: {} overload, {} drain\n\
+         deadline expiries: {}\nrecoveries: {}\n\
+         proto errors: {}\npanics isolated: {}\n",
+        s.connections,
+        s.requests,
+        s.completed,
+        s.cache_hits,
+        s.cache_misses,
+        s.cache_rejected,
+        s.overload_rejections,
+        s.drain_rejections,
+        s.deadline_expiries,
+        s.recoveries,
+        s.proto_errors,
+        s.panics_isolated,
+    )
+}
+
+// ---------------------------------------------------------------------
+// client
+
+/// Entry point for `mdfuse client <socket> <action> [file] [n] [m]`.
+pub(crate) fn client(
+    socket: &str,
+    action: &str,
+    rest: &[String],
+    engine: &str,
+    deadline_ms: Option<u64>,
+) -> Result<String, CliError> {
+    let mut c = Client::connect(socket)
+        .map_err(|e| CliError::Usage(format!("cannot connect to {socket}: {e}")))?;
+    match action {
+        "ping" => {
+            c.ping()
+                .map_err(|e| CliError::Internal(format!("ping failed: {e}")))?;
+            Ok("pong\n".to_string())
+        }
+        "stats" => {
+            let s = c
+                .stats()
+                .map_err(|e| CliError::Internal(format!("stats failed: {e}")))?;
+            Ok(render_stats_human(&s))
+        }
+        "shutdown" => {
+            c.shutdown()
+                .map_err(|e| CliError::Internal(format!("shutdown failed: {e}")))?;
+            Ok("shutdown acknowledged; server is draining\n".to_string())
+        }
+        "submit" => {
+            let path = rest
+                .first()
+                .ok_or_else(|| CliError::Usage("client submit requires a file".into()))?;
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+            let parse_dim = |s: &String| {
+                s.parse::<i64>()
+                    .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
+            };
+            let n = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
+            let m = rest.get(2).map(parse_dim).transpose()?.unwrap_or(32);
+            let engine = Engine::parse(engine).ok_or_else(|| {
+                CliError::Usage(format!(
+                    "unknown engine {engine:?} (expected \"interp\" or \"kernel\")"
+                ))
+            })?;
+            let resp = c
+                .submit(Submit {
+                    engine,
+                    n,
+                    m,
+                    deadline_ms: deadline_ms.unwrap_or(0),
+                    source,
+                })
+                .map_err(|e| CliError::Internal(format!("submit failed: {e}")))?;
+            match resp {
+                Response::Done(o) => Ok(format!(
+                    "done: plan {} ({})\nfingerprint: {:#x}\n\
+                     barriers: {}\nstatement instances: {}\n\
+                     cache hit: {}\nrecovered: {}\n",
+                    o.plan,
+                    if o.executed { "executed" } else { "plan only" },
+                    o.fingerprint,
+                    o.barriers,
+                    o.stmt_instances,
+                    o.cache_hit,
+                    o.recovered,
+                )),
+                Response::Err(e) => Err(service_error_to_cli(&e)),
+                other => Err(CliError::Internal(format!("unexpected response {other:?}"))),
+            }
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown client action {other:?} (expected ping|stats|shutdown|submit)"
+        ))),
+    }
+}
+
+/// Maps a typed service error onto the CLI's exit-code taxonomy.
+fn service_error_to_cli(e: &mdf_service::ServiceError) -> CliError {
+    let msg = format!("service error ({}): {}", e.code.name(), e.message);
+    match e.code {
+        ErrCode::Malformed => CliError::Mdf(MdfError::invalid(msg)),
+        ErrCode::Infeasible => CliError::Mdf(MdfError::NotAcyclic),
+        ErrCode::Budget | ErrCode::Deadline => CliError::Mdf(MdfError::BudgetExceeded {
+            resource: mdf_graph::BudgetResource::WallClockMs,
+            limit: 0,
+            used: 0,
+        }),
+        _ => CliError::Internal(msg),
+    }
+}
+
+// ---------------------------------------------------------------------
+// loadgen
+
+struct Workload {
+    name: String,
+    source: String,
+    n: i64,
+    m: i64,
+    /// `run_original` fingerprint: what every completed request must match.
+    expected: u64,
+}
+
+fn load_workloads(dir: &str, n: i64, m: i64) -> Result<Vec<Workload>, CliError> {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| CliError::Usage(format!("cannot read workload dir {dir}: {e}")))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "mdf"))
+        .collect();
+    names.sort();
+    let mut out = Vec::new();
+    for path in names {
+        let source = std::fs::read_to_string(&path)
+            .map_err(|e| CliError::Usage(format!("cannot read {}: {e}", path.display())))?;
+        if !source.trim_start().starts_with("program") {
+            continue; // loadgen only submits executable programs
+        }
+        let parsed = mdf_ir::parse_program_spanned(&source)?;
+        let (mem, _) = mdf_sim::run_original(&parsed.program, n, m);
+        out.push(Workload {
+            name: path
+                .file_name()
+                .map(|f| f.to_string_lossy().into_owned())
+                .unwrap_or_else(|| path.display().to_string()),
+            source,
+            n,
+            m,
+            expected: mem.fingerprint(),
+        });
+    }
+    if out.is_empty() {
+        return Err(CliError::Usage(format!(
+            "no .mdf program workloads found in {dir}"
+        )));
+    }
+    Ok(out)
+}
+
+#[derive(Default)]
+struct LoadCounters {
+    completed: AtomicU64,
+    mismatches: AtomicU64,
+    typed_rejections: AtomicU64,
+    transport_errors: AtomicU64,
+}
+
+struct LoadReport {
+    requests: u64,
+    concurrency: usize,
+    mode: String,
+    seed: u64,
+    wall_s: f64,
+    completed: u64,
+    mismatches: u64,
+    typed_rejections: u64,
+    transport_errors: u64,
+    latencies_ms: Vec<f64>,
+    stats: ServiceStats,
+    workload_names: Vec<String>,
+}
+
+/// Entry point for `mdfuse loadgen`.
+pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError> {
+    if let Some(path) = &opts.check {
+        return check_file(path);
+    }
+    let workloads = Arc::new(load_workloads(&opts.examples, 24, 24)?);
+    // Either an external daemon or an in-process one on a temp socket.
+    let own_server = match &opts.socket {
+        Some(_) => None,
+        None => {
+            let path =
+                std::env::temp_dir().join(format!("mdfused-loadgen-{}.sock", std::process::id()));
+            let mut config = ServiceConfig::new(&path);
+            config.workers = opts.concurrency.max(2);
+            config.queue_depth = opts.concurrency * 2;
+            Some(
+                Server::start(config)
+                    .map_err(|e| CliError::Internal(format!("cannot boot daemon: {e}")))?,
+            )
+        }
+    };
+    let socket: PathBuf = match (&opts.socket, &own_server) {
+        (Some(s), _) => PathBuf::from(s),
+        (None, Some(server)) => server.socket_path().to_path_buf(),
+        (None, None) => unreachable!(),
+    };
+    // External daemon: diff its counters around the run.
+    let stats_before = match &own_server {
+        Some(_) => ServiceStats::default(),
+        None => probe_stats(&socket)?,
+    };
+
+    let counters = Arc::new(LoadCounters::default());
+    let latencies: Arc<Mutex<Vec<f64>>> = Arc::new(Mutex::new(Vec::new()));
+    let next_request = Arc::new(AtomicU64::new(0));
+    let open_loop = opts.mode == "open";
+    if !open_loop && opts.mode != "closed" {
+        return Err(CliError::Usage(format!(
+            "unknown loadgen mode {:?} (expected closed|open)",
+            opts.mode
+        )));
+    }
+    let interval =
+        Duration::from_secs_f64(opts.concurrency.max(1) as f64 / (opts.rps.max(1) as f64));
+
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for worker in 0..opts.concurrency.max(1) {
+        let socket = socket.clone();
+        let workloads = Arc::clone(&workloads);
+        let counters = Arc::clone(&counters);
+        let latencies = Arc::clone(&latencies);
+        let next_request = Arc::clone(&next_request);
+        let seed = opts.seed;
+        let total = opts.requests;
+        threads.push(std::thread::spawn(move || {
+            let mut client = None;
+            loop {
+                let idx = next_request.fetch_add(1, Ordering::SeqCst);
+                if idx >= total {
+                    return;
+                }
+                if open_loop {
+                    // Fixed-rate arrivals: each of C pacers dispatches
+                    // every C/rps seconds, phase-offset by worker index.
+                    std::thread::sleep(interval.mul_f64((worker % 4) as f64 * 0.25 + 1.0));
+                }
+                // Seeded request mix: workload and engine derive from
+                // (seed, request index) only — independent of timing.
+                let mut state = seed ^ (idx.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                let w = &workloads[(splitmix64(&mut state) % workloads.len() as u64) as usize];
+                let engine = if splitmix64(&mut state).is_multiple_of(2) {
+                    Engine::Kernel
+                } else {
+                    Engine::Interp
+                };
+                let c = match &mut client {
+                    Some(c) => c,
+                    None => match Client::connect(&socket) {
+                        Ok(c) => client.insert(c),
+                        Err(_) => {
+                            counters.transport_errors.fetch_add(1, Ordering::SeqCst);
+                            continue;
+                        }
+                    },
+                };
+                let started = Instant::now();
+                let resp = c.submit(Submit {
+                    engine,
+                    n: w.n,
+                    m: w.m,
+                    deadline_ms: 10_000,
+                    source: w.source.clone(),
+                });
+                match resp {
+                    Ok(Response::Done(done)) => {
+                        let lat = started.elapsed().as_secs_f64() * 1e3;
+                        counters.completed.fetch_add(1, Ordering::SeqCst);
+                        if done.fingerprint != w.expected {
+                            counters.mismatches.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if let Ok(mut l) = latencies.lock() {
+                            l.push(lat);
+                        }
+                    }
+                    Ok(Response::Err(_)) => {
+                        counters.typed_rejections.fetch_add(1, Ordering::SeqCst);
+                    }
+                    Ok(_) | Err(_) => {
+                        counters.transport_errors.fetch_add(1, Ordering::SeqCst);
+                        client = None; // reconnect on the next request
+                    }
+                }
+            }
+        }));
+    }
+    for t in threads {
+        let _ = t.join();
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let stats = match own_server {
+        Some(server) => server.drain(),
+        None => diff_stats(&stats_before, &probe_stats(&socket)?),
+    };
+    let mut latencies_ms = latencies.lock().map(|l| l.clone()).unwrap_or_default();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let report = LoadReport {
+        requests: opts.requests,
+        concurrency: opts.concurrency,
+        mode: opts.mode.clone(),
+        seed: opts.seed,
+        wall_s,
+        completed: counters.completed.load(Ordering::SeqCst),
+        mismatches: counters.mismatches.load(Ordering::SeqCst),
+        typed_rejections: counters.typed_rejections.load(Ordering::SeqCst),
+        transport_errors: counters.transport_errors.load(Ordering::SeqCst),
+        latencies_ms,
+        stats,
+        workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
+    };
+
+    let rendered = render_json(&report);
+    if let Some(path) = &opts.out {
+        std::fs::write(path, &rendered)
+            .map_err(|e| CliError::Usage(format!("cannot write {path}: {e}")))?;
+    }
+    if report.mismatches > 0 {
+        return Err(CliError::Internal(format!(
+            "{} fingerprint mismatch(es): service results diverged from run_original",
+            report.mismatches
+        )));
+    }
+    if json {
+        Ok(rendered)
+    } else {
+        let mut out = render_human(&report);
+        if let Some(path) = &opts.out {
+            let _ = writeln!(out, "wrote {path}");
+        }
+        Ok(out)
+    }
+}
+
+fn probe_stats(socket: &PathBuf) -> Result<ServiceStats, CliError> {
+    Client::connect(socket)
+        .map_err(|e| CliError::Usage(format!("cannot connect to {}: {e}", socket.display())))?
+        .stats()
+        .map_err(|e| CliError::Internal(format!("stats probe failed: {e}")))
+}
+
+fn diff_stats(before: &ServiceStats, after: &ServiceStats) -> ServiceStats {
+    ServiceStats {
+        connections: after.connections.saturating_sub(before.connections),
+        requests: after.requests.saturating_sub(before.requests),
+        completed: after.completed.saturating_sub(before.completed),
+        cache_hits: after.cache_hits.saturating_sub(before.cache_hits),
+        cache_misses: after.cache_misses.saturating_sub(before.cache_misses),
+        cache_rejected: after.cache_rejected.saturating_sub(before.cache_rejected),
+        overload_rejections: after
+            .overload_rejections
+            .saturating_sub(before.overload_rejections),
+        drain_rejections: after
+            .drain_rejections
+            .saturating_sub(before.drain_rejections),
+        deadline_expiries: after
+            .deadline_expiries
+            .saturating_sub(before.deadline_expiries),
+        recoveries: after.recoveries.saturating_sub(before.recoveries),
+        proto_errors: after.proto_errors.saturating_sub(before.proto_errors),
+        panics_isolated: after.panics_isolated.saturating_sub(before.panics_isolated),
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn hit_rate(s: &ServiceStats) -> f64 {
+    let total = s.cache_hits + s.cache_misses;
+    if total == 0 {
+        0.0
+    } else {
+        s.cache_hits as f64 / total as f64
+    }
+}
+
+fn render_json(r: &LoadReport) -> String {
+    let p50 = percentile(&r.latencies_ms, 0.50);
+    let p99 = percentile(&r.latencies_ms, 0.99);
+    let max = r.latencies_ms.last().copied().unwrap_or(0.0);
+    let rps = r.completed as f64 / r.wall_s.max(1e-9);
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+    let _ = writeln!(out, "  \"name\": \"BENCH_service\",");
+    let _ = writeln!(out, "  \"requests\": {},", r.requests);
+    let _ = writeln!(out, "  \"concurrency\": {},", r.concurrency);
+    let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&r.mode));
+    let _ = writeln!(out, "  \"seed\": {},", r.seed);
+    let _ = writeln!(out, "  \"completed\": {},", r.completed);
+    let _ = writeln!(out, "  \"mismatches\": {},", r.mismatches);
+    let _ = writeln!(out, "  \"typed_rejections\": {},", r.typed_rejections);
+    let _ = writeln!(out, "  \"transport_errors\": {},", r.transport_errors);
+    let _ = writeln!(out, "  \"throughput_rps\": {rps:.2},");
+    let _ = writeln!(
+        out,
+        "  \"latency_ms\": {{ \"p50\": {p50:.3}, \"p99\": {p99:.3}, \"max\": {max:.3} }},"
+    );
+    let _ = writeln!(out, "  \"cache_hit_rate\": {:.4},", hit_rate(&r.stats));
+    let _ = writeln!(out, "  \"cache_hits\": {},", r.stats.cache_hits);
+    let _ = writeln!(out, "  \"cache_misses\": {},", r.stats.cache_misses);
+    let _ = writeln!(out, "  \"cache_rejected\": {},", r.stats.cache_rejected);
+    let _ = writeln!(
+        out,
+        "  \"overload_rejections\": {},",
+        r.stats.overload_rejections
+    );
+    let _ = writeln!(out, "  \"drain_rejections\": {},", r.stats.drain_rejections);
+    let _ = writeln!(
+        out,
+        "  \"deadline_expiries\": {},",
+        r.stats.deadline_expiries
+    );
+    let _ = writeln!(out, "  \"recoveries\": {},", r.stats.recoveries);
+    let _ = writeln!(out, "  \"proto_errors\": {},", r.stats.proto_errors);
+    let _ = writeln!(out, "  \"panics_isolated\": {},", r.stats.panics_isolated);
+    let names: Vec<String> = r
+        .workload_names
+        .iter()
+        .map(|n| format!("\"{}\"", json_escape(n)))
+        .collect();
+    let _ = writeln!(out, "  \"workloads\": [{}]", names.join(", "));
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn render_human(r: &LoadReport) -> String {
+    let p50 = percentile(&r.latencies_ms, 0.50);
+    let p99 = percentile(&r.latencies_ms, 0.99);
+    let rps = r.completed as f64 / r.wall_s.max(1e-9);
+    format!(
+        "loadgen: {} request(s) over {} workload(s), {} {}-loop client(s), seed {}\n\
+         completed: {} (mismatches: {}, typed rejections: {}, transport errors: {})\n\
+         throughput: {rps:.1} req/s; latency p50 {p50:.2} ms, p99 {p99:.2} ms\n\
+         cache hit rate: {:.1}% ({} hit(s), {} miss(es), {} rejected)\n\
+         overload rejections: {}; recoveries: {}; deadline expiries: {}\n",
+        r.requests,
+        r.workload_names.len(),
+        r.concurrency,
+        r.mode,
+        r.seed,
+        r.completed,
+        r.mismatches,
+        r.typed_rejections,
+        r.transport_errors,
+        hit_rate(&r.stats) * 100.0,
+        r.stats.cache_hits,
+        r.stats.cache_misses,
+        r.stats.cache_rejected,
+        r.stats.overload_rejections,
+        r.stats.recoveries,
+        r.stats.deadline_expiries,
+    )
+}
+
+/// Validates a `BENCH_service.json` file against the schema (exit 3 on
+/// violation). Dependency-free: built on `mdf_trace::json`.
+pub(crate) fn check_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Usage(format!("cannot read {path}: {e}")))?;
+    let completed =
+        validate(&text).map_err(|m| CliError::Mdf(MdfError::invalid(format!("{path}: {m}"))))?;
+    Ok(format!(
+        "{path}: valid BENCH_service schema v{SCHEMA_VERSION} ({completed} completed request(s))\n"
+    ))
+}
+
+/// Returns the completed-request count on success.
+fn validate(text: &str) -> Result<u64, String> {
+    let doc = parse_json(text)?;
+    let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field {k:?}"));
+    match field("schema_version")?.num() {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        Some(v) => {
+            return Err(format!(
+                "unknown schema_version {v} (expected {SCHEMA_VERSION})"
+            ))
+        }
+        None => return Err("schema_version must be a number".into()),
+    }
+    if field("name")?.str_val() != Some("BENCH_service") {
+        return Err("name is not \"BENCH_service\"".into());
+    }
+    for k in [
+        "requests",
+        "concurrency",
+        "seed",
+        "completed",
+        "mismatches",
+        "typed_rejections",
+        "transport_errors",
+        "throughput_rps",
+        "cache_hits",
+        "cache_misses",
+        "cache_rejected",
+        "overload_rejections",
+        "drain_rejections",
+        "deadline_expiries",
+        "recoveries",
+        "proto_errors",
+        "panics_isolated",
+    ] {
+        if !field(k)?.num().is_some_and(|v| v >= 0.0) {
+            return Err(format!("{k} must be a non-negative number"));
+        }
+    }
+    let completed = field("completed")?.num().unwrap_or(0.0);
+    if completed < 1.0 {
+        return Err("a valid report must complete at least one request".into());
+    }
+    if field("mismatches")?.num() != Some(0.0) {
+        return Err("mismatches must be 0: the service diverged from run_original".into());
+    }
+    let lat = field("latency_ms")?;
+    for k in ["p50", "p99", "max"] {
+        if !lat.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+            return Err(format!("latency_ms.{k} must be a non-negative number"));
+        }
+    }
+    let hit_rate = field("cache_hit_rate")?
+        .num()
+        .ok_or("cache_hit_rate must be a number")?;
+    if !(0.0..=1.0).contains(&hit_rate) {
+        return Err("cache_hit_rate must be within [0, 1]".into());
+    }
+    if hit_rate < 0.9 {
+        return Err(format!(
+            "cache_hit_rate {hit_rate} below the 0.9 floor: repeat traffic is not hitting the plan cache"
+        ));
+    }
+    let workloads = field("workloads")?
+        .arr()
+        .ok_or("workloads must be an array")?;
+    if workloads.is_empty() {
+        return Err("workloads must be non-empty".into());
+    }
+    for w in workloads {
+        if w.str_val().is_none_or(str::is_empty) {
+            return Err("workloads entries must be non-empty strings".into());
+        }
+    }
+    Ok(completed as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> LoadReport {
+        LoadReport {
+            requests: 20,
+            concurrency: 2,
+            mode: "closed".into(),
+            seed: 7,
+            wall_s: 0.5,
+            completed: 20,
+            mismatches: 0,
+            typed_rejections: 0,
+            transport_errors: 0,
+            latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
+            stats: ServiceStats {
+                cache_hits: 15,
+                cache_misses: 1,
+                ..ServiceStats::default()
+            },
+            workload_names: vec!["figure2.mdf".into()],
+        }
+    }
+
+    #[test]
+    fn rendered_report_validates() {
+        let json = render_json(&report());
+        let completed = validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert_eq!(completed, 20);
+    }
+
+    #[test]
+    fn validator_rejects_mismatches_and_cold_cache() {
+        let mut r = report();
+        r.mismatches = 1;
+        assert!(validate(&render_json(&r)).is_err());
+        let mut r = report();
+        r.stats.cache_hits = 1;
+        r.stats.cache_misses = 9;
+        let err = validate(&render_json(&r)).unwrap_err();
+        assert!(err.contains("cache_hit_rate"), "{err}");
+    }
+
+    #[test]
+    fn percentile_handles_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[4.0], 0.99), 4.0);
+        let v: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&v, 0.50), 51.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+    }
+}

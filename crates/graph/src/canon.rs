@@ -1,0 +1,177 @@
+//! Canonical MLDG form and fingerprint.
+//!
+//! The service layer's plan cache keys entries by a digest of the client's
+//! graph. Two textually different submissions of the *same* graph — nodes
+//! or edges declared in a different order — must map to the same key, or
+//! repeat traffic misses the cache; worse, an order-*sensitive* key would
+//! resurrect the PR 2 class of bugs where graph-indexed artifacts were
+//! applied to textually-permuted realizations. So the digest is computed
+//! over a *canonical form*: node labels sorted, edges sorted by endpoint
+//! labels, dependence vectors in each set already sorted by construction
+//! ([`crate::mldg::DepSet`] keeps ascending lexicographic order).
+//!
+//! The fingerprint identifies graphs up to **label-preserving
+//! isomorphism**: declaration order never matters, label renamings always
+//! do. A 64-bit hash can collide; consumers that cache derived artifacts
+//! (e.g. retimings) must therefore *revalidate* the artifact against the
+//! requesting graph on every hit — `mdf-core`'s `verify_plan` makes any
+//! legal plan a correct plan, so a collision can cost a replan, never a
+//! wrong answer.
+
+use std::fmt::Write as _;
+
+use crate::mldg::Mldg;
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    bytes
+        .iter()
+        .fold(hash, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+}
+
+/// Renders `g` in a canonical text form: declaration-order independent,
+/// newline-separated, stable across processes.
+///
+/// Nodes are listed by sorted label; edges by sorted
+/// `(src label, dst label)` with their full dependence set (which
+/// [`crate::mldg::DepSet`] already keeps in ascending lexicographic
+/// order). Duplicate node labels (impossible via the text formats, which
+/// reject them, but representable programmatically) are kept and sorted
+/// together, so the rendering stays deterministic for every `Mldg`.
+pub fn canonical_form(g: &Mldg) -> String {
+    let mut labels: Vec<&str> = g.node_ids().map(|n| g.label(n)).collect();
+    labels.sort_unstable();
+    let mut out = String::new();
+    for l in &labels {
+        let _ = writeln!(out, "node {l}");
+    }
+    let mut edges: Vec<String> = g
+        .edge_ids()
+        .map(|e| {
+            let d = g.edge(e);
+            let mut line = format!("edge {} -> {} :", g.label(d.src), g.label(d.dst));
+            for v in g.deps(e).iter() {
+                let _ = write!(line, " {v}");
+            }
+            line
+        })
+        .collect();
+    edges.sort_unstable();
+    for e in &edges {
+        out.push_str(e);
+        out.push('\n');
+    }
+    out
+}
+
+/// A 64-bit FNV-1a digest of [`canonical_form`]: the plan-cache key.
+///
+/// Stable under node/edge declaration order by construction; see the
+/// module docs for the collision contract.
+pub fn canonical_fingerprint(g: &Mldg) -> u64 {
+    fnv1a(FNV_OFFSET, canonical_form(g).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::{figure14, figure2, figure8};
+    use crate::textfmt;
+    use crate::vec2::v2;
+
+    /// Rebuilds `g` with nodes declared in the order given by `perm`
+    /// (indices into the original node order) and edges declared in
+    /// reverse, with each edge's dependence vectors fed in reverse too.
+    fn permuted(g: &Mldg, perm: &[usize]) -> Mldg {
+        let ids: Vec<_> = g.node_ids().collect();
+        let mut h = Mldg::new();
+        let mut map = std::collections::HashMap::new();
+        for &i in perm {
+            map.insert(ids[i], h.add_node(g.label(ids[i])));
+        }
+        let mut edges: Vec<_> = g.edge_ids().collect();
+        edges.reverse();
+        for e in edges {
+            let d = g.edge(e);
+            let mut vs: Vec<_> = g.deps(e).iter().collect();
+            vs.reverse();
+            h.add_deps(map[&d.src], map[&d.dst], vs);
+        }
+        h
+    }
+
+    #[test]
+    fn fingerprint_is_permutation_invariant() {
+        for g in [figure2(), figure8(), figure14()] {
+            let n = g.node_count();
+            let fp = canonical_fingerprint(&g);
+            // Reversed order, rotated order, and identity.
+            let mut perms: Vec<Vec<usize>> = vec![
+                (0..n).collect(),
+                (0..n).rev().collect(),
+                (0..n).map(|i| (i + 1) % n).collect(),
+            ];
+            // A pairwise swap for good measure.
+            if n >= 2 {
+                let mut p: Vec<usize> = (0..n).collect();
+                p.swap(0, n - 1);
+                perms.push(p);
+            }
+            for perm in perms {
+                let h = permuted(&g, &perm);
+                assert_eq!(
+                    canonical_fingerprint(&h),
+                    fp,
+                    "declaration order changed the fingerprint (perm {perm:?})"
+                );
+                assert_eq!(canonical_form(&h), canonical_form(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_stable_under_textfmt_round_trip() {
+        let g = figure2();
+        let (g2, _) = textfmt::parse(&textfmt::to_text(&g, "fig2")).unwrap();
+        assert_eq!(canonical_fingerprint(&g2), canonical_fingerprint(&g));
+    }
+
+    #[test]
+    fn different_graphs_get_different_fingerprints() {
+        assert_ne!(
+            canonical_fingerprint(&figure2()),
+            canonical_fingerprint(&figure8())
+        );
+        // A changed dependence vector changes the key.
+        let mut g = Mldg::new();
+        let a = g.add_node("A");
+        let b = g.add_node("B");
+        g.add_dep(a, b, v2(1, 0));
+        let mut h = Mldg::new();
+        let a2 = h.add_node("A");
+        let b2 = h.add_node("B");
+        h.add_dep(a2, b2, v2(1, 1));
+        assert_ne!(canonical_fingerprint(&g), canonical_fingerprint(&h));
+        // Label renamings matter: the fingerprint is not graph-shape-only.
+        let mut r = Mldg::new();
+        let x = r.add_node("X");
+        let y = r.add_node("B");
+        r.add_dep(x, y, v2(1, 0));
+        assert_ne!(canonical_fingerprint(&g), canonical_fingerprint(&r));
+    }
+
+    #[test]
+    fn merged_edge_declarations_do_not_change_the_key() {
+        // One edge line with two vectors vs two edge lines merging into
+        // the same dependence set.
+        let (g, _) = textfmt::parse("mldg m\nnode A\nnode B\nedge A -> B : (1,0) (0,1)").unwrap();
+        let (h, _) =
+            textfmt::parse("mldg m\nnode B\nnode A\nedge A -> B : (0,1)\nedge A -> B : (1,0)")
+                .unwrap();
+        assert_eq!(canonical_fingerprint(&g), canonical_fingerprint(&h));
+    }
+}

@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 
 pub mod budget;
+pub mod canon;
 pub mod cycles;
 pub mod dot;
 pub mod error;
@@ -40,6 +41,7 @@ pub mod textfmt;
 pub mod vec2;
 
 pub use budget::{Budget, BudgetMeter};
+pub use canon::{canonical_fingerprint, canonical_form};
 pub use error::{BudgetResource, InfeasiblePhase, MdfError, WitnessWeight};
 pub use mldg::{DepSet, EdgeData, EdgeId, Mldg, NodeData, NodeId};
 pub use nvec::IVecN;

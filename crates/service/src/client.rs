@@ -1,0 +1,81 @@
+//! A blocking `mdfused` client.
+//!
+//! One connection, one request/response exchange at a time. Reads carry
+//! a timeout so a wedged daemon surfaces as a typed transport error on
+//! the client side, never a hang — the service contract is enforced from
+//! both ends.
+
+use std::io::Write as _;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::proto::{read_frame, ProtoError, Request, Response, ServiceStats, Submit};
+
+/// Default client-side read timeout. Generous relative to any service
+/// deadline: a response slower than this means the daemon is gone.
+pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A connected client session.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon at `socket`.
+    pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
+        let stream = UnixStream::connect(socket)?;
+        stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads its response.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ProtoError> {
+        self.stream
+            .write_all(&req.encode())
+            .map_err(|e| ProtoError::Io(e.to_string()))?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(ProtoError::Io("server closed the connection".into())),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ProtoError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Submits a program or graph; the caller matches on the response
+    /// (`Done` or a typed `Err`).
+    pub fn submit(&mut self, submit: Submit) -> Result<Response, ProtoError> {
+        self.request(&Request::Submit(submit))
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> Result<ServiceStats, ProtoError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Requests a graceful drain; returns once the server acknowledges.
+    pub fn shutdown(&mut self) -> Result<(), ProtoError> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(resp: &Response) -> ProtoError {
+    match resp {
+        Response::Err(e) => {
+            ProtoError::Io(format!("service error {}: {}", e.code.name(), e.message))
+        }
+        other => ProtoError::Io(format!("unexpected response {other:?}")),
+    }
+}

@@ -1,0 +1,42 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+//! # `mdf-service` — `mdfused`, fusion as a service
+//!
+//! A fault-tolerant daemon that plans, certifies, and executes loop
+//! fusion for many concurrent clients over a unix socket:
+//!
+//! * [`proto`] — the hand-rolled length-prefixed frame protocol, total
+//!   decoders, and typed [`proto::ServiceError`] taxonomy;
+//! * [`cache`] — the LRU plan cache keyed by
+//!   [`mdf_graph::canonical_fingerprint`], with mandatory revalidation
+//!   on every hit (collisions and poisoned entries cost a replan, never
+//!   a wrong answer);
+//! * [`server`] — the daemon: admission control with a bounded queue and
+//!   typed overload rejection, per-request deadlines on the shared
+//!   [`mdf_graph::Budget`] meter, supervised execution with checkpoint
+//!   *resume* (a faulted in-flight request picks up where it stopped),
+//!   panic isolation, and graceful drain;
+//! * [`client`] — a blocking client with timeouts on its side of the
+//!   contract too.
+//!
+//! Everything is plain `std`: threads, unix sockets, mutexes and
+//! condvars. The chaos sites `service.accept`, `service.read`,
+//! `service.write` and `service.cache` (see `mdf-chaos`) inject faults
+//! at each service layer; `mdfuse chaos` sweeps them and requires every
+//! one to land as *Recovered* or *Detected* — never a wrong answer or an
+//! unhandled panic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheLookup, PlanCache};
+pub use client::Client;
+pub use proto::{
+    Engine, ErrCode, Outcome, ProtoError, Request, Response, ServiceError, ServiceStats, Submit,
+    MAX_FRAME,
+};
+pub use server::{Server, ServiceConfig};

@@ -1,0 +1,895 @@
+//! The `mdfused` daemon: a unix-socket fusion service.
+//!
+//! One acceptor thread hands each connection to its own handler thread.
+//! Handlers read [`crate::proto`] frames with a polled, stall-bounded
+//! loop, decode requests, and answer them. The robustness contract:
+//!
+//! * **Admission control** — at most `workers` submissions execute at
+//!   once; up to `queue_depth` more wait on a condvar. Beyond that a
+//!   request is refused *immediately* with a typed `Overloaded` error
+//!   carrying a retry-after hint. The daemon never silently queues
+//!   unbounded work and a client is never left hanging.
+//! * **Deadlines** — every submission runs under a wall-clock [`Budget`];
+//!   the client's `deadline_ms` (or the server's default ceiling) maps
+//!   onto the same meter the planner and executors already honor.
+//! * **Supervised recovery** — execution goes through the PR 5
+//!   supervised runners. A faulted run that returns a `Partial` with
+//!   wall-clock left is *resumed from its checkpoint* rather than
+//!   redone; only a genuine deadline expiry surfaces as a typed
+//!   `Deadline` error.
+//! * **Panic isolation** — each message is handled inside
+//!   `catch_unwind`; a worker panic (including the injected
+//!   `service.accept` / `service.read` / `service.write` chaos faults)
+//!   costs one typed `Internal` error or one dropped connection, never
+//!   the daemon.
+//! * **Graceful drain** — [`Server::drain`] stops admission, lets
+//!   in-flight requests finish (bounded by their deadlines), gives
+//!   queued waiters a typed `Draining` rejection, joins every thread,
+//!   removes the socket and flushes the final stats snapshot.
+
+use std::io::Write as _;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use mdf_core::{plan_fusion_budgeted, DegradedPlan, FullParallelMethod, FusionPlan};
+use mdf_graph::{canonical_fingerprint, Budget, BudgetMeter, MdfError, Mldg};
+use mdf_ir::ast::Program;
+use mdf_ir::extract::extract_mldg;
+use mdf_ir::retgen::FusedSpec;
+use mdf_sim::{
+    deadline_expired, resume_fused_supervised, resume_wavefront_supervised, run_fused_supervised,
+    run_wavefront_supervised, ExecStats, RetryPolicy, RowOrder, SupervisedOutcome,
+};
+use mdf_trace::Tracer;
+
+use crate::cache::{CacheLookup, PlanCache};
+use crate::proto::{
+    check_frame_len, ErrCode, Outcome, ProtoError, Request, Response, ServiceError, ServiceStats,
+    Submit,
+};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Unix socket path to bind (removed on drain).
+    pub socket: PathBuf,
+    /// Maximum submissions executing concurrently.
+    pub workers: usize,
+    /// Maximum submissions waiting for a worker beyond the active set;
+    /// past this, admission refuses with `Overloaded`.
+    pub queue_depth: usize,
+    /// Plan-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Wall-clock ceiling applied when a client sends `deadline_ms: 0`.
+    pub default_deadline_ms: u64,
+    /// Execution threads per supervised run.
+    pub threads: usize,
+    /// Consult the `service.*` chaos sites (and run executions under
+    /// chaos-enabled budgets). Off in production; the sweep turns it on.
+    pub chaos: bool,
+    /// Trace sink for service spans and counters.
+    pub tracer: Tracer,
+}
+
+impl ServiceConfig {
+    /// Defaults: 4 workers, queue of 8, 64-entry cache, 10 s deadline
+    /// ceiling, 2 execution threads, chaos off, tracing off.
+    pub fn new(socket: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig {
+            socket: socket.into(),
+            workers: 4,
+            queue_depth: 8,
+            cache_capacity: 64,
+            default_deadline_ms: 10_000,
+            threads: 2,
+            chaos: false,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+/// How long a connection may stall *mid-frame* before the read is
+/// abandoned as [`ProtoError::Stalled`]. Idle time between frames is
+/// unbounded (clients may hold a session open).
+const STALL_GRACE: Duration = Duration::from_millis(2_000);
+
+/// Socket read timeout: the poll tick at which handlers notice drain.
+const READ_TICK: Duration = Duration::from_millis(50);
+
+/// Admission book-keeping under `Shared::adm`.
+#[derive(Default)]
+struct AdmState {
+    active: usize,
+    waiting: usize,
+}
+
+struct Shared {
+    config: ServiceConfig,
+    draining: AtomicBool,
+    stats: Mutex<ServiceStats>,
+    cache: Mutex<PlanCache>,
+    adm: Mutex<AdmState>,
+    adm_cv: Condvar,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A panic while holding one of our mutexes poisons it; the data it
+/// guards (counters, cache entries) stays structurally valid, so every
+/// lock site recovers the guard instead of cascading the panic.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Fires a `WorkerPanic` chaos fault at `site`, if one is armed. Called
+/// only inside `catch_unwind` scopes and never while holding a lock.
+fn chaos_panic(enabled: bool, site: &'static str) {
+    if enabled && mdf_chaos::hit(site) == Some(mdf_chaos::FaultKind::WorkerPanic) {
+        panic!("chaos: injected worker panic at {site}");
+    }
+}
+
+/// Holding one admission slot; releases and wakes a waiter on drop.
+struct Permit<'a> {
+    shared: &'a Shared,
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        let mut adm = lock_unpoisoned(&self.shared.adm);
+        adm.active = adm.active.saturating_sub(1);
+        drop(adm);
+        self.shared.adm_cv.notify_all();
+    }
+}
+
+fn acquire_permit(shared: &Shared) -> Result<Permit<'_>, ServiceError> {
+    let draining_err = || ServiceError {
+        code: ErrCode::Draining,
+        retry_after_ms: 0,
+        message: "server is draining and admits no new work".into(),
+    };
+    let mut adm = lock_unpoisoned(&shared.adm);
+    if shared.draining.load(Ordering::SeqCst) {
+        lock_unpoisoned(&shared.stats).drain_rejections += 1;
+        return Err(draining_err());
+    }
+    if adm.active < shared.config.workers {
+        adm.active += 1;
+        return Ok(Permit { shared });
+    }
+    if adm.waiting >= shared.config.queue_depth {
+        lock_unpoisoned(&shared.stats).overload_rejections += 1;
+        // Hint scales with the queue: a full queue of slow requests
+        // deserves a longer backoff than a momentary blip.
+        let hint = 25 * (adm.waiting as u64 + 1);
+        return Err(ServiceError {
+            code: ErrCode::Overloaded,
+            retry_after_ms: hint,
+            message: format!(
+                "admission queue full ({} active, {} waiting)",
+                adm.active, adm.waiting
+            ),
+        });
+    }
+    adm.waiting += 1;
+    loop {
+        let (next, timeout) = shared
+            .adm_cv
+            .wait_timeout(adm, READ_TICK)
+            .unwrap_or_else(|e| e.into_inner());
+        adm = next;
+        let _ = timeout;
+        if shared.draining.load(Ordering::SeqCst) {
+            adm.waiting = adm.waiting.saturating_sub(1);
+            lock_unpoisoned(&shared.stats).drain_rejections += 1;
+            return Err(draining_err());
+        }
+        if adm.active < shared.config.workers {
+            adm.waiting = adm.waiting.saturating_sub(1);
+            adm.active += 1;
+            return Ok(Permit { shared });
+        }
+    }
+}
+
+/// A running `mdfused` daemon. Dropping without [`Server::drain`] leaks
+/// the threads until process exit; callers should always drain.
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket and starts the acceptor.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
+        // A stale socket file from a crashed daemon would make bind fail.
+        let _ = std::fs::remove_file(&config.socket);
+        let listener = UnixListener::bind(&config.socket)?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            config,
+            draining: AtomicBool::new(false),
+            stats: Mutex::new(ServiceStats::default()),
+            adm: Mutex::new(AdmState::default()),
+            adm_cv: Condvar::new(),
+            handlers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || accept_loop(accept_shared, listener));
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The socket the daemon is serving on.
+    pub fn socket_path(&self) -> &Path {
+        &self.shared.config.socket
+    }
+
+    /// `true` once drain has been requested (by [`Server::drain`] or a
+    /// client `Shutdown` message).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        *lock_unpoisoned(&self.shared.stats)
+    }
+
+    /// Graceful shutdown: stop admitting, finish (or typed-reject)
+    /// everything in flight, join all threads, remove the socket, and
+    /// return the final stats snapshot.
+    pub fn drain(mut self) -> ServiceStats {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.adm_cv.notify_all();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                lock_unpoisoned(&self.shared.handlers).drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        let _ = std::fs::remove_file(&self.shared.config.socket);
+        let span = self.shared.config.tracer.span("service.drain");
+        let stats = *lock_unpoisoned(&self.shared.stats);
+        span.add("requests", stats.requests);
+        span.add("completed", stats.completed);
+        span.add("recoveries", stats.recoveries);
+        span.finish();
+        stats
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: UnixListener) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                lock_unpoisoned(&shared.stats).connections += 1;
+                spawn_handler(Arc::clone(&shared), stream);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_handler(shared: Arc<Shared>, stream: UnixStream) {
+    let registry = Arc::clone(&shared);
+    let handle = std::thread::spawn(move || {
+        let result = catch_unwind(AssertUnwindSafe(|| handle_connection(&shared, stream)));
+        if result.is_err() {
+            // A panic that escaped the per-message isolation (e.g. the
+            // service.accept site, which fires before any framing): the
+            // connection drops, the daemon survives.
+            lock_unpoisoned(&shared.stats).panics_isolated += 1;
+        }
+    });
+    lock_unpoisoned(&registry.handlers).push(handle);
+}
+
+/// Reads one frame with the polled, stall-bounded loop. `Ok(None)` means
+/// the connection should close quietly (client EOF, or drain while idle
+/// between frames).
+fn read_frame_polled(
+    shared: &Shared,
+    stream: &mut UnixStream,
+) -> Result<Option<Vec<u8>>, ProtoError> {
+    use std::io::Read as _;
+    let mut prefix = [0u8; 4];
+    let mut have = 0usize;
+    let mut stall_start: Option<Instant> = None;
+    // Phase 1: the length prefix. Idle (have == 0) is unbounded unless
+    // draining; a partial prefix is subject to the stall grace.
+    loop {
+        match stream.read(&mut prefix[have..]) {
+            Ok(0) => {
+                if have == 0 {
+                    return Ok(None);
+                }
+                return Err(ProtoError::Truncated {
+                    expected: 4 - have,
+                    got: 0,
+                });
+            }
+            Ok(n) => {
+                have += n;
+                stall_start = None;
+                if have == 4 {
+                    break;
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if have == 0 {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        return Ok(None);
+                    }
+                    continue;
+                }
+                let s = *stall_start.get_or_insert_with(Instant::now);
+                if s.elapsed() > STALL_GRACE {
+                    return Err(ProtoError::Stalled {
+                        grace_ms: STALL_GRACE.as_millis() as u64,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    let len = u32::from_le_bytes(prefix);
+    check_frame_len(len)?;
+    let mut payload = vec![0u8; len as usize];
+    let mut filled = 0usize;
+    let mut stall_start: Option<Instant> = None;
+    while filled < payload.len() {
+        match stream.read(&mut payload[filled..]) {
+            Ok(0) => {
+                return Err(ProtoError::Truncated {
+                    expected: payload.len() - filled,
+                    got: filled,
+                })
+            }
+            Ok(n) => {
+                filled += n;
+                stall_start = None;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                let s = *stall_start.get_or_insert_with(Instant::now);
+                if s.elapsed() > STALL_GRACE {
+                    return Err(ProtoError::Stalled {
+                        grace_ms: STALL_GRACE.as_millis() as u64,
+                    });
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(ProtoError::Io(e.to_string())),
+        }
+    }
+    Ok(Some(payload))
+}
+
+fn write_response(stream: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
+    stream.write_all(&resp.encode())
+}
+
+fn handle_connection(shared: &Shared, mut stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    // The service.accept site models a fault in connection setup: the
+    // panic unwinds to spawn_handler's catch, the client sees EOF, and a
+    // reconnect succeeds (faults are one-shot).
+    chaos_panic(shared.config.chaos, "service.accept");
+    loop {
+        let payload = match read_frame_polled(shared, &mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(err) => {
+                lock_unpoisoned(&shared.stats).proto_errors += 1;
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Err(ServiceError {
+                        code: ErrCode::Proto,
+                        retry_after_ms: 0,
+                        message: err.to_string(),
+                    }),
+                );
+                return; // protocol errors close the connection
+            }
+        };
+        let req = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(err) => {
+                lock_unpoisoned(&shared.stats).proto_errors += 1;
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Err(ServiceError {
+                        code: ErrCode::Proto,
+                        retry_after_ms: 0,
+                        message: err.to_string(),
+                    }),
+                );
+                return;
+            }
+        };
+        lock_unpoisoned(&shared.stats).requests += 1;
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats(*lock_unpoisoned(&shared.stats)),
+            Request::Shutdown => {
+                shared.draining.store(true, Ordering::SeqCst);
+                shared.adm_cv.notify_all();
+                let _ = write_response(&mut stream, &Response::ShutdownAck);
+                return;
+            }
+            Request::Submit(submit) => {
+                // Per-message panic isolation: a worker panic (organic or
+                // the service.read/service.write chaos sites) becomes one
+                // typed Internal error on this connection.
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    chaos_panic(shared.config.chaos, "service.read");
+                    process_submit(shared, &submit)
+                }));
+                match outcome {
+                    Ok(Ok(done)) => {
+                        lock_unpoisoned(&shared.stats).completed += 1;
+                        Response::Done(done)
+                    }
+                    Ok(Err(err)) => Response::Err(err),
+                    Err(_) => {
+                        lock_unpoisoned(&shared.stats).panics_isolated += 1;
+                        Response::Err(ServiceError {
+                            code: ErrCode::Internal,
+                            retry_after_ms: 25,
+                            message: "worker panicked; the fault was isolated".into(),
+                        })
+                    }
+                }
+            }
+        };
+        // The write itself runs under the same isolation: a fault here
+        // (service.write) downgrades to a best-effort Internal error —
+        // the chaos fault is spent, so the fallback write cannot re-fire.
+        let wrote = catch_unwind(AssertUnwindSafe(|| {
+            chaos_panic(shared.config.chaos, "service.write");
+            write_response(&mut stream, &resp)
+        }));
+        match wrote {
+            Ok(Ok(())) => {}
+            Ok(Err(_)) => return, // client went away
+            Err(_) => {
+                lock_unpoisoned(&shared.stats).panics_isolated += 1;
+                let _ = write_response(
+                    &mut stream,
+                    &Response::Err(ServiceError {
+                        code: ErrCode::Internal,
+                        retry_after_ms: 25,
+                        message: "response writer panicked; the fault was isolated".into(),
+                    }),
+                );
+            }
+        }
+    }
+}
+
+/// Typed-error mapping for planner/parser failures.
+fn map_mdf_error(e: &MdfError) -> ServiceError {
+    let (code, retry) = match e {
+        MdfError::Parse { .. } | MdfError::Invalid { .. } => (ErrCode::Malformed, 0),
+        MdfError::Infeasible { .. } | MdfError::NotAcyclic => (ErrCode::Infeasible, 0),
+        MdfError::BudgetExceeded { .. } if deadline_expired(e) => (ErrCode::Deadline, 0),
+        MdfError::BudgetExceeded { .. } => (ErrCode::Budget, 0),
+        MdfError::Exec { .. } => (ErrCode::Internal, 25),
+    };
+    ServiceError {
+        code,
+        retry_after_ms: retry,
+        message: e.to_string(),
+    }
+}
+
+fn plan_description(plan: &DegradedPlan) -> String {
+    match plan {
+        DegradedPlan::Fused(FusionPlan::FullParallel { method, .. }) => match method {
+            FullParallelMethod::Acyclic => "full parallel (Algorithm 3)".into(),
+            FullParallelMethod::Cyclic => "full parallel (Algorithm 4)".into(),
+        },
+        DegradedPlan::Fused(FusionPlan::Hyperplane { wavefront, .. }) => {
+            format!("hyperplane wavefront s={}", wavefront.schedule)
+        }
+        DegradedPlan::Partial(p) => format!("partial fusion ({} clusters)", p.clusters.len()),
+    }
+}
+
+/// Parsed submission input.
+struct SubmitInput {
+    graph: Mldg,
+    program: Option<Program>,
+}
+
+fn parse_submit(source: &str) -> Result<SubmitInput, ServiceError> {
+    if source.trim_start().starts_with("program") {
+        let parsed = mdf_ir::parse_program_spanned(source).map_err(|e| map_mdf_error(&e))?;
+        let x = extract_mldg(&parsed.program).map_err(|e| map_mdf_error(&e))?;
+        Ok(SubmitInput {
+            graph: x.graph,
+            program: Some(parsed.program),
+        })
+    } else {
+        let (graph, _) = mdf_graph::textfmt::parse(source).map_err(|e| map_mdf_error(&e))?;
+        Ok(SubmitInput {
+            graph,
+            program: None,
+        })
+    }
+}
+
+/// Executes one submission end to end: admission → parse → cache/plan →
+/// certify → (for DSL programs) supervised execution with checkpoint
+/// resume.
+fn process_submit(shared: &Shared, submit: &Submit) -> Result<Outcome, ServiceError> {
+    let permit = acquire_permit(shared)?;
+    let span = shared.config.tracer.span("service.submit");
+    let result = process_admitted(shared, submit, &span);
+    match &result {
+        Ok(o) => {
+            span.add("cache_hit", o.cache_hit as u64);
+            span.add("recovered", o.recovered as u64);
+        }
+        Err(e) => span.add(e.code.trace_key(), 1),
+    }
+    span.finish();
+    drop(permit);
+    result
+}
+
+impl ErrCode {
+    /// Static counter key for trace spans.
+    fn trace_key(self) -> &'static str {
+        match self {
+            ErrCode::Proto => "err_proto",
+            ErrCode::Malformed => "err_malformed",
+            ErrCode::Infeasible => "err_infeasible",
+            ErrCode::Budget => "err_budget",
+            ErrCode::Deadline => "err_deadline",
+            ErrCode::Overloaded => "err_overloaded",
+            ErrCode::Draining => "err_draining",
+            ErrCode::Internal => "err_internal",
+        }
+    }
+}
+
+fn process_admitted(
+    shared: &Shared,
+    submit: &Submit,
+    span: &mdf_trace::Span,
+) -> Result<Outcome, ServiceError> {
+    let config = &shared.config;
+    let input = parse_submit(&submit.source)?;
+    let deadline_ms = if submit.deadline_ms == 0 {
+        config.default_deadline_ms
+    } else {
+        submit.deadline_ms
+    };
+    let deadline = Duration::from_millis(deadline_ms);
+    let mut budget = Budget::unlimited().with_deadline(deadline);
+    if config.chaos {
+        budget = budget.with_chaos();
+    }
+    let started = Instant::now();
+
+    // Cache probe. A hit skips plan+certify (the lookup itself
+    // revalidated the plan against this very graph); a rejected entry
+    // (poison or fingerprint collision) falls through to a fresh plan.
+    let key = canonical_fingerprint(&input.graph);
+    let cache_span = span.child("cache");
+    let looked = lock_unpoisoned(&shared.cache).lookup(key, &input.graph, config.chaos);
+    cache_span.finish();
+    let (plan, cache_hit) = match looked {
+        CacheLookup::Hit(p) => {
+            lock_unpoisoned(&shared.stats).cache_hits += 1;
+            (DegradedPlan::Fused(p), true)
+        }
+        rejected_or_miss => {
+            {
+                let mut stats = lock_unpoisoned(&shared.stats);
+                if matches!(rejected_or_miss, CacheLookup::Rejected) {
+                    stats.cache_rejected += 1;
+                }
+                stats.cache_misses += 1;
+            }
+            let plan_span = span.child("plan");
+            let report =
+                plan_fusion_budgeted(&input.graph, &budget).map_err(|e| map_mdf_error(&e))?;
+            plan_span.finish();
+            let certify_span = span.child("certify");
+            report.verify(&input.graph).map_err(|e| ServiceError {
+                code: ErrCode::Internal,
+                retry_after_ms: 0,
+                message: format!("plan failed certification: {e}"),
+            })?;
+            certify_span.finish();
+            if let DegradedPlan::Fused(p) = &report.plan {
+                lock_unpoisoned(&shared.cache).insert(key, &input.graph, p);
+            }
+            (report.plan, false)
+        }
+    };
+
+    let description = plan_description(&plan);
+    let (Some(program), DegradedPlan::Fused(fused)) = (&input.program, &plan) else {
+        // Plan-only result: textfmt MLDGs have nothing to execute, and
+        // partially fused programs are not runnable as one fused loop.
+        return Ok(Outcome {
+            executed: false,
+            fingerprint: 0,
+            barriers: 0,
+            stmt_instances: 0,
+            cache_hit,
+            recovered: false,
+            plan: description,
+        });
+    };
+    let fused = mdf_sim::align_plan_to_program(&input.graph, program, fused).ok_or_else(|| {
+        ServiceError {
+            code: ErrCode::Internal,
+            retry_after_ms: 0,
+            message: "program/graph alignment failed".into(),
+        }
+    })?;
+    let spec = FusedSpec::new(program.clone(), fused.retiming().offsets().to_vec());
+
+    let exec_span = span.child("execute");
+    let executed = run_with_resume(shared, &spec, &fused, submit, &budget, deadline, started)?;
+    exec_span.finish();
+    Ok(Outcome {
+        executed: true,
+        fingerprint: executed.fingerprint,
+        barriers: executed.stats.barriers,
+        stmt_instances: executed.stats.stmt_instances,
+        cache_hit,
+        recovered: executed.recovered,
+        plan: description,
+    })
+}
+
+struct Executed {
+    fingerprint: u64,
+    stats: ExecStats,
+    recovered: bool,
+}
+
+/// One engine run: either entry (fresh) or a checkpoint resume.
+enum Attempt {
+    Fresh,
+    Resume(ResumeState),
+}
+
+enum ResumeState {
+    Interp(mdf_sim::Memory, mdf_sim::Checkpoint),
+    Kernel(mdf_kernel::KernelMemory, mdf_sim::Checkpoint),
+}
+
+/// Runs the fused schedule under supervision; a `Partial` outcome with
+/// wall-clock remaining resumes from its checkpoint (at most
+/// `MAX_RESUMES` times) instead of being redone or surfaced.
+fn run_with_resume(
+    shared: &Shared,
+    spec: &FusedSpec,
+    plan: &FusionPlan,
+    submit: &Submit,
+    budget: &Budget,
+    deadline: Duration,
+    started: Instant,
+) -> Result<Executed, ServiceError> {
+    const MAX_RESUMES: u32 = 4;
+    let config = &shared.config;
+    let policy = RetryPolicy::deterministic();
+    let mut attempt = Attempt::Fresh;
+    let mut recovered = false;
+    for _ in 0..=MAX_RESUMES {
+        // Each attempt runs under the *remaining* wall-clock, so resumes
+        // cannot extend the client's deadline.
+        let remaining = deadline.saturating_sub(started.elapsed());
+        if remaining.is_zero() {
+            break;
+        }
+        let mut attempt_budget = Budget::unlimited().with_deadline(remaining);
+        if budget.chaos {
+            attempt_budget = attempt_budget.with_chaos();
+        }
+        let mut meter = attempt_budget.meter();
+        let outcome = run_once(config, spec, plan, submit, &mut meter, &policy, attempt)
+            .map_err(|e| map_mdf_error(&e))?;
+        match outcome {
+            RunResult::Complete {
+                fingerprint,
+                stats,
+                retried,
+            } => {
+                if retried || recovered {
+                    lock_unpoisoned(&shared.stats).recoveries += 1;
+                    recovered = true;
+                }
+                return Ok(Executed {
+                    fingerprint,
+                    stats,
+                    recovered,
+                });
+            }
+            RunResult::Partial { resume, cause } => {
+                let truly_expired = deadline_expired(&cause) && started.elapsed() >= deadline;
+                if truly_expired {
+                    attempt = Attempt::Resume(resume);
+                    break;
+                }
+                // A fault (or an early synthetic deadline report) stopped
+                // the run with real time left: resume the checkpoint.
+                recovered = true;
+                attempt = Attempt::Resume(resume);
+            }
+        }
+    }
+    lock_unpoisoned(&shared.stats).deadline_expiries += 1;
+    let completed = match &attempt {
+        Attempt::Resume(ResumeState::Interp(_, cp) | ResumeState::Kernel(_, cp)) => {
+            cp.completed_barriers
+        }
+        Attempt::Fresh => 0,
+    };
+    Err(ServiceError {
+        code: ErrCode::Deadline,
+        retry_after_ms: 0,
+        message: format!(
+            "deadline of {deadline_ms} ms expired after {completed} barriers",
+            deadline_ms = deadline.as_millis()
+        ),
+    })
+}
+
+enum RunResult {
+    Complete {
+        fingerprint: u64,
+        stats: ExecStats,
+        retried: bool,
+    },
+    Partial {
+        resume: ResumeState,
+        cause: MdfError,
+    },
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_once(
+    config: &ServiceConfig,
+    spec: &FusedSpec,
+    plan: &FusionPlan,
+    submit: &Submit,
+    meter: &mut BudgetMeter,
+    policy: &RetryPolicy,
+    attempt: Attempt,
+) -> Result<RunResult, MdfError> {
+    use crate::proto::Engine;
+    match submit.engine {
+        Engine::Interp => {
+            let outcome = match (plan, attempt) {
+                (FusionPlan::FullParallel { .. }, Attempt::Fresh) => run_fused_supervised(
+                    spec,
+                    submit.n,
+                    submit.m,
+                    RowOrder::Ascending,
+                    meter,
+                    policy,
+                )?,
+                (
+                    FusionPlan::FullParallel { .. },
+                    Attempt::Resume(ResumeState::Interp(mem, cp)),
+                ) => resume_fused_supervised(
+                    spec,
+                    submit.n,
+                    submit.m,
+                    RowOrder::Ascending,
+                    mem,
+                    cp,
+                    meter,
+                    policy,
+                )?,
+                (FusionPlan::Hyperplane { wavefront, .. }, Attempt::Fresh) => {
+                    run_wavefront_supervised(spec, *wavefront, submit.n, submit.m, meter, policy)?
+                }
+                (
+                    FusionPlan::Hyperplane { wavefront, .. },
+                    Attempt::Resume(ResumeState::Interp(mem, cp)),
+                ) => resume_wavefront_supervised(
+                    spec, *wavefront, submit.n, submit.m, mem, cp, meter, policy,
+                )?,
+                (_, Attempt::Resume(ResumeState::Kernel(..))) => {
+                    return Err(MdfError::invalid(
+                        "internal: kernel checkpoint resumed on the interpreter",
+                    ))
+                }
+            };
+            Ok(match outcome {
+                SupervisedOutcome::Complete {
+                    mem,
+                    stats,
+                    recovery,
+                } => RunResult::Complete {
+                    fingerprint: mem.fingerprint(),
+                    stats,
+                    retried: recovery.retries > 0 || recovery.resumes > 0,
+                },
+                SupervisedOutcome::Partial {
+                    mem,
+                    checkpoint,
+                    cause,
+                    ..
+                } => RunResult::Partial {
+                    resume: ResumeState::Interp(mem, checkpoint),
+                    cause,
+                },
+            })
+        }
+        Engine::Kernel => {
+            let mode = mdf_kernel::plan_mode(spec, plan);
+            let k = mdf_kernel::CompiledKernel::compile(spec, submit.n, submit.m)?;
+            let outcome = match attempt {
+                Attempt::Fresh => k.run_supervised(mode, config.threads, policy, meter)?,
+                Attempt::Resume(ResumeState::Kernel(mem, cp)) => {
+                    k.resume_supervised(mode, config.threads, policy, meter, mem, cp)?
+                }
+                Attempt::Resume(ResumeState::Interp(..)) => {
+                    return Err(MdfError::invalid(
+                        "internal: interpreter checkpoint resumed on the kernel",
+                    ))
+                }
+            };
+            Ok(match outcome {
+                SupervisedOutcome::Complete {
+                    mem,
+                    stats,
+                    recovery,
+                } => RunResult::Complete {
+                    fingerprint: mem.fingerprint(),
+                    stats,
+                    retried: recovery.retries > 0 || recovery.resumes > 0,
+                },
+                SupervisedOutcome::Partial {
+                    mem,
+                    checkpoint,
+                    cause,
+                    ..
+                } => RunResult::Partial {
+                    resume: ResumeState::Kernel(mem, checkpoint),
+                    cause,
+                },
+            })
+        }
+    }
+}

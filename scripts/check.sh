@@ -39,6 +39,24 @@ rm -rf "$profile_out"
 echo "==> fuzz self-test (fault injection must be caught)"
 ./target/release/mdfuse fuzz --cases 50 --seed 1 --inject-broken-retiming >/dev/null
 
+echo "==> service smoke (daemon boot, loadgen burst, graceful drain)"
+svc_out=$(mktemp -d)
+./target/release/mdfuse loadgen --requests 60 --concurrency 4 --seed 1 \
+  --out "$svc_out/BENCH_service.json" >/dev/null
+./target/release/mdfuse loadgen --check "$svc_out/BENCH_service.json"
+./target/release/mdfuse serve "$svc_out/mdfused.sock" >/dev/null &
+svc_pid=$!
+for _ in $(seq 50); do
+  [ -S "$svc_out/mdfused.sock" ] && break
+  sleep 0.1
+done
+./target/release/mdfuse client "$svc_out/mdfused.sock" ping
+./target/release/mdfuse client "$svc_out/mdfused.sock" \
+  submit examples/dsl/figure2.mdf 16 16 >/dev/null
+./target/release/mdfuse client "$svc_out/mdfused.sock" shutdown
+wait "$svc_pid"
+rm -rf "$svc_out"
+
 echo "==> chaos smoke (fixed-seed fault sweep, schema-validated)"
 chaos_out=$(mktemp -d)
 ./target/release/mdfuse chaos --seed 1 \
