@@ -121,6 +121,17 @@ pub fn render_human(diags: &[Diagnostic], source_name: &str) -> String {
 
 /// Renders diagnostics as a single pretty-printed JSON document.
 pub fn render_json(diags: &[Diagnostic], source_name: &str) -> String {
+    render_json_with(diags, source_name, &[])
+}
+
+/// Like [`render_json`], with extra top-level `(key, pre-rendered JSON
+/// value)` sections inserted after the counts — used by `mdfuse analyze
+/// --json` to attach e.g. the `bytecode` certificate section.
+pub fn render_json_with(
+    diags: &[Diagnostic],
+    source_name: &str,
+    sections: &[(&str, String)],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"source\": \"{}\",", escape(source_name));
@@ -134,38 +145,48 @@ pub fn render_json(diags: &[Diagnostic], source_name: &str) -> String {
         .count();
     let _ = writeln!(out, "  \"errors\": {errors},");
     let _ = writeln!(out, "  \"warnings\": {warnings},");
+    for (key, value) in sections {
+        let _ = writeln!(out, "  \"{}\": {value},", escape(key));
+    }
     out.push_str("  \"diagnostics\": [");
     for (i, d) in diags.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("\n    {");
-        let _ = write!(
-            out,
-            "\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"",
-            d.code,
-            d.severity.as_str(),
-            escape(&d.message)
-        );
-        if let Some(sp) = d.span {
-            let _ = write!(out, ", \"line\": {}, \"col\": {}", sp.line, sp.col);
-        }
-        if !d.notes.is_empty() {
-            out.push_str(", \"notes\": [");
-            for (j, n) in d.notes.iter().enumerate() {
-                if j > 0 {
-                    out.push_str(", ");
-                }
-                let _ = write!(out, "\"{}\"", escape(n));
-            }
-            out.push(']');
-        }
-        out.push('}');
+        out.push_str("\n    ");
+        out.push_str(&diag_object_json(d));
     }
     if !diags.is_empty() {
         out.push_str("\n  ");
     }
     out.push_str("]\n}\n");
+    out
+}
+
+/// Renders one diagnostic as a single-line JSON object.
+pub(crate) fn diag_object_json(d: &Diagnostic) -> String {
+    let mut out = String::from("{");
+    let _ = write!(
+        out,
+        "\"code\": \"{}\", \"severity\": \"{}\", \"message\": \"{}\"",
+        d.code,
+        d.severity.as_str(),
+        escape(&d.message)
+    );
+    if let Some(sp) = d.span {
+        let _ = write!(out, ", \"line\": {}, \"col\": {}", sp.line, sp.col);
+    }
+    if !d.notes.is_empty() {
+        out.push_str(", \"notes\": [");
+        for (j, n) in d.notes.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\"", escape(n));
+        }
+        out.push(']');
+    }
+    out.push('}');
     out
 }
 
@@ -224,5 +245,20 @@ mod tests {
     fn empty_diagnostics_render() {
         assert!(render_json(&[], "x").contains("\"diagnostics\": []"));
         assert!(!has_errors(&[]));
+    }
+
+    #[test]
+    fn extra_sections_render_between_counts_and_diagnostics() {
+        let s = render_json_with(
+            &[],
+            "x",
+            &[("bytecode", "{ \"verified\": true }".to_string())],
+        );
+        assert!(s.contains("\"bytecode\": { \"verified\": true },"));
+        let counts = s.find("\"warnings\"").unwrap();
+        let section = s.find("\"bytecode\"").unwrap();
+        let list = s.find("\"diagnostics\"").unwrap();
+        assert!(counts < section && section < list);
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 }

@@ -19,18 +19,30 @@
 //!   loops, non-uniform subscripts, reads-before-writer, and
 //!   fusion-preventing or hard edges explained at their source line).
 //!
+//! * [`bytecode`] — a **static bytecode verifier** over `mdf-kernel`'s
+//!   lowered instruction stream: proves register discipline, flat-buffer
+//!   segment bounds across the entire retimed iteration space, and
+//!   pairwise write-disjointness of the parallel steps a plan certifies —
+//!   issuing a machine-checkable [`bytecode::BytecodeCert`] that licenses
+//!   the kernel's unchecked execution path.
+//!
 //! All passes speak [`diag::Diagnostic`] with stable `MDF0xx`/`MDF1xx`
-//! codes, rendered human-readable or as JSON by [`diag`].
+//! codes (`MDF2xx` for the bytecode verifier), rendered human-readable or
+//! as JSON by [`diag`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bytecode;
 pub mod certify;
 pub mod diag;
 pub mod lint;
 pub mod race;
 
+pub use bytecode::{BytecodeCert, VmImage, VmInstr, VmLoop, VmMode, VmRange, VmStmt};
 pub use certify::{check_certificate, check_certificate_traced, check_fusion_certificate};
-pub use diag::{has_errors, render_human, render_json, Diagnostic, Severity, Span};
+pub use diag::{
+    has_errors, render_human, render_json, render_json_with, Diagnostic, Severity, Span,
+};
 pub use lint::lint_source;
 pub use race::{certify_doall, certify_doall_traced, ParallelMode, RaceVerdict, RaceWitness};

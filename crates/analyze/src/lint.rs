@@ -15,6 +15,7 @@
 //! | MDF107 | error    | intra-loop serializing dependence (inner loop is not DOALL as written) |
 //! | MDF108 | error    | program fails validation |
 //! | MDF109 | error    | parse error |
+//! | MDF110 | warning  | constant subscript provably outside the declared iteration space |
 
 use crate::diag::{Diagnostic, Severity};
 use mdf_graph::legality;
@@ -54,6 +55,32 @@ pub fn lint_source(src: &str) -> Vec<Diagnostic> {
                     .to_string(),
             ),
         );
+        // MDF110: a *negative* constant subscript is outside the declared
+        // iteration space (`i` and `j` both range over [0, bound)) for
+        // every bound — provable at parse time, no analysis needed. The
+        // bytecode verifier (MDF2xx) would also catch the resulting
+        // escape, but only after planning and lowering.
+        if let Ok(v) = issue.found.parse::<i64>() {
+            if v < 0 {
+                diags.push(
+                    Diagnostic::new(
+                        "MDF110",
+                        Severity::Warning,
+                        format!(
+                            "constant subscript {v} is provably outside the iteration \
+                             space: '{}' ranges over [0, bound) for every bound",
+                            issue.expected
+                        ),
+                    )
+                    .with_span(issue.loc.line, issue.loc.col)
+                    .with_note(
+                        "the lowered kernel would fault or read halo cells here; \
+                         the bytecode verifier rejects such an access with MDF202/MDF203"
+                            .to_string(),
+                    ),
+                );
+            }
+        }
     }
 
     if let Err(e) = p.validate() {
@@ -368,6 +395,23 @@ mod tests {
             lint_source("program p { arrays a, b; do i { doall A: j { a[i][0] = b[j][j]; } } }");
         assert_eq!(diags.iter().filter(|d| d.code == "MDF103").count(), 2);
         assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn negative_constant_subscript_gets_mdf110() {
+        let diags =
+            lint_source("program p { arrays a, b; do i { doall A: j { a[-1][j] = b[i][j]; } } }");
+        let d = diags.iter().find(|d| d.code == "MDF110").unwrap();
+        assert!(d.message.contains("-1"), "{}", d.message);
+        assert!(d.span.is_some());
+        // The non-uniform-subscript warning still fires alongside it.
+        assert!(codes(&diags).contains(&"MDF103"), "{diags:?}");
+        assert!(!has_errors(&diags), "{diags:?}");
+        // A non-negative constant subscript stays MDF103-only.
+        let diags =
+            lint_source("program p { arrays a, b; do i { doall A: j { a[0][j] = b[i][j]; } } }");
+        assert!(codes(&diags).contains(&"MDF103"), "{diags:?}");
+        assert!(!codes(&diags).contains(&"MDF110"), "{diags:?}");
     }
 
     #[test]

@@ -1,15 +1,19 @@
 //! `mdfuse bench` — the fusion benchmark: interpreter vs compiled kernel
 //! vs the planning baselines, across the executable `mdf-gen` suites.
 //!
-//! Each suite entry is planned once, then executed by three engines on
+//! Each suite entry is planned once, then executed by four engines on
 //! the same bounds:
 //!
-//! * `unfused` — the reference interpreter running the original loop
+//! * `unfused`  — the reference interpreter running the original loop
 //!   sequence (`run_original_budgeted`), the speedup denominator;
-//! * `interp`  — the fused tree-walking interpreter (row serialization or
-//!   wavefront order, per the plan);
-//! * `kernel`  — the compiled engine from `mdf-kernel`, in the mode the
-//!   race certificate licenses.
+//! * `interp`   — the fused tree-walking interpreter (row serialization
+//!   or wavefront order, per the plan);
+//! * `kernel`   — the compiled engine from `mdf-kernel`, in the mode the
+//!   race certificate licenses, on the bounds-checked path;
+//! * `verified` — the same compiled kernel armed with a
+//!   [`mdf_kernel::BytecodeCert`] from the static bytecode verifier,
+//!   running the assert-free unchecked path. The verifier rejecting
+//!   planner output is an internal error, not a report row.
 //!
 //! Every engine's final memory fingerprint must match `unfused`; a
 //! mismatch is an internal error, not a report row. The `mdf-baselines`
@@ -17,7 +21,7 @@
 //! and synchronization counts direct (no-retiming) fusion would reach,
 //! against which the paper's full-fusion sync counts are judged.
 //!
-//! The report is schema-versioned JSON (`BENCH_fusion.json`, schema v2);
+//! The report is schema-versioned JSON (`BENCH_fusion.json`, schema v3);
 //! `--check` re-parses and validates a report file with a dependency-free
 //! JSON reader so CI can gate on schema drift. Under `--deadline-ms` the
 //! bench degrades to a partial report (`"complete": false`) instead of
@@ -29,6 +33,11 @@
 //! wavefront), `plan_degradations` (ladder rungs the planner fell past),
 //! and `retries` (chunk retries by the supervising executor; the plain
 //! bench path never retries, so nonzero marks a perturbed measurement).
+//!
+//! Schema v3 adds the `verified` engine row (the bytecode-certified
+//! unchecked fast path, so its wall time is directly comparable to the
+//! checked `kernel` row) and `phases.verify_ms`, the one-shot cost of
+//! running the static verifier over the lowered bytecode.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -48,7 +57,7 @@ use mdf_trace::Span;
 use crate::CliError;
 
 /// Version stamp of the `BENCH_fusion.json` schema.
-pub(crate) const SCHEMA_VERSION: u64 = 2;
+pub(crate) const SCHEMA_VERSION: u64 = 3;
 
 /// Options for the `bench` subcommand.
 #[derive(Default)]
@@ -77,6 +86,7 @@ struct PhaseBreakdown {
     plan_ms: f64,
     certify_ms: f64,
     lower_ms: f64,
+    verify_ms: f64,
 }
 
 /// What (if anything) degraded while producing one suite's numbers.
@@ -200,6 +210,23 @@ fn bench_entry(
     let t0 = Instant::now();
     let kernel = CompiledKernel::compile_traced(&spec, n, m, &lower_span)?;
     let lower_ms = ms(t0);
+    // The verified row runs the same kernel armed with a bytecode cert.
+    // Planner output the static verifier rejects is a pipeline bug, so
+    // it surfaces as an internal error rather than a missing row.
+    let t0 = Instant::now();
+    let mut armed = kernel.clone();
+    if let Err(diags) = armed.arm(mode) {
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        return Err(MdfError::exec(
+            0,
+            0,
+            format!(
+                "bytecode verifier rejected planner output on {}: {codes:?}",
+                entry.id
+            ),
+        ));
+    }
+    let verify_ms = ms(t0);
     lower_span.finish();
 
     let baseline = direct_fusion(&entry.graph, DirectPolicy::PreserveParallelism)
@@ -228,11 +255,15 @@ fn bench_entry(
         let (mem, stats) = kernel.run_budgeted(mode, meter)?.into_complete()?;
         Ok((mem.fingerprint(), stats))
     })?;
+    let (vfp, vstats, vwall) = time_engine(reps, budget, |meter| {
+        let (mem, stats) = armed.run_budgeted(mode, meter)?.into_complete()?;
+        Ok((mem.fingerprint(), stats))
+    })?;
     exec_span.add("kernel.barriers", kstats.barriers);
     exec_span.add("kernel.instances", kstats.stmt_instances);
     exec_span.finish();
 
-    if ifp != ufp || kfp != ufp {
+    if ifp != ufp || kfp != ufp || vfp != ufp {
         // Surfaced by the caller as an internal error: the differential
         // contract ("every engine reproduces the original memory image")
         // is the precondition for comparing their timings at all.
@@ -240,7 +271,8 @@ fn bench_entry(
             0,
             0,
             format!(
-                "engine fingerprint mismatch on {}: unfused {ufp:#x}, interp {ifp:#x}, kernel {kfp:#x}",
+                "engine fingerprint mismatch on {}: unfused {ufp:#x}, interp {ifp:#x}, \
+                 kernel {kfp:#x}, verified {vfp:#x}",
                 entry.id
             ),
         ));
@@ -270,11 +302,13 @@ fn bench_entry(
             plan_ms,
             certify_ms,
             lower_ms,
+            verify_ms,
         },
         engines: vec![
             engine_row("unfused", ufp, &ustats, uwall, uwall),
             engine_row("interp", ifp, &istats, iwall, uwall),
             engine_row("kernel", kfp, &kstats, kwall, uwall),
+            engine_row("verified", vfp, &vstats, vwall, uwall),
         ],
     }))
 }
@@ -355,8 +389,8 @@ fn render_json(r: &BenchReport) -> String {
         let _ = writeln!(
             out,
             "      \"phases\": {{ \"plan_ms\": {:.4}, \"certify_ms\": {:.4}, \
-             \"lower_ms\": {:.4} }},",
-            s.phases.plan_ms, s.phases.certify_ms, s.phases.lower_ms
+             \"lower_ms\": {:.4}, \"verify_ms\": {:.4} }},",
+            s.phases.plan_ms, s.phases.certify_ms, s.phases.lower_ms, s.phases.verify_ms
         );
         let _ = writeln!(out, "      \"engines\": [");
         for (ei, e) in s.engines.iter().enumerate() {
@@ -526,7 +560,7 @@ fn validate(text: &str) -> Result<(usize, bool), String> {
             .and_then(Json::str_val)
             .ok_or_else(|| ctx("plan must be a string"))?;
         let phases = s.get("phases").ok_or_else(|| ctx("missing phases"))?;
-        for k in ["plan_ms", "certify_ms", "lower_ms"] {
+        for k in ["plan_ms", "certify_ms", "lower_ms", "verify_ms"] {
             if !phases.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
                 return Err(ctx(&format!("phases.{k} must be a number >= 0")));
             }
@@ -552,8 +586,8 @@ fn validate(text: &str) -> Result<(usize, bool), String> {
             .get("engines")
             .and_then(Json::arr)
             .ok_or_else(|| ctx("engines must be an array"))?;
-        if complete && engines.len() != 3 {
-            return Err(ctx("a complete report needs exactly 3 engine rows"));
+        if complete && engines.len() != 4 {
+            return Err(ctx("a complete report needs exactly 4 engine rows"));
         }
         let mut fps = Vec::new();
         for e in engines {
@@ -561,7 +595,7 @@ fn validate(text: &str) -> Result<(usize, bool), String> {
                 .get("engine")
                 .and_then(Json::str_val)
                 .ok_or_else(|| ctx("engine must be a string"))?;
-            if !["unfused", "interp", "kernel"].contains(&name) {
+            if !["unfused", "interp", "kernel", "verified"].contains(&name) {
                 return Err(ctx(&format!("unknown engine {name:?}")));
             }
             for k in ["wall_ms", "cells_per_s", "speedup_vs_unfused", "barriers"] {
@@ -605,7 +639,8 @@ mod tests {
                 .engines
                 .iter()
                 .all(|e| e.fingerprint == s.engines[0].fingerprint));
-            assert_eq!(s.engines.len(), 3);
+            assert_eq!(s.engines.len(), 4);
+            assert_eq!(s.engines[3].engine, "verified");
             // Every executable suite runs certified on unlimited budgets;
             // a hyperplane plan sits one ladder rung below full-parallel
             // by construction, everything else plans at the top rung.
@@ -656,7 +691,7 @@ mod tests {
         let r = collect(true, None, &Budget::unlimited(), &Span::disabled()).unwrap();
         let good = render_json(&r);
         assert!(validate(&good).is_ok());
-        let bad = good.replace("\"schema_version\": 2", "\"schema_version\": 3");
+        let bad = good.replace("\"schema_version\": 3", "\"schema_version\": 4");
         assert!(validate(&bad).unwrap_err().contains("schema_version"));
         let bad = good.replace("\"engine\": \"kernel\"", "\"engine\": \"jit\"");
         assert!(validate(&bad).unwrap_err().contains("unknown engine"));
@@ -667,6 +702,12 @@ mod tests {
         assert!(validate(&bad).unwrap_err().contains("serial_fallback"));
         let bad = good.replace("\"retries\": 0", "\"retries\": -1");
         assert!(validate(&bad).unwrap_err().contains("retries"));
+        // Schema v3: the verifier phase and the verified engine row are
+        // mandatory.
+        let bad = good.replace("\"verify_ms\"", "\"vms\"");
+        assert!(validate(&bad).unwrap_err().contains("verify_ms"));
+        let bad = good.replace("\"engine\": \"verified\"", "\"engine\": \"unchecked\"");
+        assert!(validate(&bad).unwrap_err().contains("unknown engine"));
         assert!(validate("{").is_err());
         assert!(validate("[1, 2]").is_err());
     }

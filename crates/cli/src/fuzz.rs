@@ -35,6 +35,12 @@
 //! clean decode of *some* message or a typed `ProtoError`; a panic (or
 //! an allocation driven by a hostile length prefix) is a reported
 //! failure.
+//!
+//! The sixth oracle pits the static bytecode verifier against execution:
+//! every planned case's lowered kernel must verify and run bit-identical
+//! with asserts elided, and a seeded mutation of the lowered image must
+//! be rejected with a typed `MDF2xx` diagnostic or execute identically
+//! under checked and unchecked modes.
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -244,6 +250,7 @@ fn check_feasible(
         check_static_dynamic_agreement(p, &aligned)?;
         check_kernel_oracle(p, &aligned, budget)?;
         check_chaos_oracle(p, &aligned, seed, budget)?;
+        check_bytecode_oracle(p, &aligned, seed)?;
 
         if inject {
             // Corrupt the graph-indexed plan, then align the corruption,
@@ -395,6 +402,135 @@ fn check_chaos_oracle(
                 kind.name()
             ))),
         },
+    }
+}
+
+/// Sixth oracle: the static bytecode verifier against execution. The
+/// honest lowered kernel must verify — the planner's own bytecode is
+/// certifiable by construction — and its armed, assert-free run must be
+/// bit-identical to the checked run. A seeded single mutation of the
+/// lowered image must then either be rejected with a typed `MDF2xx`
+/// diagnostic or, when the mutant still proves out, execute without
+/// panicking and produce identical checked/unchecked images. A verifier
+/// that is too strict fails the honest half; one that is too lax fails
+/// the mutant half.
+fn check_bytecode_oracle(p: &Program, plan: &FusionPlan, seed: u64) -> Result<(), CaseError> {
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let checked = CompiledKernel::compile(&spec, SIM_N, SIM_M)
+        .map_err(|e| fail(format!("bytecode oracle compile: {e}")))?;
+    let mode = kernel_plan_mode(&spec, plan);
+    let (cmem, cstats) = checked.run_with_threads(mode, 1);
+
+    // Honest half: arm must succeed and change nothing but the asserts.
+    let mut armed = checked.clone();
+    armed.arm(mode).map_err(|diags| {
+        let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+        fail(format!(
+            "bytecode oracle: verifier rejected honest planner bytecode \
+             in mode {mode:?}: {codes:?}"
+        ))
+    })?;
+    let (umem, ustats) = armed.run_with_threads(mode, 1);
+    if umem.fingerprint() != cmem.fingerprint() || ustats != cstats {
+        return Err(fail(format!(
+            "bytecode oracle: unchecked run diverged from checked in mode {mode:?} \
+             (unchecked {:#x}, checked {:#x})",
+            umem.fingerprint(),
+            cmem.fingerprint()
+        )));
+    }
+
+    // Mutant half: one seeded perturbation of the lowered image.
+    let mut mutant = checked.clone();
+    let what = mutate_lowered(&mut mutant, seed);
+    match mutant.arm(mode) {
+        Err(diags) => {
+            // Rejections must be typed verifier errors, nothing else.
+            if diags.is_empty() || !diags.iter().all(|d| d.code.starts_with("MDF2")) {
+                let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+                return Err(fail(format!(
+                    "bytecode oracle: mutant ({what}) rejected without a \
+                     typed MDF2xx diagnostic: {codes:?}"
+                )));
+            }
+            Ok(())
+        }
+        Ok(_) => {
+            // The verifier vouched for the mutant: the checked run must
+            // not trip an assert, and the armed run must agree with it.
+            let mut plain = mutant.clone();
+            plain.disarm();
+            let ran = catch_unwind(AssertUnwindSafe(|| plain.run_with_threads(mode, 1)));
+            let Ok((mc, msc)) = ran else {
+                return Err(fail(format!(
+                    "bytecode oracle: verifier accepted a mutant ({what}) \
+                     whose checked run panics in mode {mode:?}"
+                )));
+            };
+            let (mu, msu) = mutant.run_with_threads(mode, 1);
+            if mu.fingerprint() != mc.fingerprint() || msu != msc {
+                return Err(fail(format!(
+                    "bytecode oracle: verified mutant ({what}) diverged between \
+                     unchecked ({:#x}) and checked ({:#x}) runs in mode {mode:?}",
+                    mu.fingerprint(),
+                    mc.fingerprint()
+                )));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Applies one seeded perturbation to a kernel's lowered loops (which
+/// disarms any certificate) and returns a description of what changed.
+/// The perturbations target exactly the properties the verifier proves:
+/// register discipline, load/store deltas, active ranges, and offsets.
+fn mutate_lowered(k: &mut CompiledKernel, seed: u64) -> String {
+    use mdf_kernel::Instr;
+    let bump = 1 + (seed >> 4) % 3;
+    let loops = k.loops_mut();
+    let li = (seed >> 2) as usize % loops.len().max(1);
+    let Some(cl) = loops.get_mut(li) else {
+        return "no loops to mutate".into();
+    };
+    match (seed >> 7) % 7 {
+        0 => {
+            cl.rows.hi += bump as i64;
+            format!("loop {li} rows.hi += {bump}")
+        }
+        1 => {
+            cl.cols.lo -= bump as i64;
+            format!("loop {li} cols.lo -= {bump}")
+        }
+        2 => {
+            cl.offset.x += bump as i64;
+            format!("loop {li} offset.x += {bump}")
+        }
+        3 if !cl.stmts.is_empty() => {
+            let si = (seed >> 10) as usize % cl.stmts.len();
+            cl.stmts[si].store_delta += bump as isize;
+            format!("loop {li} stmt {si} store_delta += {bump}")
+        }
+        4 | 5 if !cl.stmts.is_empty() => {
+            let si = (seed >> 10) as usize % cl.stmts.len();
+            let s = &mut cl.stmts[si];
+            let ii = (seed >> 13) as usize % s.instrs.len().max(1);
+            match s.instrs.get_mut(ii) {
+                Some(Instr::Load { delta, .. }) => {
+                    *delta += bump as isize;
+                    format!("loop {li} stmt {si} instr {ii} load delta += {bump}")
+                }
+                Some(Instr::Const { dst, .. } | Instr::Neg { dst } | Instr::Bin { dst, .. }) => {
+                    *dst = dst.wrapping_add(bump as u16);
+                    format!("loop {li} stmt {si} instr {ii} dst += {bump}")
+                }
+                None => format!("loop {li} stmt {si} has no instrs"),
+            }
+        }
+        _ => {
+            cl.cols.hi += bump as i64;
+            format!("loop {li} cols.hi += {bump}")
+        }
     }
 }
 
@@ -916,7 +1052,8 @@ pub(crate) fn run(opts: &FuzzOpts, budget: &Budget) -> Result<String, CliError> 
     Ok(format!(
         "fuzz: {} cases (seed {}): all passed \
          ({} legal, {} acyclic, {} infeasible, {} program, {} frame; \
-         {differential} differential run(s), each replayed under an injected fault)\n",
+         {differential} differential run(s), each replayed under an injected fault \
+         and checked against the bytecode verifier)\n",
         opts.cases,
         opts.seed,
         kind_counts[0],

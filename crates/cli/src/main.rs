@@ -8,6 +8,7 @@
 //! mdfuse explain  <file>          step-by-step derivation of the plan
 //! mdfuse simulate <file> [n] [m]  execute original vs fused and compare
 //! mdfuse run      <file> [n] [m]  execute the fused schedule for real
+//! mdfuse verify   <file> [n] [m]  statically verify the lowered bytecode
 //! mdfuse dot      <file>          emit Graphviz DOT for the MLDG
 //! mdfuse suite                    run the Section 5 experiment suite
 //! mdfuse bench                    interpreter vs kernel vs baselines
@@ -157,6 +158,83 @@ fn load_file(path: &str, span: &Span) -> Result<Input, CliError> {
     load_traced(&source, span)
 }
 
+/// Bounds the `analyze` bytecode section and `verify` default to: large
+/// enough that every retimed prologue/epilogue shape is exercised, small
+/// enough to lower instantly.
+const VERIFY_DEFAULT_BOUNDS: (i64, i64) = (32, 32);
+
+/// The verifier's verdict on one lowered image: the certificate when it
+/// was issued, plus every diagnostic (MDF200 info or MDF2xx violations).
+type Verdict = (
+    Option<mdf_analyze::BytecodeCert>,
+    Vec<mdf_analyze::Diagnostic>,
+);
+
+/// Plans, lowers, and statically verifies the input's kernel bytecode at
+/// bounds `(n, m)`. Returns `None` when there is no bytecode to verify:
+/// MLDG-only input, a partially fused plan, or a non-executable body.
+fn bytecode_verdict(
+    input: &Input,
+    n: i64,
+    m: i64,
+    budget: &Budget,
+) -> Result<Option<Verdict>, CliError> {
+    let Some(program) = input.program.as_ref() else {
+        return Ok(None);
+    };
+    let report = mdf_core::plan_fusion_budgeted(&input.graph, budget)?;
+    let DegradedPlan::Fused(plan) = &report.plan else {
+        return Ok(None);
+    };
+    let plan = mdf_sim::align_plan_to_program(&input.graph, program, plan)
+        .ok_or_else(|| CliError::Internal("program/graph alignment failed".into()))?;
+    let spec = FusedSpec::new(program.clone(), plan.retiming().offsets().to_vec());
+    let mode = mdf_kernel::plan_mode(&spec, &plan);
+    let Ok(kernel) = mdf_kernel::CompiledKernel::compile(&spec, n, m) else {
+        return Ok(None);
+    };
+    Ok(Some(mdf_analyze::bytecode::certificate_diagnostics(
+        &kernel.vm_image(mode),
+    )))
+}
+
+/// `mdfuse verify`: run the static bytecode verifier standalone. Error
+/// diagnostics (`MDF2xx` violations) exit 3, like `lint`.
+fn cmd_verify(
+    input: &Input,
+    n: i64,
+    m: i64,
+    json: bool,
+    budget: &Budget,
+) -> Result<String, CliError> {
+    if input.program.is_none() {
+        return Err(CliError::Usage(
+            "verify requires a loop program (DSL input)".into(),
+        ));
+    }
+    let Some((cert, diags)) = bytecode_verdict(input, n, m, budget)? else {
+        return Err(CliError::Mdf(MdfError::invalid(
+            "no executable fully fused kernel to verify (partial plan or non-executable body)",
+        )));
+    };
+    let out = if json {
+        mdf_analyze::render_json_with(
+            &diags,
+            &input.name,
+            &[(
+                "bytecode",
+                mdf_analyze::bytecode::section_json(cert.as_ref(), &diags),
+            )],
+        )
+    } else {
+        mdf_analyze::render_human(&diags, &input.name)
+    };
+    if mdf_analyze::has_errors(&diags) {
+        return Err(CliError::Lint(out));
+    }
+    Ok(out)
+}
+
 fn cmd_analyze(
     input: &Input,
     budget: &Budget,
@@ -173,7 +251,18 @@ fn cmd_analyze(
     )?;
     certify.finish();
     let out = if json {
-        mdf_analyze::render_json(&diags, &input.name)
+        // The bytecode certificate travels as its own section so the
+        // top-level diagnostics list (and its error/warning counts) stays
+        // exactly what the certificate passes produced.
+        let (n, m) = VERIFY_DEFAULT_BOUNDS;
+        let sections = match bytecode_verdict(input, n, m, budget)? {
+            Some((cert, bdiags)) => vec![(
+                "bytecode",
+                mdf_analyze::bytecode::section_json(cert.as_ref(), &bdiags),
+            )],
+            None => Vec::new(),
+        };
+        mdf_analyze::render_json_with(&diags, &input.name, &sections)
     } else {
         let mut out = analyze(&input.graph, &input.name).render(Some(&input.graph));
         out.push_str("certificates:\n");
@@ -312,7 +401,10 @@ fn cmd_run(
         "kernel" => {
             let lower = span.child("lower");
             let mode = mdf_kernel::plan_mode_traced(&spec, &plan, &lower);
-            let k = mdf_kernel::CompiledKernel::compile_traced(&spec, n, m, &lower)?;
+            let mut k = mdf_kernel::CompiledKernel::compile_traced(&spec, n, m, &lower)?;
+            // Arm the unchecked fast path when the bytecode verifier
+            // proves it safe; a rejection silently stays checked.
+            let armed = k.arm(mode).is_ok();
             lower.finish();
             let exec = span.child("execute");
             let (mem, stats) = k
@@ -327,7 +419,12 @@ fn cmd_run(
                 } => "wavefront",
                 mdf_kernel::ExecMode::Wavefront { .. } => "wavefront-serial",
             };
-            (mem.fingerprint(), stats, format!("kernel/{mode_name}"))
+            let suffix = if armed { "+unchecked" } else { "" };
+            (
+                mem.fingerprint(),
+                stats,
+                format!("kernel/{mode_name}{suffix}"),
+            )
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -423,6 +520,7 @@ fn cmd_suite(budget: &Budget) -> Result<String, CliError> {
 const USAGE: &str =
     "usage: mdfuse <analyze|fuse|codegen|partial|explain|simulate|dot> <file> [n] [m]
        mdfuse run <file> [n] [m] [--engine interp|kernel] [--profile[=PATH]]
+       mdfuse verify <file> [n] [m] [--json]
        mdfuse lint <file> [--json]
        mdfuse suite
        mdfuse bench [--quick] [--json] [--out PATH] [--check PATH] [--profile[=PATH]]
@@ -440,7 +538,8 @@ const USAGE: &str =
        mdfuse profile-check <file>
 
 options:
-  --json             emit diagnostics as JSON (analyze, lint, bench, chaos)
+  --json             emit diagnostics as JSON (analyze, verify, lint, bench,
+                     chaos)
   --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5;
                      bench instead emits a partial report and exits 0)
   --engine ENGINE    execution engine for run: interp | kernel (default kernel)
@@ -634,17 +733,25 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
                     "partial" => cmd_partial(&input),
                     "explain" => cmd_explain(&input),
                     "dot" => cmd_dot(&input),
-                    "simulate" | "run" => {
+                    "simulate" | "run" | "verify" => {
                         let parse_dim = |s: &String| {
                             s.parse::<i64>()
                                 .map_err(|e| CliError::Usage(format!("bad bound {s:?}: {e}")))
                         };
-                        let n = rest.first().map(parse_dim).transpose()?.unwrap_or(32);
-                        let m = rest.get(1).map(parse_dim).transpose()?.unwrap_or(32);
-                        if cmd == "run" {
-                            cmd_run(&input, n, m, &opts.engine, &budget, &root)
-                        } else {
-                            cmd_simulate(&input, n, m, &budget)
+                        let n = rest
+                            .first()
+                            .map(parse_dim)
+                            .transpose()?
+                            .unwrap_or(VERIFY_DEFAULT_BOUNDS.0);
+                        let m = rest
+                            .get(1)
+                            .map(parse_dim)
+                            .transpose()?
+                            .unwrap_or(VERIFY_DEFAULT_BOUNDS.1);
+                        match cmd.as_str() {
+                            "run" => cmd_run(&input, n, m, &opts.engine, &budget, &root),
+                            "verify" => cmd_verify(&input, n, m, opts.json, &budget),
+                            _ => cmd_simulate(&input, n, m, &budget),
                         }
                     }
                     other => Err(CliError::Usage(format!(
@@ -759,6 +866,30 @@ mod tests {
         assert!(a.trim_start().starts_with('{'), "{a}");
         assert!(a.contains("\"code\": \"MDF001\""), "{a}");
         assert!(a.contains("\"errors\": 0"), "{a}");
+        // The bytecode certificate rides along as its own section.
+        assert!(a.contains("\"bytecode\": {"), "{a}");
+        assert!(a.contains("\"verified\": true"), "{a}");
+        assert!(a.contains("MDF200"), "{a}");
+        // MLDG-only input has no bytecode; the section is absent.
+        let mldg = load(FIG2_MLDG).unwrap();
+        let a = cmd_analyze(&mldg, &Budget::unlimited(), true, &Span::disabled()).unwrap();
+        assert!(!a.contains("\"bytecode\""), "{a}");
+    }
+
+    #[test]
+    fn verify_certifies_the_lowered_bytecode() {
+        let input = load(FIG2_DSL).unwrap();
+        let out = cmd_verify(&input, 16, 16, false, &Budget::unlimited()).unwrap();
+        assert!(out.contains("info[MDF200]"), "{out}");
+        assert!(out.contains("unchecked fast path licensed"), "{out}");
+        let json = cmd_verify(&input, 16, 16, true, &Budget::unlimited()).unwrap();
+        assert!(json.contains("\"bytecode\": {"), "{json}");
+        assert!(json.contains("\"verified\": true"), "{json}");
+        assert!(json.contains("\"mode\": \"rows\""), "{json}");
+        // Graph-only input cannot be verified: usage error.
+        let mldg = load(FIG2_MLDG).unwrap();
+        let err = cmd_verify(&mldg, 4, 4, false, &Budget::unlimited()).unwrap_err();
+        assert_eq!(err.exit_code(), 2);
     }
 
     #[test]
@@ -838,7 +969,8 @@ mod tests {
         )
         .unwrap();
         assert!(k.contains("results identical"), "{k}");
-        assert!(k.contains("engine kernel/rows-doall"), "{k}");
+        // The planner's certified plan verifies, so the kernel runs armed.
+        assert!(k.contains("engine kernel/rows-doall+unchecked"), "{k}");
         let i = cmd_run(
             &input,
             12,
@@ -883,9 +1015,10 @@ mod tests {
             path.to_str().unwrap().to_string(),
         ])
         .unwrap();
-        assert!(out.contains("\"schema_version\": 2"), "{out}");
+        assert!(out.contains("\"schema_version\": 3"), "{out}");
         assert!(out.contains("\"complete\": true"), "{out}");
         assert!(out.contains("\"degradation\""), "{out}");
+        assert!(out.contains("\"engine\": \"verified\""), "{out}");
         let checked = run(&[
             "bench".into(),
             "--check".into(),
@@ -893,7 +1026,7 @@ mod tests {
         ])
         .unwrap();
         assert!(
-            checked.contains("valid BENCH_fusion schema v2"),
+            checked.contains("valid BENCH_fusion schema v3"),
             "{checked}"
         );
         // A corrupted report fails the check with exit code 3.

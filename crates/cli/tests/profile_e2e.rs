@@ -142,7 +142,7 @@ fn bench_quick_report_round_trips_through_check() {
     // ...and rejects a version bump it does not understand (exit 3).
     std::fs::write(
         &report,
-        json.replace("\"schema_version\": 2", "\"schema_version\": 99"),
+        json.replace("\"schema_version\": 3", "\"schema_version\": 99"),
     )
     .expect("corrupt report");
     let bad = mdfuse(&["bench", "--check", report.to_str().expect("utf-8")]);

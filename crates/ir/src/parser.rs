@@ -288,6 +288,21 @@ impl Parser {
                 self.expect(&Tok::RBracket)?;
                 return Ok(v);
             }
+            // Negative constant subscript, e.g. `x[-1][j]`: same issue
+            // class, with the sign folded into the recorded constant.
+            if let (Some(Tok::Minus), Some(Tok::Int(v))) =
+                (self.peek(), self.toks.get(self.pos + 1).map(|s| &s.tok))
+            {
+                let v = -*v;
+                self.pos += 2;
+                self.issues.push(SubscriptIssue {
+                    loc,
+                    expected: index_name.to_string(),
+                    found: v.to_string(),
+                });
+                self.expect(&Tok::RBracket)?;
+                return Ok(v);
+            }
         }
         let got = self.expect_ident("index variable")?;
         if got != index_name {

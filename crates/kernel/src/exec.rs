@@ -26,6 +26,10 @@
 
 use std::collections::BTreeMap;
 
+use mdf_analyze::bytecode::{
+    self, BytecodeCert, VmImage, VmInstr, VmLoop, VmMode, VmRange, VmStmt,
+};
+use mdf_analyze::Diagnostic;
 use mdf_graph::{BudgetMeter, IVec2, MdfError};
 use mdf_ir::retgen::{FusedSpec, IRange};
 use mdf_sim::{
@@ -35,7 +39,7 @@ use mdf_sim::{
 use mdf_trace::Span;
 use rayon::prelude::*;
 
-use crate::lower::{eval_compiled, lower_loop, CompiledLoop, MAX_REGS};
+use crate::lower::{eval_compiled, lower_loop, CompiledLoop, Instr, MAX_REGS};
 use crate::memory::{KernelMemory, Layout};
 
 impl Snapshot for KernelMemory {
@@ -78,22 +82,28 @@ enum DriveEnd {
     },
 }
 
-/// A bounds-checked shared view of the kernel buffer for certified
-/// parallel steps. The *only* `unsafe` in the crate: distinct iterations
-/// of a certified step touch disjoint cells (that is what the certificate
-/// proves), so concurrent in-place access through a raw pointer is
-/// data-race-free; every access still bounds-checks against the buffer
-/// length.
-struct SharedCells {
+/// A shared view of the kernel buffer for compiled steps. The *only*
+/// `unsafe` in the crate: distinct iterations of a certified parallel
+/// step touch disjoint cells (that is what the race certificate proves),
+/// so concurrent in-place access through a raw pointer is data-race-free.
+///
+/// `CHECKED` selects the bounds policy per access. The checked view
+/// asserts every index against the buffer length — the historical
+/// behaviour, and the fallback whenever no [`BytecodeCert`] is armed. The
+/// unchecked view demotes the assert to a `debug_assert`: release builds
+/// pay nothing, because the verifier has already proved every load and
+/// store of the entire retimed iteration space in-bounds
+/// ([`CompiledKernel::arm`]).
+struct SharedCells<const CHECKED: bool> {
     ptr: *mut i64,
     len: usize,
 }
 
-unsafe impl Send for SharedCells {}
-unsafe impl Sync for SharedCells {}
+unsafe impl<const CHECKED: bool> Send for SharedCells<CHECKED> {}
+unsafe impl<const CHECKED: bool> Sync for SharedCells<CHECKED> {}
 
-impl SharedCells {
-    fn new(data: &mut [i64]) -> SharedCells {
+impl<const CHECKED: bool> SharedCells<CHECKED> {
+    fn new(data: &mut [i64]) -> SharedCells<CHECKED> {
         SharedCells {
             ptr: data.as_mut_ptr(),
             len: data.len(),
@@ -105,7 +115,11 @@ impl SharedCells {
         // A negative isize wraps to a huge usize, so one compare covers
         // both underflow and overflow.
         let u = idx as usize;
-        assert!(u < self.len, "kernel access out of bounds: {idx}");
+        if CHECKED {
+            assert!(u < self.len, "kernel access out of bounds: {idx}");
+        } else {
+            debug_assert!(u < self.len, "kernel access out of bounds: {idx}");
+        }
         u
     }
 
@@ -134,6 +148,12 @@ pub struct CompiledKernel {
     /// Lowered loops **in fused body order** (stable topological order of
     /// the `(0,0)`-retimed dependence subgraph), not textual order.
     loops: Vec<CompiledLoop>,
+    /// The armed bytecode certificate, if any, keyed by the mode it
+    /// licenses. `None` until [`CompiledKernel::arm`] (or
+    /// [`CompiledKernel::arm_with_cert`]) succeeds; any mutation of the
+    /// lowered loops disarms it. The unchecked execution path is selected
+    /// *only* when the drive's mode equals the armed mode.
+    cert: Option<(ExecMode, BytecodeCert)>,
 }
 
 impl CompiledKernel {
@@ -166,6 +186,7 @@ impl CompiledKernel {
             outer: spec.outer_range(n),
             inner: spec.inner_range(m),
             loops,
+            cert: None,
         })
     }
 
@@ -200,6 +221,132 @@ impl CompiledKernel {
     /// The bounds the kernel was compiled for.
     pub fn bounds(&self) -> (i64, i64) {
         (self.n, self.m)
+    }
+
+    /// Projects the lowered kernel into the static verifier's machine
+    /// model for `mode` — everything that determines memory behaviour
+    /// (layout extents, swept ranges, retiming offsets, access deltas,
+    /// instruction shape) and nothing that does not (constant values,
+    /// operator identities). An uncertified wavefront executes its groups
+    /// sequentially, so it is verified as serial.
+    pub fn vm_image(&self, mode: ExecMode) -> VmImage {
+        let vm_mode = match mode {
+            ExecMode::RowsCertified => VmMode::Rows,
+            ExecMode::RowsSerial => VmMode::Serial,
+            ExecMode::Wavefront {
+                schedule,
+                certified: true,
+            } => VmMode::Wavefront {
+                schedule: (schedule.x, schedule.y),
+            },
+            ExecMode::Wavefront {
+                certified: false, ..
+            } => VmMode::Serial,
+        };
+        VmImage {
+            arrays: self.layout.arrays,
+            halo: self.layout.halo,
+            rows: self.layout.rows,
+            cols: self.layout.cols,
+            n: self.n,
+            m: self.m,
+            outer: VmRange {
+                lo: self.outer.lo,
+                hi: self.outer.hi,
+            },
+            inner: VmRange {
+                lo: self.inner.lo,
+                hi: self.inner.hi,
+            },
+            mode: vm_mode,
+            loops: self
+                .loops
+                .iter()
+                .map(|cl| VmLoop {
+                    offset: (cl.offset.x, cl.offset.y),
+                    rows: VmRange {
+                        lo: cl.rows.lo,
+                        hi: cl.rows.hi,
+                    },
+                    cols: VmRange {
+                        lo: cl.cols.lo,
+                        hi: cl.cols.hi,
+                    },
+                    stmts: cl
+                        .stmts
+                        .iter()
+                        .map(|s| VmStmt {
+                            store_delta: s.store_delta,
+                            regs: s.regs,
+                            instrs: s
+                                .instrs
+                                .iter()
+                                .map(|ins| match *ins {
+                                    Instr::Const { dst, .. } => VmInstr::Const { dst },
+                                    Instr::Load { dst, delta } => VmInstr::Load { dst, delta },
+                                    Instr::Neg { dst } => VmInstr::Neg { dst },
+                                    Instr::Bin { dst, .. } => VmInstr::Bin { dst },
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Runs the static bytecode verifier over this kernel for `mode` and,
+    /// on success, arms the unchecked execution path for that mode. On
+    /// rejection the kernel stays (or reverts to) checked and the `MDF2xx`
+    /// diagnostics are returned.
+    pub fn arm(&mut self, mode: ExecMode) -> Result<BytecodeCert, Vec<Diagnostic>> {
+        self.cert = None;
+        let cert = bytecode::verify(&self.vm_image(mode))?;
+        self.cert = Some((mode, cert));
+        Ok(cert)
+    }
+
+    /// Arms a previously issued certificate (e.g. from the service plan
+    /// cache) after revalidating it against this kernel's freshly lowered
+    /// image — checksum, mode, and bounds must all match. Returns whether
+    /// the kernel is now armed; on `false` it stays checked.
+    pub fn arm_with_cert(&mut self, mode: ExecMode, cert: BytecodeCert) -> bool {
+        self.cert = None;
+        if bytecode::revalidate(&cert, &self.vm_image(mode)) {
+            self.cert = Some((mode, cert));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The armed certificate for `mode`, if any.
+    pub fn cert(&self, mode: ExecMode) -> Option<&BytecodeCert> {
+        match &self.cert {
+            Some((m, c)) if *m == mode => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether a drive in `mode` would take the unchecked path.
+    pub fn is_armed(&self, mode: ExecMode) -> bool {
+        self.cert(mode).is_some()
+    }
+
+    /// Drops any armed certificate, reverting every path to checked.
+    pub fn disarm(&mut self) {
+        self.cert = None;
+    }
+
+    /// Mutable access to the lowered loops, for the fuzzer's
+    /// verifier-vs-execution oracle. Any access **disarms** the kernel:
+    /// a mutated stream can never ride an earlier certificate, so the
+    /// "unchecked only under a valid cert" invariant holds by
+    /// construction.
+    #[doc(hidden)]
+    pub fn loops_mut(&mut self) -> &mut Vec<CompiledLoop> {
+        self.cert = None;
+        &mut self.loops
     }
 
     /// Runs the kernel on fresh memory with the host's thread count.
@@ -348,20 +495,25 @@ impl CompiledKernel {
             |mem, barrier, threads_now, meter| {
                 meter.check_deadline()?;
                 meter.chaos_site("kernel.barrier")?;
+                let unchecked = self.is_armed(mode);
                 let instances = match mode {
                     ExecMode::RowsCertified => self.row_loop_major(
                         mem.data_mut(),
                         self.outer.lo + barrier as i64,
                         threads_now,
+                        unchecked,
                     ),
-                    ExecMode::RowsSerial => {
-                        self.row_cell_major(mem.data_mut(), self.outer.lo + barrier as i64)
-                    }
+                    ExecMode::RowsSerial => self.row_cell_major(
+                        mem.data_mut(),
+                        self.outer.lo + barrier as i64,
+                        unchecked,
+                    ),
                     ExecMode::Wavefront { certified, .. } => self.wavefront_group(
                         mem.data_mut(),
                         &groups[barrier as usize],
                         certified,
                         threads_now,
+                        unchecked,
                     ),
                 };
                 // Fires *after* the chunk's writes — only a panic is sound
@@ -471,6 +623,7 @@ impl CompiledKernel {
         }
         let mut stats = stats0;
         let mut completed = start;
+        let unchecked = self.is_armed(mode);
         match mode {
             ExecMode::RowsCertified | ExecMode::RowsSerial => {
                 for (idx, fi) in (self.outer.lo..=self.outer.hi).enumerate() {
@@ -491,9 +644,9 @@ impl CompiledKernel {
                         }
                     }
                     let instances = if mode == ExecMode::RowsCertified {
-                        self.row_loop_major(mem.data_mut(), fi, threads)
+                        self.row_loop_major(mem.data_mut(), fi, threads, unchecked)
                     } else {
-                        self.row_cell_major(mem.data_mut(), fi)
+                        self.row_cell_major(mem.data_mut(), fi, unchecked)
                     };
                     stats.stmt_instances += instances;
                     stats.barriers += 1;
@@ -526,7 +679,7 @@ impl CompiledKernel {
                         }
                     }
                     let instances =
-                        self.wavefront_group(mem.data_mut(), &group, certified, threads);
+                        self.wavefront_group(mem.data_mut(), &group, certified, threads, unchecked);
                     stats.stmt_instances += instances;
                     stats.barriers += 1;
                     completed = idx + 1;
@@ -560,13 +713,24 @@ impl CompiledKernel {
             .collect()
     }
 
+    /// One certified row, loop-major (see [`Self::row_body`]). `unchecked`
+    /// selects the monomorphized body without per-access asserts; callers
+    /// derive it from [`Self::is_armed`], never directly.
+    fn row_loop_major(&self, data: &mut [i64], fi: i64, threads: usize, unchecked: bool) -> u64 {
+        if unchecked {
+            self.row_body::<false>(data, fi, threads)
+        } else {
+            self.row_body::<true>(data, fi, threads)
+        }
+    }
+
     /// One certified row, loop-major: each active loop's statements sweep
     /// the loop's column range with a cursor that advances by one cell per
     /// step. Long rows split into column tiles run through the shared
     /// in-place view; each tile replays the full loop-major body
     /// restricted to its columns, which the row certificate makes
     /// equivalent (no dependence crosses iterations within the row).
-    fn row_loop_major(&self, data: &mut [i64], fi: i64, threads: usize) -> u64 {
+    fn row_body<const CHECKED: bool>(&self, data: &mut [i64], fi: i64, threads: usize) -> u64 {
         let active = |cl: &CompiledLoop| cl.rows.contains(fi) && !cl.cols.is_empty();
         let instances: u64 = self
             .loops
@@ -574,8 +738,8 @@ impl CompiledKernel {
             .filter(|cl| active(cl))
             .map(|cl| cl.stmts.len() as u64 * cl.cols.len() as u64)
             .sum();
+        let cells = SharedCells::<CHECKED>::new(data);
         if self.rows_tiled(threads) {
-            let cells = SharedCells::new(data);
             self.column_tiles()
                 .into_par_iter()
                 .for_each(|(tile_lo, tile_hi)| {
@@ -611,11 +775,8 @@ impl CompiledKernel {
                     as isize;
                 for s in &cl.stmts {
                     for cur in base..base + cl.cols.len() as isize {
-                        let v = {
-                            let ro: &[i64] = data;
-                            eval_compiled(&s.instrs, &mut regs, |d| ro[(cur + d) as usize])
-                        };
-                        data[(cur + s.store_delta) as usize] = v;
+                        let v = eval_compiled(&s.instrs, &mut regs, |d| cells.read(cur + d));
+                        cells.write(cur + s.store_delta, v);
                     }
                 }
             }
@@ -626,18 +787,34 @@ impl CompiledKernel {
     /// One uncertified row: the canonical cell-major serialization, cell
     /// by cell with loops in body order — bit-identical to the
     /// interpreter's `run_fused` traversal, just through compiled bodies.
-    fn row_cell_major(&self, data: &mut [i64], fi: i64) -> u64 {
+    fn row_cell_major(&self, data: &mut [i64], fi: i64, unchecked: bool) -> u64 {
         let mut regs = [0i64; MAX_REGS];
         let mut instances = 0u64;
-        for fj in self.inner.lo..=self.inner.hi {
-            instances += self.exec_cell(data, &mut regs, fi, fj);
+        if unchecked {
+            let cells = SharedCells::<false>::new(data);
+            for fj in self.inner.lo..=self.inner.hi {
+                instances += self.exec_cell(&cells, &mut regs, fi, fj);
+            }
+        } else {
+            let cells = SharedCells::<true>::new(data);
+            for fj in self.inner.lo..=self.inner.hi {
+                instances += self.exec_cell(&cells, &mut regs, fi, fj);
+            }
         }
         instances
     }
 
-    /// Executes every active loop body at one fused cell, in place.
+    /// Executes every active loop body at one fused cell, in place. The
+    /// caller holds the only live view of the buffer, so the sequential
+    /// use of the shared view is plain single-threaded mutation.
     #[inline]
-    fn exec_cell(&self, data: &mut [i64], regs: &mut [i64; MAX_REGS], fi: i64, fj: i64) -> u64 {
+    fn exec_cell<const CHECKED: bool>(
+        &self,
+        cells: &SharedCells<CHECKED>,
+        regs: &mut [i64; MAX_REGS],
+        fi: i64,
+        fj: i64,
+    ) -> u64 {
         let mut instances = 0u64;
         for cl in &self.loops {
             if !cl.rows.contains(fi) || !cl.cols.contains(fj) {
@@ -645,11 +822,8 @@ impl CompiledKernel {
             }
             let cur = self.layout.cursor(fi + cl.offset.x, fj + cl.offset.y) as isize;
             for s in &cl.stmts {
-                let v = {
-                    let ro: &[i64] = data;
-                    eval_compiled(&s.instrs, regs, |d| ro[(cur + d) as usize])
-                };
-                data[(cur + s.store_delta) as usize] = v;
+                let v = eval_compiled(&s.instrs, regs, |d| cells.read(cur + d));
+                cells.write(cur + s.store_delta, v);
                 instances += 1;
             }
         }
@@ -679,14 +853,31 @@ impl CompiledKernel {
 
     /// One wavefront group: all cells of one hyperplane. Threaded in place
     /// only under the hyperplane certificate; otherwise sequential in
-    /// group order (the interpreter's serialization).
+    /// group order (the interpreter's serialization). `unchecked` selects
+    /// the assert-free body, derived from [`Self::is_armed`].
     fn wavefront_group(
         &self,
         data: &mut [i64],
         group: &[(i64, i64)],
         certified: bool,
         threads: usize,
+        unchecked: bool,
     ) -> u64 {
+        if unchecked {
+            self.wavefront_body::<false>(data, group, certified, threads)
+        } else {
+            self.wavefront_body::<true>(data, group, certified, threads)
+        }
+    }
+
+    fn wavefront_body<const CHECKED: bool>(
+        &self,
+        data: &mut [i64],
+        group: &[(i64, i64)],
+        certified: bool,
+        threads: usize,
+    ) -> u64 {
+        let cells = SharedCells::<CHECKED>::new(data);
         if certified && threads > 1 && group.len() >= 2 {
             let instances: u64 = group
                 .iter()
@@ -698,7 +889,6 @@ impl CompiledKernel {
                         .sum::<u64>()
                 })
                 .sum();
-            let cells = SharedCells::new(data);
             group.to_vec().into_par_iter().for_each(|(fi, fj)| {
                 let mut regs = [0i64; MAX_REGS];
                 for cl in &self.loops {
@@ -717,7 +907,7 @@ impl CompiledKernel {
             let mut regs = [0i64; MAX_REGS];
             let mut instances = 0u64;
             for &(fi, fj) in group {
-                instances += self.exec_cell(data, &mut regs, fi, fj);
+                instances += self.exec_cell(&cells, &mut regs, fi, fj);
             }
             instances
         }
@@ -1143,6 +1333,105 @@ mod tests {
             stats.stmt_instances
         );
         assert_eq!(profile.counter_total("kernel.tiles"), 0);
+    }
+
+    #[test]
+    fn verifier_register_file_matches_the_executor() {
+        assert_eq!(bytecode::VM_MAX_REGS, MAX_REGS);
+    }
+
+    #[test]
+    fn honest_kernels_verify_and_armed_runs_are_bit_identical() {
+        for p in [
+            figure2_program(),
+            image_pipeline_program(),
+            relaxation_program(),
+        ] {
+            let (spec, plan) = planned_spec(&p);
+            let mode = crate::plan_mode(&spec, &plan);
+            for (n, m) in [(0, 0), (5, 3), (12, 9)] {
+                let mut k = CompiledKernel::compile(&spec, n, m).unwrap();
+                let (checked_mem, checked_stats) = k.run_with_threads(mode, 1);
+                let (checked_mt, _) = k.run_with_threads(mode, 4);
+                let cert = k
+                    .arm(mode)
+                    .unwrap_or_else(|d| panic!("{} at ({n},{m}) must verify: {d:?}", p.name));
+                assert_eq!(cert.checksum, bytecode::image_checksum(&k.vm_image(mode)));
+                assert!(k.is_armed(mode));
+                let (armed_mem, armed_stats) = k.run_with_threads(mode, 1);
+                let (armed_mt, mt_stats) = k.run_with_threads(mode, 4);
+                assert_eq!(armed_mem.fingerprint(), checked_mem.fingerprint());
+                assert_eq!(armed_mt.fingerprint(), checked_mt.fingerprint());
+                assert_eq!(armed_stats, checked_stats);
+                assert_eq!(mt_stats.barriers, checked_stats.barriers);
+            }
+        }
+    }
+
+    #[test]
+    fn armed_tiled_path_matches_checked_tiled_path() {
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let mut k = CompiledKernel::compile(&spec, 4, 3 * TILE_COLS).unwrap();
+        assert!(k.rows_tiled(4), "shape must cross the tiling threshold");
+        let (checked, _) = k.run_with_threads(mode, 4);
+        k.arm(mode).unwrap();
+        let (armed, _) = k.run_with_threads(mode, 4);
+        assert_eq!(armed.fingerprint(), checked.fingerprint());
+    }
+
+    #[test]
+    fn cert_is_mode_keyed_and_revalidation_guards_reuse() {
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let mut k = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        let cert = k.arm(mode).unwrap();
+        // Armed for RowsCertified only; a serial drive stays checked.
+        assert!(k.cert(ExecMode::RowsSerial).is_none());
+
+        // A fresh, identical kernel adopts the cached cert.
+        let mut k2 = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        assert!(k2.arm_with_cert(mode, cert));
+        assert!(k2.is_armed(mode));
+
+        // Different bounds lower a different image: adoption must fail.
+        let mut k3 = CompiledKernel::compile(&spec, 7, 6).unwrap();
+        assert!(!k3.arm_with_cert(mode, cert));
+        assert!(!k3.is_armed(mode));
+
+        // A wrong mode claim must fail too.
+        let mut k4 = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        assert!(!k4.arm_with_cert(ExecMode::RowsSerial, cert));
+    }
+
+    #[test]
+    fn mutating_the_lowered_loops_disarms_the_kernel() {
+        let p = figure2_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let mut k = CompiledKernel::compile(&spec, 6, 6).unwrap();
+        k.arm(mode).unwrap();
+        assert!(k.is_armed(mode));
+        let _ = k.loops_mut(); // access alone revokes the license
+        assert!(!k.is_armed(mode));
+        k.arm(mode).unwrap();
+        k.disarm();
+        assert!(!k.is_armed(mode));
+    }
+
+    #[test]
+    fn serial_fallback_mode_verifies_without_disjointness_obligations() {
+        use mdf_graph::v2;
+        let p = figure2_program();
+        let spec = FusedSpec::new(p.clone(), vec![v2(0, 0), v2(0, 0), v2(0, -2), v2(0, -3)]);
+        let mut k = CompiledKernel::compile(&spec, 8, 8).unwrap();
+        let cert = k.arm(ExecMode::RowsSerial).unwrap();
+        assert_eq!(cert.pairs_checked, 0, "serial mode has no step pairs");
+        let (armed, _) = k.run(ExecMode::RowsSerial);
+        let (imem, _) = run_original(&p, 8, 8);
+        assert_eq!(armed.fingerprint(), imem.fingerprint());
     }
 
     #[test]

@@ -34,6 +34,16 @@
 //! a single thread cannot race itself). Callers who want the buffered
 //! interpreter path instead can keep using `mdf_sim::parallel`.
 //!
+//! A second, independent gate governs *bounds checks*: by default every
+//! load and store asserts its flat index against the buffer length. A
+//! kernel can instead be **armed** with a machine-checked
+//! [`BytecodeCert`] from `mdf-analyze`'s bytecode verifier
+//! ([`CompiledKernel::arm`]), which statically proves register
+//! discipline, whole-iteration-space bounds, and per-step write
+//! disjointness over the *lowered bytecode itself* — at which point the
+//! drives for the certified mode take an assert-free path. No cert, no
+//! unchecked execution; mutating the lowered loops disarms the kernel.
+//!
 //! The tiny `unsafe` surface (shared `&[Cell]`-style writes during a
 //! certified step) lives in [`exec`] behind that gate; everything else in
 //! the crate is `#![deny(unsafe_code)]`-clean.
@@ -47,6 +57,9 @@ pub mod memory;
 pub use exec::{CompiledKernel, ExecMode};
 pub use lower::{CompiledLoop, CompiledStmt, Instr};
 pub use memory::KernelMemory;
+// Re-exported so consumers without an `mdf-analyze` dependency (the
+// service plan cache) can store and revalidate bytecode certificates.
+pub use mdf_analyze::bytecode::{BytecodeCert, VmImage, VmMode};
 
 use mdf_analyze::{certify_doall, certify_doall_traced, ParallelMode};
 use mdf_core::FusionPlan;

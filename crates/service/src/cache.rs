@@ -29,6 +29,7 @@ use std::collections::HashMap;
 
 use mdf_core::{verify_plan, FullParallelMethod, FusionPlan};
 use mdf_graph::{IVec2, Mldg};
+use mdf_kernel::{BytecodeCert, VmMode};
 use mdf_retime::{Retiming, Wavefront};
 
 /// The per-plan payload: enough to rebuild a [`FusionPlan`] for any graph
@@ -39,7 +40,14 @@ struct CachedPlan {
     /// in any parsed graph — the text formats reject duplicates).
     offsets: Vec<(String, IVec2)>,
     shape: CachedShape,
-    /// Integrity checksum over `offsets` and `shape`, taken at insert.
+    /// Bytecode certificate from the last kernel execution of this plan,
+    /// attached after a successful `arm`. A cached cert is only a *hint*:
+    /// the kernel re-derives its VM image and `arm_with_cert` rejects any
+    /// cert whose bounds or checksum disagree, so a stale or corrupted
+    /// cert costs one fresh verification, never unchecked execution.
+    cert: Option<BytecodeCert>,
+    /// Integrity checksum over `offsets`, `shape` and `cert`, taken at
+    /// insert (and re-taken whenever a cert is attached).
     sum: u64,
 }
 
@@ -52,8 +60,10 @@ enum CachedShape {
 /// What a cache probe produced.
 #[derive(Clone, Debug)]
 pub enum CacheLookup {
-    /// A stored plan that revalidated against the requesting graph.
-    Hit(FusionPlan),
+    /// A stored plan that revalidated against the requesting graph,
+    /// together with any bytecode certificate attached on a prior kernel
+    /// run (to be revalidated by `CompiledKernel::arm_with_cert`).
+    Hit(FusionPlan, Option<BytecodeCert>),
     /// An entry existed but failed revalidation (fingerprint collision or
     /// poison); it has been evicted and the caller must replan.
     Rejected,
@@ -105,7 +115,7 @@ impl PlanCache {
                 wavefront: *wavefront,
             },
         };
-        let sum = integrity(&offsets, &shape);
+        let sum = integrity(&offsets, &shape, None);
         self.entries.retain(|(k, _)| *k != key);
         self.entries.insert(
             0,
@@ -114,11 +124,26 @@ impl PlanCache {
                 CachedPlan {
                     offsets,
                     shape,
+                    cert: None,
                     sum,
                 },
             ),
         );
         self.entries.truncate(self.cap);
+    }
+
+    /// Attaches a bytecode certificate to the entry under `key`, refolding
+    /// the integrity checksum so the cert is covered by the same poison
+    /// detection as the offsets. A later cert for the same key replaces
+    /// the earlier one (the entry keeps the bounds most recently run).
+    /// No-op when `key` is absent; returns whether an entry was updated.
+    pub fn attach_cert(&mut self, key: u64, cert: BytecodeCert) -> bool {
+        let Some((_, entry)) = self.entries.iter_mut().find(|(k, _)| *k == key) else {
+            return false;
+        };
+        entry.cert = Some(cert);
+        entry.sum = integrity(&entry.offsets, &entry.shape, entry.cert.as_ref());
+        true
     }
 
     /// Probes for `key` and revalidates any stored plan against `g`.
@@ -139,7 +164,7 @@ impl PlanCache {
             }
         }
         let entry = &self.entries[pos].1;
-        if integrity(&entry.offsets, &entry.shape) != entry.sum {
+        if integrity(&entry.offsets, &entry.shape, entry.cert.as_ref()) != entry.sum {
             // The stored bytes are not what the planner produced. Even a
             // corruption that happens to stay *legal* must go: on loosely
             // constrained graphs a huge bogus offset verifies fine yet
@@ -151,8 +176,9 @@ impl PlanCache {
         match rebuilt {
             Some(plan) if verify_plan(g, &plan).is_ok() => {
                 let e = self.entries.remove(pos);
+                let cert = e.1.cert;
                 self.entries.insert(0, e);
-                CacheLookup::Hit(plan)
+                CacheLookup::Hit(plan, cert)
             }
             _ => {
                 // Collision or poison: drop the entry so it cannot tax
@@ -167,7 +193,7 @@ impl PlanCache {
 /// splitmix64-fold checksum over a cached plan's content. Not
 /// cryptographic — it guards against in-process corruption (the chaos
 /// poison site, stray writes), not an adversary with cache access.
-fn integrity(offsets: &[(String, IVec2)], shape: &CachedShape) -> u64 {
+fn integrity(offsets: &[(String, IVec2)], shape: &CachedShape, cert: Option<&BytecodeCert>) -> u64 {
     let mut state = 0x6d64_6675_7365_6421u64; // "mdfuse!"
     let mut fold = |w: u64| {
         state = state.wrapping_add(w).wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -194,6 +220,28 @@ fn integrity(offsets: &[(String, IVec2)], shape: &CachedShape) -> u64 {
             fold(wavefront.schedule.y as u64);
             fold(wavefront.hyperplane.x as u64);
             fold(wavefront.hyperplane.y as u64);
+        }
+    }
+    match cert {
+        None => fold(0),
+        Some(c) => {
+            fold(3);
+            match c.mode {
+                VmMode::Serial => fold(1),
+                VmMode::Rows => fold(2),
+                VmMode::Wavefront { schedule } => {
+                    fold(4);
+                    fold(schedule.0 as u64);
+                    fold(schedule.1 as u64);
+                }
+            }
+            fold(c.n as u64);
+            fold(c.m as u64);
+            fold(c.loops as u64);
+            fold(c.instrs);
+            fold(c.loads_checked);
+            fold(c.pairs_checked);
+            fold(c.checksum);
         }
     }
     state
@@ -248,7 +296,7 @@ mod tests {
         let mut cache = PlanCache::new(8);
         cache.insert(key, &g, &plan(&g));
         match cache.lookup(key, &g, false) {
-            CacheLookup::Hit(p) => verify_plan(&g, &p).unwrap(),
+            CacheLookup::Hit(p, _) => verify_plan(&g, &p).unwrap(),
             other => panic!("expected hit, got {other:?}"),
         }
     }
@@ -272,7 +320,7 @@ mod tests {
         let mut cache = PlanCache::new(8);
         cache.insert(canonical_fingerprint(&g), &g, &plan(&g));
         match cache.lookup(canonical_fingerprint(&g2), &g2, false) {
-            CacheLookup::Hit(p) => verify_plan(&g2, &p).unwrap(),
+            CacheLookup::Hit(p, _) => verify_plan(&g2, &p).unwrap(),
             other => panic!("expected hit, got {other:?}"),
         }
     }
@@ -312,6 +360,60 @@ mod tests {
         assert!(matches!(cache.lookup(key, &g, false), CacheLookup::Miss));
     }
 
+    fn sample_cert() -> BytecodeCert {
+        BytecodeCert {
+            mode: VmMode::Rows,
+            n: 8,
+            m: 8,
+            loops: 1,
+            instrs: 3,
+            loads_checked: 2,
+            pairs_checked: 1,
+            checksum: 0xdead_beef,
+        }
+    }
+
+    #[test]
+    fn attached_cert_comes_back_on_a_hit() {
+        let g = figure2();
+        let key = canonical_fingerprint(&g);
+        let mut cache = PlanCache::new(8);
+        cache.insert(key, &g, &plan(&g));
+        // A fresh entry carries no cert.
+        match cache.lookup(key, &g, false) {
+            CacheLookup::Hit(_, cert) => assert!(cert.is_none()),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        assert!(cache.attach_cert(key, sample_cert()));
+        assert!(!cache.attach_cert(key ^ 1, sample_cert()), "absent key");
+        match cache.lookup(key, &g, false) {
+            CacheLookup::Hit(_, Some(c)) => {
+                assert_eq!(c.checksum, 0xdead_beef);
+                assert_eq!(c.mode, VmMode::Rows);
+            }
+            other => panic!("expected hit with cert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_cert_fails_integrity_and_evicts_the_entry() {
+        let g = figure2();
+        let key = canonical_fingerprint(&g);
+        let mut cache = PlanCache::new(8);
+        cache.insert(key, &g, &plan(&g));
+        assert!(cache.attach_cert(key, sample_cert()));
+        // Flip one cert bit behind the checksum's back: the entry must be
+        // rejected and evicted, exactly like a poisoned offset.
+        if let Some(c) = &mut cache.entries[0].1.cert {
+            c.checksum ^= 1;
+        }
+        match cache.lookup(key, &g, false) {
+            CacheLookup::Rejected => {}
+            other => panic!("corrupted cert should reject, got {other:?}"),
+        }
+        assert!(matches!(cache.lookup(key, &g, false), CacheLookup::Miss));
+    }
+
     #[test]
     fn lru_evicts_the_coldest_entry() {
         let g2 = figure2();
@@ -326,14 +428,14 @@ mod tests {
         cache.insert(k2, &g2, &plan(&g2));
         cache.insert(k8, &g8, &plan(&g8));
         // Touch figure2 so figure8 is now the LRU entry.
-        assert!(matches!(cache.lookup(k2, &g2, false), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup(k2, &g2, false), CacheLookup::Hit(..)));
         cache.insert(k14, &g14, &plan(&g14));
         assert_eq!(cache.len(), 2);
         assert!(matches!(cache.lookup(k8, &g8, false), CacheLookup::Miss));
-        assert!(matches!(cache.lookup(k2, &g2, false), CacheLookup::Hit(_)));
+        assert!(matches!(cache.lookup(k2, &g2, false), CacheLookup::Hit(..)));
         assert!(matches!(
             cache.lookup(k14, &g14, false),
-            CacheLookup::Hit(_)
+            CacheLookup::Hit(..)
         ));
     }
 }

@@ -41,6 +41,7 @@ use mdf_graph::{canonical_fingerprint, Budget, BudgetMeter, MdfError, Mldg};
 use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
+use mdf_kernel::BytecodeCert;
 use mdf_sim::{
     deadline_expired, resume_fused_supervised, resume_wavefront_supervised, run_fused_supervised,
     run_wavefront_supervised, ExecStats, RetryPolicy, RowOrder, SupervisedOutcome,
@@ -611,10 +612,10 @@ fn process_admitted(
     let cache_span = span.child("cache");
     let looked = lock_unpoisoned(&shared.cache).lookup(key, &input.graph, config.chaos);
     cache_span.finish();
-    let (plan, cache_hit) = match looked {
-        CacheLookup::Hit(p) => {
+    let (plan, cache_hit, cached_cert) = match looked {
+        CacheLookup::Hit(p, cert) => {
             lock_unpoisoned(&shared.stats).cache_hits += 1;
-            (DegradedPlan::Fused(p), true)
+            (DegradedPlan::Fused(p), true, cert)
         }
         rejected_or_miss => {
             {
@@ -638,7 +639,7 @@ fn process_admitted(
             if let DegradedPlan::Fused(p) = &report.plan {
                 lock_unpoisoned(&shared.cache).insert(key, &input.graph, p);
             }
-            (report.plan, false)
+            (report.plan, false, None)
         }
     };
 
@@ -666,7 +667,13 @@ fn process_admitted(
     let spec = FusedSpec::new(program.clone(), fused.retiming().offsets().to_vec());
 
     let exec_span = span.child("execute");
-    let executed = run_with_resume(shared, &spec, &fused, submit, &budget, deadline, started)?;
+    let hint = CertHint {
+        key,
+        cached: cached_cert,
+    };
+    let executed = run_with_resume(
+        shared, &spec, &fused, submit, &budget, deadline, started, hint,
+    )?;
     exec_span.finish();
     Ok(Outcome {
         executed: true,
@@ -691,6 +698,17 @@ enum Attempt {
     Resume(ResumeState),
 }
 
+/// Cache linkage for the kernel engine's bytecode certificate: the entry
+/// key plus whatever cert a prior run attached to it. A cached cert that
+/// still matches the freshly lowered bytecode revalidates in O(1);
+/// otherwise the kernel verifies fresh and publishes the new cert back
+/// onto the cache entry for the next submission of the same graph.
+#[derive(Clone, Copy)]
+struct CertHint {
+    key: u64,
+    cached: Option<BytecodeCert>,
+}
+
 enum ResumeState {
     Interp(mdf_sim::Memory, mdf_sim::Checkpoint),
     Kernel(mdf_kernel::KernelMemory, mdf_sim::Checkpoint),
@@ -699,6 +717,7 @@ enum ResumeState {
 /// Runs the fused schedule under supervision; a `Partial` outcome with
 /// wall-clock remaining resumes from its checkpoint (at most
 /// `MAX_RESUMES` times) instead of being redone or surfaced.
+#[allow(clippy::too_many_arguments)]
 fn run_with_resume(
     shared: &Shared,
     spec: &FusedSpec,
@@ -707,9 +726,9 @@ fn run_with_resume(
     budget: &Budget,
     deadline: Duration,
     started: Instant,
+    hint: CertHint,
 ) -> Result<Executed, ServiceError> {
     const MAX_RESUMES: u32 = 4;
-    let config = &shared.config;
     let policy = RetryPolicy::deterministic();
     let mut attempt = Attempt::Fresh;
     let mut recovered = false;
@@ -725,8 +744,10 @@ fn run_with_resume(
             attempt_budget = attempt_budget.with_chaos();
         }
         let mut meter = attempt_budget.meter();
-        let outcome = run_once(config, spec, plan, submit, &mut meter, &policy, attempt)
-            .map_err(|e| map_mdf_error(&e))?;
+        let outcome = run_once(
+            shared, spec, plan, submit, &mut meter, &policy, attempt, hint,
+        )
+        .map_err(|e| map_mdf_error(&e))?;
         match outcome {
             RunResult::Complete {
                 fingerprint,
@@ -787,15 +808,17 @@ enum RunResult {
 
 #[allow(clippy::too_many_arguments)]
 fn run_once(
-    config: &ServiceConfig,
+    shared: &Shared,
     spec: &FusedSpec,
     plan: &FusionPlan,
     submit: &Submit,
     meter: &mut BudgetMeter,
     policy: &RetryPolicy,
     attempt: Attempt,
+    hint: CertHint,
 ) -> Result<RunResult, MdfError> {
     use crate::proto::Engine;
+    let config = &shared.config;
     match submit.engine {
         Engine::Interp => {
             let outcome = match (plan, attempt) {
@@ -858,7 +881,19 @@ fn run_once(
         }
         Engine::Kernel => {
             let mode = mdf_kernel::plan_mode(spec, plan);
-            let k = mdf_kernel::CompiledKernel::compile(spec, submit.n, submit.m)?;
+            let mut k = mdf_kernel::CompiledKernel::compile(spec, submit.n, submit.m)?;
+            // Arm the unchecked fast path. A cached cert that still
+            // matches this lowered bytecode (same bounds, same checksum)
+            // revalidates without re-running the verifier; anything else
+            // verifies fresh and publishes the new cert back onto the
+            // cache entry. Failure to arm is not an error — the kernel
+            // simply stays on the bounds-checked path.
+            let revalidated = hint.cached.is_some_and(|c| k.arm_with_cert(mode, c));
+            if !revalidated {
+                if let Ok(cert) = k.arm(mode) {
+                    lock_unpoisoned(&shared.cache).attach_cert(hint.key, cert);
+                }
+            }
             let outcome = match attempt {
                 Attempt::Fresh => k.run_supervised(mode, config.threads, policy, meter)?,
                 Attempt::Resume(ResumeState::Kernel(mem, cp)) => {

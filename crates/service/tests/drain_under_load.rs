@@ -88,6 +88,41 @@ fn simple_session_round_trip() {
 }
 
 #[test]
+fn kernel_cert_roundtrip_across_cache_hits_and_bound_changes() {
+    // Three kernel submissions of one graph walk the whole certificate
+    // lifecycle: miss (verify fresh, attach cert), hit at the same bounds
+    // (cached cert revalidates in O(1)), hit at different bounds (cached
+    // cert is rejected by revalidation, a fresh cert replaces it). Every
+    // answer must match the reference interpreter bit for bit — the
+    // unchecked fast path is only ever a speed change.
+    let socket = unique_socket("certroundtrip");
+    let server = Server::start(ServiceConfig::new(&socket)).unwrap();
+    let source = example("figure2.mdf");
+    let mut client = Client::connect(&socket).unwrap();
+    for (i, (n, m)) in [(12, 12), (12, 12), (9, 17)].into_iter().enumerate() {
+        let want = expected_fingerprint(&source, n, m);
+        let resp = client
+            .submit(Submit {
+                engine: Engine::Kernel,
+                n,
+                m,
+                deadline_ms: 0,
+                source: source.clone(),
+            })
+            .unwrap();
+        let Response::Done(done) = resp else {
+            panic!("expected Done, got {resp:?}");
+        };
+        assert!(done.executed);
+        assert_eq!(done.cache_hit, i > 0, "submission {i}");
+        assert_eq!(done.fingerprint, want, "submission {i} diverged");
+    }
+    let stats = server.drain();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.cache_hits, 2);
+}
+
+#[test]
 fn malformed_graph_gets_a_typed_error_not_a_dead_daemon() {
     let socket = unique_socket("malformed");
     let server = Server::start(ServiceConfig::new(&socket)).unwrap();

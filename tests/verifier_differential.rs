@@ -1,0 +1,191 @@
+//! Checked-vs-unchecked equivalence for the bytecode verifier's fast path.
+//!
+//! Arming a compiled kernel with a [`mdfusion::kernel::BytecodeCert`]
+//! elides every per-access bounds assert on the certified mode's drive.
+//! That elision must be *observationally invisible*: for every workload
+//! the planner fuses, the armed run must produce a bit-identical memory
+//! fingerprint and identical `ExecStats` (barriers, statement instances)
+//! to the checked run — serially, under a forced multi-worker policy,
+//! across the tiled wide-row path, and in the canonical serial fallback
+//! mode.
+//!
+//! Coverage mirrors `kernel_differential.rs`: the executable `mdf-gen`
+//! suites, every DSL example under `examples/dsl/`, and a proptest sweep
+//! over random programs. On top of equivalence, the gating contract is
+//! pinned: certificates round-trip through `arm_with_cert` only at their
+//! own bounds, and any mutation of the lowered loops disarms the kernel.
+
+use mdfusion::core::plan_fusion;
+use mdfusion::gen::{executable_suite, random_program, ProgramGenConfig};
+use mdfusion::ir::extract::extract_mldg;
+use mdfusion::ir::{FusedSpec, Program};
+use mdfusion::kernel::{plan_mode, CompiledKernel, ExecMode};
+use mdfusion::sim::align_plan_to_program;
+use proptest::prelude::*;
+
+/// The kernel's internal tile width (`exec::TILE_COLS`); rows at least
+/// twice this wide take the chunked parallel path.
+const TILE_COLS: i64 = 256;
+
+/// Compiles `p` at `(n, m)`, arms the planned mode, and asserts the armed
+/// (unchecked) runs are bit-identical to the checked ones. Returns `false`
+/// when the planner degrades (nothing to compare).
+fn assert_unchecked_matches_checked(p: &Program, n: i64, m: i64) -> bool {
+    let graph = extract_mldg(p).expect("corpus programs extract").graph;
+    let Ok(plan) = plan_fusion(&graph) else {
+        return false;
+    };
+    let plan = align_plan_to_program(&graph, p, &plan).expect("corpus programs align");
+    let spec = FusedSpec::new(p.clone(), plan.retiming().offsets().to_vec());
+    let checked = CompiledKernel::compile(&spec, n, m).expect("planned specs compile");
+    let mode = plan_mode(&spec, &plan);
+
+    for drive in [mode, ExecMode::RowsSerial] {
+        let mut armed = checked.clone();
+        let cert = armed.arm(drive).unwrap_or_else(|diags| {
+            let codes: Vec<&str> = diags.iter().map(|d| d.code).collect();
+            panic!(
+                "{}: verifier rejected planner bytecode at ({n},{m}) in mode {drive:?}: {codes:?}",
+                p.name
+            )
+        });
+        assert!(armed.is_armed(drive), "{}: cert must arm {drive:?}", p.name);
+        assert!(
+            !checked.is_armed(drive),
+            "{}: the un-armed kernel must stay checked",
+            p.name
+        );
+
+        for threads in [1, 4] {
+            let (cmem, cstats) = checked.run_with_threads(drive, threads);
+            let (umem, ustats) = armed.run_with_threads(drive, threads);
+            assert_eq!(
+                umem.fingerprint(),
+                cmem.fingerprint(),
+                "{}: unchecked diverged at ({n},{m}), mode {drive:?}, {threads} thread(s)",
+                p.name
+            );
+            assert_eq!(
+                ustats, cstats,
+                "{}: ExecStats diverged at ({n},{m}), mode {drive:?}, {threads} thread(s)",
+                p.name
+            );
+        }
+
+        // The cert round-trips onto a fresh compile of the same spec at
+        // the same bounds — and at no other bounds.
+        let mut fresh = CompiledKernel::compile(&spec, n, m).expect("recompile");
+        assert!(
+            fresh.arm_with_cert(drive, cert),
+            "{}: cert failed to revalidate on an identical kernel",
+            p.name
+        );
+        let mut other = CompiledKernel::compile(&spec, n + 1, m).expect("recompile");
+        assert!(
+            !other.arm_with_cert(drive, cert),
+            "{}: cert for ({n},{m}) must not arm a ({},{m}) kernel",
+            p.name,
+            n + 1
+        );
+    }
+    true
+}
+
+#[test]
+fn suite_programs_run_unchecked_identically() {
+    let mut compared = 0;
+    for entry in executable_suite() {
+        let p = entry
+            .program
+            .expect("executable_suite filters for programs");
+        for (n, m) in [(7, 5), (16, 16)] {
+            assert!(
+                assert_unchecked_matches_checked(&p, n, m),
+                "suite {} no longer plans to a fused schedule",
+                entry.id
+            );
+        }
+        compared += 1;
+    }
+    assert_eq!(compared, 4, "expected E1, E2, E4, E5 to be executable");
+}
+
+#[test]
+fn dsl_examples_run_unchecked_identically() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/dsl");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples/dsl exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mdf"))
+        .collect();
+    entries.sort();
+    let mut seen = 0;
+    for path in entries {
+        let src = std::fs::read_to_string(&path).expect("readable example");
+        let p =
+            mdfusion::ir::parse_program(&src).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert!(
+            assert_unchecked_matches_checked(&p, 12, 10),
+            "{}: example must plan to a fused schedule",
+            path.display()
+        );
+        seen += 1;
+    }
+    assert!(seen >= 5, "expected at least 5 DSL examples, found {seen}");
+}
+
+#[test]
+fn tiled_wide_rows_run_unchecked_identically() {
+    // Rows wider than 2 * TILE_COLS with multiple workers take the
+    // chunked `SharedCells` path; the assert-free variant of that path
+    // must agree cell for cell.
+    let p = mdfusion::ir::samples::figure2_program();
+    assert!(assert_unchecked_matches_checked(&p, 4, 3 * TILE_COLS));
+}
+
+#[test]
+fn mutation_disarms_and_stale_certs_are_rejected() {
+    let p = mdfusion::ir::samples::figure2_program();
+    let graph = extract_mldg(&p).unwrap().graph;
+    let plan = plan_fusion(&graph).unwrap();
+    let plan = align_plan_to_program(&graph, &p, &plan).unwrap();
+    let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+    let mut k = CompiledKernel::compile(&spec, 8, 8).unwrap();
+    let mode = plan_mode(&spec, &plan);
+    let cert = k.arm(mode).expect("planner bytecode verifies");
+    assert!(k.is_armed(mode));
+
+    // Any access to the lowered loops through the mutable window drops
+    // the cert — the unchecked path can never run mutated bytecode.
+    k.loops_mut()[0].rows.hi += 1;
+    assert!(!k.is_armed(mode), "mutation must disarm");
+    assert!(
+        !k.arm_with_cert(mode, cert),
+        "a stale cert must not re-arm a mutated kernel"
+    );
+    // A cert for one mode never licenses another.
+    let mut fresh = CompiledKernel::compile(&spec, 8, 8).unwrap();
+    assert!(!fresh.arm_with_cert(ExecMode::RowsSerial, cert));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random fused programs: arming is always possible on planner output
+    /// and never changes the answer.
+    #[test]
+    fn random_programs_run_unchecked_identically(seed in 0u64..1u64 << 48, loops in 2usize..5) {
+        let cfg = ProgramGenConfig {
+            loops,
+            reads_per_loop: 1 + (seed % 3) as usize,
+            max_offset: 2,
+            self_read_probability: 0.3,
+        };
+        let p = random_program(seed, &cfg);
+        if extract_mldg(&p).is_ok() {
+            // Degraded plans return false and prove nothing; fused plans
+            // must arm and agree.
+            let _ = assert_unchecked_matches_checked(&p, 6, 6);
+        }
+    }
+}
