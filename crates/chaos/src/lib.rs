@@ -128,6 +128,24 @@ pub const SITES: &[SiteInfo] = &[
         name: "service.cache",
         kinds: &[FaultKind::CorruptRetiming],
     },
+    // Router-layer sites (`mdf-router`). `router.shard` kills a worker
+    // shard outright (the health loop must detect the death and respawn
+    // it); `router.ring` spuriously marks a live shard dead on the hash
+    // ring (requests reroute, the health loop revives it in place);
+    // `router.batch` stalls a batch-coalescing window past its bound
+    // (the batch must still flush — late, never never).
+    SiteInfo {
+        name: "router.shard",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "router.ring",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "router.batch",
+        kinds: &[FaultKind::DeadlineExpiry],
+    },
 ];
 
 /// Looks a site up in [`SITES`].

@@ -31,10 +31,22 @@
 //! retry is **recovered**, a typed error with the daemon still
 //! answering is **detected**, and a hung client, dead daemon, or
 //! divergent fingerprint fails the sweep.
+//!
+//! A third phase sweeps the **fleet** fault sites (`router.shard`,
+//! `router.ring`, `router.batch`): each case boots a chaos-enabled
+//! [`mdf_router::Router`] over a two-shard in-process fleet on a TCP
+//! endpoint (the shards themselves run with chaos off, so only the
+//! router's sites fire), arms the single fault, and drives client
+//! traffic through the router. A shard kill must end with the fleet
+//! respawned and every shard healthy again; a ring flap must surface as
+//! an observed reroute; a batching stall must flush late, never hang.
+//! A fleet that never recovers, a dead router, or a divergent
+//! fingerprint fails the sweep.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use mdf_chaos::{FaultKind, FaultPlan, SITES};
 use mdf_core::{DegradedPlan, FusionPlan, PlanReport};
@@ -44,7 +56,9 @@ use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
 use mdf_kernel::{plan_mode, CompiledKernel, ExecMode};
+use mdf_router::{InProcessBackend, Router, RouterConfig};
 use mdf_service::proto::{ErrCode, Response, Submit};
+use mdf_service::transport::Endpoint;
 use mdf_service::{Client, Engine, Server, ServiceConfig};
 use mdf_sim::{
     resume_fused_supervised, resume_wavefront_supervised, run_fused_ordered, run_fused_supervised,
@@ -499,6 +513,7 @@ fn one_submit(socket: &std::path::Path, source: &str, i: u64) -> SubmitOutcome {
         n: SWEEP_N,
         m: SWEEP_M,
         deadline_ms: 30_000,
+        client: String::new(),
         source: source.to_string(),
     }) {
         Ok(Response::Done(done)) => SubmitOutcome::Done(done.fingerprint),
@@ -638,6 +653,185 @@ fn service_sweep(
         }
     }
     names.push(format!("mdfused:{name}"));
+}
+
+/// Requests per router case: enough that both sampled triggers of every
+/// `router.*` site land mid-traffic.
+const ROUTER_REQUESTS: u64 = 6;
+
+/// One connect-submit-close round trip through a router endpoint.
+fn router_submit(endpoint: &Endpoint, source: &str, i: u64) -> SubmitOutcome {
+    let mut client = match Client::connect_endpoint(endpoint) {
+        Ok(c) => c,
+        Err(e) => return SubmitOutcome::Transport(format!("connect: {e}")),
+    };
+    let engine = if i.is_multiple_of(2) {
+        Engine::Kernel
+    } else {
+        Engine::Interp
+    };
+    match client.submit(Submit {
+        engine,
+        n: SWEEP_N,
+        m: SWEEP_M,
+        deadline_ms: 30_000,
+        client: String::new(),
+        source: source.to_string(),
+    }) {
+        Ok(Response::Done(done)) => SubmitOutcome::Done(done.fingerprint),
+        Ok(Response::Err(e)) => SubmitOutcome::Typed(e.code),
+        Ok(other) => SubmitOutcome::Transport(format!("unexpected response: {other:?}")),
+        Err(e) => SubmitOutcome::Transport(e.to_string()),
+    }
+}
+
+/// Drives `ROUTER_REQUESTS` submissions through the router. The router's
+/// failover is internal (a killed shard reroutes within one submission),
+/// so the client budget is a few retries for the typed `Overloaded` and
+/// `Draining` windows around a shard death.
+fn drive_router(endpoint: &Endpoint, source: &str, want: u64, retries: &mut u64) -> Class {
+    for i in 0..ROUTER_REQUESTS {
+        let mut last_typed: Option<ErrCode> = None;
+        let mut last_transport: Option<String> = None;
+        let mut landed = false;
+        for attempt in 0..4 {
+            if attempt > 0 {
+                *retries += 1;
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            match router_submit(endpoint, source, i) {
+                SubmitOutcome::Done(fp) if fp == want => {
+                    landed = true;
+                    break;
+                }
+                SubmitOutcome::Done(fp) => {
+                    return Class::WrongAnswer(format!(
+                        "request {i}: fingerprint {fp:#x} != original {want:#x}"
+                    ));
+                }
+                SubmitOutcome::Typed(code) => last_typed = Some(code),
+                SubmitOutcome::Transport(detail) => last_transport = Some(detail),
+            }
+        }
+        if landed {
+            continue;
+        }
+        // Retries exhausted. The router must still be answering —
+        // otherwise the fault took the whole fleet front door down.
+        let alive = Client::connect_endpoint(endpoint).is_ok_and(|mut c| c.ping().is_ok());
+        if !alive {
+            return Class::UnhandledPanic(format!(
+                "request {i}: router stopped answering after {}",
+                last_transport
+                    .or_else(|| last_typed.map(|c| c.name().to_string()))
+                    .unwrap_or_else(|| "an injected fault".into())
+            ));
+        }
+        if last_typed.is_some() {
+            return Class::Detected;
+        }
+        return Class::WrongAnswer(format!(
+            "request {i}: retry exhausted without a typed error: {}",
+            last_transport.unwrap_or_default()
+        ));
+    }
+    Class::Recovered
+}
+
+/// After a fired fault and a clean drive, holds the fleet to the site's
+/// recovery oracle: a shard kill must end respawned and fully healthy, a
+/// ring flap must have been *observed* as a reroute (silently surviving
+/// one would mean the failover path never ran).
+fn confirm_router_recovery(endpoint: &Endpoint, site: &str) -> Class {
+    let deadline = Instant::now() + Duration::from_secs(8);
+    loop {
+        let fleet = Client::connect_endpoint(endpoint)
+            .ok()
+            .and_then(|mut c| c.fleet().ok());
+        if let Some(f) = fleet {
+            let recovered = match site {
+                "router.shard" => f.respawns >= 1 && f.shards.iter().all(|s| s.healthy),
+                "router.ring" => f.reroutes >= 1,
+                _ => true,
+            };
+            if recovered {
+                return Class::Recovered;
+            }
+        }
+        if Instant::now() >= deadline {
+            return Class::WrongAnswer(format!("{site} fired but the fleet never showed recovery"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Runs one fleet-phase case: boot a chaos-enabled router over a
+/// two-shard in-process fleet (shards with chaos *off*, so only the
+/// router's sites fire), arm the fault, drive traffic, hold the fleet to
+/// the recovery oracle, drain.
+fn router_case(
+    workload: &str,
+    source: &str,
+    want: u64,
+    site: &'static str,
+    kind: FaultKind,
+    trigger: u64,
+) -> CaseResult {
+    let template = ServiceConfig::new(std::env::temp_dir().join("mdfuse-chaos-template.sock"));
+    let backend = InProcessBackend::new(2, template);
+    let mut config = RouterConfig::new(Endpoint::parse("tcp:127.0.0.1:0"), 2);
+    config.chaos = true;
+    config.health_interval = Duration::from_millis(25);
+    config.batch_window = Some(Duration::from_millis(2));
+    let mut recovery = RecoveryStats::default();
+    let (class, injected) = match Router::start(config, Box::new(backend)) {
+        Err(e) => (
+            Class::UnhandledPanic(format!("router failed to start: {e}")),
+            0,
+        ),
+        Ok(router) => {
+            let endpoint = router.endpoint().clone();
+            let guard = FaultPlan::single(site, kind, trigger).arm();
+            let mut class = drive_router(&endpoint, source, want, &mut recovery.retries);
+            if class == Class::Recovered && guard.injected() > 0 {
+                class = confirm_router_recovery(&endpoint, site);
+            }
+            let injected = guard.injected();
+            drop(guard);
+            let _ = router.drain();
+            (class, injected)
+        }
+    };
+    CaseResult {
+        workload: format!("mdf-router:{workload}"),
+        site,
+        kind,
+        trigger,
+        class,
+        injected,
+        recovery,
+    }
+}
+
+/// The fleet-level phase: every `router.*` site and kind, at the first
+/// and a second trigger, against a live two-shard fleet.
+fn router_sweep(
+    name: &str,
+    program: &Program,
+    results: &mut Vec<CaseResult>,
+    names: &mut Vec<String>,
+) {
+    let source = mdf_ir::pretty::program_to_dsl(program);
+    let (omem, _) = run_original(program, SWEEP_N, SWEEP_M);
+    let want = omem.fingerprint();
+    for site in SITES.iter().filter(|s| s.name.starts_with("router.")) {
+        for kind in site.kinds {
+            for trigger in [1, 2] {
+                results.push(router_case(name, &source, want, site.name, *kind, trigger));
+            }
+        }
+    }
+    names.push(format!("mdf-router:{name}"));
 }
 
 /// splitmix64, the workspace-standard seed chain.
@@ -792,11 +986,15 @@ fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>)
         case_span.finish();
     }
     // Phase two: the daemon sites, against a live server running the
-    // first fully-fused workload.
+    // first fully-fused workload. Phase three: the fleet sites, against
+    // a live two-shard router over the same workload.
     if let Some((name, program)) = service_workload {
         let svc_span = span.child("service");
         service_sweep(&name, &program, &mut results, &mut names);
         svc_span.finish();
+        let fleet_span = span.child("router");
+        router_sweep(&name, &program, &mut results, &mut names);
+        fleet_span.finish();
     }
     Ok((results, names))
 }
@@ -1026,6 +1224,7 @@ mod tests {
         assert!(out.contains("E1:"), "{out}");
         assert!(out.contains("figure2:"), "{out}");
         assert!(out.contains("mdfused:E1:"), "{out}");
+        assert!(out.contains("mdf-router:E1:"), "{out}");
 
         // The written report validates...
         let path = opts.out.clone().unwrap();

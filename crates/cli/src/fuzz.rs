@@ -574,6 +574,7 @@ fn random_request(state: &mut u64) -> mdf_service::Request {
                 n: (mix(state) % 1000) as i64 - 500,
                 m: (mix(state) % 1000) as i64 - 500,
                 deadline_ms: mix(state) % 100_000,
+                client: format!("c{}", mix(state) % 8),
                 source,
             })
         }

@@ -41,6 +41,7 @@ mod bench;
 mod chaos;
 mod fuzz;
 mod profile;
+mod route_cmd;
 mod service_cmd;
 
 /// A CLI failure, classified for the exit code.
@@ -527,12 +528,15 @@ const USAGE: &str =
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
        mdfuse chaos [--seed S] [--json] [--out PATH] [--check PATH]
                     [--examples DIR] [--profile[=PATH]]
-       mdfuse serve <socket> [--workers N] [--queue N] [--cache-cap N]
+       mdfuse serve <endpoint> [--workers N] [--queue N] [--cache-cap N]
                     [--inject-chaos]
-       mdfuse client <socket> <ping|stats|shutdown>
-       mdfuse client <socket> submit <file> [n] [m] [--engine E]
+       mdfuse route <endpoint> [--shards N] [--batch] [--workers N]
+                    [--queue N] [--cache-cap N]
+       mdfuse client <endpoint> <ping|stats|fleet|shutdown>
+       mdfuse client <endpoint> submit <file> [n] [m] [--engine E]
                     [--deadline-ms MS]
-       mdfuse loadgen [--socket PATH] [--requests N] [--concurrency C]
+       mdfuse loadgen [--socket ENDPOINT] [--shards N] [--batch]
+                    [--requests N] [--concurrency C]
                     [--mode closed|open] [--rps R] [--seed S] [--json]
                     [--out PATH] [--check PATH] [--examples DIR]
        mdfuse profile-check <file>
@@ -548,12 +552,18 @@ options:
   --check PATH       bench, chaos: validate an existing report and exit
   --examples DIR     chaos, loadgen: directory of .mdf examples
                      (default examples/dsl; skipped when absent)
-  --workers N        serve: concurrent submissions (default 4)
-  --queue N          serve: admission queue depth (default 8)
-  --cache-cap N      serve: plan cache capacity (default 64)
+  --workers N        serve, route: concurrent submissions per daemon
+                     (default 4)
+  --queue N          serve, route: admission queue depth (default 8)
+  --cache-cap N      serve, route: plan cache capacity (default 64)
   --inject-chaos     serve: arm the service.* fault sites (testing only)
-  --socket PATH      loadgen: drive an external daemon (default: boot an
-                     in-process one on a temp socket)
+  --shards N         route, loadgen: fleet shard count (route default 2;
+                     loadgen 0 = single in-process daemon)
+  --batch            route, loadgen: coalesce same-fingerprint
+                     submissions inside a bounded window
+  --socket ENDPOINT  loadgen: drive an external daemon or router
+                     (`tcp:HOST:PORT` or a unix socket path; default:
+                     boot an in-process target)
   --requests N       loadgen: total submissions (default 120)
   --concurrency C    loadgen: client threads (default 4)
   --mode M           loadgen: closed (back-to-back) or open (fixed-rate)
@@ -651,6 +661,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.service.cache_capacity = next_u64(&mut it, "--cache-cap")? as usize
             }
             "--inject-chaos" => opts.service.inject_chaos = true,
+            "--shards" => opts.service.shards = next_u64(&mut it, "--shards")? as u32,
+            "--batch" => opts.service.batch = true,
             "--socket" => opts.service.socket = Some(next_value(&mut it, "--socket")?.to_string()),
             "--requests" => opts.service.requests = next_u64(&mut it, "--requests")?,
             "--concurrency" => {
@@ -717,6 +729,7 @@ fn dispatch(args: &[String]) -> Result<String, CliError> {
         [cmd] if cmd == "chaos" => chaos::run(&opts.chaos, opts.json, &root),
         [cmd] if cmd == "loadgen" => service_cmd::loadgen(&opts.service, opts.json),
         [cmd, socket] if cmd == "serve" => service_cmd::serve(socket, &opts.service),
+        [cmd, endpoint] if cmd == "route" => route_cmd::route(endpoint, &opts.service),
         [cmd, socket, action, rest @ ..] if cmd == "client" => {
             service_cmd::client(socket, action, rest, &opts.engine, opts.deadline_ms)
         }

@@ -1,0 +1,155 @@
+//! `mdfuse route`: a real multi-process `mdfused` fleet.
+//!
+//! Spawns N child `mdfuse serve` processes on per-shard unix sockets and
+//! fronts them with an `mdf_router::Router` on the given endpoint
+//! (typically `tcp:HOST:PORT`). Runs in the foreground until a client
+//! sends `Shutdown` to the front door, then drains the fleet and prints
+//! the final counters. A shard child that dies is detected by the health
+//! loop and respawned (next generation, fresh socket) with backoff.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use mdf_router::{Backend, Router, RouterConfig};
+use mdf_service::transport::Endpoint;
+use mdf_service::Client;
+
+use crate::service_cmd::{render_fleet_human, ServiceOpts, BATCH_WINDOW};
+use crate::CliError;
+
+/// How long `start` waits for a spawned shard to accept connections.
+const SPAWN_READY: Duration = Duration::from_secs(10);
+
+/// Shards as child `mdfuse serve` processes (re-invoking the current
+/// executable), one unix socket each.
+struct ProcessBackend {
+    workers: usize,
+    queue_depth: usize,
+    cache_capacity: usize,
+    children: Mutex<Vec<Option<(Child, Endpoint)>>>,
+}
+
+impl ProcessBackend {
+    fn new(shards: u32, opts: &ServiceOpts) -> ProcessBackend {
+        ProcessBackend {
+            workers: opts.workers.max(1),
+            queue_depth: opts.queue_depth.max(1),
+            cache_capacity: opts.cache_capacity.max(1),
+            children: Mutex::new((0..shards).map(|_| None).collect()),
+        }
+    }
+}
+
+/// Best-effort graceful stop: ask the shard to drain, give it a moment,
+/// then kill whatever is left. Always reaps the child.
+fn stop_child(mut child: Child, endpoint: &Endpoint) {
+    if let Ok(mut c) = Client::connect_endpoint(endpoint) {
+        let _ = c.shutdown();
+    }
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        match child.try_wait() {
+            Ok(Some(_)) => return,
+            Ok(None) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            _ => break,
+        }
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+}
+
+impl Backend for ProcessBackend {
+    fn start(&self, shard: u32, generation: u64) -> std::io::Result<Endpoint> {
+        let path = std::env::temp_dir().join(format!(
+            "mdfused-fleet-{}-{shard}-g{generation}.sock",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let exe = std::env::current_exe()?;
+        let mut child = Command::new(exe)
+            .arg("serve")
+            .arg(&path)
+            .arg("--workers")
+            .arg(self.workers.to_string())
+            .arg("--queue")
+            .arg(self.queue_depth.to_string())
+            .arg("--cache-cap")
+            .arg(self.cache_capacity.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()?;
+        let endpoint = Endpoint::unix(&path);
+        // The Backend contract: do not return until the shard accepts.
+        let deadline = Instant::now() + SPAWN_READY;
+        loop {
+            if let Ok(mut c) = Client::connect_endpoint(&endpoint) {
+                if c.ping().is_ok() {
+                    break;
+                }
+            }
+            if let Ok(Some(status)) = child.try_wait() {
+                return Err(std::io::Error::other(format!(
+                    "shard {shard} exited during startup ({status})"
+                )));
+            }
+            if Instant::now() >= deadline {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(std::io::Error::other(format!(
+                    "shard {shard} did not become ready within {SPAWN_READY:?}"
+                )));
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let previous = {
+            let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+            let slot = children
+                .get_mut(shard as usize)
+                .ok_or_else(|| std::io::Error::other(format!("no such shard {shard}")))?;
+            slot.replace((child, endpoint.clone()))
+        };
+        if let Some((old, old_endpoint)) = previous {
+            stop_child(old, &old_endpoint);
+        }
+        Ok(endpoint)
+    }
+
+    fn stop(&self, shard: u32) {
+        let taken = {
+            let mut children = self.children.lock().unwrap_or_else(|e| e.into_inner());
+            children.get_mut(shard as usize).and_then(Option::take)
+        };
+        if let Some((child, endpoint)) = taken {
+            stop_child(child, &endpoint);
+        }
+    }
+}
+
+/// Entry point for `mdfuse route <endpoint> --shards N [--batch]`.
+pub(crate) fn route(endpoint: &str, opts: &ServiceOpts) -> Result<String, CliError> {
+    let shards = if opts.shards == 0 { 2 } else { opts.shards };
+    let backend = ProcessBackend::new(shards, opts);
+    let mut config = RouterConfig::new(Endpoint::parse(endpoint), shards);
+    config.batch_window = opts.batch.then_some(BATCH_WINDOW);
+    let router = Router::start(config, Box::new(backend))
+        .map_err(|e| CliError::Usage(format!("cannot start fleet on {endpoint}: {e}")))?;
+    println!(
+        "mdf-router listening on {} ({} shard(s), {} worker(s)/shard, batching {})",
+        router.endpoint(),
+        shards,
+        opts.workers.max(1),
+        if opts.batch { "on" } else { "off" },
+    );
+    while !router.is_draining() {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    let fleet = router.drain();
+    Ok(format!(
+        "mdf-router drained\n{}",
+        render_fleet_human(&fleet)
+    ))
+}

@@ -1,35 +1,42 @@
 //! `mdfuse serve`, `mdfuse client`, and `mdfuse loadgen`: the CLI face
-//! of the `mdfused` daemon (`mdf-service`).
+//! of the `mdfused` daemon (`mdf-service`) and the `mdf-router` fleet.
 //!
 //! * `serve` runs the daemon in the foreground until a client sends
 //!   `Shutdown`, then drains gracefully and prints the flushed stats.
-//! * `client` is a one-shot protocol client: ping, stats, shutdown, or
-//!   submit a program/graph file.
+//!   Endpoints follow the workspace convention: `tcp:HOST:PORT` is TCP,
+//!   anything else is a unix socket path.
+//! * `client` is a one-shot protocol client: ping, stats, fleet,
+//!   shutdown, or submit a program/graph file. `Overloaded` rejections
+//!   that carry a retry hint are honored with bounded backoff.
 //! * `loadgen` drives a seeded request mix over the DSL example
-//!   workloads — against an external daemon (`--socket`) or an
-//!   in-process one it boots itself — and emits the schema-versioned
-//!   `BENCH_service.json` report (p50/p99 latency, throughput, cache
-//!   hit rate, overload rejections, recoveries). Every completed
-//!   request's fingerprint is checked against a direct `run_original`
-//!   of the same workload, so the load test doubles as a correctness
-//!   oracle. `--check` re-validates a committed report with the
-//!   dependency-free JSON reader.
+//!   workloads — against an external daemon or router (`--socket`, which
+//!   also accepts `tcp:` endpoints), an in-process daemon it boots
+//!   itself, or an in-process N-shard fleet (`--shards N`, front door on
+//!   TCP; `--batch` arms the coalescing window) — and emits the
+//!   schema-versioned `BENCH_service.json` report (p50/p99 latency,
+//!   throughput, cache hit rate, per-shard rows, batching and reroute
+//!   counters). Every completed request's fingerprint is checked against
+//!   a direct `run_original` of the same workload, so the load test
+//!   doubles as a correctness oracle. `--check` re-validates a committed
+//!   report with the dependency-free JSON reader.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use mdf_graph::MdfError;
-use mdf_service::proto::{ErrCode, Response, ServiceStats, Submit};
+use mdf_router::{InProcessBackend, Router, RouterConfig};
+use mdf_service::proto::{ErrCode, FleetStats, Response, ServiceStats, Submit};
+use mdf_service::transport::Endpoint;
 use mdf_service::{Client, Engine, Server, ServiceConfig};
 use mdf_trace::json::{escape as json_escape, parse as parse_json, Json};
 
 use crate::CliError;
 
-/// Version stamp of the `BENCH_service.json` schema.
-const SCHEMA_VERSION: u64 = 1;
+/// Version stamp of the `BENCH_service.json` schema. v2 added `retries`,
+/// the `router` scalar block, and per-shard rows.
+const SCHEMA_VERSION: u64 = 2;
 
 /// Options for `serve`, `client`, and `loadgen`.
 pub(crate) struct ServiceOpts {
@@ -41,8 +48,12 @@ pub(crate) struct ServiceOpts {
     pub cache_capacity: usize,
     /// `serve`: arm the `service.*` chaos sites (testing only).
     pub inject_chaos: bool,
-    /// `loadgen`: external daemon socket (in-process daemon when unset).
+    /// `loadgen`: external daemon/router endpoint (in-process when unset).
     pub socket: Option<String>,
+    /// `loadgen`/`route`: fleet shard count (`0` = single daemon).
+    pub shards: u32,
+    /// `loadgen`/`route`: arm the same-fingerprint batching window.
+    pub batch: bool,
     /// `loadgen`: total submissions.
     pub requests: u64,
     /// `loadgen`: closed-loop client threads.
@@ -57,7 +68,7 @@ pub(crate) struct ServiceOpts {
     pub check: Option<String>,
     /// Workload directory (`.mdf` DSL examples).
     pub examples: String,
-    /// Seed for the request mix.
+    /// Seed for the request mix and retry backoff.
     pub seed: u64,
 }
 
@@ -69,6 +80,8 @@ impl Default for ServiceOpts {
             cache_capacity: 64,
             inject_chaos: false,
             socket: None,
+            shards: 0,
+            batch: false,
             requests: 120,
             concurrency: 4,
             mode: "closed".to_string(),
@@ -80,6 +93,14 @@ impl Default for ServiceOpts {
         }
     }
 }
+
+/// The batching window `--batch` arms. Small on purpose: long enough for
+/// concurrent same-fingerprint arrivals to coalesce, short enough to stay
+/// invisible next to an execution.
+pub(crate) const BATCH_WINDOW: Duration = Duration::from_millis(2);
+
+/// Bounded retries a client spends honoring `Overloaded` hints.
+const MAX_RETRIES: u64 = 3;
 
 /// splitmix64, the workspace-standard deterministic mix.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -93,20 +114,24 @@ fn splitmix64(state: &mut u64) -> u64 {
 // ---------------------------------------------------------------------
 // serve
 
-/// Entry point for `mdfuse serve <socket>`.
-pub(crate) fn serve(socket: &str, opts: &ServiceOpts) -> Result<String, CliError> {
-    let mut config = ServiceConfig::new(socket);
+/// Entry point for `mdfuse serve <endpoint>`.
+pub(crate) fn serve(endpoint: &str, opts: &ServiceOpts) -> Result<String, CliError> {
+    let mut config = ServiceConfig::at(Endpoint::parse(endpoint));
     config.workers = opts.workers.max(1);
     config.queue_depth = opts.queue_depth;
     config.cache_capacity = opts.cache_capacity.max(1);
     config.chaos = opts.inject_chaos;
-    let server =
-        Server::start(config).map_err(|e| CliError::Usage(format!("cannot bind {socket}: {e}")))?;
+    let server = Server::start(config)
+        .map_err(|e| CliError::Usage(format!("cannot bind {endpoint}: {e}")))?;
     // Foreground daemon: stdout is line-buffered status, shutdown comes
-    // from a client `Shutdown` message (`mdfuse client <socket> shutdown`).
+    // from a client `Shutdown` message (`mdfuse client <endpoint> shutdown`).
+    // The resolved endpoint matters for `tcp:...:0` (ephemeral port).
     println!(
-        "mdfused listening on {socket} ({} worker(s), queue {}, cache {})",
-        opts.workers, opts.queue_depth, opts.cache_capacity
+        "mdfused listening on {} ({} worker(s), queue {}, cache {})",
+        server.endpoint(),
+        opts.workers,
+        opts.queue_depth,
+        opts.cache_capacity
     );
     while !server.is_draining() {
         std::thread::sleep(Duration::from_millis(100));
@@ -137,19 +162,51 @@ fn render_stats_human(s: &ServiceStats) -> String {
     )
 }
 
+pub(crate) fn render_fleet_human(f: &FleetStats) -> String {
+    let mut out = format!(
+        "fleet: {} shard(s); routed: {}; batched: {} submission(s) in {} group(s)\n\
+         reroutes: {}; shard deaths: {}; respawns: {}; fair rejections: {}\n",
+        f.shards.len(),
+        f.routed,
+        f.batched_submits,
+        f.batched_groups,
+        f.reroutes,
+        f.shard_deaths,
+        f.respawns,
+        f.fair_rejections,
+    );
+    for row in &f.shards {
+        let _ = writeln!(
+            out,
+            "  shard {} (gen {}, {}): routed {}, batched {}, reroutes {}, \
+             {} completed, {} cache hit(s)",
+            row.id,
+            row.generation,
+            if row.healthy { "healthy" } else { "dead" },
+            row.routed,
+            row.batched,
+            row.reroutes,
+            row.stats.completed,
+            row.stats.cache_hits,
+        );
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // client
 
-/// Entry point for `mdfuse client <socket> <action> [file] [n] [m]`.
+/// Entry point for `mdfuse client <endpoint> <action> [file] [n] [m]`.
 pub(crate) fn client(
-    socket: &str,
+    endpoint: &str,
     action: &str,
     rest: &[String],
     engine: &str,
     deadline_ms: Option<u64>,
 ) -> Result<String, CliError> {
-    let mut c = Client::connect(socket)
-        .map_err(|e| CliError::Usage(format!("cannot connect to {socket}: {e}")))?;
+    let target = Endpoint::parse(endpoint);
+    let mut c = Client::connect_endpoint(&target)
+        .map_err(|e| CliError::Usage(format!("cannot connect to {endpoint}: {e}")))?;
     match action {
         "ping" => {
             c.ping()
@@ -161,6 +218,12 @@ pub(crate) fn client(
                 .stats()
                 .map_err(|e| CliError::Internal(format!("stats failed: {e}")))?;
             Ok(render_stats_human(&s))
+        }
+        "fleet" => {
+            let f = c
+                .fleet()
+                .map_err(|e| CliError::Internal(format!("fleet failed: {e}")))?;
+            Ok(render_fleet_human(&f))
         }
         "shutdown" => {
             c.shutdown()
@@ -184,20 +247,39 @@ pub(crate) fn client(
                     "unknown engine {engine:?} (expected \"interp\" or \"kernel\")"
                 ))
             })?;
-            let resp = c
-                .submit(Submit {
-                    engine,
-                    n,
-                    m,
-                    deadline_ms: deadline_ms.unwrap_or(0),
-                    source,
-                })
-                .map_err(|e| CliError::Internal(format!("submit failed: {e}")))?;
+            let submit = Submit {
+                engine,
+                n,
+                m,
+                deadline_ms: deadline_ms.unwrap_or(0),
+                client: String::new(),
+                source,
+            };
+            // Honor Overloaded retry hints with bounded backoff before
+            // giving up — the hint is the contract, not decoration.
+            let mut attempt = 0u64;
+            let resp = loop {
+                let resp = c
+                    .submit(submit.clone())
+                    .map_err(|e| CliError::Internal(format!("submit failed: {e}")))?;
+                match resp {
+                    Response::Err(ref e)
+                        if e.code == ErrCode::Overloaded
+                            && e.retry_after_ms > 0
+                            && attempt < MAX_RETRIES =>
+                    {
+                        attempt += 1;
+                        std::thread::sleep(Duration::from_millis(e.retry_after_ms * attempt));
+                    }
+                    other => break other,
+                }
+            };
             match resp {
                 Response::Done(o) => Ok(format!(
                     "done: plan {} ({})\nfingerprint: {:#x}\n\
                      barriers: {}\nstatement instances: {}\n\
-                     cache hit: {}\nrecovered: {}\n",
+                     cache hit: {}\nrecovered: {}\n\
+                     shard: {}; batched: {}; rerouted: {}\n",
                     o.plan,
                     if o.executed { "executed" } else { "plan only" },
                     o.fingerprint,
@@ -205,13 +287,16 @@ pub(crate) fn client(
                     o.stmt_instances,
                     o.cache_hit,
                     o.recovered,
+                    o.shard,
+                    o.batched,
+                    o.rerouted,
                 )),
                 Response::Err(e) => Err(service_error_to_cli(&e)),
                 other => Err(CliError::Internal(format!("unexpected response {other:?}"))),
             }
         }
         other => Err(CliError::Usage(format!(
-            "unknown client action {other:?} (expected ping|stats|shutdown|submit)"
+            "unknown client action {other:?} (expected ping|stats|fleet|shutdown|submit)"
         ))),
     }
 }
@@ -244,7 +329,7 @@ struct Workload {
 }
 
 fn load_workloads(dir: &str, n: i64, m: i64) -> Result<Vec<Workload>, CliError> {
-    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+    let mut names: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
         .map_err(|e| CliError::Usage(format!("cannot read workload dir {dir}: {e}")))?
         .filter_map(|e| e.ok().map(|e| e.path()))
         .filter(|p| p.extension().is_some_and(|x| x == "mdf"))
@@ -284,6 +369,7 @@ struct LoadCounters {
     mismatches: AtomicU64,
     typed_rejections: AtomicU64,
     transport_errors: AtomicU64,
+    retries: AtomicU64,
 }
 
 struct LoadReport {
@@ -296,9 +382,44 @@ struct LoadReport {
     mismatches: u64,
     typed_rejections: u64,
     transport_errors: u64,
+    retries: u64,
     latencies_ms: Vec<f64>,
     stats: ServiceStats,
+    /// Fleet counters when the target was a router (in-process `--shards`
+    /// fleet, or an external router that answered `Fleet`).
+    fleet: Option<FleetStats>,
     workload_names: Vec<String>,
+}
+
+/// What loadgen is driving: an external endpoint, a daemon it booted, or
+/// a fleet it booted (front door on TCP so the run exercises the fleet
+/// transport end to end).
+enum Target {
+    External(Endpoint),
+    OwnServer(Server),
+    OwnFleet(Router),
+}
+
+/// Sums a fleet's per-shard counters into one `ServiceStats`, so fleet
+/// reports carry the same aggregate fields as single-daemon ones.
+fn sum_fleet_stats(f: &FleetStats) -> ServiceStats {
+    let mut sum = ServiceStats::default();
+    for row in &f.shards {
+        let s = &row.stats;
+        sum.connections += s.connections;
+        sum.requests += s.requests;
+        sum.completed += s.completed;
+        sum.cache_hits += s.cache_hits;
+        sum.cache_misses += s.cache_misses;
+        sum.cache_rejected += s.cache_rejected;
+        sum.overload_rejections += s.overload_rejections;
+        sum.drain_rejections += s.drain_rejections;
+        sum.deadline_expiries += s.deadline_expiries;
+        sum.recoveries += s.recoveries;
+        sum.proto_errors += s.proto_errors;
+        sum.panics_isolated += s.panics_isolated;
+    }
+    sum
 }
 
 /// Entry point for `mdfuse loadgen`.
@@ -307,30 +428,40 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         return check_file(path);
     }
     let workloads = Arc::new(load_workloads(&opts.examples, 24, 24)?);
-    // Either an external daemon or an in-process one on a temp socket.
-    let own_server = match &opts.socket {
-        Some(_) => None,
+    let target = match &opts.socket {
+        Some(s) => Target::External(Endpoint::parse(s)),
+        None if opts.shards > 0 => {
+            let mut template = ServiceConfig::new("unused.sock");
+            template.workers = 2;
+            template.queue_depth = opts.concurrency.max(4) * 2;
+            let backend = InProcessBackend::new(opts.shards, template);
+            let mut config = RouterConfig::new(Endpoint::parse("tcp:127.0.0.1:0"), opts.shards);
+            config.batch_window = opts.batch.then_some(BATCH_WINDOW);
+            config.fair_slots = (opts.concurrency as u64).max(8 * opts.shards as u64);
+            let router = Router::start(config, Box::new(backend))
+                .map_err(|e| CliError::Internal(format!("cannot boot fleet: {e}")))?;
+            Target::OwnFleet(router)
+        }
         None => {
             let path =
                 std::env::temp_dir().join(format!("mdfused-loadgen-{}.sock", std::process::id()));
             let mut config = ServiceConfig::new(&path);
             config.workers = opts.concurrency.max(2);
             config.queue_depth = opts.concurrency * 2;
-            Some(
-                Server::start(config)
-                    .map_err(|e| CliError::Internal(format!("cannot boot daemon: {e}")))?,
-            )
+            let server = Server::start(config)
+                .map_err(|e| CliError::Internal(format!("cannot boot daemon: {e}")))?;
+            Target::OwnServer(server)
         }
     };
-    let socket: PathBuf = match (&opts.socket, &own_server) {
-        (Some(s), _) => PathBuf::from(s),
-        (None, Some(server)) => server.socket_path().to_path_buf(),
-        (None, None) => unreachable!(),
+    let endpoint = match &target {
+        Target::External(e) => e.clone(),
+        Target::OwnServer(server) => server.endpoint().clone(),
+        Target::OwnFleet(router) => router.endpoint().clone(),
     };
     // External daemon: diff its counters around the run.
-    let stats_before = match &own_server {
-        Some(_) => ServiceStats::default(),
-        None => probe_stats(&socket)?,
+    let stats_before = match &target {
+        Target::External(_) => probe_stats(&endpoint)?,
+        _ => ServiceStats::default(),
     };
 
     let counters = Arc::new(LoadCounters::default());
@@ -349,7 +480,7 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
     let t0 = Instant::now();
     let mut threads = Vec::new();
     for worker in 0..opts.concurrency.max(1) {
-        let socket = socket.clone();
+        let endpoint = endpoint.clone();
         let workloads = Arc::clone(&workloads);
         let counters = Arc::clone(&counters);
         let latencies = Arc::clone(&latencies);
@@ -357,6 +488,9 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         let seed = opts.seed;
         let total = opts.requests;
         threads.push(std::thread::spawn(move || {
+            // Each worker is one client identity, so fair-share sees a
+            // population instead of one anonymous blob.
+            let client_name = format!("w{worker}");
             let mut client = None;
             loop {
                 let idx = next_request.fetch_add(1, Ordering::SeqCst);
@@ -379,7 +513,7 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
                 };
                 let c = match &mut client {
                     Some(c) => c,
-                    None => match Client::connect(&socket) {
+                    None => match Client::connect_endpoint(&endpoint) {
                         Ok(c) => client.insert(c),
                         Err(_) => {
                             counters.transport_errors.fetch_add(1, Ordering::SeqCst);
@@ -387,17 +521,38 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
                         }
                     },
                 };
-                let started = Instant::now();
-                let resp = c.submit(Submit {
+                let submit = Submit {
                     engine,
                     n: w.n,
                     m: w.m,
                     deadline_ms: 10_000,
+                    client: client_name.clone(),
                     source: w.source.clone(),
-                });
+                };
+                // Honor Overloaded retry hints: bounded attempts, seeded
+                // deterministic jitter on top of the server's hint.
+                let mut attempt = 0u64;
+                let (lat, resp) = loop {
+                    let started = Instant::now();
+                    let resp = c.submit(submit.clone());
+                    match resp {
+                        Ok(Response::Err(ref e))
+                            if e.code == ErrCode::Overloaded
+                                && e.retry_after_ms > 0
+                                && attempt < MAX_RETRIES =>
+                        {
+                            attempt += 1;
+                            counters.retries.fetch_add(1, Ordering::SeqCst);
+                            let jitter = splitmix64(&mut state) % (e.retry_after_ms + 1);
+                            std::thread::sleep(Duration::from_millis(
+                                e.retry_after_ms * attempt + jitter,
+                            ));
+                        }
+                        other => break (started.elapsed().as_secs_f64() * 1e3, other),
+                    }
+                };
                 match resp {
                     Ok(Response::Done(done)) => {
-                        let lat = started.elapsed().as_secs_f64() * 1e3;
                         counters.completed.fetch_add(1, Ordering::SeqCst);
                         if done.fingerprint != w.expected {
                             counters.mismatches.fetch_add(1, Ordering::SeqCst);
@@ -422,9 +577,20 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
     }
     let wall_s = t0.elapsed().as_secs_f64();
 
-    let stats = match own_server {
-        Some(server) => server.drain(),
-        None => diff_stats(&stats_before, &probe_stats(&socket)?),
+    let (stats, fleet) = match target {
+        Target::OwnServer(server) => (server.drain(), None),
+        Target::OwnFleet(router) => {
+            let fleet = router.drain();
+            (sum_fleet_stats(&fleet), Some(fleet))
+        }
+        Target::External(_) => {
+            // Best-effort fleet probe: an external router answers, a plain
+            // daemon replies with a typed error and the block stays zero.
+            let fleet = Client::connect_endpoint(&endpoint)
+                .ok()
+                .and_then(|mut c| c.fleet().ok());
+            (diff_stats(&stats_before, &probe_stats(&endpoint)?), fleet)
+        }
     };
     let mut latencies_ms = latencies.lock().map(|l| l.clone()).unwrap_or_default();
     latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
@@ -438,8 +604,10 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         mismatches: counters.mismatches.load(Ordering::SeqCst),
         typed_rejections: counters.typed_rejections.load(Ordering::SeqCst),
         transport_errors: counters.transport_errors.load(Ordering::SeqCst),
+        retries: counters.retries.load(Ordering::SeqCst),
         latencies_ms,
         stats,
+        fleet,
         workload_names: workloads.iter().map(|w| w.name.clone()).collect(),
     };
 
@@ -465,9 +633,9 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
     }
 }
 
-fn probe_stats(socket: &PathBuf) -> Result<ServiceStats, CliError> {
-    Client::connect(socket)
-        .map_err(|e| CliError::Usage(format!("cannot connect to {}: {e}", socket.display())))?
+fn probe_stats(endpoint: &Endpoint) -> Result<ServiceStats, CliError> {
+    Client::connect_endpoint(endpoint)
+        .map_err(|e| CliError::Usage(format!("cannot connect to {endpoint}: {e}")))?
         .stats()
         .map_err(|e| CliError::Internal(format!("stats probe failed: {e}")))
 }
@@ -529,6 +697,7 @@ fn render_json(r: &LoadReport) -> String {
     let _ = writeln!(out, "  \"mismatches\": {},", r.mismatches);
     let _ = writeln!(out, "  \"typed_rejections\": {},", r.typed_rejections);
     let _ = writeln!(out, "  \"transport_errors\": {},", r.transport_errors);
+    let _ = writeln!(out, "  \"retries\": {},", r.retries);
     let _ = writeln!(out, "  \"throughput_rps\": {rps:.2},");
     let _ = writeln!(
         out,
@@ -552,6 +721,49 @@ fn render_json(r: &LoadReport) -> String {
     let _ = writeln!(out, "  \"recoveries\": {},", r.stats.recoveries);
     let _ = writeln!(out, "  \"proto_errors\": {},", r.stats.proto_errors);
     let _ = writeln!(out, "  \"panics_isolated\": {},", r.stats.panics_isolated);
+    // The router block is always present (all-zero for a single daemon)
+    // so v2 consumers never branch on field existence.
+    let zero = FleetStats::default();
+    let f = r.fleet.as_ref().unwrap_or(&zero);
+    let _ = writeln!(out, "  \"router\": {{");
+    let _ = writeln!(out, "    \"routed\": {},", f.routed);
+    let _ = writeln!(out, "    \"batched_groups\": {},", f.batched_groups);
+    let _ = writeln!(out, "    \"batched_submits\": {},", f.batched_submits);
+    let _ = writeln!(out, "    \"reroutes\": {},", f.reroutes);
+    let _ = writeln!(out, "    \"shard_deaths\": {},", f.shard_deaths);
+    let _ = writeln!(out, "    \"respawns\": {},", f.respawns);
+    let _ = writeln!(out, "    \"fair_rejections\": {}", f.fair_rejections);
+    let _ = writeln!(out, "  }},");
+    let rows: Vec<String> = f
+        .shards
+        .iter()
+        .map(|row| {
+            let shard_rps = row.routed as f64 / r.wall_s.max(1e-9);
+            format!(
+                "    {{ \"id\": {}, \"generation\": {}, \"healthy\": {}, \
+                 \"routed\": {}, \"batched\": {}, \"reroutes\": {}, \
+                 \"requests\": {}, \"completed\": {}, \"req_s\": {:.2}, \
+                 \"cache_hit_rate\": {:.4} }}",
+                row.id,
+                row.generation,
+                row.healthy,
+                row.routed,
+                row.batched,
+                row.reroutes,
+                row.stats.requests,
+                row.stats.completed,
+                shard_rps,
+                hit_rate(&row.stats),
+            )
+        })
+        .collect();
+    if rows.is_empty() {
+        let _ = writeln!(out, "  \"shards\": [],");
+    } else {
+        let _ = writeln!(out, "  \"shards\": [");
+        let _ = writeln!(out, "{}", rows.join(",\n"));
+        let _ = writeln!(out, "  ],");
+    }
     let names: Vec<String> = r
         .workload_names
         .iter()
@@ -566,9 +778,10 @@ fn render_human(r: &LoadReport) -> String {
     let p50 = percentile(&r.latencies_ms, 0.50);
     let p99 = percentile(&r.latencies_ms, 0.99);
     let rps = r.completed as f64 / r.wall_s.max(1e-9);
-    format!(
+    let mut out = format!(
         "loadgen: {} request(s) over {} workload(s), {} {}-loop client(s), seed {}\n\
-         completed: {} (mismatches: {}, typed rejections: {}, transport errors: {})\n\
+         completed: {} (mismatches: {}, typed rejections: {}, transport errors: {}, \
+         retries: {})\n\
          throughput: {rps:.1} req/s; latency p50 {p50:.2} ms, p99 {p99:.2} ms\n\
          cache hit rate: {:.1}% ({} hit(s), {} miss(es), {} rejected)\n\
          overload rejections: {}; recoveries: {}; deadline expiries: {}\n",
@@ -581,6 +794,7 @@ fn render_human(r: &LoadReport) -> String {
         r.mismatches,
         r.typed_rejections,
         r.transport_errors,
+        r.retries,
         hit_rate(&r.stats) * 100.0,
         r.stats.cache_hits,
         r.stats.cache_misses,
@@ -588,7 +802,11 @@ fn render_human(r: &LoadReport) -> String {
         r.stats.overload_rejections,
         r.stats.recoveries,
         r.stats.deadline_expiries,
-    )
+    );
+    if let Some(fleet) = &r.fleet {
+        out.push_str(&render_fleet_human(fleet));
+    }
+    out
 }
 
 /// Validates a `BENCH_service.json` file against the schema (exit 3 on
@@ -627,6 +845,7 @@ fn validate(text: &str) -> Result<u64, String> {
         "mismatches",
         "typed_rejections",
         "transport_errors",
+        "retries",
         "throughput_rps",
         "cache_hits",
         "cache_misses",
@@ -666,6 +885,46 @@ fn validate(text: &str) -> Result<u64, String> {
             "cache_hit_rate {hit_rate} below the 0.9 floor: repeat traffic is not hitting the plan cache"
         ));
     }
+    let router = field("router")?;
+    for k in [
+        "routed",
+        "batched_groups",
+        "batched_submits",
+        "reroutes",
+        "shard_deaths",
+        "respawns",
+        "fair_rejections",
+    ] {
+        if !router.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+            return Err(format!("router.{k} must be a non-negative number"));
+        }
+    }
+    let shards = field("shards")?.arr().ok_or("shards must be an array")?;
+    for (i, row) in shards.iter().enumerate() {
+        for k in [
+            "id",
+            "generation",
+            "routed",
+            "batched",
+            "reroutes",
+            "requests",
+            "completed",
+            "req_s",
+            "cache_hit_rate",
+        ] {
+            if !row.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+                return Err(format!("shards[{i}].{k} must be a non-negative number"));
+            }
+        }
+        if row.get("healthy").and_then(Json::bool_val).is_none() {
+            return Err(format!("shards[{i}].healthy must be a boolean"));
+        }
+    }
+    // A fleet run must show routing consistent with its rows.
+    let routed = router.get("routed").and_then(Json::num).unwrap_or(0.0);
+    if !shards.is_empty() && routed < 1.0 {
+        return Err("a fleet report with shard rows must have routed >= 1".into());
+    }
     let workloads = field("workloads")?
         .arr()
         .ok_or("workloads must be an array")?;
@@ -683,6 +942,7 @@ fn validate(text: &str) -> Result<u64, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mdf_service::proto::ShardRow;
 
     fn report() -> LoadReport {
         LoadReport {
@@ -695,14 +955,62 @@ mod tests {
             mismatches: 0,
             typed_rejections: 0,
             transport_errors: 0,
+            retries: 0,
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
             stats: ServiceStats {
                 cache_hits: 15,
                 cache_misses: 1,
                 ..ServiceStats::default()
             },
+            fleet: None,
             workload_names: vec!["figure2.mdf".into()],
         }
+    }
+
+    fn fleet_report() -> LoadReport {
+        let mut r = report();
+        r.fleet = Some(FleetStats {
+            routed: 20,
+            batched_groups: 6,
+            batched_submits: 14,
+            reroutes: 1,
+            shard_deaths: 1,
+            respawns: 1,
+            fair_rejections: 0,
+            shards: vec![
+                ShardRow {
+                    id: 0,
+                    generation: 1,
+                    healthy: true,
+                    routed: 12,
+                    batched: 8,
+                    reroutes: 1,
+                    stats: ServiceStats {
+                        requests: 12,
+                        completed: 12,
+                        cache_hits: 10,
+                        cache_misses: 1,
+                        ..ServiceStats::default()
+                    },
+                },
+                ShardRow {
+                    id: 1,
+                    generation: 0,
+                    healthy: true,
+                    routed: 8,
+                    batched: 6,
+                    reroutes: 0,
+                    stats: ServiceStats {
+                        requests: 8,
+                        completed: 8,
+                        cache_hits: 5,
+                        cache_misses: 1,
+                        ..ServiceStats::default()
+                    },
+                },
+            ],
+        });
+        r
     }
 
     #[test]
@@ -710,6 +1018,17 @@ mod tests {
         let json = render_json(&report());
         let completed = validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
         assert_eq!(completed, 20);
+    }
+
+    #[test]
+    fn rendered_fleet_report_validates_with_shard_rows() {
+        let json = render_json(&fleet_report());
+        validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert!(json.contains("\"shards\": ["), "{json}");
+        assert!(json.contains("\"batched_submits\": 14"), "{json}");
+        // And the human render mentions the fleet.
+        let human = render_human(&fleet_report());
+        assert!(human.contains("fleet: 2 shard(s)"), "{human}");
     }
 
     #[test]
@@ -722,6 +1041,16 @@ mod tests {
         r.stats.cache_misses = 9;
         let err = validate(&render_json(&r)).unwrap_err();
         assert!(err.contains("cache_hit_rate"), "{err}");
+    }
+
+    #[test]
+    fn validator_rejects_inconsistent_fleet_rows() {
+        let mut r = fleet_report();
+        if let Some(f) = &mut r.fleet {
+            f.routed = 0; // rows present but nothing routed: inconsistent
+        }
+        let err = validate(&render_json(&r)).unwrap_err();
+        assert!(err.contains("routed"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Request batching: coalesce same-fingerprint submissions.
+//!
+//! The whole point of fingerprint sharding is that identical graphs land
+//! on the same shard; batching takes the next step and makes *k*
+//! concurrent identical submissions cost one shard execution. The first
+//! arrival for a batch key becomes the **leader**: it opens a group,
+//! waits out a bounded window for followers, closes the group, forwards
+//! one submission, and publishes the result to every member. Followers
+//! block on the group's condvar — with a hard timeout cap, so a vanished
+//! leader surfaces as a typed `Internal` error, never a hang. Every
+//! member's `Outcome` reports `batched = k`.
+//!
+//! The key is `(fingerprint, engine, n, m)`: members must agree on the
+//! execution, not just the graph. Deadlines are the leader's — members
+//! of a group share one run, so a follower with a tighter deadline than
+//! the leader should not batch (the router only batches submissions
+//! whose deadline is not tighter than the leader's window allows;
+//! in practice loadgen uses one deadline for all).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use mdf_service::proto::{ErrCode, Outcome, ServiceError};
+
+/// What identical-enough means for coalescing: same canonical graph,
+/// same engine, same iteration space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BatchKey {
+    /// Canonical MLDG fingerprint of the source.
+    pub fingerprint: u64,
+    /// Engine discriminant (`Engine as u8`).
+    pub engine: u8,
+    /// Outer bound.
+    pub n: i64,
+    /// Inner bound.
+    pub m: i64,
+}
+
+struct GroupState {
+    members: u64,
+    /// Once closed, no follower may join; the member count is final.
+    closed: bool,
+    result: Option<Result<Outcome, ServiceError>>,
+}
+
+/// One in-flight batch group.
+pub struct Group {
+    state: Mutex<GroupState>,
+    cv: Condvar,
+}
+
+/// The role `join` assigned to a submission.
+pub enum Role {
+    /// Execute on behalf of the group after the window elapses.
+    Leader(Arc<Group>),
+    /// Wait for the leader's published result.
+    Follower(Arc<Group>),
+}
+
+/// The batching table. One per router.
+pub struct Batcher {
+    window: Duration,
+    groups: Mutex<BTreeMap<BatchKey, Arc<Group>>>,
+}
+
+impl Batcher {
+    /// A batcher with the given coalescing window. A zero window is
+    /// legal (the leader flushes immediately; only submissions that
+    /// arrive while an execution is already in flight coalesce).
+    pub fn new(window: Duration) -> Batcher {
+        Batcher {
+            window,
+            groups: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The coalescing window.
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Joins (or opens) the group for `key`.
+    pub fn join(&self, key: BatchKey) -> Role {
+        let mut groups = self.groups.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(group) = groups.get(&key) {
+            let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
+            if !st.closed {
+                st.members += 1;
+                return Role::Follower(Arc::clone(group));
+            }
+            // Closed but not yet removed (leader is mid-flush): fall
+            // through and open a fresh group for the next round.
+        }
+        let group = Arc::new(Group {
+            state: Mutex::new(GroupState {
+                members: 1,
+                closed: false,
+                result: None,
+            }),
+            cv: Condvar::new(),
+        });
+        groups.insert(key, Arc::clone(&group));
+        Role::Leader(group)
+    }
+
+    /// Leader only: closes the group, removes it from the table, and
+    /// returns the final member count. After this returns, no new member
+    /// can join the group.
+    ///
+    /// The leader sleeps out the window (and waits for an execution
+    /// slot) *before* closing — the longer the leader is blocked, the
+    /// more followers coalesce, so batch size adapts to load.
+    pub fn close(&self, key: BatchKey, group: &Arc<Group>) -> u64 {
+        {
+            // Remove from the table first: a submission arriving during
+            // the flush opens a new group instead of joining a closed one.
+            let mut groups = self.groups.lock().unwrap_or_else(|e| e.into_inner());
+            if groups.get(&key).is_some_and(|g| Arc::ptr_eq(g, group)) {
+                groups.remove(&key);
+            }
+        }
+        let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.closed = true;
+        st.members
+    }
+
+    /// Leader only: publishes the result and wakes every follower. The
+    /// members' `Outcome.batched` is set by the caller before publishing.
+    pub fn publish(group: &Arc<Group>, result: Result<Outcome, ServiceError>) {
+        let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.result = Some(result);
+        drop(st);
+        group.cv.notify_all();
+    }
+
+    /// Follower only: waits for the published result, bounded by
+    /// `timeout`. A missing result past the bound is a typed `Internal`
+    /// error ("batch leader vanished") — never a hang.
+    pub fn wait(group: &Arc<Group>, timeout: Duration) -> Result<Outcome, ServiceError> {
+        let mut st = group.state.lock().unwrap_or_else(|e| e.into_inner());
+        let deadline = std::time::Instant::now() + timeout;
+        while st.result.is_none() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(ServiceError {
+                    code: ErrCode::Internal,
+                    retry_after_ms: 25,
+                    message: "batch leader vanished before publishing a result".into(),
+                });
+            }
+            let (next, _) = group
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = next;
+        }
+        match st.result.as_ref() {
+            Some(r) => r.clone(),
+            None => unreachable!("loop exits only when result is Some"),
+        }
+    }
+}
+
+/// Publishes a typed `Internal` error if the leader unwinds before
+/// publishing a real result, so followers never wait out their full
+/// timeout on a panicked leader.
+pub struct LeaderGuard {
+    group: Arc<Group>,
+    published: bool,
+}
+
+impl LeaderGuard {
+    /// Guards `group` until [`LeaderGuard::publish`] is called.
+    pub fn new(group: Arc<Group>) -> LeaderGuard {
+        LeaderGuard {
+            group,
+            published: false,
+        }
+    }
+
+    /// Publishes the real result and disarms the guard.
+    pub fn publish(mut self, result: Result<Outcome, ServiceError>) {
+        Batcher::publish(&self.group, result);
+        self.published = true;
+    }
+}
+
+impl Drop for LeaderGuard {
+    fn drop(&mut self) {
+        if !self.published {
+            Batcher::publish(
+                &self.group,
+                Err(ServiceError {
+                    code: ErrCode::Internal,
+                    retry_after_ms: 25,
+                    message: "batch leader failed before publishing; the fault was isolated".into(),
+                }),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> BatchKey {
+        BatchKey {
+            fingerprint: 0xabc,
+            engine: 0,
+            n: 8,
+            m: 8,
+        }
+    }
+
+    fn outcome() -> Outcome {
+        Outcome {
+            executed: true,
+            fingerprint: 7,
+            barriers: 1,
+            stmt_instances: 81,
+            cache_hit: true,
+            recovered: false,
+            batched: 1,
+            rerouted: false,
+            shard: 0,
+            plan: "test".into(),
+        }
+    }
+
+    #[test]
+    fn followers_share_the_leaders_result() {
+        let batcher = Arc::new(Batcher::new(Duration::from_millis(30)));
+        let Role::Leader(leader) = batcher.join(key()) else {
+            panic!("first join must lead");
+        };
+        let mut followers = Vec::new();
+        for _ in 0..3 {
+            let Role::Follower(g) = batcher.join(key()) else {
+                panic!("joins inside the window must follow");
+            };
+            followers.push(std::thread::spawn(move || {
+                Batcher::wait(&g, Duration::from_secs(5))
+            }));
+        }
+        let k = batcher.close(key(), &leader);
+        assert_eq!(k, 4, "leader plus three followers");
+        let mut done = outcome();
+        done.batched = k;
+        Batcher::publish(&leader, Ok(done.clone()));
+        for f in followers {
+            let got = f.join().unwrap().unwrap();
+            assert_eq!(got, done);
+        }
+        // After close+publish the key is free: the next join leads anew.
+        assert!(matches!(batcher.join(key()), Role::Leader(_)));
+    }
+
+    #[test]
+    fn vanished_leader_is_a_typed_error_not_a_hang() {
+        let batcher = Batcher::new(Duration::from_millis(5));
+        let Role::Leader(_leader) = batcher.join(key()) else {
+            panic!("first join must lead");
+        };
+        let Role::Follower(g) = batcher.join(key()) else {
+            panic!("second join must follow");
+        };
+        // The leader never publishes; the follower's wait must bound out.
+        let err = Batcher::wait(&g, Duration::from_millis(50)).unwrap_err();
+        assert_eq!(err.code, ErrCode::Internal);
+    }
+
+    #[test]
+    fn leader_guard_publishes_on_unwind() {
+        let batcher = Batcher::new(Duration::from_millis(5));
+        let Role::Leader(leader) = batcher.join(key()) else {
+            panic!("first join must lead");
+        };
+        let Role::Follower(g) = batcher.join(key()) else {
+            panic!("second join must follow");
+        };
+        let guard = LeaderGuard::new(Arc::clone(&leader));
+        drop(guard); // simulates the leader unwinding
+        let err = Batcher::wait(&g, Duration::from_secs(5)).unwrap_err();
+        assert_eq!(err.code, ErrCode::Internal);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fair-share admission across client identities.
+//!
+//! Every shard already bounds its own admission on the `Budget`-metered
+//! worker pool; what a single daemon cannot see is *who* is submitting.
+//! One hot client can fill every queue slot in the fleet and starve the
+//! rest. The router therefore applies a second, identity-aware gate in
+//! front of the per-shard meters: with `slots` total in-flight
+//! submissions allowed fleet-wide, each of the `a` currently-active
+//! client identities is entitled to `max(1, slots / a)` of them. A
+//! client past its entitlement (or a full fleet) gets a typed
+//! `Overloaded` rejection with a retry hint — never a hang, and never a
+//! slot taken from a client still under its share.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use mdf_service::proto::{ErrCode, ServiceError};
+
+#[derive(Debug, Default)]
+struct FairState {
+    /// In-flight submissions per client identity. Entries are removed at
+    /// zero so `inflight.len()` is the active-client count.
+    inflight: BTreeMap<String, u64>,
+    total: u64,
+}
+
+/// The fleet-wide fair-share gate.
+#[derive(Debug)]
+pub struct FairShare {
+    slots: u64,
+    state: Mutex<FairState>,
+}
+
+/// Holds one admission slot; released on drop.
+#[derive(Debug)]
+pub struct FairPermit {
+    share: Arc<FairShare>,
+    client: String,
+}
+
+impl Drop for FairPermit {
+    fn drop(&mut self) {
+        let mut st = self.share.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.total = st.total.saturating_sub(1);
+        if let Some(n) = st.inflight.get_mut(&self.client) {
+            *n = n.saturating_sub(1);
+            if *n == 0 {
+                st.inflight.remove(&self.client);
+            }
+        }
+    }
+}
+
+impl FairShare {
+    /// A gate with `slots` total in-flight submissions.
+    pub fn new(slots: u64) -> FairShare {
+        FairShare {
+            slots: slots.max(1),
+            state: Mutex::new(FairState::default()),
+        }
+    }
+
+    /// Tries to admit one submission from `client` (empty = anonymous,
+    /// which shares one identity). Returns the permit or a typed
+    /// `Overloaded` rejection with a retry hint.
+    pub fn acquire(self: &Arc<Self>, client: &str) -> Result<FairPermit, ServiceError> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mine = st.inflight.get(client).copied().unwrap_or(0);
+        // Count the requester as active even before its first slot, so a
+        // newcomer's entitlement is computed against a pool that
+        // includes itself.
+        let active = st.inflight.len() as u64 + u64::from(mine == 0);
+        let entitlement = (self.slots / active.max(1)).max(1);
+        if st.total >= self.slots || mine >= entitlement {
+            let hint = 25 * (mine.max(1));
+            return Err(ServiceError {
+                code: ErrCode::Overloaded,
+                retry_after_ms: hint,
+                message: format!(
+                    "fair-share limit: client {:?} holds {mine} of its {entitlement} \
+                     entitled slot(s) ({active} active client(s), {} fleet slot(s))",
+                    if client.is_empty() {
+                        "<anonymous>"
+                    } else {
+                        client
+                    },
+                    self.slots
+                ),
+            });
+        }
+        st.total += 1;
+        *st.inflight.entry(client.to_string()).or_insert(0) += 1;
+        Ok(FairPermit {
+            share: Arc::clone(self),
+            client: client.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_client_cannot_take_every_slot() {
+        let share = Arc::new(FairShare::new(8));
+        // A lone client may use the whole fleet.
+        let solo: Vec<FairPermit> = (0..8).map(|_| share.acquire("hog").unwrap()).collect();
+        assert!(share.acquire("hog").is_err());
+        drop(solo);
+
+        // With a second identity active, the hog's entitlement halves.
+        let _other = share.acquire("quiet").unwrap();
+        let hogs: Vec<FairPermit> = (0..4).map(|_| share.acquire("hog").unwrap()).collect();
+        let err = share.acquire("hog").unwrap_err();
+        assert_eq!(err.code, ErrCode::Overloaded);
+        assert!(err.retry_after_ms > 0, "rejection must carry a retry hint");
+        // The quiet client still gets in.
+        let _quiet2 = share.acquire("quiet").unwrap();
+        drop(hogs);
+    }
+
+    #[test]
+    fn permits_release_on_drop() {
+        let share = Arc::new(FairShare::new(2));
+        let p = share.acquire("a").unwrap();
+        let _q = share.acquire("b").unwrap();
+        assert!(share.acquire("c").is_err(), "fleet full");
+        drop(p);
+        assert!(share.acquire("c").is_ok(), "slot released on drop");
+    }
+
+    #[test]
+    fn entitlement_never_below_one() {
+        let share = Arc::new(FairShare::new(2));
+        let _a = share.acquire("a").unwrap();
+        let _b = share.acquire("b").unwrap();
+        // Ten active clients against two slots: entitlement clamps to 1,
+        // rejection comes from the fleet bound, not a zero entitlement.
+        let err = share.acquire("c").unwrap_err();
+        assert_eq!(err.code, ErrCode::Overloaded);
+    }
+}

@@ -6,11 +6,11 @@
 //! both ends.
 
 use std::io::Write as _;
-use std::os::unix::net::UnixStream;
 use std::path::Path;
 use std::time::Duration;
 
-use crate::proto::{read_frame, ProtoError, Request, Response, ServiceStats, Submit};
+use crate::proto::{read_frame, FleetStats, ProtoError, Request, Response, ServiceStats, Submit};
+use crate::transport::{Endpoint, Stream};
 
 /// Default client-side read timeout. Generous relative to any service
 /// deadline: a response slower than this means the daemon is gone.
@@ -18,13 +18,18 @@ pub const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// A connected client session.
 pub struct Client {
-    stream: UnixStream,
+    stream: Stream,
 }
 
 impl Client {
-    /// Connects to the daemon at `socket`.
+    /// Connects to the daemon at a unix `socket` path.
     pub fn connect(socket: impl AsRef<Path>) -> std::io::Result<Client> {
-        let stream = UnixStream::connect(socket)?;
+        Client::connect_endpoint(&Endpoint::unix(socket.as_ref()))
+    }
+
+    /// Connects to a daemon (or router) at `endpoint`, unix or TCP.
+    pub fn connect_endpoint(endpoint: &Endpoint) -> std::io::Result<Client> {
+        let stream = Stream::connect(endpoint)?;
         stream.set_read_timeout(Some(CLIENT_READ_TIMEOUT))?;
         Ok(Client { stream })
     }
@@ -58,6 +63,15 @@ impl Client {
     pub fn stats(&mut self) -> Result<ServiceStats, ProtoError> {
         match self.request(&Request::Stats)? {
             Response::Stats(s) => Ok(s),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Fetches a router's fleet counters. A plain daemon answers this
+    /// with a typed error, surfaced here as `ProtoError::Io`.
+    pub fn fleet(&mut self) -> Result<FleetStats, ProtoError> {
+        match self.request(&Request::Fleet)? {
+            Response::Fleet(f) => Ok(f),
             other => Err(unexpected(&other)),
         }
     }

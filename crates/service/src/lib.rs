@@ -2,10 +2,13 @@
 //! # `mdf-service` — `mdfused`, fusion as a service
 //!
 //! A fault-tolerant daemon that plans, certifies, and executes loop
-//! fusion for many concurrent clients over a unix socket:
+//! fusion for many concurrent clients over a unix socket or TCP:
 //!
 //! * [`proto`] — the hand-rolled length-prefixed frame protocol, total
 //!   decoders, and typed [`proto::ServiceError`] taxonomy;
+//! * [`transport`] — the [`transport::Endpoint`]/[`transport::Stream`]
+//!   abstraction over unix and TCP byte streams, plus the shared polled
+//!   stall-bounded frame reader;
 //! * [`cache`] — the LRU plan cache keyed by
 //!   [`mdf_graph::canonical_fingerprint`], with mandatory revalidation
 //!   on every hit (collisions and poisoned entries cost a replan, never
@@ -32,11 +35,13 @@ pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod transport;
 
 pub use cache::{CacheLookup, PlanCache};
 pub use client::Client;
 pub use proto::{
-    Engine, ErrCode, Outcome, ProtoError, Request, Response, ServiceError, ServiceStats, Submit,
-    MAX_FRAME,
+    Engine, ErrCode, FleetStats, Outcome, ProtoError, Request, Response, ServiceError,
+    ServiceStats, ShardRow, Submit, MAX_FRAME,
 };
-pub use server::{Server, ServiceConfig};
+pub use server::{submit_fingerprint, Server, ServiceConfig};
+pub use transport::{Endpoint, Listener, Stream};

@@ -1,4 +1,5 @@
-//! The `mdfused` wire protocol: length-prefixed frames over a unix socket.
+//! The `mdfused` wire protocol: length-prefixed frames over a byte stream
+//! (unix socket or TCP — see [`crate::transport`]).
 //!
 //! A frame is a little-endian `u32` payload length followed by exactly
 //! that many bytes; the first payload byte is a message tag, the rest is
@@ -27,7 +28,9 @@ pub const MAX_FRAME: u32 = 1 << 20;
 
 /// Wire-format schema version, exchanged nowhere: both ends are built
 /// from this crate. Bumped (with decode support) if the format changes.
-pub const PROTO_VERSION: u8 = 1;
+/// v2: `Submit.client` identity, `Outcome.{batched,rerouted,shard}`
+/// fleet provenance, and the `Fleet`/`FleetStats` router messages.
+pub const PROTO_VERSION: u8 = 2;
 
 /// A typed protocol failure. The connection is closed after reporting it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,6 +136,9 @@ pub struct Submit {
     /// Client deadline in milliseconds; `0` means none (the server still
     /// applies its own per-request ceiling).
     pub deadline_ms: u64,
+    /// Client identity for fair-share scheduling; empty means anonymous
+    /// (all anonymous submissions share one identity).
+    pub client: String,
     /// DSL program or textfmt MLDG source (auto-detected, as `mdfuse`
     /// file inputs are).
     pub source: String,
@@ -147,6 +153,9 @@ pub enum Request {
     Submit(Submit),
     /// Snapshot the server counters.
     Stats,
+    /// Snapshot the fleet counters (answered by a router; a plain daemon
+    /// replies with a typed error).
+    Fleet,
     /// Begin graceful drain: stop admitting, finish in-flight work.
     Shutdown,
 }
@@ -234,6 +243,15 @@ pub struct Outcome {
     /// Whether supervised recovery (retry or checkpoint resume) was
     /// needed to finish this request.
     pub recovered: bool,
+    /// How many same-fingerprint submissions this execution served. A
+    /// direct daemon submit is always `1`; the router reports the batch
+    /// group size `k` to every member it coalesced.
+    pub batched: u64,
+    /// Whether the router re-routed this request to another shard after
+    /// its original owner died mid-flight.
+    pub rerouted: bool,
+    /// Which fleet shard executed the request (`0` for a single daemon).
+    pub shard: u32,
     /// One-line plan description.
     pub plan: String,
 }
@@ -307,6 +325,78 @@ impl ServiceStats {
     }
 }
 
+/// One shard's row in a [`FleetStats`] report.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardRow {
+    /// Stable shard index (its position on the hash ring).
+    pub id: u32,
+    /// Respawn generation: `0` for the original process, incremented on
+    /// every supervised respawn.
+    pub generation: u64,
+    /// Whether the shard answered its most recent health ping.
+    pub healthy: bool,
+    /// Submissions the router sent to this shard.
+    pub routed: u64,
+    /// Submissions this shard served as members of a batch group ≥ 2.
+    pub batched: u64,
+    /// Submissions re-routed *to* this shard after another shard died.
+    pub reroutes: u64,
+    /// The shard daemon's own counters at snapshot time.
+    pub stats: ServiceStats,
+}
+
+/// Router counters plus a per-shard breakdown, as reported by
+/// [`Request::Fleet`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Submissions routed to a shard (batched members each count once).
+    pub routed: u64,
+    /// Batch groups flushed (each cost one shard execution).
+    pub batched_groups: u64,
+    /// Submissions that rode in a batch group of size ≥ 2.
+    pub batched_submits: u64,
+    /// Submissions re-routed to another shard after their owner died.
+    pub reroutes: u64,
+    /// Shard deaths detected (health ping or mid-request failure).
+    pub shard_deaths: u64,
+    /// Supervised shard respawns.
+    pub respawns: u64,
+    /// Submissions refused by fair-share admission (typed Overloaded).
+    pub fair_rejections: u64,
+    /// Per-shard rows, in shard-id order.
+    pub shards: Vec<ShardRow>,
+}
+
+impl FleetStats {
+    /// Router-level scalar counters, in wire order.
+    const SCALARS: usize = 7;
+
+    fn to_scalars(&self) -> [u64; Self::SCALARS] {
+        [
+            self.routed,
+            self.batched_groups,
+            self.batched_submits,
+            self.reroutes,
+            self.shard_deaths,
+            self.respawns,
+            self.fair_rejections,
+        ]
+    }
+
+    fn from_scalars(w: [u64; Self::SCALARS]) -> FleetStats {
+        FleetStats {
+            routed: w[0],
+            batched_groups: w[1],
+            batched_submits: w[2],
+            reroutes: w[3],
+            shard_deaths: w[4],
+            respawns: w[5],
+            fair_rejections: w[6],
+            shards: Vec::new(),
+        }
+    }
+}
+
 /// Server → client messages.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -318,6 +408,8 @@ pub enum Response {
     Err(ServiceError),
     /// Counter snapshot.
     Stats(ServiceStats),
+    /// Fleet counter snapshot (router only).
+    Fleet(FleetStats),
     /// Drain acknowledged; the server finishes in-flight work and exits.
     ShutdownAck,
 }
@@ -329,11 +421,19 @@ const TAG_PING: u8 = 0x01;
 const TAG_SUBMIT: u8 = 0x02;
 const TAG_STATS: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_FLEET: u8 = 0x05;
 const TAG_PONG: u8 = 0x81;
 const TAG_DONE: u8 = 0x82;
 const TAG_ERR: u8 = 0x83;
 const TAG_STATS_REPORT: u8 = 0x84;
 const TAG_SHUTDOWN_ACK: u8 = 0x85;
+const TAG_FLEET_REPORT: u8 = 0x86;
+
+/// Encoded size of one [`ShardRow`]: id (4) + generation (8) + healthy
+/// (1) + routed/batched/reroutes (24) + the stats words. Used to bound
+/// the row count against the bytes actually present before allocating
+/// the row vector.
+const SHARD_ROW_BYTES: usize = 4 + 8 + 1 + 24 + 8 * ServiceStats::FIELDS;
 
 const ENGINE_KERNEL: u8 = 0;
 const ENGINE_INTERP: u8 = 1;
@@ -350,6 +450,10 @@ impl Writer {
 
     fn u8(&mut self, v: u8) {
         self.buf.push(v);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
     fn u64(&mut self, v: u64) {
@@ -409,6 +513,13 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        let mut a = [0u8; 4];
+        a.copy_from_slice(b);
+        Ok(u32::from_le_bytes(a))
+    }
+
     fn u64(&mut self) -> Result<u64, ProtoError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
@@ -464,10 +575,12 @@ impl Request {
                 w.i64(s.n);
                 w.i64(s.m);
                 w.u64(s.deadline_ms);
+                w.str(&s.client);
                 w.str(&s.source);
                 w.frame()
             }
             Request::Stats => Writer::new(TAG_STATS).frame(),
+            Request::Fleet => Writer::new(TAG_FLEET).frame(),
             Request::Shutdown => Writer::new(TAG_SHUTDOWN).frame(),
         }
     }
@@ -489,10 +602,12 @@ impl Request {
                     n: r.i64()?,
                     m: r.i64()?,
                     deadline_ms: r.u64()?,
+                    client: r.str()?,
                     source: r.str()?,
                 })
             }
             TAG_STATS => Request::Stats,
+            TAG_FLEET => Request::Fleet,
             TAG_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::UnknownTag(other)),
         };
@@ -514,6 +629,9 @@ impl Response {
                 w.u64(o.stmt_instances);
                 w.u8(o.cache_hit as u8);
                 w.u8(o.recovered as u8);
+                w.u64(o.batched);
+                w.u8(o.rerouted as u8);
+                w.u32(o.shard);
                 w.str(&o.plan);
                 w.frame()
             }
@@ -528,6 +646,26 @@ impl Response {
                 let mut w = Writer::new(TAG_STATS_REPORT);
                 for v in s.to_words() {
                     w.u64(v);
+                }
+                w.frame()
+            }
+            Response::Fleet(f) => {
+                let mut w = Writer::new(TAG_FLEET_REPORT);
+                for v in f.to_scalars() {
+                    w.u64(v);
+                }
+                let count = u32::try_from(f.shards.len()).unwrap_or(u32::MAX);
+                w.u32(count);
+                for row in &f.shards {
+                    w.u32(row.id);
+                    w.u64(row.generation);
+                    w.u8(row.healthy as u8);
+                    w.u64(row.routed);
+                    w.u64(row.batched);
+                    w.u64(row.reroutes);
+                    for v in row.stats.to_words() {
+                        w.u64(v);
+                    }
                 }
                 w.frame()
             }
@@ -548,6 +686,9 @@ impl Response {
                 stmt_instances: r.u64()?,
                 cache_hit: r.u8()? != 0,
                 recovered: r.u8()? != 0,
+                batched: r.u64()?,
+                rerouted: r.u8()? != 0,
+                shard: r.u32()?,
                 plan: r.str()?,
             }),
             TAG_ERR => Response::Err(ServiceError {
@@ -562,6 +703,42 @@ impl Response {
                     *v = r.u64()?;
                 }
                 Response::Stats(ServiceStats::from_words(w))
+            }
+            TAG_FLEET_REPORT => {
+                let mut scalars = [0u64; FleetStats::SCALARS];
+                for v in &mut scalars {
+                    *v = r.u64()?;
+                }
+                let mut fleet = FleetStats::from_scalars(scalars);
+                let count = r.u32()? as usize;
+                // Bound the claimed row count by the bytes actually in
+                // the frame before allocating for it.
+                if count * SHARD_ROW_BYTES > r.remaining() {
+                    return Err(ProtoError::BadPayload("shard row count exceeds the frame"));
+                }
+                fleet.shards.reserve(count);
+                for _ in 0..count {
+                    let id = r.u32()?;
+                    let generation = r.u64()?;
+                    let healthy = r.u8()? != 0;
+                    let routed = r.u64()?;
+                    let batched = r.u64()?;
+                    let reroutes = r.u64()?;
+                    let mut w = [0u64; ServiceStats::FIELDS];
+                    for v in &mut w {
+                        *v = r.u64()?;
+                    }
+                    fleet.shards.push(ShardRow {
+                        id,
+                        generation,
+                        healthy,
+                        routed,
+                        batched,
+                        reroutes,
+                        stats: ServiceStats::from_words(w),
+                    });
+                }
+                Response::Fleet(fleet)
             }
             TAG_SHUTDOWN_ACK => Response::ShutdownAck,
             other => return Err(ProtoError::UnknownTag(other)),
@@ -646,12 +823,14 @@ mod tests {
     fn all_messages_round_trip() {
         round_trip_request(Request::Ping);
         round_trip_request(Request::Stats);
+        round_trip_request(Request::Fleet);
         round_trip_request(Request::Shutdown);
         round_trip_request(Request::Submit(Submit {
             engine: Engine::Interp,
             n: -3,
             m: 1 << 40,
             deadline_ms: 250,
+            client: "tenant-7".into(),
             source: "program p { arrays a; do i { doall A: j { a[i][j] = 1; } } }".into(),
         }));
         round_trip_response(Response::Pong);
@@ -663,6 +842,9 @@ mod tests {
             stmt_instances: 700,
             cache_hit: true,
             recovered: false,
+            batched: 5,
+            rerouted: true,
+            shard: 3,
             plan: "full parallel (Alg 4)".into(),
         }));
         round_trip_response(Response::Err(ServiceError {
@@ -670,7 +852,7 @@ mod tests {
             retry_after_ms: 25,
             message: "queue full".into(),
         }));
-        round_trip_response(Response::Stats(ServiceStats {
+        let stats = ServiceStats {
             connections: 1,
             requests: 2,
             completed: 3,
@@ -683,7 +865,38 @@ mod tests {
             recoveries: 10,
             proto_errors: 11,
             panics_isolated: 12,
+        };
+        round_trip_response(Response::Stats(stats));
+        round_trip_response(Response::Fleet(FleetStats {
+            routed: 100,
+            batched_groups: 20,
+            batched_submits: 60,
+            reroutes: 2,
+            shard_deaths: 1,
+            respawns: 1,
+            fair_rejections: 4,
+            shards: vec![
+                ShardRow {
+                    id: 0,
+                    generation: 0,
+                    healthy: true,
+                    routed: 50,
+                    batched: 30,
+                    reroutes: 0,
+                    stats,
+                },
+                ShardRow {
+                    id: 1,
+                    generation: 2,
+                    healthy: false,
+                    routed: 50,
+                    batched: 30,
+                    reroutes: 2,
+                    stats: ServiceStats::default(),
+                },
+            ],
         }));
+        round_trip_response(Response::Fleet(FleetStats::default()));
     }
 
     #[test]
@@ -700,13 +913,15 @@ mod tests {
         bad_string.extend_from_slice(&1i64.to_le_bytes());
         bad_string.extend_from_slice(&1i64.to_le_bytes());
         bad_string.extend_from_slice(&0u64.to_le_bytes());
-        bad_string.extend_from_slice(&u32::MAX.to_le_bytes()); // string "length"
+        bad_string.extend_from_slice(&0u32.to_le_bytes()); // empty client
+        bad_string.extend_from_slice(&u32::MAX.to_le_bytes()); // source "length"
         bad_string.extend_from_slice(b"xy");
 
         let mut bad_utf8 = vec![TAG_SUBMIT, ENGINE_KERNEL];
         bad_utf8.extend_from_slice(&1i64.to_le_bytes());
         bad_utf8.extend_from_slice(&1i64.to_le_bytes());
         bad_utf8.extend_from_slice(&0u64.to_le_bytes());
+        bad_utf8.extend_from_slice(&0u32.to_le_bytes()); // empty client
         bad_utf8.extend_from_slice(&2u32.to_le_bytes());
         bad_utf8.extend_from_slice(&[0xff, 0xfe]);
 
@@ -800,6 +1015,18 @@ mod tests {
             Err(ProtoError::BadPayload("unknown error code"))
         );
         assert_eq!(Response::decode(&[]), Err(ProtoError::Empty));
+
+        // A fleet report claiming more shard rows than the frame holds is
+        // rejected before the row vector is allocated.
+        let mut huge_fleet = vec![TAG_FLEET_REPORT];
+        for _ in 0..FleetStats::SCALARS {
+            huge_fleet.extend_from_slice(&0u64.to_le_bytes());
+        }
+        huge_fleet.extend_from_slice(&u32::MAX.to_le_bytes()); // shard "count"
+        assert_eq!(
+            Response::decode(&huge_fleet),
+            Err(ProtoError::BadPayload("shard row count exceeds the frame"))
+        );
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The `mdfused` daemon: a unix-socket fusion service.
+//! The `mdfused` daemon: a fusion service over a unix socket or TCP.
 //!
 //! One acceptor thread hands each connection to its own handler thread.
 //! Handlers read [`crate::proto`] frames with a polled, stall-bounded
@@ -28,9 +28,8 @@
 //!   removes the socket and flushes the final stats snapshot.
 
 use std::io::Write as _;
-use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -49,16 +48,15 @@ use mdf_sim::{
 use mdf_trace::Tracer;
 
 use crate::cache::{CacheLookup, PlanCache};
-use crate::proto::{
-    check_frame_len, ErrCode, Outcome, ProtoError, Request, Response, ServiceError, ServiceStats,
-    Submit,
-};
+use crate::proto::{ErrCode, Outcome, Request, Response, ServiceError, ServiceStats, Submit};
+use crate::transport::{read_frame_polled, Endpoint, Listener, Stream, READ_TICK};
 
 /// Tuning knobs for a [`Server`].
 #[derive(Clone)]
 pub struct ServiceConfig {
-    /// Unix socket path to bind (removed on drain).
-    pub socket: PathBuf,
+    /// Where to listen: a unix socket path (removed on drain) or a TCP
+    /// address.
+    pub endpoint: Endpoint,
     /// Maximum submissions executing concurrently.
     pub workers: usize,
     /// Maximum submissions waiting for a worker beyond the active set;
@@ -81,8 +79,13 @@ impl ServiceConfig {
     /// Defaults: 4 workers, queue of 8, 64-entry cache, 10 s deadline
     /// ceiling, 2 execution threads, chaos off, tracing off.
     pub fn new(socket: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig::at(Endpoint::Unix(socket.into()))
+    }
+
+    /// Same defaults, listening on an arbitrary endpoint (unix or TCP).
+    pub fn at(endpoint: Endpoint) -> ServiceConfig {
         ServiceConfig {
-            socket: socket.into(),
+            endpoint,
             workers: 4,
             queue_depth: 8,
             cache_capacity: 64,
@@ -93,14 +96,6 @@ impl ServiceConfig {
         }
     }
 }
-
-/// How long a connection may stall *mid-frame* before the read is
-/// abandoned as [`ProtoError::Stalled`]. Idle time between frames is
-/// unbounded (clients may hold a session open).
-const STALL_GRACE: Duration = Duration::from_millis(2_000);
-
-/// Socket read timeout: the poll tick at which handlers notice drain.
-const READ_TICK: Duration = Duration::from_millis(50);
 
 /// Admission book-keeping under `Shared::adm`.
 #[derive(Default)]
@@ -206,12 +201,12 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the socket and starts the acceptor.
-    pub fn start(config: ServiceConfig) -> std::io::Result<Server> {
-        // A stale socket file from a crashed daemon would make bind fail.
-        let _ = std::fs::remove_file(&config.socket);
-        let listener = UnixListener::bind(&config.socket)?;
-        listener.set_nonblocking(true)?;
+    /// Binds the endpoint and starts the acceptor.
+    pub fn start(mut config: ServiceConfig) -> std::io::Result<Server> {
+        let (listener, actual) = Listener::bind(&config.endpoint)?;
+        // Record the resolved endpoint (TCP port 0 → the ephemeral port
+        // actually bound) so `endpoint()` reports something connectable.
+        config.endpoint = actual;
         let shared = Arc::new(Shared {
             cache: Mutex::new(PlanCache::new(config.cache_capacity)),
             config,
@@ -229,9 +224,10 @@ impl Server {
         })
     }
 
-    /// The socket the daemon is serving on.
-    pub fn socket_path(&self) -> &Path {
-        &self.shared.config.socket
+    /// The endpoint the daemon is serving on (resolved: for TCP port 0
+    /// this is the actual ephemeral port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.shared.config.endpoint
     }
 
     /// `true` once drain has been requested (by [`Server::drain`] or a
@@ -264,7 +260,9 @@ impl Server {
                 let _ = h.join();
             }
         }
-        let _ = std::fs::remove_file(&self.shared.config.socket);
+        if let Endpoint::Unix(path) = &self.shared.config.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
         let span = self.shared.config.tracer.span("service.drain");
         let stats = *lock_unpoisoned(&self.shared.stats);
         span.add("requests", stats.requests);
@@ -275,13 +273,13 @@ impl Server {
     }
 }
 
-fn accept_loop(shared: Arc<Shared>, listener: UnixListener) {
+fn accept_loop(shared: Arc<Shared>, listener: Listener) {
     loop {
         if shared.draining.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
-            Ok((stream, _)) => {
+            Ok(stream) => {
                 lock_unpoisoned(&shared.stats).connections += 1;
                 spawn_handler(Arc::clone(&shared), stream);
             }
@@ -296,7 +294,7 @@ fn accept_loop(shared: Arc<Shared>, listener: UnixListener) {
     }
 }
 
-fn spawn_handler(shared: Arc<Shared>, stream: UnixStream) {
+fn spawn_handler(shared: Arc<Shared>, stream: Stream) {
     let registry = Arc::clone(&shared);
     let handle = std::thread::spawn(move || {
         let result = catch_unwind(AssertUnwindSafe(|| handle_connection(&shared, stream)));
@@ -310,105 +308,18 @@ fn spawn_handler(shared: Arc<Shared>, stream: UnixStream) {
     lock_unpoisoned(&registry.handlers).push(handle);
 }
 
-/// Reads one frame with the polled, stall-bounded loop. `Ok(None)` means
-/// the connection should close quietly (client EOF, or drain while idle
-/// between frames).
-fn read_frame_polled(
-    shared: &Shared,
-    stream: &mut UnixStream,
-) -> Result<Option<Vec<u8>>, ProtoError> {
-    use std::io::Read as _;
-    let mut prefix = [0u8; 4];
-    let mut have = 0usize;
-    let mut stall_start: Option<Instant> = None;
-    // Phase 1: the length prefix. Idle (have == 0) is unbounded unless
-    // draining; a partial prefix is subject to the stall grace.
-    loop {
-        match stream.read(&mut prefix[have..]) {
-            Ok(0) => {
-                if have == 0 {
-                    return Ok(None);
-                }
-                return Err(ProtoError::Truncated {
-                    expected: 4 - have,
-                    got: 0,
-                });
-            }
-            Ok(n) => {
-                have += n;
-                stall_start = None;
-                if have == 4 {
-                    break;
-                }
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if have == 0 {
-                    if shared.draining.load(Ordering::SeqCst) {
-                        return Ok(None);
-                    }
-                    continue;
-                }
-                let s = *stall_start.get_or_insert_with(Instant::now);
-                if s.elapsed() > STALL_GRACE {
-                    return Err(ProtoError::Stalled {
-                        grace_ms: STALL_GRACE.as_millis() as u64,
-                    });
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(ProtoError::Io(e.to_string())),
-        }
-    }
-    let len = u32::from_le_bytes(prefix);
-    check_frame_len(len)?;
-    let mut payload = vec![0u8; len as usize];
-    let mut filled = 0usize;
-    let mut stall_start: Option<Instant> = None;
-    while filled < payload.len() {
-        match stream.read(&mut payload[filled..]) {
-            Ok(0) => {
-                return Err(ProtoError::Truncated {
-                    expected: payload.len() - filled,
-                    got: filled,
-                })
-            }
-            Ok(n) => {
-                filled += n;
-                stall_start = None;
-            }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                let s = *stall_start.get_or_insert_with(Instant::now);
-                if s.elapsed() > STALL_GRACE {
-                    return Err(ProtoError::Stalled {
-                        grace_ms: STALL_GRACE.as_millis() as u64,
-                    });
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(ProtoError::Io(e.to_string())),
-        }
-    }
-    Ok(Some(payload))
-}
-
-fn write_response(stream: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
+fn write_response(stream: &mut Stream, resp: &Response) -> std::io::Result<()> {
     stream.write_all(&resp.encode())
 }
 
-fn handle_connection(shared: &Shared, mut stream: UnixStream) {
+fn handle_connection(shared: &Shared, mut stream: Stream) {
     let _ = stream.set_read_timeout(Some(READ_TICK));
     // The service.accept site models a fault in connection setup: the
     // panic unwinds to spawn_handler's catch, the client sees EOF, and a
     // reconnect succeeds (faults are one-shot).
     chaos_panic(shared.config.chaos, "service.accept");
     loop {
-        let payload = match read_frame_polled(shared, &mut stream) {
+        let payload = match read_frame_polled(&mut stream, &shared.draining) {
             Ok(Some(p)) => p,
             Ok(None) => return,
             Err(err) => {
@@ -443,6 +354,11 @@ fn handle_connection(shared: &Shared, mut stream: UnixStream) {
         let resp = match req {
             Request::Ping => Response::Pong,
             Request::Stats => Response::Stats(*lock_unpoisoned(&shared.stats)),
+            Request::Fleet => Response::Err(ServiceError {
+                code: ErrCode::Malformed,
+                retry_after_ms: 0,
+                message: "fleet stats are only available from a router".into(),
+            }),
             Request::Shutdown => {
                 shared.draining.store(true, Ordering::SeqCst);
                 shared.adm_cv.notify_all();
@@ -532,6 +448,15 @@ fn plan_description(plan: &DegradedPlan) -> String {
 struct SubmitInput {
     graph: Mldg,
     program: Option<Program>,
+}
+
+/// Canonical MLDG fingerprint of a submission source — the router's
+/// consistent-hash key. Parses exactly as the daemon would (same typed
+/// errors), so a source the fleet cannot route is the same source a
+/// shard would reject.
+pub fn submit_fingerprint(source: &str) -> Result<u64, ServiceError> {
+    let input = parse_submit(source)?;
+    Ok(canonical_fingerprint(&input.graph))
 }
 
 fn parse_submit(source: &str) -> Result<SubmitInput, ServiceError> {
@@ -654,6 +579,9 @@ fn process_admitted(
             stmt_instances: 0,
             cache_hit,
             recovered: false,
+            batched: 1,
+            rerouted: false,
+            shard: 0,
             plan: description,
         });
     };
@@ -682,6 +610,9 @@ fn process_admitted(
         stmt_instances: executed.stats.stmt_instances,
         cache_hit,
         recovered: executed.recovered,
+        batched: 1,
+        rerouted: false,
+        shard: 0,
         plan: description,
     })
 }

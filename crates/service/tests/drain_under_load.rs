@@ -51,6 +51,7 @@ fn simple_session_round_trip() {
             n: 16,
             m: 16,
             deadline_ms: 0,
+            client: String::new(),
             source: source.clone(),
         })
         .unwrap();
@@ -68,6 +69,7 @@ fn simple_session_round_trip() {
             n: 16,
             m: 16,
             deadline_ms: 0,
+            client: String::new(),
             source: source.clone(),
         })
         .unwrap();
@@ -107,6 +109,7 @@ fn kernel_cert_roundtrip_across_cache_hits_and_bound_changes() {
                 n,
                 m,
                 deadline_ms: 0,
+                client: String::new(),
                 source: source.clone(),
             })
             .unwrap();
@@ -133,6 +136,7 @@ fn malformed_graph_gets_a_typed_error_not_a_dead_daemon() {
             n: 8,
             m: 8,
             deadline_ms: 0,
+            client: String::new(),
             source: "program broken { this is not a program }".into(),
         })
         .unwrap();
@@ -192,6 +196,7 @@ fn drain_under_concurrent_load_terminates_every_client() {
                     n: 24,
                     m: 24,
                     deadline_ms: 5_000,
+                    client: String::new(),
                     source: source.as_ref().clone(),
                 }) {
                     Ok(Response::Done(done)) => {
@@ -269,6 +274,7 @@ fn shutdown_request_drains_the_server() {
             n: 4,
             m: 4,
             deadline_ms: 0,
+            client: String::new(),
             source: "mldg g\nnode A".into(),
         }) {
             Ok(Response::Err(e)) => assert_eq!(e.code, ErrCode::Draining),

@@ -57,6 +57,37 @@ done
 wait "$svc_pid"
 rm -rf "$svc_out"
 
+echo "==> router smoke (2-shard TCP fleet, shard kill, recovery, drain)"
+fleet_out=$(mktemp -d)
+# 120 requests, not 60: each shard warms its own plan cache, so a
+# 2-shard run needs twice the traffic to clear the 0.9 hit-rate floor.
+./target/release/mdfuse loadgen --shards 2 --batch --requests 120 --concurrency 8 \
+  --seed 1 --out "$fleet_out/BENCH_fleet.json" >/dev/null
+./target/release/mdfuse loadgen --check "$fleet_out/BENCH_fleet.json"
+./target/release/mdfuse route tcp:127.0.0.1:17071 --shards 2 --batch >/dev/null &
+fleet_pid=$!
+for _ in $(seq 50); do
+  ./target/release/mdfuse client tcp:127.0.0.1:17071 ping >/dev/null 2>&1 && break
+  sleep 0.2
+done
+./target/release/mdfuse client tcp:127.0.0.1:17071 \
+  submit examples/dsl/figure2.mdf 16 16 >/dev/null
+# Kill one shard mid-run ([-] keeps pgrep from matching this script).
+kill -9 "$(pgrep -f 'mdfused-fleet[-]' | head -1)"
+./target/release/mdfuse client tcp:127.0.0.1:17071 \
+  submit examples/dsl/figure2.mdf 16 16 >/dev/null
+for _ in $(seq 50); do
+  ./target/release/mdfuse client tcp:127.0.0.1:17071 fleet 2>/dev/null \
+    | grep -q "respawns: 1" && break
+  sleep 0.2
+done
+fleet_report=$(./target/release/mdfuse client tcp:127.0.0.1:17071 fleet)
+echo "$fleet_report" | grep -q "respawns: 1"
+! echo "$fleet_report" | grep -q ", dead)"
+./target/release/mdfuse client tcp:127.0.0.1:17071 shutdown >/dev/null
+wait "$fleet_pid"
+rm -rf "$fleet_out"
+
 echo "==> chaos smoke (fixed-seed fault sweep, schema-validated)"
 chaos_out=$(mktemp -d)
 ./target/release/mdfuse chaos --seed 1 \

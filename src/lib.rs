@@ -23,6 +23,7 @@
 //! | [`trace`] | `mdf-trace` | structured tracing: span trees, phase counters, profile emission |
 //! | [`chaos`] | `mdf-chaos` | deterministic fault injection: seeded fault plans, named sites |
 //! | [`service`] | `mdf-service` | `mdfused` daemon: wire protocol, admission control, plan cache |
+//! | [`router`] | `mdf-router` | fleet router: fingerprint sharding, batching, fair share, respawn |
 //! | [`baselines`] | `mdf-baselines` | direct fusion, shift-and-peel, no-fusion |
 //! | [`gen`] | `mdf-gen` | random workloads and the E1–E5 experiment suite |
 //!
@@ -56,6 +57,7 @@ pub use mdf_graph as graph;
 pub use mdf_ir as ir;
 pub use mdf_kernel as kernel;
 pub use mdf_retime as retime;
+pub use mdf_router as router;
 pub use mdf_service as service;
 pub use mdf_sim as sim;
 pub use mdf_trace as trace;
