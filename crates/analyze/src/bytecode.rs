@@ -31,6 +31,11 @@
 //!    (write, access) pair — a machine-level cross-check of the
 //!    source-level race certificate ([`crate::race`]), trusting only the
 //!    deltas that will actually execute.
+//! 5. **Elision order** ([`MDF208`]): for the tiled wavefront mode, every
+//!    collision between *different* fronts must point forward along the
+//!    fused rows (and the schedule must have `s.y >= 1`), so the barriers
+//!    elided inside a tile wave cannot reorder a dependence — the
+//!    machine-level cross-check of `certify_elision` in [`crate::race`].
 //!
 //! A passing image yields a [`BytecodeCert`] — the machine-checkable
 //! license for the executor's *unchecked* path and the JIT tier to come.
@@ -141,6 +146,17 @@ pub enum VmMode {
         /// The schedule vector `s` as `(x, y)`.
         schedule: (i64, i64),
     },
+    /// Tiled hyperplane wavefront with barrier elision: `(t, fi)` space
+    /// (`t = s · (fi, fj)`) is cut into rectangular tiles and the
+    /// anti-diagonal tile *waves* run with barriers only between waves.
+    /// Tiles of one wave run concurrently; each tile sweeps its cells
+    /// row-major (`fi` ascending, then `fj` ascending). Licensing this
+    /// mode additionally proves the sweep order ([`MDF208`]) on top of
+    /// the hyperplane disjointness ([`MDF205`]).
+    WavefrontTiled {
+        /// The schedule vector `s` as `(x, y)`.
+        schedule: (i64, i64),
+    },
 }
 
 impl VmMode {
@@ -150,6 +166,7 @@ impl VmMode {
             VmMode::Serial => "serial",
             VmMode::Rows => "rows",
             VmMode::Wavefront { .. } => "wavefront",
+            VmMode::WavefrontTiled { .. } => "wavefront-tiled",
         }
     }
 }
@@ -242,6 +259,11 @@ pub fn image_checksum(img: &VmImage) -> u64 {
         VmMode::Rows => mix(&mut h, 2),
         VmMode::Wavefront { schedule } => {
             mix(&mut h, 3);
+            mix(&mut h, schedule.0 as u64);
+            mix(&mut h, schedule.1 as u64);
+        }
+        VmMode::WavefrontTiled { schedule } => {
+            mix(&mut h, 4);
             mix(&mut h, schedule.0 as u64);
             mix(&mut h, schedule.1 as u64);
         }
@@ -563,6 +585,19 @@ impl Verify<'_> {
             );
             return;
         }
+        if let VmMode::WavefrontTiled { schedule } = mode {
+            if schedule.1 < 1 {
+                self.err(
+                    "MDF208",
+                    format!(
+                        "tiled wavefront schedule ({}, {}) has s.y < 1: the row-major \
+                         in-tile sweep cannot order same-row fronts",
+                        schedule.0, schedule.1
+                    ),
+                );
+                return;
+            }
+        }
         // Gather writes and accesses of active loops once.
         struct Site {
             li: usize,
@@ -632,20 +667,45 @@ impl Verify<'_> {
                             && brange.lo <= k
                             && k <= brange.hi)
                             .then_some((0, k))
+                            .map(|d| (d, "MDF204", "fused row".to_string()))
                     }
                     VmMode::Wavefront { schedule } => {
+                        wavefront_witness(schedule, img.cols, k, &arange, &brange).map(|d| {
+                            (
+                                d,
+                                "MDF205",
+                                format!("hyperplane (s = ({}, {}))", schedule.0, schedule.1),
+                            )
+                        })
+                    }
+                    VmMode::WavefrontTiled { schedule } => {
+                        // The untiled hyperplane obligation still holds...
                         wavefront_witness(schedule, img.cols, k, &arange, &brange)
+                            .map(|d| {
+                                (
+                                    d,
+                                    "MDF205",
+                                    format!("hyperplane (s = ({}, {}))", schedule.0, schedule.1),
+                                )
+                            })
+                            // ...plus the elision obligation: no collision
+                            // may point backwards along the fused rows.
+                            .or_else(|| {
+                                order_violation_witness(schedule, img.cols, k, &arange, &brange)
+                                    .map(|d| {
+                                        (
+                                            d,
+                                            "MDF208",
+                                            format!(
+                                                "tile wave (s = ({}, {}))",
+                                                schedule.0, schedule.1
+                                            ),
+                                        )
+                                    })
+                            })
                     }
                 };
-                if let Some((da, db)) = witness {
-                    let (code, step) = match mode {
-                        VmMode::Rows => ("MDF204", "fused row".to_string()),
-                        VmMode::Wavefront { schedule } => (
-                            "MDF205",
-                            format!("hyperplane (s = ({}, {}))", schedule.0, schedule.1),
-                        ),
-                        VmMode::Serial => unreachable!("serial returns above"),
-                    };
+                if let Some(((da, db), code, step)) = witness {
                     self.err(
                         code,
                         format!(
@@ -705,6 +765,55 @@ fn wavefront_witness(
         };
         Some((t * p.0, t * p.1))
     }
+}
+
+/// Searches for a collision displacement `(a, b)` (`a * cols + b == k`,
+/// inside the feasibility boxes) that the tiled sweep would execute out
+/// of order: writing `f = s · (a, b)` for the front separation, a
+/// violation is `f > 0` with `a < 0` or `f < 0` with `a > 0` — the
+/// later-front touch sits in an *earlier* fused row, so two tiles of one
+/// wave (which the elided barriers no longer separate) could race on the
+/// cell, or the in-tile row-major sweep would visit sink before source.
+///
+/// Substituting `b = k - a * cols` makes `f` affine in `a`:
+/// `f(a) = a * (s.x - s.y * cols) + s.y * k`, so each sign class is an
+/// endpoint check over the feasible `a` interval — exact and O(1).
+fn order_violation_witness(
+    s: (i64, i64),
+    cols: i64,
+    k: i64,
+    arange: &VmRange,
+    brange: &VmRange,
+) -> Option<(i64, i64)> {
+    debug_assert!(cols > 0, "layouts have at least one column");
+    // Feasible a: a in arange and k - a*cols in brange.
+    let lo = arange.lo.max(div_ceil(k - brange.hi, cols));
+    let hi = arange.hi.min(div_floor(k - brange.lo, cols));
+    if lo > hi {
+        return None;
+    }
+    let q = s.0 - s.1 * cols;
+    let r = s.1 * k;
+    let f = |a: i64| a * q + r;
+    // Class 1: a < 0 with f(a) > 0. f is affine, so its maximum over the
+    // sub-interval sits at an endpoint picked by the sign of q.
+    let (nlo, nhi) = (lo, hi.min(-1));
+    if nlo <= nhi {
+        let a = if q >= 0 { nhi } else { nlo };
+        if f(a) > 0 {
+            return Some((a, k - a * cols));
+        }
+    }
+    // Class 2: a > 0 with f(a) < 0 (the same collision, oriented the
+    // other way round).
+    let (plo, phi) = (lo.max(1), hi);
+    if plo <= phi {
+        let a = if q >= 0 { plo } else { phi };
+        if f(a) < 0 {
+            return Some((a, k - a * cols));
+        }
+    }
+    None
 }
 
 /// `true` when `t * q` lies in `r`.
@@ -1003,6 +1112,63 @@ mod tests {
         // Degenerate schedule: always rejected.
         let img = stencil_image(VmMode::Wavefront { schedule: (0, 0) });
         assert_eq!(codes(&verify(&img).unwrap_err()), ["MDF205"]);
+    }
+
+    #[test]
+    fn tiled_wavefront_accepts_forward_dependences() {
+        // The honest stencil's one flow is x[i-1][j]: oriented forward
+        // (s·c > 0) it is c = (1, 0), which never points up a row.
+        for s in [(1, 1), (3, 1), (2, 3)] {
+            let img = stencil_image(VmMode::WavefrontTiled { schedule: s });
+            let cert = verify(&img).unwrap();
+            assert_eq!(cert.mode, VmMode::WavefrontTiled { schedule: s });
+            assert!(revalidate(&cert, &img));
+        }
+    }
+
+    #[test]
+    fn tiled_wavefront_rejects_backward_row_dependences() {
+        // Read x[i+1][j-2] under s = (1, 3): the conflict oriented
+        // forward is c = (-1, 2) with s·c = 5 > 0 but c.x < 0 — a plain
+        // wavefront tolerates it, the tiled sweep must not.
+        let image = |mode| {
+            let mut img = stencil_image(mode);
+            img.loops[0].stmts[0].instrs[0] = VmInstr::Load {
+                dst: 0,
+                delta: img.cols as isize - 2,
+            };
+            img
+        };
+        assert!(verify(&image(VmMode::Wavefront { schedule: (1, 3) })).is_ok());
+        let err = verify(&image(VmMode::WavefrontTiled { schedule: (1, 3) })).unwrap_err();
+        assert_eq!(codes(&err), ["MDF208"]);
+        assert!(err[0].message.contains("(-1, 2)"), "{err:?}");
+    }
+
+    #[test]
+    fn tiled_wavefront_requires_a_row_ordering_schedule() {
+        // s.y < 1 leaves same-row fronts unordered by the fj-ascending
+        // in-tile sweep; rejected up front, including the degenerate
+        // schedule.
+        for s in [(1, 0), (2, -1), (0, 0)] {
+            let img = stencil_image(VmMode::WavefrontTiled { schedule: s });
+            assert_eq!(codes(&verify(&img).unwrap_err()), ["MDF208"]);
+        }
+    }
+
+    #[test]
+    fn tiled_and_untiled_wavefront_certs_do_not_cross_validate() {
+        // Barrier elision is part of the license: a cert minted for the
+        // untiled mode must not arm the tiled executor, nor vice versa.
+        let tiled = stencil_image(VmMode::WavefrontTiled { schedule: (1, 1) });
+        let plain = stencil_image(VmMode::Wavefront { schedule: (1, 1) });
+        let tiled_cert = verify(&tiled).unwrap();
+        let plain_cert = verify(&plain).unwrap();
+        assert!(revalidate(&tiled_cert, &tiled));
+        assert!(revalidate(&plain_cert, &plain));
+        assert!(!revalidate(&tiled_cert, &plain));
+        assert!(!revalidate(&plain_cert, &tiled));
+        assert_ne!(tiled_cert.checksum, plain_cert.checksum);
     }
 
     #[test]

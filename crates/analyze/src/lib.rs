@@ -45,4 +45,7 @@ pub use diag::{
     has_errors, render_human, render_json, render_json_with, Diagnostic, Severity, Span,
 };
 pub use lint::lint_source;
-pub use race::{certify_doall, certify_doall_traced, ParallelMode, RaceVerdict, RaceWitness};
+pub use race::{
+    certify_doall, certify_doall_traced, certify_elision, certify_elision_traced, ElisionVerdict,
+    ParallelMode, RaceVerdict, RaceWitness,
+};

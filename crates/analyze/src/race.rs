@@ -164,6 +164,115 @@ fn offset(spec: &FusedSpec, l: usize) -> IVec2 {
     spec.offsets.get(l).copied().unwrap_or(IVec2::ZERO)
 }
 
+/// Outcome of barrier-elision certification (tiled wavefront execution).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ElisionVerdict {
+    /// Every conflict vector is monotone along the fused outer axis: the
+    /// skewed `(front, row)` tiling may replace per-front barriers with
+    /// per-tile-wave barriers.
+    Certified {
+        /// Number of (writer, access) pairs examined.
+        pairs_checked: usize,
+    },
+    /// The schedule cannot order tile rows by ascending `fj` within a
+    /// front band (`s.y < 1`), so the in-tile sweep order is unlicensed.
+    BadSchedule {
+        /// The offending schedule vector.
+        schedule: IVec2,
+    },
+    /// A conflict vector either lies inside a hyperplane (`s·c == 0`,
+    /// `c != 0` — a race even untiled) or points backwards along the
+    /// fused outer axis (`s·c > 0` with `c.x < 0`), which would let two
+    /// same-wave tiles touch one cell.
+    Conflict {
+        /// The offending conflict vector (oriented so `s·c >= 0`).
+        conflict: IVec2,
+    },
+}
+
+impl ElisionVerdict {
+    /// `true` for [`ElisionVerdict::Certified`].
+    pub fn is_certified(&self) -> bool {
+        matches!(self, ElisionVerdict::Certified { .. })
+    }
+}
+
+/// Certifies that the hyperplane wavefront of `spec` under schedule `s`
+/// may run **tiled**, with barriers only between tile waves instead of
+/// between every pair of adjacent fronts.
+///
+/// The tiled executor partitions `(t, fi)` space — `t = s · (fi, fj)` the
+/// front index, `fi` the fused row — into rectangular blocks and runs the
+/// anti-diagonal block waves `T + I = w` in ascending `w`, each tile
+/// swept row-major (`fi` ascending, then `fj` ascending). That erases the
+/// barrier between fronts that share a wave, so it is sound only when no
+/// conflict can cross between two tiles of one wave and no intra-tile
+/// conflict is reordered by the row-major sweep. Both follow from two
+/// facts checked here over every (writer, access) conflict vector `c`:
+///
+/// 1. `s · c != 0` whenever `c != 0` (the untiled hyperplane certificate,
+///    re-proved so this verdict is self-contained);
+/// 2. orienting `c` so `s · c > 0`, `c.x >= 0` — the sink of every
+///    conflict sits in a row at or below its source. Then the sink's tile
+///    indices satisfy `T2 >= T1` and `I2 >= I1`, so distinct same-wave
+///    tiles (`T2 + I2 == T1 + I1`, `T2 != T1`) can never be linked, and
+///    within one tile the row-major sweep (licensed by `s.y >= 1`, which
+///    makes `c.x == 0` imply `c.y > 0`) serializes source before sink.
+pub fn certify_elision(spec: &FusedSpec, s: IVec2) -> ElisionVerdict {
+    if s.y < 1 {
+        return ElisionVerdict::BadSchedule { schedule: s };
+    }
+    let p = &spec.program;
+    let mut pairs = 0usize;
+    for (u, lu) in p.loops.iter().enumerate() {
+        let ru = offset(spec, u);
+        for (su, stmt) in lu.stmts.iter().enumerate() {
+            let w = stmt.lhs;
+            for (v, lv) in p.loops.iter().enumerate() {
+                let rv = offset(spec, v);
+                for (sv, st) in lv.stmts.iter().enumerate() {
+                    let mut accesses: Vec<ArrayRef> = Vec::new();
+                    if st.lhs.array == w.array && (v, sv) != (u, su) {
+                        accesses.push(st.lhs);
+                    }
+                    for r in st.rhs.refs() {
+                        if r.array == w.array {
+                            accesses.push(r);
+                        }
+                    }
+                    for a in accesses {
+                        pairs += 1;
+                        let c = v2(ru.x + w.di - rv.x - a.di, ru.y + w.dj - rv.y - a.dj);
+                        if c == IVec2::ZERO {
+                            continue; // same fused iteration: body order
+                        }
+                        let dot = s.dot(c);
+                        // Orient the pair so the sink is the later front.
+                        let fwd = if dot >= 0 { c } else { v2(-c.x, -c.y) };
+                        if dot == 0 || fwd.x < 0 {
+                            return ElisionVerdict::Conflict { conflict: fwd };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    ElisionVerdict::Certified {
+        pairs_checked: pairs,
+    }
+}
+
+/// As [`certify_elision`], reporting `analyze.elision.certified` or
+/// `analyze.elision.blocked` onto `span`. Purely observational.
+pub fn certify_elision_traced(spec: &FusedSpec, s: IVec2, span: &TraceSpan) -> ElisionVerdict {
+    let verdict = certify_elision(spec, s);
+    match &verdict {
+        ElisionVerdict::Certified { .. } => span.add("analyze.elision.certified", 1),
+        _ => span.add("analyze.elision.blocked", 1),
+    }
+    verdict
+}
+
 /// Builds a concrete two-iteration witness far enough from the boundary
 /// that both touches are live under the fused guards.
 #[allow(clippy::too_many_arguments)]
@@ -269,5 +378,69 @@ mod tests {
         assert!(!certify_doall(&spec, ParallelMode::Hyperplanes(v2(1, 0))).is_certified());
         // Schedule (5, 1) separates every conflict vector of Figure 2.
         assert!(certify_doall(&spec, ParallelMode::Hyperplanes(v2(5, 1))).is_certified());
+    }
+
+    #[test]
+    fn elision_certifies_when_conflicts_are_row_monotone() {
+        // Unretimed Figure 2 under s = (5, 1): every conflict has
+        // s·c != 0 and its forward orientation stays in rows below or at
+        // the source, so tile waves may elide the per-front barriers.
+        let spec = fig2_spec(vec![IVec2::ZERO; 4]);
+        let verdict = certify_elision(&spec, v2(5, 1));
+        assert!(verdict.is_certified(), "{verdict:?}");
+        let ElisionVerdict::Certified { pairs_checked } = verdict else {
+            unreachable!()
+        };
+        // Same pair enumeration as certify_doall.
+        let RaceVerdict::Certified {
+            pairs_checked: doall,
+        } = certify_doall(&spec, ParallelMode::Hyperplanes(v2(5, 1)))
+        else {
+            panic!("expected certified")
+        };
+        assert_eq!(pairs_checked, doall);
+    }
+
+    #[test]
+    fn elision_rejects_non_ordering_schedules() {
+        let spec = fig2_spec(vec![IVec2::ZERO; 4]);
+        assert_eq!(
+            certify_elision(&spec, v2(1, 0)),
+            ElisionVerdict::BadSchedule { schedule: v2(1, 0) }
+        );
+        assert_eq!(
+            certify_elision(&spec, v2(3, -1)),
+            ElisionVerdict::BadSchedule {
+                schedule: v2(3, -1)
+            }
+        );
+    }
+
+    #[test]
+    fn elision_rejects_in_plane_and_backward_conflicts() {
+        // Retimed relaxation (the E5 plan): conflict vectors
+        // {(0, 2), (0, 0), (1, 0), (1, -2)}.
+        let spec = FusedSpec::new(
+            mdf_ir::samples::relaxation_program(),
+            vec![v2(0, 0), v2(0, -1)],
+        );
+        // The planned schedule: every conflict is forward and row-
+        // monotone.
+        assert!(certify_elision(&spec, v2(3, 1)).is_certified());
+        // s = (0, 1): conflict (1, 0) lies inside a hyperplane — a race
+        // even untiled, so elision must refuse.
+        assert_eq!(
+            certify_elision(&spec, v2(0, 1)),
+            ElisionVerdict::Conflict { conflict: v2(1, 0) }
+        );
+        // s = (1, 3): conflict (1, -2) has s·c < 0; oriented forward it
+        // is (-1, 2) — the sink sits one row *up*, which two tiles of a
+        // wave would race on.
+        assert_eq!(
+            certify_elision(&spec, v2(1, 3)),
+            ElisionVerdict::Conflict {
+                conflict: v2(-1, 2)
+            }
+        );
     }
 }

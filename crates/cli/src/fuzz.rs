@@ -57,7 +57,7 @@ use mdf_graph::{textfmt, Budget, EdgeId, InfeasiblePhase, MdfError, NodeId, Witn
 use mdf_ir::ast::Program;
 use mdf_ir::extract::extract_mldg;
 use mdf_ir::retgen::FusedSpec;
-use mdf_kernel::{plan_mode as kernel_plan_mode, CompiledKernel};
+use mdf_kernel::{plan_mode as kernel_plan_mode, CompiledKernel, ExecMode};
 use mdf_retime::Retiming;
 use mdf_sim::{
     align_partial_to_program, align_plan_to_program, check_hyperplanes_doall, check_plan_budgeted,
@@ -438,6 +438,60 @@ fn check_bytecode_oracle(p: &Program, plan: &FusionPlan, seed: u64) -> Result<()
             umem.fingerprint(),
             cmem.fingerprint()
         )));
+    }
+
+    // Elision metadata half: when the planner grants the tiled wavefront,
+    // the certificate must pin the elision bit. A cert issued for the
+    // tiled image must not revalidate for the untiled sibling mode (or
+    // vice versa) — the two lower to different sync structures — while
+    // the honest same-mode replay must keep working, including through
+    // the threaded tile dispatch.
+    if let ExecMode::Wavefront {
+        schedule,
+        certified: true,
+        elide: true,
+    } = mode
+    {
+        let untiled = ExecMode::Wavefront {
+            schedule,
+            certified: true,
+            elide: false,
+        };
+        let tiled_cert = *armed.cert(mode).ok_or_else(|| {
+            fail("bytecode oracle: armed kernel lost its tiled certificate".to_string())
+        })?;
+        let mut replay = checked.clone();
+        if replay.arm_with_cert(untiled, tiled_cert) {
+            return Err(fail(
+                "bytecode oracle: tiled certificate revalidated for the \
+                 untiled wavefront mode"
+                    .to_string(),
+            ));
+        }
+        let untiled_cert = replay
+            .arm(untiled)
+            .map_err(|_| fail("bytecode oracle: honest untiled wavefront rejected".to_string()))?;
+        if replay.arm_with_cert(mode, untiled_cert) {
+            return Err(fail(
+                "bytecode oracle: untiled certificate revalidated for the \
+                 tiled wavefront mode"
+                    .to_string(),
+            ));
+        }
+        if !replay.arm_with_cert(mode, tiled_cert) {
+            return Err(fail(
+                "bytecode oracle: same-mode tiled certificate replay rejected".to_string(),
+            ));
+        }
+        let (tmem, tstats) = replay.run_with_threads(mode, 4);
+        if tmem.fingerprint() != cmem.fingerprint() || tstats.barriers != cstats.barriers {
+            return Err(fail(format!(
+                "bytecode oracle: armed tiled multi-worker run diverged \
+                 (armed {:#x}, checked {:#x})",
+                tmem.fingerprint(),
+                cmem.fingerprint()
+            )));
+        }
     }
 
     // Mutant half: one seeded perturbation of the lowered image.

@@ -416,6 +416,11 @@ fn cmd_run(
                 mdf_kernel::ExecMode::RowsCertified => "rows-doall",
                 mdf_kernel::ExecMode::RowsSerial => "rows-serial",
                 mdf_kernel::ExecMode::Wavefront {
+                    certified: true,
+                    elide: true,
+                    ..
+                } => "wavefront-tiled",
+                mdf_kernel::ExecMode::Wavefront {
                     certified: true, ..
                 } => "wavefront",
                 mdf_kernel::ExecMode::Wavefront { .. } => "wavefront-serial",
@@ -524,7 +529,9 @@ const USAGE: &str =
        mdfuse verify <file> [n] [m] [--json]
        mdfuse lint <file> [--json]
        mdfuse suite
-       mdfuse bench [--quick] [--json] [--out PATH] [--check PATH] [--profile[=PATH]]
+       mdfuse bench [--quick] [--json] [--threads LIST] [--out PATH]
+                    [--check PATH] [--compare A B] [--tolerance X]
+                    [--profile[=PATH]]
        mdfuse fuzz [--cases N] [--seed S] [--inject-broken-retiming]
        mdfuse chaos [--seed S] [--json] [--out PATH] [--check PATH]
                     [--examples DIR] [--profile[=PATH]]
@@ -547,9 +554,15 @@ options:
   --deadline-ms MS   abort planning/simulation after MS milliseconds (exit 5;
                      bench instead emits a partial report and exits 0)
   --engine ENGINE    execution engine for run: interp | kernel (default kernel)
-  --quick            bench: small bounds, one repetition (CI smoke shape)
+  --quick            bench: small bounds, short repetitions (CI smoke shape)
+  --threads LIST     bench: comma-separated worker counts for the matrix,
+                     strictly increasing (default 1,2,4)
   --out PATH         bench, chaos: also write the JSON report to PATH
   --check PATH       bench, chaos: validate an existing report and exit
+  --compare A B      bench: A/B-compare candidate report A against baseline
+                     report B on speedup_vs_unfused and exit (3 on regression)
+  --tolerance X      bench: allowed relative speedup regression for
+                     --compare, within [0, 1] (default 0.15)
   --examples DIR     chaos, loadgen: directory of .mdf examples
                      (default examples/dsl; skipped when absent)
   --workers N        serve, route: concurrent submissions per daemon
@@ -637,6 +650,39 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.service.seed = seed;
             }
             "--inject-broken-retiming" => opts.fuzz.inject_broken_retiming = true,
+            "--threads" => {
+                let list = next_value(&mut it, "--threads")?;
+                let mut parsed = Vec::new();
+                for part in list.split(',') {
+                    let t: usize = part.trim().parse().map_err(|e| {
+                        CliError::Usage(format!("bad value for --threads: {part:?}: {e}\n{USAGE}"))
+                    })?;
+                    if t == 0 {
+                        return Err(CliError::Usage(format!(
+                            "--threads entries must be >= 1\n{USAGE}"
+                        )));
+                    }
+                    parsed.push(t);
+                }
+                if parsed.is_empty() || parsed.windows(2).any(|w| w[0] >= w[1]) {
+                    return Err(CliError::Usage(format!(
+                        "--threads must be a non-empty, strictly increasing list\n{USAGE}"
+                    )));
+                }
+                opts.bench.threads = Some(parsed);
+            }
+            "--compare" => {
+                let a = next_value(&mut it, "--compare")?.to_string();
+                let b = next_value(&mut it, "--compare")?.to_string();
+                opts.bench.compare = Some((a, b));
+            }
+            "--tolerance" => {
+                let x = next_value(&mut it, "--tolerance")?;
+                let x: f64 = x.parse().map_err(|e| {
+                    CliError::Usage(format!("bad value for --tolerance: {e}\n{USAGE}"))
+                })?;
+                opts.bench.tolerance = Some(x);
+            }
             "--engine" => opts.engine = next_value(&mut it, "--engine")?.to_string(),
             "--out" => {
                 let path = next_value(&mut it, "--out")?.to_string();
@@ -1024,14 +1070,19 @@ mod tests {
             "bench".into(),
             "--quick".into(),
             "--json".into(),
+            "--threads".into(),
+            "1,2".into(),
             "--out".into(),
             path.to_str().unwrap().to_string(),
         ])
         .unwrap();
-        assert!(out.contains("\"schema_version\": 3"), "{out}");
+        assert!(out.contains("\"schema_version\": 4"), "{out}");
+        assert!(out.contains("\"threads\": [1, 2]"), "{out}");
         assert!(out.contains("\"complete\": true"), "{out}");
         assert!(out.contains("\"degradation\""), "{out}");
+        assert!(out.contains("\"barriers\": { \"unfused\""), "{out}");
         assert!(out.contains("\"engine\": \"verified\""), "{out}");
+        assert!(out.contains("\"median\""), "{out}");
         let checked = run(&[
             "bench".into(),
             "--check".into(),
@@ -1039,9 +1090,24 @@ mod tests {
         ])
         .unwrap();
         assert!(
-            checked.contains("valid BENCH_fusion schema v3"),
+            checked.contains("valid BENCH_fusion schema v4"),
             "{checked}"
         );
+        // Comparing a report against itself is the no-regression base
+        // case; a garbled threads list is a usage error.
+        let compared = run(&[
+            "bench".into(),
+            "--compare".into(),
+            path.to_str().unwrap().into(),
+            path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        assert!(
+            compared.contains("no regressions past tolerance"),
+            "{compared}"
+        );
+        let err = run(&["bench".into(), "--threads".into(), "2,1".into()]).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "{err}");
         // A corrupted report fails the check with exit code 3.
         std::fs::write(&path, "{\"schema_version\": 99}").unwrap();
         let err = run(&[

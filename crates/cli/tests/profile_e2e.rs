@@ -125,6 +125,8 @@ fn bench_quick_report_round_trips_through_check() {
     let out = mdfuse(&[
         "bench",
         "--quick",
+        "--threads",
+        "1,2",
         "--out",
         report.to_str().expect("utf-8"),
         &trace_arg,
@@ -138,11 +140,13 @@ fn bench_quick_report_round_trips_through_check() {
     let json = std::fs::read_to_string(&report).expect("report written");
     assert!(json.contains("\"phases\""), "{json}");
     assert!(json.contains("\"plan_ms\""), "{json}");
+    assert!(json.contains("\"matrix\""), "{json}");
+    assert!(json.contains("\"stddev\""), "{json}");
 
     // ...and rejects a version bump it does not understand (exit 3).
     std::fs::write(
         &report,
-        json.replace("\"schema_version\": 3", "\"schema_version\": 99"),
+        json.replace("\"schema_version\": 4", "\"schema_version\": 99"),
     )
     .expect("corrupt report");
     let bad = mdfuse(&["bench", "--check", report.to_str().expect("utf-8")]);

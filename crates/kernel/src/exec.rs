@@ -18,6 +18,13 @@
 //! * [`ExecMode::Wavefront`] — hyperplane execution: cells grouped by
 //!   `t = s · (fi, fj)`, groups ascending, one barrier per group; groups
 //!   run threaded in place only when the hyperplane certificate holds.
+//!   With the **elision certificate** additionally held (`elide`), the
+//!   `(t, fi)` space is cut into rectangular tiles and executed as
+//!   anti-diagonal tile *waves* ([`TilePlan`]): barriers survive only
+//!   between waves, every in-wave front barrier is elided, and each tile
+//!   sweeps its cells row-major — the order the certificate proves
+//!   equivalent. Waves too small to amortize a dispatch run serially by
+//!   a deterministic cost model ([`SERIAL_WAVE_CELLS`]).
 //!
 //! Counters ([`ExecStats`]) match the interpreter's accounting exactly:
 //! one barrier per fused row / non-empty wavefront group, one statement
@@ -52,6 +59,13 @@ impl Snapshot for KernelMemory {
 /// for threading; below this the barrier and spawn overhead dominates.
 const TILE_COLS: i64 = 256;
 
+/// Minimum estimated cell count in a tile wave before its tiles are
+/// dispatched to worker threads; below this the spawn overhead dominates
+/// and the wave runs serially (`wavefront.serial_fronts`). Part of the
+/// deterministic cost model: the decision depends only on the tile plan,
+/// the wave index, and the thread count — never on timing.
+const SERIAL_WAVE_CELLS: i64 = 2048;
+
 /// How a compiled kernel traverses the fused iteration space. Produced by
 /// [`crate::plan_mode`]; constructing a `RowsCertified`/certified
 /// wavefront mode by hand asserts that the caller holds a race
@@ -68,7 +82,81 @@ pub enum ExecMode {
         schedule: IVec2,
         /// Whether the hyperplane race certificate holds (gates threading).
         certified: bool,
+        /// Whether the barrier-elision certificate holds (gates the tiled
+        /// wave executor; meaningful only when `certified`).
+        elide: bool,
     },
+}
+
+/// The skewed tiling of an elision-certified wavefront: the `(t, fi)`
+/// space — `t = s · (fi, fj)` the front index, `fi` the fused row — cut
+/// into `n_tb × n_ib` rectangular tiles of `bt` fronts by `bi` rows.
+/// Tiles execute as anti-diagonal waves `T + I = w` in ascending `w`,
+/// with one barrier per wave: all `fronts() - waves()` remaining front
+/// barriers are elided, which the elision certificate licenses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TilePlan {
+    /// The hyperplane schedule.
+    pub schedule: IVec2,
+    /// First front index (minimum of `s · (fi, fj)` over the space).
+    pub t0: i64,
+    /// Last front index.
+    pub t1: i64,
+    /// Fronts per tile (band height along `t`).
+    pub bt: i64,
+    /// Fused rows per tile (band width along `fi`).
+    pub bi: i64,
+    /// Number of front bands.
+    pub n_tb: i64,
+    /// Number of row bands.
+    pub n_ib: i64,
+}
+
+impl TilePlan {
+    /// Barrier-to-barrier steps: the anti-diagonals of the tile grid.
+    pub fn waves(&self) -> u64 {
+        (self.n_tb + self.n_ib - 1).max(0) as u64
+    }
+
+    /// Front indices the space spans — the barriers the *untiled* driver
+    /// would place (one per front, counting empty ones on a box space).
+    pub fn fronts(&self) -> u64 {
+        (self.t1 - self.t0 + 1).max(0) as u64
+    }
+
+    /// Total tiles in the grid.
+    pub fn tiles(&self) -> u64 {
+        (self.n_tb * self.n_ib).max(0) as u64
+    }
+
+    /// Barriers elided relative to the untiled front-per-barrier drive.
+    pub fn elided(&self) -> u64 {
+        self.fronts().saturating_sub(self.waves())
+    }
+
+    /// The inclusive front-band index range of wave `w`'s tiles
+    /// (`T + I == w` with both bands in grid range).
+    fn wave_bands(&self, w: i64) -> (i64, i64) {
+        ((w - (self.n_ib - 1)).max(0), w.min(self.n_tb - 1))
+    }
+
+    /// Whether wave `w` runs serially under `threads` workers: single
+    /// worker, a single tile, or too few estimated cells
+    /// ([`SERIAL_WAVE_CELLS`]) to amortize the dispatch.
+    pub fn wave_serial(&self, w: i64, threads: usize) -> bool {
+        let (lo, hi) = self.wave_bands(w);
+        let tiles = hi - lo + 1;
+        let est_cells = tiles * self.bt * self.bi / self.schedule.y.max(1);
+        threads <= 1 || tiles < 2 || est_cells < SERIAL_WAVE_CELLS
+    }
+
+    /// Serially-executed waves under `threads` workers, recomputed from
+    /// the cost model for the `wavefront.serial_fronts` counter.
+    pub fn serial_waves(&self, threads: usize) -> u64 {
+        (0..self.waves() as i64)
+            .filter(|&w| self.wave_serial(w, threads))
+            .count() as u64
+    }
 }
 
 /// How a metered drive ended: all barriers, or stopped at a barrier top
@@ -228,7 +316,11 @@ impl CompiledKernel {
     /// (layout extents, swept ranges, retiming offsets, access deltas,
     /// instruction shape) and nothing that does not (constant values,
     /// operator identities). An uncertified wavefront executes its groups
-    /// sequentially, so it is verified as serial.
+    /// sequentially, so it is verified as serial. An elision-licensed
+    /// wavefront maps to the tiled machine mode exactly when
+    /// [`CompiledKernel::tile_plan`] would drive it tiled — the cert mode
+    /// and the executed path are derived from the same predicate, so a
+    /// certificate can never license one and run the other.
     pub fn vm_image(&self, mode: ExecMode) -> VmImage {
         let vm_mode = match mode {
             ExecMode::RowsCertified => VmMode::Rows,
@@ -236,9 +328,18 @@ impl CompiledKernel {
             ExecMode::Wavefront {
                 schedule,
                 certified: true,
-            } => VmMode::Wavefront {
-                schedule: (schedule.x, schedule.y),
-            },
+                ..
+            } => {
+                if self.tile_plan(mode).is_some() {
+                    VmMode::WavefrontTiled {
+                        schedule: (schedule.x, schedule.y),
+                    }
+                } else {
+                    VmMode::Wavefront {
+                        schedule: (schedule.x, schedule.y),
+                    }
+                }
+            }
             ExecMode::Wavefront {
                 certified: false, ..
             } => VmMode::Serial,
@@ -293,6 +394,54 @@ impl CompiledKernel {
                 })
                 .collect(),
         }
+    }
+
+    /// The skewed tile plan `mode` drives, or `None` when the mode does
+    /// not tile: it must be a certified wavefront with the elision
+    /// license, the schedule must order rows (`s.y >= 1`), and the
+    /// iteration space must be non-empty. Tile sizes are derived
+    /// deterministically from the space's shape alone, so the same
+    /// kernel + mode always produces the same plan — the property that
+    /// keeps barrier indices stable across checkpoint/resume.
+    pub fn tile_plan(&self, mode: ExecMode) -> Option<TilePlan> {
+        let ExecMode::Wavefront {
+            schedule: s,
+            certified: true,
+            elide: true,
+        } = mode
+        else {
+            return None;
+        };
+        if s.y < 1 || self.outer.is_empty() || self.inner.is_empty() {
+            return None;
+        }
+        // Front range via corner evaluation: t is linear in (fi, fj), so
+        // its extrema over the box sit at the corners.
+        let corners = [
+            s.x * self.outer.lo + s.y * self.inner.lo,
+            s.x * self.outer.lo + s.y * self.inner.hi,
+            s.x * self.outer.hi + s.y * self.inner.lo,
+            s.x * self.outer.hi + s.y * self.inner.hi,
+        ];
+        #[allow(clippy::expect_used)]
+        let t0 = *corners.iter().min().expect("four corners");
+        #[allow(clippy::expect_used)]
+        let t1 = *corners.iter().max().expect("four corners");
+        let fronts = t1 - t0 + 1;
+        let rows = self.outer.len();
+        // Coarse bands: wide enough to amortize per-wave dispatch, fine
+        // enough to expose cross-tile parallelism on big spaces.
+        let bi = (rows / 16).clamp(4, 64);
+        let bt = (fronts / 8).clamp(16, 256);
+        Some(TilePlan {
+            schedule: s,
+            t0,
+            t1,
+            bt,
+            bi,
+            n_tb: (fronts + bt - 1) / bt,
+            n_ib: (rows + bi - 1) / bi,
+        })
     }
 
     /// Runs the static bytecode verifier over this kernel for `mode` and,
@@ -428,11 +577,16 @@ impl CompiledKernel {
 
     /// The number of barriers `mode` executes over this kernel's iteration
     /// space: fused rows for the row modes, non-empty hyperplane groups
-    /// for the wavefront. The unit of checkpointing and resumption.
+    /// for the untiled wavefront, tile waves for the tiled one. The unit
+    /// of checkpointing and resumption, and the count [`ExecStats`]
+    /// reports — post-elision syncs, never the pre-elision front count.
     pub fn barrier_count(&self, mode: ExecMode) -> u64 {
         match mode {
             ExecMode::RowsCertified | ExecMode::RowsSerial => self.outer.len().max(0) as u64,
-            ExecMode::Wavefront { schedule, .. } => self.wavefront_groups(schedule).len() as u64,
+            ExecMode::Wavefront { schedule, .. } => match self.tile_plan(mode) {
+                Some(tp) => tp.waves(),
+                None => self.wavefront_groups(schedule).len() as u64,
+            },
         }
     }
 
@@ -473,13 +627,14 @@ impl CompiledKernel {
         meter: &mut BudgetMeter,
         resume: Option<(KernelMemory, Checkpoint)>,
     ) -> Result<SupervisedOutcome<KernelMemory>, MdfError> {
+        let tp = self.tile_plan(mode);
         let groups = match mode {
-            ExecMode::Wavefront { schedule, .. } => self.wavefront_groups(schedule),
+            ExecMode::Wavefront { schedule, .. } if tp.is_none() => self.wavefront_groups(schedule),
             _ => Vec::new(),
         };
         let total = match mode {
             ExecMode::RowsCertified | ExecMode::RowsSerial => self.outer.len().max(0) as u64,
-            ExecMode::Wavefront { .. } => groups.len() as u64,
+            ExecMode::Wavefront { .. } => tp.map_or(groups.len() as u64, |tp| tp.waves()),
         };
         supervise_run(
             total,
@@ -508,13 +663,22 @@ impl CompiledKernel {
                         self.outer.lo + barrier as i64,
                         unchecked,
                     ),
-                    ExecMode::Wavefront { certified, .. } => self.wavefront_group(
-                        mem.data_mut(),
-                        &groups[barrier as usize],
-                        certified,
-                        threads_now,
-                        unchecked,
-                    ),
+                    ExecMode::Wavefront { certified, .. } => match &tp {
+                        Some(tp) => self.tile_wave(
+                            mem.data_mut(),
+                            tp,
+                            barrier as i64,
+                            threads_now,
+                            unchecked,
+                        ),
+                        None => self.wavefront_group(
+                            mem.data_mut(),
+                            &groups[barrier as usize],
+                            certified,
+                            threads_now,
+                            unchecked,
+                        ),
+                    },
                 };
                 // Fires *after* the chunk's writes — only a panic is sound
                 // here (the supervisor restores the snapshot wholesale).
@@ -584,7 +748,16 @@ impl CompiledKernel {
                 }
             }
             ExecMode::RowsSerial => span.add("kernel.rows", stats.barriers),
-            ExecMode::Wavefront { .. } => span.add("kernel.groups", stats.barriers),
+            ExecMode::Wavefront { .. } => {
+                span.add("kernel.groups", stats.barriers);
+                if let Some(tp) = self.tile_plan(mode) {
+                    // Derived post-run from the deterministic plan + cost
+                    // model, never counted inside the hot loops.
+                    span.add("wavefront.tiles", tp.tiles());
+                    span.add("wavefront.elided_barriers", tp.elided());
+                    span.add("wavefront.serial_fronts", tp.serial_waves(threads));
+                }
+            }
         }
     }
 
@@ -660,7 +833,42 @@ impl CompiledKernel {
             ExecMode::Wavefront {
                 schedule,
                 certified,
+                ..
             } => {
+                if let Some(tp) = self.tile_plan(mode) {
+                    // Tiled drive: one barrier per anti-diagonal tile
+                    // wave; the per-front barriers inside a wave are
+                    // elided (licensed by the elision certificate). No
+                    // group materialization — tiles sweep their cells
+                    // directly from the plan's interval arithmetic.
+                    for w in 0..tp.waves() as i64 {
+                        let idx = w as u64;
+                        if idx < start {
+                            continue;
+                        }
+                        if let Some(meter) = meter.as_deref_mut() {
+                            if let Err(e) = gate(meter) {
+                                if deadline_expired(&e) {
+                                    return Ok(DriveEnd::Stopped {
+                                        completed,
+                                        stats,
+                                        cause: e,
+                                    });
+                                }
+                                return Err(e);
+                            }
+                        }
+                        let instances = self.tile_wave(mem.data_mut(), &tp, w, threads, unchecked);
+                        stats.stmt_instances += instances;
+                        stats.barriers += 1;
+                        completed = idx + 1;
+                        if let Some(meter) = meter.as_deref_mut() {
+                            meter.chaos_site("kernel.chunk.mid")?;
+                            meter.charge_iterations(instances)?;
+                        }
+                    }
+                    return Ok(DriveEnd::Complete(stats));
+                }
                 for (idx, group) in self.wavefront_groups(schedule).into_iter().enumerate() {
                     let idx = idx as u64;
                     if idx < start {
@@ -912,6 +1120,143 @@ impl CompiledKernel {
             instances
         }
     }
+
+    /// One tile wave: every tile on anti-diagonal `w` of the tile grid.
+    /// `unchecked` selects the assert-free body, derived from
+    /// [`Self::is_armed`] — the armed mode's [`VmMode::WavefrontTiled`]
+    /// image is what the verifier proved, so tiled execution is exactly
+    /// the licensed path.
+    fn tile_wave(
+        &self,
+        data: &mut [i64],
+        tp: &TilePlan,
+        w: i64,
+        threads: usize,
+        unchecked: bool,
+    ) -> u64 {
+        if unchecked {
+            self.tile_wave_body::<false>(data, tp, w, threads)
+        } else {
+            self.tile_wave_body::<true>(data, tp, w, threads)
+        }
+    }
+
+    fn tile_wave_body<const CHECKED: bool>(
+        &self,
+        data: &mut [i64],
+        tp: &TilePlan,
+        w: i64,
+        threads: usize,
+    ) -> u64 {
+        let cells = SharedCells::<CHECKED>::new(data);
+        let (lo, hi) = tp.wave_bands(w);
+        if tp.wave_serial(w, threads) {
+            let mut regs = [0i64; MAX_REGS];
+            let mut instances = 0u64;
+            for tb in lo..=hi {
+                instances += self.exec_tile(&cells, &mut regs, tp, tb, w - tb);
+            }
+            instances
+        } else {
+            // Same-wave tiles touch disjoint conflict-free cell sets (the
+            // elision certificate's monotonicity argument), so they run in
+            // place concurrently. Instances are pre-counted so the hot
+            // loop carries no shared accumulator.
+            let instances: u64 = (lo..=hi)
+                .map(|tb| self.tile_instances(tp, tb, w - tb))
+                .sum();
+            (lo..=hi)
+                .collect::<Vec<_>>()
+                .into_par_iter()
+                .for_each(|tb| {
+                    let mut regs = [0i64; MAX_REGS];
+                    self.exec_tile(&cells, &mut regs, tp, tb, w - tb);
+                });
+            instances
+        }
+    }
+
+    /// The fused-column window of tile row `fi` within front band
+    /// `[t_lo, t_hi]`: `t = s.x·fi + s.y·fj` solved for `fj`, clamped to
+    /// the fused inner range. Shared by execution and instance counting.
+    #[inline]
+    fn tile_cols(&self, tp: &TilePlan, fi: i64, t_lo: i64, t_hi: i64) -> (i64, i64) {
+        let s = tp.schedule;
+        (
+            div_ceil(t_lo - s.x * fi, s.y).max(self.inner.lo),
+            div_floor(t_hi - s.x * fi, s.y).min(self.inner.hi),
+        )
+    }
+
+    /// The inclusive `(t, fi)` extents of tile `(tb, ib)`.
+    #[inline]
+    fn tile_extents(&self, tp: &TilePlan, tb: i64, ib: i64) -> (i64, i64, i64, i64) {
+        let t_lo = tp.t0 + tb * tp.bt;
+        let t_hi = (t_lo + tp.bt - 1).min(tp.t1);
+        let fi_lo = self.outer.lo + ib * tp.bi;
+        let fi_hi = (fi_lo + tp.bi - 1).min(self.outer.hi);
+        (t_lo, t_hi, fi_lo, fi_hi)
+    }
+
+    /// Executes one tile, cell-major: rows ascending, columns ascending
+    /// within the row, loops in body order at each cell — the exact
+    /// serialization the elision certificate proves equivalent to the
+    /// front-by-front drive for every in-tile dependence.
+    fn exec_tile<const CHECKED: bool>(
+        &self,
+        cells: &SharedCells<CHECKED>,
+        regs: &mut [i64; MAX_REGS],
+        tp: &TilePlan,
+        tb: i64,
+        ib: i64,
+    ) -> u64 {
+        let (t_lo, t_hi, fi_lo, fi_hi) = self.tile_extents(tp, tb, ib);
+        let mut instances = 0u64;
+        for fi in fi_lo..=fi_hi {
+            let (lo, hi) = self.tile_cols(tp, fi, t_lo, t_hi);
+            for fj in lo..=hi {
+                instances += self.exec_cell(cells, regs, fi, fj);
+            }
+        }
+        instances
+    }
+
+    /// Statement instances tile `(tb, ib)` executes, counted without
+    /// touching memory (for the threaded path's accounting).
+    fn tile_instances(&self, tp: &TilePlan, tb: i64, ib: i64) -> u64 {
+        let (t_lo, t_hi, fi_lo, fi_hi) = self.tile_extents(tp, tb, ib);
+        let mut instances = 0u64;
+        for fi in fi_lo..=fi_hi {
+            let (lo, hi) = self.tile_cols(tp, fi, t_lo, t_hi);
+            for fj in lo..=hi {
+                instances += self
+                    .loops
+                    .iter()
+                    .filter(|cl| cl.rows.contains(fi) && cl.cols.contains(fj))
+                    .map(|cl| cl.stmts.len() as u64)
+                    .sum::<u64>();
+            }
+        }
+        instances
+    }
+}
+
+fn div_floor(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) == (b < 0)) {
+        q + 1
+    } else {
+        q
+    }
 }
 
 #[cfg(test)]
@@ -976,26 +1321,45 @@ mod tests {
         let ExecMode::Wavefront {
             schedule,
             certified,
+            elide,
         } = mode
         else {
             panic!("relaxation must plan a wavefront");
         };
         assert!(certified);
+        assert!(elide, "relaxation's schedule passes elision");
+        // The untiled drive (elision off) keeps the interpreter's
+        // barrier-per-front accounting.
+        let untiled = ExecMode::Wavefront {
+            schedule,
+            certified,
+            elide: false,
+        };
         for (n, m) in [(0, 0), (3, 5), (10, 10)] {
             let k = CompiledKernel::compile(&spec, n, m).unwrap();
-            let (kmem, kstats) = k.run(mode);
+            let (kmem, kstats) = k.run(untiled);
             let (imem, _) = run_original(&p, n, m);
             assert_eq!(kmem.fingerprint(), imem.fingerprint(), "({n},{m})");
             let w = plan.wavefront().unwrap();
             assert_eq!(w.schedule, schedule);
             let (_, wstats) = run_wavefront(&spec, w, n, m);
             assert_eq!(kstats.barriers, wstats.barriers);
+            // The tiled drive is bit-identical with far fewer syncs.
+            let (tmem, tstats) = k.run(mode);
+            assert_eq!(tmem.fingerprint(), imem.fingerprint(), "tiled ({n},{m})");
+            let tp = k.tile_plan(mode).unwrap();
+            assert_eq!(tstats.barriers, tp.waves());
+            assert!(tstats.barriers <= kstats.barriers);
+            assert_eq!(tstats.stmt_instances, kstats.stmt_instances);
         }
-        // Forced-parallel groups agree with the sequential groups.
+        // Forced-parallel waves agree with the sequential waves, tiled
+        // and untiled alike.
         let k = CompiledKernel::compile(&spec, 8, 8).unwrap();
-        let (a, _) = k.run_with_threads(mode, 1);
-        let (b, _) = k.run_with_threads(mode, 4);
-        assert_eq!(a.fingerprint(), b.fingerprint());
+        for m in [mode, untiled] {
+            let (a, _) = k.run_with_threads(m, 1);
+            let (b, _) = k.run_with_threads(m, 4);
+            assert_eq!(a.fingerprint(), b.fingerprint(), "{m:?}");
+        }
     }
 
     #[test]
@@ -1333,6 +1697,144 @@ mod tests {
             stats.stmt_instances
         );
         assert_eq!(profile.counter_total("kernel.tiles"), 0);
+    }
+
+    #[test]
+    fn tiled_wavefront_counters_match_the_plan_and_cost_model() {
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 24, 24).unwrap();
+        let tp = k.tile_plan(mode).expect("planned relaxation tiles");
+        assert!(tp.waves() < tp.fronts(), "tiling must elide barriers");
+        for threads in [1, 4] {
+            let ((_, stats), profile) = run_traced_profile(&k, mode, threads);
+            assert_eq!(stats.barriers, tp.waves());
+            assert_eq!(profile.counter_total("kernel.barriers"), tp.waves());
+            assert_eq!(profile.counter_total("wavefront.tiles"), tp.tiles());
+            assert_eq!(
+                profile.counter_total("wavefront.elided_barriers"),
+                tp.fronts() - tp.waves()
+            );
+            assert_eq!(
+                profile.counter_total("wavefront.serial_fronts"),
+                tp.serial_waves(threads)
+            );
+        }
+        // One worker serializes every wave; the counter must say so.
+        assert_eq!(tp.serial_waves(1), tp.waves());
+    }
+
+    #[test]
+    fn tiled_drive_reports_post_elision_barriers_everywhere() {
+        // barrier_count, the budgeted driver, and the supervisor must all
+        // agree on waves — the checkpoint unit — not pre-elision fronts.
+        use mdf_graph::Budget;
+        use mdf_sim::RetryPolicy;
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let k = CompiledKernel::compile(&spec, 12, 12).unwrap();
+        let tp = k.tile_plan(mode).unwrap();
+        assert_eq!(k.barrier_count(mode), tp.waves());
+        let mut meter = Budget::unlimited().meter();
+        let (_, bstats) = k
+            .run_budgeted(mode, &mut meter)
+            .unwrap()
+            .into_complete()
+            .unwrap();
+        assert_eq!(bstats.barriers, tp.waves());
+        let mut meter = Budget::unlimited().meter();
+        let out = k
+            .run_supervised(mode, 2, &RetryPolicy::deterministic(), &mut meter)
+            .unwrap();
+        assert!(out.is_complete());
+        assert_eq!(out.recovery().checkpoints_taken, tp.waves());
+    }
+
+    #[test]
+    fn tile_plan_exists_only_for_elided_certified_wavefronts() {
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let ExecMode::Wavefront { schedule, .. } = mode else {
+            panic!("expected wavefront");
+        };
+        let k = CompiledKernel::compile(&spec, 8, 8).unwrap();
+        assert!(k.tile_plan(mode).is_some());
+        for no_tile in [
+            ExecMode::Wavefront {
+                schedule,
+                certified: true,
+                elide: false,
+            },
+            ExecMode::Wavefront {
+                schedule,
+                certified: false,
+                elide: true,
+            },
+            ExecMode::RowsCertified,
+            ExecMode::RowsSerial,
+        ] {
+            assert!(k.tile_plan(no_tile).is_none(), "{no_tile:?}");
+        }
+        // A schedule that cannot order rows never tiles.
+        assert!(k
+            .tile_plan(ExecMode::Wavefront {
+                schedule: mdf_graph::v2(1, 0),
+                certified: true,
+                elide: true,
+            })
+            .is_none());
+        // An empty space never tiles (and the untiled drive is exact).
+        let empty = CompiledKernel::compile(&spec, -1, 8).unwrap();
+        assert!(empty.tile_plan(mode).is_none());
+        assert_eq!(empty.barrier_count(mode), 0);
+    }
+
+    #[test]
+    fn tiled_cert_mode_tracks_the_executed_path() {
+        // The armed image's mode must equal what the drive will execute:
+        // tiled for the elided mode, plain wavefront with elision off —
+        // and the certs must not cross-validate.
+        let p = relaxation_program();
+        let (spec, plan) = planned_spec(&p);
+        let mode = crate::plan_mode(&spec, &plan);
+        let ExecMode::Wavefront {
+            schedule,
+            certified: true,
+            elide: true,
+        } = mode
+        else {
+            panic!("expected elided wavefront");
+        };
+        let untiled = ExecMode::Wavefront {
+            schedule,
+            certified: true,
+            elide: false,
+        };
+        let mut k = CompiledKernel::compile(&spec, 10, 10).unwrap();
+        let tiled_cert = k.arm(mode).unwrap();
+        assert_eq!(
+            tiled_cert.mode,
+            VmMode::WavefrontTiled {
+                schedule: (schedule.x, schedule.y)
+            }
+        );
+        let untiled_cert = k.arm(untiled).unwrap();
+        assert_eq!(
+            untiled_cert.mode,
+            VmMode::Wavefront {
+                schedule: (schedule.x, schedule.y)
+            }
+        );
+        // Cross-mode adoption is rejected both ways.
+        let mut fresh = CompiledKernel::compile(&spec, 10, 10).unwrap();
+        assert!(!fresh.arm_with_cert(mode, untiled_cert));
+        assert!(!fresh.arm_with_cert(untiled, tiled_cert));
+        assert!(fresh.arm_with_cert(mode, tiled_cert));
+        assert!(fresh.is_armed(mode));
+        assert!(!fresh.is_armed(untiled));
     }
 
     #[test]

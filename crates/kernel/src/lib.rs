@@ -54,14 +54,16 @@ pub mod exec;
 pub mod lower;
 pub mod memory;
 
-pub use exec::{CompiledKernel, ExecMode};
+pub use exec::{CompiledKernel, ExecMode, TilePlan};
 pub use lower::{CompiledLoop, CompiledStmt, Instr};
 pub use memory::KernelMemory;
 // Re-exported so consumers without an `mdf-analyze` dependency (the
 // service plan cache) can store and revalidate bytecode certificates.
 pub use mdf_analyze::bytecode::{BytecodeCert, VmImage, VmMode};
 
-use mdf_analyze::{certify_doall, certify_doall_traced, ParallelMode};
+use mdf_analyze::{
+    certify_doall, certify_doall_traced, certify_elision, certify_elision_traced, ParallelMode,
+};
 use mdf_core::FusionPlan;
 use mdf_ir::retgen::FusedSpec;
 use mdf_trace::Span;
@@ -79,20 +81,28 @@ pub fn plan_mode(spec: &FusedSpec, plan: &FusionPlan) -> ExecMode {
                 ExecMode::RowsSerial
             }
         }
-        FusionPlan::Hyperplane { wavefront, .. } => ExecMode::Wavefront {
-            schedule: wavefront.schedule,
-            certified: certify_doall(spec, ParallelMode::Hyperplanes(wavefront.schedule))
-                .is_certified(),
-        },
+        FusionPlan::Hyperplane { wavefront, .. } => {
+            let s = wavefront.schedule;
+            let certified = certify_doall(spec, ParallelMode::Hyperplanes(s)).is_certified();
+            ExecMode::Wavefront {
+                schedule: s,
+                certified,
+                // Barrier elision rides on top of the hyperplane license:
+                // only a certified wavefront may also tile.
+                elide: certified && certify_elision(spec, s).is_certified(),
+            }
+        }
     }
 }
 
 /// As [`plan_mode`], reporting the certificate consultation and the
 /// decision onto `span`: one of `kernel.mode.rows-certified` /
-/// `kernel.mode.rows-serial` / `kernel.mode.wavefront`, plus a
-/// `kernel.fallback.row-race` or `kernel.fallback.hyperplane-race`
-/// counter when a failed certificate caused a serial(ized) fallback — the
-/// "why is this not parallel" answer, straight from the profile.
+/// `kernel.mode.rows-serial` / `kernel.mode.wavefront` /
+/// `kernel.mode.wavefront-tiled`, plus a `kernel.fallback.row-race`,
+/// `kernel.fallback.hyperplane-race`, or
+/// `kernel.fallback.elision-blocked` counter when a failed certificate
+/// caused a serial(ized)/untiled fallback — the "why is this not
+/// parallel" answer, straight from the profile.
 pub fn plan_mode_traced(spec: &FusedSpec, plan: &FusionPlan, span: &Span) -> ExecMode {
     let mode = match plan {
         FusionPlan::FullParallel { .. } => {
@@ -104,21 +114,30 @@ pub fn plan_mode_traced(spec: &FusedSpec, plan: &FusionPlan, span: &Span) -> Exe
             }
         }
         FusionPlan::Hyperplane { wavefront, .. } => {
+            let s = wavefront.schedule;
             let certified =
-                certify_doall_traced(spec, ParallelMode::Hyperplanes(wavefront.schedule), span)
-                    .is_certified();
-            if !certified {
+                certify_doall_traced(spec, ParallelMode::Hyperplanes(s), span).is_certified();
+            let elide = if !certified {
                 span.add("kernel.fallback.hyperplane-race", 1);
-            }
+                false
+            } else {
+                let elide = certify_elision_traced(spec, s, span).is_certified();
+                if !elide {
+                    span.add("kernel.fallback.elision-blocked", 1);
+                }
+                elide
+            };
             ExecMode::Wavefront {
-                schedule: wavefront.schedule,
+                schedule: s,
                 certified,
+                elide,
             }
         }
     };
     match mode {
         ExecMode::RowsCertified => span.add("kernel.mode.rows-certified", 1),
         ExecMode::RowsSerial => span.add("kernel.mode.rows-serial", 1),
+        ExecMode::Wavefront { elide: true, .. } => span.add("kernel.mode.wavefront-tiled", 1),
         ExecMode::Wavefront { .. } => span.add("kernel.mode.wavefront", 1),
     }
     mode
@@ -196,7 +215,8 @@ mod tests {
             assert_eq!(profile.counter_total("analyze.witnesses"), 1);
         }
 
-        // Certified wavefront.
+        // Certified wavefront: relaxation's planned schedule also passes
+        // the elision certificate, so the tiled mode is chosen.
         let p = relaxation_program();
         let plan = plan_fusion(&extract_mldg(&p).unwrap().graph).unwrap();
         let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
@@ -205,10 +225,14 @@ mod tests {
             mode,
             ExecMode::Wavefront {
                 certified: true,
+                elide: true,
                 ..
             }
         ));
-        assert_eq!(profile.counter_total("kernel.mode.wavefront"), 1);
+        assert_eq!(profile.counter_total("kernel.mode.wavefront-tiled"), 1);
+        assert_eq!(profile.counter_total("kernel.mode.wavefront"), 0);
         assert_eq!(profile.counter_total("kernel.fallback.hyperplane-race"), 0);
+        assert_eq!(profile.counter_total("kernel.fallback.elision-blocked"), 0);
+        assert_eq!(profile.counter_total("analyze.elision.certified"), 1);
     }
 }

@@ -234,6 +234,11 @@ fn integrity(offsets: &[(String, IVec2)], shape: &CachedShape, cert: Option<&Byt
                     fold(schedule.0 as u64);
                     fold(schedule.1 as u64);
                 }
+                VmMode::WavefrontTiled { schedule } => {
+                    fold(5);
+                    fold(schedule.0 as u64);
+                    fold(schedule.1 as u64);
+                }
             }
             fold(c.n as u64);
             fold(c.m as u64);

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# A/B-compare two BENCH_fusion.json reports on speedup_vs_unfused:
+# compare_bench.sh CANDIDATE BASELINE [TOLERANCE]
+#
+# Cells are matched on (suite id, shape, threads, engine); any matched
+# cell whose candidate speedup falls more than TOLERANCE (relative,
+# default 0.15) below the baseline fails with exit 3. Thin wrapper over
+# `mdfuse bench --compare` so CI and local runs share one entry point.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+usage="usage: compare_bench.sh CANDIDATE BASELINE [TOLERANCE]"
+candidate=${1:?$usage}
+baseline=${2:?$usage}
+tolerance=${3:-0.15}
+
+mdfuse=./target/release/mdfuse
+if [ ! -x "$mdfuse" ]; then
+  cargo build --release -p mdf-cli
+fi
+exec "$mdfuse" bench --compare "$candidate" "$baseline" --tolerance "$tolerance"

@@ -199,6 +199,79 @@ fn supervisor_absorbs_worker_panics_at_every_barrier() {
     }
 }
 
+/// The sweeps above cover whatever mode the planner picks — but a silent
+/// regression from the tiled wavefront back to the untiled one would
+/// weaken them without failing anything. Pin the elided path explicitly:
+/// E5 must plan a certified, elision-licensed wavefront, and with the
+/// tile grid at a shape big enough for a multi-wave anti-diagonal
+/// schedule, a run interrupted at **every tile-wave boundary** (deadline)
+/// and a supervised run panicked at every wave must both land
+/// bit-identical, with exactly one checkpoint per post-elision sync.
+#[test]
+fn tiled_wavefront_recovers_at_every_wave_boundary() {
+    let entry = mdfusion::gen::executable_suite()
+        .into_iter()
+        .find(|e| e.id == "E5")
+        .expect("E5 is executable");
+    let p = entry.program.expect("executable suite has programs");
+    let graph = extract_mldg(&p).expect("E5 extracts").graph;
+    let plan = plan_fusion(&graph).expect("E5 plans");
+    let plan = mdfusion::sim::align_plan_to_program(&graph, &p, &plan).expect("E5 aligns");
+    let spec = FusedSpec::new(p, plan.retiming().offsets().to_vec());
+    let mode = plan_mode(&spec, &plan);
+    assert!(
+        matches!(
+            mode,
+            ExecMode::Wavefront {
+                certified: true,
+                elide: true,
+                ..
+            }
+        ),
+        "E5 must carry the elision license, got {mode:?}"
+    );
+    let kernel = CompiledKernel::compile(&spec, 48, 48).expect("E5 compiles");
+    let tp = kernel.tile_plan(mode).expect("elision-licensed mode tiles");
+    let total = kernel.barrier_count(mode);
+    assert_eq!(total, tp.waves(), "checkpoint unit is the tile wave");
+    assert!(tp.elided() > 0, "the tiled shape must actually elide");
+    assert!(total > 1, "needs at least two waves to interrupt");
+
+    // Deadline at every wave boundary, resumed from the checkpoint.
+    for b in 1..=total {
+        kernel_interrupt_resume(&kernel, mode, b, "E5-tiled");
+    }
+
+    // Worker panic at every wave under the supervisor, multi-worker so
+    // the threaded tile dispatch is the thing recovering.
+    let policy = RetryPolicy::deterministic();
+    let (want_mem, want_stats) = kernel.run_with_threads(mode, 4);
+    for b in 1..=total {
+        let guard = FaultPlan::single("kernel.barrier", FaultKind::WorkerPanic, b).arm();
+        let mut meter = Budget::unlimited().with_chaos().meter();
+        let out = kernel
+            .run_supervised(mode, 4, &policy, &mut meter)
+            .expect("supervised run does not surface recoverable faults");
+        assert_eq!(guard.injected(), 1);
+        drop(guard);
+        let SupervisedOutcome::Complete {
+            mem,
+            stats,
+            recovery,
+        } = out
+        else {
+            panic!("one transient panic (wave {b}) must not end partial");
+        };
+        assert_eq!(mem.fingerprint(), want_mem.fingerprint(), "wave {b}");
+        assert_eq!(stats, want_stats, "wave {b}");
+        assert_eq!(
+            recovery.checkpoints_taken,
+            tp.waves(),
+            "one checkpoint per post-elision sync (wave {b})"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 

@@ -32,13 +32,43 @@ pub mod prelude {
     pub use crate::iter::{IntoParallelIterator, ParallelIterator};
 }
 
+use std::cell::Cell;
+
+thread_local! {
+    /// Scoped worker-count override installed by [`with_workers`]. `None`
+    /// means "use the host's available parallelism".
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
 /// The number of worker threads parallel iterators will use (mirrors
-/// `rayon::current_num_threads`): the host's available parallelism, or 1
+/// `rayon::current_num_threads`): the [`with_workers`] override when one
+/// is active on this thread, else the host's available parallelism, or 1
 /// when that cannot be determined.
 pub fn current_num_threads() -> usize {
+    if let Some(n) = WORKER_OVERRIDE.with(Cell::get) {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Runs `f` with [`current_num_threads`] pinned to `workers` on the
+/// calling thread — the knob benchmark matrices turn to measure thread
+/// scaling independent of the host's core count. Parallel iterators
+/// dispatched *by `f`* use `workers` workers (the count is read on the
+/// dispatching thread); the override is restored on exit, including by
+/// panic unwind. Values are clamped to at least 1.
+pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            WORKER_OVERRIDE.with(|c| c.set(prev));
+        }
+    }
+    let _restore = Restore(WORKER_OVERRIDE.with(|c| c.replace(Some(workers.max(1)))));
+    f()
 }
 
 /// The per-worker item counts of the round-robin deal of `len` items to
@@ -260,6 +290,38 @@ mod tests {
                 .for_each(|x| assert!(x != 3, "boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn with_workers_overrides_and_restores_the_count() {
+        let ambient = super::current_num_threads();
+        let inside = super::with_workers(7, super::current_num_threads);
+        assert_eq!(inside, 7);
+        assert_eq!(super::current_num_threads(), ambient);
+        // Nesting restores the outer override, and 0 clamps to 1.
+        super::with_workers(3, || {
+            assert_eq!(super::with_workers(0, super::current_num_threads), 1);
+            assert_eq!(super::current_num_threads(), 3);
+        });
+        // A panic inside the scope still restores the ambient count.
+        let r = std::panic::catch_unwind(|| super::with_workers(5, || panic!("boom")));
+        assert!(r.is_err());
+        assert_eq!(super::current_num_threads(), ambient);
+    }
+
+    #[test]
+    fn with_workers_drives_parallel_dispatch() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        // 8 items forced onto 4 workers must run on more than one thread
+        // even when the host reports a single core.
+        let ids = Mutex::new(HashSet::new());
+        super::with_workers(4, || {
+            (0i64..8).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+            });
+        });
+        assert!(ids.into_inner().unwrap().len() > 1);
     }
 
     #[test]
