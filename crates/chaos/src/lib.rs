@@ -146,6 +146,26 @@ pub const SITES: &[SiteInfo] = &[
         name: "router.batch",
         kinds: &[FaultKind::DeadlineExpiry],
     },
+    // Persistence-layer sites (`mdf-service`'s plan-cache store).
+    // `persist.append` panics mid-record append — the bytes already
+    // written model a torn write whose tail the next load must discard;
+    // `persist.compact` panics between writing the snapshot tmp file and
+    // the atomic rename — a kill mid-compaction that must leave either
+    // the old or the new snapshot, never a mix; `persist.load` corrupts
+    // a record during load — the per-record checksum must reject it and
+    // the entry must be evicted silently, never trusted.
+    SiteInfo {
+        name: "persist.append",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "persist.compact",
+        kinds: &[FaultKind::WorkerPanic],
+    },
+    SiteInfo {
+        name: "persist.load",
+        kinds: &[FaultKind::CorruptRetiming],
+    },
 ];
 
 /// Looks a site up in [`SITES`].

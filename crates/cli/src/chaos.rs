@@ -42,6 +42,15 @@
 //! an observed reroute; a batching stall must flush late, never hang.
 //! A fleet that never recovers, a dead router, or a divergent
 //! fingerprint fails the sweep.
+//!
+//! A fourth phase sweeps the **persistence** fault sites (`persist.append`,
+//! `persist.compact`, `persist.load`) against a live daemon with a real
+//! on-disk plan-cache store: a torn write mid-record, a kill between the
+//! snapshot tmp-write and its rename, and a bit flip surfacing on load.
+//! Every case ends with a clean reboot from the damaged directory — the
+//! daemon must boot, warm-load only entries that survive revalidation,
+//! and keep answering bit-identical fingerprints. A reboot that crashes
+//! or a warm entry that yields a divergent answer fails the sweep.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write as _;
@@ -655,6 +664,148 @@ fn service_sweep(
     names.push(format!("mdfused:{name}"));
 }
 
+/// Runs one persistence-phase case. All three `persist.*` sites share
+/// one contract: whatever the fault does to the on-disk store, the live
+/// daemon keeps answering correct fingerprints (retry-once absorbs the
+/// torn-write panic), and a clean reboot from the damaged directory
+/// boots, warm-loads only entries that survive revalidation, and never
+/// yields a wrong answer.
+fn persist_case(
+    workload: &str,
+    source: &str,
+    want: u64,
+    site: &'static str,
+    kind: FaultKind,
+    trigger: u64,
+) -> CaseResult {
+    let tag = format!(
+        "mdfuse-chaos-{}-{}-{trigger}",
+        std::process::id(),
+        site.replace('.', "-"),
+    );
+    let dir = std::env::temp_dir().join(format!("{tag}.store"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let socket = std::env::temp_dir().join(format!("{tag}.sock"));
+    let mut recovery = RecoveryStats::default();
+    let mut config = ServiceConfig::new(&socket);
+    config.workers = 2;
+    config.cache_dir = Some(dir.clone());
+
+    // `persist.load` fires on *reboot*, so its store is populated (and
+    // compacted) by a clean daemon first; the write-path sites fault the
+    // store while it is being populated.
+    if site == "persist.load" {
+        let populated = match Server::start(config.clone()) {
+            Err(e) => Class::UnhandledPanic(format!("clean populate boot failed: {e}")),
+            Ok(server) => {
+                let class = drive_service(&socket, source, want, &mut recovery.retries);
+                server.drain();
+                class
+            }
+        };
+        if populated != Class::Recovered {
+            return CaseResult {
+                workload: format!("mdfstore:{workload}"),
+                site,
+                kind,
+                trigger,
+                class: populated,
+                injected: 0,
+                recovery,
+            };
+        }
+    }
+
+    config.chaos = true;
+    // Armed before boot: `persist.load` fires inside `Server::start`'s
+    // warm-load scan, the write-path sites later.
+    let guard = FaultPlan::single(site, kind, trigger).arm();
+    let mut class = match Server::start(config) {
+        Err(e) => Class::UnhandledPanic(format!("chaos boot from store failed: {e}")),
+        Ok(server) => {
+            let class = drive_service(&socket, source, want, &mut recovery.retries);
+            // The compaction fault fires inside drain's final fold (after
+            // every thread has joined), simulating a kill between the
+            // snapshot tmp-write and its rename. Anywhere else a drain
+            // panic is a sweep failure.
+            let drained = catch_unwind(AssertUnwindSafe(|| server.drain()));
+            if drained.is_err() && site != "persist.compact" && !class.is_failure() {
+                Class::UnhandledPanic(format!("{site}: drain panicked"))
+            } else {
+                class
+            }
+        }
+    };
+    let injected = guard.injected();
+    drop(guard);
+    // The first trigger of every persist site is reachable by
+    // construction; a case that recovered without its fault ever firing
+    // proved nothing, and silently counting it would blind the oracle.
+    if class == Class::Recovered && injected == 0 && trigger == 1 {
+        class = Class::WrongAnswer(format!("{site} armed at trigger 1 but never fired"));
+    }
+
+    // The recovery oracle: a clean reboot from whatever the fault left on
+    // disk. Torn tails and flipped bits must be discarded on load, never
+    // crash the boot, and never surface as a divergent answer.
+    if !class.is_failure() {
+        let mut config = ServiceConfig::new(&socket);
+        config.workers = 2;
+        config.cache_dir = Some(dir.clone());
+        match Server::start(config) {
+            Err(e) => {
+                class = Class::UnhandledPanic(format!("reboot from damaged store failed: {e}"));
+            }
+            Ok(server) => {
+                let rebooted = drive_service(&socket, source, want, &mut recovery.retries);
+                server.drain();
+                if rebooted != Class::Recovered {
+                    class = rebooted;
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    CaseResult {
+        workload: format!("mdfstore:{workload}"),
+        site,
+        kind,
+        trigger,
+        class,
+        injected,
+        recovery,
+    }
+}
+
+/// The persistence phase: every `persist.*` site and kind against a live
+/// daemon backed by a real store directory. Trigger counts are
+/// site-specific: the write path is hit twice per populated key (the
+/// plan insert and the later certificate attach), while compaction and
+/// load touch the single-key store once per case.
+fn persist_sweep(
+    name: &str,
+    program: &Program,
+    results: &mut Vec<CaseResult>,
+    names: &mut Vec<String>,
+) {
+    let source = mdf_ir::pretty::program_to_dsl(program);
+    let (omem, _) = run_original(program, SWEEP_N, SWEEP_M);
+    let want = omem.fingerprint();
+    for site in SITES.iter().filter(|s| s.name.starts_with("persist.")) {
+        let triggers: &[u64] = if site.name == "persist.append" {
+            &[1, 2]
+        } else {
+            &[1]
+        };
+        for kind in site.kinds {
+            for &trigger in triggers {
+                results.push(persist_case(name, &source, want, site.name, *kind, trigger));
+            }
+        }
+    }
+    names.push(format!("mdfstore:{name}"));
+}
+
 /// Requests per router case: enough that both sampled triggers of every
 /// `router.*` site land mid-traffic.
 const ROUTER_REQUESTS: u64 = 6;
@@ -987,7 +1138,8 @@ fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>)
     }
     // Phase two: the daemon sites, against a live server running the
     // first fully-fused workload. Phase three: the fleet sites, against
-    // a live two-shard router over the same workload.
+    // a live two-shard router over the same workload. Phase four: the
+    // persistence sites, against a live daemon with an on-disk store.
     if let Some((name, program)) = service_workload {
         let svc_span = span.child("service");
         service_sweep(&name, &program, &mut results, &mut names);
@@ -995,6 +1147,9 @@ fn sweep(opts: &ChaosOpts, span: &Span) -> Result<(Vec<CaseResult>, Vec<String>)
         let fleet_span = span.child("router");
         router_sweep(&name, &program, &mut results, &mut names);
         fleet_span.finish();
+        let persist_span = span.child("persist");
+        persist_sweep(&name, &program, &mut results, &mut names);
+        persist_span.finish();
     }
     Ok((results, names))
 }
@@ -1225,6 +1380,7 @@ mod tests {
         assert!(out.contains("figure2:"), "{out}");
         assert!(out.contains("mdfused:E1:"), "{out}");
         assert!(out.contains("mdf-router:E1:"), "{out}");
+        assert!(out.contains("mdfstore:E1:"), "{out}");
 
         // The written report validates...
         let path = opts.out.clone().unwrap();

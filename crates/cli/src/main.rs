@@ -536,9 +536,10 @@ const USAGE: &str =
        mdfuse chaos [--seed S] [--json] [--out PATH] [--check PATH]
                     [--examples DIR] [--profile[=PATH]]
        mdfuse serve <endpoint> [--workers N] [--queue N] [--cache-cap N]
-                    [--inject-chaos]
+                    [--cache-dir DIR] [--cache-sync M] [--inject-chaos]
        mdfuse route <endpoint> [--shards N] [--batch] [--workers N]
-                    [--queue N] [--cache-cap N]
+                    [--queue N] [--cache-cap N] [--cache-dir DIR]
+                    [--cache-sync M]
        mdfuse client <endpoint> <ping|stats|fleet|shutdown>
        mdfuse client <endpoint> submit <file> [n] [m] [--engine E]
                     [--deadline-ms MS]
@@ -546,6 +547,7 @@ const USAGE: &str =
                     [--requests N] [--concurrency C]
                     [--mode closed|open] [--rps R] [--seed S] [--json]
                     [--out PATH] [--check PATH] [--examples DIR]
+                    [--chaos] [--cache-dir DIR] [--cache-sync M]
        mdfuse profile-check <file>
 
 options:
@@ -569,7 +571,16 @@ options:
                      (default 4)
   --queue N          serve, route: admission queue depth (default 8)
   --cache-cap N      serve, route: plan cache capacity (default 64)
+  --cache-dir DIR    serve, route, loadgen: crash-safe persistent plan-cache
+                     store; warm-loads on boot, persists on insert/drain
+                     (route/loadgen shards use DIR/shard-<N>)
+  --cache-sync M     store fsync discipline: never | snapshot | always
+                     (default snapshot: sync compacted snapshots, not
+                     every append)
   --inject-chaos     serve: arm the service.* fault sites (testing only)
+  --chaos            loadgen: fire seeded faults (worker panics, shard
+                     kills, persistence faults) while measuring latency;
+                     requires an in-process target (not --socket)
   --shards N         route, loadgen: fleet shard count (route default 2;
                      loadgen 0 = single in-process daemon)
   --batch            route, loadgen: coalesce same-fingerprint
@@ -707,6 +718,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, CliError> {
                 opts.service.cache_capacity = next_u64(&mut it, "--cache-cap")? as usize
             }
             "--inject-chaos" => opts.service.inject_chaos = true,
+            "--cache-dir" => {
+                opts.service.cache_dir = Some(next_value(&mut it, "--cache-dir")?.to_string())
+            }
+            "--cache-sync" => {
+                opts.service.cache_sync = next_value(&mut it, "--cache-sync")?.to_string()
+            }
+            "--chaos" => opts.service.chaos = true,
             "--shards" => opts.service.shards = next_u64(&mut it, "--shards")? as u32,
             "--batch" => opts.service.batch = true,
             "--socket" => opts.service.socket = Some(next_value(&mut it, "--socket")?.to_string()),

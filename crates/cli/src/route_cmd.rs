@@ -27,6 +27,10 @@ struct ProcessBackend {
     workers: usize,
     queue_depth: usize,
     cache_capacity: usize,
+    /// Root of the persistent store; shard `N` gets `DIR/shard-N`, keyed
+    /// by shard *slot* so respawned generations warm-start.
+    cache_dir: Option<String>,
+    cache_sync: String,
     children: Mutex<Vec<Option<(Child, Endpoint)>>>,
 }
 
@@ -36,6 +40,8 @@ impl ProcessBackend {
             workers: opts.workers.max(1),
             queue_depth: opts.queue_depth.max(1),
             cache_capacity: opts.cache_capacity.max(1),
+            cache_dir: opts.cache_dir.clone(),
+            cache_sync: opts.cache_sync.clone(),
             children: Mutex::new((0..shards).map(|_| None).collect()),
         }
     }
@@ -69,7 +75,8 @@ impl Backend for ProcessBackend {
         ));
         let _ = std::fs::remove_file(&path);
         let exe = std::env::current_exe()?;
-        let mut child = Command::new(exe)
+        let mut command = Command::new(exe);
+        command
             .arg("serve")
             .arg(&path)
             .arg("--workers")
@@ -77,7 +84,15 @@ impl Backend for ProcessBackend {
             .arg("--queue")
             .arg(self.queue_depth.to_string())
             .arg("--cache-cap")
-            .arg(self.cache_capacity.to_string())
+            .arg(self.cache_capacity.to_string());
+        if let Some(root) = &self.cache_dir {
+            command
+                .arg("--cache-dir")
+                .arg(std::path::Path::new(root).join(format!("shard-{shard}")))
+                .arg("--cache-sync")
+                .arg(&self.cache_sync);
+        }
+        let mut child = command
             .stdin(Stdio::null())
             .stdout(Stdio::null())
             .stderr(Stdio::null())
@@ -131,6 +146,8 @@ impl Backend for ProcessBackend {
 
 /// Entry point for `mdfuse route <endpoint> --shards N [--batch]`.
 pub(crate) fn route(endpoint: &str, opts: &ServiceOpts) -> Result<String, CliError> {
+    // Fail fast on a bad sync mode here rather than in every child.
+    crate::service_cmd::parse_cache_sync(&opts.cache_sync)?;
     let shards = if opts.shards == 0 { 2 } else { opts.shards };
     let backend = ProcessBackend::new(shards, opts);
     let mut config = RouterConfig::new(Endpoint::parse(endpoint), shards);

@@ -29,14 +29,17 @@ use mdf_graph::MdfError;
 use mdf_router::{InProcessBackend, Router, RouterConfig};
 use mdf_service::proto::{ErrCode, FleetStats, Response, ServiceStats, Submit};
 use mdf_service::transport::Endpoint;
-use mdf_service::{Client, Engine, Server, ServiceConfig};
+use mdf_service::{CacheSync, Client, Engine, Server, ServiceConfig};
 use mdf_trace::json::{escape as json_escape, parse as parse_json, Json};
 
 use crate::CliError;
 
 /// Version stamp of the `BENCH_service.json` schema. v2 added `retries`,
-/// the `router` scalar block, and per-shard rows.
-const SCHEMA_VERSION: u64 = 2;
+/// the `router` scalar block, and per-shard rows; v3 added the warm
+/// plan-cache counters (`cache_warm_hits`, `cache_warm_loaded`,
+/// `warm_hit_rate`, per-shard `warm_hit_rate`) and the `chaos_latency`
+/// block emitted by `loadgen --chaos`.
+const SCHEMA_VERSION: u64 = 3;
 
 /// Options for `serve`, `client`, and `loadgen`.
 pub(crate) struct ServiceOpts {
@@ -48,6 +51,15 @@ pub(crate) struct ServiceOpts {
     pub cache_capacity: usize,
     /// `serve`: arm the `service.*` chaos sites (testing only).
     pub inject_chaos: bool,
+    /// `serve`/`loadgen`: persistent plan-cache directory (for a fleet,
+    /// the root under which each shard slot gets `shard-N/`).
+    pub cache_dir: Option<String>,
+    /// `serve`/`loadgen`: fsync discipline for the store
+    /// (`never|snapshot|always`).
+    pub cache_sync: String,
+    /// `loadgen`: latency-under-chaos mode — fire seeded faults
+    /// (including a shard kill mid-traffic) while measuring.
+    pub chaos: bool,
     /// `loadgen`: external daemon/router endpoint (in-process when unset).
     pub socket: Option<String>,
     /// `loadgen`/`route`: fleet shard count (`0` = single daemon).
@@ -79,6 +91,9 @@ impl Default for ServiceOpts {
             queue_depth: 8,
             cache_capacity: 64,
             inject_chaos: false,
+            cache_dir: None,
+            cache_sync: "snapshot".to_string(),
+            chaos: false,
             socket: None,
             shards: 0,
             batch: false,
@@ -114,6 +129,15 @@ fn splitmix64(state: &mut u64) -> u64 {
 // ---------------------------------------------------------------------
 // serve
 
+/// Parses a `--cache-sync` CLI value.
+pub(crate) fn parse_cache_sync(s: &str) -> Result<CacheSync, CliError> {
+    CacheSync::parse(s).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown --cache-sync {s:?} (expected never|snapshot|always)"
+        ))
+    })
+}
+
 /// Entry point for `mdfuse serve <endpoint>`.
 pub(crate) fn serve(endpoint: &str, opts: &ServiceOpts) -> Result<String, CliError> {
     let mut config = ServiceConfig::at(Endpoint::parse(endpoint));
@@ -121,13 +145,23 @@ pub(crate) fn serve(endpoint: &str, opts: &ServiceOpts) -> Result<String, CliErr
     config.queue_depth = opts.queue_depth;
     config.cache_capacity = opts.cache_capacity.max(1);
     config.chaos = opts.inject_chaos;
+    config.cache_dir = opts.cache_dir.as_ref().map(std::path::PathBuf::from);
+    config.cache_sync = parse_cache_sync(&opts.cache_sync)?;
     let server = Server::start(config)
         .map_err(|e| CliError::Usage(format!("cannot bind {endpoint}: {e}")))?;
     // Foreground daemon: stdout is line-buffered status, shutdown comes
     // from a client `Shutdown` message (`mdfuse client <endpoint> shutdown`).
     // The resolved endpoint matters for `tcp:...:0` (ephemeral port).
+    let persistence = match &opts.cache_dir {
+        Some(dir) => format!(
+            ", store {dir} (sync {}, {} warm-loaded)",
+            opts.cache_sync,
+            server.stats().cache_warm_loaded
+        ),
+        None => String::new(),
+    };
     println!(
-        "mdfused listening on {} ({} worker(s), queue {}, cache {})",
+        "mdfused listening on {} ({} worker(s), queue {}, cache {}{persistence})",
         server.endpoint(),
         opts.workers,
         opts.queue_depth,
@@ -144,6 +178,7 @@ fn render_stats_human(s: &ServiceStats) -> String {
     format!(
         "connections: {}\nrequests: {} ({} completed)\n\
          cache: {} hit(s), {} miss(es), {} rejected\n\
+         warm: {} warm hit(s), {} warm-loaded at boot\n\
          rejections: {} overload, {} drain\n\
          deadline expiries: {}\nrecoveries: {}\n\
          proto errors: {}\npanics isolated: {}\n",
@@ -153,6 +188,8 @@ fn render_stats_human(s: &ServiceStats) -> String {
         s.cache_hits,
         s.cache_misses,
         s.cache_rejected,
+        s.cache_warm_hits,
+        s.cache_warm_loaded,
         s.overload_rejections,
         s.drain_rejections,
         s.deadline_expiries,
@@ -370,6 +407,10 @@ struct LoadCounters {
     typed_rejections: AtomicU64,
     transport_errors: AtomicU64,
     retries: AtomicU64,
+    /// Completed requests whose outcome reported supervised recovery.
+    recovered: AtomicU64,
+    /// Completed requests that were rerouted to a different shard.
+    rerouted: AtomicU64,
 }
 
 struct LoadReport {
@@ -383,6 +424,12 @@ struct LoadReport {
     typed_rejections: u64,
     transport_errors: u64,
     retries: u64,
+    /// Whether the run measured under injected faults (`--chaos`); the
+    /// `chaos_latency` block is zero when it did not.
+    chaos: bool,
+    /// Client-observed recoveries and reroutes during the chaos window.
+    chaos_recoveries: u64,
+    chaos_reroutes: u64,
     latencies_ms: Vec<f64>,
     stats: ServiceStats,
     /// Fleet counters when the target was a router (in-process `--shards`
@@ -418,6 +465,8 @@ fn sum_fleet_stats(f: &FleetStats) -> ServiceStats {
         sum.recoveries += s.recoveries;
         sum.proto_errors += s.proto_errors;
         sum.panics_isolated += s.panics_isolated;
+        sum.cache_warm_hits += s.cache_warm_hits;
+        sum.cache_warm_loaded += s.cache_warm_loaded;
     }
     sum
 }
@@ -428,16 +477,28 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         return check_file(path);
     }
     let workloads = Arc::new(load_workloads(&opts.examples, 24, 24)?);
+    let cache_sync = parse_cache_sync(&opts.cache_sync)?;
+    if opts.chaos && opts.socket.is_some() {
+        return Err(CliError::Usage(
+            "--chaos requires an in-process target (faults cannot be injected \
+             into an external daemon)"
+                .into(),
+        ));
+    }
     let target = match &opts.socket {
         Some(s) => Target::External(Endpoint::parse(s)),
         None if opts.shards > 0 => {
             let mut template = ServiceConfig::new("unused.sock");
             template.workers = 2;
             template.queue_depth = opts.concurrency.max(4) * 2;
+            template.chaos = opts.chaos;
+            template.cache_dir = opts.cache_dir.as_ref().map(std::path::PathBuf::from);
+            template.cache_sync = cache_sync;
             let backend = InProcessBackend::new(opts.shards, template);
             let mut config = RouterConfig::new(Endpoint::parse("tcp:127.0.0.1:0"), opts.shards);
             config.batch_window = opts.batch.then_some(BATCH_WINDOW);
             config.fair_slots = (opts.concurrency as u64).max(8 * opts.shards as u64);
+            config.chaos = opts.chaos;
             let router = Router::start(config, Box::new(backend))
                 .map_err(|e| CliError::Internal(format!("cannot boot fleet: {e}")))?;
             Target::OwnFleet(router)
@@ -448,6 +509,9 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
             let mut config = ServiceConfig::new(&path);
             config.workers = opts.concurrency.max(2);
             config.queue_depth = opts.concurrency * 2;
+            config.chaos = opts.chaos;
+            config.cache_dir = opts.cache_dir.as_ref().map(std::path::PathBuf::from);
+            config.cache_sync = cache_sync;
             let server = Server::start(config)
                 .map_err(|e| CliError::Internal(format!("cannot boot daemon: {e}")))?;
             Target::OwnServer(server)
@@ -477,6 +541,50 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
     let interval =
         Duration::from_secs_f64(opts.concurrency.max(1) as f64 / (opts.rps.max(1) as f64));
 
+    // `--chaos`: a rolling injector arms one seeded fault after another
+    // for the whole measured window — worker panics at every service
+    // layer, a shard kill + ring flap for fleets, a torn store append
+    // when persistence is on — so the latency distribution includes
+    // recovery, respawn, and reroute costs. Faults are one-shot; the
+    // injector re-arms as soon as one fires (or a short window lapses).
+    let chaos_stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let chaos_injector = opts.chaos.then(|| {
+        let stop = Arc::clone(&chaos_stop);
+        let fleet = opts.shards > 0;
+        let persist = opts.cache_dir.is_some();
+        let mut state = opts.seed ^ 0x6c67_2d63_6861_6f73; // "lg-chaos"
+        std::thread::spawn(move || {
+            use mdf_chaos::FaultKind;
+            let mut sites: Vec<(&'static str, FaultKind)> = vec![
+                ("service.accept", FaultKind::WorkerPanic),
+                ("service.read", FaultKind::WorkerPanic),
+                ("service.write", FaultKind::WorkerPanic),
+                ("service.cache", FaultKind::CorruptRetiming),
+            ];
+            if fleet {
+                sites.push(("router.shard", FaultKind::WorkerPanic));
+                sites.push(("router.ring", FaultKind::WorkerPanic));
+            }
+            if persist {
+                sites.push(("persist.append", FaultKind::WorkerPanic));
+            }
+            while !stop.load(Ordering::SeqCst) {
+                // Seeded site order, deterministic per (seed, round).
+                let pick = (splitmix64(&mut state) % sites.len() as u64) as usize;
+                let (site, kind) = sites[pick];
+                let trigger = 1 + splitmix64(&mut state) % 3;
+                let guard = mdf_chaos::FaultPlan::single(site, kind, trigger).arm();
+                for _ in 0..10 {
+                    if stop.load(Ordering::SeqCst) || guard.injected() > 0 {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                drop(guard);
+            }
+        })
+    });
+
     let t0 = Instant::now();
     let mut threads = Vec::new();
     for worker in 0..opts.concurrency.max(1) {
@@ -487,6 +595,7 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         let next_request = Arc::clone(&next_request);
         let seed = opts.seed;
         let total = opts.requests;
+        let chaos_mode = opts.chaos;
         threads.push(std::thread::spawn(move || {
             // Each worker is one client identity, so fair-share sees a
             // population instead of one anonymous blob.
@@ -530,8 +639,13 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
                     source: w.source.clone(),
                 };
                 // Honor Overloaded retry hints: bounded attempts, seeded
-                // deterministic jitter on top of the server's hint.
+                // deterministic jitter on top of the server's hint. Under
+                // --chaos, fault-induced Internal errors are also retried
+                // — the harness measures recovery latency, not the faults
+                // themselves — and a retry that then completes counts as
+                // a recovery.
                 let mut attempt = 0u64;
+                let mut retried_fault = false;
                 let (lat, resp) = loop {
                     let started = Instant::now();
                     let resp = c.submit(submit.clone());
@@ -548,6 +662,18 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
                                 e.retry_after_ms * attempt + jitter,
                             ));
                         }
+                        Ok(Response::Err(ref e))
+                            if chaos_mode
+                                && e.code == ErrCode::Internal
+                                && attempt < MAX_RETRIES =>
+                        {
+                            attempt += 1;
+                            retried_fault = true;
+                            counters.retries.fetch_add(1, Ordering::SeqCst);
+                            std::thread::sleep(Duration::from_millis(
+                                5 * attempt + splitmix64(&mut state) % 6,
+                            ));
+                        }
                         other => break (started.elapsed().as_secs_f64() * 1e3, other),
                     }
                 };
@@ -556,6 +682,12 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
                         counters.completed.fetch_add(1, Ordering::SeqCst);
                         if done.fingerprint != w.expected {
                             counters.mismatches.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if done.recovered || retried_fault {
+                            counters.recovered.fetch_add(1, Ordering::SeqCst);
+                        }
+                        if done.rerouted {
+                            counters.rerouted.fetch_add(1, Ordering::SeqCst);
                         }
                         if let Ok(mut l) = latencies.lock() {
                             l.push(lat);
@@ -576,6 +708,10 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         let _ = t.join();
     }
     let wall_s = t0.elapsed().as_secs_f64();
+    chaos_stop.store(true, Ordering::SeqCst);
+    if let Some(injector) = chaos_injector {
+        let _ = injector.join();
+    }
 
     let (stats, fleet) = match target {
         Target::OwnServer(server) => (server.drain(), None),
@@ -605,6 +741,9 @@ pub(crate) fn loadgen(opts: &ServiceOpts, json: bool) -> Result<String, CliError
         typed_rejections: counters.typed_rejections.load(Ordering::SeqCst),
         transport_errors: counters.transport_errors.load(Ordering::SeqCst),
         retries: counters.retries.load(Ordering::SeqCst),
+        chaos: opts.chaos,
+        chaos_recoveries: counters.recovered.load(Ordering::SeqCst),
+        chaos_reroutes: counters.rerouted.load(Ordering::SeqCst),
         latencies_ms,
         stats,
         fleet,
@@ -660,6 +799,10 @@ fn diff_stats(before: &ServiceStats, after: &ServiceStats) -> ServiceStats {
         recoveries: after.recoveries.saturating_sub(before.recoveries),
         proto_errors: after.proto_errors.saturating_sub(before.proto_errors),
         panics_isolated: after.panics_isolated.saturating_sub(before.panics_isolated),
+        cache_warm_hits: after.cache_warm_hits.saturating_sub(before.cache_warm_hits),
+        // Warm-loaded is a boot-time gauge, not a flow counter: report
+        // the daemon's current value rather than a meaningless delta.
+        cache_warm_loaded: after.cache_warm_loaded,
     }
 }
 
@@ -677,6 +820,16 @@ fn hit_rate(s: &ServiceStats) -> f64 {
         0.0
     } else {
         s.cache_hits as f64 / total as f64
+    }
+}
+
+/// Share of cache hits served by a warm-loaded entry — the warm-vs-cold
+/// split a restarted daemon (or respawned shard) is judged on.
+fn warm_hit_rate(s: &ServiceStats) -> f64 {
+    if s.cache_hits == 0 {
+        0.0
+    } else {
+        s.cache_warm_hits as f64 / s.cache_hits as f64
     }
 }
 
@@ -721,6 +874,31 @@ fn render_json(r: &LoadReport) -> String {
     let _ = writeln!(out, "  \"recoveries\": {},", r.stats.recoveries);
     let _ = writeln!(out, "  \"proto_errors\": {},", r.stats.proto_errors);
     let _ = writeln!(out, "  \"panics_isolated\": {},", r.stats.panics_isolated);
+    let _ = writeln!(out, "  \"cache_warm_hits\": {},", r.stats.cache_warm_hits);
+    let _ = writeln!(
+        out,
+        "  \"cache_warm_loaded\": {},",
+        r.stats.cache_warm_loaded
+    );
+    let _ = writeln!(out, "  \"warm_hit_rate\": {:.4},", warm_hit_rate(&r.stats));
+    // Like the router block below, chaos_latency is always present
+    // (all-zero when `--chaos` was off) so v3 consumers never branch on
+    // field existence. Under chaos the whole measured window runs with
+    // the injector live, so the percentiles are the chaos percentiles.
+    let (cp50, cp99, cmax) = if r.chaos {
+        (p50, p99, max)
+    } else {
+        (0.0, 0.0, 0.0)
+    };
+    let _ = writeln!(out, "  \"chaos_latency\": {{");
+    let _ = writeln!(out, "    \"active\": {},", r.chaos);
+    let _ = writeln!(
+        out,
+        "    \"p50\": {cp50:.3}, \"p99\": {cp99:.3}, \"max\": {cmax:.3},"
+    );
+    let _ = writeln!(out, "    \"recoveries\": {},", r.chaos_recoveries);
+    let _ = writeln!(out, "    \"reroutes\": {}", r.chaos_reroutes);
+    let _ = writeln!(out, "  }},");
     // The router block is always present (all-zero for a single daemon)
     // so v2 consumers never branch on field existence.
     let zero = FleetStats::default();
@@ -743,7 +921,8 @@ fn render_json(r: &LoadReport) -> String {
                 "    {{ \"id\": {}, \"generation\": {}, \"healthy\": {}, \
                  \"routed\": {}, \"batched\": {}, \"reroutes\": {}, \
                  \"requests\": {}, \"completed\": {}, \"req_s\": {:.2}, \
-                 \"cache_hit_rate\": {:.4} }}",
+                 \"cache_hit_rate\": {:.4}, \"warm_hit_rate\": {:.4}, \
+                 \"warm_loaded\": {} }}",
                 row.id,
                 row.generation,
                 row.healthy,
@@ -754,6 +933,8 @@ fn render_json(r: &LoadReport) -> String {
                 row.stats.completed,
                 shard_rps,
                 hit_rate(&row.stats),
+                warm_hit_rate(&row.stats),
+                row.stats.cache_warm_loaded,
             )
         })
         .collect();
@@ -803,6 +984,22 @@ fn render_human(r: &LoadReport) -> String {
         r.stats.recoveries,
         r.stats.deadline_expiries,
     );
+    if r.stats.cache_warm_loaded > 0 || r.stats.cache_warm_hits > 0 {
+        let _ = writeln!(
+            out,
+            "warm cache: {} warm-loaded, {} warm hit(s) ({:.1}% of hits)",
+            r.stats.cache_warm_loaded,
+            r.stats.cache_warm_hits,
+            warm_hit_rate(&r.stats) * 100.0,
+        );
+    }
+    if r.chaos {
+        let _ = writeln!(
+            out,
+            "chaos: faults live for the whole window; {} recovery(ies), {} reroute(s) observed",
+            r.chaos_recoveries, r.chaos_reroutes,
+        );
+    }
     if let Some(fleet) = &r.fleet {
         out.push_str(&render_fleet_human(fleet));
     }
@@ -856,6 +1053,8 @@ fn validate(text: &str) -> Result<u64, String> {
         "recoveries",
         "proto_errors",
         "panics_isolated",
+        "cache_warm_hits",
+        "cache_warm_loaded",
     ] {
         if !field(k)?.num().is_some_and(|v| v >= 0.0) {
             return Err(format!("{k} must be a non-negative number"));
@@ -885,6 +1084,21 @@ fn validate(text: &str) -> Result<u64, String> {
             "cache_hit_rate {hit_rate} below the 0.9 floor: repeat traffic is not hitting the plan cache"
         ));
     }
+    let warm_rate = field("warm_hit_rate")?
+        .num()
+        .ok_or("warm_hit_rate must be a number")?;
+    if !(0.0..=1.0).contains(&warm_rate) {
+        return Err("warm_hit_rate must be within [0, 1]".into());
+    }
+    let chaos = field("chaos_latency")?;
+    if chaos.get("active").and_then(Json::bool_val).is_none() {
+        return Err("chaos_latency.active must be a boolean".into());
+    }
+    for k in ["p50", "p99", "max", "recoveries", "reroutes"] {
+        if !chaos.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
+            return Err(format!("chaos_latency.{k} must be a non-negative number"));
+        }
+    }
     let router = field("router")?;
     for k in [
         "routed",
@@ -911,6 +1125,8 @@ fn validate(text: &str) -> Result<u64, String> {
             "completed",
             "req_s",
             "cache_hit_rate",
+            "warm_hit_rate",
+            "warm_loaded",
         ] {
             if !row.get(k).and_then(Json::num).is_some_and(|v| v >= 0.0) {
                 return Err(format!("shards[{i}].{k} must be a non-negative number"));
@@ -956,10 +1172,15 @@ mod tests {
             typed_rejections: 0,
             transport_errors: 0,
             retries: 0,
+            chaos: false,
+            chaos_recoveries: 0,
+            chaos_reroutes: 0,
             latencies_ms: vec![1.0, 2.0, 3.0, 4.0],
             stats: ServiceStats {
                 cache_hits: 15,
                 cache_misses: 1,
+                cache_warm_hits: 6,
+                cache_warm_loaded: 4,
                 ..ServiceStats::default()
             },
             fleet: None,
@@ -1029,6 +1250,28 @@ mod tests {
         // And the human render mentions the fleet.
         let human = render_human(&fleet_report());
         assert!(human.contains("fleet: 2 shard(s)"), "{human}");
+    }
+
+    #[test]
+    fn chaos_block_renders_and_validates() {
+        // Off: block present, all-zero, active false.
+        let json = render_json(&report());
+        validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert!(json.contains("\"chaos_latency\""), "{json}");
+        assert!(json.contains("\"active\": false"), "{json}");
+        // On: percentiles mirror the run's, counters carried through.
+        let mut r = report();
+        r.chaos = true;
+        r.chaos_recoveries = 3;
+        r.chaos_reroutes = 2;
+        let json = render_json(&r);
+        validate(&json).unwrap_or_else(|m| panic!("{m}\n{json}"));
+        assert!(json.contains("\"active\": true"), "{json}");
+        assert!(json.contains("\"recoveries\": 3"), "{json}");
+        assert!(json.contains("\"reroutes\": 2"), "{json}");
+        let human = render_human(&r);
+        assert!(human.contains("chaos:"), "{human}");
+        assert!(human.contains("warm cache: 4 warm-loaded"), "{human}");
     }
 
     #[test]

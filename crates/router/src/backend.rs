@@ -49,6 +49,12 @@ impl Backend for InProcessBackend {
         ));
         let mut config = self.template.clone();
         config.endpoint = Endpoint::Unix(path);
+        // Per-shard-*slot* cache dir (generation-independent): a
+        // respawned generation reopens its predecessor's store and
+        // warm-starts instead of replanning the shard's key range.
+        if let Some(root) = &self.template.cache_dir {
+            config.cache_dir = Some(root.join(format!("shard-{shard}")));
+        }
         let server = Server::start(config)?;
         let endpoint = server.endpoint().clone();
         let mut servers = self.servers.lock().unwrap_or_else(|e| e.into_inner());

@@ -660,6 +660,8 @@ fn aggregate_stats(shared: &Shared) -> ServiceStats {
         sum.recoveries += s.recoveries;
         sum.proto_errors += s.proto_errors;
         sum.panics_isolated += s.panics_isolated;
+        sum.cache_warm_hits += s.cache_warm_hits;
+        sum.cache_warm_loaded += s.cache_warm_loaded;
     }
     sum
 }

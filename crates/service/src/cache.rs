@@ -33,26 +33,32 @@ use mdf_kernel::{BytecodeCert, VmMode};
 use mdf_retime::{Retiming, Wavefront};
 
 /// The per-plan payload: enough to rebuild a [`FusionPlan`] for any graph
-/// with the same node labels.
+/// with the same node labels. `pub(crate)` so the persistent store can
+/// encode and decode entries without a parallel type.
 #[derive(Clone, Debug)]
-struct CachedPlan {
+pub(crate) struct CachedPlan {
     /// Per-node retiming offsets, keyed by node label (labels are unique
     /// in any parsed graph — the text formats reject duplicates).
-    offsets: Vec<(String, IVec2)>,
-    shape: CachedShape,
+    pub(crate) offsets: Vec<(String, IVec2)>,
+    pub(crate) shape: CachedShape,
     /// Bytecode certificate from the last kernel execution of this plan,
     /// attached after a successful `arm`. A cached cert is only a *hint*:
     /// the kernel re-derives its VM image and `arm_with_cert` rejects any
     /// cert whose bounds or checksum disagree, so a stale or corrupted
     /// cert costs one fresh verification, never unchecked execution.
-    cert: Option<BytecodeCert>,
+    pub(crate) cert: Option<BytecodeCert>,
     /// Integrity checksum over `offsets`, `shape` and `cert`, taken at
     /// insert (and re-taken whenever a cert is attached).
-    sum: u64,
+    pub(crate) sum: u64,
+    /// Provenance: `true` when this entry was restored from the
+    /// persistent store rather than planned in this process. Not folded
+    /// into `sum` — it describes where the entry came from, not what it
+    /// says — and it feeds the warm-vs-cold hit counters.
+    pub(crate) warm: bool,
 }
 
 #[derive(Clone, Copy, Debug)]
-enum CachedShape {
+pub(crate) enum CachedShape {
     FullParallel { method: FullParallelMethod },
     Hyperplane { wavefront: Wavefront },
 }
@@ -62,8 +68,9 @@ enum CachedShape {
 pub enum CacheLookup {
     /// A stored plan that revalidated against the requesting graph,
     /// together with any bytecode certificate attached on a prior kernel
-    /// run (to be revalidated by `CompiledKernel::arm_with_cert`).
-    Hit(FusionPlan, Option<BytecodeCert>),
+    /// run (to be revalidated by `CompiledKernel::arm_with_cert`) and
+    /// whether the entry was warm-loaded from the persistent store.
+    Hit(FusionPlan, Option<BytecodeCert>, bool),
     /// An entry existed but failed revalidation (fingerprint collision or
     /// poison); it has been evicted and the caller must replan.
     Rejected,
@@ -126,10 +133,45 @@ impl PlanCache {
                     shape,
                     cert: None,
                     sum,
+                    warm: false,
                 },
             ),
         );
         self.entries.truncate(self.cap);
+    }
+
+    /// Restores an entry decoded from the persistent store, marking it
+    /// warm. The entry is trusted no further than a live insert: its
+    /// stored checksum must match a fresh fold of its content (a
+    /// bit-flipped record dies here), and every later hit still runs the
+    /// full rebuild + `verify_plan` + cert-revalidation gauntlet. Returns
+    /// whether the entry was accepted. Restored entries go to the LRU
+    /// tail so live traffic immediately outranks them.
+    pub(crate) fn restore(&mut self, key: u64, mut plan: CachedPlan) -> bool {
+        if integrity(&plan.offsets, &plan.shape, plan.cert.as_ref()) != plan.sum {
+            return false;
+        }
+        if self.entries.iter().any(|(k, _)| *k == key) {
+            return false;
+        }
+        if self.entries.len() >= self.cap {
+            return false;
+        }
+        plan.warm = true;
+        self.entries.push((key, plan));
+        true
+    }
+
+    /// Read-only view of the entries, MRU first — the snapshot writer's
+    /// input.
+    pub(crate) fn entries(&self) -> &[(u64, CachedPlan)] {
+        &self.entries
+    }
+
+    /// The entry under `key`, if any (no LRU promotion) — what the
+    /// append path persists after an insert or cert attach.
+    pub(crate) fn peek(&self, key: u64) -> Option<&CachedPlan> {
+        self.entries.iter().find(|(k, _)| *k == key).map(|(_, p)| p)
     }
 
     /// Attaches a bytecode certificate to the entry under `key`, refolding
@@ -177,8 +219,9 @@ impl PlanCache {
             Some(plan) if verify_plan(g, &plan).is_ok() => {
                 let e = self.entries.remove(pos);
                 let cert = e.1.cert;
+                let warm = e.1.warm;
                 self.entries.insert(0, e);
-                CacheLookup::Hit(plan, cert)
+                CacheLookup::Hit(plan, cert, warm)
             }
             _ => {
                 // Collision or poison: drop the entry so it cannot tax
@@ -301,7 +344,7 @@ mod tests {
         let mut cache = PlanCache::new(8);
         cache.insert(key, &g, &plan(&g));
         match cache.lookup(key, &g, false) {
-            CacheLookup::Hit(p, _) => verify_plan(&g, &p).unwrap(),
+            CacheLookup::Hit(p, _, _) => verify_plan(&g, &p).unwrap(),
             other => panic!("expected hit, got {other:?}"),
         }
     }
@@ -325,7 +368,7 @@ mod tests {
         let mut cache = PlanCache::new(8);
         cache.insert(canonical_fingerprint(&g), &g, &plan(&g));
         match cache.lookup(canonical_fingerprint(&g2), &g2, false) {
-            CacheLookup::Hit(p, _) => verify_plan(&g2, &p).unwrap(),
+            CacheLookup::Hit(p, _, _) => verify_plan(&g2, &p).unwrap(),
             other => panic!("expected hit, got {other:?}"),
         }
     }
@@ -386,13 +429,13 @@ mod tests {
         cache.insert(key, &g, &plan(&g));
         // A fresh entry carries no cert.
         match cache.lookup(key, &g, false) {
-            CacheLookup::Hit(_, cert) => assert!(cert.is_none()),
+            CacheLookup::Hit(_, cert, _) => assert!(cert.is_none()),
             other => panic!("expected hit, got {other:?}"),
         }
         assert!(cache.attach_cert(key, sample_cert()));
         assert!(!cache.attach_cert(key ^ 1, sample_cert()), "absent key");
         match cache.lookup(key, &g, false) {
-            CacheLookup::Hit(_, Some(c)) => {
+            CacheLookup::Hit(_, Some(c), _) => {
                 assert_eq!(c.checksum, 0xdead_beef);
                 assert_eq!(c.mode, VmMode::Rows);
             }

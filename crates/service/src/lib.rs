@@ -23,10 +23,16 @@
 //!
 //! Everything is plain `std`: threads, unix sockets, mutexes and
 //! condvars. The chaos sites `service.accept`, `service.read`,
-//! `service.write` and `service.cache` (see `mdf-chaos`) inject faults
-//! at each service layer; `mdfuse chaos` sweeps them and requires every
-//! one to land as *Recovered* or *Detected* — never a wrong answer or an
-//! unhandled panic.
+//! `service.write`, `service.cache`, and the persistence sites
+//! `persist.append`, `persist.compact`, `persist.load` (see
+//! `mdf-chaos`) inject faults at each service layer; `mdfuse chaos`
+//! sweeps them and requires every one to land as *Recovered* or
+//! *Detected* — never a wrong answer or an unhandled panic.
+//!
+//! [`store`] adds crash-safe persistence for the plan cache: an
+//! append-only checksummed log with atomic compacted snapshots, loaded
+//! on boot (`mdfused --cache-dir`) so restarts and shard respawns
+//! warm-start instead of replanning.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,6 +41,7 @@ pub mod cache;
 pub mod client;
 pub mod proto;
 pub mod server;
+pub mod store;
 pub mod transport;
 
 pub use cache::{CacheLookup, PlanCache};
@@ -44,4 +51,5 @@ pub use proto::{
     ServiceStats, ShardRow, Submit, MAX_FRAME,
 };
 pub use server::{submit_fingerprint, Server, ServiceConfig};
+pub use store::CacheSync;
 pub use transport::{Endpoint, Listener, Stream};

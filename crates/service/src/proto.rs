@@ -30,7 +30,9 @@ pub const MAX_FRAME: u32 = 1 << 20;
 /// from this crate. Bumped (with decode support) if the format changes.
 /// v2: `Submit.client` identity, `Outcome.{batched,rerouted,shard}`
 /// fleet provenance, and the `Fleet`/`FleetStats` router messages.
-pub const PROTO_VERSION: u8 = 2;
+/// v3: `ServiceStats.{cache_warm_hits,cache_warm_loaded}` warm-restart
+/// counters.
+pub const PROTO_VERSION: u8 = 3;
 
 /// A typed protocol failure. The connection is closed after reporting it.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -285,10 +287,15 @@ pub struct ServiceStats {
     pub proto_errors: u64,
     /// Worker panics isolated to a typed error (never a crashed daemon).
     pub panics_isolated: u64,
+    /// Plan-cache hits served by an entry warm-loaded from the
+    /// persistent store (a subset of `cache_hits`).
+    pub cache_warm_hits: u64,
+    /// Entries warm-loaded from the persistent store at boot.
+    pub cache_warm_loaded: u64,
 }
 
 impl ServiceStats {
-    const FIELDS: usize = 12;
+    const FIELDS: usize = 14;
 
     fn to_words(self) -> [u64; Self::FIELDS] {
         [
@@ -304,6 +311,8 @@ impl ServiceStats {
             self.recoveries,
             self.proto_errors,
             self.panics_isolated,
+            self.cache_warm_hits,
+            self.cache_warm_loaded,
         ]
     }
 
@@ -321,6 +330,8 @@ impl ServiceStats {
             recoveries: w[9],
             proto_errors: w[10],
             panics_isolated: w[11],
+            cache_warm_hits: w[12],
+            cache_warm_loaded: w[13],
         }
     }
 }
@@ -438,33 +449,34 @@ const SHARD_ROW_BYTES: usize = 4 + 8 + 1 + 24 + 8 * ServiceStats::FIELDS;
 const ENGINE_KERNEL: u8 = 0;
 const ENGINE_INTERP: u8 = 1;
 
-/// Bounded little-endian writer for one frame body.
-struct Writer {
+/// Bounded little-endian writer for one frame body. `pub(crate)` so the
+/// persistent plan-cache store shares the exact same framing discipline.
+pub(crate) struct Writer {
     buf: Vec<u8>,
 }
 
 impl Writer {
-    fn new(tag: u8) -> Writer {
+    pub(crate) fn new(tag: u8) -> Writer {
         Writer { buf: vec![tag] }
     }
 
-    fn u8(&mut self, v: u8) {
+    pub(crate) fn u8(&mut self, v: u8) {
         self.buf.push(v);
     }
 
-    fn u32(&mut self, v: u32) {
+    pub(crate) fn u32(&mut self, v: u32) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn u64(&mut self, v: u64) {
+    pub(crate) fn u64(&mut self, v: u64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn i64(&mut self, v: i64) {
+    pub(crate) fn i64(&mut self, v: i64) {
         self.buf.extend_from_slice(&v.to_le_bytes());
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         // Encoding is in-process; the server-side length cap lives in
         // decode. Saturate rather than wrap if a caller hands us >4 GiB.
         let len = u32::try_from(s.len()).unwrap_or(u32::MAX);
@@ -472,8 +484,13 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// The body bytes written so far (tag included), without a prefix.
+    pub(crate) fn body(&self) -> &[u8] {
+        &self.buf
+    }
+
     /// Prepends the length prefix and returns the complete frame.
-    fn frame(self) -> Vec<u8> {
+    pub(crate) fn frame(self) -> Vec<u8> {
         let len = u32::try_from(self.buf.len()).unwrap_or(u32::MAX);
         let mut out = Vec::with_capacity(4 + self.buf.len());
         out.extend_from_slice(&len.to_le_bytes());
@@ -483,21 +500,21 @@ impl Writer {
 }
 
 /// Bounds-checked little-endian reader over one frame payload.
-struct Reader<'a> {
+pub(crate) struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Reader<'a> {
         Reader { buf, pos: 0 }
     }
 
-    fn remaining(&self) -> usize {
+    pub(crate) fn remaining(&self) -> usize {
         self.buf.len() - self.pos
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         if self.remaining() < n {
             return Err(ProtoError::Truncated {
                 expected: n,
@@ -509,32 +526,32 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ProtoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, ProtoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
         let b = self.take(4)?;
         let mut a = [0u8; 4];
         a.copy_from_slice(b);
         Ok(u32::from_le_bytes(a))
     }
 
-    fn u64(&mut self) -> Result<u64, ProtoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
 
-    fn i64(&mut self) -> Result<i64, ProtoError> {
+    pub(crate) fn i64(&mut self) -> Result<i64, ProtoError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(i64::from_le_bytes(a))
     }
 
-    fn str(&mut self) -> Result<String, ProtoError> {
+    pub(crate) fn str(&mut self) -> Result<String, ProtoError> {
         let b = self.take(4)?;
         let mut a = [0u8; 4];
         a.copy_from_slice(b);
@@ -551,7 +568,7 @@ impl<'a> Reader<'a> {
             .map_err(|_| ProtoError::BadPayload("string is not valid UTF-8"))
     }
 
-    fn finish(self) -> Result<(), ProtoError> {
+    pub(crate) fn finish(self) -> Result<(), ProtoError> {
         if self.remaining() != 0 {
             return Err(ProtoError::TrailingBytes {
                 extra: self.remaining(),
@@ -865,6 +882,8 @@ mod tests {
             recoveries: 10,
             proto_errors: 11,
             panics_isolated: 12,
+            cache_warm_hits: 13,
+            cache_warm_loaded: 14,
         };
         round_trip_response(Response::Stats(stats));
         round_trip_response(Response::Fleet(FleetStats {

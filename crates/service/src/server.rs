@@ -47,8 +47,9 @@ use mdf_sim::{
 };
 use mdf_trace::Tracer;
 
-use crate::cache::{CacheLookup, PlanCache};
+use crate::cache::{CacheLookup, CachedPlan, PlanCache};
 use crate::proto::{ErrCode, Outcome, Request, Response, ServiceError, ServiceStats, Submit};
+use crate::store::{CacheStore, CacheSync};
 use crate::transport::{read_frame_polled, Endpoint, Listener, Stream, READ_TICK};
 
 /// Tuning knobs for a [`Server`].
@@ -73,6 +74,12 @@ pub struct ServiceConfig {
     pub chaos: bool,
     /// Trace sink for service spans and counters.
     pub tracer: Tracer,
+    /// Directory for the crash-safe plan-cache store. `Some` warm-loads
+    /// the cache on boot and persists inserts/cert attaches/drain
+    /// snapshots; `None` keeps the cache memory-only.
+    pub cache_dir: Option<PathBuf>,
+    /// fsync discipline for the store (the `--cache-sync` knob).
+    pub cache_sync: CacheSync,
 }
 
 impl ServiceConfig {
@@ -93,6 +100,8 @@ impl ServiceConfig {
             threads: 2,
             chaos: false,
             tracer: Tracer::disabled(),
+            cache_dir: None,
+            cache_sync: CacheSync::default(),
         }
     }
 }
@@ -109,6 +118,10 @@ struct Shared {
     draining: AtomicBool,
     stats: Mutex<ServiceStats>,
     cache: Mutex<PlanCache>,
+    /// The persistent side of the cache (`None` without `--cache-dir`).
+    /// Never locked while holding `cache` — entries are copied out of
+    /// the cache first, so the two locks nest strictly one at a time.
+    store: Mutex<Option<CacheStore>>,
     adm: Mutex<AdmState>,
     adm_cv: Condvar,
     handlers: Mutex<Vec<JoinHandle<()>>>,
@@ -207,11 +220,28 @@ impl Server {
         // Record the resolved endpoint (TCP port 0 → the ephemeral port
         // actually bound) so `endpoint()` reports something connectable.
         config.endpoint = actual;
+        // Warm-load the plan cache from the persistent store before the
+        // first connection. A damaged or unusable store costs entries
+        // (or all of persistence), never the boot.
+        let mut cache = PlanCache::new(config.cache_capacity);
+        let mut stats = ServiceStats::default();
+        let store = match &config.cache_dir {
+            Some(dir) => match CacheStore::open(dir, config.cache_sync, config.chaos) {
+                Ok(mut store) => {
+                    let report = store.load(&mut cache);
+                    stats.cache_warm_loaded = report.loaded;
+                    Some(store)
+                }
+                Err(_) => None,
+            },
+            None => None,
+        };
         let shared = Arc::new(Shared {
-            cache: Mutex::new(PlanCache::new(config.cache_capacity)),
+            cache: Mutex::new(cache),
+            store: Mutex::new(store),
             config,
             draining: AtomicBool::new(false),
-            stats: Mutex::new(ServiceStats::default()),
+            stats: Mutex::new(stats),
             adm: Mutex::new(AdmState::default()),
             adm_cv: Condvar::new(),
             handlers: Mutex::new(Vec::new()),
@@ -262,6 +292,17 @@ impl Server {
         }
         if let Endpoint::Unix(path) = &self.shared.config.endpoint {
             let _ = std::fs::remove_file(path);
+        }
+        // Fold the final cache state into a compacted snapshot so a
+        // clean shutdown restarts from one dense file. The injected
+        // persist.compact fault panics here by design — the sweep
+        // verifies the interrupted compaction leaves a loadable store.
+        {
+            let entries = lock_unpoisoned(&self.shared.cache).entries().to_vec();
+            let mut store = lock_unpoisoned(&self.shared.store);
+            if let Some(store) = store.as_mut() {
+                let _ = store.compact(&entries);
+            }
         }
         let span = self.shared.config.tracer.span("service.drain");
         let stats = *lock_unpoisoned(&self.shared.stats);
@@ -415,6 +456,30 @@ fn handle_connection(shared: &Shared, mut stream: Stream) {
     }
 }
 
+/// Writes one cache entry through to the persistent store, if one is
+/// configured. The cache and store locks are never held together (the
+/// entry arrives pre-copied; compaction re-copies the entries between
+/// the locks). IO failures are swallowed — a broken store costs warm
+/// restarts, never a request — while the injected `persist.append` /
+/// `persist.compact` panics escape into the caller's `catch_unwind` by
+/// design (one typed `Internal` error models the torn write).
+fn persist_entry(shared: &Shared, key: u64, entry: Option<CachedPlan>) {
+    let Some(plan) = entry else { return };
+    let wants_compaction = {
+        let mut store = lock_unpoisoned(&shared.store);
+        let Some(store) = store.as_mut() else { return };
+        let _ = store.append(key, &plan);
+        store.wants_compaction()
+    };
+    if wants_compaction {
+        let entries = lock_unpoisoned(&shared.cache).entries().to_vec();
+        let mut store = lock_unpoisoned(&shared.store);
+        if let Some(store) = store.as_mut() {
+            let _ = store.compact(&entries);
+        }
+    }
+}
+
 /// Typed-error mapping for planner/parser failures.
 fn map_mdf_error(e: &MdfError) -> ServiceError {
     let (code, retry) = match e {
@@ -538,8 +603,13 @@ fn process_admitted(
     let looked = lock_unpoisoned(&shared.cache).lookup(key, &input.graph, config.chaos);
     cache_span.finish();
     let (plan, cache_hit, cached_cert) = match looked {
-        CacheLookup::Hit(p, cert) => {
-            lock_unpoisoned(&shared.stats).cache_hits += 1;
+        CacheLookup::Hit(p, cert, warm) => {
+            let mut stats = lock_unpoisoned(&shared.stats);
+            stats.cache_hits += 1;
+            if warm {
+                stats.cache_warm_hits += 1;
+            }
+            drop(stats);
             (DegradedPlan::Fused(p), true, cert)
         }
         rejected_or_miss => {
@@ -562,7 +632,11 @@ fn process_admitted(
             })?;
             certify_span.finish();
             if let DegradedPlan::Fused(p) = &report.plan {
-                lock_unpoisoned(&shared.cache).insert(key, &input.graph, p);
+                let mut cache = lock_unpoisoned(&shared.cache);
+                cache.insert(key, &input.graph, p);
+                let entry = cache.peek(key).cloned();
+                drop(cache);
+                persist_entry(shared, key, entry);
             }
             (report.plan, false, None)
         }
@@ -822,7 +896,16 @@ fn run_once(
             let revalidated = hint.cached.is_some_and(|c| k.arm_with_cert(mode, c));
             if !revalidated {
                 if let Ok(cert) = k.arm(mode) {
-                    lock_unpoisoned(&shared.cache).attach_cert(hint.key, cert);
+                    let mut cache = lock_unpoisoned(&shared.cache);
+                    let entry = if cache.attach_cert(hint.key, cert) {
+                        cache.peek(hint.key).cloned()
+                    } else {
+                        None
+                    };
+                    drop(cache);
+                    // A cert attach supersedes the entry's insert record,
+                    // so a warm restart revalidates in O(1) too.
+                    persist_entry(shared, hint.key, entry);
                 }
             }
             let outcome = match attempt {

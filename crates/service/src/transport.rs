@@ -87,13 +87,31 @@ pub enum Listener {
 impl Listener {
     /// Binds `endpoint` non-blocking. Returns the listener plus the
     /// *actual* endpoint — for TCP port `0` that is the resolved
-    /// ephemeral port; for unix it echoes the path (any stale socket
-    /// file from a crashed daemon is removed first).
+    /// ephemeral port; for unix it echoes the path. A socket file left
+    /// by a SIGKILLed daemon is detected (bind fails, a probe connect is
+    /// refused) and unlinked before one retry — but a *live* daemon's
+    /// socket (the probe connects) is never stolen: the original
+    /// `AddrInUse` propagates.
     pub fn bind(endpoint: &Endpoint) -> std::io::Result<(Listener, Endpoint)> {
         match endpoint {
             Endpoint::Unix(path) => {
-                let _ = std::fs::remove_file(path);
-                let l = UnixListener::bind(path)?;
+                let l = match UnixListener::bind(path) {
+                    Ok(l) => l,
+                    Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                        match UnixStream::connect(path) {
+                            Err(probe) if probe.kind() == std::io::ErrorKind::ConnectionRefused => {
+                                // Nobody is accepting: an ungraceful kill
+                                // left the file behind. Reclaim the path.
+                                std::fs::remove_file(path)?;
+                                UnixListener::bind(path)?
+                            }
+                            // Connected (a daemon is alive there) or an
+                            // ambiguous probe failure: do not unlink.
+                            _ => return Err(e),
+                        }
+                    }
+                    Err(e) => return Err(e),
+                };
                 l.set_nonblocking(true)?;
                 Ok((Listener::Unix(l), endpoint.clone()))
             }
@@ -298,6 +316,34 @@ mod tests {
             Endpoint::Unix(PathBuf::from("/tmp/mdfused.sock"))
         );
         assert_eq!(Endpoint::parse("tcp:host:0").to_string(), "tcp:host:0");
+    }
+
+    #[test]
+    fn stale_unix_socket_is_reclaimed_but_a_live_one_is_not() {
+        let path = std::env::temp_dir().join(format!("mdf-stale-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let endpoint = Endpoint::unix(&path);
+
+        // Simulate an ungraceful kill: bind, then drop the listener
+        // without removing the file (SIGKILL never runs drain).
+        let (listener, _) = Listener::bind(&endpoint).unwrap();
+        drop(listener);
+        assert!(path.exists(), "the stale socket file must survive");
+
+        // Rebinding detects the dead socket (connect refused) and
+        // reclaims the path.
+        let (live, _) = Listener::bind(&endpoint).unwrap();
+
+        // But a *live* listener's socket is never stolen: the second
+        // bind fails and the first keeps accepting.
+        let err = match Listener::bind(&endpoint) {
+            Ok(_) => panic!("live socket must not be reclaimed"),
+            Err(e) => e,
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+        let _client = Stream::connect(&endpoint).unwrap();
+        drop(live);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -96,6 +96,53 @@ echo "$fleet_report" | grep -q "respawns: 1"
 wait "$fleet_pid"
 rm -rf "$fleet_out"
 
+echo "==> persistence smoke (populate, kill -9, warm restart, validate)"
+persist_out=$(mktemp -d)
+./target/release/mdfuse serve "$persist_out/mdfused.sock" \
+  --cache-dir "$persist_out/store" >/dev/null &
+persist_pid=$!
+for _ in $(seq 50); do
+  [ -S "$persist_out/mdfused.sock" ] && break
+  sleep 0.1
+done
+./target/release/mdfuse loadgen --socket "$persist_out/mdfused.sock" \
+  --requests 40 --concurrency 4 --seed 1 >/dev/null
+kill -9 "$persist_pid"
+wait "$persist_pid" 2>/dev/null || true
+# The stale socket left by the kill must be reclaimed, the store's
+# surviving records warm-loaded, and the replayed mix served warm
+# (hit rate >= 0.8) with every fingerprint matching.
+./target/release/mdfuse serve "$persist_out/mdfused.sock" \
+  --cache-dir "$persist_out/store" >/dev/null &
+persist_pid=$!
+for _ in $(seq 50); do
+  ./target/release/mdfuse client "$persist_out/mdfused.sock" ping \
+    >/dev/null 2>&1 && break
+  sleep 0.1
+done
+./target/release/mdfuse client "$persist_out/mdfused.sock" stats \
+  | grep -q "warm-loaded"
+./target/release/mdfuse loadgen --socket "$persist_out/mdfused.sock" \
+  --requests 40 --concurrency 4 --seed 1 --json \
+  --out "$persist_out/BENCH_warm.json" >/dev/null
+./target/release/mdfuse loadgen --check "$persist_out/BENCH_warm.json"
+grep -q '"mismatches": 0' "$persist_out/BENCH_warm.json"
+warm_rate=$(grep -m1 '^  "warm_hit_rate"' "$persist_out/BENCH_warm.json" | tr -dc '0-9.')
+awk -v r="$warm_rate" 'BEGIN { exit !(r >= 0.8) }'
+./target/release/mdfuse client "$persist_out/mdfused.sock" shutdown >/dev/null
+wait "$persist_pid"
+rm -rf "$persist_out"
+
+echo "==> latency-under-chaos smoke (loadgen --chaos, schema-validated)"
+lchaos_out=$(mktemp -d)
+./target/release/mdfuse loadgen --shards 2 --chaos --requests 120 \
+  --concurrency 8 --seed 1 --cache-dir "$lchaos_out/store" \
+  --out "$lchaos_out/BENCH_chaos.json" >/dev/null 2>&1
+./target/release/mdfuse loadgen --check "$lchaos_out/BENCH_chaos.json"
+grep -q '"active": true' "$lchaos_out/BENCH_chaos.json"
+grep -q '"mismatches": 0' "$lchaos_out/BENCH_chaos.json"
+rm -rf "$lchaos_out"
+
 echo "==> chaos smoke (fixed-seed fault sweep, schema-validated)"
 chaos_out=$(mktemp -d)
 ./target/release/mdfuse chaos --seed 1 \
